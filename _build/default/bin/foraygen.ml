@@ -1,0 +1,411 @@
+(* foraygen: command-line front end to the FORAY-GEN flow.
+
+   Subcommands:
+     list      - benchmarks and figure programs available by name
+     extract   - run the pipeline, print the FORAY model (and hints)
+     annotate  - print the checkpoint-instrumented program (Figure 4(b))
+     trace     - print the profile trace (Figure 4(c))
+     tables    - print Tables I / II / III and the headline comparison
+     spm       - reuse candidates, DSE sweep and transformed model
+*)
+
+open Cmdliner
+
+let load_source name_or_path =
+  match Foray_suite.Suite.find name_or_path with
+  | Some b -> Ok b.source
+  | None -> (
+      match List.assoc_opt name_or_path Foray_suite.Figures.all with
+      | Some src -> Ok src
+      | None ->
+          if Sys.file_exists name_or_path then begin
+            let ic = open_in_bin name_or_path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            Ok s
+          end
+          else
+            Error
+              (Printf.sprintf
+                 "unknown program %S (not a benchmark, figure or file)"
+                 name_or_path))
+
+let prog_arg =
+  let doc =
+    "Program to analyze: a benchmark name (jpeg, lame, susan, fft, gsm, \
+     adpcm), a figure name (fig1, fig4a, fig7a, fig7b, fig9) or a MiniC \
+     file path."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let nexec_arg =
+  let doc = "Step 4 threshold: minimum executions of a reference." in
+  Arg.(value & opt int 20 & info [ "nexec" ] ~doc)
+
+let nloc_arg =
+  let doc = "Step 4 threshold: minimum distinct locations of a reference." in
+  Arg.(value & opt int 10 & info [ "nloc" ] ~doc)
+
+let scalars_arg =
+  let doc = "Trace named scalar accesses too (default true)." in
+  Arg.(value & opt bool true & info [ "trace-scalars" ] ~doc)
+
+let config_of scalars =
+  { Minic_sim.Interp.default_config with trace_scalars = scalars }
+
+let run_pipeline src ~nexec ~nloc ~scalars =
+  let thresholds = Foray_core.Filter.{ nexec; nloc } in
+  Foray_core.Pipeline.run_source ~config:(config_of scalars) ~thresholds src
+
+(* ---- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "benchmarks:";
+    List.iter
+      (fun (b : Foray_suite.Suite.bench) ->
+        Printf.printf "  %-7s %4d lines  %s\n" b.name
+          (Foray_suite.Suite.lines b) b.description)
+      Foray_suite.Suite.all;
+    print_endline "figures:";
+    List.iter
+      (fun (n, _) -> Printf.printf "  %s\n" n)
+      Foray_suite.Figures.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available benchmarks and figure programs")
+    Term.(const run $ const ())
+
+(* ---- extract -------------------------------------------------------- *)
+
+let extract_cmd =
+  let run prog nexec nloc scalars show_hints =
+    match load_source prog with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src ->
+        let r = run_pipeline src ~nexec ~nloc ~scalars in
+        print_string (Foray_core.Model.to_c r.model);
+        if show_hints then begin
+          print_newline ();
+          print_string
+            (Foray_core.Hints.to_string (Foray_core.Pipeline.hints r))
+        end;
+        0
+  in
+  let hints_arg =
+    Arg.(value & flag & info [ "hints" ] ~doc:"Also print duplication hints.")
+  in
+  Cmd.v
+    (Cmd.info "extract"
+       ~doc:"Run FORAY-GEN and print the extracted FORAY model")
+    Term.(const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ hints_arg)
+
+(* ---- annotate ------------------------------------------------------- *)
+
+let annotate_cmd =
+  let run prog =
+    match load_source prog with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src ->
+        let p = Minic.Parser.program src in
+        print_string
+          (Minic.Pretty.program (Foray_instrument.Annotate.program p));
+        0
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:"Print the checkpoint-annotated program (Step 1)")
+    Term.(const run $ prog_arg)
+
+(* ---- trace ---------------------------------------------------------- *)
+
+let trace_cmd =
+  let run prog limit scalars out format =
+    match load_source prog with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src -> (
+        let p = Minic.Parser.program src in
+        Minic.Sema.check_exn p;
+        let instrumented = Foray_instrument.Annotate.program p in
+        match out with
+        | Some path ->
+            let format =
+              match format with
+              | "binary" -> Foray_trace.Tracefile.Binary
+              | _ -> Foray_trace.Tracefile.Text
+            in
+            let sink, close = Foray_trace.Tracefile.sink_to_file ~format path in
+            let n = ref 0 in
+            let sink e = incr n; sink e in
+            let _ =
+              Minic_sim.Interp.run ~config:(config_of scalars) instrumented
+                ~sink
+            in
+            close ();
+            Printf.printf "wrote %d events to %s\n" !n path;
+            0
+        | None ->
+            let printed = ref 0 in
+            let sink e =
+              if !printed < limit then begin
+                print_endline (Foray_trace.Event.to_line e);
+                incr printed
+              end
+            in
+            let _ =
+              Minic_sim.Interp.run ~config:(config_of scalars) instrumented
+                ~sink
+            in
+            if !printed >= limit then
+              Printf.printf "... (truncated at %d events)\n" limit;
+            0)
+  in
+  let limit_arg =
+    Arg.(value & opt int 200 & info [ "limit" ] ~doc:"Maximum events to print.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~doc:"Write the full trace to this file instead.")
+  in
+  let format_arg =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~doc:"Trace file format: text or binary.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print or save the profile trace (Step 2)")
+    Term.(const run $ prog_arg $ limit_arg $ scalars_arg $ out_arg $ format_arg)
+
+(* ---- analyze (trace file -> model) ---------------------------------- *)
+
+let analyze_cmd =
+  let run path nexec nloc =
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "no such trace file: %s\n" path;
+      1
+    end
+    else begin
+      let tree = Foray_core.Looptree.create () in
+      Foray_trace.Tracefile.iter path (Foray_core.Looptree.sink tree);
+      let thresholds = Foray_core.Filter.{ nexec; nloc } in
+      let model = Foray_core.Model.of_tree ~thresholds tree in
+      print_string (Foray_core.Model.to_c model);
+      0
+    end
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file (text or binary, auto-detected).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run Steps 3-4 on a stored trace file and print the model")
+    Term.(const run $ path_arg $ nexec_arg $ nloc_arg)
+
+(* ---- tree ------------------------------------------------------------ *)
+
+let tree_cmd =
+  let run prog show_all =
+    match load_source prog with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src ->
+        let r = Foray_core.Pipeline.run_source src in
+        print_string
+          (Foray_core.Treedump.render ~loop_kinds:r.loop_kinds ~show_all
+             r.tree);
+        0
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Include scalar references (hidden by default).")
+  in
+  Cmd.v
+    (Cmd.info "tree"
+       ~doc:"Print the reconstructed dynamic loop tree (Algorithm 2)")
+    Term.(const run $ prog_arg $ all_arg)
+
+(* ---- validate --------------------------------------------------------- *)
+
+let validate_cmd =
+  let run prog nexec nloc =
+    match load_source prog with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src ->
+        let thresholds = Foray_core.Filter.{ nexec; nloc } in
+        let prog = Minic.Parser.program src in
+        let r, trace =
+          Foray_core.Pipeline.run_offline ~thresholds prog
+        in
+        let rep = Foray_core.Validate.replay r.model trace in
+        Printf.printf
+          "model covers %d of %d accesses; prediction accuracy %.2f%%\n"
+          rep.covered (rep.covered + rep.uncovered)
+          (100.0 *. Foray_core.Validate.overall rep);
+        List.iter
+          (fun (rr : Foray_core.Validate.ref_report) ->
+            Printf.printf "  site %x [%s]: %d/%d exact, %d rebase(s)\n"
+              rr.site
+              (String.concat ">" (List.map string_of_int rr.path))
+              rr.exact rr.checked rr.rebases)
+          rep.refs;
+        0
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Replay the trace against the extracted model (fidelity check)")
+    Term.(const run $ prog_arg $ nexec_arg $ nloc_arg)
+
+(* ---- stability --------------------------------------------------------- *)
+
+let stability_cmd =
+  let run prog seeds =
+    match load_source prog with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src ->
+        let prog = Minic.Parser.program src in
+        let rep = Foray_core.Stability.study ~seeds prog in
+        print_string (Foray_core.Stability.to_string rep);
+        0
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 42; 1337 ]
+      & info [ "seeds" ] ~doc:"Input seeds to profile with (comma separated).")
+  in
+  Cmd.v
+    (Cmd.info "stability"
+       ~doc:
+         "Compare models extracted under different profiling inputs \
+          (the paper's future-work study)")
+    Term.(const run $ prog_arg $ seeds_arg)
+
+(* ---- compare ----------------------------------------------------------- *)
+
+let compare_cmd =
+  let run capacity =
+    let results =
+      List.map
+        (fun b -> Foray_report.Memcompare.run b ~capacity)
+        Foray_suite.Suite.all
+    in
+    print_string (Foray_report.Memcompare.table ~capacity results);
+    0
+  in
+  let cap_arg =
+    Arg.(
+      value & opt int 2048
+      & info [ "capacity" ] ~doc:"On-chip capacity in bytes.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Cache vs SPM-with-FORAY-buffers energy over the suite")
+    Term.(const run $ cap_arg)
+
+(* ---- tables --------------------------------------------------------- *)
+
+let tables_cmd =
+  let run nexec nloc =
+    let thresholds = Foray_core.Filter.{ nexec; nloc } in
+    let reports = Foray_report.Report.report_all ~thresholds () in
+    print_string (Foray_report.Report.table1 reports);
+    print_newline ();
+    print_string (Foray_report.Report.table2 reports);
+    print_newline ();
+    print_string (Foray_report.Report.table3 reports);
+    print_newline ();
+    print_string (Foray_report.Report.headline reports);
+    0
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Reproduce the paper's Tables I-III over the benchmark suite")
+    Term.(const run $ nexec_arg $ nloc_arg)
+
+(* ---- spm ------------------------------------------------------------ *)
+
+let spm_cmd =
+  let run prog nexec nloc size transformed fuse =
+    match load_source prog with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src ->
+        let r = run_pipeline src ~nexec ~nloc ~scalars:true in
+        let cands = Foray_spm.Reuse.candidates ~fuse r.model in
+        Printf.printf "%d buffer candidate(s)\n" (List.length cands);
+        List.iter
+          (fun c -> Format.printf "  %a@." Foray_spm.Reuse.pp c)
+          cands;
+        (match size with
+        | Some bytes ->
+            let sel = Foray_spm.Dse.select_optimal cands ~spm_bytes:bytes in
+            Format.printf "%a@." Foray_spm.Dse.pp_selection sel;
+            if transformed then
+              if fuse then
+                prerr_endline
+                  "--transformed requires unfused buffers; rerun without \
+                   --fuse"
+              else print_string (Foray_spm.Transform.apply r.model sel)
+        | None ->
+            List.iter
+              (fun (_, sel) ->
+                Format.printf "%a@." Foray_spm.Dse.pp_selection sel)
+              (Foray_spm.Dse.sweep r.model));
+        0
+  in
+  let size_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "size" ] ~doc:"SPM size in bytes (default: sweep 256..16384).")
+  in
+  let transformed_arg =
+    Arg.(
+      value & flag
+      & info [ "transformed" ]
+          ~doc:"Print the buffer-transformed FORAY model (needs --size).")
+  in
+  let fuse_arg =
+    Arg.(
+      value & flag
+      & info [ "fuse" ]
+          ~doc:"Fuse same-stride overlapping references into shared buffers.")
+  in
+  Cmd.v
+    (Cmd.info "spm"
+       ~doc:"Phase II: SPM reuse analysis and design-space exploration")
+    Term.(
+      const run $ prog_arg $ nexec_arg $ nloc_arg $ size_arg $ transformed_arg
+      $ fuse_arg)
+
+(* ---- main ----------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "FORAY-GEN: profile-based extraction of affine memory models \
+     (reproduction of Issenin & Dutt, DATE 2005)"
+  in
+  let info = Cmd.info "foraygen" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; extract_cmd; annotate_cmd; trace_cmd; analyze_cmd;
+            tree_cmd; validate_cmd; stability_cmd; compare_cmd; tables_cmd;
+            spm_cmd ]))

@@ -1,0 +1,1 @@
+examples/inlining_hints.ml: Foray_core Foray_suite Printf String

@@ -1,0 +1,1 @@
+examples/inlining_hints.mli:

@@ -1,0 +1,1 @@
+examples/partial_affine.ml: Foray_core Foray_suite List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Foray_core Foray_instrument Foray_static Foray_suite Foray_trace List Minic Printf String

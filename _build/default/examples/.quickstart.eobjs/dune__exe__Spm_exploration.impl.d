@@ -1,0 +1,1 @@
+examples/spm_exploration.ml: Foray_core Foray_spm Foray_suite Format List Option Printf String

@@ -1,0 +1,1 @@
+examples/spm_exploration.mli:

@@ -1,0 +1,1 @@
+examples/trace_workflow.ml: Filename Foray_core Foray_instrument Foray_report Foray_suite Foray_trace Minic Minic_sim Option Printf String Sys

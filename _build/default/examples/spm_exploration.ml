@@ -1,0 +1,52 @@
+(* SPM design-space exploration on the jpeg benchmark: Phase II of the
+   paper's Figure 3 flow.
+
+   Extracts the FORAY model of the synthetic jpeg encoder, derives buffer
+   candidates with the reuse analysis, sweeps scratch-pad sizes, and prints
+   the transformed FORAY model for the best configuration.
+
+   Run with: dune exec examples/spm_exploration.exe *)
+
+let banner title =
+  Printf.printf "\n=== %s %s\n" title (String.make (60 - String.length title) '=')
+
+let () =
+  let bench = Option.get (Foray_suite.Suite.find "jpeg") in
+  banner "Phase I: extract the FORAY model";
+  let r = Foray_core.Pipeline.run_source bench.source in
+  Printf.printf "model: %d loops, %d references, %d distinct sites\n"
+    (Foray_core.Model.n_loops r.model)
+    (Foray_core.Model.n_refs r.model)
+    (List.length r.model.sites);
+
+  banner "Phase II step 2: buffer candidates from reuse analysis";
+  let cands = Foray_spm.Reuse.candidates r.model in
+  List.iter (fun c -> Format.printf "  %a@." Foray_spm.Reuse.pp c) cands;
+
+  banner "Phase II step 3: design space exploration";
+  let sweep = Foray_spm.Dse.sweep r.model in
+  List.iter
+    (fun (_, sel) -> Format.printf "%a@." Foray_spm.Dse.pp_selection sel)
+    sweep;
+  let best_size, best =
+    List.fold_left
+      (fun (bs, b) (s, sel) ->
+        if sel.Foray_spm.Dse.saving_pct > b.Foray_spm.Dse.saving_pct then
+          (s, sel)
+        else (bs, b))
+      (List.hd sweep) (List.tl sweep)
+  in
+  Printf.printf "best configuration: %d bytes (%.1f%% energy saved)\n"
+    best_size best.saving_pct;
+
+  banner "Phase II step 4: transformed FORAY model";
+  print_string (Foray_spm.Transform.apply r.model best);
+
+  banner "Greedy vs optimal selection (ablation)";
+  List.iter
+    (fun (s, _) ->
+      let g = Foray_spm.Dse.select_greedy cands ~spm_bytes:s in
+      let o = Foray_spm.Dse.select_optimal cands ~spm_bytes:s in
+      Printf.printf "  %5dB: greedy %.1f%%, optimal %.1f%%\n" s
+        g.Foray_spm.Dse.saving_pct o.Foray_spm.Dse.saving_pct)
+    sweep

@@ -1,0 +1,73 @@
+(* The paper's two-stage workflow with a stored trace, plus model
+   validation:
+
+   1. simulate the gsm benchmark, streaming the trace to a binary file
+      (the simulator never holds the trace in memory);
+   2. re-read the file and run Algorithms 2+3 over it;
+   3. check the result matches the online (no-file) analysis;
+   4. replay the trace against the model and report prediction fidelity;
+   5. compare cache vs SPM energy for the same trace's array traffic.
+
+   Run with: dune exec examples/trace_workflow.exe *)
+
+let banner title =
+  Printf.printf "\n=== %s %s\n" title (String.make (60 - String.length title) '=')
+
+let () =
+  let bench = Option.get (Foray_suite.Suite.find "gsm") in
+  let prog = Minic.Parser.program bench.source in
+  Minic.Sema.check_exn prog;
+  let instrumented = Foray_instrument.Annotate.program prog in
+  let path = Filename.temp_file "gsm" ".trace" in
+
+  banner "Stage 1: simulate, streaming the trace to disk";
+  let file_sink, close =
+    Foray_trace.Tracefile.sink_to_file ~format:Foray_trace.Tracefile.Binary
+      path
+  in
+  let events = ref 0 in
+  let sink e = incr events; file_sink e in
+  let sim = Minic_sim.Interp.run instrumented ~sink in
+  close ();
+  let size =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  Printf.printf "simulated %d statements, wrote %d events (%d bytes, %.1f B/event)\n"
+    sim.steps !events size
+    (float_of_int size /. float_of_int !events);
+
+  banner "Stage 2: analyze the stored trace";
+  let tree = Foray_core.Looptree.create () in
+  Foray_trace.Tracefile.iter path (Foray_core.Looptree.sink tree);
+  let loop_kinds = Foray_instrument.Annotate.loop_table prog in
+  let model = Foray_core.Model.of_tree ~loop_kinds tree in
+  Printf.printf "model: %d loops, %d references\n"
+    (Foray_core.Model.n_loops model)
+    (Foray_core.Model.n_refs model);
+
+  banner "Stage 3: agreement with the online analysis";
+  let online = Foray_core.Pipeline.run prog in
+  Printf.printf "identical models: %b\n"
+    (Foray_core.Model.to_c online.model = Foray_core.Model.to_c model);
+
+  banner "Stage 4: model fidelity (replay the trace against the model)";
+  let vsink, finish = Foray_core.Validate.sink model in
+  Foray_trace.Tracefile.iter path vsink;
+  let rep = finish () in
+  Printf.printf "covered %d accesses (%.1f%% of all), accuracy %.2f%%\n"
+    rep.covered
+    (100.0 *. float_of_int rep.covered
+    /. float_of_int (rep.covered + rep.uncovered))
+    (100.0 *. Foray_core.Validate.overall rep);
+
+  banner "Stage 5: cache vs SPM on this workload (2 KiB)";
+  let cmp = Foray_report.Memcompare.run bench ~capacity:2048 in
+  Printf.printf
+    "all-main %.0f nJ | cache %.0f nJ (%.0f%% hits) | SPM+buffers %.0f nJ\n"
+    cmp.main_energy cmp.cache_energy
+    (100.0 *. cmp.cache_hit_rate)
+    cmp.spm_energy;
+  Sys.remove path

@@ -1,0 +1,139 @@
+type policy = Lru | Fifo
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  policy : policy;
+}
+
+let default_config =
+  { size_bytes = 2048; line_bytes = 16; assoc = 4; policy = Lru }
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+}
+
+(* One way: tag plus bookkeeping. [stamp] orders victims: last-use time for
+   LRU, fill time for FIFO. *)
+type way = { mutable tag : int; mutable valid : bool; mutable dirty : bool;
+             mutable stamp : int }
+
+type t = {
+  cfg : config;
+  sets : way array array;
+  set_bits : int;
+  line_bits : int;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k n = if n = 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+let create cfg =
+  if not (is_pow2 cfg.size_bytes) then
+    invalid_arg "Cache.create: size must be a power of two";
+  if not (is_pow2 cfg.line_bytes) || cfg.line_bytes < 4 then
+    invalid_arg "Cache.create: line size must be a power of two >= 4";
+  let lines = cfg.size_bytes / cfg.line_bytes in
+  if cfg.assoc <= 0 || lines mod cfg.assoc <> 0 then
+    invalid_arg "Cache.create: associativity must divide the line count";
+  let nsets = lines / cfg.assoc in
+  if not (is_pow2 nsets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  {
+    cfg;
+    sets =
+      Array.init nsets (fun _ ->
+          Array.init cfg.assoc (fun _ ->
+              { tag = 0; valid = false; dirty = false; stamp = 0 }));
+    set_bits = log2 nsets;
+    line_bits = log2 cfg.line_bytes;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+  }
+
+let lines t = t.cfg.size_bytes / t.cfg.line_bytes
+
+let access_line t line write =
+  t.clock <- t.clock + 1;
+  let set_idx = line land ((1 lsl t.set_bits) - 1) in
+  let tag = line lsr t.set_bits in
+  let set = t.sets.(set_idx) in
+  match
+    Array.fold_left
+      (fun acc w -> if w.valid && w.tag = tag then Some w else acc)
+      None set
+  with
+  | Some w ->
+      t.hits <- t.hits + 1;
+      if write then w.dirty <- true;
+      if t.cfg.policy = Lru then w.stamp <- t.clock;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      (* victim: invalid way if any, else smallest stamp *)
+      let victim =
+        let inv = Array.fold_left (fun acc w -> if (not w.valid) && acc = None then Some w else acc) None set in
+        match inv with
+        | Some w -> w
+        | None ->
+            Array.fold_left
+              (fun best w -> if w.stamp < best.stamp then w else best)
+              set.(0) set
+      in
+      if victim.valid then begin
+        t.evictions <- t.evictions + 1;
+        if victim.dirty then t.writebacks <- t.writebacks + 1
+      end;
+      victim.tag <- tag;
+      victim.valid <- true;
+      victim.dirty <- write;
+      victim.stamp <- t.clock;
+      false
+
+let access t ~addr ~width ~write =
+  t.accesses <- t.accesses + 1;
+  let first = addr lsr t.line_bits in
+  let last = (addr + width - 1) lsr t.line_bits in
+  let hit = ref true in
+  for line = first to last do
+    if not (access_line t line write) then hit := false
+  done;
+  !hit
+
+let stats t =
+  {
+    accesses = t.accesses;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    writebacks = t.writebacks;
+  }
+
+let config t = t.cfg
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let sink t : Foray_trace.Event.sink = function
+  | Foray_trace.Event.Checkpoint _ -> ()
+  | Foray_trace.Event.Access { addr; width; write; _ } ->
+      ignore (access t ~addr ~width ~write)

@@ -1,0 +1,53 @@
+(** Set-associative cache simulator.
+
+    The paper's premise (via Banakar et al., CODES 2002) is that scratch
+    pads beat caches on energy and predictability for embedded workloads.
+    This simulator makes that comparison concrete: it consumes the same
+    profile-event stream as FORAY-GEN and reports hits, misses and
+    write-backs, which the energy model turns into a cache-vs-SPM energy
+    table (see [bench/main.exe]).
+
+    Write-allocate, write-back, with LRU or FIFO replacement. Accesses that
+    straddle a line boundary touch both lines. *)
+
+type policy = Lru | Fifo
+
+type config = {
+  size_bytes : int;  (** total capacity; must be a power of two *)
+  line_bytes : int;  (** line size; power of two, >= 4 *)
+  assoc : int;  (** ways per set; [size/line] must be divisible by it *)
+  policy : policy;
+}
+
+(** A classic embedded L1: 2 KiB, 16-byte lines, 4-way LRU. *)
+val default_config : config
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;  (** dirty evictions *)
+}
+
+type t
+
+(** @raise Invalid_argument on malformed geometry. *)
+val create : config -> t
+
+(** [access t ~addr ~width ~write] simulates one access; returns [true] on
+    a (full) hit. *)
+val access : t -> addr:int -> width:int -> write:bool -> bool
+
+val stats : t -> stats
+val config : t -> config
+
+(** Hit ratio in [0,1]; 0 on an empty run. *)
+val hit_rate : t -> float
+
+(** A sink that feeds every trace access into the cache (checkpoints are
+    ignored). *)
+val sink : t -> Foray_trace.Event.sink
+
+(** [lines t] is the number of lines the cache holds. *)
+val lines : t -> int

@@ -1,0 +1,1 @@
+lib/core/filter.ml: Affine Foray_util List Looptree

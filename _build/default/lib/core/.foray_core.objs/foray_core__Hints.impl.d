@@ -1,0 +1,1 @@
+lib/core/hints.ml: Affine Hashtbl List Looptree Option Printf String

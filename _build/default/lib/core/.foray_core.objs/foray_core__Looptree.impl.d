@@ -1,0 +1,1 @@
+lib/core/looptree.ml: Affine Array Foray_trace Foray_util Hashtbl List

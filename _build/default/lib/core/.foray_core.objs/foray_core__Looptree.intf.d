@@ -1,0 +1,1 @@
+lib/core/looptree.mli: Affine Foray_trace Foray_util

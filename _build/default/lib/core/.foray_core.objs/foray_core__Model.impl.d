@@ -1,0 +1,1 @@
+lib/core/model.ml: Affine Buffer Filter Foray_util Hashtbl List Looptree Printf String

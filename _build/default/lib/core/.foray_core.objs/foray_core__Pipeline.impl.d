@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Filter Foray_instrument Foray_trace Hints List Looptree Minic Minic_sim Model

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Filter Foray_trace Hints Looptree Minic Minic_sim Model

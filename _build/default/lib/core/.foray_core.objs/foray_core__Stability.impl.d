@@ -1,0 +1,1 @@
+lib/core/stability.ml: Buffer Filter Hashtbl List Minic_sim Model Option Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/core/treedump.ml: Affine Buffer Foray_util List Looptree Printf String

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Foray_trace Hashtbl List Model String

@@ -1,0 +1,134 @@
+type coeff = Unknown | Known of int
+
+type t = {
+  site : int;
+  depth : int;
+  mutable const : int;
+  coeffs : coeff array; (* index 0 = innermost iterator *)
+  mutable m : int; (* iterators included in the (partial) expression *)
+  prev_iters : int array; (* ITP *)
+  mutable prev_addr : int; (* INDP *)
+  s : bool array; (* sticky: unchanged during some misprediction *)
+  mutable execs : int;
+  mutable analyzable : bool;
+  mutable mispredictions : int;
+}
+
+let create ~site ~depth =
+  {
+    site;
+    depth;
+    const = 0;
+    coeffs = Array.make depth Unknown;
+    m = depth;
+    prev_iters = Array.make depth 0;
+    prev_addr = 0;
+    s = Array.make depth false;
+    execs = 0;
+    analyzable = true;
+    mispredictions = 0;
+  }
+
+let site t = t.site
+let depth t = t.depth
+let execs t = t.execs
+let analyzable t = t.analyzable
+let const t = t.const
+let coeffs t = Array.copy t.coeffs
+let m t = t.m
+let partial t = t.m < t.depth
+let mispredictions t = t.mispredictions
+
+let predict t ~iters =
+  let acc = ref t.const in
+  for i = 0 to t.depth - 1 do
+    match t.coeffs.(i) with
+    | Known c -> acc := !acc + (c * iters.(i))
+    | Unknown -> ()
+  done;
+  !acc
+
+let finish t ~iters ~addr =
+  Array.blit iters 0 t.prev_iters 0 t.depth;
+  t.prev_addr <- addr;
+  t.execs <- t.execs + 1
+
+let observe t ~iters ~addr =
+  if Array.length iters <> t.depth then
+    invalid_arg "Affine.observe: iterator vector length mismatch";
+  if not t.analyzable then finish t ~iters ~addr
+  else if t.execs = 0 then begin
+    (* Step 1 of Figure 8: first sighting. *)
+    t.const <- addr;
+    t.m <- t.depth;
+    finish t ~iters ~addr
+  end
+  else begin
+    (* Step 2: iterators with unknown coefficients that changed. *)
+    let h = ref 0 and k = ref (-1) in
+    for i = 0 to t.depth - 1 do
+      if t.coeffs.(i) = Unknown && iters.(i) <> t.prev_iters.(i) then begin
+        incr h;
+        k := i
+      end
+    done;
+    if !h = 1 then begin
+      (* Step 3: solve for the single newly-determined coefficient. *)
+      let adj = ref 0 in
+      for i = 0 to t.depth - 1 do
+        match t.coeffs.(i) with
+        | Known c when iters.(i) <> t.prev_iters.(i) ->
+            adj := !adj + (c * (iters.(i) - t.prev_iters.(i)))
+        | _ -> ()
+      done;
+      let num = addr - !adj - t.prev_addr in
+      let den = iters.(!k) - t.prev_iters.(!k) in
+      if num mod den <> 0 then t.analyzable <- false
+      else begin
+        t.coeffs.(!k) <- Known (num / den);
+        (* Re-base the constant so the expression is consistent with the
+           previous observation. Without this, a reference whose first
+           execution happens at a nonzero iteration (e.g. the odd-phase arm
+           of a switch) carries a systematic offset, mispredicts once, and
+           Step 6 demotes it permanently. The paper's examples all start at
+           iteration 0, where this is a no-op. *)
+        let contrib = ref 0 in
+        for i = 0 to t.depth - 1 do
+          match t.coeffs.(i) with
+          | Known c -> contrib := !contrib + (c * t.prev_iters.(i))
+          | Unknown -> ()
+        done;
+        t.const <- t.prev_addr - !contrib
+      end
+    end
+    else if !h > 1 then
+      (* Step 4: several unknowns changed together; give up. *)
+      t.analyzable <- false;
+    if t.analyzable then begin
+      (* Step 5: predict; Step 6: re-base on misprediction. *)
+      let indc = predict t ~iters in
+      if indc <> addr then begin
+        t.mispredictions <- t.mispredictions + 1;
+        for i = 0 to t.depth - 1 do
+          if iters.(i) = t.prev_iters.(i) then t.s.(i) <- true
+        done;
+        t.const <- t.const + (addr - indc);
+        (* m = largest index (1-based) with S=0, minus one; i.e. the count
+           of iterators strictly inside the outermost always-changing one. *)
+        let m = ref 0 in
+        for i = 0 to t.depth - 1 do
+          if not t.s.(i) then m := i
+        done;
+        t.m <- if Array.exists not t.s then !m else 0
+      end
+    end;
+    finish t ~iters ~addr
+  end
+
+let included_terms t =
+  List.init t.m (fun i ->
+      match t.coeffs.(i) with Known c -> c | Unknown -> 0)
+
+let has_iterator t =
+  t.analyzable
+  && List.exists (fun c -> c <> 0) (included_terms t)

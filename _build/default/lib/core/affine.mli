@@ -1,0 +1,81 @@
+(** Algorithm 3: incremental identification of (partial) affine index
+    expressions for one memory reference.
+
+    A reference at loop nest level [n] is modelled as
+
+    {v addr = CONST + C1*iter1 + C2*iter2 + ... + Cn*itern v}
+
+    with [iter1] the innermost iterator. Coefficients start UNKNOWN and are
+    solved one at a time: when exactly one unknown-coefficient iterator
+    changed between two consecutive executions, the address delta determines
+    that coefficient. Every execution the predicted address is checked; on a
+    misprediction the constant term is re-based and the reference is demoted
+    to a {e partial} affine expression
+
+    {v addr = const(iter_{m+1}..iter_n) + C1*iter1 + ... + Cm*iterm v}
+
+    over the innermost [m] iterators, where [m] is derived from the sticky
+    set of iterators that were ever unchanged during a misprediction
+    (Step 6 of the paper's Figure 8). References where several unknown
+    coefficients change at once are marked non-analyzable (Step 4 of
+    Figure 8).
+
+    Divergence from the paper: when the coefficient equation has no exact
+    integer solution the reference is marked non-analyzable immediately
+    (the paper's pseudocode would store a truncated quotient and rely on
+    later mispredictions); this is strictly more conservative. *)
+
+type coeff = Unknown | Known of int
+
+type t
+
+(** [create ~site ~depth] starts tracking a reference with [depth] enclosing
+    loops ([depth] may be 0; such references can never be affine in an
+    iterator and are filtered later). *)
+val create : site:int -> depth:int -> t
+
+(** [observe t ~iters ~addr] folds one execution. [iters.(0)] is the
+    innermost loop's current iteration count; the array length must equal
+    [depth]. Safe to call after the reference became non-analyzable (only
+    statistics are updated then). *)
+val observe : t -> iters:int array -> addr:int -> unit
+
+(** {1 Inspection} *)
+
+val site : t -> int
+val depth : t -> int
+
+(** Number of executions observed. *)
+val execs : t -> int
+
+(** False once the reference was marked non-analyzable. *)
+val analyzable : t -> bool
+
+(** Current constant term (the last re-based value). *)
+val const : t -> int
+
+(** Coefficients [C1..Cn], innermost first. *)
+val coeffs : t -> coeff array
+
+(** Number [m] of innermost iterators covered by the (partial) affine
+    expression; equals [depth] when the expression is full. *)
+val m : t -> int
+
+(** True when [m < depth] (at least one misprediction demoted it). *)
+val partial : t -> bool
+
+(** Mispredictions seen (0 for exactly-affine references). *)
+val mispredictions : t -> int
+
+(** The coefficients of the included iterators (innermost first): for
+    [i < m], [Known c] entries; [Unknown] coefficients inside the window
+    are reported as 0 (their iterator never changed, so any value fits). *)
+val included_terms : t -> int list
+
+(** [has_iterator t] is true when the (partial) expression includes at
+    least one iterator with a nonzero coefficient — the first condition of
+    the Step 4 purge. *)
+val has_iterator : t -> bool
+
+(** [predict t ~iters] evaluates the current expression (for testing). *)
+val predict : t -> iters:int array -> int

@@ -1,0 +1,12 @@
+type thresholds = { nexec : int; nloc : int }
+
+let default = { nexec = 20; nloc = 10 }
+
+let keep th (r : Looptree.refinfo) =
+  Affine.analyzable r.aff
+  && Affine.has_iterator r.aff
+  && Affine.execs r.aff >= th.nexec
+  && Foray_util.Iset.cardinal r.starts >= th.nloc
+
+let survivors th tree =
+  List.filter (fun (_, r) -> keep th r) (Looptree.refs tree)

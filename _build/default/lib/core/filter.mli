@@ -1,0 +1,23 @@
+(** Step 4 of Algorithm 1: purge uninteresting memory references.
+
+    A reference survives when it
+    - has a (partial) affine index expression including at least one
+      iterator with a nonzero coefficient (regular access pattern),
+    - executed at least [nexec] times, and
+    - addressed at least [nloc] distinct memory locations.
+
+    The paper uses [nexec = 20], [nloc = 10] to drop small arrays (better
+    handled by whole-object placement techniques) and references without
+    reuse. *)
+
+type thresholds = { nexec : int; nloc : int }
+
+(** The paper's values: [{ nexec = 20; nloc = 10 }]. *)
+val default : thresholds
+
+(** [keep th ref] decides survival of one reference. *)
+val keep : thresholds -> Looptree.refinfo -> bool
+
+(** [survivors th tree] lists surviving references with their nodes. *)
+val survivors :
+  thresholds -> Looptree.t -> (Looptree.node * Looptree.refinfo) list

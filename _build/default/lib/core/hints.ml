@@ -1,0 +1,66 @@
+type hint = {
+  lid : int;
+  func : string option;
+  contexts : int list list;
+  distinct_patterns : bool;
+}
+
+(* Signature of a node's captured access patterns: the multiset of
+   (site, coefficients) of its analyzable references. *)
+let pattern_sig (n : Looptree.node) =
+  n.Looptree.refs
+  |> List.filter (fun (r : Looptree.refinfo) -> Affine.analyzable r.aff)
+  |> List.map (fun (r : Looptree.refinfo) ->
+         (Affine.site r.aff, Affine.included_terms r.aff))
+  |> List.sort compare
+
+let duplication_hints ?(func_of_loop = fun _ -> None) tree =
+  let by_lid = Hashtbl.create 32 in
+  List.iter
+    (fun (n : Looptree.node) ->
+      let prev = Option.value (Hashtbl.find_opt by_lid n.lid) ~default:[] in
+      Hashtbl.replace by_lid n.lid (n :: prev))
+    (Looptree.nodes tree);
+  Hashtbl.fold
+    (fun lid nodes acc ->
+      match nodes with
+      | [] | [ _ ] -> acc
+      | nodes ->
+          let sigs = List.map pattern_sig nodes in
+          let distinct_patterns =
+            List.exists (fun s -> s <> List.hd sigs) (List.tl sigs)
+          in
+          {
+            lid;
+            func = func_of_loop lid;
+            contexts = List.map Looptree.path (List.rev nodes);
+            distinct_patterns;
+          }
+          :: acc)
+    by_lid []
+  |> List.sort (fun a b -> compare a.lid b.lid)
+
+let to_string hints =
+  if hints = [] then "no duplication hints\n"
+  else
+    String.concat ""
+      (List.map
+         (fun h ->
+           let where =
+             match h.func with
+             | Some f -> Printf.sprintf "loop %d (in %s)" h.lid f
+             | None -> Printf.sprintf "loop %d" h.lid
+           in
+           Printf.sprintf
+             "%s appears in %d contexts%s: consider duplicating the enclosing \
+              function\n  contexts: %s\n"
+             where
+             (List.length h.contexts)
+             (if h.distinct_patterns then " with DIFFERENT access patterns"
+              else " (same access pattern)")
+             (String.concat "; "
+                (List.map
+                   (fun p ->
+                     "[" ^ String.concat ">" (List.map string_of_int p) ^ "]")
+                   h.contexts)))
+         hints)

@@ -1,0 +1,24 @@
+(** Inter-function optimization hints (§4, "Inter-function optimizations").
+
+    The FORAY model has no function hierarchy: a loop reached through two
+    different dynamic contexts appears twice. When that happens the access
+    patterns in the two copies may differ, and the paper suggests
+    duplicating (specializing) the enclosing function so each call site can
+    be optimized separately — Figure 9's example. *)
+
+type hint = {
+  lid : int;  (** the loop that was dynamically inlined in several places *)
+  func : string option;  (** enclosing function, when known *)
+  contexts : int list list;  (** loop-id path of each distinct context *)
+  distinct_patterns : bool;
+      (** true when at least two contexts captured references whose index
+          expressions differ — the strong signal of Figure 9 *)
+}
+
+(** [duplication_hints ?func_of_loop tree] finds loops materialized under
+    more than one dynamic context. *)
+val duplication_hints :
+  ?func_of_loop:(int -> string option) -> Looptree.t -> hint list
+
+(** Renders hints for the CLI / examples. *)
+val to_string : hint list -> string

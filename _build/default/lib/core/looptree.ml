@@ -1,0 +1,182 @@
+module Event = Foray_trace.Event
+module Iset = Foray_util.Iset
+
+type node = {
+  uid : int;
+  lid : int;
+  depth : int;
+  parent : node option;
+  mutable children : node list;
+  mutable refs : refinfo list;
+  mutable iter : int;
+  mutable entries : int;
+  mutable trip_min : int;
+  mutable trip_max : int;
+  mutable trip_total : int;
+}
+
+and refinfo = {
+  aff : Affine.t;
+  mutable footprint : Iset.t;
+  mutable starts : Iset.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable sys : bool;
+  mutable width_max : int;
+}
+
+type t = {
+  root : node;
+  mutable cur : node;
+  mutable next_uid : int;
+  (* (node uid, site) -> reference; (node uid, lid) -> child node *)
+  ref_tbl : (int * int, refinfo) Hashtbl.t;
+  node_tbl : (int * int, node) Hashtbl.t;
+  mutable n_nodes : int;
+}
+
+let mk_node ~uid ~lid ~depth ~parent =
+  {
+    uid;
+    lid;
+    depth;
+    parent;
+    children = [];
+    refs = [];
+    iter = -1;
+    entries = 0;
+    trip_min = max_int;
+    trip_max = 0;
+    trip_total = 0;
+  }
+
+let create () =
+  let root = mk_node ~uid:0 ~lid:0 ~depth:0 ~parent:None in
+  {
+    root;
+    cur = root;
+    next_uid = 1;
+    ref_tbl = Hashtbl.create 256;
+    node_tbl = Hashtbl.create 64;
+    n_nodes = 0;
+  }
+
+let record_trip n =
+  (* iter+1 is the trip count of this entry (-1 -> body never ran). *)
+  let trip = n.iter + 1 in
+  if trip < n.trip_min then n.trip_min <- trip;
+  if trip > n.trip_max then n.trip_max <- trip;
+  n.trip_total <- n.trip_total + trip
+
+let rec pop_to t lid =
+  (* Pop abandoned nodes until the current node's lid matches or the root
+     is reached (checkpoint of a loop we never saw entered). *)
+  if t.cur.lid <> lid then
+    match t.cur.parent with
+    | Some p ->
+        record_trip t.cur;
+        t.cur <- p;
+        pop_to t lid
+    | None -> ()
+
+let enter t lid =
+  let key = (t.cur.uid, lid) in
+  let n =
+    match Hashtbl.find_opt t.node_tbl key with
+    | Some n -> n
+    | None ->
+        let n =
+          mk_node ~uid:t.next_uid ~lid ~depth:(t.cur.depth + 1)
+            ~parent:(Some t.cur)
+        in
+        t.next_uid <- t.next_uid + 1;
+        t.cur.children <- t.cur.children @ [ n ];
+        Hashtbl.add t.node_tbl key n;
+        t.n_nodes <- t.n_nodes + 1;
+        n
+  in
+  n.iter <- -1;
+  n.entries <- n.entries + 1;
+  t.cur <- n
+
+let iter_vector node =
+  (* Iterator values innermost-first along the path to the root. *)
+  let v = Array.make node.depth 0 in
+  let rec fill n i =
+    match n.parent with
+    | None -> ()
+    | Some p ->
+        v.(i) <- n.iter;
+        fill p (i + 1)
+  in
+  fill node 0;
+  v
+
+let observe_access t (a : Event.access) =
+  let node = t.cur in
+  let key = (node.uid, a.site) in
+  let info =
+    match Hashtbl.find_opt t.ref_tbl key with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            aff = Affine.create ~site:a.site ~depth:node.depth;
+            footprint = Iset.empty;
+            starts = Iset.empty;
+            reads = 0;
+            writes = 0;
+            sys = a.sys;
+            width_max = a.width;
+          }
+        in
+        Hashtbl.add t.ref_tbl key r;
+        node.refs <- node.refs @ [ r ];
+        r
+  in
+  Affine.observe info.aff ~iters:(iter_vector node) ~addr:a.addr;
+  info.footprint <- Iset.add_range a.addr (a.addr + a.width) info.footprint;
+  info.starts <- Iset.add a.addr info.starts;
+  if a.write then info.writes <- info.writes + 1 else info.reads <- info.reads + 1;
+  if a.sys then info.sys <- true;
+  if a.width > info.width_max then info.width_max <- a.width
+
+let sink t : Event.sink = function
+  | Event.Access a -> observe_access t a
+  | Event.Checkpoint { loop; kind } -> (
+      match kind with
+      | Event.Loop_enter -> enter t loop
+      | Event.Body_enter ->
+          pop_to t loop;
+          if t.cur.lid = loop then t.cur.iter <- t.cur.iter + 1
+          else enter t loop (* defensive: body without a preceding enter *)
+      | Event.Body_exit -> pop_to t loop
+      | Event.Loop_exit ->
+          pop_to t loop;
+          if t.cur.lid = loop then begin
+            record_trip t.cur;
+            match t.cur.parent with
+            | Some p -> t.cur <- p
+            | None -> ()
+          end)
+
+let root t = t.root
+
+let nodes t =
+  let acc = ref [] in
+  let rec go n =
+    if n.uid <> 0 then acc := n :: !acc;
+    List.iter go n.children
+  in
+  go t.root;
+  List.rev !acc
+
+let refs t =
+  List.concat_map
+    (fun n -> List.map (fun r -> (n, r)) n.refs)
+    (t.root :: nodes t)
+
+let rec path n =
+  match n.parent with None -> [] | Some p -> path p @ [ n.lid ]
+
+let n_nodes t = t.n_nodes

@@ -1,0 +1,66 @@
+(** Algorithm 2: reconstruction of the dynamic loop/reference structure of a
+    program from its profile trace.
+
+    The structure is a tree of loop nodes under a synthetic root. A node is
+    identified by its loop id {e and} its position: the same static loop
+    reached through two different dynamic contexts (e.g. a function called
+    from two different loops) yields two distinct nodes — this is how
+    functions "appear to be inlined" in the FORAY model and where the
+    inter-function duplication hints come from (§4 of the paper).
+
+    Each loop node maintains its current iteration counter; each memory
+    reference observed while a node is current is attached to that node and
+    fed, together with the current iterator vector of the enclosing nodes
+    (innermost first), to its {!Affine} solver. The walker is a trace
+    {e sink}, so analysis runs online during simulation: no trace is stored
+    and space is proportional to the tree, not the trace (§4). *)
+
+type node = {
+  uid : int;  (** unique node stamp; 0 for the root *)
+  lid : int;  (** loop id; 0 for the root *)
+  depth : int;  (** 0 for the root *)
+  parent : node option;
+  mutable children : node list;  (** in first-encountered order *)
+  mutable refs : refinfo list;  (** references attached to this node *)
+  mutable iter : int;  (** current iteration counter *)
+  mutable entries : int;  (** times this loop was entered *)
+  mutable trip_min : int;
+  mutable trip_max : int;
+  mutable trip_total : int;
+}
+
+and refinfo = {
+  aff : Affine.t;
+  mutable footprint : Foray_util.Iset.t;  (** distinct bytes touched *)
+  mutable starts : Foray_util.Iset.t;  (** distinct start addresses *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable sys : bool;
+  mutable width_max : int;
+}
+
+type t
+
+(** A fresh walker. *)
+val create : unit -> t
+
+(** The event sink implementing Algorithm 2 (plus Algorithm 3 per access).
+    Robust to missing [body_exit]/[loop_exit] checkpoints from [break],
+    [continue] or [return]: any checkpoint for a loop below the current
+    position pops abandoned nodes. *)
+val sink : t -> Foray_trace.Event.sink
+
+(** The root node (inspect after the trace has been consumed). *)
+val root : t -> node
+
+(** All loop nodes, pre-order. *)
+val nodes : t -> node list
+
+(** All references across nodes, each with its owning node. *)
+val refs : t -> (node * refinfo) list
+
+(** The loop-id path from the root (exclusive) down to a node. *)
+val path : node -> int list
+
+(** Number of loop nodes (excluding the root). *)
+val n_nodes : t -> int

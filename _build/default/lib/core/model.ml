@@ -1,0 +1,218 @@
+module Iset = Foray_util.Iset
+
+type mref = {
+  site : int;
+  const : int;
+  terms : (int * int) list;
+  partial : bool;
+  depth : int;
+  m : int;
+  execs : int;
+  footprint : int;
+  locations : int;
+  reads : int;
+  writes : int;
+  width : int;
+}
+
+type mloop = {
+  lid : int;
+  kind : string option;
+  trip : int;
+  trip_min : int;
+  entries : int;
+  refs : mref list;
+  subs : mloop list;
+}
+
+type t = { loops : mloop list; sites : int list }
+
+let mref_of_info (node : Looptree.node) (r : Looptree.refinfo) =
+  let aff = r.aff in
+  (* Loop ids along the path, innermost first, to pair with coefficients. *)
+  let rec lids n acc =
+    match n.Looptree.parent with
+    | None -> acc
+    | Some p -> lids p (acc @ [ n.Looptree.lid ])
+  in
+  let lid_by_level = lids node [] in
+  let included = Affine.included_terms aff in
+  let terms =
+    List.filteri (fun i _ -> i < Affine.m aff) lid_by_level
+    |> List.map2 (fun c lid -> (c, lid)) included
+    |> List.filter (fun (c, _) -> c <> 0)
+  in
+  {
+    site = Affine.site aff;
+    const = Affine.const aff;
+    terms;
+    partial = Affine.partial aff;
+    depth = Affine.depth aff;
+    m = Affine.m aff;
+    execs = Affine.execs aff;
+    footprint = Iset.cardinal r.footprint;
+    locations = Iset.cardinal r.starts;
+    reads = r.reads;
+    writes = r.writes;
+    width = r.width_max;
+  }
+
+let of_tree ?(thresholds = Filter.default) ?(loop_kinds = []) tree =
+  let kind_of lid = List.assoc_opt lid loop_kinds in
+  let sites = Hashtbl.create 64 in
+  (* Build the pruned loop forest: keep nodes whose subtree has survivors. *)
+  let rec build (n : Looptree.node) : mloop option =
+    let refs =
+      List.filter (Filter.keep thresholds) n.Looptree.refs
+      |> List.map (mref_of_info n)
+    in
+    let subs = List.filter_map build n.Looptree.children in
+    if refs = [] && subs = [] then None
+    else begin
+      List.iter (fun r -> Hashtbl.replace sites r.site ()) refs;
+      Some
+        {
+          lid = n.Looptree.lid;
+          kind = kind_of n.Looptree.lid;
+          trip = (if n.Looptree.trip_max > 0 then n.Looptree.trip_max else n.Looptree.iter + 1);
+          trip_min =
+            (if n.Looptree.trip_min = max_int then n.Looptree.iter + 1
+             else n.Looptree.trip_min);
+          entries = n.Looptree.entries;
+          refs;
+          subs;
+        }
+    end
+  in
+  let loops = List.filter_map build (Looptree.root tree).Looptree.children in
+  (* references directly at the root (outside any loop) can never pass the
+     has-iterator filter, so the forest covers everything. *)
+  let sites = Hashtbl.fold (fun s () acc -> s :: acc) sites [] in
+  { loops; sites = List.sort compare sites }
+
+let rec loops_in l = 1 + List.fold_left (fun a s -> a + loops_in s) 0 l.subs
+let n_loops t = List.fold_left (fun a l -> a + loops_in l) 0 t.loops
+
+let rec refs_in l =
+  List.length l.refs + List.fold_left (fun a s -> a + refs_in s) 0 l.subs
+
+let n_refs t = List.fold_left (fun a l -> a + refs_in l) 0 t.loops
+
+let rec accesses_in l =
+  List.fold_left (fun a (r : mref) -> a + r.execs) 0 l.refs
+  + List.fold_left (fun a s -> a + accesses_in s) 0 l.subs
+
+let accesses t = List.fold_left (fun a l -> a + accesses_in l) 0 t.loops
+
+let all_refs t =
+  let rec go chain l =
+    let chain = chain @ [ l ] in
+    List.map (fun r -> (chain, r)) l.refs
+    @ List.concat_map (go chain) l.subs
+  in
+  List.concat_map (go []) t.loops
+
+let array_name site = Printf.sprintf "A%x" site
+
+let expr_of_ref r =
+  let terms =
+    List.map (fun (c, lid) -> Printf.sprintf "%d*i%d" c lid) r.terms
+  in
+  String.concat " + " (string_of_int r.const :: terms)
+
+let to_c t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "/* FORAY model extracted by FORAY-GEN */\n";
+  List.iter
+    (fun site ->
+      Buffer.add_string buf (Printf.sprintf "char %s[1];\n" (array_name site)))
+    t.sites;
+  Buffer.add_string buf "int main() {\n";
+  let rec emit indent l =
+    let pad = String.make (2 * indent) ' ' in
+    let trip_note =
+      if l.trip_min <> l.trip then
+        Printf.sprintf " /* trips %d..%d over %d entries */" l.trip_min l.trip
+          l.entries
+      else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%sfor (int i%d = 0; i%d < %d; i%d++) {%s\n" pad l.lid
+         l.lid l.trip l.lid trip_note);
+    List.iter
+      (fun r ->
+        let note =
+          if r.partial then
+            Printf.sprintf " /* partial: base varies with %d outer loop(s) */"
+              (r.depth - r.m)
+          else ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s  %s[%s];%s\n" pad (array_name r.site)
+             (expr_of_ref r) note))
+      l.refs;
+    List.iter (emit (indent + 1)) l.subs;
+    Buffer.add_string buf (pad ^ "}\n")
+  in
+  List.iter (emit 1) t.loops;
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf
+
+(* Executable emission: re-base every site's references to a zero-origin
+   array sized to the touched span. *)
+let to_c_exec t =
+  let refs = all_refs t in
+  (* per site: minimum and maximum address the expressions can produce *)
+  let bounds = Hashtbl.create 16 in
+  List.iter
+    (fun (chain, r) ->
+      let trip_of lid =
+        match List.find_opt (fun (l : mloop) -> l.lid = lid) chain with
+        | Some l -> max 1 l.trip
+        | None -> 1
+      in
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) (c, lid) ->
+            let span = c * (trip_of lid - 1) in
+            if c < 0 then (lo + span, hi) else (lo, hi + span))
+          (r.const, r.const + r.width)
+          r.terms
+      in
+      let lo', hi' =
+        match Hashtbl.find_opt bounds r.site with
+        | Some (a, b) -> (min a lo, max b hi)
+        | None -> (lo, hi)
+      in
+      Hashtbl.replace bounds r.site (lo', hi'))
+    refs;
+  let base site = fst (Hashtbl.find bounds site) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "/* executable FORAY model (arrays re-based to 0) */\n";
+  List.iter
+    (fun site ->
+      match Hashtbl.find_opt bounds site with
+      | Some (lo, hi) ->
+          Buffer.add_string buf
+            (Printf.sprintf "char %s[%d];\n" (array_name site) (max 1 (hi - lo)))
+      | None -> ())
+    t.sites;
+  Buffer.add_string buf "int main() {\n";
+  let rec emit indent l =
+    let pad = String.make (2 * indent) ' ' in
+    Buffer.add_string buf
+      (Printf.sprintf "%sfor (int i%d = 0; i%d < %d; i%d++) {\n" pad l.lid
+         l.lid (max 1 l.trip) l.lid);
+    List.iter
+      (fun r ->
+        let rebased = { r with const = r.const - base r.site } in
+        Buffer.add_string buf
+          (Printf.sprintf "%s  %s[%s];\n" pad (array_name r.site)
+             (expr_of_ref rebased)))
+      l.refs;
+    List.iter (emit (indent + 1)) l.subs;
+    Buffer.add_string buf (pad ^ "}\n")
+  in
+  List.iter (emit 1) t.loops;
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf

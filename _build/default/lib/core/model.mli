@@ -1,0 +1,85 @@
+(** The FORAY model: a program of [for] loops and array references with
+    (partial) affine index expressions, extracted from a profile trace.
+
+    This is the output of FORAY-GEN (Phase I of the design flow) and the
+    input of the SPM analyses (Phase II). Index expressions are in bytes
+    and constants are absolute simulated addresses, exactly as in the
+    paper's Figures 2 and 4(d). *)
+
+type mref = {
+  site : int;  (** static reference id; names the array [A<site-hex>] *)
+  const : int;  (** constant term (absolute base address) *)
+  terms : (int * int) list;
+      (** (coefficient, loop id) for each included iterator, innermost
+          first; zero coefficients are dropped *)
+  partial : bool;  (** true when the expression covers only the innermost
+                       [m < n] iterators and the base varies with the rest *)
+  depth : int;  (** loop nest level n *)
+  m : int;  (** iterators covered by the expression *)
+  execs : int;
+  footprint : int;  (** distinct bytes touched *)
+  locations : int;  (** distinct start addresses *)
+  reads : int;
+  writes : int;
+  width : int;  (** access width in bytes *)
+}
+
+type mloop = {
+  lid : int;
+  kind : string option;  (** "for"/"while"/"do" of the original loop *)
+  trip : int;  (** maximum observed trip count *)
+  trip_min : int;
+  entries : int;  (** times the loop was entered *)
+  refs : mref list;
+  subs : mloop list;
+}
+
+type t = {
+  loops : mloop list;  (** top-level model loops *)
+  sites : int list;  (** distinct sites captured, ascending *)
+}
+
+(** [of_tree ~thresholds ~loop_kinds tree] filters references (Step 4) and
+    prunes loop nodes whose subtree captured nothing. [loop_kinds] maps
+    original loop ids to "for"/"while"/"do" (from
+    {!Foray_instrument.Annotate.loop_table}). *)
+val of_tree :
+  ?thresholds:Filter.thresholds ->
+  ?loop_kinds:(int * string) list ->
+  Looptree.t ->
+  t
+
+(** Total loops in the model (nested included). *)
+val n_loops : t -> int
+
+(** Total references in the model (a site reached through two contexts
+    counts twice, mirroring the paper's inlined accounting). *)
+val n_refs : t -> int
+
+(** Sum of [execs] over model references. *)
+val accesses : t -> int
+
+(** All references, paired with their enclosing loop chain (outermost
+    first). *)
+val all_refs : t -> (mloop list * mref) list
+
+(** [to_c model] renders the model as a compilable MiniC program in the
+    style of Figure 4(d): one [char A<site>\[\]] declaration per captured
+    site and a [main] of perfectly nested [for] loops whose bodies are the
+    array references. Partial references carry a comment noting that their
+    base varies with the outer loops. *)
+val to_c : t -> string
+
+(** Renders one reference's index expression, e.g.
+    ["2147440948 + 1*i15 + 103*i12"]. *)
+val expr_of_ref : mref -> string
+
+(** [to_c_exec model] renders an {e executable} variant of the model: each
+    captured array is re-based to offset 0 and declared with exactly the
+    bytes the model touches, so the program runs on the simulator. Running
+    FORAY-GEN on this output recovers the same affine coefficients — the
+    model is a fixpoint of the extraction (see the fixpoint test). *)
+val to_c_exec : t -> string
+
+(** Array name for a site, e.g. ["A4002a0"]. *)
+val array_name : int -> string

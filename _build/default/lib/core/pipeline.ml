@@ -1,0 +1,82 @@
+module Ast = Minic.Ast
+module Interp = Minic_sim.Interp
+module Event = Foray_trace.Event
+module Tstats = Foray_trace.Tstats
+module Annotate = Foray_instrument.Annotate
+
+type result = {
+  program : Ast.program;
+  instrumented : Ast.program;
+  tree : Looptree.t;
+  model : Model.t;
+  tstats : Tstats.t;
+  sim : Interp.result;
+  loop_kinds : (int * string) list;
+  func_of_loop : int -> string option;
+  thresholds : Filter.thresholds;
+}
+
+let loop_functions (prog : Ast.program) =
+  List.concat_map
+    (function
+      | Ast.Gvar _ -> []
+      | Ast.Gfunc f ->
+          let acc = ref [] in
+          let rec go st =
+            if Ast.is_loop st then acc := (st.Ast.sid, f.fname) :: !acc;
+            match st.Ast.s with
+            | Ast.Sif (_, a, b) ->
+                List.iter go a;
+                List.iter go b
+            | Ast.Sfor (_, _, _, b) | Ast.Swhile (_, b) | Ast.Sdo (b, _)
+            | Ast.Sblock b ->
+                List.iter go b
+            | _ -> ()
+          in
+          List.iter go f.body;
+          List.rev !acc)
+    prog.Ast.globals
+
+let finish ~thresholds ~program ~instrumented ~loop_kinds tree tstats sim =
+  let model = Model.of_tree ~thresholds ~loop_kinds tree in
+  let funcs = loop_functions program in
+  {
+    program;
+    instrumented;
+    tree;
+    model;
+    tstats;
+    sim;
+    loop_kinds;
+    func_of_loop = (fun lid -> List.assoc_opt lid funcs);
+    thresholds;
+  }
+
+let run ?(config = Interp.default_config) ?(thresholds = Filter.default) prog =
+  Minic.Sema.check_exn prog;
+  let instrumented = Annotate.program prog in
+  let loop_kinds = Annotate.loop_table prog in
+  let tree = Looptree.create () in
+  let tstats = Tstats.create () in
+  let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
+  let sim = Interp.run ~config instrumented ~sink in
+  finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree tstats sim
+
+let run_source ?config ?thresholds src =
+  run ?config ?thresholds (Minic.Parser.program src)
+
+let run_offline ?(config = Interp.default_config)
+    ?(thresholds = Filter.default) prog =
+  Minic.Sema.check_exn prog;
+  let instrumented = Annotate.program prog in
+  let loop_kinds = Annotate.loop_table prog in
+  let sim, trace = Interp.run_to_trace ~config instrumented in
+  (* Replay the stored trace through the analyzers. *)
+  let tree = Looptree.create () in
+  let tstats = Tstats.create () in
+  let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
+  List.iter sink trace;
+  ( finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree tstats sim,
+    trace )
+
+let hints r = Hints.duplication_hints ~func_of_loop:r.func_of_loop r.tree

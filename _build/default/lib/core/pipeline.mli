@@ -1,0 +1,52 @@
+(** The end-to-end FORAY-GEN flow (Algorithm 1).
+
+    [Source -> parse -> sema -> annotate (Step 1) -> simulate (Step 2,
+    online analysis = Steps 3.1/3.2) -> purge (Step 4) -> FORAY model],
+    with trace statistics collected on the side for Table III.
+
+    The analysis consumes the simulator's event stream directly (online
+    mode); {!run_offline} instead materializes the trace and replays it,
+    which the tests use to show both modes agree. *)
+
+type result = {
+  program : Minic.Ast.program;  (** the pristine parse *)
+  instrumented : Minic.Ast.program;
+  tree : Looptree.t;
+  model : Model.t;
+  tstats : Foray_trace.Tstats.t;  (** per-site totals over the whole trace *)
+  sim : Minic_sim.Interp.result;
+  loop_kinds : (int * string) list;  (** loop id -> for/while/do *)
+  func_of_loop : int -> string option;
+  thresholds : Filter.thresholds;
+}
+
+(** [run ?config ?thresholds prog] executes the full flow on a parsed
+    program.
+    @raise Failure when semantic checking fails.
+    @raise Minic_sim.Interp.Runtime_error when simulation fails. *)
+val run :
+  ?config:Minic_sim.Interp.config ->
+  ?thresholds:Filter.thresholds ->
+  Minic.Ast.program ->
+  result
+
+(** [run_source ?config ?thresholds src] parses and runs. *)
+val run_source :
+  ?config:Minic_sim.Interp.config ->
+  ?thresholds:Filter.thresholds ->
+  string ->
+  result
+
+(** Offline variant: simulate to a stored trace, then analyze the trace.
+    Returns the result and the trace. *)
+val run_offline :
+  ?config:Minic_sim.Interp.config ->
+  ?thresholds:Filter.thresholds ->
+  Minic.Ast.program ->
+  result * Foray_trace.Event.event list
+
+(** Duplication hints for the analyzed program (Figure 9). *)
+val hints : result -> Hints.hint list
+
+(** Map each loop id to the name of the function containing it. *)
+val loop_functions : Minic.Ast.program -> (int * string) list

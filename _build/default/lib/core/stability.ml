@@ -1,0 +1,102 @@
+type classification = Stable | Trip_varies | Input_dependent
+
+type ref_stability = {
+  site : int;
+  path : int list;
+  classification : classification;
+  seen_in : int;
+}
+
+type report = {
+  runs : int;
+  refs : ref_stability list;
+  stable : int;
+  trip_varies : int;
+  input_dependent : int;
+}
+
+(* Identity of a reference across runs: its loop-id path plus site.
+   Signature of its behaviour: coefficients, partiality and trips. *)
+type sighting = {
+  terms : (int * int) list;
+  partial : bool;
+  trips : int list;
+}
+
+let sightings_of model =
+  List.map
+    (fun (chain, (mr : Model.mref)) ->
+      let path = List.map (fun (l : Model.mloop) -> l.lid) chain in
+      ( (path, mr.site),
+        { terms = mr.terms; partial = mr.partial;
+          trips = List.map (fun (l : Model.mloop) -> l.trip) chain } ))
+    (Model.all_refs model)
+
+let study ?(thresholds = Filter.default) ~seeds prog =
+  if List.length seeds < 2 then invalid_arg "Stability.study: need >= 2 seeds";
+  let models =
+    List.map
+      (fun seed ->
+        let config = { Minic_sim.Interp.default_config with rand_seed = seed } in
+        (Pipeline.run ~config ~thresholds prog).model)
+      seeds
+  in
+  let runs = List.length models in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun (key, s) ->
+          let prev = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+          Hashtbl.replace tbl key (s :: prev))
+        (sightings_of model))
+    models;
+  let refs =
+    Hashtbl.fold
+      (fun (path, site) sightings acc ->
+        let seen_in = List.length sightings in
+        let first = List.hd sightings in
+        let classification =
+          if seen_in < runs then Input_dependent
+          else if
+            List.for_all
+              (fun s -> s.terms = first.terms && s.partial = first.partial)
+              sightings
+          then
+            if List.for_all (fun s -> s.trips = first.trips) sightings then
+              Stable
+            else Trip_varies
+          else Input_dependent
+        in
+        { site; path; classification; seen_in } :: acc)
+      tbl []
+    |> List.sort compare
+  in
+  let count c = List.length (List.filter (fun r -> r.classification = c) refs) in
+  {
+    runs;
+    refs;
+    stable = count Stable;
+    trip_varies = count Trip_varies;
+    input_dependent = count Input_dependent;
+  }
+
+let to_string rep =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "%d reference(s) across %d runs: %d stable, %d trip-varying, %d \
+     input-dependent\n"
+    (List.length rep.refs) rep.runs rep.stable rep.trip_varies
+    rep.input_dependent;
+  List.iter
+    (fun r ->
+      if r.classification <> Stable then
+        Printf.bprintf b "  site %x at [%s]: %s (seen in %d/%d runs)\n" r.site
+          (String.concat ">" (List.map string_of_int r.path))
+          (match r.classification with
+          | Stable -> "stable"
+          | Trip_varies -> "trip counts vary"
+          | Input_dependent -> "input-dependent")
+          r.seen_in rep.runs)
+    rep.refs;
+  Buffer.contents b

@@ -1,0 +1,43 @@
+(** Input-dependence of FORAY models — the paper's stated future work
+    ("study the interdependency of the FORAY models on the input data set
+    used for profiling").
+
+    A FORAY model is extracted from one profiling run; a reference is only
+    trustworthy for optimization if its affine shape survives across
+    inputs. This module extracts models under several inputs (here: seeds
+    of the simulator's [mc_rand] builtin, the only input source of the
+    workloads) and classifies each reference:
+
+    - {e stable}: present in every model with identical coefficients and
+      trip counts — safe for static SPM placement;
+    - {e coefficient-stable}: same coefficients, different trip counts —
+      buffers are safe, sizes need the worst case;
+    - {e input-dependent}: present in only some models or with different
+      coefficients — needs guarding. *)
+
+type classification = Stable | Trip_varies | Input_dependent
+
+type ref_stability = {
+  site : int;
+  path : int list;
+  classification : classification;
+  seen_in : int;  (** number of runs whose model contains this reference *)
+}
+
+type report = {
+  runs : int;
+  refs : ref_stability list;
+  stable : int;
+  trip_varies : int;
+  input_dependent : int;
+}
+
+(** [study ?thresholds ~seeds prog] extracts one model per seed and
+    compares them. At least two seeds required. *)
+val study :
+  ?thresholds:Filter.thresholds ->
+  seeds:int list ->
+  Minic.Ast.program ->
+  report
+
+val to_string : report -> string

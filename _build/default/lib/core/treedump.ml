@@ -1,0 +1,51 @@
+let render ?(loop_kinds = []) ?(show_all = false) tree =
+  let buf = Buffer.create 1024 in
+  let kind lid =
+    match List.assoc_opt lid loop_kinds with
+    | Some k -> k ^ " "
+    | None -> ""
+  in
+  let ref_line indent (r : Looptree.refinfo) =
+    let aff = r.aff in
+    if show_all || Affine.has_iterator aff then begin
+      let state =
+        if not (Affine.analyzable aff) then "non-analyzable"
+        else begin
+          let terms =
+            List.mapi
+              (fun i c -> Printf.sprintf "%d*it%d" c (i + 1))
+              (Affine.included_terms aff)
+            |> List.filter (fun s -> not (String.length s > 0 && s.[0] = '0'))
+          in
+          let expr =
+            String.concat " + " (string_of_int (Affine.const aff) :: terms)
+          in
+          if Affine.partial aff then
+            Printf.sprintf "partial[%d/%d] %s" (Affine.m aff)
+              (Affine.depth aff) expr
+          else expr
+        end
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%sref %x: %s  (%d execs, %d locs, %dr/%dw)\n" indent
+           (Affine.site aff) state (Affine.execs aff)
+           (Foray_util.Iset.cardinal r.starts)
+           r.reads r.writes)
+    end
+  in
+  let rec node indent (n : Looptree.node) =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%sloop %d: %d entr%s, trips %d..%d\n" indent
+         (kind n.lid) n.lid n.entries
+         (if n.entries = 1 then "y" else "ies")
+         (if n.trip_min = max_int then 0 else n.trip_min)
+         n.trip_max);
+    List.iter (ref_line (indent ^ "  ")) n.refs;
+    List.iter (node (indent ^ "  ")) n.children
+  in
+  let root = Looptree.root tree in
+  Buffer.add_string buf
+    (Printf.sprintf "program (%d loop nodes)\n" (Looptree.n_nodes tree));
+  List.iter (ref_line "  ") root.refs;
+  List.iter (node "  ") root.children;
+  Buffer.contents buf

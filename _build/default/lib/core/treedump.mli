@@ -1,0 +1,15 @@
+(** Human-readable rendering of the reconstructed dynamic loop tree —
+    the data structure behind Algorithm 2, as a designer would inspect it
+    when deciding what to back-annotate (Phase III is manual in the paper,
+    so readable analysis output matters). *)
+
+(** [render ?loop_kinds ?show_all tree] draws the tree with one line per
+    loop node (kind, trips, entries) and per reference (site, expression
+    state, executions, locations). With [show_all] false (default) only
+    references with at least one iterator are listed, hiding scalar
+    noise. *)
+val render :
+  ?loop_kinds:(int * string) list ->
+  ?show_all:bool ->
+  Looptree.t ->
+  string

@@ -1,0 +1,146 @@
+module Event = Foray_trace.Event
+
+type ref_report = {
+  site : int;
+  path : int list;
+  checked : int;
+  exact : int;
+  rebases : int;
+}
+
+type report = { refs : ref_report list; covered : int; uncovered : int }
+
+let accuracy r = if r.checked = 0 then 1.0 else float_of_int r.exact /. float_of_int r.checked
+
+let overall rep =
+  let checked = List.fold_left (fun a r -> a + r.checked) 0 rep.refs in
+  let exact = List.fold_left (fun a r -> a + r.exact) 0 rep.refs in
+  if checked = 0 then 1.0 else float_of_int exact /. float_of_int checked
+
+(* Mutable prediction state per model reference. *)
+type cell = {
+  mref : Model.mref;
+  rpath : int list;
+  mutable const : int;  (** re-based constant for partial refs *)
+  mutable seen : bool;
+  mutable checked : int;
+  mutable exact : int;
+  mutable rebases : int;
+}
+
+type walker = {
+  table : (string, cell) Hashtbl.t;  (** key: path + site *)
+  mutable stack : (int * int ref) list;  (** (lid, iter), innermost first *)
+  mutable covered : int;
+  mutable uncovered : int;
+}
+
+let key path site =
+  String.concat ">" (List.map string_of_int path) ^ "@" ^ string_of_int site
+
+let build (model : Model.t) =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (chain, (mref : Model.mref)) ->
+      let path = List.map (fun (l : Model.mloop) -> l.lid) chain in
+      Hashtbl.replace table (key path mref.site)
+        { mref; rpath = path; const = mref.const; seen = false; checked = 0;
+          exact = 0; rebases = 0 })
+    (Model.all_refs model);
+  { table; stack = []; covered = 0; uncovered = 0 }
+
+let on_event w = function
+  | Event.Checkpoint { loop; kind } -> (
+      match kind with
+      | Event.Loop_enter -> w.stack <- (loop, ref (-1)) :: w.stack
+      | Event.Body_enter ->
+          if List.exists (fun (l, _) -> l = loop) w.stack then begin
+            (* pop abandoned levels, as in Algorithm 2 *)
+            let rec pop = function
+              | (l, it) :: rest when l = loop ->
+                  incr it;
+                  (l, it) :: rest
+              | _ :: rest -> pop rest
+              | [] -> assert false
+            in
+            w.stack <- pop w.stack
+          end
+          else w.stack <- (loop, ref 0) :: w.stack
+      | Event.Body_exit ->
+          if List.exists (fun (l, _) -> l = loop) w.stack then begin
+            let rec pop = function
+              | (l, _) :: _ as s when l = loop -> s
+              | _ :: rest -> pop rest
+              | [] -> assert false
+            in
+            w.stack <- pop w.stack
+          end
+      | Event.Loop_exit ->
+          if List.exists (fun (l, _) -> l = loop) w.stack then begin
+            let rec pop = function
+              | (l, _) :: rest when l = loop -> rest
+              | _ :: rest -> pop rest
+              | [] -> assert false
+            in
+            w.stack <- pop w.stack
+          end)
+  | Event.Access { site; addr; _ } -> (
+      let path = List.rev_map fst w.stack in
+      match Hashtbl.find_opt w.table (key path site) with
+      | None -> w.uncovered <- w.uncovered + 1
+      | Some cell ->
+          w.covered <- w.covered + 1;
+          (* iterator value for a loop id, innermost occurrence first *)
+          let iter_of lid =
+            match List.find_opt (fun (l, _) -> l = lid) w.stack with
+            | Some (_, it) -> !it
+            | None -> 0
+          in
+          let predicted =
+            List.fold_left
+              (fun acc (c, lid) -> acc + (c * iter_of lid))
+              cell.const cell.mref.terms
+          in
+          if not cell.seen then begin
+            (* align the constant with the first sighting in this run;
+               full affine refs keep it for the whole run *)
+            cell.seen <- true;
+            if predicted <> addr then cell.const <- cell.const + (addr - predicted)
+          end;
+          let predicted =
+            List.fold_left
+              (fun acc (c, lid) -> acc + (c * iter_of lid))
+              cell.const cell.mref.terms
+          in
+          cell.checked <- cell.checked + 1;
+          if predicted = addr then cell.exact <- cell.exact + 1
+          else begin
+            cell.rebases <- cell.rebases + 1;
+            cell.const <- cell.const + (addr - predicted)
+          end)
+
+let finish w =
+  let refs =
+    Hashtbl.fold
+      (fun _ c acc ->
+        {
+          site = c.mref.site;
+          path = c.rpath;
+          checked = c.checked;
+          exact = c.exact;
+          rebases = c.rebases;
+        }
+        :: acc)
+      w.table []
+    |> List.sort compare
+  in
+  { refs; covered = w.covered; uncovered = w.uncovered }
+
+let sink model =
+  let w = build model in
+  ((fun e -> on_event w e), fun () -> finish w)
+
+let replay model events =
+  let s, get = sink model in
+  List.iter s events;
+  get ()

@@ -1,0 +1,37 @@
+(** FORAY model validation: replay a trace against an extracted model and
+    measure how well each captured reference's affine expression predicts
+    the actual addresses.
+
+    Full affine references predict every access exactly by construction;
+    partial references mispredict once per outer-context change (the
+    constant term is re-based on each miss, exactly like Algorithm 3's
+    Step 6). The per-reference accuracy is therefore a direct measure of
+    how much behaviour the model abstracts away — the paper's stated
+    future-work question about model fidelity. *)
+
+type ref_report = {
+  site : int;
+  path : int list;  (** loop-id path identifying the context *)
+  checked : int;  (** accesses attributed to this model reference *)
+  exact : int;  (** predicted address equaled the actual address *)
+  rebases : int;  (** constant-term corrections (partial refs) *)
+}
+
+type report = {
+  refs : ref_report list;
+  covered : int;  (** accesses that matched a model reference *)
+  uncovered : int;  (** accesses outside the model *)
+}
+
+(** [accuracy r] is [exact / checked] in [0,1] (1.0 when never checked). *)
+val accuracy : ref_report -> float
+
+(** Overall exact-prediction ratio over covered accesses. *)
+val overall : report -> float
+
+(** [replay model events] walks the trace once. *)
+val replay : Model.t -> Foray_trace.Event.event list -> report
+
+(** A sink-based variant for online validation; call the returned function
+    after the run to obtain the report. *)
+val sink : Model.t -> Foray_trace.Event.sink * (unit -> report)

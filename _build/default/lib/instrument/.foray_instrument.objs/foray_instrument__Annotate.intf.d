@@ -1,0 +1,1 @@
+lib/instrument/annotate.mli: Minic

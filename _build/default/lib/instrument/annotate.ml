@@ -1,0 +1,61 @@
+open Minic.Ast
+
+(* Fresh negative statement ids for inserted nodes. *)
+let counter = ref 0
+
+let fresh_sid () =
+  decr counter;
+  !counter
+
+let ck loop kind = { s = Scheckpoint (loop, kind); sid = fresh_sid () }
+let blk stmts = { s = Sblock stmts; sid = fresh_sid () }
+
+let rec instr_stmt st =
+  match st.s with
+  | Sfor (i, c, s, body) ->
+      let lid = st.sid in
+      let body' = (ck lid Body_enter :: instr_block body) @ [ ck lid Body_exit ] in
+      blk
+        [ ck lid Loop_enter;
+          { st with s = Sfor (i, c, s, body') };
+          ck lid Loop_exit ]
+  | Swhile (c, body) ->
+      let lid = st.sid in
+      let body' = (ck lid Body_enter :: instr_block body) @ [ ck lid Body_exit ] in
+      blk
+        [ ck lid Loop_enter;
+          { st with s = Swhile (c, body') };
+          ck lid Loop_exit ]
+  | Sdo (body, c) ->
+      let lid = st.sid in
+      let body' = (ck lid Body_enter :: instr_block body) @ [ ck lid Body_exit ] in
+      blk
+        [ ck lid Loop_enter;
+          { st with s = Sdo (body', c) };
+          ck lid Loop_exit ]
+  | Sif (c, a, b) -> { st with s = Sif (c, instr_block a, instr_block b) }
+  | Sswitch (scrut, cases) ->
+      { st with
+        s =
+          Sswitch
+            ( scrut,
+              List.map
+                (fun (c : switch_case) -> { c with body = instr_block c.body })
+                cases ) }
+  | Sblock b -> { st with s = Sblock (instr_block b) }
+  | Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Scheckpoint _ -> st
+
+and instr_block b = List.map instr_stmt b
+
+let program p =
+  {
+    globals =
+      List.map
+        (function
+          | Gvar _ as g -> g
+          | Gfunc f -> Gfunc { f with body = instr_block f.body })
+        p.globals;
+  }
+
+let loop_table p =
+  List.map (fun st -> (st.sid, loop_kind st)) (loops p)

@@ -1,0 +1,31 @@
+(** Step 1 of Algorithm 1: checkpoint annotation.
+
+    Wraps every loop of the program with checkpoint markers, reproducing the
+    paper's Figure 4(b):
+
+    {v
+    { __checkpoint(L, loop_enter);
+      while (cond) {
+        __checkpoint(L, body_enter);
+        ...original body...
+        __checkpoint(L, body_exit);
+      }
+      __checkpoint(L, loop_exit);
+    }
+    v}
+
+    where [L] is the loop's statement id. [loop_exit] (our addition over the
+    paper's three checkpoint kinds) makes the trace analyzer robust to
+    [break]: the marker after the loop still executes when the body is left
+    early. Checkpoint statements are ordinary MiniC statements, so an
+    instrumented program prints, parses and simulates like any other. *)
+
+(** [program p] returns an instrumented copy of [p]. Already-present
+    checkpoints are preserved (instrumentation is not idempotent; apply it
+    to pristine programs). Statement ids of inserted checkpoints are fresh
+    negative numbers so they never collide with parser-assigned ids. *)
+val program : Minic.Ast.program -> Minic.Ast.program
+
+(** [loop_table p] maps each loop id of the pristine program to its loop
+    kind ("for" / "while" / "do"), for Table I style reporting. *)
+val loop_table : Minic.Ast.program -> (int * string) list

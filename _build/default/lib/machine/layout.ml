@@ -1,0 +1,48 @@
+type t = {
+  mutable gptr : int;
+  mutable hptr : int;
+  mutable sptr : int;
+}
+
+let global_base = 0x1000_0000
+let heap_base = 0x4000_0000
+let stack_base = 0x7fff_f000
+
+(* Segment capacity limits; generous for simulated workloads. *)
+let global_limit = 0x2000_0000
+let heap_limit = 0x6000_0000
+let stack_limit = 0x7000_0000
+
+exception Out_of_memory of string
+
+let create () = { gptr = global_base; hptr = heap_base; sptr = stack_base }
+
+let align_up a n = (a + n - 1) / n * n
+
+let alloc_global t ~size ~align =
+  let base = align_up t.gptr align in
+  if base + size > global_limit then raise (Out_of_memory "global segment");
+  t.gptr <- base + size;
+  base
+
+let alloc_heap t ~size =
+  let base = align_up t.hptr 8 in
+  if base + size > heap_limit then raise (Out_of_memory "heap");
+  t.hptr <- base + size;
+  base
+
+let alloc_stack t ~size ~align =
+  let base = t.sptr - size in
+  let base = base - (base mod align + align) mod align in
+  if base < stack_limit then raise (Out_of_memory "stack");
+  t.sptr <- base;
+  base
+
+let sp t = t.sptr
+let restore_sp t saved = t.sptr <- saved
+
+let segment_of addr =
+  if addr >= global_base && addr < global_limit then "global"
+  else if addr >= heap_base && addr < heap_limit then "heap"
+  else if addr >= stack_limit && addr < stack_base then "stack"
+  else "unmapped"

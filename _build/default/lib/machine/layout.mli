@@ -1,0 +1,40 @@
+(** Address-space layout of the simulated machine.
+
+    Three classic segments of a 32-bit embedded process:
+    - globals grow up from [global_base] (0x1000_0000),
+    - the heap grows up from [heap_base] (0x4000_0000),
+    - the stack grows down from [stack_base] (0x7fff_f000),
+
+    matching the address magnitudes visible in the paper's Figure 4(c)
+    (stack addresses around 0x7fff_xxxx, code around 0x0040_xxxx). *)
+
+type t
+
+val global_base : int
+val heap_base : int
+val stack_base : int
+
+exception Out_of_memory of string
+
+val create : unit -> t
+
+(** [alloc_global t ~size ~align] reserves [size] bytes in the global
+    segment and returns the base address. *)
+val alloc_global : t -> size:int -> align:int -> int
+
+(** [alloc_heap t ~size] models [malloc]; 8-byte aligned. *)
+val alloc_heap : t -> size:int -> int
+
+(** [alloc_stack t ~size ~align] pushes [size] bytes onto the stack and
+    returns the (lowest) address of the new object. *)
+val alloc_stack : t -> size:int -> align:int -> int
+
+(** Current stack pointer (for saving across calls). *)
+val sp : t -> int
+
+(** [restore_sp t saved] pops the stack back to a previously saved pointer. *)
+val restore_sp : t -> int -> unit
+
+(** [segment_of t addr] names the segment an address falls in:
+    ["global"], ["heap"], ["stack"] or ["unmapped"]. *)
+val segment_of : int -> string

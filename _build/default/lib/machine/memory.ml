@@ -1,0 +1,40 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = (int, Bytes.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let page (m : t) a =
+  let key = a asr page_bits in
+  match Hashtbl.find_opt m key with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.add m key p;
+      p
+
+let read_byte m a = Char.code (Bytes.get (page m a) (a land (page_size - 1)))
+
+let write_byte m a v =
+  Bytes.set (page m a) (a land (page_size - 1)) (Char.chr (v land 0xff))
+
+let sign_extend w v =
+  match w with
+  | 1 -> if v land 0x80 <> 0 then v - 0x100 else v
+  | 4 -> if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+  | _ -> v
+
+let read m a w =
+  let v = ref 0 in
+  for i = w - 1 downto 0 do
+    v := (!v lsl 8) lor read_byte m (a + i)
+  done;
+  sign_extend w !v
+
+let write m a w v =
+  for i = 0 to w - 1 do
+    write_byte m (a + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let pages (m : t) = Hashtbl.length m

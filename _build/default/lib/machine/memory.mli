@@ -1,0 +1,25 @@
+(** Sparse byte-addressable memory of the simulated 32-bit machine.
+
+    Backed by a hash table of 4 KiB pages so footprints far apart (globals
+    vs stack vs heap) stay cheap. Uninitialized bytes read as zero, which is
+    convenient for zero-initialized global segments. *)
+
+type t
+
+val create : unit -> t
+
+(** [read_byte m a] is the byte at address [a] (0 when never written). *)
+val read_byte : t -> int -> int
+
+(** [write_byte m a v] stores [v land 0xff] at [a]. *)
+val write_byte : t -> int -> int -> unit
+
+(** [read m a w] reads a [w]-byte little-endian value ([w] in 1..8),
+    sign-extended for widths 1 and 4 to match C [char]/[int] semantics. *)
+val read : t -> int -> int -> int
+
+(** [write m a w v] stores the low [w] bytes of [v] little-endian. *)
+val write : t -> int -> int -> int -> unit
+
+(** Number of 4 KiB pages materialized (for space diagnostics). *)
+val pages : t -> int

@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Builtins Format Hashtbl List Option Printf Set String

@@ -1,0 +1,259 @@
+type ty =
+  | Tvoid
+  | Tint
+  | Tchar
+  | Tptr of ty
+  | Tarr of ty * int
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | Land | Lor
+
+type unop = Neg | Lnot | Bnot
+
+type ckind = Loop_enter | Body_enter | Body_exit | Loop_exit
+
+type expr = { e : expr_desc; eid : int }
+
+and expr_desc =
+  | Int of int
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Assign of expr * expr
+  | OpAssign of binop * expr * expr
+  | Incr of bool * expr
+  | Decr of bool * expr
+  | Index of expr * expr
+  | Deref of expr
+  | Addr of expr
+  | Call of string * expr list
+  | Cond of expr * expr * expr
+  | Cast of ty * expr
+
+type stmt = { s : stmt_desc; sid : int }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of ty * string * init option
+  | Sif of expr * block * block
+  | Sfor of expr option * expr option * expr option * block
+  | Swhile of expr * block
+  | Sdo of block * expr
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of block
+  | Sswitch of expr * switch_case list
+  | Scheckpoint of int * ckind
+
+and switch_case = { labels : case_label list; body : block }
+
+and case_label = Lcase of int | Ldefault
+
+and block = stmt list
+
+and init = Iexpr of expr | Ilist of int list
+
+type func = {
+  fname : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : block;
+}
+
+type global =
+  | Gvar of ty * string * init option
+  | Gfunc of func
+
+type program = { globals : global list }
+
+let rec sizeof = function
+  | Tvoid -> invalid_arg "Ast.sizeof: void has no size"
+  | Tint -> 4
+  | Tchar -> 1
+  | Tptr _ -> 4
+  | Tarr (t, n) -> n * sizeof t
+
+let elem_ty = function
+  | Tptr t | Tarr (t, _) -> Some t
+  | _ -> None
+
+let is_loop s =
+  match s.s with Sfor _ | Swhile _ | Sdo _ -> true | _ -> false
+
+let loop_kind s =
+  match s.s with
+  | Sfor _ -> "for"
+  | Swhile _ -> "while"
+  | Sdo _ -> "do"
+  | _ -> invalid_arg "Ast.loop_kind: not a loop"
+
+let rec iter_stmt f st =
+  f st;
+  match st.s with
+  | Sif (_, a, b) ->
+      List.iter (iter_stmt f) a;
+      List.iter (iter_stmt f) b
+  | Sfor (_, _, _, b) | Swhile (_, b) | Sdo (b, _) | Sblock b ->
+      List.iter (iter_stmt f) b
+  | Sswitch (_, cases) ->
+      List.iter
+        (fun (c : switch_case) -> List.iter (iter_stmt f) c.body)
+        cases
+  | Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Scheckpoint _ -> ()
+
+let iter_stmts f prog =
+  List.iter
+    (function
+      | Gvar _ -> ()
+      | Gfunc fn -> List.iter (iter_stmt f) fn.body)
+    prog.globals
+
+let rec iter_expr f e =
+  f e;
+  match e.e with
+  | Int _ | Var _ -> ()
+  | Bin (_, a, b) | Assign (a, b) | OpAssign (_, a, b) | Index (a, b) ->
+      iter_expr f a;
+      iter_expr f b
+  | Un (_, a) | Incr (_, a) | Decr (_, a) | Deref a | Addr a | Cast (_, a) ->
+      iter_expr f a
+  | Call (_, args) -> List.iter (iter_expr f) args
+  | Cond (c, a, b) ->
+      iter_expr f c;
+      iter_expr f a;
+      iter_expr f b
+
+let exprs_of_stmt st =
+  match st.s with
+  | Sexpr e -> [ e ]
+  | Sdecl (_, _, Some (Iexpr e)) -> [ e ]
+  | Sdecl _ -> []
+  | Sif (c, _, _) -> [ c ]
+  | Sfor (a, b, c, _) -> List.filter_map Fun.id [ a; b; c ]
+  | Swhile (c, _) | Sdo (_, c) -> [ c ]
+  | Sreturn (Some e) -> [ e ]
+  | Sswitch (e, _) -> [ e ]
+  | Sreturn None | Sbreak | Scontinue | Sblock _ | Scheckpoint _ -> []
+
+let iter_exprs f prog =
+  iter_stmts (fun st -> List.iter (iter_expr f) (exprs_of_stmt st)) prog
+
+let loops prog =
+  let acc = ref [] in
+  iter_stmts (fun st -> if is_loop st then acc := st :: !acc) prog;
+  List.rev !acc
+
+let find_func prog name =
+  List.find_map
+    (function Gfunc f when f.fname = name -> Some f | _ -> None)
+    prog.globals
+
+(* Structural equality ignoring eid/sid. *)
+let rec equal_expr a b =
+  match (a.e, b.e) with
+  | Int x, Int y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Bin (o1, a1, b1), Bin (o2, a2, b2) ->
+      o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Un (o1, a1), Un (o2, a2) -> o1 = o2 && equal_expr a1 a2
+  | Assign (a1, b1), Assign (a2, b2) -> equal_expr a1 a2 && equal_expr b1 b2
+  | OpAssign (o1, a1, b1), OpAssign (o2, a2, b2) ->
+      o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Incr (p1, a1), Incr (p2, a2) | Decr (p1, a1), Decr (p2, a2) ->
+      p1 = p2 && equal_expr a1 a2
+  | Index (a1, b1), Index (a2, b2) -> equal_expr a1 a2 && equal_expr b1 b2
+  | Deref a1, Deref a2 | Addr a1, Addr a2 -> equal_expr a1 a2
+  | Call (f1, l1), Call (f2, l2) ->
+      String.equal f1 f2
+      && List.length l1 = List.length l2
+      && List.for_all2 equal_expr l1 l2
+  | Cond (c1, a1, b1), Cond (c2, a2, b2) ->
+      equal_expr c1 c2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Cast (t1, a1), Cast (t2, a2) -> t1 = t2 && equal_expr a1 a2
+  | _, _ -> false
+
+let equal_expr_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> equal_expr a b
+  | _ -> false
+
+let equal_init a b =
+  match (a, b) with
+  | Iexpr a, Iexpr b -> equal_expr a b
+  | Ilist a, Ilist b -> a = b
+  | _ -> false
+
+let equal_init_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> equal_init a b
+  | _ -> false
+
+let rec equal_stmt a b =
+  match (a.s, b.s) with
+  | Sexpr e1, Sexpr e2 -> equal_expr e1 e2
+  | Sdecl (t1, n1, i1), Sdecl (t2, n2, i2) ->
+      t1 = t2 && String.equal n1 n2 && equal_init_opt i1 i2
+  | Sif (c1, a1, b1), Sif (c2, a2, b2) ->
+      equal_expr c1 c2 && equal_block a1 a2 && equal_block b1 b2
+  | Sfor (a1, b1, c1, bd1), Sfor (a2, b2, c2, bd2) ->
+      equal_expr_opt a1 a2 && equal_expr_opt b1 b2 && equal_expr_opt c1 c2
+      && equal_block bd1 bd2
+  | Swhile (c1, b1), Swhile (c2, b2) -> equal_expr c1 c2 && equal_block b1 b2
+  | Sdo (b1, c1), Sdo (b2, c2) -> equal_block b1 b2 && equal_expr c1 c2
+  | Sreturn e1, Sreturn e2 -> equal_expr_opt e1 e2
+  | Sbreak, Sbreak | Scontinue, Scontinue -> true
+  | Sblock b1, Sblock b2 -> equal_block b1 b2
+  | Sswitch (e1, c1), Sswitch (e2, c2) ->
+      equal_expr e1 e2
+      && List.length c1 = List.length c2
+      && List.for_all2
+           (fun a b -> a.labels = b.labels && equal_block a.body b.body)
+           c1 c2
+  | Scheckpoint (i1, k1), Scheckpoint (i2, k2) -> i1 = i2 && k1 = k2
+  | _, _ -> false
+
+and equal_block a b =
+  List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal_func a b =
+  String.equal a.fname b.fname
+  && a.ret = b.ret && a.params = b.params
+  && equal_block a.body b.body
+
+let equal_global a b =
+  match (a, b) with
+  | Gvar (t1, n1, i1), Gvar (t2, n2, i2) ->
+      t1 = t2 && String.equal n1 n2 && equal_init_opt i1 i2
+  | Gfunc f1, Gfunc f2 -> equal_func f1 f2
+  | _ -> false
+
+let equal_program a b =
+  List.length a.globals = List.length b.globals
+  && List.for_all2 equal_global a.globals b.globals
+
+let rec pp_ty fmt = function
+  | Tvoid -> Format.pp_print_string fmt "void"
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tchar -> Format.pp_print_string fmt "char"
+  | Tptr t -> Format.fprintf fmt "%a*" pp_ty t
+  | Tarr (t, n) -> Format.fprintf fmt "%a[%d]" pp_ty t n
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Shl -> "<<" | Shr -> ">>" | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"
+
+let string_of_unop = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+let string_of_ckind = function
+  | Loop_enter -> "loop_enter"
+  | Body_enter -> "body_enter"
+  | Body_exit -> "body_exit"
+  | Loop_exit -> "loop_exit"

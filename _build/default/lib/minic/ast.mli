@@ -1,0 +1,144 @@
+(** Abstract syntax of MiniC, the C subset FORAY-GEN consumes.
+
+    MiniC covers the constructs that matter for memory-behaviour analysis:
+    [for]/[while]/[do] loops, functions, globals and locals, 1-/2-D arrays,
+    pointers with C-style scaled arithmetic, and the usual expression
+    operators.
+
+    Every expression node carries a unique id ([eid]) assigned by the parser;
+    ids of memory-touching expressions play the role of the "instruction
+    address" recorded in the profile trace (cf. Figure 4(c) of the paper).
+    Every statement node carries a unique id ([sid]); loop statement ids
+    identify loops in checkpoints, Table I counts and the static baseline. *)
+
+(** Object types. Array dimensions are element counts. *)
+type ty =
+  | Tvoid
+  | Tint  (** 4 bytes *)
+  | Tchar  (** 1 byte *)
+  | Tptr of ty
+  | Tarr of ty * int
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | Land | Lor
+
+type unop = Neg | Lnot | Bnot
+
+(** Checkpoint kinds inserted by the instrumentation pass (Step 1 of
+    Algorithm 1). [Loop_enter] precedes the loop statement, [Body_enter]
+    opens each iteration, [Body_exit] closes it, [Loop_exit] follows the
+    loop. *)
+type ckind = Loop_enter | Body_enter | Body_exit | Loop_exit
+
+type expr = { e : expr_desc; eid : int }
+
+and expr_desc =
+  | Int of int  (** integer literal (also used for char literals) *)
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Assign of expr * expr  (** [lhs = rhs]; lhs must be an lvalue *)
+  | OpAssign of binop * expr * expr  (** [lhs op= rhs] *)
+  | Incr of bool * expr  (** [(pre, lv)]: [++lv] when [pre], else [lv++] *)
+  | Decr of bool * expr
+  | Index of expr * expr  (** [a\[i\]] *)
+  | Deref of expr  (** [*p] *)
+  | Addr of expr  (** [&lv] *)
+  | Call of string * expr list
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+  | Cast of ty * expr
+
+type stmt = { s : stmt_desc; sid : int }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of ty * string * init option
+  | Sif of expr * block * block
+  | Sfor of expr option * expr option * expr option * block
+      (** [for (init; cond; step) body]; the statement id is the loop id *)
+  | Swhile of expr * block
+  | Sdo of block * expr  (** [do body while (cond);] *)
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of block
+  | Sswitch of expr * switch_case list
+      (** C [switch] with fallthrough; [break] leaves the switch *)
+  | Scheckpoint of int * ckind
+      (** instrumentation marker; the int is the loop (statement) id *)
+
+and switch_case = {
+  labels : case_label list;  (** the labels stacked on this group *)
+  body : block;
+}
+
+and case_label = Lcase of int | Ldefault
+
+and block = stmt list
+
+and init = Iexpr of expr | Ilist of int list  (** array initializer *)
+
+type func = {
+  fname : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : block;
+}
+
+type global =
+  | Gvar of ty * string * init option
+  | Gfunc of func
+
+type program = { globals : global list }
+
+(** {1 Type helpers} *)
+
+(** Byte size of an object of type [t]. Pointers are 4 bytes (32-bit
+    simulated machine). Raises [Invalid_argument] on [Tvoid]. *)
+val sizeof : ty -> int
+
+(** The element type a value of type [t] points at / indexes to.
+    [None] when [t] is not a pointer or array. *)
+val elem_ty : ty -> ty option
+
+(** [is_loop s] is true for [Sfor]/[Swhile]/[Sdo]. *)
+val is_loop : stmt -> bool
+
+(** Human-readable kind of a loop statement: ["for"], ["while"] or ["do"].
+    Raises [Invalid_argument] on non-loops. *)
+val loop_kind : stmt -> string
+
+(** {1 Traversal} *)
+
+(** [iter_stmts f prog] applies [f] to every statement in the program,
+    pre-order, including statements nested in loop and branch bodies. *)
+val iter_stmts : (stmt -> unit) -> program -> unit
+
+(** [iter_exprs f prog] applies [f] to every expression node, pre-order. *)
+val iter_exprs : (expr -> unit) -> program -> unit
+
+(** All loops of the program in pre-order. *)
+val loops : program -> stmt list
+
+(** Looks up a function by name. *)
+val find_func : program -> string -> func option
+
+(** {1 Structural equality modulo node ids}
+
+    The parser assigns fresh ids on every parse, so printing a program and
+    re-parsing it yields equal structure but different ids. These
+    comparisons are what the round-trip property tests use. *)
+
+val equal_expr : expr -> expr -> bool
+val equal_stmt : stmt -> stmt -> bool
+val equal_program : program -> program -> bool
+
+(** {1 Pretty-printing of small pieces} *)
+
+val pp_ty : Format.formatter -> ty -> unit
+val string_of_binop : binop -> string
+val string_of_unop : unop -> string
+val string_of_ckind : ckind -> string

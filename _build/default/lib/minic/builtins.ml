@@ -1,0 +1,15 @@
+type t = { name : string; arity : int; sys : bool }
+
+let all =
+  [
+    { name = "malloc"; arity = 1; sys = false };
+    { name = "memset"; arity = 3; sys = true };
+    { name = "memcpy"; arity = 3; sys = true };
+    { name = "abs"; arity = 1; sys = false };
+    { name = "mc_min"; arity = 2; sys = false };
+    { name = "mc_max"; arity = 2; sys = false };
+    { name = "mc_rand"; arity = 1; sys = false };
+    { name = "print_int"; arity = 1; sys = false };
+  ]
+
+let find name = List.find_opt (fun b -> b.name = name) all

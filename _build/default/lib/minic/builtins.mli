@@ -1,0 +1,18 @@
+(** Built-in functions of the MiniC runtime.
+
+    [memset]/[memcpy] model system-library routines: the memory traffic they
+    generate is tagged as "system" in the profile trace, reproducing the
+    paper's Table III category "In system calls". *)
+
+type t = {
+  name : string;
+  arity : int;
+  sys : bool;  (** memory accesses performed inside count as system-library *)
+}
+
+(** All builtins: [malloc], [memset], [memcpy], [abs], [mc_min], [mc_max],
+    [mc_rand], [print_int]. *)
+val all : t list
+
+(** Lookup by name. *)
+val find : string -> t option

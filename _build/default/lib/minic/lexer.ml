@@ -1,0 +1,107 @@
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type spanned = { tok : token; line : int }
+
+exception Error of string * int
+
+let keywords =
+  [ "int"; "char"; "void"; "if"; "else"; "for"; "while"; "do";
+    "return"; "break"; "continue"; "sizeof"; "switch"; "case"; "default" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(* Multi-character operators, longest first so greedy matching works. *)
+let puncts =
+  [ "<<="; ">>="; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--";
+    "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "!"; "~"; "&"; "|"; "^";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "?"; ":" ]
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Error ("unterminated block comment", !line))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        i := !i + 2;
+        while !i < n && is_hex src.[!i] do incr i done;
+        let s = String.sub src start (!i - start) in
+        emit (INT_LIT (int_of_string s))
+      end
+      else begin
+        while !i < n && is_digit src.[!i] do incr i done;
+        emit (INT_LIT (int_of_string (String.sub src start (!i - start))))
+      end
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then emit (KW s) else emit (IDENT s)
+    end
+    else if c = '\'' then begin
+      (* character literal -> integer token *)
+      let v, len =
+        match (peek 1, peek 2, peek 3) with
+        | Some '\\', Some e, Some '\'' ->
+            let v =
+              match e with
+              | 'n' -> 10 | 't' -> 9 | '0' -> 0 | 'r' -> 13
+              | '\\' -> 92 | '\'' -> 39
+              | _ -> raise (Error ("bad escape in char literal", !line))
+            in
+            (v, 4)
+        | Some ch, Some '\'', _ when ch <> '\\' -> (Char.code ch, 3)
+        | _ -> raise (Error ("malformed char literal", !line))
+      in
+      emit (INT_LIT v);
+      i := !i + len
+    end
+    else begin
+      match
+        List.find_opt
+          (fun p ->
+            let l = String.length p in
+            !i + l <= n && String.sub src !i l = p)
+          puncts
+      with
+      | Some p ->
+          emit (PUNCT p);
+          i := !i + String.length p
+      | None -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit EOF;
+  List.rev !toks

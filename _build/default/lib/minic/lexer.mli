@@ -1,0 +1,22 @@
+(** Hand-written lexer for MiniC source text. *)
+
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW of string  (** one of the reserved words *)
+  | PUNCT of string  (** operator or punctuation, longest-match *)
+  | EOF
+
+(** A token paired with its 1-based source line (for error messages). *)
+type spanned = { tok : token; line : int }
+
+exception Error of string * int  (** message, line *)
+
+(** [tokenize src] lexes the whole input. Handles decimal, hex ([0x..]) and
+    character ([​'c'], with [\n \t \0 \\ \'] escapes) literals, line ([//])
+    and block ([/* */]) comments.
+    @raise Error on malformed input. *)
+val tokenize : string -> spanned list
+
+(** The reserved words of MiniC. *)
+val keywords : string list

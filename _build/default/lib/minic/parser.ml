@@ -1,0 +1,536 @@
+open Ast
+
+exception Error of string * int
+
+type state = {
+  toks : Lexer.spanned array;
+  mutable pos : int;
+  mutable next_eid : int;
+  mutable next_sid : int;
+}
+
+let mk_state src =
+  { toks = Array.of_list (Lexer.tokenize src); pos = 0; next_eid = 1; next_sid = 1 }
+
+let cur st = st.toks.(st.pos)
+let line st = (cur st).line
+let fail st msg = raise (Error (msg, line st))
+let advance st = st.pos <- st.pos + 1
+
+let fresh_eid st =
+  let id = st.next_eid in
+  st.next_eid <- id + 1;
+  id
+
+let fresh_sid st =
+  let id = st.next_sid in
+  st.next_sid <- id + 1;
+  id
+
+let mke st e = { e; eid = fresh_eid st }
+let mks st s = { s; sid = fresh_sid st }
+
+let peek_tok st = (cur st).tok
+let peek2_tok st =
+  if st.pos + 1 < Array.length st.toks then Some st.toks.(st.pos + 1).tok
+  else None
+
+let eat_punct st p =
+  match peek_tok st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" p)
+
+let eat_kw st k =
+  match peek_tok st with
+  | Lexer.KW q when q = k -> advance st
+  | _ -> fail st (Printf.sprintf "expected keyword %S" k)
+
+let is_punct st p = match peek_tok st with Lexer.PUNCT q -> q = p | _ -> false
+let is_kw st k = match peek_tok st with Lexer.KW q -> q = k | _ -> false
+let is_type_kw st = is_kw st "int" || is_kw st "char" || is_kw st "void"
+
+let ident st =
+  match peek_tok st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+(* base type plus pointer stars: "int **" *)
+let base_type st =
+  let t =
+    if is_kw st "int" then (advance st; Tint)
+    else if is_kw st "char" then (advance st; Tchar)
+    else if is_kw st "void" then (advance st; Tvoid)
+    else fail st "expected type"
+  in
+  let rec stars t = if is_punct st "*" then (advance st; stars (Tptr t)) else t in
+  stars t
+
+(* array dimensions after a declarator name: x[2][3] *)
+let rec array_dims st t =
+  if is_punct st "[" then begin
+    advance st;
+    let n =
+      match peek_tok st with
+      | Lexer.INT_LIT n ->
+          advance st;
+          n
+      | _ -> fail st "expected array dimension"
+    in
+    eat_punct st "]";
+    Tarr (array_dims st t, n)
+  end
+  else t
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_punct = function
+  | "+" -> Some Add | "-" -> Some Sub | "*" -> Some Mul | "/" -> Some Div
+  | "%" -> Some Mod | "<<" -> Some Shl | ">>" -> Some Shr
+  | "&" -> Some Band | "|" -> Some Bor | "^" -> Some Bxor
+  | "<" -> Some Lt | ">" -> Some Gt | "<=" -> Some Le | ">=" -> Some Ge
+  | "==" -> Some Eq | "!=" -> Some Ne | "&&" -> Some Land | "||" -> Some Lor
+  | _ -> None
+
+(* Binary precedence levels, loosest first. *)
+let levels =
+  [ [ Lor ]; [ Land ]; [ Bor ]; [ Bxor ]; [ Band ]; [ Eq; Ne ];
+    [ Lt; Gt; Le; Ge ]; [ Shl; Shr ]; [ Add; Sub ]; [ Mul; Div; Mod ] ]
+
+let opassign_of_punct = function
+  | "+=" -> Some Add | "-=" -> Some Sub | "*=" -> Some Mul | "/=" -> Some Div
+  | "%=" -> Some Mod | "&=" -> Some Band | "|=" -> Some Bor | "^=" -> Some Bxor
+  | "<<=" -> Some Shl | ">>=" -> Some Shr
+  | _ -> None
+
+let rec expr st = assignment st
+
+and assignment st =
+  let lhs = conditional st in
+  match peek_tok st with
+  | Lexer.PUNCT "=" ->
+      advance st;
+      let rhs = assignment st in
+      mke st (Assign (lhs, rhs))
+  | Lexer.PUNCT p -> (
+      match opassign_of_punct p with
+      | Some op ->
+          advance st;
+          let rhs = assignment st in
+          mke st (OpAssign (op, lhs, rhs))
+      | None -> lhs)
+  | _ -> lhs
+
+and conditional st =
+  let c = binary st 0 in
+  if is_punct st "?" then begin
+    advance st;
+    let a = assignment st in
+    eat_punct st ":";
+    let b = conditional st in
+    mke st (Cond (c, a, b))
+  end
+  else c
+
+and binary st lvl =
+  if lvl >= List.length levels then unary st
+  else begin
+    let ops = List.nth levels lvl in
+    let lhs = ref (binary st (lvl + 1)) in
+    let continue = ref true in
+    while !continue do
+      match peek_tok st with
+      | Lexer.PUNCT p -> (
+          match binop_of_punct p with
+          | Some op when List.mem op ops ->
+              advance st;
+              let rhs = binary st (lvl + 1) in
+              lhs := mke st (Bin (op, !lhs, rhs))
+          | _ -> continue := false)
+      | _ -> continue := false
+    done;
+    !lhs
+  end
+
+and unary st =
+  match peek_tok st with
+  | Lexer.PUNCT "-" -> (
+      advance st;
+      (* fold negation of literals so "-5" round-trips as Int (-5) *)
+      match unary st with
+      | { e = Int n; _ } -> mke st (Int (-n))
+      | e -> mke st (Un (Neg, e)))
+  | Lexer.PUNCT "!" ->
+      advance st;
+      mke st (Un (Lnot, unary st))
+  | Lexer.PUNCT "~" ->
+      advance st;
+      mke st (Un (Bnot, unary st))
+  | Lexer.PUNCT "*" ->
+      advance st;
+      mke st (Deref (unary st))
+  | Lexer.PUNCT "&" ->
+      advance st;
+      mke st (Addr (unary st))
+  | Lexer.PUNCT "++" ->
+      advance st;
+      mke st (Incr (true, unary st))
+  | Lexer.PUNCT "--" ->
+      advance st;
+      mke st (Decr (true, unary st))
+  | Lexer.KW "sizeof" ->
+      advance st;
+      eat_punct st "(";
+      let t = base_type st in
+      let t = array_dims st t in
+      eat_punct st ")";
+      mke st (Int (sizeof t))
+  | Lexer.PUNCT "(" when is_cast st -> (
+      advance st;
+      let t = base_type st in
+      eat_punct st ")";
+      mke st (Cast (t, unary st)))
+  | _ -> postfix st
+
+and is_cast st =
+  (* "(" followed by a type keyword is a cast. *)
+  match peek2_tok st with
+  | Some (Lexer.KW k) -> List.mem k [ "int"; "char"; "void" ]
+  | _ -> false
+
+and postfix st =
+  let e = ref (primary st) in
+  let continue = ref true in
+  while !continue do
+    if is_punct st "[" then begin
+      advance st;
+      let i = expr st in
+      eat_punct st "]";
+      e := mke st (Index (!e, i))
+    end
+    else if is_punct st "++" then begin
+      advance st;
+      e := mke st (Incr (false, !e))
+    end
+    else if is_punct st "--" then begin
+      advance st;
+      e := mke st (Decr (false, !e))
+    end
+    else continue := false
+  done;
+  !e
+
+and primary st =
+  match peek_tok st with
+  | Lexer.INT_LIT n ->
+      advance st;
+      mke st (Int n)
+  | Lexer.IDENT name -> (
+      advance st;
+      if is_punct st "(" then begin
+        advance st;
+        let args = ref [] in
+        if not (is_punct st ")") then begin
+          args := [ assignment st ];
+          while is_punct st "," do
+            advance st;
+            args := assignment st :: !args
+          done
+        end;
+        eat_punct st ")";
+        mke st (Call (name, List.rev !args))
+      end
+      else mke st (Var name))
+  | Lexer.PUNCT "(" ->
+      advance st;
+      let e = expr st in
+      eat_punct st ")";
+      e
+  | _ -> fail st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let initializer_ st =
+  if is_punct st "{" then begin
+    advance st;
+    let items = ref [] in
+    let int_item () =
+      match peek_tok st with
+      | Lexer.INT_LIT n ->
+          advance st;
+          n
+      | Lexer.PUNCT "-" -> (
+          advance st;
+          match peek_tok st with
+          | Lexer.INT_LIT n ->
+              advance st;
+              -n
+          | _ -> fail st "expected integer in initializer list")
+      | _ -> fail st "expected integer in initializer list"
+    in
+    if not (is_punct st "}") then begin
+      items := [ int_item () ];
+      while is_punct st "," do
+        advance st;
+        items := int_item () :: !items
+      done
+    end;
+    eat_punct st "}";
+    Ilist (List.rev !items)
+  end
+  else Iexpr (expr st)
+
+let rec statement st : stmt list =
+  (* Returns a list because declarations with comma-separated declarators
+     and for-loops with declaration initializers expand to several
+     statements. *)
+  if is_type_kw st then decl_stmt st
+  else if is_kw st "if" then begin
+    advance st;
+    eat_punct st "(";
+    let c = expr st in
+    eat_punct st ")";
+    let a = body st in
+    let b = if is_kw st "else" then (advance st; body st) else [] in
+    [ mks st (Sif (c, a, b)) ]
+  end
+  else if is_kw st "for" then begin
+    advance st;
+    eat_punct st "(";
+    let pre, init =
+      if is_punct st ";" then (advance st; ([], None))
+      else if is_type_kw st then begin
+        (* for (int i = 0; ...) : desugar to { int i = 0; for (; ...) } *)
+        let decls = decl_stmt st in
+        (decls, None)
+      end
+      else begin
+        let e = expr st in
+        eat_punct st ";";
+        ([], Some e)
+      end
+    in
+    let cond = if is_punct st ";" then None else Some (expr st) in
+    eat_punct st ";";
+    let step = if is_punct st ")" then None else Some (expr st) in
+    eat_punct st ")";
+    let b = body st in
+    let loop = mks st (Sfor (init, cond, step, b)) in
+    if pre = [] then [ loop ] else [ mks st (Sblock (pre @ [ loop ])) ]
+  end
+  else if is_kw st "while" then begin
+    advance st;
+    eat_punct st "(";
+    let c = expr st in
+    eat_punct st ")";
+    let b = body st in
+    [ mks st (Swhile (c, b)) ]
+  end
+  else if is_kw st "do" then begin
+    advance st;
+    let b = body st in
+    eat_kw st "while";
+    eat_punct st "(";
+    let c = expr st in
+    eat_punct st ")";
+    eat_punct st ";";
+    [ mks st (Sdo (b, c)) ]
+  end
+  else if is_kw st "switch" then begin
+    advance st;
+    eat_punct st "(";
+    let scrut = expr st in
+    eat_punct st ")";
+    eat_punct st "{";
+    let cases = ref [] in
+    while not (is_punct st "}") do
+      let labels = ref [] in
+      let more_labels () = is_kw st "case" || is_kw st "default" in
+      if not (more_labels ()) then fail st "expected case or default label";
+      while more_labels () do
+        if is_kw st "case" then begin
+          advance st;
+          let v =
+            match peek_tok st with
+            | Lexer.INT_LIT n ->
+                advance st;
+                n
+            | Lexer.PUNCT "-" -> (
+                advance st;
+                match peek_tok st with
+                | Lexer.INT_LIT n ->
+                    advance st;
+                    -n
+                | _ -> fail st "expected case value")
+            | _ -> fail st "expected case value"
+          in
+          labels := Lcase v :: !labels
+        end
+        else begin
+          advance st;
+          labels := Ldefault :: !labels
+        end;
+        eat_punct st ":"
+      done;
+      let body = ref [] in
+      while (not (is_punct st "}")) && not (more_labels ()) do
+        body := List.rev_append (statement st) !body
+      done;
+      cases := { labels = List.rev !labels; body = List.rev !body } :: !cases
+    done;
+    eat_punct st "}";
+    [ mks st (Sswitch (scrut, List.rev !cases)) ]
+  end
+  else if is_kw st "return" then begin
+    advance st;
+    let e = if is_punct st ";" then None else Some (expr st) in
+    eat_punct st ";";
+    [ mks st (Sreturn e) ]
+  end
+  else if is_kw st "break" then begin
+    advance st;
+    eat_punct st ";";
+    [ mks st Sbreak ]
+  end
+  else if is_kw st "continue" then begin
+    advance st;
+    eat_punct st ";";
+    [ mks st Scontinue ]
+  end
+  else if is_punct st "{" then [ mks st (Sblock (block st)) ]
+  else if is_punct st ";" then (advance st; [])
+  else begin
+    match peek_tok st with
+    | Lexer.IDENT "__checkpoint" ->
+        advance st;
+        eat_punct st "(";
+        let id =
+          match peek_tok st with
+          | Lexer.INT_LIT n -> advance st; n
+          | _ -> fail st "expected checkpoint id"
+        in
+        eat_punct st ",";
+        let kind =
+          match peek_tok st with
+          | Lexer.IDENT "loop_enter" -> advance st; Loop_enter
+          | Lexer.IDENT "body_enter" -> advance st; Body_enter
+          | Lexer.IDENT "body_exit" -> advance st; Body_exit
+          | Lexer.IDENT "loop_exit" -> advance st; Loop_exit
+          | _ -> fail st "expected checkpoint kind"
+        in
+        eat_punct st ")";
+        eat_punct st ";";
+        [ mks st (Scheckpoint (id, kind)) ]
+    | _ ->
+        let e = expr st in
+        eat_punct st ";";
+        [ mks st (Sexpr e) ]
+  end
+
+and decl_stmt st =
+  let base = base_type st in
+  let one () =
+    (* each declarator may add its own stars: int *p, q[10]; *)
+    let rec stars t = if is_punct st "*" then (advance st; stars (Tptr t)) else t in
+    let t = stars base in
+    let name = ident st in
+    let t = array_dims st t in
+    let init = if is_punct st "=" then (advance st; Some (initializer_ st)) else None in
+    mks st (Sdecl (t, name, init))
+  in
+  let ds = ref [ one () ] in
+  while is_punct st "," do
+    advance st;
+    ds := one () :: !ds
+  done;
+  eat_punct st ";";
+  List.rev !ds
+
+and body st : block =
+  (* A loop or branch body: either a braced block or a single statement. *)
+  if is_punct st "{" then block st else statement st
+
+and block st : block =
+  eat_punct st "{";
+  let stmts = ref [] in
+  while not (is_punct st "}") do
+    stmts := List.rev_append (statement st) !stmts
+  done;
+  eat_punct st "}";
+  List.rev !stmts
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let global st =
+  let base = base_type st in
+  let rec stars t = if is_punct st "*" then (advance st; stars (Tptr t)) else t in
+  let t = stars base in
+  let name = ident st in
+  if is_punct st "(" then begin
+    advance st;
+    let params = ref [] in
+    if not (is_punct st ")") then begin
+      let one () =
+        let pt = base_type st in
+        let pname = ident st in
+        let pt = array_dims st pt in
+        (* array parameters decay to pointers, like C *)
+        let pt = match pt with Tarr (e, _) -> Tptr e | t -> t in
+        (pt, pname)
+      in
+      params := [ one () ];
+      while is_punct st "," do
+        advance st;
+        params := one () :: !params
+      done
+    end;
+    eat_punct st ")";
+    let b = block st in
+    [ Gfunc { fname = name; ret = t; params = List.rev !params; body = b } ]
+  end
+  else begin
+    let one t name =
+      let t = array_dims st t in
+      let init = if is_punct st "=" then (advance st; Some (initializer_ st)) else None in
+      Gvar (t, name, init)
+    in
+    let gs = ref [ one t name ] in
+    while is_punct st "," do
+      advance st;
+      let t = stars base in
+      let name = ident st in
+      gs := one t name :: !gs
+    done;
+    eat_punct st ";";
+    List.rev !gs
+  end
+
+let program src =
+  let st = mk_state src in
+  let globals = ref [] in
+  while peek_tok st <> Lexer.EOF do
+    globals := List.rev_append (global st) !globals
+  done;
+  { globals = List.rev !globals }
+
+let expr src =
+  let st = mk_state src in
+  let e = expr st in
+  (match peek_tok st with
+  | Lexer.EOF -> ()
+  | _ -> fail st "trailing tokens after expression");
+  e
+
+(* Re-raise lexer errors as parser errors for a single exception surface. *)
+let program src =
+  try program src with Lexer.Error (m, l) -> raise (Error ("lexer: " ^ m, l))
+
+let expr src =
+  try expr src with Lexer.Error (m, l) -> raise (Error ("lexer: " ^ m, l))

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for MiniC.
+
+    Assigns fresh, program-unique ids to every expression ([eid]) and
+    statement ([sid]) node; loop statement ids double as loop ids for
+    instrumentation and reporting.
+
+    Grammar notes:
+    - C operator precedence and associativity;
+    - [for (int i = 0; ...; ...)] is accepted and desugared into a block
+      containing the declaration followed by the loop, so FORAY model output
+      is itself parseable MiniC;
+    - [sizeof(type)] is folded to an integer literal at parse time;
+    - [__checkpoint(id, kind);] statements are accepted so instrumented
+      programs round-trip through the printer. *)
+
+exception Error of string * int  (** message, source line *)
+
+(** [program src] parses a full translation unit. *)
+val program : string -> Ast.program
+
+(** [expr src] parses a single expression (testing convenience). *)
+val expr : string -> Ast.expr

@@ -1,0 +1,259 @@
+open Ast
+
+(* Precedence levels; larger binds tighter. Matches the parser's grammar. *)
+let prec_assign = 1
+let prec_cond = 2
+let prec_binary_base = 3 (* Lor *)
+let prec_unary = 13
+let prec_postfix = 14
+let prec_primary = 15
+
+let binop_prec = function
+  | Lor -> prec_binary_base
+  | Land -> prec_binary_base + 1
+  | Bor -> prec_binary_base + 2
+  | Bxor -> prec_binary_base + 3
+  | Band -> prec_binary_base + 4
+  | Eq | Ne -> prec_binary_base + 5
+  | Lt | Gt | Le | Ge -> prec_binary_base + 6
+  | Shl | Shr -> prec_binary_base + 7
+  | Add | Sub -> prec_binary_base + 8
+  | Mul | Div | Mod -> prec_binary_base + 9
+
+(* Base type and pointer stars of a declarator; arrays handled separately. *)
+let rec split_ptrs t =
+  match t with
+  | Tptr t' ->
+      let base, stars = split_ptrs t' in
+      (base, stars + 1)
+  | _ -> (t, 0)
+
+let rec split_arrays t =
+  match t with
+  | Tarr (t', n) ->
+      let base, dims = split_arrays t' in
+      (base, n :: dims)
+  | _ -> (t, [])
+
+let base_ty_name = function
+  | Tint -> "int"
+  | Tchar -> "char"
+  | Tvoid -> "void"
+  | Tptr _ | Tarr _ -> invalid_arg "Pretty.base_ty_name"
+
+let declarator t name =
+  let inner, dims = split_arrays t in
+  let base, stars = split_ptrs inner in
+  Printf.sprintf "%s %s%s%s" (base_ty_name base) (String.make stars '*') name
+    (String.concat "" (List.map (fun n -> Printf.sprintf "[%d]" n) dims))
+
+let cast_ty t =
+  let base, stars = split_ptrs t in
+  Printf.sprintf "%s%s" (base_ty_name base) (String.make stars '*')
+
+let rec pr buf e req =
+  (* Prints [e] assuming the context requires precedence >= req; adds
+     parentheses when e's own precedence is lower. *)
+  let self = expr_prec e in
+  if self < req then begin
+    Buffer.add_char buf '(';
+    pr_naked buf e;
+    Buffer.add_char buf ')'
+  end
+  else pr_naked buf e
+
+and expr_prec e =
+  match e.e with
+  | Int n -> if n < 0 then prec_unary else prec_primary
+  | Var _ -> prec_primary
+  | Call _ -> prec_postfix
+  | Index _ | Incr (false, _) | Decr (false, _) -> prec_postfix
+  | Un _ | Deref _ | Addr _ | Incr (true, _) | Decr (true, _) | Cast _ ->
+      prec_unary
+  | Bin (op, _, _) -> binop_prec op
+  | Cond _ -> prec_cond
+  | Assign _ | OpAssign _ -> prec_assign
+
+and pr_naked buf e =
+  match e.e with
+  | Int n ->
+      if n < 0 then Buffer.add_string buf (Printf.sprintf "(%d)" n)
+      else Buffer.add_string buf (string_of_int n)
+  | Var v -> Buffer.add_string buf v
+  | Bin (op, a, b) ->
+      let p = binop_prec op in
+      pr buf a p;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_binop op);
+      Buffer.add_char buf ' ';
+      pr buf b (p + 1)
+  | Un (op, a) ->
+      Buffer.add_string buf (string_of_unop op);
+      pr_unary_operand buf op a
+  | Assign (l, r) ->
+      pr buf l prec_cond;
+      Buffer.add_string buf " = ";
+      pr buf r prec_assign
+  | OpAssign (op, l, r) ->
+      pr buf l prec_cond;
+      Buffer.add_string buf (Printf.sprintf " %s= " (string_of_binop op));
+      pr buf r prec_assign
+  | Incr (true, a) ->
+      Buffer.add_string buf "++";
+      pr buf a prec_unary
+  | Decr (true, a) ->
+      Buffer.add_string buf "--";
+      pr buf a prec_unary
+  | Incr (false, a) ->
+      pr buf a prec_postfix;
+      Buffer.add_string buf "++"
+  | Decr (false, a) ->
+      pr buf a prec_postfix;
+      Buffer.add_string buf "--"
+  | Index (a, i) ->
+      pr buf a prec_postfix;
+      Buffer.add_char buf '[';
+      pr buf i prec_assign;
+      Buffer.add_char buf ']'
+  | Deref a ->
+      Buffer.add_char buf '*';
+      pr buf a prec_unary
+  | Addr a ->
+      Buffer.add_char buf '&';
+      (* avoid "&&" when the operand is itself an address-of *)
+      (match a.e with
+      | Addr _ ->
+          Buffer.add_char buf '(';
+          pr_naked buf a;
+          Buffer.add_char buf ')'
+      | _ -> pr buf a prec_unary)
+  | Call (f, args) ->
+      Buffer.add_string buf f;
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          pr buf a prec_assign)
+        args;
+      Buffer.add_char buf ')'
+  | Cond (c, a, b) ->
+      pr buf c (prec_cond + 1);
+      Buffer.add_string buf " ? ";
+      pr buf a prec_assign;
+      Buffer.add_string buf " : ";
+      pr buf b prec_cond
+  | Cast (t, a) ->
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (cast_ty t);
+      Buffer.add_char buf ')';
+      pr buf a prec_unary
+
+and pr_unary_operand buf op a =
+  (* Avoid "--x" when printing -(-c) and friends. *)
+  let risky =
+    match (op, a.e) with
+    | Neg, (Un (Neg, _) | Decr (true, _) | Int _) ->
+        (match a.e with Int n -> n < 0 | _ -> true)
+    | _ -> false
+  in
+  if risky then begin
+    Buffer.add_char buf '(';
+    pr_naked buf a;
+    Buffer.add_char buf ')'
+  end
+  else pr buf a prec_unary
+
+let expr e =
+  let buf = Buffer.create 64 in
+  pr buf e prec_assign;
+  Buffer.contents buf
+
+let pr_init = function
+  | Iexpr e -> expr e
+  | Ilist l -> "{" ^ String.concat ", " (List.map string_of_int l) ^ "}"
+
+let rec pr_stmt buf indent st =
+  let pad = String.make (2 * indent) ' ' in
+  let line s = Buffer.add_string buf (pad ^ s ^ "\n") in
+  match st.s with
+  | Sexpr e -> line (expr e ^ ";")
+  | Sdecl (t, name, init) ->
+      let head = declarator t name in
+      (match init with
+      | None -> line (head ^ ";")
+      | Some i -> line (head ^ " = " ^ pr_init i ^ ";"))
+  | Sif (c, a, b) ->
+      line (Printf.sprintf "if (%s) {" (expr c));
+      List.iter (pr_stmt buf (indent + 1)) a;
+      if b = [] then line "}"
+      else begin
+        line "} else {";
+        List.iter (pr_stmt buf (indent + 1)) b;
+        line "}"
+      end
+  | Sfor (init, cond, step, b) ->
+      let o = function None -> "" | Some e -> expr e in
+      line
+        (Printf.sprintf "for (%s; %s; %s) {" (o init) (o cond) (o step));
+      List.iter (pr_stmt buf (indent + 1)) b;
+      line "}"
+  | Swhile (c, b) ->
+      line (Printf.sprintf "while (%s) {" (expr c));
+      List.iter (pr_stmt buf (indent + 1)) b;
+      line "}"
+  | Sdo (b, c) ->
+      line "do {";
+      List.iter (pr_stmt buf (indent + 1)) b;
+      line (Printf.sprintf "} while (%s);" (expr c))
+  | Sreturn None -> line "return;"
+  | Sreturn (Some e) -> line (Printf.sprintf "return %s;" (expr e))
+  | Sbreak -> line "break;"
+  | Scontinue -> line "continue;"
+  | Sblock b ->
+      line "{";
+      List.iter (pr_stmt buf (indent + 1)) b;
+      line "}"
+  | Sswitch (scrut, cases) ->
+      line (Printf.sprintf "switch (%s) {" (expr scrut));
+      List.iter
+        (fun (c : switch_case) ->
+          List.iter
+            (fun l ->
+              match l with
+              | Lcase v ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "%scase %d:\n" pad v)
+              | Ldefault -> Buffer.add_string buf (pad ^ "default:\n"))
+            c.labels;
+          List.iter (pr_stmt buf (indent + 1)) c.body)
+        cases;
+      line "}"
+  | Scheckpoint (id, k) ->
+      line (Printf.sprintf "__checkpoint(%d, %s);" id (string_of_ckind k))
+
+let stmt ?(indent = 0) st =
+  let buf = Buffer.create 128 in
+  pr_stmt buf indent st;
+  Buffer.contents buf
+
+let program p =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun g ->
+      match g with
+      | Gvar (t, name, init) ->
+          let head = declarator t name in
+          (match init with
+          | None -> Buffer.add_string buf (head ^ ";\n")
+          | Some i -> Buffer.add_string buf (head ^ " = " ^ pr_init i ^ ";\n"))
+      | Gfunc f ->
+          let params =
+            String.concat ", "
+              (List.map (fun (t, n) -> declarator t n) f.params)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s(%s) {\n" (declarator f.ret f.fname) params);
+          List.iter (pr_stmt buf 1) f.body;
+          Buffer.add_string buf "}\n")
+    p.globals;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Pretty-printer for MiniC.
+
+    The output is valid MiniC: for every program [p],
+    [Parser.program (Pretty.program p)] succeeds and is structurally equal
+    to [p] up to node ids ([Ast.equal_program]). This property is enforced
+    by the round-trip tests. *)
+
+(** Renders a full program. *)
+val program : Ast.program -> string
+
+(** Renders one expression (no trailing newline). *)
+val expr : Ast.expr -> string
+
+(** Renders one statement at the given indentation depth. *)
+val stmt : ?indent:int -> Ast.stmt -> string
+
+(** Renders a declaration head such as [int *p\[10\]] for a name and type. *)
+val declarator : Ast.ty -> string -> string

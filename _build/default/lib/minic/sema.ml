@@ -1,0 +1,230 @@
+open Ast
+
+type error = { msg : string; where : string }
+
+let pp_error fmt e = Format.fprintf fmt "%s: %s" e.where e.msg
+
+module SS = Set.Make (String)
+
+type env = {
+  mutable errors : error list;
+  mutable scopes : SS.t list; (* innermost first *)
+  funcs : (string, func) Hashtbl.t;
+  mutable where : string;
+  mutable loop_depth : int;
+}
+
+let err env msg = env.errors <- { msg; where = env.where } :: env.errors
+
+let declared env name = List.exists (fun s -> SS.mem name s) env.scopes
+
+let declare env name =
+  match env.scopes with
+  | [] -> assert false
+  | s :: rest ->
+      if SS.mem name s then
+        err env (Printf.sprintf "duplicate declaration of %S in this scope" name);
+      env.scopes <- SS.add name s :: rest
+
+let push_scope env = env.scopes <- SS.empty :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let rec is_lvalue e =
+  match e.e with
+  | Var _ | Index _ | Deref _ -> true
+  | Cast (_, e') -> is_lvalue e'
+  | _ -> false
+
+let rec check_ty env t =
+  match t with
+  | Tvoid -> err env "variable of type void"
+  | Tint | Tchar -> ()
+  | Tptr _ -> ()
+  | Tarr (t', n) ->
+      if n <= 0 then err env (Printf.sprintf "non-positive array dimension %d" n);
+      check_ty env t'
+
+let rec check_expr env e =
+  match e.e with
+  | Int _ -> ()
+  | Var v -> if not (declared env v) then err env (Printf.sprintf "undeclared variable %S" v)
+  | Bin (_, a, b) ->
+      check_expr env a;
+      check_expr env b
+  | Un (_, a) -> check_expr env a
+  | Assign (l, r) | OpAssign (_, l, r) ->
+      if not (is_lvalue l) then err env "assignment to non-lvalue";
+      check_expr env l;
+      check_expr env r
+  | Incr (_, l) | Decr (_, l) ->
+      if not (is_lvalue l) then err env "increment of non-lvalue";
+      check_expr env l
+  | Index (a, i) ->
+      check_expr env a;
+      check_expr env i
+  | Deref a -> check_expr env a
+  | Addr a ->
+      if not (is_lvalue a) then err env "address of non-lvalue";
+      check_expr env a
+  | Call (f, args) -> (
+      List.iter (check_expr env) args;
+      let arity =
+        match Hashtbl.find_opt env.funcs f with
+        | Some fn -> Some (List.length fn.params)
+        | None -> (
+            match Builtins.find f with
+            | Some b -> Some b.arity
+            | None ->
+                err env (Printf.sprintf "call to unknown function %S" f);
+                None)
+      in
+      match arity with
+      | Some n when n <> List.length args ->
+          err env
+            (Printf.sprintf "function %S expects %d argument(s), got %d" f n
+               (List.length args))
+      | _ -> ())
+  | Cond (c, a, b) ->
+      check_expr env c;
+      check_expr env a;
+      check_expr env b
+  | Cast (t, a) ->
+      (match t with Tarr _ -> err env "cast to array type" | _ -> ());
+      check_expr env a
+
+let rec check_stmt env st =
+  match st.s with
+  | Sexpr e -> check_expr env e
+  | Sdecl (t, name, init) ->
+      check_ty env t;
+      (match init with
+      | Some (Iexpr e) -> check_expr env e
+      | Some (Ilist l) -> (
+          match t with
+          | Tarr (_, n) ->
+              if List.length l > n then
+                err env
+                  (Printf.sprintf "initializer for %S has %d elements, array has %d"
+                     name (List.length l) n)
+          | _ -> err env (Printf.sprintf "list initializer for non-array %S" name))
+      | None -> ());
+      declare env name
+  | Sif (c, a, b) ->
+      check_expr env c;
+      check_block env a;
+      check_block env b
+  | Sfor (i, c, s, b) ->
+      Option.iter (check_expr env) i;
+      Option.iter (check_expr env) c;
+      Option.iter (check_expr env) s;
+      env.loop_depth <- env.loop_depth + 1;
+      check_block env b;
+      env.loop_depth <- env.loop_depth - 1
+  | Swhile (c, b) ->
+      check_expr env c;
+      env.loop_depth <- env.loop_depth + 1;
+      check_block env b;
+      env.loop_depth <- env.loop_depth - 1
+  | Sdo (b, c) ->
+      env.loop_depth <- env.loop_depth + 1;
+      check_block env b;
+      env.loop_depth <- env.loop_depth - 1;
+      check_expr env c
+  | Sreturn e -> Option.iter (check_expr env) e
+  | Sbreak -> if env.loop_depth = 0 then err env "break outside loop"
+  | Scontinue -> if env.loop_depth = 0 then err env "continue outside loop"
+  | Sblock b -> check_block env b
+  | Sswitch (scrut, cases) ->
+      check_expr env scrut;
+      let defaults = ref 0 in
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (c : switch_case) ->
+          List.iter
+            (fun l ->
+              match l with
+              | Ldefault -> incr defaults
+              | Lcase v ->
+                  if Hashtbl.mem seen v then
+                    err env (Printf.sprintf "duplicate case %d" v)
+                  else Hashtbl.add seen v ())
+            c.labels;
+          (* break inside a switch is legal: it exits the switch *)
+          env.loop_depth <- env.loop_depth + 1;
+          check_block env c.body;
+          env.loop_depth <- env.loop_depth - 1)
+        cases;
+      if !defaults > 1 then err env "multiple default labels"
+  | Scheckpoint _ -> ()
+
+and check_block env b =
+  push_scope env;
+  List.iter (check_stmt env) b;
+  pop_scope env
+
+let check prog =
+  let funcs = Hashtbl.create 16 in
+  let env =
+    { errors = []; scopes = [ SS.empty ]; funcs; where = "<global>"; loop_depth = 0 }
+  in
+  (* First pass: collect globals and functions (forward references allowed). *)
+  List.iter
+    (fun g ->
+      match g with
+      | Gvar (t, name, init) ->
+          check_ty env t;
+          (match init with
+          | Some (Ilist l) -> (
+              match t with
+              | Tarr (_, n) ->
+                  if List.length l > n then
+                    err env (Printf.sprintf "initializer too long for %S" name)
+              | _ -> err env (Printf.sprintf "list initializer for non-array %S" name))
+          | _ -> ());
+          declare env name
+      | Gfunc f ->
+          if Hashtbl.mem funcs f.fname then
+            err env (Printf.sprintf "duplicate function %S" f.fname)
+          else if Builtins.find f.fname <> None then
+            err env (Printf.sprintf "function %S shadows a builtin" f.fname)
+          else Hashtbl.add funcs f.fname f)
+    prog.globals;
+  (* Global initializer expressions may only use earlier globals; we accept
+     any global reference for simplicity. *)
+  List.iter
+    (fun g ->
+      match g with
+      | Gvar (_, name, Some (Iexpr e)) ->
+          env.where <- "<global " ^ name ^ ">";
+          check_expr env e
+      | _ -> ())
+    prog.globals;
+  (* Second pass: function bodies. *)
+  List.iter
+    (fun g ->
+      match g with
+      | Gvar _ -> ()
+      | Gfunc f ->
+          env.where <- f.fname;
+          push_scope env;
+          List.iter
+            (fun (t, name) ->
+              check_ty env t;
+              declare env name)
+            f.params;
+          check_block env f.body;
+          pop_scope env)
+    prog.globals;
+  env.where <- "<global>";
+  if not (Hashtbl.mem funcs "main") then err env "program has no main function";
+  match env.errors with [] -> Ok () | l -> Error (List.rev l)
+
+let check_exn prog =
+  match check prog with
+  | Ok () -> ()
+  | Error errs ->
+      let msg =
+        String.concat "; "
+          (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)
+      in
+      failwith ("Sema: " ^ msg)

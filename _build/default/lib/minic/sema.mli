@@ -1,0 +1,18 @@
+(** Light semantic checking of MiniC programs.
+
+    Catches the mistakes that would otherwise surface as confusing runtime
+    failures in the simulator: use of undeclared variables, unknown
+    functions, wrong call arity, [void] variables, non-positive array
+    dimensions, [break]/[continue] outside loops, duplicate definitions,
+    assignment to non-lvalues, and a missing [main]. *)
+
+type error = { msg : string; where : string }
+(** [where] names the enclosing function, or ["<global>"]. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [check prog] returns all problems found ([Ok ()] when none). *)
+val check : Ast.program -> (unit, error list) result
+
+(** [check_exn prog] raises [Failure] with a readable message on errors. *)
+val check_exn : Ast.program -> unit

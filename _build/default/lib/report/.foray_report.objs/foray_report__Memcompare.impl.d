@@ -1,0 +1,1 @@
+lib/report/memcompare.ml: Foray_cachesim Foray_core Foray_instrument Foray_spm Foray_suite Foray_trace Foray_util List Minic Minic_sim Printf

@@ -1,0 +1,1 @@
+lib/report/memcompare.mli: Foray_cachesim Foray_suite

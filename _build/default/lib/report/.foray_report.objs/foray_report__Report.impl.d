@@ -1,0 +1,1 @@
+lib/report/report.ml: Foray_core Foray_static Foray_suite Foray_trace Foray_util List Option Printf

@@ -1,0 +1,1 @@
+lib/report/report.mli: Foray_core Foray_suite

@@ -1,0 +1,98 @@
+module Cache = Foray_cachesim.Cache
+module Energy = Foray_spm.Energy
+module Tablefmt = Foray_util.Tablefmt
+
+type result = {
+  name : string;
+  accesses : int;
+  cache_hit_rate : float;
+  cache_energy : float;
+  spm_energy : float;
+  main_energy : float;
+  spm_buffers : int;
+}
+
+let run ?(cache_config = Cache.default_config) (b : Foray_suite.Suite.bench)
+    ~capacity =
+  let cache_config = { cache_config with Cache.size_bytes = capacity } in
+  let cache = Cache.create cache_config in
+  let prog = Minic.Parser.program b.source in
+  Minic.Sema.check_exn prog;
+  let instrumented = Foray_instrument.Annotate.program prog in
+  (* one simulation feeds the FORAY analysis and the cache *)
+  let tree = Foray_core.Looptree.create () in
+  let tstats = Foray_trace.Tstats.create () in
+  let sink =
+    Foray_trace.Event.tee
+      (Foray_trace.Event.tee (Foray_core.Looptree.sink tree)
+         (Foray_trace.Tstats.sink tstats))
+      (Cache.sink cache)
+  in
+  (* Named scalars live in registers on a real compiled target, so they
+     are excluded from the memory-organization comparison: both the cache
+     and the SPM see array/pointer traffic only. *)
+  let config =
+    { Minic_sim.Interp.default_config with trace_scalars = false }
+  in
+  let _ = Minic_sim.Interp.run ~config instrumented ~sink in
+  let model = Foray_core.Model.of_tree tree in
+  let total = Foray_trace.Tstats.total_accesses tstats in
+  (* cache organization *)
+  let cs = Cache.stats cache in
+  let line = cache_config.Cache.line_bytes in
+  let cache_energy =
+    (float_of_int cs.accesses
+    *. Energy.cache_access ~bytes:capacity ~assoc:cache_config.Cache.assoc)
+    +. (float_of_int (cs.misses + cs.writebacks) *. Energy.line_transfer ~line_bytes:line)
+  in
+  (* SPM organization: optimal buffers at this capacity, rest from main *)
+  let cands = Foray_spm.Reuse.candidates model in
+  let sel = Foray_spm.Dse.select_optimal cands ~spm_bytes:capacity in
+  let served =
+    List.fold_left (fun a (c : Foray_spm.Reuse.candidate) -> a + c.accesses)
+      0 sel.chosen
+  in
+  let spm_energy =
+    List.fold_left
+      (fun a c -> a +. Foray_spm.Reuse.energy c ~spm_bytes:capacity)
+      0.0 sel.chosen
+    +. Energy.baseline (total - served)
+  in
+  {
+    name = b.name;
+    accesses = total;
+    cache_hit_rate = Cache.hit_rate cache;
+    cache_energy;
+    spm_energy;
+    main_energy = Energy.baseline total;
+    spm_buffers = List.length sel.chosen;
+  }
+
+let table ~capacity results =
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "Memory energy, %d-byte on-chip budget (nJ; lower is better)"
+           capacity)
+      [ "Benchmark"; "accesses"; "all-main"; "cache"; "hit%"; "SPM"; "bufs";
+        "SPM vs cache" ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.row t
+        [
+          r.name;
+          Foray_util.Stats.human r.accesses;
+          Printf.sprintf "%.0f" r.main_energy;
+          Printf.sprintf "%.0f" r.cache_energy;
+          Printf.sprintf "%.0f%%" (100.0 *. r.cache_hit_rate);
+          Printf.sprintf "%.0f" r.spm_energy;
+          string_of_int r.spm_buffers;
+          (if r.spm_energy < r.cache_energy then
+             Printf.sprintf "SPM wins %.1fx" (r.cache_energy /. r.spm_energy)
+           else
+             Printf.sprintf "cache wins %.1fx" (r.spm_energy /. r.cache_energy));
+        ])
+    results;
+  Tablefmt.render t

@@ -1,0 +1,31 @@
+(** Cache vs. scratch-pad energy comparison for one benchmark.
+
+    This quantifies the paper's premise (Section 1, via Banakar et al.):
+    an SPM managed with FORAY-model buffers serves the hot references at
+    SPM energy while everything else goes to main memory, whereas a cache
+    of the same capacity pays tag+way energy on {e every} access plus line
+    traffic on misses. Both consume exactly the same profile trace. *)
+
+type result = {
+  name : string;
+  accesses : int;  (** total trace accesses *)
+  cache_hit_rate : float;
+  cache_energy : float;  (** nJ: cache accesses + miss/writeback traffic *)
+  spm_energy : float;
+      (** nJ: chosen-buffer accesses and fills at SPM cost, the remaining
+          accesses from main memory *)
+  main_energy : float;  (** nJ: everything from main memory *)
+  spm_buffers : int;  (** buffers chosen at this capacity *)
+}
+
+(** [run ?cache_config bench ~capacity] simulates the benchmark once and
+    evaluates the three organizations at the given on-chip capacity
+    (bytes). The cache config's size is overridden by [capacity]. *)
+val run :
+  ?cache_config:Foray_cachesim.Cache.config ->
+  Foray_suite.Suite.bench ->
+  capacity:int ->
+  result
+
+(** Table over the whole suite at one capacity. *)
+val table : capacity:int -> result list -> string

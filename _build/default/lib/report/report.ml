@@ -1,0 +1,213 @@
+module Pipeline = Foray_core.Pipeline
+module Model = Foray_core.Model
+module Baseline = Foray_static.Baseline
+module Tstats = Foray_trace.Tstats
+module Stats = Foray_util.Stats
+module Tablefmt = Foray_util.Tablefmt
+
+type bench_report = {
+  name : string;
+  lines : int;
+  loops_total : int;
+  loops_for : int;
+  loops_while : int;
+  loops_do : int;
+  model_loops : int;
+  model_refs : int;
+  loops_not_foray : int;
+  refs_not_foray : int;
+  refs_total : int;
+  accesses_total : int;
+  footprint_total : int;
+  model_sites : int;
+  model_accesses : int;
+  model_footprint : int;
+  sys_sites : int;
+  sys_accesses : int;
+  sys_footprint : int;
+  other_footprint : int;
+  hints : int;
+}
+
+(* Model loops and refs against the static baseline. *)
+let rec fold_model_loops f acc (l : Model.mloop) =
+  let acc = f acc l in
+  List.fold_left (fold_model_loops f) acc l.subs
+
+let report ?thresholds (b : Foray_suite.Suite.bench) =
+  let r =
+    match thresholds with
+    | Some thresholds -> Pipeline.run_source ~thresholds b.source
+    | None -> Pipeline.run_source b.source
+  in
+  let static = Baseline.analyze r.program in
+  (* Table I: loops that executed (distinct source loops seen in the tree) *)
+  let executed_lids =
+    List.sort_uniq compare
+      (List.map (fun (n : Foray_core.Looptree.node) -> n.lid)
+         (Foray_core.Looptree.nodes r.tree))
+  in
+  let kind_of lid = List.assoc_opt lid r.loop_kinds in
+  let count k =
+    List.length (List.filter (fun l -> kind_of l = Some k) executed_lids)
+  in
+  (* Table II *)
+  let model_loops = Model.n_loops r.model in
+  let model_refs = Model.n_refs r.model in
+  let loops_not_foray =
+    List.fold_left
+      (fold_model_loops (fun acc (l : Model.mloop) ->
+           if Baseline.loop_canonical static l.lid then acc else acc + 1))
+      0 r.model.loops
+  in
+  let refs_not_foray =
+    List.length
+      (List.filter
+         (fun (_, (mr : Model.mref)) ->
+           not (Baseline.ref_analyzable static mr.site))
+         (Model.all_refs r.model))
+  in
+  (* Table III *)
+  let in_model site = List.mem site r.model.sites in
+  let classify (s : Tstats.site_info) =
+    if in_model s.site then `Model else if s.sys then `Sys else `Other
+  in
+  let groups = Tstats.group r.tstats ~classify in
+  let get k = Option.value (List.assoc_opt k groups) ~default:(0, 0, 0) in
+  let m_n, m_a, m_f = get `Model in
+  let s_n, s_a, s_f = get `Sys in
+  let _, _, o_f = get `Other in
+  {
+    name = b.name;
+    lines = Foray_suite.Suite.lines b;
+    loops_total = List.length executed_lids;
+    loops_for = count "for";
+    loops_while = count "while";
+    loops_do = count "do";
+    model_loops;
+    model_refs;
+    loops_not_foray;
+    refs_not_foray;
+    refs_total = Tstats.n_sites r.tstats;
+    accesses_total = Tstats.total_accesses r.tstats;
+    footprint_total = Tstats.total_footprint r.tstats;
+    model_sites = m_n;
+    model_accesses = m_a;
+    model_footprint = m_f;
+    sys_sites = s_n;
+    sys_accesses = s_a;
+    sys_footprint = s_f;
+    other_footprint = o_f;
+    hints = List.length (Pipeline.hints r);
+  }
+
+let report_all ?thresholds () =
+  List.map (fun b -> report ?thresholds b) Foray_suite.Suite.all
+
+let pct = Stats.percent
+
+let table1 reports =
+  let t =
+    Tablefmt.create
+      ~title:"Table I. Benchmark complexity and loop distribution"
+      [ "Benchmark"; "Lines"; "Loops"; "for"; "while"; "do" ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.row t
+        [
+          r.name;
+          string_of_int r.lines;
+          string_of_int r.loops_total;
+          Tablefmt.pctf (pct r.loops_for r.loops_total);
+          Tablefmt.pctf (pct r.loops_while r.loops_total);
+          Tablefmt.pctf (pct r.loops_do r.loops_total);
+        ])
+    reports;
+  Tablefmt.render t
+
+let table2 reports =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Table II. Loops and references converted into FORAY form \
+         (counts = in model; %% = not in FORAY form in the source)"
+      [ "Benchmark"; "Loops"; "Refs"; "Loops not FORAY"; "Refs not FORAY" ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.row t
+        [
+          r.name;
+          string_of_int r.model_loops;
+          string_of_int r.model_refs;
+          Tablefmt.pctf (pct r.loops_not_foray r.model_loops);
+          Tablefmt.pctf (pct r.refs_not_foray r.model_refs);
+        ])
+    reports;
+  Tablefmt.render t
+
+let table3 reports =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Table III. Memory behavior of the FORAY models \
+         (percentages of the totals)"
+      [
+        "Benchmark"; "Refs"; "Accesses"; "Footprint"; "mRef"; "mAcc"; "mFp";
+        "sRef"; "sAcc"; "sFp"; "oFp";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.row t
+        [
+          r.name;
+          string_of_int r.refs_total;
+          Stats.human r.accesses_total;
+          string_of_int r.footprint_total;
+          Tablefmt.pctf (pct r.model_sites r.refs_total);
+          Tablefmt.pctf (pct r.model_accesses r.accesses_total);
+          Tablefmt.pctf (pct r.model_footprint r.footprint_total);
+          Tablefmt.pctf (pct r.sys_sites r.refs_total);
+          Tablefmt.pctf (pct r.sys_accesses r.accesses_total);
+          Tablefmt.pctf (pct r.sys_footprint r.footprint_total);
+          Tablefmt.pctf (pct r.other_footprint r.footprint_total);
+        ])
+    reports;
+  Tablefmt.render t
+
+let headline reports =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Headline: references analyzable with FORAY-GEN vs. static analysis \
+         alone"
+      [ "Benchmark"; "FORAY-GEN"; "Static only"; "Increase" ]
+  in
+  let ratios =
+    List.filter_map
+      (fun r ->
+        let static_only = r.model_refs - r.refs_not_foray in
+        Tablefmt.row t
+          [
+            r.name;
+            string_of_int r.model_refs;
+            string_of_int static_only;
+            (if static_only = 0 then "inf"
+             else
+               Printf.sprintf "%.2fx"
+                 (float_of_int r.model_refs /. float_of_int static_only));
+          ];
+        if static_only = 0 then None
+        else Some (float_of_int r.model_refs /. float_of_int static_only))
+      reports
+  in
+  let avg =
+    if ratios = [] then 0.0
+    else List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+  in
+  Tablefmt.separator t;
+  Tablefmt.row t
+    [ "average"; ""; ""; Printf.sprintf "%.2fx (finite rows)" avg ];
+  Tablefmt.render t

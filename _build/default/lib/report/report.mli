@@ -1,0 +1,60 @@
+(** Experiment driver: computes and renders the paper's evaluation tables.
+
+    - {b Table I}: benchmark complexity and loop-kind distribution;
+    - {b Table II}: loops/references representable in FORAY form, and the
+      share of them not in FORAY form in the original source (i.e. beyond
+      the reach of purely static SPM analyses);
+    - {b Table III}: memory behaviour of the FORAY model — references,
+      accesses and footprint captured by the model vs. system-library vs.
+      other traffic.
+
+    Percentages follow the paper's definitions; see EXPERIMENTS.md for the
+    paper-vs-measured comparison. *)
+
+type bench_report = {
+  name : string;
+  lines : int;
+  (* Table I: loops that executed at least once, by original kind *)
+  loops_total : int;
+  loops_for : int;
+  loops_while : int;
+  loops_do : int;
+  (* Table II *)
+  model_loops : int;  (** loop nodes in the FORAY model (inlined contexts) *)
+  model_refs : int;  (** references in the FORAY model *)
+  loops_not_foray : int;  (** model loops whose source loop is not a
+                              canonical [for] *)
+  refs_not_foray : int;  (** model references not statically analyzable *)
+  (* Table III *)
+  refs_total : int;
+  accesses_total : int;
+  footprint_total : int;
+  model_sites : int;
+  model_accesses : int;
+  model_footprint : int;
+  sys_sites : int;
+  sys_accesses : int;
+  sys_footprint : int;
+  other_footprint : int;
+  (* extras *)
+  hints : int;  (** duplication hints (Figure 9 analysis) *)
+}
+
+(** Runs the full pipeline + static baseline on one benchmark. *)
+val report :
+  ?thresholds:Foray_core.Filter.thresholds ->
+  Foray_suite.Suite.bench ->
+  bench_report
+
+(** Runs every suite benchmark. *)
+val report_all :
+  ?thresholds:Foray_core.Filter.thresholds -> unit -> bench_report list
+
+val table1 : bench_report list -> string
+val table2 : bench_report list -> string
+val table3 : bench_report list -> string
+
+(** The headline claim: ratio of FORAY-GEN-analyzable references to
+    statically-analyzable references, per benchmark and averaged (the paper
+    reports a 2x average increase). *)
+val headline : bench_report list -> string

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Foray_trace Hashtbl List Minic Minic_machine Option Printf

@@ -1,0 +1,62 @@
+(** The "instruction-set simulator" of Step 2 of Algorithm 1.
+
+    Interprets a MiniC program over a simulated 32-bit address space and
+    pushes one {!Foray_trace.Event.event} into the given sink for every
+    memory access and every executed checkpoint — the same record stream the
+    paper obtains from a modified SimpleScalar. Because consumers are sinks,
+    the FORAY-GEN analysis can run online during simulation with no stored
+    trace (constant space, §4 of the paper).
+
+    Machine model:
+    - [int] and pointers are 4 bytes, [char] is 1 byte, little-endian;
+    - every named variable lives in memory (globals segment or stack frame),
+      as in unoptimized embedded compilation; reads/writes of named scalars
+      emit events unless [trace_scalars] is off;
+    - array-element and pointer-dereference traffic is always traced;
+    - pointer arithmetic is scaled by the element size, as in C;
+    - function parameters are stored to the callee frame on call (the
+      paper's "placing arguments to the stack"), with events;
+    - [memset]/[memcpy] builtin traffic is tagged [sys], modelling system
+      libraries (Table III's middle category). *)
+
+exception Runtime_error of string
+
+type value = Vint of int | Vptr of { addr : int; elem : Minic.Ast.ty }
+
+type config = {
+  trace_scalars : bool;  (** emit events for named scalar accesses *)
+  max_steps : int;  (** statement budget; exceeded -> [Runtime_error] *)
+  rand_seed : int;  (** seed of the [mc_rand] builtin *)
+}
+
+val default_config : config
+
+type result = {
+  ret : int;  (** [main]'s return value (0 when it returns void) *)
+  output : int list;  (** values passed to [print_int], in order *)
+  steps : int;  (** statements executed *)
+  accesses : int;  (** memory-access events emitted *)
+}
+
+(** [run ?config prog ~sink] executes [main]. The program should have passed
+    {!Minic.Sema.check}.
+    @raise Runtime_error on dynamic errors (division by zero, step-limit,
+    unknown function, bad pointer operations). *)
+val run : ?config:config -> Minic.Ast.program -> sink:Foray_trace.Event.sink -> result
+
+(** Convenience: run and also return the full event list. *)
+val run_to_trace :
+  ?config:config -> Minic.Ast.program -> result * Foray_trace.Event.event list
+
+(** {1 Synthetic site ids}
+
+    Real reference sites are expression node ids. Traffic not tied to a
+    source expression gets reserved ids well above any node id: *)
+
+val site_memset : int
+val site_memcpy_rd : int
+val site_memcpy_wr : int
+
+(** Site used for the implicit stores of a declaration's initializer list;
+    derived from the statement id. *)
+val site_ilist : int -> int

@@ -1,0 +1,1 @@
+lib/spm/dse.ml: Array Energy Format List Reuse

@@ -1,0 +1,1 @@
+lib/spm/dse.mli: Foray_core Format Reuse

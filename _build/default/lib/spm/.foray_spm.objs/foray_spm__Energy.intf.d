@@ -1,0 +1,1 @@
+lib/spm/energy.mli:

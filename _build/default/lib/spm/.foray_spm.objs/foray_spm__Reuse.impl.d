@@ -1,0 +1,1 @@
+lib/spm/reuse.ml: Energy Foray_core Format Hashtbl List Model Option

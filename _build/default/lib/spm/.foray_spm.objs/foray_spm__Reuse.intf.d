@@ -1,0 +1,1 @@
+lib/spm/reuse.mli: Foray_core Format

@@ -1,0 +1,1 @@
+lib/spm/transform.ml: Buffer Dse Foray_core Hashtbl List Model Printf Reuse String

@@ -1,0 +1,1 @@
+lib/spm/transform.mli: Dse Foray_core Reuse

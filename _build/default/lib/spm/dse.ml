@@ -1,0 +1,101 @@
+type selection = {
+  spm_bytes : int;
+  chosen : Reuse.candidate list;
+  used_bytes : int;
+  energy_base : float;
+  energy_opt : float;
+  saving_pct : float;
+}
+
+(* Energy accounting over the set of candidate references: references
+   without a chosen buffer stay in main memory. *)
+let finalize ~spm_bytes ~all_groups chosen =
+  let chosen_groups =
+    List.map (fun (c : Reuse.candidate) -> c.group) chosen
+  in
+  let base =
+    List.fold_left
+      (fun acc (_, cands) ->
+        match cands with
+        | (c : Reuse.candidate) :: _ -> acc +. Energy.baseline c.accesses
+        | [] -> acc)
+      0.0 all_groups
+  in
+  let opt =
+    List.fold_left
+      (fun acc (g, cands) ->
+        if List.mem g chosen_groups then acc
+        else
+          match cands with
+          | (c : Reuse.candidate) :: _ -> acc +. Energy.baseline c.accesses
+          | [] -> acc)
+      0.0 all_groups
+    +. List.fold_left
+         (fun acc c -> acc +. Reuse.energy c ~spm_bytes)
+         0.0 chosen
+  in
+  {
+    spm_bytes;
+    chosen;
+    used_bytes = List.fold_left (fun a (c : Reuse.candidate) -> a + c.size) 0 chosen;
+    energy_base = base;
+    energy_opt = opt;
+    saving_pct = (if base > 0.0 then 100.0 *. (base -. opt) /. base else 0.0);
+  }
+
+let select_optimal cands ~spm_bytes =
+  let groups = Reuse.by_ref cands in
+  (* dp.(c) = best (benefit, chosen) using capacity exactly <= c *)
+  let cap = spm_bytes in
+  let dp = Array.make (cap + 1) (0.0, []) in
+  List.iter
+    (fun (_, gcands) ->
+      let next = Array.copy dp in
+      List.iter
+        (fun (c : Reuse.candidate) ->
+          let b = Reuse.benefit c ~spm_bytes in
+          if b > 0.0 && c.size <= cap then
+            for cc = c.size to cap do
+              let prev_b, prev_l = dp.(cc - c.size) in
+              let cand_b = prev_b +. b in
+              if cand_b > fst next.(cc) then next.(cc) <- (cand_b, c :: prev_l)
+            done)
+        gcands;
+      Array.blit next 0 dp 0 (cap + 1))
+    groups;
+  let best = Array.fold_left (fun acc x -> if fst x > fst acc then x else acc) dp.(0) dp in
+  finalize ~spm_bytes ~all_groups:groups (List.rev (snd best))
+
+let select_greedy cands ~spm_bytes =
+  let groups = Reuse.by_ref cands in
+  let scored =
+    List.filter_map
+      (fun (c : Reuse.candidate) ->
+        let b = Reuse.benefit c ~spm_bytes in
+        if b > 0.0 && c.size <= spm_bytes then
+          Some (b /. float_of_int (max 1 c.size), c)
+        else None)
+      cands
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  let chosen, _, _ =
+    List.fold_left
+      (fun (chosen, used, taken) (_, (c : Reuse.candidate)) ->
+        if List.mem c.group taken || used + c.size > spm_bytes then
+          (chosen, used, taken)
+        else (c :: chosen, used + c.size, c.group :: taken))
+      ([], 0, []) scored
+  in
+  finalize ~spm_bytes ~all_groups:groups (List.rev chosen)
+
+let default_sizes = [ 256; 512; 1024; 2048; 4096; 8192; 16384 ]
+
+let sweep ?(sizes = default_sizes) model =
+  let cands = Reuse.candidates model in
+  List.map (fun s -> (s, select_optimal cands ~spm_bytes:s)) sizes
+
+let pp_selection fmt s =
+  Format.fprintf fmt
+    "SPM %5dB: %d buffer(s), %dB used, energy %.1f -> %.1f nJ (%.1f%% saved)"
+    s.spm_bytes (List.length s.chosen) s.used_bytes s.energy_base s.energy_opt
+    s.saving_pct

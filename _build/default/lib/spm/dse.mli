@@ -1,0 +1,32 @@
+(** Design-space exploration: choosing scratch-pad buffers (step 3 of the
+    Phase II flow in Figure 3).
+
+    Each reference contributes a group of mutually-exclusive buffer
+    candidates (one per covered loop level); the selector picks at most one
+    candidate per group so that the total buffer size fits the SPM and the
+    energy benefit is maximal — a grouped knapsack. Both an optimal dynamic
+    program and the classic greedy-by-benefit-density heuristic are
+    provided; the ablation bench compares them. *)
+
+type selection = {
+  spm_bytes : int;
+  chosen : Reuse.candidate list;
+  used_bytes : int;
+  energy_base : float;  (** all candidate-reference accesses from main memory *)
+  energy_opt : float;  (** after placing the chosen buffers *)
+  saving_pct : float;
+}
+
+(** Optimal grouped-knapsack selection for a given SPM capacity. *)
+val select_optimal : Reuse.candidate list -> spm_bytes:int -> selection
+
+(** Greedy: candidates sorted by benefit density (benefit per byte), taken
+    when they fit and their group is still free. *)
+val select_greedy : Reuse.candidate list -> spm_bytes:int -> selection
+
+(** [sweep ?sizes model] runs optimal selection for each SPM size
+    (default 256 B .. 16 KiB in powers of two). *)
+val sweep :
+  ?sizes:int list -> Foray_core.Model.t -> (int * selection) list
+
+val pp_selection : Format.formatter -> selection -> unit

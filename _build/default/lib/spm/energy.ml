@@ -1,0 +1,27 @@
+let main_access = 3.57
+
+(* Per-access SPM energy by capacity (powers of two), nJ. The growth rate
+   mirrors the CACTI-derived numbers in Banakar et al. *)
+let table =
+  [ (256, 0.09); (512, 0.11); (1024, 0.15); (2048, 0.19); (4096, 0.26);
+    (8192, 0.36); (16384, 0.51); (32768, 0.73); (65536, 1.04) ]
+
+let spm_access bytes =
+  let rec find = function
+    | [] -> snd (List.nth table (List.length table - 1))
+    | (cap, e) :: rest -> if bytes <= cap then e else find rest
+  in
+  find table
+
+let transfer_word size = main_access +. spm_access size
+let baseline accesses = float_of_int accesses *. main_access
+
+(* Cache access energy: roughly 2.5x the same-size SPM at direct-mapped,
+   growing ~18% per extra way (tag comparators + output muxing), the
+   relation reported by Banakar et al. from CACTI. *)
+let cache_access ~bytes ~assoc =
+  let base = 2.5 *. spm_access bytes in
+  base *. (1.0 +. (0.18 *. float_of_int (max 0 (assoc - 1))))
+
+let line_transfer ~line_bytes =
+  float_of_int ((line_bytes + 3) / 4) *. main_access

@@ -1,0 +1,34 @@
+(** Energy model of the memory subsystem.
+
+    Per-access energies follow the shape of Banakar et al. (CODES 2002),
+    the reference the paper cites for SPM energy advantages: scratch-pad
+    access energy grows slowly with SPM size and is an order of magnitude
+    below an off-chip main-memory access. Absolute values are in
+    nanojoules; only the ratios matter for reproducing who-wins results. *)
+
+(** Energy of one main-memory access (nJ). *)
+val main_access : float
+
+(** [spm_access bytes] is the energy of one access to a scratch pad of the
+    given capacity (nJ); capacities are rounded up to the next power of two
+    between 256 B and 64 KiB. *)
+val spm_access : int -> float
+
+(** Energy to move one 4-byte word between main memory and SPM (one main
+    access plus one SPM access). *)
+val transfer_word : int -> float
+
+(** [baseline accesses] is the energy of serving all accesses from main
+    memory. *)
+val baseline : int -> float
+
+(** [cache_access ~bytes ~assoc] is the energy of one access to a
+    set-associative cache of the given capacity (nJ). Caches pay for tag
+    lookup and way multiplexing, so this sits well above {!spm_access} of
+    the same capacity — the Banakar et al. observation that motivates
+    scratch pads in the first place. *)
+val cache_access : bytes:int -> assoc:int -> float
+
+(** Energy of refilling one cache line of [line_bytes] from main memory
+    (or writing a dirty line back). *)
+val line_transfer : line_bytes:int -> float

@@ -1,0 +1,205 @@
+open Foray_core
+
+type candidate = {
+  group : int;
+  site : int;
+  lid : int;
+  level : int;
+  size : int;
+  accesses : int;
+  fills : int;
+  words_per_fill : int;
+  writeback : bool;
+  reuse_factor : float;
+}
+
+let energy c ~spm_bytes =
+  let spm = Energy.spm_access spm_bytes in
+  let transfers =
+    float_of_int (c.fills * c.words_per_fill)
+    *. Energy.transfer_word spm_bytes
+    *. if c.writeback then 2.0 else 1.0
+  in
+  (float_of_int c.accesses *. spm) +. transfers
+
+let benefit c ~spm_bytes =
+  Energy.baseline c.accesses -. energy c ~spm_bytes
+
+let cdiv a b = (a + b - 1) / b
+
+let candidates_of_ref ~group (chain : Model.mloop list) (r : Model.mref) =
+  (* innermost-first loops of the nest, with this ref's coefficient for
+     each (0 when the iterator does not appear in the expression) *)
+  let inner_first = List.rev chain in
+  let coeff lid =
+    match List.find_opt (fun (_, l) -> l = lid) r.terms with
+    | Some (c, _) -> c
+    | None -> 0
+  in
+  let loops =
+    List.map (fun (l : Model.mloop) -> (l.lid, coeff l.lid, max l.trip 1)) inner_first
+  in
+  (* Only the covered window of a partial expression is bufferable. *)
+  let window = List.filteri (fun i _ -> i < r.m) loops in
+  let rec build k prefix rest acc =
+    match rest with
+    | [] -> acc
+    | (lid, c, trip) :: rest' ->
+        let prefix = prefix @ [ (lid, c, trip) ] in
+        let k = k + 1 in
+        let span =
+          List.fold_left (fun s (_, c, t) -> s + (abs c * (t - 1))) 0 prefix
+          + r.width
+        in
+        let accesses_inside =
+          List.fold_left (fun p (_, _, t) -> p * t) 1 prefix
+        in
+        ignore accesses_inside;
+        (* structural fill count: once per iteration of every loop outside
+           the covered prefix (correct also for fused buffers serving
+           several references per iteration) *)
+        let fills =
+          List.fold_left
+            (fun p (l : Model.mloop) ->
+              if List.exists (fun (lid, _, _) -> lid = l.lid) prefix then p
+              else p * max 1 l.trip)
+            1 chain
+        in
+        let fill_lid = match rest' with (l, _, _) :: _ -> l | [] -> 0 in
+        let cand =
+          {
+            group;
+            site = r.site;
+            lid = fill_lid;
+            level = k;
+            size = span;
+            accesses = r.execs;
+            fills;
+            words_per_fill = cdiv span 4;
+            writeback = r.writes > 0;
+            reuse_factor =
+              float_of_int r.execs /. float_of_int (fills * span);
+          }
+        in
+        build k prefix rest' (cand :: acc)
+  in
+  (* candidates only make sense when the ref really spans several
+     locations *)
+  if r.locations < 2 then []
+  else build 0 [] window [] |> List.rev
+
+(* window of addresses a ref touches while its covered loops run, with
+   outer iterators frozen (identical terms => same outer contribution) *)
+let window (chain : Model.mloop list) (r : Model.mref) =
+  let trip_of lid =
+    match List.find_opt (fun (l : Model.mloop) -> l.lid = lid) chain with
+    | Some l -> max 1 l.trip
+    | None -> 1
+  in
+  List.fold_left
+    (fun (lo, hi) (c, lid) ->
+      let span = c * (trip_of lid - 1) in
+      if c < 0 then (lo + span, hi) else (lo, hi + span))
+    (r.const, r.const + r.width)
+    r.terms
+
+(* Fuse full-affine refs of the same nest with identical terms and
+   overlapping/adjacent windows into one virtual ref. *)
+let fuse_refs refs =
+  let key (chain, (r : Model.mref)) =
+    ( List.map (fun (l : Model.mloop) -> l.lid) chain,
+      List.sort compare r.terms,
+      r.partial )
+  in
+  let classes = Hashtbl.create 16 in
+  List.iter
+    (fun ((_, (r : Model.mref)) as item) ->
+      let k = key item in
+      if r.partial then Hashtbl.add classes (k, r.site, r.const) [ item ]
+      else
+        let prev = Option.value (Hashtbl.find_opt classes (k, 0, 0)) ~default:[] in
+        Hashtbl.replace classes (k, 0, 0) (item :: prev))
+    refs;
+  Hashtbl.fold
+    (fun _ items acc ->
+      match items with
+      | [] -> acc
+      | [ one ] -> [ one ] :: acc
+      | many ->
+          (* sort by window start; fuse overlapping/adjacent runs *)
+          let sorted =
+            List.sort
+              (fun (c1, r1) (c2, r2) ->
+                compare (fst (window c1 r1)) (fst (window c2 r2)))
+              many
+          in
+          let runs =
+            List.fold_left
+              (fun runs ((chain, r) as item) ->
+                let lo, _ = window chain r in
+                match runs with
+                (* strict overlap only: adjacency would glue refs that
+                   merely touch neighbouring arrays *)
+                | ((_, prev_hi) :: _ as run) :: rest when lo < prev_hi ->
+                    let _, hi = window chain r in
+                    ((item, max prev_hi hi) :: run) :: rest
+                | _ ->
+                    let _, hi = window chain r in
+                    [ (item, hi) ] :: runs)
+              [] sorted
+          in
+          List.fold_left
+            (fun acc run -> List.map fst run :: acc)
+            acc runs)
+    classes []
+
+(* Represent a run of fused refs as one virtual ref spanning their union. *)
+let virtual_ref items =
+  match items with
+  | [ (chain, r) ] -> (chain, r)
+  | (chain, (first : Model.mref)) :: _ ->
+      let consts = List.map (fun (_, (r : Model.mref)) -> r.const) items in
+      let lo = List.fold_left min max_int consts in
+      let hi =
+        List.fold_left
+          (fun acc (_, (r : Model.mref)) -> max acc (r.const + r.width))
+          0 items
+      in
+      let sum f = List.fold_left (fun a (_, r) -> a + f r) 0 items in
+      ( chain,
+        {
+          first with
+          const = lo;
+          width = hi - lo;
+          execs = sum (fun (r : Model.mref) -> r.execs);
+          reads = sum (fun (r : Model.mref) -> r.reads);
+          writes = sum (fun (r : Model.mref) -> r.writes);
+          locations = sum (fun (r : Model.mref) -> r.locations);
+        } )
+  | [] -> invalid_arg "Reuse.virtual_ref: empty run"
+
+let candidates ?(fuse = false) (model : Model.t) =
+  let refs = Model.all_refs model in
+  let units =
+    if fuse then List.map virtual_ref (fuse_refs refs)
+    else refs
+  in
+  units
+  |> List.mapi (fun i (chain, r) -> candidates_of_ref ~group:i chain r)
+  |> List.concat
+
+let by_ref cands =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let prev = Option.value (Hashtbl.find_opt tbl c.group) ~default:[] in
+      Hashtbl.replace tbl c.group (c :: prev))
+    cands;
+  Hashtbl.fold (fun group cs acc -> (group, List.rev cs) :: acc) tbl []
+  |> List.sort compare
+
+let pp fmt c =
+  Format.fprintf fmt
+    "site=%x level=%d size=%dB accesses=%d fills=%d reuse=%.1f%s" c.site
+    c.level c.size c.accesses c.fills c.reuse_factor
+    (if c.writeback then " (writeback)" else "")

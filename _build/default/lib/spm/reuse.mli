@@ -1,0 +1,52 @@
+(** Data-reuse analysis over a FORAY model (step 2 of the shaded Phase II
+    flow in the paper's Figure 3, in the style of Issenin et al.,
+    DATE 2004).
+
+    For every model reference and every prefix of its innermost loops, a
+    {e buffer candidate} is computed: a scratch-pad buffer holding the data
+    the reference touches during one complete execution of those inner
+    loops. The buffer is filled anew each time the next-outer loop
+    advances; its profitability is the energy saved by serving accesses
+    from SPM minus the cost of the fills (and write-backs for written
+    data). *)
+
+type candidate = {
+  group : int;  (** identifies the (context, reference) the buffer serves;
+                    candidates of one group are mutually exclusive *)
+  site : int;  (** the reference the buffer serves *)
+  lid : int;  (** loop whose body the buffer lives in (fill point); 0 when
+                  the buffer covers the whole nest (filled once) *)
+  level : int;  (** number of innermost loops the buffer covers, >= 1 *)
+  size : int;  (** buffer bytes (span of addresses touched inside) *)
+  accesses : int;  (** accesses served from SPM (the ref's total execs) *)
+  fills : int;  (** times the buffer is (re)loaded *)
+  words_per_fill : int;  (** 4-byte words moved per fill *)
+  writeback : bool;  (** data is written and must be copied back *)
+  reuse_factor : float;  (** accesses per buffered byte, the reuse signal *)
+}
+
+(** Energy (nJ) of adopting the candidate with an SPM of [spm_bytes]:
+    SPM-served accesses plus fill (and write-back) transfers. *)
+val energy : candidate -> spm_bytes:int -> float
+
+(** Energy saved versus serving the reference from main memory (may be
+    negative for unprofitable candidates). *)
+val benefit : candidate -> spm_bytes:int -> float
+
+(** All candidates of a model, one per (reference, inner-loop prefix) with
+    positive potential reuse. References whose expression is partial only
+    produce candidates inside their covered window, as in §4 of the
+    paper.
+
+    With [fuse] (default false), full-affine references of the same loop
+    nest with identical coefficient terms and overlapping (or adjacent)
+    address windows are served by one shared buffer — e.g. a stencil's
+    [A\[i-1\]], [A\[i\]], [A\[i+1\]] cost one buffer, not three. Fused
+    references form a single candidate group. *)
+val candidates : ?fuse:bool -> Foray_core.Model.t -> candidate list
+
+(** Candidates grouped by [group] (for one-buffer-per-reference
+    selection). *)
+val by_ref : candidate list -> (int * candidate list) list
+
+val pp : Format.formatter -> candidate -> unit

@@ -1,0 +1,147 @@
+open Foray_core
+
+let buffer_name (c : Reuse.candidate) =
+  Printf.sprintf "B%x_l%d" c.site c.level
+
+(* Terms of the index expression split into covered (buffered, inner) and
+   outer iterators. *)
+let split_terms (r : Model.mref) ~covered =
+  List.partition (fun (_, lid) -> List.mem lid covered) r.terms
+
+type plan = {
+  cand : Reuse.candidate;
+  access_line : string;  (** replaces the reference *)
+  fill_stmt : string;
+  wb_stmt : string option;
+  fill_loop : Model.mloop option;  (** body of this loop; [None] = before
+                                       the outermost loop of the nest *)
+  nest_head : Model.mloop;  (** outermost loop of the ref's nest *)
+}
+
+let plan_of ~chain ~(r : Model.mref) (c : Reuse.candidate) =
+  let inner_first = List.rev chain in
+  let covered =
+    List.filteri (fun i _ -> i < c.level) inner_first
+    |> List.map (fun (m : Model.mloop) -> m.lid)
+  in
+  let cov_terms, out_terms = split_terms r ~covered in
+  let trip_of lid =
+    match List.find_opt (fun (m : Model.mloop) -> m.lid = lid) chain with
+    | Some m -> m.trip
+    | None -> 1
+  in
+  (* negative coefficients reach their minimum at the last iteration *)
+  let min_cov =
+    List.fold_left
+      (fun acc (co, lid) ->
+        if co < 0 then acc + (co * (trip_of lid - 1)) else acc)
+      0 cov_terms
+  in
+  let render const terms =
+    String.concat " + "
+      (string_of_int const
+      :: List.map (fun (co, lid) -> Printf.sprintf "%d*i%d" co lid) terms)
+  in
+  let base = render (r.const + min_cov) out_terms in
+  let idx = render (-min_cov) cov_terms in
+  let name = buffer_name c in
+  let arr = Model.array_name r.site in
+  {
+    cand = c;
+    access_line = Printf.sprintf "%s[%s];" name idx;
+    fill_stmt = Printf.sprintf "memcpy(%s, &%s[%s], %d);" name arr base c.size;
+    wb_stmt =
+      (if c.writeback then
+         Some (Printf.sprintf "memcpy(&%s[%s], %s, %d);" arr base name c.size)
+       else None);
+    fill_loop =
+      (if c.lid = 0 then None
+       else List.find_opt (fun (m : Model.mloop) -> m.lid = c.lid) chain);
+    nest_head = List.hd chain;
+  }
+
+let apply (model : Model.t) (sel : Dse.selection) =
+  let chosen_for =
+    List.map (fun (c : Reuse.candidate) -> (c.group, c)) sel.chosen
+  in
+  (* Pass 1: pair references (in Model.all_refs group order) with plans. *)
+  let plans = Hashtbl.create 16 in
+  List.iteri
+    (fun i (chain, r) ->
+      match List.assoc_opt i chosen_for with
+      | Some c -> Hashtbl.add plans i (plan_of ~chain ~r c)
+      | None -> ())
+    (Model.all_refs model);
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "/* FORAY model with scratch-pad buffers (Phase II output) */\n";
+  List.iter
+    (fun site ->
+      Buffer.add_string buf
+        (Printf.sprintf "char %s[1];\n" (Model.array_name site)))
+    model.sites;
+  Hashtbl.iter
+    (fun _ p ->
+      Buffer.add_string buf
+        (Printf.sprintf "char %s[%d];\n" (buffer_name p.cand) p.cand.size))
+    plans;
+  Buffer.add_string buf "int main() {\n";
+  let all_plans = Hashtbl.fold (fun _ p acc -> p :: acc) plans [] in
+  (* Pass 2: walk the tree in the same order, replacing references and
+     inserting fills/write-backs at their loops. *)
+  let counter = ref (-1) in
+  let rec emit indent (l : Model.mloop) =
+    let pad = String.make (2 * indent) ' ' in
+    (* fills that happen once, before this whole nest *)
+    List.iter
+      (fun p ->
+        if p.fill_loop = None && p.nest_head == l then begin
+          Buffer.add_string buf (pad ^ p.fill_stmt ^ "\n")
+        end)
+      all_plans;
+    Buffer.add_string buf
+      (Printf.sprintf "%sfor (int i%d = 0; i%d < %d; i%d++) {\n" pad l.lid
+         l.lid l.trip l.lid);
+    (* per-iteration fills living in this loop's body *)
+    List.iter
+      (fun p ->
+        match p.fill_loop with
+        | Some fl when fl == l ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s  /* %d fills of %d words */\n" pad
+                 p.cand.fills p.cand.words_per_fill);
+            Buffer.add_string buf (pad ^ "  " ^ p.fill_stmt ^ "\n")
+        | _ -> ())
+      all_plans;
+    List.iter
+      (fun (r : Model.mref) ->
+        incr counter;
+        match Hashtbl.find_opt plans !counter with
+        | Some p -> Buffer.add_string buf (pad ^ "  " ^ p.access_line ^ "\n")
+        | None ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s  %s[%s];\n" pad (Model.array_name r.site)
+                 (Model.expr_of_ref r)))
+      l.refs;
+    List.iter (emit (indent + 1)) l.subs;
+    (* write-backs at the end of the fill loop's body *)
+    List.iter
+      (fun p ->
+        match (p.wb_stmt, p.fill_loop) with
+        | Some wb, Some fl when fl == l ->
+            Buffer.add_string buf (pad ^ "  " ^ wb ^ "\n")
+        | _ -> ())
+      all_plans;
+    Buffer.add_string buf (pad ^ "}\n");
+    (* write-backs of whole-nest buffers, after the nest *)
+    List.iter
+      (fun p ->
+        match (p.wb_stmt, p.fill_loop) with
+        | Some wb, None when p.nest_head == l ->
+            Buffer.add_string buf (pad ^ wb ^ "\n")
+        | _ -> ())
+      all_plans
+  in
+  List.iter (emit 1) model.loops;
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Phase II output: the FORAY model rewritten to use scratch-pad buffers
+    (step 4 of the Figure 3 flow — "modify source code to reflect buffer
+    configurations").
+
+    For every chosen buffer the emitted program declares a buffer array,
+    fills it (via [memcpy]) in the body of the loop the buffer lives under,
+    redirects the reference's accesses to the buffer with a rebased index
+    expression, and copies written buffers back. The result is valid MiniC
+    text a designer would back-annotate into the legacy code (Phase III,
+    manual by design in the paper). *)
+
+(** [apply model selection] renders the transformed model. References
+    without a chosen buffer are emitted unchanged. The selection must come
+    from {e unfused} candidates ({!Reuse.candidates} with [fuse] false):
+    fused groups index fusion classes, not model references. *)
+val apply : Foray_core.Model.t -> Dse.selection -> string
+
+(** Name of the buffer array generated for a candidate. *)
+val buffer_name : Reuse.candidate -> string

@@ -1,0 +1,1 @@
+lib/staticana/baseline.ml: List Minic Option Static_affine

@@ -1,0 +1,1 @@
+lib/staticana/baseline.mli: Minic

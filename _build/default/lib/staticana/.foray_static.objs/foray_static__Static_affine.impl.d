@@ -1,0 +1,1 @@
+lib/staticana/static_affine.ml: Format List Minic Option String

@@ -1,0 +1,1 @@
+lib/staticana/static_affine.mli: Format Minic

@@ -1,0 +1,270 @@
+open Minic.Ast
+
+type result = {
+  canonical_loops : int list;
+  total_loops : int list;
+  analyzable_refs : int list;
+}
+
+(* --- iterator recognition ------------------------------------------- *)
+
+(* The candidate iterator of a for-loop step expression. *)
+let step_iterator (step : expr option) =
+  match step with
+  | Some { e = Incr (_, { e = Var v; _ }); _ }
+  | Some { e = Decr (_, { e = Var v; _ }); _ } ->
+      Some v
+  | Some { e = OpAssign ((Add | Sub), { e = Var v; _ }, delta); _ } -> (
+      match Static_affine.const_of_expr delta with
+      | Some c when c <> 0 -> Some v
+      | _ -> None)
+  | Some
+      {
+        e =
+          Assign
+            ( { e = Var v; _ },
+              { e = Bin ((Add | Sub), { e = Var v'; _ }, delta); _ } );
+        _;
+      }
+    when v = v' -> (
+      match Static_affine.const_of_expr delta with
+      | Some c when c <> 0 -> Some v
+      | _ -> None)
+  | _ -> None
+
+(* Does the condition compare the iterator against a loop-invariant bound?
+   We accept bounds that are constants or variables other than the iterator
+   (invariance of the bound variable is checked by the no-write rule over
+   the body). *)
+let cond_uses_iterator v (cond : expr option) =
+  match cond with
+  | Some { e = Bin ((Lt | Le | Gt | Ge | Ne), { e = Var v'; _ }, bound); _ }
+    when v' = v ->
+      let rec simple (b : expr) =
+        match b.e with
+        | Int _ -> true
+        | Var w -> w <> v
+        | Bin ((Add | Sub | Mul | Shl | Shr | Div), a, c) -> simple a && simple c
+        | Un (Neg, a) -> simple a
+        | _ -> false
+      in
+      simple bound
+  | _ -> false
+
+(* Is variable [v] written or address-taken anywhere in this statement
+   list (loop body)? *)
+let modifies_var v body =
+  let found = ref false in
+  let check_expr e =
+    let rec go (e : expr) =
+      (match e.e with
+      | Assign ({ e = Var w; _ }, _)
+      | OpAssign (_, { e = Var w; _ }, _)
+      | Incr (_, { e = Var w; _ })
+      | Decr (_, { e = Var w; _ })
+      | Addr { e = Var w; _ } ->
+          if w = v then found := true
+      | _ -> ());
+      match e.e with
+      | Int _ | Var _ -> ()
+      | Bin (_, a, b) | Assign (a, b) | OpAssign (_, a, b) | Index (a, b) ->
+          go a; go b
+      | Un (_, a) | Incr (_, a) | Decr (_, a) | Deref a | Addr a | Cast (_, a) ->
+          go a
+      | Call (_, args) -> List.iter go args
+      | Cond (c, a, b) -> go c; go a; go b
+    in
+    go e
+  in
+  let rec go_stmt st =
+    (match st.s with
+    | Sexpr e -> check_expr e
+    | Sdecl (_, _, Some (Iexpr e)) -> check_expr e
+    | Sdecl _ -> ()
+    | Sif (c, a, b) ->
+        check_expr c;
+        List.iter go_stmt a;
+        List.iter go_stmt b
+    | Sfor (i, c, s, b) ->
+        Option.iter check_expr i;
+        Option.iter check_expr c;
+        Option.iter check_expr s;
+        List.iter go_stmt b
+    | Swhile (c, b) ->
+        check_expr c;
+        List.iter go_stmt b
+    | Sdo (b, c) ->
+        List.iter go_stmt b;
+        check_expr c
+    | Sreturn (Some e) -> check_expr e
+    | Sreturn None | Sbreak | Scontinue | Scheckpoint _ -> ()
+    | Sswitch (scrut, cases) ->
+        check_expr scrut;
+        List.iter (fun (c : switch_case) -> List.iter go_stmt c.body) cases
+    | Sblock b -> List.iter go_stmt b);
+    ()
+  in
+  List.iter go_stmt body;
+  !found
+
+(* --- analysis proper ------------------------------------------------- *)
+
+type env = {
+  mutable arrays : string list list;  (* scope stack of declared arrays *)
+  mutable iters : (string * int) list;  (* canonical iterator -> loop id *)
+  mutable all_canonical : bool;  (* every enclosing loop canonical so far *)
+  mutable canonical_loops : int list;
+  mutable total_loops : int list;
+  mutable analyzable : int list;
+}
+
+let is_array env name = List.exists (List.mem name) env.arrays
+
+(* Collect the statically analyzable references inside an expression.
+   Outer-to-inner index chains: A[i][j] is Index (Index (Var A, i), j);
+   the outermost Index's eid is the trace site. *)
+let rec scan_expr ?(in_base = false) env (e : expr) =
+  (match e.e with
+  | Index _ when env.all_canonical && not in_base -> (
+      match index_chain e with
+      | Some (base, idxs) when is_array env base ->
+          let iters = List.map fst env.iters in
+          if
+            List.for_all
+              (fun i -> Static_affine.of_expr ~iters i <> None)
+              idxs
+          then env.analyzable <- e.eid :: env.analyzable
+      | _ -> ())
+  | _ -> ());
+  (* recurse into children, including index subexpressions; the base of
+     an index chain is an address computation, not a memory access *)
+  match e.e with
+  | Int _ | Var _ -> ()
+  | Index (a, b) ->
+      scan_expr ~in_base:true env a;
+      scan_expr env b
+  | Bin (_, a, b) | Assign (a, b) | OpAssign (_, a, b) ->
+      scan_expr env a;
+      scan_expr env b
+  | Un (_, a) | Incr (_, a) | Decr (_, a) | Deref a | Addr a | Cast (_, a) ->
+      scan_expr env a
+  | Call (_, args) -> List.iter (scan_expr env) args
+  | Cond (c, a, b) ->
+      scan_expr env c;
+      scan_expr env a;
+      scan_expr env b
+
+and index_chain (e : expr) =
+  (* Some (base_var, [outermost_index; ...]) for chains rooted at a Var. *)
+  match e.e with
+  | Index (base, idx) -> (
+      match base.e with
+      | Var v -> Some (v, [ idx ])
+      | Index _ ->
+          Option.map (fun (v, l) -> (v, l @ [ idx ])) (index_chain base)
+      | _ -> None)
+  | _ -> None
+
+let rec scan_stmt env st =
+  match st.s with
+  | Sexpr e -> scan_expr env e
+  | Sdecl (ty, name, init) ->
+      (match init with Some (Iexpr e) -> scan_expr env e | _ -> ());
+      (match ty with
+      | Tarr _ -> (
+          match env.arrays with
+          | scope :: rest -> env.arrays <- (name :: scope) :: rest
+          | [] -> assert false)
+      | _ -> ())
+  | Sif (c, a, b) ->
+      scan_expr env c;
+      scan_block env a;
+      scan_block env b
+  | Sfor (init, cond, step, body) -> (
+      env.total_loops <- st.sid :: env.total_loops;
+      Option.iter (scan_expr env) init;
+      Option.iter (scan_expr env) cond;
+      Option.iter (scan_expr env) step;
+      let canonical_iter =
+        match step_iterator step with
+        | Some v
+          when cond_uses_iterator v cond && not (modifies_var v body) ->
+            Some v
+        | _ -> None
+      in
+      match canonical_iter with
+      | Some v ->
+          env.canonical_loops <- st.sid :: env.canonical_loops;
+          let saved = (env.iters, env.all_canonical) in
+          env.iters <- (v, st.sid) :: env.iters;
+          scan_block env body;
+          let it, ac = saved in
+          env.iters <- it;
+          env.all_canonical <- ac
+      | None ->
+          let saved = env.all_canonical in
+          env.all_canonical <- false;
+          scan_block env body;
+          env.all_canonical <- saved)
+  | Swhile (c, body) ->
+      env.total_loops <- st.sid :: env.total_loops;
+      scan_expr env c;
+      let saved = env.all_canonical in
+      env.all_canonical <- false;
+      scan_block env body;
+      env.all_canonical <- saved
+  | Sdo (body, c) ->
+      env.total_loops <- st.sid :: env.total_loops;
+      let saved = env.all_canonical in
+      env.all_canonical <- false;
+      scan_block env body;
+      env.all_canonical <- saved;
+      scan_expr env c
+  | Sreturn (Some e) -> scan_expr env e
+  | Sreturn None | Sbreak | Scontinue | Scheckpoint _ -> ()
+  | Sblock b -> scan_block env b
+  | Sswitch (scrut, cases) ->
+      scan_expr env scrut;
+      List.iter (fun (c : switch_case) -> scan_block env c.body) cases
+
+and scan_block env b =
+  env.arrays <- [] :: env.arrays;
+  List.iter (scan_stmt env) b;
+  env.arrays <- List.tl env.arrays
+
+let analyze (prog : program) =
+  let env =
+    {
+      arrays = [ [] ];
+      iters = [];
+      all_canonical = true;
+      canonical_loops = [];
+      total_loops = [];
+      analyzable = [];
+    }
+  in
+  (* global arrays are visible everywhere *)
+  List.iter
+    (function
+      | Gvar (Tarr _, name, _) -> (
+          match env.arrays with
+          | scope :: rest -> env.arrays <- (name :: scope) :: rest
+          | [] -> assert false)
+      | _ -> ())
+    prog.globals;
+  List.iter
+    (function
+      | Gvar _ -> ()
+      | Gfunc f ->
+          env.iters <- [];
+          env.all_canonical <- true;
+          scan_block env f.body)
+    prog.globals;
+  {
+    canonical_loops = List.sort_uniq compare env.canonical_loops;
+    total_loops = List.sort_uniq compare env.total_loops;
+    analyzable_refs = List.sort_uniq compare env.analyzable;
+  }
+
+let loop_canonical (r : result) lid = List.mem lid r.canonical_loops
+let ref_analyzable (r : result) eid = List.mem eid r.analyzable_refs

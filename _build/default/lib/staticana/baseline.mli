@@ -1,0 +1,35 @@
+(** The static baseline: source-level FORAY-form recognition.
+
+    Models what the compile-time SPM analyses the paper cites
+    ([5][6][7]) can see {e without} FORAY-GEN:
+
+    - a loop is {e canonical} when it is a [for] loop with a recognizable
+      integer iterator: condition [i < e], [i <= e], [i > e] or [i >= e]
+      against a loop-invariant bound, step [i++], [i--], [i += c] or
+      [i -= c] with constant [c], and [i] not otherwise written (nor
+      address-taken) in the body;
+    - a reference is {e statically analyzable} when it indexes a declared
+      array (not a pointer) with index expressions affine in the canonical
+      iterators of all its enclosing loops, and every enclosing loop in the
+      function is canonical.
+
+    Pointer walks, [while]/[do] loops and data-dependent offsets — the
+    patterns of Figure 1 — all fail these tests, which is exactly the gap
+    FORAY-GEN closes. The analysis is intra-procedural, like the cited
+    techniques. *)
+
+type result = {
+  canonical_loops : int list;  (** loop ids in canonical for form *)
+  total_loops : int list;  (** all loop ids *)
+  analyzable_refs : int list;
+      (** expression ids of statically analyzable array references; these
+          are the same ids the simulator uses as trace sites *)
+}
+
+val analyze : Minic.Ast.program -> result
+
+(** [loop_canonical r lid] and [ref_analyzable r eid] are membership
+    tests over {!result}. *)
+val loop_canonical : result -> int -> bool
+
+val ref_analyzable : result -> int -> bool

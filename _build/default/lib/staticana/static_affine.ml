@@ -1,0 +1,60 @@
+open Minic.Ast
+
+type aff = { const : int; coeffs : (string * int) list }
+
+let norm coeffs =
+  coeffs
+  |> List.filter (fun (_, c) -> c <> 0)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let add a b =
+  let merged =
+    List.fold_left
+      (fun acc (v, c) ->
+        match List.assoc_opt v acc with
+        | Some c0 -> (v, c0 + c) :: List.remove_assoc v acc
+        | None -> (v, c) :: acc)
+      a.coeffs b.coeffs
+  in
+  { const = a.const + b.const; coeffs = norm merged }
+
+let scale k a =
+  { const = k * a.const; coeffs = norm (List.map (fun (v, c) -> (v, k * c)) a.coeffs) }
+
+let rec of_expr ~iters (e : expr) : aff option =
+  match e.e with
+  | Int n -> Some { const = n; coeffs = [] }
+  | Var v when List.mem v iters -> Some { const = 0; coeffs = [ (v, 1) ] }
+  | Var _ -> None
+  | Un (Neg, a) -> Option.map (scale (-1)) (of_expr ~iters a)
+  | Bin (Add, a, b) -> (
+      match (of_expr ~iters a, of_expr ~iters b) with
+      | Some x, Some y -> Some (add x y)
+      | _ -> None)
+  | Bin (Sub, a, b) -> (
+      match (of_expr ~iters a, of_expr ~iters b) with
+      | Some x, Some y -> Some (add x (scale (-1) y))
+      | _ -> None)
+  | Bin (Mul, a, b) -> (
+      match (of_expr ~iters a, of_expr ~iters b) with
+      | Some x, Some y when y.coeffs = [] -> Some (scale y.const x)
+      | Some x, Some y when x.coeffs = [] -> Some (scale x.const y)
+      | _ -> None)
+  | Bin (Shl, a, b) -> (
+      match (of_expr ~iters a, of_expr ~iters b) with
+      | Some x, Some y when y.coeffs = [] && y.const >= 0 && y.const < 31 ->
+          Some (scale (1 lsl y.const) x)
+      | _ -> None)
+  | Cast ((Tint | Tchar), a) -> of_expr ~iters a
+  | _ -> None
+
+let const_of_expr e =
+  match of_expr ~iters:[] e with
+  | Some { const; coeffs = [] } -> Some const
+  | _ -> None
+
+let equal a b = a.const = b.const && norm a.coeffs = norm b.coeffs
+
+let pp fmt a =
+  Format.fprintf fmt "%d" a.const;
+  List.iter (fun (v, c) -> Format.fprintf fmt " + %d*%s" c v) a.coeffs

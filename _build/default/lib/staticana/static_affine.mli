@@ -1,0 +1,24 @@
+(** Symbolic affine analysis of MiniC index expressions.
+
+    Decides whether an expression is an affine function
+    [const + Σ ci * vi] of a given set of iterator variables, and extracts
+    the coefficients. This is the expression engine of the static baseline
+    analyzer (the class of analysis the SPM techniques the paper cites can
+    perform on source code). *)
+
+type aff = {
+  const : int;
+  coeffs : (string * int) list;  (** iterator -> coefficient; no zeros *)
+}
+
+(** [of_expr ~iters e] is [Some aff] when [e] is affine in the variables of
+    [iters] with all other leaves being integer literals; [None] otherwise.
+    Handles [+], [-], unary minus, multiplication with a constant side,
+    left shift by a constant, and parenthesization (implicit in the AST). *)
+val of_expr : iters:string list -> Minic.Ast.expr -> aff option
+
+(** Purely constant expressions (affine with no iterators). *)
+val const_of_expr : Minic.Ast.expr -> int option
+
+val equal : aff -> aff -> bool
+val pp : Format.formatter -> aff -> unit

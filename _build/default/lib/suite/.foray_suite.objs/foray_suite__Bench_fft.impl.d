@@ -1,0 +1,1 @@
+lib/suite/bench_fft.ml:

@@ -1,0 +1,1 @@
+lib/suite/generator.ml: Buffer Foray_util List Printf

@@ -1,0 +1,1 @@
+lib/suite/suite.ml: Bench_adpcm Bench_fft Bench_gsm Bench_jpeg Bench_lame Bench_susan List Minic String

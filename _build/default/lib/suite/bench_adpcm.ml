@@ -1,0 +1,79 @@
+(* Synthetic analogue of the MiBench adpcm encoder: the classic IMA ADPCM
+   step coder. Exactly two loops — one [for] (table setup) and one [while]
+   (the sample walk), matching Table I's adpcm row (50%/50%) — and the
+   model captures essentially one pointer-walk reference that is not in
+   FORAY form in the source (Table II: 100%). *)
+
+let source =
+  {|
+// ---- adpcm_s: synthetic IMA-ADPCM-like coder ----------------------------
+int stepsize[89];
+int inbuf[2048];
+char outbuf[2048];
+int predicted;
+int index;
+
+int main() {
+  int i;
+  int *inp;
+  char *outp;
+  int n;
+  int diff;
+  int delta;
+  int step;
+
+  // step table: affine init through a pointer (the single for loop);
+  // the write is not in FORAY form in the source
+  int *sp;
+  sp = stepsize;
+  for (i = 0; i < 89; i++) {
+    *sp++ = 7 + i * i / 4 + i * 3;
+  }
+
+  // deterministic input is folded into the same loop, as the original
+  // does its setup in one pass
+  i = 0;
+  predicted = 0;
+  index = 0;
+  inp = inbuf;
+  outp = outbuf;
+  n = 2048;
+  while (n > 0) {
+    // synthesize the next sample in place, then encode it
+    *inp = ((n * 53) % 4096) - 2048;
+    diff = *inp - predicted;
+    step = stepsize[index];
+    delta = 0;
+    if (diff < 0) {
+      delta = 8;
+      diff = -diff;
+    }
+    if (diff >= step) {
+      delta += 4;
+      diff -= step;
+    }
+    if (diff >= step / 2) {
+      delta += 2;
+      diff -= step / 2;
+    }
+    if (diff >= step / 4) {
+      delta += 1;
+    }
+    predicted += (step * (delta & 7)) / 4 - (delta & 8) * step / 8;
+    index += (delta & 7) - 2;
+    if (index < 0) {
+      index = 0;
+    }
+    if (index > 88) {
+      index = 88;
+    }
+    *outp++ = delta;
+    inp++;
+    n--;
+  }
+
+  print_int(predicted);
+  print_int(index);
+  return 0;
+}
+|}

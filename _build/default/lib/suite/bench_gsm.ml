@@ -1,0 +1,269 @@
+(* Synthetic analogue of the MiBench gsm encoder (GSM 06.10 full rate):
+   per-frame preprocessing, autocorrelation, reflection-coefficient
+   quantization through pointer walks, long-term-prediction lag search and
+   RPE grid selection with data-dependent offsets. gsm shows one of the
+   highest shares of pointer-expressed references in Table II (74% of its
+   model references are not in FORAY form in the source). *)
+
+let source =
+  {|
+// ---- gsm_s: synthetic GSM-like speech encoder ---------------------------
+// 8 frames x 160 samples, fixed point.
+
+int pcm[1280];           // input speech
+int frame[160];          // current frame, preprocessed
+int prev_frame[160];
+int acf[9];              // autocorrelation
+int refl[8];             // reflection coefficients
+int larc[8];             // coded LAR values
+int lar_tab[64];         // quantizer table
+int d_signal[200];       // short-term residual + history
+int ltp_gain;
+int ltp_lag;
+int rpe_bits;
+int out_bits[512];
+int out_count;
+int weighted[160];       // weighting filter output
+int xmc[52];             // quantized RPE pulses
+int dequant[160];        // decoder feedback path
+
+// quantizer table: affine, static
+int init_lar_tab() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    lar_tab[i] = -2048 + i * 64;
+  }
+  return 0;
+}
+
+// preprocessing: offset compensation via pointer walk (dynamic-only)
+int preprocess(int base) {
+  int *src;
+  int *dst;
+  int n;
+  int z;
+  src = pcm + base;
+  dst = frame;
+  z = 0;
+  n = 160;
+  while (n > 0) {
+    z = (*src + z * 3 / 4);
+    *dst++ = z / 2;
+    src++;
+    n--;
+  }
+  return 0;
+}
+
+// autocorrelation: like the real gsm code, walks sample pointers
+int autocorrelation() {
+  int k;
+  int i;
+  int acc;
+  int *sp;
+  for (k = 0; k < 9; k++) {
+    acc = 0;
+    sp = frame + k;
+    for (i = k; i < 160; i++) {
+      acc += *sp * *(sp - k) / 1024;
+      sp++;
+    }
+    acf[k] = acc;
+  }
+  return 0;
+}
+
+// Schur recursion (simplified): affine over small arrays, static
+int reflection() {
+  int i;
+  for (i = 0; i < 8; i++) {
+    if (acf[0] + i != 0) {
+      refl[i] = acf[i + 1] * 256 / (acf[0] + i + 1);
+    } else {
+      refl[i] = 0;
+    }
+  }
+  return 0;
+}
+
+// LAR coding: table search through a pointer (dynamic-only)
+int code_lars() {
+  int i;
+  int *t;
+  int v;
+  int idx;
+  for (i = 0; i < 8; i++) {
+    v = refl[i];
+    t = lar_tab;
+    idx = 0;
+    while (idx < 63 && *t < v) {
+      t++;
+      idx++;
+    }
+    larc[i] = idx;
+  }
+  return 0;
+}
+
+// short-term filtering into the residual buffer: pointer walk with
+// history offset (dynamic-only)
+int short_term_filter() {
+  int *d;
+  int i;
+  d = d_signal + 40;
+  for (i = 0; i < 160; i++) {
+    *d++ = frame[i] - refl[i & 7] * frame[(i + 1) & 159] / 1024;
+  }
+  return 0;
+}
+
+// LTP: search best lag 40..119; cross-correlation refs affine in (k,lag)
+int ltp_search() {
+  int lag;
+  int k;
+  int acc;
+  int best;
+  int bestlag;
+  best = -1;
+  bestlag = 40;
+  for (lag = 40; lag < 120; lag++) {
+    acc = 0;
+    for (k = 0; k < 40; k++) {
+      acc += d_signal[40 + k] * d_signal[40 + k - lag / 4] / 256;
+    }
+    if (acc > best) {
+      best = acc;
+      bestlag = lag;
+    }
+  }
+  ltp_lag = bestlag;
+  ltp_gain = best / 64;
+  return 0;
+}
+
+// RPE: pick the best of 4 decimation grids; grid offset is data
+// dependent, so the gathered refs are only partially affine
+int rpe_grid(int off) {
+  int i;
+  int e;
+  e = 0;
+  for (i = 0; i < 13; i++) {
+    e += abs(d_signal[40 + 4 * i + off]);
+  }
+  return e;
+}
+
+int rpe_select() {
+  int g;
+  int e;
+  int best;
+  int bestg;
+  best = -1;
+  bestg = 0;
+  for (g = 0; g < 4; g++) {
+    e = rpe_grid(g);
+    if (e > best) {
+      best = e;
+      bestg = g;
+    }
+  }
+  rpe_bits = bestg;
+  return 0;
+}
+
+// pack results through an output pointer (dynamic-only refs)
+int pack_frame(int fno) {
+  int i;
+  int *ob;
+  ob = out_bits + fno * 16;
+  for (i = 0; i < 8; i++) {
+    *ob++ = larc[i];
+  }
+  *ob++ = ltp_lag;
+  *ob++ = ltp_gain;
+  *ob = rpe_bits;
+  out_count += 11;
+  return 0;
+}
+
+// impulse-response weighting: affine FIR over the residual, static
+int weighting_filter() {
+  int i;
+  for (i = 0; i < 152; i++) {
+    weighted[i] =
+      (d_signal[40 + i] * 8 + d_signal[41 + i] * 4 + d_signal[42 + i] * 2) / 16;
+  }
+  return 0;
+}
+
+// RPE pulse quantization: switch-coded levels, pointer output
+int rpe_quantize(int off) {
+  int i;
+  int v;
+  int *xp;
+  xp = xmc;
+  for (i = 0; i < 13; i++) {
+    v = weighted[4 * i + off] / 512;
+    switch (v & 3) {
+    case 0:
+      *xp = 0;
+      break;
+    case 1:
+    case 2:
+      *xp = v;
+      break;
+    default:
+      *xp = 3;
+      break;
+    }
+    xp++;
+  }
+  return 0;
+}
+
+// decoder feedback: reconstruct the residual (affine, static)
+int feedback() {
+  int i;
+  for (i = 0; i < 52; i++) {
+    dequant[3 * i % 160] = xmc[i % 52] * 512;
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  int fno;
+  int s;
+
+  int *pp;
+  pp = pcm;
+  for (i = 0; i < 1280; i++) {
+    *pp++ = ((i * 37) % 512) - 256 + (i % 7) * 8;
+  }
+
+  init_lar_tab();
+  for (fno = 0; fno < 8; fno++) {
+    preprocess(fno * 160);
+    autocorrelation();
+    reflection();
+    code_lars();
+    short_term_filter();
+    ltp_search();
+    weighting_filter();
+    rpe_select();
+    rpe_quantize(rpe_bits);
+    feedback();
+    pack_frame(fno);
+    // frame history maintenance through the system library
+    memcpy(prev_frame, frame, 640);
+  }
+
+  s = 0;
+  for (i = 0; i < 128; i++) {
+    s = (s + out_bits[i]) & 65535;
+  }
+  print_int(s);
+  print_int(out_count);
+  return 0;
+}
+|}

@@ -1,0 +1,328 @@
+(* Synthetic analogue of MiBench jpeg (cjpeg): block-based image
+   compression. Mirrors the access patterns the paper highlights in
+   Figure 1: pointer-walk initialization, while-driven row chunking, DCT
+   blocks addressed through data-dependent base pointers, zigzag
+   (table-indexed, non-affine) scans and Huffman statistics. Loop-kind mix
+   tracks Table I (jpeg: 65% for / 34% while / 1% do). *)
+
+let source =
+  {|
+// ---- jpeg_s: synthetic JPEG-like encoder -------------------------------
+// image: 3 components of 48x48 pixels; 8x8 DCT blocks; integer DCT.
+
+int WIDTH = 48;
+int HEIGHT = 48;
+
+char input_rgb[6912];      // 48*48*3 interleaved
+char gray[2304];           // 48*48 component plane
+int  coef[2304];           // coefficient plane
+int  qtab[64];             // quantization table
+int  zz[64];               // zigzag order
+int  huff_count[512];      // histogram of symbol stats
+int  huff_lut[2048];       // "system-like" big lookup table
+int  last_bitpos[192];     // as in Figure 1
+int  bitbuf[4096];         // emitted bit positions
+int  result_rows[64];      // row workspace table, as in Figure 1
+int  out2[1024];           // downsampled bit positions
+int  workspace = 7;
+
+char *rowptr;
+int  *last_bitpos_ptr;
+int  nbits;
+
+// clear the coefficient plane: affine, statically analyzable
+int clear_coef() {
+  int i;
+  for (i = 0; i < 2304; i++) {
+    coef[i] = 0;
+  }
+  return 0;
+}
+
+// decimate the bit buffer: affine reads and writes, statically analyzable
+int downsample_bits() {
+  int i;
+  for (i = 0; i < 1024; i++) {
+    out2[i] = bitbuf[2 * i];
+  }
+  return 0;
+}
+
+// age the symbol statistics: affine update, statically analyzable
+int age_stats() {
+  int i;
+  for (i = 0; i < 512; i++) {
+    huff_count[i] = huff_count[i] / 2;
+  }
+  return 0;
+}
+
+// bias the coefficient plane: affine read-modify-write, static
+int coef_bias() {
+  int i;
+  for (i = 0; i < 2304; i++) {
+    coef[i] = coef[i] + qtab[i % 64] / 16;
+  }
+  return 0;
+}
+
+// fold the two bitplane halves: affine reads/writes, static
+int fold_bitbuf() {
+  int i;
+  for (i = 0; i < 2048; i++) {
+    bitbuf[i] = bitbuf[i] + bitbuf[i + 2048] / 2;
+  }
+  return 0;
+}
+
+// quantization table: affine init, statically analyzable
+int init_qtab() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    qtab[i] = 16 + i / 4;
+  }
+  return 0;
+}
+
+// zigzag order: irregular values, affine *writes*
+int init_zigzag() {
+  int i;
+  int v;
+  v = 0;
+  for (i = 0; i < 64; i++) {
+    v = (v + 17) % 64;
+    zz[i] = v;
+  }
+  return 0;
+}
+
+// big LUT init through a pointer walk (not in FORAY form statically)
+int init_lut() {
+  int *p;
+  int k;
+  p = huff_lut;
+  k = 0;
+  while (k < 2048) {
+    *p++ = (k * 7) % 256;
+    k++;
+  }
+  return 0;
+}
+
+// Figure-1 style: nested for loops walking a pointer
+int reset_bitpos() {
+  int ci;
+  int coefi;
+  last_bitpos_ptr = last_bitpos;
+  for (ci = 0; ci < 3; ci++) {
+    for (coefi = 0; coefi < 64; coefi++) {
+      *last_bitpos_ptr++ = -1;
+    }
+  }
+  return 0;
+}
+
+// RGB -> gray for one component plane: pointer walk over interleaved
+// input, stride 3; not statically analyzable
+int color_convert(int comp) {
+  char *src;
+  char *dst;
+  int n;
+  src = input_rgb + comp;
+  dst = gray;
+  n = WIDTH * HEIGHT;
+  while (n > 0) {
+    *dst++ = *src;
+    src += 3;
+    n--;
+  }
+  return 0;
+}
+
+// forward DCT on one 8x8 block given a data-dependent base offset;
+// the block offset makes these refs partially affine only
+int fwd_dct_block(int base) {
+  int i;
+  int j;
+  int acc;
+  for (i = 0; i < 8; i++) {
+    acc = 0;
+    for (j = 0; j < 8; j++) {
+      acc += gray[base + 48 * i + j] * (8 - j);
+    }
+    for (j = 0; j < 8; j++) {
+      coef[base + 48 * i + j] = acc - 4 * gray[base + 48 * i + j];
+    }
+  }
+  return 0;
+}
+
+// quantize one block via pointer walk with row stride
+int quantize_block(int base) {
+  int i;
+  int j;
+  int *c;
+  for (i = 0; i < 8; i++) {
+    c = coef + base + 48 * i;
+    j = 0;
+    while (j < 8) {
+      *c = *c / qtab[8 * i + j];
+      c++;
+      j++;
+    }
+  }
+  return 0;
+}
+
+// zigzag scan: data-dependent gather (never affine), plus Huffman stats
+int entropy_stats(int base) {
+  int k;
+  int sym;
+  for (k = 0; k < 64; k++) {
+    sym = coef[base + zz[k]] & 255;
+    huff_count[(sym + k) & 511] += 1;
+  }
+  return 0;
+}
+
+// bit emission: while loop writing positions, Figure-1 flavor
+int emit_bits(int blockno) {
+  int pos;
+  int stop;
+  pos = blockno * 48;
+  stop = pos + 40;
+  while (pos < stop) {
+    bitbuf[pos & 4095] = huff_lut[(pos * 13) & 2047];
+    pos++;
+  }
+  nbits += 40;
+  return 0;
+}
+
+// row chunk administration, straight from Figure 1
+int prepare_rows() {
+  int currow;
+  int numrows;
+  int rowsperchunk;
+  currow = 0;
+  numrows = 64;
+  rowsperchunk = 16;
+  while (currow < numrows) {
+    int i;
+    for (i = rowsperchunk; i > 0; i--) {
+      result_rows[currow++] = workspace;
+    }
+  }
+  return 0;
+}
+
+// sharpen one image row selected data-dependently: the row base makes
+// these references partially affine (Figure 7 situation)
+int sharpen_row(int row) {
+  int x;
+  int v;
+  for (x = 1; x < 47; x++) {
+    v = 2 * gray[48 * row + x] - gray[48 * row + x - 1];
+    gray[48 * row + x] = (v + gray[48 * row + x + 1]) / 2;
+  }
+  return 0;
+}
+
+// restart-marker scan over the bit buffer: while loop, dynamic-only
+int marker_scan() {
+  int *b;
+  int n;
+  int found;
+  b = bitbuf;
+  n = 2048;
+  found = 0;
+  while (n > 0) {
+    if ((*b & 255) == 217) {
+      found++;
+    }
+    b++;
+    n--;
+  }
+  return found;
+}
+
+// DC prediction across blocks: affine pass, static
+int dc_predict() {
+  int b;
+  for (b = 1; b < 36; b++) {
+    coef[64 * b % 2304] = coef[64 * b % 2304] - coef[64 * (b - 1) % 2304];
+  }
+  return 0;
+}
+
+// checksum with a do loop (jpeg has a token share of do loops)
+int checksum() {
+  int s;
+  int i;
+  s = 0;
+  i = 0;
+  do {
+    s = (s + coef[i * 37 % 2304]) & 65535;
+    i++;
+  } while (i < 64);
+  return s;
+}
+
+int main() {
+  int comp;
+  int by;
+  int bx;
+  int blockno;
+  int frame;
+
+  // deterministic pseudo-input
+  int n;
+  char *p;
+  p = input_rgb;
+  n = 0;
+  while (n < 6912) {
+    *p++ = (n * 31 + 7) % 256;
+    n++;
+  }
+
+  init_qtab();
+  init_zigzag();
+  init_lut();
+  prepare_rows();
+
+  for (frame = 0; frame < 3; frame++) {
+    clear_coef();
+    reset_bitpos();
+    for (comp = 0; comp < 3; comp++) {
+      color_convert(comp);
+      blockno = 0;
+      for (by = 0; by < 6; by++) {
+        for (bx = 0; bx < 6; bx++) {
+          int base;
+          base = 384 * by + 8 * bx;
+          fwd_dct_block(base);
+          quantize_block(base);
+          entropy_stats(base);
+          emit_bits(blockno);
+          blockno++;
+        }
+      }
+    }
+    coef_bias();
+    fold_bitbuf();
+    // sharpen an input-selected row before the next frame (Figure 7:
+    // one call per iteration, data-dependent base -> partial affine)
+    sharpen_row(mc_rand(46) + 1);
+    marker_scan();
+    dc_predict();
+    downsample_bits();
+    age_stats();
+    // stripe copy through the system library
+    memcpy(gray, input_rgb, 2304);
+  }
+
+  print_int(checksum());
+  print_int(nbits);
+  return 0;
+}
+|}

@@ -1,0 +1,329 @@
+(* Synthetic analogue of MiBench lame (MP3 encoder): fixed-point subband
+   analysis, windowed MDCT, psychoacoustic masking with data-dependent
+   band offsets, and an iterative quantization (rate) loop. lame is the
+   most for-heavy benchmark of Table I (83% for / 8% while / 9% do) and
+   contributes the largest reference population to Table II. *)
+
+let source =
+  {|
+// ---- lame_s: synthetic MP3-like encoder --------------------------------
+// 4 granules of 576 PCM samples; 32 subbands x 18 samples; fixed point.
+
+int pcm[2304];            // input ring (4 granules)
+int subband[576];         // 32x18 subband samples
+int window_tab[512];      // analysis window
+int mdct_out[576];
+int mdct_prev[576];
+int bark_off[32];         // data-dependent band offsets
+int energy[64];
+int mask[64];
+int quant[576];
+int bits_tab[1024];       // "system-like" LUT
+int scalefac[32];
+int granule_bits;
+int total_bits;
+int reservoir[64];        // bit reservoir accounting
+int res_level;
+int side[576];            // mid/side stereo workspace
+int mid[576];
+int huff_region[4];       // region boundaries for table selection
+int frame_out[1024];      // packed frame bits
+int out_ptr;
+int sfb_width[24];        // scalefactor band widths
+int xr_abs[576];
+
+// window table: affine, statically analyzable
+int init_window() {
+  int i;
+  for (i = 0; i < 512; i++) {
+    window_tab[i] = 128 - abs(i - 256) / 4;
+  }
+  return 0;
+}
+
+// bit-count LUT via pointer walk (dynamic-only)
+int init_bits_tab() {
+  int *p;
+  int k;
+  p = bits_tab;
+  k = 0;
+  while (k < 1024) {
+    *p++ = 1 + (k * 3) % 15;
+    k++;
+  }
+  return 0;
+}
+
+// data-dependent bark band offsets
+int init_bark() {
+  int b;
+  for (b = 0; b < 32; b++) {
+    bark_off[b] = mc_rand(512);
+  }
+  return 0;
+}
+
+// polyphase subband analysis for one granule at a data-dependent base:
+// refs inside are partially affine (base changes per call)
+int subband_analysis(int base) {
+  int sb;
+  int k;
+  int acc;
+  for (sb = 0; sb < 32; sb++) {
+    acc = 0;
+    for (k = 0; k < 16; k++) {
+      acc += pcm[base + 16 * sb + k] * window_tab[16 * sb % 512 + k];
+    }
+    for (k = 0; k < 18; k++) {
+      subband[18 * sb + k] = (acc + pcm[base + 18 * sb % 560 + k]) / 2;
+    }
+  }
+  return 0;
+}
+
+// windowed MDCT: fully affine over its own loops, statically analyzable
+int mdct() {
+  int sb;
+  int k;
+  int s;
+  for (sb = 0; sb < 32; sb++) {
+    for (k = 0; k < 18; k++) {
+      s = subband[18 * sb + k] * window_tab[8 * k] / 64
+        + mdct_prev[18 * sb + k] * window_tab[8 * k + 4] / 64;
+      mdct_out[18 * sb + k] = s;
+      mdct_prev[18 * sb + k] = subband[18 * sb + k];
+    }
+  }
+  return 0;
+}
+
+// psychoacoustic energy per band: gathers via bark_off (data dependent)
+int psy_model() {
+  int b;
+  int k;
+  int e;
+  for (b = 0; b < 32; b++) {
+    e = 0;
+    for (k = 0; k < 8; k++) {
+      e += abs(mdct_out[(bark_off[b] + k) % 576]);
+    }
+    energy[b] = e;
+    energy[b + 32] = e / 2;
+  }
+  // spreading: do-loops over neighbours (lame's do share)
+  b = 1;
+  do {
+    mask[b] = mc_max(energy[b - 1] / 4, energy[b] / 2);
+    b++;
+  } while (b < 63);
+  b = 62;
+  do {
+    mask[b] = mc_max(mask[b], mask[b + 1] / 2);
+    b--;
+  } while (b > 0);
+  return 0;
+}
+
+// scalefactor estimation: affine pass over bands
+int scalefactors() {
+  int sb;
+  for (sb = 0; sb < 32; sb++) {
+    scalefac[sb] = 1 + mask[sb * 2 % 63] / 256;
+  }
+  return 0;
+}
+
+// quantize with a given step; returns bits used (affine refs over quant,
+// data-dependent LUT lookups for bit counting)
+int quantize_granule(int step) {
+  int i;
+  int q;
+  int bits;
+  bits = 0;
+  for (i = 0; i < 576; i++) {
+    q = mdct_out[i] / (step + scalefac[i / 18]);
+    quant[i] = q;
+    bits += bits_tab[abs(q) & 1023];
+  }
+  return bits;
+}
+
+// iterative rate loop: do-while until the granule fits
+int rate_loop() {
+  int step;
+  int bits;
+  step = 1;
+  do {
+    bits = quantize_granule(step);
+    step = step * 2;
+  } while (bits > 3000 && step < 64);
+  granule_bits = bits;
+  return bits;
+}
+
+// bitstream accounting via pointer scan of quant
+int count_zero_runs() {
+  int *p;
+  int n;
+  int runs;
+  p = quant;
+  n = 576;
+  runs = 0;
+  while (n > 0) {
+    if (*p == 0) {
+      runs++;
+    }
+    p++;
+    n--;
+  }
+  return runs;
+}
+
+// scalefactor band widths: affine init, static
+int init_sfb() {
+  int i;
+  for (i = 0; i < 24; i++) {
+    sfb_width[i] = 4 + i * 2 - (i % 3);
+  }
+  return 0;
+}
+
+// bit reservoir bookkeeping: affine over a small table, static
+int init_reservoir() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    reservoir[i] = 0;
+  }
+  res_level = 0;
+  return 0;
+}
+
+// mid/side stereo: two affine passes, static
+int stereo_ms() {
+  int i;
+  for (i = 0; i < 576; i++) {
+    mid[i] = (mdct_out[i] + subband[i]) / 2;
+  }
+  for (i = 0; i < 576; i++) {
+    side[i] = (mdct_out[i] - subband[i]) / 2;
+  }
+  return 0;
+}
+
+// absolute spectrum for the rate loop: affine, static
+int abs_spectrum() {
+  int i;
+  for (i = 0; i < 576; i++) {
+    xr_abs[i] = abs(mdct_out[i]);
+  }
+  return 0;
+}
+
+// Huffman region split: for scan with data-dependent boundaries; the
+// writes to huff_region are small-array and filtered, the scan of
+// xr_abs is affine
+int region_split() {
+  int i;
+  int acc;
+  int region;
+  acc = 0;
+  region = 0;
+  for (i = 0; i < 576; i++) {
+    acc += xr_abs[i];
+    if (acc > 4000 && region < 3) {
+      huff_region[region] = i;
+      region++;
+      acc = 0;
+    }
+  }
+  return region;
+}
+
+// Huffman table choice per region: switch dispatch, LUT gathers
+int table_for_region(int r) {
+  int t;
+  switch (r & 3) {
+  case 0:
+    t = bits_tab[(huff_region[0] * 5) & 1023];
+    break;
+  case 1:
+    t = bits_tab[(huff_region[1] * 7) & 1023];
+    break;
+  case 2:
+    t = bits_tab[(huff_region[2] * 11) & 1023];
+    break;
+  default:
+    t = 1;
+    break;
+  }
+  return t;
+}
+
+// frame packing through an output pointer (dynamic-only refs)
+int pack_granule(int gno) {
+  int i;
+  int *op;
+  op = frame_out + gno * 200;
+  for (i = 0; i < 96; i++) {
+    *op++ = quant[6 * i] & 255;
+  }
+  for (i = 0; i < 32; i++) {
+    *op++ = scalefac[i];
+  }
+  out_ptr += 128;
+  return 0;
+}
+
+// reservoir update after each granule: small do loop (lame's do share)
+int reservoir_update(int bits) {
+  int i;
+  i = 0;
+  do {
+    reservoir[(res_level + i) & 63] = bits & 255;
+    i++;
+  } while (i < 4);
+  res_level = (res_level + bits / 100) & 63;
+  return 0;
+}
+
+int main() {
+  int g;
+  int i;
+  int runs;
+
+  // deterministic pseudo-PCM
+  for (i = 0; i < 2304; i++) {
+    pcm[i] = (i * 97 + 13) % 2048 - 1024;
+  }
+
+  init_window();
+  init_bits_tab();
+  init_bark();
+  init_sfb();
+  init_reservoir();
+
+  runs = 0;
+  for (g = 0; g < 4; g++) {
+    subband_analysis(576 * g);
+    mdct();
+    stereo_ms();
+    psy_model();
+    scalefactors();
+    abs_spectrum();
+    region_split();
+    total_bits += table_for_region(g);
+    rate_loop();
+    pack_granule(g);
+    reservoir_update(granule_bits);
+    runs += count_zero_runs();
+    total_bits += granule_bits;
+    // frame header copy through the system library
+    memcpy(mdct_prev, mdct_out, 256);
+  }
+
+  print_int(total_bits);
+  print_int(runs);
+  print_int(out_ptr);
+  return 0;
+}
+|}

@@ -1,0 +1,170 @@
+(* Synthetic analogue of MiBench susan (smallest-univalue-segment image
+   recognition): brightness LUT, 2D smoothing over row pointers and a
+   USAN corner response. Few loops with very high trip counts, so the
+   FORAY-captured references dominate dynamic accesses (susan shows 66% of
+   accesses in the model in Table III). Mix: 79% for / 21% while. *)
+
+let source =
+  {|
+// ---- susan_s: synthetic SUSAN-like image recognizer ---------------------
+// 64x64 8-bit image, 3x3 smoothing, USAN response with brightness LUT.
+
+char img[4096];            // input image
+int  blockvar[8][8];       // per-block variance map (2-D array)
+char smooth[4096];         // smoothed image
+int  response[4096];       // corner response
+char lut[516];             // brightness similarity LUT
+int  corners;
+int  hist[64];
+
+// similarity LUT: affine init, statically analyzable
+int setup_lut() {
+  int k;
+  for (k = 0; k < 516; k++) {
+    lut[k] = 100 / (1 + abs(k - 258) / 8);
+  }
+  return 0;
+}
+
+// 3x3 box smoothing; row base pointers make the inner refs dynamic-only
+int smoothing() {
+  int y;
+  int x;
+  int dy;
+  int dx;
+  int sum;
+  char *row;
+  char *out;
+  for (y = 1; y < 63; y++) {
+    out = smooth + 64 * y + 1;
+    for (x = 1; x < 63; x++) {
+      sum = 0;
+      for (dy = 0; dy < 3; dy++) {
+        row = img + 64 * (y + dy - 1) + x - 1;
+        for (dx = 0; dx < 3; dx++) {
+          sum += *row++;
+        }
+      }
+      *out++ = sum / 9;
+    }
+  }
+  return 0;
+}
+
+// USAN response: affine over the image, LUT gathers are data dependent
+int usan() {
+  int y;
+  int x;
+  int c;
+  int n;
+  int *rp;
+  for (y = 1; y < 63; y++) {
+    rp = response + 64 * y + 1;
+    for (x = 1; x < 63; x++) {
+      c = smooth[64 * y + x];
+      n = 0;
+      n += lut[258 + smooth[64 * y + x - 1] - c];
+      n += lut[258 + smooth[64 * y + x + 1] - c];
+      n += lut[258 + smooth[64 * (y - 1) + x] - c];
+      n += lut[258 + smooth[64 * (y + 1) + x] - c];
+      *rp++ = n;
+    }
+  }
+  return 0;
+}
+
+// non-max suppression scan through a pointer walk
+int find_corners() {
+  int *r;
+  int n;
+  int found;
+  r = response;
+  n = 4096;
+  found = 0;
+  while (n > 0) {
+    if (*r > 250) {
+      found++;
+    }
+    r++;
+    n--;
+  }
+  return found;
+}
+
+// brightness histogram: pointer walk with data-dependent increment target
+int histogram() {
+  char *p;
+  int n;
+  p = smooth;
+  n = 4096;
+  while (n > 0) {
+    hist[(*p & 255) / 4] += 1;
+    p++;
+    n--;
+  }
+  return 0;
+}
+
+// per-block brightness variance over a 2-D map: affine, static
+int block_variance() {
+  int by;
+  int bx;
+  int y;
+  int x;
+  int s;
+  int v;
+  for (by = 0; by < 8; by++) {
+    for (bx = 0; bx < 8; bx++) {
+      s = 0;
+      for (y = 0; y < 8; y++) {
+        char *rp;
+        rp = smooth + 64 * (8 * by + y) + 8 * bx;
+        for (x = 0; x < 8; x++) {
+          v = *rp++;
+          s += v * v / 64;
+        }
+      }
+      blockvar[by][bx] = s / 64;
+    }
+  }
+  return 0;
+}
+
+// directional edge thinning: affine double loop, static
+int edge_thin() {
+  int y;
+  int x;
+  for (y = 1; y < 63; y++) {
+    for (x = 1; x < 63; x++) {
+      if (response[64 * y + x] < response[64 * y + x - 1]) {
+        response[64 * y + x] = 0;
+      }
+    }
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  int pass;
+
+  for (i = 0; i < 4096; i++) {
+    img[i] = (i * 29 + (i / 64) * 3) % 256;
+  }
+
+  setup_lut();
+  for (pass = 0; pass < 2; pass++) {
+    smoothing();
+    usan();
+    block_variance();
+    edge_thin();
+    corners = find_corners();
+    histogram();
+  }
+
+  print_int(corners);
+  print_int(hist[2]);
+  print_int(blockvar[3][4]);
+  return 0;
+}
+|}

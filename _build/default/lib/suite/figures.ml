@@ -1,0 +1,158 @@
+let fig1 =
+  {|
+// Figure 1 of the paper: excerpts from MiBench jpeg, made runnable.
+int num_components = 3;
+int last_bitpos[256];
+int *last_bitpos_ptr;
+int result[64];
+int workspace = 7;
+
+int main() {
+  int ci;
+  int coefi;
+  last_bitpos_ptr = last_bitpos;
+  for (ci = 0; ci < num_components; ci++) {
+    for (coefi = 0; coefi < 64; coefi++) {
+      *last_bitpos_ptr++ = -1;
+    }
+  }
+  int currow = 0;
+  int numrows = 16;
+  int rowsperchunk = 16;
+  while (currow < numrows) {
+    int i;
+    for (i = rowsperchunk; i > 0; i--) {
+      result[currow++] = workspace;
+    }
+  }
+  return 0;
+}
+|}
+
+let fig4a =
+  {|
+// Figure 4(a) of the paper.
+char q[10000];
+char *ptr;
+
+int main() {
+  int i;
+  int t1 = 98;
+  ptr = q;
+  while (t1 < 100) {
+    t1++;
+    ptr += 100;
+    for (i = 40; i > 37; i--) {
+      *ptr++ = i * i % 256;
+    }
+  }
+  return 0;
+}
+|}
+
+let fig7a =
+  {|
+// Figure 7, first case: foo's local array lives at a different stack
+// address depending on the call path, so no single affine function
+// covers all calls; the inner loops are still (partially) affine.
+int tmp;
+
+int foo() {
+  int ret = 0;
+  int A[100];
+  int i;
+  int j;
+  for (i = 0; i < 10; i++) {
+    for (j = 0; j < 10; j++) {
+      A[j + 10 * i] = i + j;
+      ret += A[j + 10 * i];
+    }
+  }
+  return ret;
+}
+
+int deeper(int d) {
+  // extra frame changes foo's stack placement
+  int pad[16];
+  pad[d % 16] = d;
+  return foo();
+}
+
+int main() {
+  int x;
+  int y;
+  for (x = 0; x < 10; x++) {
+    for (y = 0; y < 10; y++) {
+      if ((x + y) % 2 == 0) {
+        tmp += foo();
+      } else {
+        tmp += deeper(y);
+      }
+    }
+  }
+  return 0;
+}
+|}
+
+let fig7b =
+  {|
+// Figure 7, second case: data-dependent offset parameter.
+int A[2000];
+int lines[10];
+int tmp;
+
+int foo(int offset) {
+  int ret = 0;
+  int i;
+  int j;
+  for (i = 0; i < 10; i++) {
+    for (j = 0; j < 10; j++) {
+      ret += A[j + 10 * i + offset];
+    }
+  }
+  return ret;
+}
+
+int main() {
+  int x;
+  for (x = 0; x < 10; x++) {
+    lines[x] = mc_rand(1000);
+  }
+  for (x = 0; x < 10; x++) {
+    tmp += foo(lines[x]);
+  }
+  return 0;
+}
+|}
+
+let fig9 =
+  {|
+// Figure 9: one function, two call sites, two access patterns.
+int A[1000];
+int tmp;
+
+int foo(int offset) {
+  int ret = 0;
+  int i;
+  for (i = 0; i < 10; i++) {
+    ret += A[i + offset];
+  }
+  return ret;
+}
+
+int main() {
+  int x;
+  int y;
+  for (x = 0; x < 10; x++) {
+    tmp += foo(10 * x);
+  }
+  for (y = 0; y < 20; y++) {
+    tmp += foo(2 * y);
+  }
+  return 0;
+}
+|}
+
+let all =
+  [ ("fig1", fig1); ("fig4a", fig4a); ("fig7a", fig7a); ("fig7b", fig7b);
+    ("fig9", fig9) ]

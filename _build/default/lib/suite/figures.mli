@@ -1,0 +1,30 @@
+(** The paper's running examples as MiniC sources.
+
+    Each value is a complete program the pipeline can run; the
+    corresponding benches reproduce Figures 2, 4, 7 and 9. *)
+
+(** Figure 1: the two MiBench jpeg excerpts (pointer-walk double [for] and
+    a [while]/[for] chunked row loop), wrapped into a runnable program.
+    FORAY-GEN turns these into the two loop nests of Figure 2. *)
+val fig1 : string
+
+(** Figure 4(a): the [while]/[for] pointer walk whose annotated form,
+    trace and FORAY model the paper shows in Figures 4(b)-(d). *)
+val fig4a : string
+
+(** Figure 7, first case: a function with a local array, reached through
+    two different call depths, so the array's base address changes between
+    calls — only a partial affine expression exists. *)
+val fig7a : string
+
+(** Figure 7, second case: a global array indexed with a data-dependent
+    [offset] parameter — partial affine over the function's own loops. *)
+val fig7b : string
+
+(** Figure 9: one function called from two loops with different access
+    strides; FORAY-GEN materializes its loop twice and the hint engine
+    suggests duplicating the function. *)
+val fig9 : string
+
+(** All figures with names, for the CLI. *)
+val all : (string * string) list

@@ -1,0 +1,170 @@
+module Prng = Foray_util.Prng
+
+type style = Direct | Ptr_for | Ptr_while | Switch_walk
+
+type planted = {
+  array : string;
+  style : style;
+  trips : int list;
+  terms : int list;
+}
+
+type t = { source : string; planted : planted list }
+
+let bprintf = Printf.bprintf
+
+(* One nest. Depth 1 or 2; the inner trip is large enough to satisfy the
+   Step 4 thresholds on its own. Returns (declarations, code, planted
+   records — one per reference the nest creates). *)
+let gen_nest rng k =
+  let arr = Printf.sprintf "G%d" k in
+  let iv d = Printf.sprintf "i%d_%d" k d in
+  let style = Prng.pick rng [ Direct; Ptr_for; Ptr_while; Switch_walk ] in
+  let depth = Prng.range rng 1 2 in
+  (* single loops must clear Nexec=20 on their own *)
+  let t_inner =
+    if depth = 1 then Prng.range rng 21 30 else Prng.range rng 12 20
+  in
+  let t_outer = Prng.range rng 2 5 in
+  let trips = if depth = 1 then [ t_inner ] else [ t_outer; t_inner ] in
+  match style with
+  | Direct ->
+      let c1 = Prng.range rng 1 3 in
+      let c2 = if depth = 2 then Prng.range rng 0 4 else 0 in
+      let off = Prng.range rng 0 7 in
+      let size = (c1 * (t_inner - 1)) + (c2 * (t_outer - 1)) + off + 1 in
+      let decl = Printf.sprintf "int %s[%d];\n" arr size in
+      let buf = Buffer.create 256 in
+      let index =
+        if depth = 2 then
+          Printf.sprintf "%d * %s + %d * %s + %d" c1 (iv 0) c2 (iv 1) off
+        else Printf.sprintf "%d * %s + %d" c1 (iv 0) off
+      in
+      if depth = 2 then begin
+        bprintf buf "  for (%s = 0; %s < %d; %s++) {\n" (iv 1) (iv 1) t_outer (iv 1);
+        bprintf buf "    for (%s = 0; %s < %d; %s++) {\n" (iv 0) (iv 0) t_inner (iv 0);
+        bprintf buf "      %s[%s] = %s + %s;\n" arr index (iv 0) (iv 1);
+        bprintf buf "    }\n  }\n"
+      end
+      else begin
+        bprintf buf "  for (%s = 0; %s < %d; %s++) {\n" (iv 0) (iv 0) t_inner (iv 0);
+        bprintf buf "    %s[%s] = %s;\n" arr index (iv 0);
+        bprintf buf "  }\n"
+      end;
+      let terms =
+        List.filter (fun c -> c <> 0)
+          (if depth = 2 then [ 4 * c1; 4 * c2 ] else [ 4 * c1 ])
+      in
+      (decl, Buffer.contents buf, [ { array = arr; style; trips; terms } ])
+  | Ptr_for ->
+      (* pointer walk with an element stride inside, and a gap skip per
+         outer iteration *)
+      let stride = Prng.range rng 1 3 in
+      let gap = if depth = 2 then Prng.range rng 0 5 else 0 in
+      let per_outer = stride * t_inner in
+      let size = (t_outer * (per_outer + gap)) + 1 in
+      let decl = Printf.sprintf "int %s[%d];\n" arr size in
+      let p = Printf.sprintf "p%d" k in
+      let buf = Buffer.create 256 in
+      bprintf buf "  %s = %s;\n" p arr;
+      if depth = 2 then begin
+        bprintf buf "  for (%s = 0; %s < %d; %s++) {\n" (iv 1) (iv 1) t_outer (iv 1);
+        bprintf buf "    for (%s = 0; %s < %d; %s++) {\n" (iv 0) (iv 0) t_inner (iv 0);
+        bprintf buf "      *%s = %s;\n" p (iv 0);
+        bprintf buf "      %s += %d;\n" p stride;
+        bprintf buf "    }\n";
+        if gap > 0 then bprintf buf "    %s += %d;\n" p gap;
+        bprintf buf "  }\n"
+      end
+      else begin
+        bprintf buf "  for (%s = 0; %s < %d; %s++) {\n" (iv 0) (iv 0) t_inner (iv 0);
+        bprintf buf "    *%s = %s;\n" p (iv 0);
+        bprintf buf "    %s += %d;\n" p stride;
+        bprintf buf "  }\n"
+      end;
+      let terms =
+        if depth = 2 then [ 4 * stride; 4 * (per_outer + gap) ]
+        else [ 4 * stride ]
+      in
+      (decl, Buffer.contents buf, [ { array = arr; style; trips; terms } ])
+  | Ptr_while ->
+      (* a while-loop walk (never in FORAY form statically), optionally
+         under an outer for *)
+      let stride = Prng.range rng 1 2 in
+      let per_outer = stride * t_inner in
+      let size = (t_outer * per_outer) + 1 in
+      let decl = Printf.sprintf "int %s[%d];\n" arr size in
+      let p = Printf.sprintf "p%d" k in
+      let n = Printf.sprintf "n%d" k in
+      let buf = Buffer.create 256 in
+      bprintf buf "  %s = %s;\n" p arr;
+      if depth = 2 then begin
+        bprintf buf "  for (%s = 0; %s < %d; %s++) {\n" (iv 1) (iv 1) t_outer (iv 1);
+        bprintf buf "    %s = %d;\n" n t_inner;
+        bprintf buf "    while (%s > 0) {\n" n;
+        bprintf buf "      *%s = %s;\n" p n;
+        bprintf buf "      %s += %d;\n" p stride;
+        bprintf buf "      %s--;\n" n;
+        bprintf buf "    }\n  }\n"
+      end
+      else begin
+        bprintf buf "  %s = %d;\n" n t_inner;
+        bprintf buf "  while (%s > 0) {\n" n;
+        bprintf buf "    *%s = %s;\n" p n;
+        bprintf buf "    %s += %d;\n" p stride;
+        bprintf buf "    %s--;\n" n;
+        bprintf buf "  }\n"
+      end;
+      let terms =
+        if depth = 2 then [ 4 * stride; 4 * per_outer ] else [ 4 * stride ]
+      in
+      (decl, Buffer.contents buf, [ { array = arr; style; trips; terms } ])
+  | Switch_walk ->
+      (* a single loop whose switch arms alternate by parity; each arm is
+         a distinct reference advancing 2*stride elements per own
+         execution, i.e. the same byte coefficient as the walk itself *)
+      let stride = Prng.range rng 1 2 in
+      let t = 2 * Prng.range rng 21 26 in
+      let size = (stride * t) + 1 in
+      let decl = Printf.sprintf "int %s[%d];\n" arr size in
+      let p = Printf.sprintf "p%d" k in
+      let buf = Buffer.create 256 in
+      bprintf buf "  %s = %s;\n" p arr;
+      bprintf buf "  for (%s = 0; %s < %d; %s++) {\n" (iv 0) (iv 0) t (iv 0);
+      bprintf buf "    switch (%s & 1) {\n" (iv 0);
+      bprintf buf "    case 0:\n      *%s = %s;\n      break;\n" p (iv 0);
+      bprintf buf "    default:\n      *%s = 0 - %s;\n      break;\n" p (iv 0);
+      bprintf buf "    }\n";
+      bprintf buf "    %s += %d;\n" p stride;
+      bprintf buf "  }\n";
+      let planted_arm =
+        { array = arr; style; trips = [ t ]; terms = [ 4 * stride ] }
+      in
+      (decl, Buffer.contents buf, [ planted_arm; planted_arm ])
+
+let generate ~seed ~nests =
+  if nests < 1 || nests > 8 then invalid_arg "Generator.generate: 1..8 nests";
+  let rng = Prng.create seed in
+  let parts = List.init nests (fun k -> gen_nest rng k) in
+  let buf = Buffer.create 1024 in
+  List.iter (fun (decl, _, _) -> Buffer.add_string buf decl) parts;
+  Buffer.add_string buf "int main() {\n";
+  (* declare all iterator / pointer / counter locals up front *)
+  List.iteri
+    (fun k (_, _, ps) ->
+      let (p : planted) = List.hd ps in
+      let depth = List.length p.trips in
+      for d = 0 to depth - 1 do
+        bprintf buf "  int i%d_%d;\n" k d
+      done;
+      match p.style with
+      | Direct -> ()
+      | Ptr_for | Switch_walk -> bprintf buf "  int *p%d;\n" k
+      | Ptr_while -> bprintf buf "  int *p%d;\n  int n%d;\n" k k)
+    parts;
+  List.iter (fun (_, code, _) -> Buffer.add_string buf code) parts;
+  Buffer.add_string buf "  return 0;\n}\n";
+  {
+    source = Buffer.contents buf;
+    planted = List.concat_map (fun (_, _, ps) -> ps) parts;
+  }

@@ -1,0 +1,44 @@
+type bench = { name : string; description : string; source : string }
+
+let all =
+  [
+    {
+      name = "jpeg";
+      description = "block image compression (synthetic cjpeg analogue)";
+      source = Bench_jpeg.source;
+    };
+    {
+      name = "lame";
+      description = "MP3 encoding (synthetic lame analogue)";
+      source = Bench_lame.source;
+    };
+    {
+      name = "susan";
+      description = "image recognition (synthetic susan analogue)";
+      source = Bench_susan.source;
+    };
+    {
+      name = "fft";
+      description = "fixed-point Fourier transform (synthetic fft analogue)";
+      source = Bench_fft.source;
+    };
+    {
+      name = "gsm";
+      description = "GSM speech encoding (synthetic gsm analogue)";
+      source = Bench_gsm.source;
+    };
+    {
+      name = "adpcm";
+      description = "IMA ADPCM coding (synthetic adpcm analogue)";
+      source = Bench_adpcm.source;
+    };
+  ]
+
+let find name = List.find_opt (fun b -> b.name = name) all
+let names = List.map (fun b -> b.name) all
+let program b = Minic.Parser.program b.source
+
+let lines b =
+  String.split_on_char '\n' b.source
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

@@ -1,0 +1,31 @@
+(** The benchmark suite: six synthetic MiniC analogues of the MiBench
+    programs the paper evaluates (jpeg, lame, susan, fft, gsm, adpcm).
+
+    Real MiBench C sources cannot be compiled or profiled in this
+    environment, so each program was rebuilt at reduced scale with the same
+    structural properties the evaluation depends on: the Table I loop-kind
+    mix, the pointer/while/data-dependent access styles that defeat static
+    analysis, system-library traffic, and reuse patterns for the SPM
+    phase. See DESIGN.md for the substitution rationale. *)
+
+type bench = {
+  name : string;
+  description : string;
+  source : string;  (** complete MiniC program *)
+}
+
+(** The six benchmarks, in the paper's order:
+    jpeg, lame, susan, fft, gsm, adpcm. *)
+val all : bench list
+
+(** Lookup by name (the paper's names, e.g. ["jpeg"]). *)
+val find : string -> bench option
+
+(** Names of all benchmarks, in order. *)
+val names : string list
+
+(** Parsed program of a benchmark. *)
+val program : bench -> Minic.Ast.program
+
+(** Number of source lines (for Table I). *)
+val lines : bench -> int

@@ -1,0 +1,1 @@
+lib/trace/tracefile.ml: Buffer Char Event Fun In_channel List Out_channel Printf String

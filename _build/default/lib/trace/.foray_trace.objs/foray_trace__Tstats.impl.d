@@ -1,0 +1,1 @@
+lib/trace/tstats.ml: Event Foray_util Hashtbl Iset List

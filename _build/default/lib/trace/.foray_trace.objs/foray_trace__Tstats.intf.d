@@ -1,0 +1,1 @@
+lib/trace/tstats.mli: Event Foray_util

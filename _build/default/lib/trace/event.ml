@@ -1,0 +1,82 @@
+type ckind = Loop_enter | Body_enter | Body_exit | Loop_exit
+
+type access = {
+  site : int;
+  addr : int;
+  write : bool;
+  sys : bool;
+  width : int;
+}
+
+type event =
+  | Checkpoint of { loop : int; kind : ckind }
+  | Access of access
+
+type sink = event -> unit
+
+let null_sink : sink = fun _ -> ()
+let tee a b : sink = fun e -> a e; b e
+
+let collector () =
+  let acc = ref [] in
+  let sink e = acc := e :: !acc in
+  (sink, fun () -> List.rev !acc)
+
+let string_of_ckind = function
+  | Loop_enter -> "loop_enter"
+  | Body_enter -> "body_enter"
+  | Body_exit -> "body_exit"
+  | Loop_exit -> "loop_exit"
+
+let ckind_of_string = function
+  | "loop_enter" -> Loop_enter
+  | "body_enter" -> Body_enter
+  | "body_exit" -> Body_exit
+  | "loop_exit" -> Loop_exit
+  | s -> failwith ("Event.ckind_of_string: " ^ s)
+
+let to_line = function
+  | Checkpoint { loop; kind } ->
+      Printf.sprintf "Checkpoint: %d %s" loop (string_of_ckind kind)
+  | Access { site; addr; write; sys; width } ->
+      Printf.sprintf "Instr: %x addr: %x %s %d%s" site addr
+        (if write then "wr" else "rd")
+        width
+        (if sys then " sys" else "")
+
+let of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "Checkpoint:"; loop; kind ] ->
+      Checkpoint { loop = int_of_string loop; kind = ckind_of_string kind }
+  | "Instr:" :: site :: "addr:" :: addr :: dir :: width :: rest ->
+      let write =
+        match dir with
+        | "wr" -> true
+        | "rd" -> false
+        | _ -> failwith ("Event.of_line: bad direction " ^ dir)
+      in
+      let sys =
+        match rest with
+        | [] -> false
+        | [ "sys" ] -> true
+        | _ -> failwith ("Event.of_line: trailing junk in " ^ line)
+      in
+      Access
+        {
+          site = int_of_string ("0x" ^ site);
+          addr = int_of_string ("0x" ^ addr);
+          write;
+          sys;
+          width = int_of_string width;
+        }
+  | _ -> failwith ("Event.of_line: cannot parse " ^ line)
+
+let to_string events = String.concat "\n" (List.map to_line events) ^ "\n"
+
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map of_line
+
+let equal a b = a = b
+let pp fmt e = Format.pp_print_string fmt (to_line e)

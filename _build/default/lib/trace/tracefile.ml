@@ -1,0 +1,138 @@
+type format = Text | Binary
+
+let magic = "FORAYTR1"
+
+(* --- varints --------------------------------------------------------- *)
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Tracefile: negative varint";
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+exception Eof
+
+let read_byte ic =
+  match In_channel.input_char ic with
+  | Some c -> Char.code c
+  | None -> raise Eof
+
+let read_varint ic =
+  let rec go shift acc =
+    let b = read_byte ic in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+(* --- binary records -------------------------------------------------- *)
+
+(* tags: 0 = checkpoint, 1 = read, 2 = write; access flags bit0 = sys *)
+
+let ckind_code = function
+  | Event.Loop_enter -> 0
+  | Event.Body_enter -> 1
+  | Event.Body_exit -> 2
+  | Event.Loop_exit -> 3
+
+let ckind_of_code = function
+  | 0 -> Event.Loop_enter
+  | 1 -> Event.Body_enter
+  | 2 -> Event.Body_exit
+  | 3 -> Event.Loop_exit
+  | n -> failwith (Printf.sprintf "Tracefile: bad checkpoint kind %d" n)
+
+let encode buf = function
+  | Event.Checkpoint { loop; kind } ->
+      write_varint buf 0;
+      write_varint buf (ckind_code kind);
+      write_varint buf loop
+  | Event.Access { site; addr; write; sys; width } ->
+      write_varint buf (if write then 2 else 1);
+      write_varint buf (if sys then 1 else 0);
+      write_varint buf site;
+      write_varint buf addr;
+      write_varint buf width
+
+let decode ic =
+  let tag = read_varint ic in
+  match tag with
+  | 0 ->
+      let kind = ckind_of_code (read_varint ic) in
+      let loop = read_varint ic in
+      Event.Checkpoint { loop; kind }
+  | 1 | 2 ->
+      let sys = read_varint ic = 1 in
+      let site = read_varint ic in
+      let addr = read_varint ic in
+      let width = read_varint ic in
+      Event.Access { site; addr; write = tag = 2; sys; width }
+  | n -> failwith (Printf.sprintf "Tracefile: bad record tag %d" n)
+
+(* --- writers ---------------------------------------------------------- *)
+
+let sink_to_file ~format path =
+  let oc = Out_channel.open_bin path in
+  (match format with
+  | Binary -> Out_channel.output_string oc magic
+  | Text -> ());
+  let buf = Buffer.create 64 in
+  let sink e =
+    Buffer.clear buf;
+    (match format with
+    | Text ->
+        Buffer.add_string buf (Event.to_line e);
+        Buffer.add_char buf '\n'
+    | Binary -> encode buf e);
+    Out_channel.output_string oc (Buffer.contents buf)
+  in
+  (sink, fun () -> Out_channel.close oc)
+
+let save ~format path events =
+  let sink, close = sink_to_file ~format path in
+  List.iter sink events;
+  close ()
+
+(* --- readers ---------------------------------------------------------- *)
+
+let with_reader path k =
+  let ic = In_channel.open_bin path in
+  Fun.protect ~finally:(fun () -> In_channel.close ic) (fun () ->
+      match In_channel.really_input_string ic (String.length magic) with
+      | Some head when head = magic -> k (`Binary ic)
+      | _ ->
+          In_channel.seek ic 0L;
+          k (`Text ic))
+
+let fold path f init =
+  with_reader path (function
+    | `Binary ic ->
+        let acc = ref init in
+        (try
+           while true do
+             acc := f !acc (decode ic)
+           done
+         with Eof -> ());
+        !acc
+    | `Text ic ->
+        let acc = ref init in
+        let continue = ref true in
+        while !continue do
+          match In_channel.input_line ic with
+          | None -> continue := false
+          | Some line ->
+              if String.trim line <> "" then acc := f !acc (Event.of_line line)
+        done;
+        !acc)
+
+let iter path (sink : Event.sink) = fold path (fun () e -> sink e) ()
+
+let load path = List.rev (fold path (fun acc e -> e :: acc) [])

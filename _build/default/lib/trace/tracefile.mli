@@ -1,0 +1,34 @@
+(** Trace files: persisting the profile for offline analysis.
+
+    The paper's flow stores the (typically large) trace on disk between the
+    simulator and the analyzer, unless the online mode is used. Two
+    on-disk formats:
+
+    - {b Text}: one {!Event.to_line} record per line — the human-readable
+      Figure 4(c) format;
+    - {b Binary}: a ["FORAYTR1"] magic followed by tag-byte +
+      LEB128-varint records, roughly 4-6x smaller than text.
+
+    Readers auto-detect the format from the magic. *)
+
+type format = Text | Binary
+
+(** [save ~format path events] writes a whole trace. *)
+val save : format:format -> string -> Event.event list -> unit
+
+(** [sink_to_file ~format path] opens a streaming writer. The returned
+    sink appends events; call the close function when done (also flushes).
+    This is how the simulator writes traces without materializing them. *)
+val sink_to_file : format:format -> string -> Event.sink * (unit -> unit)
+
+(** [load path] reads a whole trace, auto-detecting the format.
+    @raise Failure on malformed content. *)
+val load : string -> Event.event list
+
+(** [fold path f init] streams the file through [f] without building a
+    list — constant space for arbitrarily large traces. *)
+val fold : string -> ('a -> Event.event -> 'a) -> 'a -> 'a
+
+(** [iter path f] is [fold] for side effects; [f] is a sink, so an
+    analyzer can be fed directly from a file. *)
+val iter : string -> Event.sink -> unit

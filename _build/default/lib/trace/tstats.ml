@@ -1,0 +1,88 @@
+open Foray_util
+
+type site_info = {
+  site : int;
+  accesses : int;
+  reads : int;
+  writes : int;
+  footprint : Iset.t;
+  sys : bool;
+}
+
+type cell = {
+  mutable accesses : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable footprint : Iset.t;
+  mutable sys : bool;
+}
+
+type t = (int, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+let sink (t : t) : Event.sink = function
+  | Event.Checkpoint _ -> ()
+  | Event.Access { site; addr; write; sys; width } ->
+      let cell =
+        match Hashtbl.find_opt t site with
+        | Some c -> c
+        | None ->
+            let c =
+              { accesses = 0; reads = 0; writes = 0; footprint = Iset.empty; sys }
+            in
+            Hashtbl.add t site c;
+            c
+      in
+      cell.accesses <- cell.accesses + 1;
+      if write then cell.writes <- cell.writes + 1 else cell.reads <- cell.reads + 1;
+      cell.footprint <- Iset.add_range addr (addr + width) cell.footprint;
+      if sys then cell.sys <- true
+
+let sites (t : t) =
+  Hashtbl.fold
+    (fun site (c : cell) acc ->
+      {
+        site;
+        accesses = c.accesses;
+        reads = c.reads;
+        writes = c.writes;
+        footprint = c.footprint;
+        sys = c.sys;
+      }
+      :: acc)
+    t []
+  |> List.sort (fun a b -> compare a.site b.site)
+
+let n_sites t = Hashtbl.length t
+
+let total_accesses t =
+  Hashtbl.fold (fun _ (c : cell) acc -> acc + c.accesses) t 0
+
+let total_footprint t =
+  Iset.cardinal
+    (Hashtbl.fold (fun _ (c : cell) acc -> Iset.union acc c.footprint) t Iset.empty)
+
+let group t ~classify =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (info : site_info) ->
+      let label = classify info in
+      let n, a, fp =
+        match Hashtbl.find_opt tbl label with
+        | Some x -> x
+        | None -> (0, 0, Iset.empty)
+      in
+      Hashtbl.replace tbl label
+        (n + 1, a + info.accesses, Iset.union fp info.footprint))
+    (sites t);
+  Hashtbl.fold (fun k (n, a, fp) acc -> (k, (n, a, Iset.cardinal fp)) :: acc) tbl []
+
+let footprint_of t pred =
+  let fp =
+    List.fold_left
+      (fun acc (info : site_info) ->
+        if pred info then Foray_util.Iset.union acc info.footprint else acc)
+      Foray_util.Iset.empty (sites t)
+  in
+  Foray_util.Iset.cardinal fp

@@ -1,0 +1,45 @@
+(** Per-reference aggregation over a trace.
+
+    Collects, for every static reference (site), its access count, its byte
+    footprint and whether it is a system-library reference. This is the raw
+    material for the paper's Table III (references / accesses / footprint
+    split into FORAY-model, system-call and other categories). *)
+
+type site_info = {
+  site : int;
+  accesses : int;
+  reads : int;
+  writes : int;
+  footprint : Foray_util.Iset.t;  (** distinct bytes touched *)
+  sys : bool;
+}
+
+type t
+
+(** Fresh accumulator. *)
+val create : unit -> t
+
+(** A sink that folds access events into the accumulator (checkpoints are
+    ignored). *)
+val sink : t -> Event.sink
+
+(** All sites observed, in increasing site order. *)
+val sites : t -> site_info list
+
+(** Number of distinct sites. *)
+val n_sites : t -> int
+
+(** Total access count across sites. *)
+val total_accesses : t -> int
+
+(** Union footprint in bytes across all sites. *)
+val total_footprint : t -> int
+
+(** [group t ~classify] partitions sites by the label [classify] returns and
+    gives [(n_sites, accesses, footprint_bytes)] per label, where footprint
+    is the cardinality of the union of the group's footprints. *)
+val group :
+  t -> classify:(site_info -> 'a) -> ('a * (int * int * int)) list
+
+(** Footprint (bytes) of the union over a subset of sites. *)
+val footprint_of : t -> (site_info -> bool) -> int

@@ -1,0 +1,78 @@
+(* Sorted disjoint half-open intervals keyed by their lower bound.
+   Invariant: for consecutive bindings (lo1, hi1) (lo2, hi2) in key order,
+   hi1 < lo2 (adjacent intervals are coalesced). *)
+
+module M = Map.Make (Int)
+
+type t = int M.t (* lo -> hi, interval [lo, hi) *)
+
+let empty = M.empty
+let is_empty = M.is_empty
+
+(* Find the interval containing or immediately preceding [x]. *)
+let pred_interval x s =
+  match M.find_last_opt (fun lo -> lo <= x) s with
+  | Some (lo, hi) -> Some (lo, hi)
+  | None -> None
+
+let mem x s =
+  match pred_interval x s with
+  | Some (_, hi) -> x < hi
+  | None -> false
+
+let add_range lo hi s =
+  if hi <= lo then s
+  else begin
+    (* Absorb any interval that overlaps or is adjacent to [lo, hi). The
+       predecessor may extend beyond hi, so its upper bound matters too. *)
+    let lo, hi, s =
+      match pred_interval lo s with
+      | Some (plo, phi) when phi >= lo ->
+          (min plo lo, max hi phi, M.remove plo s)
+      | _ -> (lo, hi, s)
+    in
+    let rec absorb hi s =
+      match M.find_first_opt (fun l -> l >= lo) s with
+      | Some (nlo, nhi) when nlo <= hi ->
+          absorb (max hi nhi) (M.remove nlo s)
+      | _ -> (hi, s)
+    in
+    let hi, s = absorb hi s in
+    M.add lo hi s
+  end
+
+let add x s = add_range x (x + 1) s
+let singleton x = add x empty
+let cardinal s = M.fold (fun lo hi acc -> acc + (hi - lo)) s 0
+let union a b = M.fold (fun lo hi acc -> add_range lo hi acc) b a
+
+let inter a b =
+  M.fold
+    (fun lo hi acc ->
+      (* Clip every interval of [a] against [b]. *)
+      let rec clip x acc =
+        if x >= hi then acc
+        else
+          match M.find_last_opt (fun l -> l <= x) b with
+          | Some (_, bhi) when x < bhi ->
+              let stop = min hi bhi in
+              clip stop (add_range x stop acc)
+          | _ -> (
+              match M.find_first_opt (fun l -> l > x) b with
+              | Some (blo, _) when blo < hi -> clip blo acc
+              | _ -> acc)
+      in
+      clip lo acc)
+    a empty
+
+let min_elt s = fst (M.min_binding s)
+let max_elt s = snd (M.max_binding s) - 1
+let intervals s = M.bindings s
+let of_intervals l = List.fold_left (fun s (lo, hi) -> add_range lo hi s) empty l
+let span s = if is_empty s then 0 else max_elt s - min_elt s + 1
+let equal a b = M.equal Int.equal a b
+
+let pp fmt s =
+  let pp_iv fmt (lo, hi) = Format.fprintf fmt "[%d,%d)" lo hi in
+  Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_iv)
+    (intervals s)

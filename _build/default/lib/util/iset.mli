@@ -1,0 +1,59 @@
+(** Sets of integers represented as sorted, disjoint, half-open intervals.
+
+    Used to track the memory footprint of a reference (the set of distinct
+    byte addresses it touches) in space proportional to the number of
+    contiguous runs rather than the number of accesses. *)
+
+type t
+
+(** The empty set. *)
+val empty : t
+
+(** [is_empty s] is [true] iff [s] contains no element. *)
+val is_empty : t -> bool
+
+(** [singleton x] is the set containing exactly [x]. *)
+val singleton : int -> t
+
+(** [add x s] is [s] with the point [x] added. *)
+val add : int -> t -> t
+
+(** [add_range lo hi s] adds the half-open interval [\[lo, hi)] to [s].
+    Returns [s] unchanged when [hi <= lo]. *)
+val add_range : int -> int -> t -> t
+
+(** [mem x s] is [true] iff [x] is an element of [s]. *)
+val mem : int -> t -> bool
+
+(** [cardinal s] is the number of integers in [s]. *)
+val cardinal : t -> int
+
+(** [union a b] is the set union of [a] and [b]. *)
+val union : t -> t -> t
+
+(** [inter a b] is the set intersection of [a] and [b]. *)
+val inter : t -> t -> t
+
+(** [min_elt s] is the smallest element. Raises [Not_found] on empty sets. *)
+val min_elt : t -> int
+
+(** [max_elt s] is the largest element. Raises [Not_found] on empty sets. *)
+val max_elt : t -> int
+
+(** [intervals s] lists the maximal disjoint intervals of [s] as [(lo, hi)]
+    half-open pairs, in increasing order. *)
+val intervals : t -> (int * int) list
+
+(** [of_intervals l] builds a set from arbitrary (possibly overlapping,
+    unordered) half-open intervals. *)
+val of_intervals : (int * int) list -> t
+
+(** [span s] is [max_elt s - min_elt s + 1], i.e. the size of the smallest
+    contiguous region covering [s]; 0 for the empty set. *)
+val span : t -> int
+
+(** [equal a b] is structural set equality. *)
+val equal : t -> t -> bool
+
+(** [pp fmt s] prints [s] as a list of intervals, e.g. [{[0,4) [8,12)}]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64, truncated to OCaml's 63-bit int, kept non-negative. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = next t land 1 = 1
+
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth l (int t (List.length l))

@@ -1,0 +1,24 @@
+(** Small deterministic pseudo-random generator (splitmix64).
+
+    Used by workload generators and property tests that must be reproducible
+    independently of the global [Random] state. *)
+
+type t
+
+(** [create seed] makes a generator; equal seeds yield equal streams. *)
+val create : int -> t
+
+(** Next raw 62-bit non-negative value. *)
+val next : t -> int
+
+(** [int t bound] draws uniformly from [\[0, bound)]. [bound] must be > 0. *)
+val int : t -> int -> int
+
+(** [range t lo hi] draws uniformly from [\[lo, hi\]] inclusive. *)
+val range : t -> int -> int -> int
+
+(** [bool t] draws a fair boolean. *)
+val bool : t -> bool
+
+(** [pick t l] draws a uniformly random element of the non-empty list [l]. *)
+val pick : t -> 'a list -> 'a

@@ -1,0 +1,34 @@
+type t = {
+  mutable count : int;
+  mutable total : int;
+  mutable min : int;
+  mutable max : int;
+}
+
+let create () = { count = 0; total = 0; min = max_int; max = min_int }
+
+let observe t x =
+  t.count <- t.count + 1;
+  t.total <- t.total + x;
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+let total t = t.total
+
+let min t =
+  if t.count = 0 then invalid_arg "Stats.min: empty" else t.min
+
+let max t =
+  if t.count = 0 then invalid_arg "Stats.max: empty" else t.max
+
+let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
+let percent part whole =
+  if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+let human n =
+  let f = float_of_int n in
+  if n >= 10_000_000 then Printf.sprintf "%.0fM" (f /. 1e6)
+  else if n >= 1_000_000 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else if n >= 100_000 then Printf.sprintf "%.0fk" (f /. 1e3)
+  else string_of_int n

@@ -1,0 +1,32 @@
+(** Streaming summary statistics over integer observations. *)
+
+type t
+
+(** A fresh accumulator with no observations. *)
+val create : unit -> t
+
+(** [observe t x] folds one observation into the accumulator. *)
+val observe : t -> int -> unit
+
+(** Number of observations so far. *)
+val count : t -> int
+
+(** Sum of all observations. *)
+val total : t -> int
+
+(** Smallest observation. Raises [Invalid_argument] when empty. *)
+val min : t -> int
+
+(** Largest observation. Raises [Invalid_argument] when empty. *)
+val max : t -> int
+
+(** Arithmetic mean; 0.0 when empty. *)
+val mean : t -> float
+
+(** [percent part whole] is [100 * part / whole] as a float, 0 when
+    [whole = 0]. Shared formatting helper for the report tables. *)
+val percent : int -> int -> float
+
+(** [human n] renders a count compactly, e.g. [8.3M], [123625], [43M],
+    matching the style of the paper's Table III. *)
+val human : int -> string

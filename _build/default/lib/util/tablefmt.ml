@@ -1,0 +1,79 @@
+type align = Left | Right
+
+type line = Row of string list | Sep
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable lines : line list; (* reversed *)
+}
+
+let default_aligns n = List.init n (fun i -> if i = 0 then Left else Right)
+
+let create ?aligns ~title headers =
+  let n = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = n -> a
+    | Some _ -> invalid_arg "Tablefmt.create: aligns length mismatch"
+    | None -> default_aligns n
+  in
+  { title; headers; aligns; lines = [] }
+
+let row t cells =
+  let n = List.length t.headers in
+  let k = List.length cells in
+  if k > n then invalid_arg "Tablefmt.row: too many cells";
+  let cells = cells @ List.init (n - k) (fun _ -> "") in
+  t.lines <- Row cells :: t.lines
+
+let separator t = t.lines <- Sep :: t.lines
+
+let render t =
+  let lines = List.rev t.lines in
+  let widths =
+    List.fold_left
+      (fun ws line ->
+        match line with
+        | Sep -> ws
+        | Row cells -> List.map2 (fun w c -> max w (String.length c)) ws cells)
+      (List.map String.length t.headers)
+      lines
+  in
+  let pad align w s =
+    let d = w - String.length s in
+    if d <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make d ' '
+      | Right -> String.make d ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  let rule () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let render_row align_row cells =
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i in
+        let a = if align_row then List.nth t.aligns i else Left in
+        Buffer.add_string buf ("| " ^ pad a w c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf (t.title ^ "\n");
+  rule ();
+  render_row false t.headers;
+  rule ();
+  List.iter
+    (function Sep -> rule () | Row cells -> render_row true cells)
+    lines;
+  rule ();
+  Buffer.contents buf
+
+let pctf p =
+  if p = 0.0 then "0%"
+  else if p < 1.0 then Printf.sprintf "%.1f%%" p
+  else Printf.sprintf "%.0f%%" p

@@ -1,0 +1,27 @@
+(** Plain-text table rendering for the experiment reports.
+
+    Produces aligned, boxed ASCII tables in the spirit of the paper's
+    Table I / II / III. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title headers] starts a table whose columns are [headers].
+    Column alignment defaults to [Left] for the first column and [Right]
+    for the rest, which fits "name | numbers..." tables. *)
+val create : ?aligns:align list -> title:string -> string list -> t
+
+(** [row t cells] appends a data row. Rows shorter than the header are
+    padded with empty cells; longer rows raise [Invalid_argument]. *)
+val row : t -> string list -> unit
+
+(** [separator t] appends a horizontal rule (used before summary rows). *)
+val separator : t -> unit
+
+(** [render t] lays the table out as a string, including the title. *)
+val render : t -> string
+
+(** [pctf p] formats a percentage with the paper's conventions: one
+    significant decimal below 1%%, integer otherwise (e.g. "0.2%%", "27%%"). *)
+val pctf : float -> string

@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Array Foray_core Foray_util List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Foray_cachesim Foray_trace List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fixpoint.ml: Alcotest Filter Foray_core Foray_suite Foray_trace List Minic Minic_sim Model Option Pipeline Printf String

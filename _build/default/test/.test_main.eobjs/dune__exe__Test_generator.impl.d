@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Foray_core Foray_static Foray_suite List Minic Model Pipeline Printexc String

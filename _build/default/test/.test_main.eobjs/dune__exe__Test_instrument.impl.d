@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Ast Foray_instrument Foray_suite Foray_trace List Minic Minic_sim Parser

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Foray_suite Foray_trace List Minic Minic_sim Option String

@@ -1,0 +1,1 @@
+test/test_iset.ml: Alcotest Foray_util Int Iset List QCheck2 QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_looptree.ml: Affine Alcotest Foray_core Foray_trace Foray_util List Looptree

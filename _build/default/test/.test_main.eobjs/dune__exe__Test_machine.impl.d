@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Layout Memory Minic_machine

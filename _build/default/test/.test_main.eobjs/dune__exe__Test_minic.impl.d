@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Foray_instrument Foray_suite Foray_trace Lexer List Minic Minic_sim Option Parser Pretty Printf QCheck2 QCheck_alcotest Sema String

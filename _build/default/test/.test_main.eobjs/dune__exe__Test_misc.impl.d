@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Filter Foray_core Foray_trace List Looptree Minic Minic_machine Minic_sim Model Pipeline

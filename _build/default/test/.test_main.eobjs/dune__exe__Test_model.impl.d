@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Filter Foray_core Foray_trace List Looptree Minic Model String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Filter Foray_core Foray_suite Foray_trace List Looptree Minic Model Option Pipeline String

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Foray_report Lazy List Report String

@@ -1,0 +1,1 @@
+test/test_spm.ml: Alcotest Array Dse Energy Filter Foray_core Foray_spm Foray_suite Foray_trace Foray_util List Looptree Minic Model Option Pipeline Printf Reuse String Transform

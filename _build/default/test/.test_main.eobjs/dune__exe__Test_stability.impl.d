@@ -1,0 +1,1 @@
+test/test_stability.ml: Alcotest Filter Foray_core Foray_suite List Minic Option Stability

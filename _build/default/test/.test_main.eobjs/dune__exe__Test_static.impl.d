@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Baseline Foray_core Foray_static Foray_suite Foray_trace Hashtbl List Minic Minic_sim Option Static_affine

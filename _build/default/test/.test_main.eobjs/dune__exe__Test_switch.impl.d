@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Foray_core Foray_trace List Minic Minic_sim Printf String

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Event Foray_trace List Tstats

@@ -1,0 +1,1 @@
+test/test_tracefile.ml: Alcotest Event Filename Foray_core Foray_instrument Foray_suite Foray_trace List Minic Minic_sim Tracefile

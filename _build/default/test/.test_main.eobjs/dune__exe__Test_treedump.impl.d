@@ -1,0 +1,1 @@
+test/test_treedump.ml: Alcotest Foray_core Foray_report Foray_suite Option String

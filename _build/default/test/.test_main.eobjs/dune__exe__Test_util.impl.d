@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Foray_util List Prng Stats String Tablefmt

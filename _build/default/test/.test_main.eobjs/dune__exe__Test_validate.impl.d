@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Filter Foray_core Foray_suite List Minic Model Option Pipeline Validate

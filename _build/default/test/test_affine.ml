@@ -1,0 +1,240 @@
+(* Algorithm 3 tests: incremental affine inference, unit cases for every
+   step of Figure 8 plus randomized oracles. *)
+
+open Foray_core
+
+(* Drive a solver over a synthetic iteration space. [trips] are outermost
+   first; [addr_of] receives the iterator vector innermost first. *)
+let drive ~trips ~addr_of =
+  let depth = List.length trips in
+  let aff = Affine.create ~site:1 ~depth in
+  let rec go iters_outer = function
+    | [] ->
+        (* the innermost loop was pushed last, so the head is innermost *)
+        let inner_first = Array.of_list iters_outer in
+        Affine.observe aff ~iters:inner_first ~addr:(addr_of inner_first)
+    | trip :: rest ->
+        for i = 0 to trip - 1 do
+          go (i :: iters_outer) rest
+        done
+  in
+  go [] trips;
+  aff
+
+let t_constant_ref () =
+  let aff = drive ~trips:[ 5 ] ~addr_of:(fun _ -> 1000) in
+  Alcotest.(check bool) "analyzable" true (Affine.analyzable aff);
+  Alcotest.(check int) "const" 1000 (Affine.const aff);
+  Alcotest.(check bool) "no iterator" false (Affine.has_iterator aff);
+  Alcotest.(check (list int)) "zero coeff" [ 0 ] (Affine.included_terms aff)
+
+let t_simple_stride () =
+  let aff = drive ~trips:[ 10 ] ~addr_of:(fun it -> 500 + (4 * it.(0))) in
+  Alcotest.(check bool) "analyzable" true (Affine.analyzable aff);
+  Alcotest.(check int) "execs" 10 (Affine.execs aff);
+  Alcotest.(check int) "const" 500 (Affine.const aff);
+  Alcotest.(check (list int)) "coefficient" [ 4 ] (Affine.included_terms aff);
+  Alcotest.(check int) "no demotion" 1 (Affine.m aff);
+  Alcotest.(check int) "no mispredictions" 0 (Affine.mispredictions aff)
+
+let t_figure4_coefficients () =
+  (* the paper's worked example: inner stride 1, outer stride 103 *)
+  let aff =
+    drive ~trips:[ 2; 3 ] ~addr_of:(fun it -> 100 + it.(0) + (103 * it.(1)))
+  in
+  Alcotest.(check bool) "analyzable" true (Affine.analyzable aff);
+  Alcotest.(check (list int)) "1*inner + 103*outer" [ 1; 103 ]
+    (Affine.included_terms aff);
+  Alcotest.(check bool) "full affine" false (Affine.partial aff)
+
+let t_negative_coefficient () =
+  let aff = drive ~trips:[ 6 ] ~addr_of:(fun it -> 900 - (8 * it.(0))) in
+  Alcotest.(check (list int)) "negative stride" [ -8 ]
+    (Affine.included_terms aff)
+
+let t_partial_demotion () =
+  (* Figure 7: the base jumps arbitrarily with the outer iterator *)
+  let bases = [| 1000; 5000; 2000; 40000 |] in
+  let aff =
+    drive ~trips:[ 4; 5 ]
+      ~addr_of:(fun it -> bases.(it.(1)) + (4 * it.(0)))
+  in
+  Alcotest.(check bool) "analyzable" true (Affine.analyzable aff);
+  Alcotest.(check bool) "partial" true (Affine.partial aff);
+  Alcotest.(check int) "covers the inner loop" 1 (Affine.m aff);
+  Alcotest.(check (list int)) "inner coefficient survives" [ 4 ]
+    (Affine.included_terms aff);
+  Alcotest.(check bool) "still counts as iterator ref" true
+    (Affine.has_iterator aff)
+
+let t_partial_two_inner () =
+  (* base jumps with the outermost of three loops; inner two stay affine *)
+  let bases = [| 0; 7777; 3333 |] in
+  let aff =
+    drive ~trips:[ 3; 4; 5 ]
+      ~addr_of:(fun it -> bases.(it.(2)) + (4 * it.(0)) + (100 * it.(1)))
+  in
+  Alcotest.(check bool) "partial" true (Affine.partial aff);
+  Alcotest.(check int) "m = 2" 2 (Affine.m aff);
+  Alcotest.(check (list int)) "two inner coefficients" [ 4; 100 ]
+    (Affine.included_terms aff)
+
+let t_phase_shifted_reference () =
+  (* a reference first executing at iteration 1 (e.g. the odd arm of a
+     switch) must still be recognized as fully affine: the constant is
+     re-based when the coefficient is solved (Step 3 extension) *)
+  let aff = Affine.create ~site:1 ~depth:1 in
+  for i = 0 to 20 do
+    if i mod 2 = 1 then Affine.observe aff ~iters:[| i |] ~addr:(1000 + (4 * i))
+  done;
+  Alcotest.(check bool) "analyzable" true (Affine.analyzable aff);
+  Alcotest.(check int) "no demotion" 1 (Affine.m aff);
+  Alcotest.(check (list int)) "coefficient" [ 4 ] (Affine.included_terms aff);
+  Alcotest.(check int) "no mispredictions" 0 (Affine.mispredictions aff);
+  Alcotest.(check int) "constant re-based to the origin" 1000
+    (Affine.const aff)
+
+let t_random_addresses_purged () =
+  let rng = Foray_util.Prng.create 11 in
+  let aff =
+    drive ~trips:[ 50 ] ~addr_of:(fun _ -> Foray_util.Prng.int rng 100000)
+  in
+  (* either the division fails (non-analyzable) or demotion strips all
+     iterators; both exclude the ref from the model *)
+  Alcotest.(check bool) "not a model candidate" false (Affine.has_iterator aff)
+
+let t_h2_non_analyzable () =
+  (* two unknown-coefficient iterators changing at once: execute the ref
+     only when both iterators move together *)
+  let aff = Affine.create ~site:1 ~depth:2 in
+  Affine.observe aff ~iters:[| 0; 0 |] ~addr:100;
+  Affine.observe aff ~iters:[| 1; 1 |] ~addr:142;
+  Alcotest.(check bool) "H=2 marks non-analyzable" false
+    (Affine.analyzable aff)
+
+let t_non_integer_coefficient () =
+  (* address delta not divisible by the iterator delta *)
+  let aff = Affine.create ~site:1 ~depth:1 in
+  Affine.observe aff ~iters:[| 0 |] ~addr:100;
+  Affine.observe aff ~iters:[| 2 |] ~addr:103;
+  Alcotest.(check bool) "non-exact solve rejected" false
+    (Affine.analyzable aff)
+
+let t_depth_zero () =
+  let aff = Affine.create ~site:9 ~depth:0 in
+  Affine.observe aff ~iters:[||] ~addr:500;
+  Affine.observe aff ~iters:[||] ~addr:500;
+  Alcotest.(check bool) "constant ok" true (Affine.analyzable aff);
+  Alcotest.(check bool) "never an iterator ref" false (Affine.has_iterator aff)
+
+let t_iters_length_mismatch () =
+  let aff = Affine.create ~site:1 ~depth:2 in
+  Alcotest.check_raises "length checked"
+    (Invalid_argument "Affine.observe: iterator vector length mismatch")
+    (fun () -> Affine.observe aff ~iters:[| 1 |] ~addr:0)
+
+let t_stats_continue_after_failure () =
+  let aff = Affine.create ~site:1 ~depth:2 in
+  Affine.observe aff ~iters:[| 0; 0 |] ~addr:100;
+  Affine.observe aff ~iters:[| 1; 1 |] ~addr:142;
+  Affine.observe aff ~iters:[| 2; 2 |] ~addr:999;
+  Alcotest.(check int) "execs keep counting" 3 (Affine.execs aff)
+
+(* --- randomized oracles ---------------------------------------------- *)
+
+let gen_case =
+  QCheck2.Gen.(
+    let* depth = int_range 1 4 in
+    let* trips = list_repeat depth (int_range 2 5) in
+    let* coeffs = list_repeat depth (int_range (-16) 16) in
+    let* base = int_range 0 100000 in
+    return (trips, Array.of_list coeffs, base))
+
+let prop_full_affine_recovered =
+  QCheck2.Test.make ~name:"algorithm 3 recovers exact affine functions"
+    ~count:300 gen_case (fun (trips, coeffs, base) ->
+      let aff =
+        drive ~trips ~addr_of:(fun it ->
+            let a = ref base in
+            Array.iteri (fun i v -> a := !a + (coeffs.(i) * v)) it;
+            !a)
+      in
+      Affine.analyzable aff
+      && (not (Affine.partial aff))
+      && Affine.mispredictions aff = 0
+      && Affine.const aff = base
+      && List.for_all2
+           (fun got want -> got = want)
+           (Affine.included_terms aff)
+           (Array.to_list coeffs))
+
+let prop_prediction_matches =
+  QCheck2.Test.make ~name:"predict equals actual for affine streams"
+    ~count:200 gen_case (fun (trips, coeffs, base) ->
+      let addr_of it =
+        let a = ref base in
+        Array.iteri (fun i v -> a := !a + (coeffs.(i) * v)) it;
+        !a
+      in
+      let aff = drive ~trips ~addr_of in
+      (* after training, predictions must be exact on the whole space *)
+      let depth = List.length trips in
+      let ok = ref true in
+      let rec go iters_outer = function
+        | [] ->
+            let it = Array.of_list iters_outer in
+            if Affine.predict aff ~iters:it <> addr_of it then ok := false
+        | trip :: rest ->
+            for i = 0 to trip - 1 do
+              go (i :: iters_outer) rest
+            done
+      in
+      go [] trips;
+      ignore depth;
+      !ok)
+
+let prop_partial_inner_exact =
+  QCheck2.Test.make
+    ~name:"partial demotion keeps exact inner coefficients" ~count:200
+    QCheck2.Gen.(
+      let* inner_trip = int_range 3 6 in
+      let* outer_trip = int_range 3 6 in
+      let* coeff = oneofl [ 1; 2; 4; 8; -4 ] in
+      let* bases = list_repeat outer_trip (int_range 0 1_000_000) in
+      return (inner_trip, outer_trip, coeff, Array.of_list bases))
+    (fun (inner_trip, outer_trip, coeff, bases) ->
+      let aff =
+        drive
+          ~trips:[ outer_trip; inner_trip ]
+          ~addr_of:(fun it -> bases.(it.(1)) + (coeff * it.(0)))
+      in
+      (* with random bases, either demoted to the inner loop (typical) or,
+         if the bases happen to be affine themselves, fully solved *)
+      Affine.analyzable aff
+      &&
+      if Affine.partial aff then
+        Affine.m aff <= 1
+        && (Affine.m aff = 0 || Affine.included_terms aff = [ coeff ])
+      else true)
+
+let tests =
+  [
+    Alcotest.test_case "constant reference" `Quick t_constant_ref;
+    Alcotest.test_case "simple stride" `Quick t_simple_stride;
+    Alcotest.test_case "figure 4 coefficients" `Quick t_figure4_coefficients;
+    Alcotest.test_case "negative coefficient" `Quick t_negative_coefficient;
+    Alcotest.test_case "partial demotion (figure 7)" `Quick t_partial_demotion;
+    Alcotest.test_case "partial with two inner loops" `Quick t_partial_two_inner;
+    Alcotest.test_case "phase-shifted reference" `Quick
+      t_phase_shifted_reference;
+    Alcotest.test_case "random addresses purged" `Quick t_random_addresses_purged;
+    Alcotest.test_case "H>1 non-analyzable" `Quick t_h2_non_analyzable;
+    Alcotest.test_case "non-integer coefficient" `Quick t_non_integer_coefficient;
+    Alcotest.test_case "depth zero" `Quick t_depth_zero;
+    Alcotest.test_case "iterator vector length" `Quick t_iters_length_mismatch;
+    Alcotest.test_case "stats continue after failure" `Quick
+      t_stats_continue_after_failure;
+    QCheck_alcotest.to_alcotest prop_full_affine_recovered;
+    QCheck_alcotest.to_alcotest prop_prediction_matches;
+    QCheck_alcotest.to_alcotest prop_partial_inner_exact;
+  ]

@@ -1,0 +1,151 @@
+(* Cache simulator tests: geometry, replacement policies, and a property
+   check against a reference fully-associative LRU model. *)
+
+open Foray_cachesim
+
+let cfg ?(size = 256) ?(line = 16) ?(assoc = 2) ?(policy = Cache.Lru) () =
+  Cache.{ size_bytes = size; line_bytes = line; assoc; policy }
+
+let t_geometry_errors () =
+  let bad c = try ignore (Cache.create c); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "non-pow2 size" true (bad (cfg ~size:300 ()));
+  Alcotest.(check bool) "tiny line" true (bad (cfg ~line:2 ()));
+  Alcotest.(check bool) "assoc divides" true (bad (cfg ~assoc:3 ()));
+  Alcotest.(check bool) "valid accepted" false (bad (cfg ()))
+
+let t_cold_miss_then_hit () =
+  let c = Cache.create (cfg ()) in
+  Alcotest.(check bool) "first access misses" false
+    (Cache.access c ~addr:100 ~width:4 ~write:false);
+  Alcotest.(check bool) "second access hits" true
+    (Cache.access c ~addr:100 ~width:4 ~write:false);
+  Alcotest.(check bool) "same line hits" true
+    (Cache.access c ~addr:108 ~width:4 ~write:false);
+  let s = Cache.stats c in
+  Alcotest.(check int) "accesses" 3 s.accesses;
+  Alcotest.(check int) "hits" 2 s.hits;
+  Alcotest.(check int) "misses" 1 s.misses
+
+let t_straddling_access () =
+  let c = Cache.create (cfg ()) in
+  (* width 4 at line-boundary-2: touches two lines *)
+  ignore (Cache.access c ~addr:14 ~width:4 ~write:false);
+  let s = Cache.stats c in
+  Alcotest.(check int) "two line misses" 2 s.misses;
+  Alcotest.(check bool) "now both hit" true
+    (Cache.access c ~addr:14 ~width:4 ~write:false)
+
+let t_lru_eviction () =
+  (* 2-way set: fill both ways, touch the first, insert a third ->
+     the second way (least recent) is evicted *)
+  let c = Cache.create (cfg ~size:64 ~line:16 ~assoc:2 ()) in
+  (* two sets; lines mapping to set 0: line numbers even *)
+  let a0 = 0 and a1 = 64 and a2 = 128 in
+  ignore (Cache.access c ~addr:a0 ~width:4 ~write:false);
+  ignore (Cache.access c ~addr:a1 ~width:4 ~write:false);
+  ignore (Cache.access c ~addr:a0 ~width:4 ~write:false);
+  (* evicts a1 *)
+  ignore (Cache.access c ~addr:a2 ~width:4 ~write:false);
+  Alcotest.(check bool) "a0 still resident" true
+    (Cache.access c ~addr:a0 ~width:4 ~write:false);
+  Alcotest.(check bool) "a1 evicted" false
+    (Cache.access c ~addr:a1 ~width:4 ~write:false)
+
+let t_fifo_eviction () =
+  (* same pattern under FIFO: touching a0 does not protect it *)
+  let c = Cache.create (cfg ~size:64 ~line:16 ~assoc:2 ~policy:Cache.Fifo ()) in
+  let a0 = 0 and a1 = 64 and a2 = 128 in
+  ignore (Cache.access c ~addr:a0 ~width:4 ~write:false);
+  ignore (Cache.access c ~addr:a1 ~width:4 ~write:false);
+  ignore (Cache.access c ~addr:a0 ~width:4 ~write:false);
+  (* evicts a0 (oldest fill) *)
+  ignore (Cache.access c ~addr:a2 ~width:4 ~write:false);
+  Alcotest.(check bool) "a1 resident" true
+    (Cache.access c ~addr:a1 ~width:4 ~write:false);
+  Alcotest.(check bool) "a0 evicted under FIFO" false
+    (Cache.access c ~addr:a0 ~width:4 ~write:false)
+
+let t_writeback_accounting () =
+  let c = Cache.create (cfg ~size:32 ~line:16 ~assoc:1 ()) in
+  (* set 0: write line 0, then map line 2 (same set) on a 2-set cache *)
+  ignore (Cache.access c ~addr:0 ~width:4 ~write:true);
+  ignore (Cache.access c ~addr:32 ~width:4 ~write:false);
+  let s = Cache.stats c in
+  Alcotest.(check int) "eviction" 1 s.evictions;
+  Alcotest.(check int) "dirty writeback" 1 s.writebacks;
+  (* clean eviction does not write back *)
+  ignore (Cache.access c ~addr:64 ~width:4 ~write:false);
+  Alcotest.(check int) "still one writeback" 1 (Cache.stats c).writebacks
+
+let t_sequential_hit_rate () =
+  (* a sequential byte walk hits (line-1)/line of the time after the cold
+     miss per line *)
+  let c = Cache.create (cfg ~size:1024 ~line:16 ~assoc:4 ()) in
+  for i = 0 to 1023 do
+    ignore (Cache.access c ~addr:i ~width:1 ~write:false)
+  done;
+  let s = Cache.stats c in
+  Alcotest.(check int) "one miss per line" 64 s.misses;
+  Alcotest.(check int) "rest hit" 960 s.hits
+
+let t_sink () =
+  let c = Cache.create (cfg ()) in
+  let sink = Cache.sink c in
+  sink (Foray_trace.Event.Checkpoint { loop = 1; kind = Foray_trace.Event.Loop_enter });
+  sink (Foray_trace.Event.Access { site = 1; addr = 0; width = 4; write = false; sys = false });
+  Alcotest.(check int) "checkpoint ignored, access counted" 1
+    (Cache.stats c).accesses
+
+(* reference model: fully-associative LRU as a list of line numbers *)
+let prop_fully_assoc_lru =
+  QCheck2.Test.make ~name:"fully-associative config matches reference LRU"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 400) (int_range 0 1023))
+    (fun addrs ->
+      let lines_total = 8 in
+      let c =
+        Cache.create
+          (cfg ~size:(lines_total * 16) ~line:16 ~assoc:lines_total ())
+      in
+      let model = ref [] in
+      List.for_all
+        (fun addr ->
+          let line = addr / 16 in
+          let model_hit = List.mem line !model in
+          model :=
+            line :: List.filter (fun l -> l <> line) !model;
+          if List.length !model > lines_total then
+            model :=
+              List.filteri (fun i _ -> i < lines_total) !model;
+          let got = Cache.access c ~addr ~width:1 ~write:false in
+          got = model_hit)
+        addrs)
+
+let prop_conservation =
+  QCheck2.Test.make ~name:"hits + misses = line touches" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 200) (pair (int_range 0 4095) (int_range 1 8)))
+    (fun ops ->
+      let c = Cache.create (cfg ~size:512 ~line:16 ~assoc:2 ()) in
+      let touches = ref 0 in
+      List.iter
+        (fun (addr, width) ->
+          let first = addr / 16 and last = (addr + width - 1) / 16 in
+          touches := !touches + (last - first + 1);
+          ignore (Cache.access c ~addr ~width ~write:false))
+        ops;
+      let s = Cache.stats c in
+      s.hits + s.misses = !touches && s.accesses = List.length ops)
+
+let tests =
+  [
+    Alcotest.test_case "geometry validation" `Quick t_geometry_errors;
+    Alcotest.test_case "cold miss then hit" `Quick t_cold_miss_then_hit;
+    Alcotest.test_case "straddling access" `Quick t_straddling_access;
+    Alcotest.test_case "LRU eviction" `Quick t_lru_eviction;
+    Alcotest.test_case "FIFO eviction" `Quick t_fifo_eviction;
+    Alcotest.test_case "writeback accounting" `Quick t_writeback_accounting;
+    Alcotest.test_case "sequential hit rate" `Quick t_sequential_hit_rate;
+    Alcotest.test_case "event sink" `Quick t_sink;
+    QCheck_alcotest.to_alcotest prop_fully_assoc_lru;
+    QCheck_alcotest.to_alcotest prop_conservation;
+  ]

@@ -1,0 +1,77 @@
+(* Fixpoint property: the FORAY model is closed under extraction.
+
+   Emitting the model as an executable program (arrays re-based to 0) and
+   running FORAY-GEN on that program must recover exactly the same affine
+   structure: same coefficient lists, same trip counts, same reference
+   count. This is the strongest statement that the model faithfully
+   captures the access behaviour it claims to. *)
+
+open Foray_core
+
+let th nexec nloc = Filter.{ nexec; nloc }
+
+let signature model =
+  Model.all_refs model
+  |> List.map (fun (chain, (mr : Model.mref)) ->
+         ( List.map fst mr.terms,
+           List.map (fun (l : Model.mloop) -> l.trip) chain ))
+  |> List.sort compare
+
+let check_fixpoint ?(thresholds = th 2 2) src =
+  let r = Pipeline.run_source ~thresholds src in
+  let emitted = Model.to_c_exec r.model in
+  let r2 = Pipeline.run_source ~thresholds emitted in
+  let s1 = signature r.model and s2 = signature r2.model in
+  if s1 <> s2 then
+    Alcotest.failf "not a fixpoint\noriginal:  %s\nre-extract: %s\nprogram:\n%s"
+      (String.concat " | "
+         (List.map
+            (fun (ts, tr) ->
+              Printf.sprintf "[%s]@[%s]"
+                (String.concat "," (List.map string_of_int ts))
+                (String.concat "," (List.map string_of_int tr)))
+            s1))
+      (String.concat " | "
+         (List.map
+            (fun (ts, tr) ->
+              Printf.sprintf "[%s]@[%s]"
+                (String.concat "," (List.map string_of_int ts))
+                (String.concat "," (List.map string_of_int tr)))
+            s2))
+      emitted
+
+let t_fig1 () = check_fixpoint ~thresholds:(th 10 10) Foray_suite.Figures.fig1
+let t_fig4a () = check_fixpoint Foray_suite.Figures.fig4a
+let t_fig9 () = check_fixpoint ~thresholds:(th 5 5) Foray_suite.Figures.fig9
+
+let t_generated () =
+  for seed = 100 to 112 do
+    let g = Foray_suite.Generator.generate ~seed ~nests:3 in
+    check_fixpoint ~thresholds:Filter.default g.source
+  done
+
+let t_suite_bench () =
+  (* full benchmark: the executable model of adpcm re-extracts to itself *)
+  let b = Option.get (Foray_suite.Suite.find "adpcm") in
+  check_fixpoint ~thresholds:Filter.default b.source
+
+let t_exec_model_runs_cleanly () =
+  (* the emitted program must pass sema and run without runtime errors *)
+  let b = Option.get (Foray_suite.Suite.find "gsm") in
+  let r = Pipeline.run_source b.source in
+  let src = Model.to_c_exec r.model in
+  let prog = Minic.Parser.program src in
+  Minic.Sema.check_exn prog;
+  let res = Minic_sim.Interp.run prog ~sink:Foray_trace.Event.null_sink in
+  Alcotest.(check int) "exits 0" 0 res.ret
+
+let tests =
+  [
+    Alcotest.test_case "figure 1 model is a fixpoint" `Quick t_fig1;
+    Alcotest.test_case "figure 4 model is a fixpoint" `Quick t_fig4a;
+    Alcotest.test_case "figure 9 model is a fixpoint" `Quick t_fig9;
+    Alcotest.test_case "generated workloads are fixpoints" `Quick t_generated;
+    Alcotest.test_case "adpcm model is a fixpoint" `Slow t_suite_bench;
+    Alcotest.test_case "executable model runs cleanly" `Slow
+      t_exec_model_runs_cleanly;
+  ]

@@ -1,0 +1,118 @@
+(* End-to-end ground-truth property: whatever the surface syntax (direct
+   indexing, for-pointer walks, while-pointer walks), FORAY-GEN must
+   recover exactly the planted byte coefficients. *)
+
+open Foray_core
+module Generator = Foray_suite.Generator
+
+let term_multiset model =
+  Model.all_refs model
+  |> List.map (fun (_, (mr : Model.mref)) -> List.map fst mr.terms)
+  |> List.sort compare
+
+let planted_multiset (g : Generator.t) =
+  g.planted
+  |> List.map (fun (p : Generator.planted) -> p.terms)
+  |> List.sort compare
+
+let run_one seed nests =
+  let g = Generator.generate ~seed ~nests in
+  let r =
+    try Pipeline.run_source g.source
+    with e ->
+      Alcotest.failf "seed %d: pipeline failed (%s) on:\n%s" seed
+        (Printexc.to_string e) g.source
+  in
+  let got = term_multiset r.model in
+  let want = planted_multiset g in
+  if got <> want then
+    Alcotest.failf
+      "seed %d: planted coefficients not recovered\nwant: %s\ngot:  %s\n%s"
+      seed
+      (String.concat " | "
+         (List.map (fun l -> String.concat "," (List.map string_of_int l)) want))
+      (String.concat " | "
+         (List.map (fun l -> String.concat "," (List.map string_of_int l)) got))
+      g.source;
+  (g, r)
+
+let t_deterministic () =
+  let a = Generator.generate ~seed:7 ~nests:3 in
+  let b = Generator.generate ~seed:7 ~nests:3 in
+  Alcotest.(check string) "same seed same program" a.source b.source;
+  let c = Generator.generate ~seed:8 ~nests:3 in
+  Alcotest.(check bool) "different seed differs" true (a.source <> c.source)
+
+let t_generated_parse_and_check () =
+  for seed = 1 to 20 do
+    let g = Generator.generate ~seed ~nests:((seed mod 8) + 1) in
+    let prog = Minic.Parser.program g.source in
+    Minic.Sema.check_exn prog
+  done
+
+let t_ground_truth_sweep () =
+  for seed = 1 to 25 do
+    ignore (run_one seed ((seed mod 4) + 1))
+  done
+
+let t_styles_and_static () =
+  (* while-walks must never be statically analyzable; the recovered model
+     must still carry them (that is FORAY-GEN's whole point) *)
+  let found = ref false in
+  let seed = ref 0 in
+  while not !found && !seed < 30 do
+    incr seed;
+    let g = Generator.generate ~seed:!seed ~nests:4 in
+    if
+      List.exists
+        (fun (p : Generator.planted) -> p.style = Generator.Ptr_while)
+        g.planted
+    then begin
+      found := true;
+      let g, r = run_one !seed 4 in
+      let static = Foray_static.Baseline.analyze r.program in
+      (* count dynamic-only refs: at least the pointer-walk ones *)
+      let not_static =
+        List.filter
+          (fun (_, (mr : Model.mref)) ->
+            not (Foray_static.Baseline.ref_analyzable static mr.site))
+          (Model.all_refs r.model)
+      in
+      let walks =
+        List.filter
+          (fun (p : Generator.planted) -> p.style <> Generator.Direct)
+          g.planted
+      in
+      Alcotest.(check bool) "pointer walks escape static analysis" true
+        (List.length not_static >= List.length walks)
+    end
+  done;
+  Alcotest.(check bool) "found a while-walk case" true !found
+
+let t_trip_counts () =
+  let g, r = run_one 42 3 in
+  (* every planted nest's trips appear in the model *)
+  let model_trips =
+    Model.all_refs r.model
+    |> List.map (fun (chain, _) ->
+           List.map (fun (l : Model.mloop) -> l.trip) chain)
+    |> List.sort compare
+  in
+  let want =
+    g.planted
+    |> List.map (fun (p : Generator.planted) -> p.trips)
+    |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "trip counts" want model_trips
+
+let tests =
+  [
+    Alcotest.test_case "generator deterministic" `Quick t_deterministic;
+    Alcotest.test_case "generated programs are valid" `Quick
+      t_generated_parse_and_check;
+    Alcotest.test_case "ground truth recovered (25 seeds)" `Slow
+      t_ground_truth_sweep;
+    Alcotest.test_case "walks escape static analysis" `Quick
+      t_styles_and_static;
+    Alcotest.test_case "trip counts recovered" `Quick t_trip_counts;
+  ]

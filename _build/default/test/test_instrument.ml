@@ -1,0 +1,103 @@
+(* Instrumentation pass (Step 1) tests. *)
+
+open Minic
+
+let count_checkpoints prog =
+  let n = ref 0 in
+  Ast.iter_stmts
+    (fun st -> match st.Ast.s with Ast.Scheckpoint _ -> incr n | _ -> ())
+    prog
+
+let t_counts () =
+  let prog =
+    Parser.program
+      "int main() { int i; for (i = 0; i < 3; i++) { i = i; } while (i > 0) { i--; } do { i++; } while (i < 2); return i; }"
+  in
+  let instr = Foray_instrument.Annotate.program prog in
+  let n = ref 0 in
+  Ast.iter_stmts
+    (fun st -> match st.Ast.s with Ast.Scheckpoint _ -> incr n | _ -> ())
+    instr;
+  ignore count_checkpoints;
+  (* 3 loops x 4 checkpoint kinds *)
+  Alcotest.(check int) "4 checkpoints per loop" 12 !n
+
+let t_kinds_and_placement () =
+  let prog = Parser.program "int main() { int i; for (i = 0; i < 3; i++) { i = i; } return 0; }" in
+  let instr = Foray_instrument.Annotate.program prog in
+  (* find the wrapping block: [enter; for(...); exit] *)
+  let ok = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Sblock
+          [ { s = Ast.Scheckpoint (l1, Ast.Loop_enter); _ };
+            { s = Ast.Sfor (_, _, _, body); _ };
+            { s = Ast.Scheckpoint (l2, Ast.Loop_exit); _ } ] ->
+          if l1 = l2 then begin
+            (* body starts with body_enter and ends with body_exit *)
+            match (List.hd body, List.rev body |> List.hd) with
+            | ( { Ast.s = Ast.Scheckpoint (b1, Ast.Body_enter); _ },
+                { Ast.s = Ast.Scheckpoint (b2, Ast.Body_exit); _ } ) ->
+                if b1 = l1 && b2 = l1 then ok := true
+            | _ -> ()
+          end
+      | _ -> ())
+    instr;
+  Alcotest.(check bool) "figure 4(b) shape" true !ok
+
+let t_loop_ids_match () =
+  let prog = Parser.program "int main() { int i; while (i < 3) { i++; } return 0; }" in
+  let loops = Ast.loops prog in
+  let lid = (List.hd loops).Ast.sid in
+  let instr = Foray_instrument.Annotate.program prog in
+  let ids = ref [] in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Scheckpoint (l, _) -> ids := l :: !ids
+      | _ -> ())
+    instr;
+  Alcotest.(check bool) "checkpoints carry the loop id" true
+    (List.for_all (fun l -> l = lid) !ids)
+
+let t_loop_table () =
+  let prog =
+    Parser.program
+      "int main() { int i; for (i = 0; i < 1; i++) { } while (i > 9) { } do { i++; } while (0); return 0; }"
+  in
+  let table = Foray_instrument.Annotate.loop_table prog in
+  Alcotest.(check (list string))
+    "kinds in order" [ "for"; "while"; "do" ]
+    (List.map snd table)
+
+let t_non_loops_untouched () =
+  let src = "int main() { int a; if (a) { a = 1; } else { a = 2; } return a; }" in
+  let prog = Parser.program src in
+  let instr = Foray_instrument.Annotate.program prog in
+  Alcotest.(check bool) "no checkpoints without loops" true
+    (Ast.equal_program prog instr)
+
+let t_instrumented_runs_same () =
+  (* instrumentation must not change program semantics *)
+  List.iter
+    (fun (b : Foray_suite.Suite.bench) ->
+      let prog = Parser.program b.source in
+      let instr = Foray_instrument.Annotate.program prog in
+      let r1 = Minic_sim.Interp.run prog ~sink:Foray_trace.Event.null_sink in
+      let r2 = Minic_sim.Interp.run instr ~sink:Foray_trace.Event.null_sink in
+      Alcotest.(check (list int))
+        (b.name ^ " output unchanged")
+        r1.output r2.output;
+      Alcotest.(check int) (b.name ^ " ret unchanged") r1.ret r2.ret)
+    Foray_suite.Suite.all
+
+let tests =
+  [
+    Alcotest.test_case "checkpoint counts" `Quick t_counts;
+    Alcotest.test_case "kinds and placement" `Quick t_kinds_and_placement;
+    Alcotest.test_case "loop ids match" `Quick t_loop_ids_match;
+    Alcotest.test_case "loop table" `Quick t_loop_table;
+    Alcotest.test_case "non-loops untouched" `Quick t_non_loops_untouched;
+    Alcotest.test_case "semantics preserved" `Slow t_instrumented_runs_same;
+  ]

@@ -1,0 +1,231 @@
+(* Interpreter semantics tests: every program returns a value through
+   print_int / main's return, checked against C semantics. *)
+
+module Interp = Minic_sim.Interp
+
+let run src =
+  let prog = Minic.Parser.program src in
+  Minic.Sema.check_exn prog;
+  Interp.run prog ~sink:Foray_trace.Event.null_sink
+
+let ret src = (run src).ret
+let out src = (run src).output
+
+let t_arith () =
+  Alcotest.(check int) "arith" 7 (ret "int main() { return 1 + 2 * 3; }");
+  Alcotest.(check int) "div trunc" 3 (ret "int main() { return 10 / 3; }");
+  Alcotest.(check int) "neg div" (-3) (ret "int main() { return -10 / 3; }");
+  Alcotest.(check int) "mod" 1 (ret "int main() { return 10 % 3; }");
+  Alcotest.(check int) "shift" 20 (ret "int main() { return 5 << 2; }");
+  Alcotest.(check int) "bitops" 6 (ret "int main() { return (12 & 7) ^ 2; }");
+  Alcotest.(check int) "compare" 1 (ret "int main() { return 3 < 4; }")
+
+let t_shortcircuit () =
+  (* the right operand of && must not run when the left is false *)
+  Alcotest.(check int) "and skips" 0
+    (ret
+       "int g; int boom() { g = 1; return 1; } int main() { int x; x = 0 && \
+        boom(); return g; }");
+  Alcotest.(check int) "or skips" 0
+    (ret
+       "int g; int boom() { g = 1; return 1; } int main() { int x; x = 1 || \
+        boom(); return g; }")
+
+let t_control_flow () =
+  Alcotest.(check int) "for sum" 45
+    (ret "int main() { int s; int i; s = 0; for (i = 0; i < 10; i++) { s += i; } return s; }");
+  Alcotest.(check int) "while" 10
+    (ret "int main() { int i; i = 0; while (i < 10) { i++; } return i; }");
+  Alcotest.(check int) "do runs once" 1
+    (ret "int main() { int i; i = 0; do { i++; } while (0); return i; }");
+  Alcotest.(check int) "break" 5
+    (ret
+       "int main() { int i; for (i = 0; i < 10; i++) { if (i == 5) { break; } } return i; }");
+  Alcotest.(check int) "continue" 25
+    (ret
+       "int main() { int s; int i; s = 0; for (i = 0; i < 10; i++) { if (i % 2 == 0) { continue; } s += i; } return s; }");
+  Alcotest.(check int) "nested break only inner" 6
+    (ret
+       "int main() { int s; int i; int j; s = 0; for (i = 0; i < 3; i++) { for (j = 0; j < 5; j++) { if (j == 2) { break; } s += 1; } } return s; }")
+
+let t_incdec () =
+  Alcotest.(check int) "post returns old" 5
+    (ret "int main() { int a; int b; a = 5; b = a++; return b; }");
+  Alcotest.(check int) "pre returns new" 6
+    (ret "int main() { int a; int b; a = 5; b = ++a; return b; }");
+  Alcotest.(check int) "post then value" 6
+    (ret "int main() { int a; a = 5; a++; return a; }");
+  Alcotest.(check int) "decrement" 4
+    (ret "int main() { int a; a = 5; --a; return a; }")
+
+let t_arrays () =
+  Alcotest.(check int) "array rw" 42
+    (ret "int A[10]; int main() { A[3] = 42; return A[3]; }");
+  Alcotest.(check int) "2d array" 7
+    (ret "int M[3][4]; int main() { M[2][1] = 7; return M[2][1]; }");
+  Alcotest.(check int) "2d layout row major" 11
+    (ret
+       "int M[3][4]; int main() { int i; for (i = 0; i < 12; i++) { M[i / 4][i % 4] = i; } return M[2][3]; }");
+  Alcotest.(check int) "initializer" 6
+    (ret "int A[4] = {1, 2, 3}; int main() { return A[0] + A[1] + A[2] + A[3]; }");
+  Alcotest.(check int) "local array initializer zero-fills" 3
+    (ret "int main() { int a[5] = {1, 2}; return a[0] + a[1] + a[4]; }")
+
+let t_pointers () =
+  Alcotest.(check int) "deref" 9
+    (ret "int main() { int x; int *p; p = &x; *p = 9; return x; }");
+  Alcotest.(check int) "pointer arith scales" 5
+    (ret
+       "int A[10]; int main() { int *p; p = A; A[3] = 5; return *(p + 3); }");
+  Alcotest.(check int) "pointer walk" 10
+    (ret
+       "int A[5]; int main() { int *p; int s; int i; for (i = 0; i < 5; i++) { A[i] = i; } p = A; s = 0; for (i = 0; i < 5; i++) { s += *p++; } return s; }");
+  Alcotest.(check int) "pointer difference" 3
+    (ret "int A[10]; int main() { int *p; int *q; p = A; q = p + 3; return q - p; }");
+  Alcotest.(check int) "char pointer walks bytes" 1
+    (ret
+       "char C[8]; int main() { char *p; p = C; p++; return p - C; }");
+  Alcotest.(check int) "index on pointer" 4
+    (ret "int A[10]; int main() { int *p; p = A + 2; A[6] = 4; return p[4]; }")
+
+let t_char_semantics () =
+  Alcotest.(check int) "char wraps" (-56)
+    (ret "char c; int main() { c = 200; return c; }");
+  Alcotest.(check int) "char array element" 65
+    (ret "char s[4]; int main() { s[0] = 'A'; return s[0]; }")
+
+let t_functions_mutual () =
+  Alcotest.(check int) "call" 7
+    (ret "int add(int a, int b) { return a + b; } int main() { return add(3, 4); }");
+  Alcotest.(check int) "recursion" 120
+    (ret
+       "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); } int main() { return fact(5); }");
+  Alcotest.(check int) "fib" 13
+    (ret
+       "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } int main() { return fib(7); }")
+
+let t_globals () =
+  Alcotest.(check int) "global init expr" 12
+    (ret "int a = 5; int b = 7; int main() { return a + b; }");
+  Alcotest.(check int) "global pointer init" 3
+    (ret "int A[5] = {3}; int *p = A; int main() { return *p; }")
+
+let t_builtins () =
+  Alcotest.(check int) "abs" 5 (ret "int main() { return abs(-5); }");
+  Alcotest.(check int) "min max" 7
+    (ret "int main() { return mc_min(9, 3) + mc_max(2, 4); }");
+  Alcotest.(check (list int)) "print_int order" [ 1; 2; 3 ]
+    (out "int main() { print_int(1); print_int(2); print_int(3); return 0; }");
+  Alcotest.(check int) "malloc + memset" 0x0A0A0A0A
+    (ret
+       "int main() { int *p; p = (int*)malloc(16); memset(p, 10, 16); return p[2]; }");
+  Alcotest.(check int) "memcpy" 99
+    (ret
+       "int A[4]; int B[4]; int main() { A[2] = 99; memcpy(B, A, 16); return B[2]; }");
+  Alcotest.(check bool) "mc_rand bounded and deterministic" true
+    (let a = ret "int main() { return mc_rand(100); }" in
+     let b = ret "int main() { return mc_rand(100); }" in
+     a = b && a >= 0 && a < 100)
+
+let t_ternary_cast () =
+  Alcotest.(check int) "ternary" 2 (ret "int main() { return 0 ? 1 : 2; }");
+  Alcotest.(check int) "cast char" (-1)
+    (ret "int main() { return (char)255; }");
+  Alcotest.(check int) "cast int of char noop" 65
+    (ret "int main() { return (int)'A'; }")
+
+let t_runtime_errors () =
+  let expect_err src frag =
+    try
+      ignore (ret src);
+      Alcotest.failf "expected runtime error %s" frag
+    with Interp.Runtime_error m ->
+      if
+        not
+          (let n = String.length frag and l = String.length m in
+           let rec go i = i + n <= l && (String.sub m i n = frag || go (i + 1)) in
+           go 0)
+      then Alcotest.failf "expected %S in %S" frag m
+  in
+  expect_err "int main() { return 1 / 0; }" "division by zero";
+  expect_err "int main() { return 1 % 0; }" "modulo";
+  expect_err "int main() { return mc_rand(0); }" "mc_rand"
+
+let t_step_limit_config () =
+  let prog = Minic.Parser.program "int main() { int i; for (i = 0; i < 1000; i++) { } return i; }" in
+  let config = { Interp.default_config with max_steps = 50 } in
+  try
+    ignore (Interp.run ~config prog ~sink:Foray_trace.Event.null_sink);
+    Alcotest.fail "expected step limit"
+  with Interp.Runtime_error _ -> ()
+
+let t_scalar_tracing_toggle () =
+  let prog =
+    Minic.Parser.program
+      "int A[20]; int main() { int i; for (i = 0; i < 20; i++) { A[i] = i; } return 0; }"
+  in
+  let count config =
+    let n = ref 0 in
+    let sink = function Foray_trace.Event.Access _ -> incr n | _ -> () in
+    ignore (Interp.run ~config prog ~sink);
+    !n
+  in
+  let with_scalars = count Interp.default_config in
+  let without =
+    count { Interp.default_config with trace_scalars = false }
+  in
+  Alcotest.(check bool) "scalars add traffic" true (with_scalars > without);
+  (* exactly the 20 array writes remain *)
+  Alcotest.(check int) "array traffic only" 20 without
+
+let t_param_stack_traffic () =
+  (* argument stores appear in the trace, as the paper notes *)
+  let prog =
+    Minic.Parser.program
+      "int f(int a, int b) { return a + b; } int main() { return f(1, 2); }"
+  in
+  let writes = ref 0 in
+  let sink = function
+    | Foray_trace.Event.Access a when a.write -> incr writes
+    | _ -> ()
+  in
+  ignore (Interp.run prog ~sink);
+  Alcotest.(check bool) "at least two param stores" true (!writes >= 2)
+
+let t_suite_outputs () =
+  (* deterministic end-to-end outputs of the six benchmarks *)
+  let expect =
+    [
+      ("jpeg", [ 244; 12960 ]);
+      ("lame", [ 15535; 19; 512 ]);
+      ("susan", [ 1447; 730; 3 ]);
+      ("fft", [ 1911 ]);
+      ("gsm", [ 2755; 88 ]);
+      ("adpcm", [ 3368171; 88 ]);
+    ]
+  in
+  List.iter
+    (fun (name, expected) ->
+      let b = Option.get (Foray_suite.Suite.find name) in
+      Alcotest.(check (list int)) (name ^ " output") expected (out b.source))
+    expect
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick t_arith;
+    Alcotest.test_case "short circuit" `Quick t_shortcircuit;
+    Alcotest.test_case "control flow" `Quick t_control_flow;
+    Alcotest.test_case "increment/decrement" `Quick t_incdec;
+    Alcotest.test_case "arrays" `Quick t_arrays;
+    Alcotest.test_case "pointers" `Quick t_pointers;
+    Alcotest.test_case "char semantics" `Quick t_char_semantics;
+    Alcotest.test_case "functions" `Quick t_functions_mutual;
+    Alcotest.test_case "globals" `Quick t_globals;
+    Alcotest.test_case "builtins" `Quick t_builtins;
+    Alcotest.test_case "ternary and casts" `Quick t_ternary_cast;
+    Alcotest.test_case "runtime errors" `Quick t_runtime_errors;
+    Alcotest.test_case "step limit config" `Quick t_step_limit_config;
+    Alcotest.test_case "scalar tracing toggle" `Quick t_scalar_tracing_toggle;
+    Alcotest.test_case "parameter stack traffic" `Quick t_param_stack_traffic;
+    Alcotest.test_case "suite outputs deterministic" `Slow t_suite_outputs;
+  ]

@@ -1,0 +1,138 @@
+(* Unit and property tests for the interval set. *)
+
+open Foray_util
+module SI = Set.Make (Int)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let t_empty () =
+  checkb "empty is empty" true (Iset.is_empty Iset.empty);
+  check "cardinal 0" 0 (Iset.cardinal Iset.empty);
+  check "span 0" 0 (Iset.span Iset.empty)
+
+let t_singleton () =
+  let s = Iset.singleton 5 in
+  checkb "mem 5" true (Iset.mem 5 s);
+  checkb "not mem 4" false (Iset.mem 4 s);
+  check "cardinal" 1 (Iset.cardinal s);
+  check "min" 5 (Iset.min_elt s);
+  check "max" 5 (Iset.max_elt s)
+
+let t_coalesce () =
+  let s = Iset.empty |> Iset.add 1 |> Iset.add 2 |> Iset.add 3 in
+  Alcotest.(check (list (pair int int)))
+    "adjacent points coalesce" [ (1, 4) ] (Iset.intervals s)
+
+let t_overlap_absorb () =
+  (* regression for the bug where a covering predecessor lost its tail *)
+  let s = Iset.add_range 0 100 Iset.empty in
+  let s = Iset.add_range 5 10 s in
+  check "covered add keeps everything" 100 (Iset.cardinal s);
+  let s2 = Iset.add_range 50 60 (Iset.add_range 0 10 Iset.empty) in
+  let s2 = Iset.add_range 5 55 s2 in
+  check "bridging add merges" 60 (Iset.cardinal s2);
+  Alcotest.(check (list (pair int int)))
+    "one interval" [ (0, 60) ] (Iset.intervals s2)
+
+let t_ranges () =
+  let s = Iset.add_range 10 20 (Iset.add_range 0 5 Iset.empty) in
+  check "cardinal" 15 (Iset.cardinal s);
+  check "span covers the hole" 20 (Iset.span s);
+  checkb "hole not member" false (Iset.mem 7 s);
+  checkb "edge lo" true (Iset.mem 10 s);
+  checkb "edge hi excluded" false (Iset.mem 20 s)
+
+let t_empty_range () =
+  let s = Iset.add_range 5 5 Iset.empty in
+  checkb "hi=lo is empty" true (Iset.is_empty s);
+  let s = Iset.add_range 7 3 Iset.empty in
+  checkb "hi<lo is empty" true (Iset.is_empty s)
+
+let t_union_inter () =
+  let a = Iset.of_intervals [ (0, 10); (20, 30) ] in
+  let b = Iset.of_intervals [ (5, 25) ] in
+  check "union" 30 (Iset.cardinal (Iset.union a b));
+  check "inter" 10 (Iset.cardinal (Iset.inter a b));
+  checkb "inter mem 8" true (Iset.mem 8 (Iset.inter a b));
+  checkb "inter not mem 12" false (Iset.mem 12 (Iset.inter a b))
+
+let t_equal () =
+  let a = Iset.of_intervals [ (0, 3); (3, 6) ] in
+  let b = Iset.of_intervals [ (0, 6) ] in
+  checkb "coalesced equal" true (Iset.equal a b)
+
+(* property tests against the naive model *)
+
+let ranges_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 60)
+      (pair (int_range (-50) 200) (int_range 1 15)))
+
+let model_of ranges =
+  List.fold_left
+    (fun m (lo, len) ->
+      List.fold_left (fun m x -> SI.add x m) m
+        (List.init len (fun i -> lo + i)))
+    SI.empty ranges
+
+let iset_of ranges =
+  List.fold_left
+    (fun s (lo, len) -> Iset.add_range lo (lo + len) s)
+    Iset.empty ranges
+
+let prop_cardinal =
+  QCheck2.Test.make ~name:"iset cardinal matches naive set" ~count:300
+    ranges_gen (fun ranges ->
+      Iset.cardinal (iset_of ranges) = SI.cardinal (model_of ranges))
+
+let prop_mem =
+  QCheck2.Test.make ~name:"iset membership matches naive set" ~count:200
+    ranges_gen (fun ranges ->
+      let s = iset_of ranges and m = model_of ranges in
+      List.for_all
+        (fun x -> Iset.mem x s = SI.mem x m)
+        (List.init 260 (fun i -> i - 30)))
+
+let prop_union =
+  QCheck2.Test.make ~name:"iset union matches naive union" ~count:200
+    QCheck2.Gen.(pair ranges_gen ranges_gen)
+    (fun (r1, r2) ->
+      Iset.cardinal (Iset.union (iset_of r1) (iset_of r2))
+      = SI.cardinal (SI.union (model_of r1) (model_of r2)))
+
+let prop_inter =
+  QCheck2.Test.make ~name:"iset inter matches naive inter" ~count:200
+    QCheck2.Gen.(pair ranges_gen ranges_gen)
+    (fun (r1, r2) ->
+      Iset.cardinal (Iset.inter (iset_of r1) (iset_of r2))
+      = SI.cardinal (SI.inter (model_of r1) (model_of r2)))
+
+let prop_intervals_disjoint =
+  QCheck2.Test.make ~name:"iset intervals are sorted and disjoint" ~count:200
+    ranges_gen (fun ranges ->
+      let ivs = Iset.intervals (iset_of ranges) in
+      let rec ok = function
+        | (lo1, hi1) :: ((lo2, _) :: _ as rest) ->
+            lo1 < hi1 && hi1 < lo2 && ok rest
+        | [ (lo, hi) ] -> lo < hi
+        | [] -> true
+      in
+      ok ivs)
+
+let tests =
+  [
+    Alcotest.test_case "empty" `Quick t_empty;
+    Alcotest.test_case "singleton" `Quick t_singleton;
+    Alcotest.test_case "coalesce" `Quick t_coalesce;
+    Alcotest.test_case "overlap absorb (regression)" `Quick t_overlap_absorb;
+    Alcotest.test_case "ranges" `Quick t_ranges;
+    Alcotest.test_case "empty range" `Quick t_empty_range;
+    Alcotest.test_case "union inter" `Quick t_union_inter;
+    Alcotest.test_case "equal" `Quick t_equal;
+    QCheck_alcotest.to_alcotest prop_cardinal;
+    QCheck_alcotest.to_alcotest prop_mem;
+    QCheck_alcotest.to_alcotest prop_union;
+    QCheck_alcotest.to_alcotest prop_inter;
+    QCheck_alcotest.to_alcotest prop_intervals_disjoint;
+  ]

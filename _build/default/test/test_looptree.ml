@@ -1,0 +1,191 @@
+(* Algorithm 2 tests: loop-tree reconstruction from synthetic traces. *)
+
+open Foray_core
+module Event = Foray_trace.Event
+
+let ck loop kind = Event.Checkpoint { loop; kind }
+let acc ?(write = false) site addr =
+  Event.Access { site; addr; write; sys = false; width = 4 }
+
+let walk events =
+  let t = Looptree.create () in
+  List.iter (Looptree.sink t) events;
+  t
+
+(* a loop that runs [trip] times around [body_of i] *)
+let loop lid trip body_of =
+  [ ck lid Event.Loop_enter ]
+  @ List.concat
+      (List.init trip (fun i ->
+           (ck lid Event.Body_enter :: body_of i) @ [ ck lid Event.Body_exit ]))
+  @ [ ck lid Event.Loop_exit ]
+
+let t_single_loop () =
+  let t = walk (loop 7 3 (fun i -> [ acc 42 (100 + (4 * i)) ])) in
+  Alcotest.(check int) "one node" 1 (Looptree.n_nodes t);
+  match Looptree.nodes t with
+  | [ n ] ->
+      Alcotest.(check int) "lid" 7 n.lid;
+      Alcotest.(check int) "depth" 1 n.depth;
+      Alcotest.(check int) "entries" 1 n.entries;
+      Alcotest.(check int) "trip max" 3 n.trip_max;
+      Alcotest.(check int) "trip min" 3 n.trip_min;
+      Alcotest.(check int) "one ref" 1 (List.length n.refs);
+      let r = List.hd n.refs in
+      Alcotest.(check (list int)) "stride" [ 4 ]
+        (Affine.included_terms r.aff)
+  | _ -> Alcotest.fail "expected exactly one node"
+
+let t_nested () =
+  let t =
+    walk
+      (loop 1 2 (fun i ->
+           loop 2 3 (fun j -> [ acc 9 (1000 + (4 * j) + (100 * i)) ])))
+  in
+  Alcotest.(check int) "two nodes" 2 (Looptree.n_nodes t);
+  let inner =
+    List.find (fun (n : Looptree.node) -> n.lid = 2) (Looptree.nodes t)
+  in
+  Alcotest.(check int) "inner depth" 2 inner.depth;
+  Alcotest.(check int) "inner entries" 2 inner.entries;
+  Alcotest.(check (list int)) "path" [ 1; 2 ] (Looptree.path inner);
+  let r = List.hd inner.refs in
+  Alcotest.(check (list int)) "coefficients innermost first" [ 4; 100 ]
+    (Affine.included_terms r.aff)
+
+let t_sequential_loops () =
+  let t =
+    walk
+      (loop 1 2 (fun i -> [ acc 5 (4 * i) ])
+      @ loop 2 3 (fun i -> [ acc 6 (1000 + (8 * i)) ]))
+  in
+  Alcotest.(check int) "two top-level nodes" 2 (Looptree.n_nodes t);
+  List.iter
+    (fun (n : Looptree.node) ->
+      Alcotest.(check int) ("depth of " ^ string_of_int n.lid) 1 n.depth)
+    (Looptree.nodes t)
+
+let t_context_split () =
+  (* the same static loop under two different parents becomes two nodes:
+     the "inlining" behaviour of Section 4 *)
+  let inner_ctx i = loop 9 2 (fun j -> [ acc 3 (100 + (4 * j) + (50 * i)) ]) in
+  let t = walk (loop 1 2 inner_ctx @ loop 2 2 inner_ctx) in
+  let nines =
+    List.filter (fun (n : Looptree.node) -> n.lid = 9) (Looptree.nodes t)
+  in
+  Alcotest.(check int) "loop 9 materialized twice" 2 (List.length nines);
+  Alcotest.(check bool) "distinct parents" true
+    (List.length (List.sort_uniq compare (List.map Looptree.path nines)) = 2)
+
+let t_same_context_merged () =
+  (* two entries through the same context reuse one node *)
+  let t =
+    walk
+      (loop 1 1 (fun _ ->
+           loop 9 2 (fun j -> [ acc 3 (4 * j) ])
+           @ loop 9 2 (fun j -> [ acc 3 (4 * j) ])))
+  in
+  let nines =
+    List.filter (fun (n : Looptree.node) -> n.lid = 9) (Looptree.nodes t)
+  in
+  Alcotest.(check int) "merged node" 1 (List.length nines);
+  Alcotest.(check int) "entered twice" 2 (List.hd nines).entries
+
+let t_variable_trips () =
+  let t =
+    walk
+      (List.concat
+         (List.init 3 (fun k ->
+              loop 4 (k + 1) (fun i -> [ acc 2 (4 * i) ]))))
+  in
+  let n = List.hd (Looptree.nodes t) in
+  Alcotest.(check int) "min trip" 1 n.trip_min;
+  Alcotest.(check int) "max trip" 3 n.trip_max;
+  Alcotest.(check int) "total" 6 n.trip_total;
+  Alcotest.(check int) "entries" 3 n.entries
+
+let t_break_robustness () =
+  (* break skips body_exit and jumps straight to loop_exit *)
+  let events =
+    [ ck 1 Event.Loop_enter;
+      ck 1 Event.Body_enter; acc 5 100; ck 1 Event.Body_exit;
+      ck 1 Event.Body_enter; acc 5 104;
+      (* break here: no body_exit *)
+      ck 1 Event.Loop_exit;
+      (* a later loop must still attach at the root *)
+      ck 2 Event.Loop_enter;
+      ck 2 Event.Body_enter; acc 6 200; ck 2 Event.Body_exit;
+      ck 2 Event.Loop_exit ]
+  in
+  let t = walk events in
+  let n2 = List.find (fun (n : Looptree.node) -> n.lid = 2) (Looptree.nodes t) in
+  Alcotest.(check int) "loop 2 at depth 1" 1 n2.depth
+
+let t_return_robustness () =
+  (* return from inside a nested loop: the next checkpoint of the outer
+     context pops the abandoned nodes *)
+  let events =
+    [ ck 1 Event.Loop_enter;
+      ck 1 Event.Body_enter;
+      ck 2 Event.Loop_enter;
+      ck 2 Event.Body_enter; acc 5 100;
+      (* return: loop 2's exits never arrive *)
+      ck 1 Event.Body_exit;
+      ck 1 Event.Body_enter;
+      ck 2 Event.Loop_enter;
+      ck 2 Event.Body_enter; acc 5 104; ck 2 Event.Body_exit;
+      ck 2 Event.Loop_exit;
+      ck 1 Event.Body_exit;
+      ck 1 Event.Loop_exit ]
+  in
+  let t = walk events in
+  Alcotest.(check int) "two nodes despite missing exits" 2
+    (Looptree.n_nodes t);
+  let n2 = List.find (fun (n : Looptree.node) -> n.lid = 2) (Looptree.nodes t) in
+  Alcotest.(check int) "loop 2 entered twice" 2 n2.entries
+
+let t_refs_keyed_per_node () =
+  (* one site in two loops = two reference states *)
+  let t =
+    walk
+      (loop 1 2 (fun i -> [ acc 7 (4 * i) ])
+      @ loop 2 2 (fun i -> [ acc 7 (1000 + (8 * i)) ]))
+  in
+  let refs = Looptree.refs t in
+  Alcotest.(check int) "two states for one site" 2
+    (List.length
+       (List.filter (fun (_, (r : Looptree.refinfo)) -> Affine.site r.aff = 7) refs))
+
+let t_footprint_and_rw () =
+  let t =
+    walk (loop 1 3 (fun i -> [ acc 7 (4 * i); acc ~write:true 8 (4 * i) ]))
+  in
+  let find site =
+    snd
+      (List.find
+         (fun (_, (r : Looptree.refinfo)) -> Affine.site r.aff = site)
+         (Looptree.refs t))
+  in
+  let r7 = find 7 and r8 = find 8 in
+  Alcotest.(check int) "reads" 3 r7.reads;
+  Alcotest.(check int) "writes" 0 r7.writes;
+  Alcotest.(check int) "writes of store" 3 r8.writes;
+  Alcotest.(check int) "footprint bytes" 12
+    (Foray_util.Iset.cardinal r7.footprint);
+  Alcotest.(check int) "distinct locations" 3
+    (Foray_util.Iset.cardinal r7.starts)
+
+let tests =
+  [
+    Alcotest.test_case "single loop" `Quick t_single_loop;
+    Alcotest.test_case "nested loops" `Quick t_nested;
+    Alcotest.test_case "sequential loops" `Quick t_sequential_loops;
+    Alcotest.test_case "context split (inlining)" `Quick t_context_split;
+    Alcotest.test_case "same context merged" `Quick t_same_context_merged;
+    Alcotest.test_case "variable trip counts" `Quick t_variable_trips;
+    Alcotest.test_case "break robustness" `Quick t_break_robustness;
+    Alcotest.test_case "return robustness" `Quick t_return_robustness;
+    Alcotest.test_case "refs keyed per node" `Quick t_refs_keyed_per_node;
+    Alcotest.test_case "footprint and read/write counts" `Quick
+      t_footprint_and_rw;
+  ]

@@ -1,0 +1,80 @@
+(* Memory and layout tests for the simulated machine. *)
+
+open Minic_machine
+
+let t_mem_bytes () =
+  let m = Memory.create () in
+  Alcotest.(check int) "uninitialized reads 0" 0 (Memory.read_byte m 12345);
+  Memory.write_byte m 12345 0xAB;
+  Alcotest.(check int) "byte round-trip" 0xAB (Memory.read_byte m 12345);
+  Memory.write_byte m 12345 0x1FF;
+  Alcotest.(check int) "byte truncates" 0xFF (Memory.read_byte m 12345)
+
+let t_mem_words () =
+  let m = Memory.create () in
+  Memory.write m 1000 4 0x12345678;
+  Alcotest.(check int) "little endian low byte" 0x78 (Memory.read_byte m 1000);
+  Alcotest.(check int) "little endian high byte" 0x12 (Memory.read_byte m 1003);
+  Alcotest.(check int) "word round-trip" 0x12345678 (Memory.read m 1000 4)
+
+let t_mem_sign_extension () =
+  let m = Memory.create () in
+  Memory.write m 0 4 (-1);
+  Alcotest.(check int) "int -1 round-trips" (-1) (Memory.read m 0 4);
+  Memory.write m 10 1 (-5);
+  Alcotest.(check int) "char -5 round-trips" (-5) (Memory.read m 10 1);
+  Memory.write m 20 1 200;
+  Alcotest.(check int) "char 200 reads as -56" (-56) (Memory.read m 20 1)
+
+let t_mem_cross_page () =
+  let m = Memory.create () in
+  (* 4 KiB pages: write a word straddling the boundary *)
+  Memory.write m 4094 4 0x0A0B0C0D;
+  Alcotest.(check int) "cross-page round-trip" 0x0A0B0C0D (Memory.read m 4094 4);
+  Alcotest.(check bool) "two pages materialized" true (Memory.pages m >= 2)
+
+let t_layout_segments () =
+  let l = Layout.create () in
+  let g1 = Layout.alloc_global l ~size:10 ~align:4 in
+  let g2 = Layout.alloc_global l ~size:4 ~align:4 in
+  Alcotest.(check int) "globals start at base" Layout.global_base g1;
+  Alcotest.(check int) "second global aligned" (Layout.global_base + 12) g2;
+  let h1 = Layout.alloc_heap l ~size:100 in
+  Alcotest.(check int) "heap base" Layout.heap_base h1;
+  let s1 = Layout.alloc_stack l ~size:4 ~align:4 in
+  Alcotest.(check bool) "stack grows down" true (s1 < Layout.stack_base);
+  Alcotest.(check int) "stack aligned" 0 (s1 mod 4)
+
+let t_layout_restore () =
+  let l = Layout.create () in
+  let saved = Layout.sp l in
+  let _ = Layout.alloc_stack l ~size:64 ~align:4 in
+  Alcotest.(check bool) "sp moved" true (Layout.sp l < saved);
+  Layout.restore_sp l saved;
+  Alcotest.(check int) "sp restored" saved (Layout.sp l)
+
+let t_segment_of () =
+  Alcotest.(check string) "global" "global" (Layout.segment_of (Layout.global_base + 5));
+  Alcotest.(check string) "heap" "heap" (Layout.segment_of (Layout.heap_base + 5));
+  Alcotest.(check string) "stack" "stack" (Layout.segment_of (Layout.stack_base - 5));
+  Alcotest.(check string) "unmapped" "unmapped" (Layout.segment_of 0)
+
+let t_layout_oom () =
+  let l = Layout.create () in
+  Alcotest.(check bool) "stack overflow raises" true
+    (try
+       ignore (Layout.alloc_stack l ~size:0x2000_0000 ~align:4);
+       false
+     with Layout.Out_of_memory _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "memory bytes" `Quick t_mem_bytes;
+    Alcotest.test_case "memory words little-endian" `Quick t_mem_words;
+    Alcotest.test_case "memory sign extension" `Quick t_mem_sign_extension;
+    Alcotest.test_case "memory cross-page" `Quick t_mem_cross_page;
+    Alcotest.test_case "layout segments" `Quick t_layout_segments;
+    Alcotest.test_case "layout sp restore" `Quick t_layout_restore;
+    Alcotest.test_case "segment naming" `Quick t_segment_of;
+    Alcotest.test_case "layout out-of-memory" `Quick t_layout_oom;
+  ]

@@ -1,0 +1,29 @@
+(* Aggregated alcotest runner for the whole repository. *)
+
+let () =
+  Alcotest.run "foray"
+    [
+      ("iset", Test_iset.tests);
+      ("util", Test_util.tests);
+      ("minic", Test_minic.tests);
+      ("machine", Test_machine.tests);
+      ("interp", Test_interp.tests);
+      ("trace", Test_trace.tests);
+      ("tracefile", Test_tracefile.tests);
+      ("instrument", Test_instrument.tests);
+      ("affine", Test_affine.tests);
+      ("looptree", Test_looptree.tests);
+      ("model", Test_model.tests);
+      ("static", Test_static.tests);
+      ("cache", Test_cache.tests);
+      ("spm", Test_spm.tests);
+      ("switch", Test_switch.tests);
+      ("generator", Test_generator.tests);
+      ("stability", Test_stability.tests);
+      ("fixpoint", Test_fixpoint.tests);
+      ("validate", Test_validate.tests);
+      ("pipeline", Test_pipeline.tests);
+      ("treedump", Test_treedump.tests);
+      ("misc", Test_misc.tests);
+      ("report", Test_report.tests);
+    ]

@@ -1,0 +1,454 @@
+(* Lexer, parser, printer round-trip and sema tests for MiniC. *)
+
+open Minic
+
+let tok_kinds src =
+  List.map
+    (fun (t : Lexer.spanned) ->
+      match t.tok with
+      | Lexer.INT_LIT n -> Printf.sprintf "I%d" n
+      | Lexer.IDENT s -> "id:" ^ s
+      | Lexer.KW s -> "kw:" ^ s
+      | Lexer.PUNCT s -> s
+      | Lexer.EOF -> "$")
+    (Lexer.tokenize src)
+
+let t_lexer_basic () =
+  Alcotest.(check (list string))
+    "tokens"
+    [ "kw:int"; "id:x"; "="; "I42"; ";"; "$" ]
+    (tok_kinds "int x = 42;")
+
+let t_lexer_hex_char () =
+  Alcotest.(check (list string)) "hex" [ "I255"; "$" ] (tok_kinds "0xFF");
+  Alcotest.(check (list string)) "char" [ "I65"; "$" ] (tok_kinds "'A'");
+  Alcotest.(check (list string)) "escape" [ "I10"; "$" ] (tok_kinds "'\\n'")
+
+let t_lexer_comments () =
+  Alcotest.(check (list string))
+    "comments skipped" [ "I1"; "I2"; "$" ]
+    (tok_kinds "1 // line\n/* block\nmore */ 2")
+
+let t_lexer_longest_match () =
+  Alcotest.(check (list string))
+    "operators" [ "id:a"; "<<="; "I1"; ";"; "id:b"; "++"; ";"; "$" ]
+    (tok_kinds "a <<= 1; b++;")
+
+let t_lexer_errors () =
+  (try
+     ignore (Lexer.tokenize "int @ x");
+     Alcotest.fail "expected lexer error"
+   with Lexer.Error (_, 1) -> ());
+  try
+    ignore (Lexer.tokenize "/* unterminated");
+    Alcotest.fail "expected lexer error"
+  with Lexer.Error (_, _) -> ()
+
+(* --- parser ---------------------------------------------------------- *)
+
+let parse_expr_str s = Pretty.expr (Parser.expr s)
+
+let t_precedence () =
+  Alcotest.(check string) "mul binds tighter" "1 + 2 * 3"
+    (parse_expr_str "1 + 2 * 3");
+  Alcotest.(check string) "parens preserved" "(1 + 2) * 3"
+    (parse_expr_str "(1 + 2) * 3");
+  (* add binds tighter than shift in C, so the parens are redundant and
+     the printer may drop them *)
+  Alcotest.(check string) "shift vs add" "1 << 2 + 3"
+    (parse_expr_str "1 << (2 + 3)")
+
+let t_assoc () =
+  (* left associativity: a - b - c = (a - b) - c *)
+  let e = Parser.expr "a - b - c" in
+  match e.Ast.e with
+  | Ast.Bin (Ast.Sub, { e = Ast.Bin (Ast.Sub, _, _); _ }, { e = Ast.Var "c"; _ })
+    ->
+      ()
+  | _ -> Alcotest.fail "wrong associativity"
+
+let t_assign_right_assoc () =
+  let e = Parser.expr "a = b = 1" in
+  match e.Ast.e with
+  | Ast.Assign ({ e = Ast.Var "a"; _ }, { e = Ast.Assign _; _ }) -> ()
+  | _ -> Alcotest.fail "assignment should be right associative"
+
+let t_ternary () =
+  let e = Parser.expr "a ? b : c ? d : e" in
+  match e.Ast.e with
+  | Ast.Cond ({ e = Ast.Var "a"; _ }, _, { e = Ast.Cond _; _ }) -> ()
+  | _ -> Alcotest.fail "ternary should nest right"
+
+let t_unary_fold () =
+  (match (Parser.expr "-5").Ast.e with
+  | Ast.Int -5 -> ()
+  | _ -> Alcotest.fail "negative literal should fold");
+  match (Parser.expr "-x").Ast.e with
+  | Ast.Un (Ast.Neg, _) -> ()
+  | _ -> Alcotest.fail "negation of var stays"
+
+let t_pointer_decls () =
+  let p = Parser.program "int *p; char q[10]; int m[2][3]; int main() { return 0; }" in
+  match p.Ast.globals with
+  | [ Ast.Gvar (Ast.Tptr Ast.Tint, "p", None);
+      Ast.Gvar (Ast.Tarr (Ast.Tchar, 10), "q", None);
+      Ast.Gvar (Ast.Tarr (Ast.Tarr (Ast.Tint, 3), 2), "m", None);
+      Ast.Gfunc _ ] ->
+      ()
+  | _ -> Alcotest.fail "declaration types wrong"
+
+let t_comma_decl () =
+  let p = Parser.program "int main() { int a, b, c; a = b = c = 1; return a; }" in
+  let decls = ref 0 in
+  Ast.iter_stmts
+    (fun st -> match st.Ast.s with Ast.Sdecl _ -> incr decls | _ -> ())
+    p;
+  Alcotest.(check int) "three declarations" 3 !decls
+
+let t_for_decl_desugar () =
+  let p = Parser.program "int main() { for (int i = 0; i < 3; i++) { } return 0; }" in
+  (* the for with declaration is wrapped in a block with the decl first *)
+  let has_block_with_decl_and_for = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Sblock ({ s = Ast.Sdecl (_, "i", _); _ } :: { s = Ast.Sfor _; _ } :: _)
+        ->
+          has_block_with_decl_and_for := true
+      | _ -> ())
+    p;
+  Alcotest.(check bool) "desugared" true !has_block_with_decl_and_for
+
+let t_sizeof_fold () =
+  (match (Parser.expr "sizeof(int)").Ast.e with
+  | Ast.Int 4 -> ()
+  | _ -> Alcotest.fail "sizeof(int) = 4");
+  match (Parser.expr "sizeof(char[10])").Ast.e with
+  | Ast.Int 10 -> ()
+  | _ -> Alcotest.fail "sizeof(char[10]) = 10"
+
+let t_checkpoint_stmt () =
+  let p =
+    Parser.program "int main() { __checkpoint(7, loop_enter); return 0; }"
+  in
+  let found = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Scheckpoint (7, Ast.Loop_enter) -> found := true
+      | _ -> ())
+    p;
+  Alcotest.(check bool) "checkpoint parsed" true !found
+
+let t_parse_errors () =
+  List.iter
+    (fun src ->
+      try
+        ignore (Parser.program src);
+        Alcotest.failf "expected parse error for %S" src
+      with Parser.Error _ -> ())
+    [ "int main() { return 0 }"; "int main() { if; }"; "int 5x;";
+      "int main() { a[; }"; "int f(int) { return 0; }" ]
+
+let t_unique_ids () =
+  let p = Parser.program (Foray_suite.Suite.find "gsm" |> Option.get).source in
+  let eids = ref [] and sids = ref [] in
+  Ast.iter_exprs (fun e -> eids := e.Ast.eid :: !eids) p;
+  Ast.iter_stmts (fun s -> sids := s.Ast.sid :: !sids) p;
+  let dup l = List.length (List.sort_uniq compare l) <> List.length l in
+  (* iter_exprs visits top-level statement expressions; subexpressions are
+     visited via iter_expr recursion, so collect those too *)
+  Alcotest.(check bool) "sids unique" false (dup !sids);
+  Alcotest.(check bool) "eids unique" false (dup !eids)
+
+(* --- round trip ------------------------------------------------------ *)
+
+let roundtrip src =
+  let p1 = Parser.program src in
+  let printed = Pretty.program p1 in
+  let p2 = Parser.program printed in
+  if not (Ast.equal_program p1 p2) then
+    Alcotest.failf "round-trip mismatch:\n%s\n-- reprinted --\n%s" printed
+      (Pretty.program p2)
+
+let t_roundtrip_suite () =
+  List.iter
+    (fun (b : Foray_suite.Suite.bench) -> roundtrip b.source)
+    Foray_suite.Suite.all
+
+let t_roundtrip_figures () =
+  List.iter (fun (_, src) -> roundtrip src) Foray_suite.Figures.all
+
+let t_roundtrip_instrumented () =
+  (* instrumented programs must print and re-parse too *)
+  List.iter
+    (fun (b : Foray_suite.Suite.bench) ->
+      let p = Parser.program b.source in
+      let instr = Foray_instrument.Annotate.program p in
+      let printed = Pretty.program instr in
+      let p2 = Parser.program printed in
+      if not (Ast.equal_program instr p2) then
+        Alcotest.failf "instrumented round-trip failed for %s" b.name)
+    Foray_suite.Suite.all
+
+let t_roundtrip_tricky () =
+  List.iter roundtrip
+    [
+      "int main() { int a; a = -5; a = - -a; a = 1 ? 2 : 3 ? 4 : 5; return a; }";
+      "int A[4] = {1, -2, 3}; int main() { return A[0]; }";
+      "int main() { int x; int *p; p = &x; *p = (3 + 4) * 2 % 5; return *p; }";
+      "int main() { int i; for (;;) { i++; if (i > 3) { break; } } return i; }";
+      "int main() { int a; a = 1 << 2 + 1; a = (1 << 2) + 1; return a; }";
+      "int f(int a, char b) { return a + b; } int main() { return f(1, 'x'); }";
+      "int main() { int x; x = 1; do { x *= 2; } while (x < 10); return x; }";
+    ]
+
+(* random expression generator for the printer/parser round-trip *)
+let gen_expr : Ast.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let counter = ref 0 in
+  let mk e =
+    incr counter;
+    { Ast.e; eid = !counter }
+  in
+  let leaf =
+    oneof
+      [
+        map (fun n -> mk (Ast.Int n)) (int_range 0 100);
+        map (fun v -> mk (Ast.Var v)) (oneofl [ "a"; "b"; "c" ]);
+      ]
+  in
+  let binop =
+    oneofl
+      Ast.[ Add; Sub; Mul; Div; Mod; Shl; Shr; Band; Bor; Bxor; Lt; Gt; Le;
+            Ge; Eq; Ne; Land; Lor ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map3 (fun o l r -> mk (Ast.Bin (o, l, r))) binop (self (n / 2))
+              (self (n / 2));
+            map (fun e -> mk (Ast.Un (Ast.Lnot, e))) (self (n - 1));
+            map (fun e -> mk (Ast.Un (Ast.Bnot, e))) (self (n - 1));
+            map
+              (fun (c, (a, b)) -> mk (Ast.Cond (c, a, b)))
+              (pair (self (n / 3)) (pair (self (n / 3)) (self (n / 3))));
+            map2 (fun a i -> mk (Ast.Index (a, i)))
+              (map (fun v -> mk (Ast.Var v)) (oneofl [ "arr"; "buf" ]))
+              (self (n - 1));
+            map (fun e -> mk (Ast.Deref e)) (self (n - 1));
+          ])
+    8
+
+let prop_expr_roundtrip =
+  QCheck2.Test.make ~name:"expression print/parse round-trip" ~count:500
+    gen_expr (fun e ->
+      let printed = Pretty.expr e in
+      let e2 = Parser.expr printed in
+      Ast.equal_expr e e2)
+
+(* random statement generator over a small fixed vocabulary of variables *)
+let gen_program : Ast.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let counter = ref 0 in
+  let mke e =
+    incr counter;
+    { Ast.e; eid = !counter }
+  in
+  let mks s =
+    incr counter;
+    { Ast.s; sid = !counter }
+  in
+  let small_expr =
+    oneof
+      [
+        map (fun n -> mke (Ast.Int n)) (int_range 0 50);
+        map (fun v -> mke (Ast.Var v)) (oneofl [ "a"; "b" ]);
+        map2
+          (fun v n ->
+            mke (Ast.Bin (Ast.Add, mke (Ast.Var v), mke (Ast.Int n))))
+          (oneofl [ "a"; "b" ]) (int_range 0 9);
+      ]
+  in
+  let assign =
+    map2
+      (fun v e -> mks (Ast.Sexpr (mke (Ast.Assign (mke (Ast.Var v), e)))))
+      (oneofl [ "a"; "b" ]) small_expr
+  in
+  let gen_stmt =
+    fix
+      (fun self n ->
+        if n = 0 then assign
+        else
+          oneof
+            [
+              assign;
+              map (fun e -> mks (Ast.Sreturn (Some e))) small_expr;
+              map2
+                (fun c body -> mks (Ast.Sif (c, [ body ], [])))
+                small_expr (self (n - 1));
+              map2
+                (fun c (a, b) -> mks (Ast.Sif (c, [ a ], [ b ])))
+                small_expr
+                (pair (self (n / 2)) (self (n / 2)));
+              map
+                (fun body ->
+                  mks
+                    (Ast.Sfor
+                       ( Some (mke (Ast.Assign (mke (Ast.Var "a"), mke (Ast.Int 0)))),
+                         Some
+                           (mke (Ast.Bin (Ast.Lt, mke (Ast.Var "a"), mke (Ast.Int 3)))),
+                         Some (mke (Ast.Incr (false, mke (Ast.Var "a")))),
+                         [ body ] )))
+                (self (n - 1));
+              map2
+                (fun c body -> mks (Ast.Swhile (c, [ body; mks Ast.Sbreak ])))
+                small_expr (self (n - 1));
+              map2
+                (fun body c -> mks (Ast.Sdo ([ body ], c)))
+                (self (n - 1)) small_expr;
+              map2
+                (fun scrut (a, b) ->
+                  mks
+                    (Ast.Sswitch
+                       ( scrut,
+                         [
+                           { Ast.labels = [ Ast.Lcase 0 ];
+                             body = [ a; mks Ast.Sbreak ] };
+                           { Ast.labels = [ Ast.Lcase 1; Ast.Ldefault ];
+                             body = [ b ] };
+                         ] )))
+                small_expr
+                (pair (self (n / 2)) (self (n / 2)));
+              map (fun body -> mks (Ast.Sblock [ body ])) (self (n - 1));
+            ])
+      5
+  in
+  let* stmts = list_size (int_range 1 6) gen_stmt in
+  let decls =
+    [
+      mks (Ast.Sdecl (Ast.Tint, "a", None));
+      mks (Ast.Sdecl (Ast.Tint, "b", None));
+    ]
+  in
+  return
+    {
+      Ast.globals =
+        [
+          Ast.Gfunc
+            {
+              fname = "main";
+              ret = Ast.Tint;
+              params = [];
+              body = decls @ stmts @ [ mks (Ast.Sreturn (Some (mke (Ast.Int 0)))) ];
+            };
+        ];
+    }
+
+let prop_program_roundtrip =
+  QCheck2.Test.make ~name:"program print/parse round-trip" ~count:300
+    gen_program (fun p ->
+      let printed = Pretty.program p in
+      let p2 = Parser.program printed in
+      Ast.equal_program p p2)
+
+let prop_program_sema_and_runs =
+  QCheck2.Test.make ~name:"generated programs pass sema and terminate"
+    ~count:150 gen_program (fun p ->
+      match Sema.check p with
+      | Error _ -> false
+      | Ok () -> (
+          let config =
+            { Minic_sim.Interp.default_config with max_steps = 100_000 }
+          in
+          try
+            ignore (Minic_sim.Interp.run ~config p ~sink:Foray_trace.Event.null_sink);
+            true
+          with Minic_sim.Interp.Runtime_error _ -> true))
+
+(* --- sema ------------------------------------------------------------ *)
+
+let sema_errors src =
+  match Sema.check (Parser.program src) with
+  | Ok () -> []
+  | Error l -> List.map (fun (e : Sema.error) -> e.msg) l
+
+let t_sema_ok () =
+  List.iter
+    (fun (b : Foray_suite.Suite.bench) ->
+      Alcotest.(check (list string))
+        (b.name ^ " passes sema") [] (sema_errors b.source))
+    Foray_suite.Suite.all
+
+let contains_substr ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let expect_error src frag =
+  let errs = sema_errors src in
+  if not (List.exists (contains_substr ~sub:frag) errs) then
+    Alcotest.failf "expected error containing %S, got [%s]" frag
+      (String.concat "; " errs)
+
+let t_sema_errors () =
+  expect_error "int main() { return x; }" "undeclared";
+  expect_error "int main() { nosuch(1); return 0; }" "unknown function";
+  expect_error "int f(int a) { return a; } int main() { return f(); }"
+    "argument";
+  expect_error "int main() { break; }" "break outside loop";
+  expect_error "int main() { 1 = 2; return 0; }" "non-lvalue";
+  expect_error "void v; int main() { return 0; }" "void";
+  expect_error "int a[0]; int main() { return 0; }" "dimension";
+  expect_error "int f() { return 0; } int f() { return 1; } int main() { return 0; }"
+    "duplicate";
+  expect_error "int abs(int x) { return x; } int main() { return 0; }"
+    "builtin";
+  expect_error "int x; int x; int main() { return 0; }" "duplicate";
+  expect_error "int main() { int a; int a; return 0; }" "duplicate";
+  (* no main *)
+  let errs = sema_errors "int f() { return 0; }" in
+  Alcotest.(check bool) "missing main" true
+    (List.exists (contains_substr ~sub:"main") errs)
+
+let t_sema_scoping () =
+  (* shadowing in an inner block is fine; sibling blocks are isolated *)
+  Alcotest.(check (list string))
+    "shadowing ok" []
+    (sema_errors
+       "int main() { int a; a = 1; { int a; a = 2; } { int a; a = 3; } return a; }")
+
+let tests =
+  [
+    Alcotest.test_case "lexer basic" `Quick t_lexer_basic;
+    Alcotest.test_case "lexer hex and char" `Quick t_lexer_hex_char;
+    Alcotest.test_case "lexer comments" `Quick t_lexer_comments;
+    Alcotest.test_case "lexer longest match" `Quick t_lexer_longest_match;
+    Alcotest.test_case "lexer errors" `Quick t_lexer_errors;
+    Alcotest.test_case "precedence" `Quick t_precedence;
+    Alcotest.test_case "associativity" `Quick t_assoc;
+    Alcotest.test_case "assignment right assoc" `Quick t_assign_right_assoc;
+    Alcotest.test_case "ternary" `Quick t_ternary;
+    Alcotest.test_case "negative literal folding" `Quick t_unary_fold;
+    Alcotest.test_case "pointer declarations" `Quick t_pointer_decls;
+    Alcotest.test_case "comma declarations" `Quick t_comma_decl;
+    Alcotest.test_case "for-decl desugaring" `Quick t_for_decl_desugar;
+    Alcotest.test_case "sizeof folding" `Quick t_sizeof_fold;
+    Alcotest.test_case "checkpoint statement" `Quick t_checkpoint_stmt;
+    Alcotest.test_case "parse errors" `Quick t_parse_errors;
+    Alcotest.test_case "unique node ids" `Quick t_unique_ids;
+    Alcotest.test_case "round-trip suite" `Quick t_roundtrip_suite;
+    Alcotest.test_case "round-trip figures" `Quick t_roundtrip_figures;
+    Alcotest.test_case "round-trip instrumented" `Quick t_roundtrip_instrumented;
+    Alcotest.test_case "round-trip tricky" `Quick t_roundtrip_tricky;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_program_roundtrip;
+    QCheck_alcotest.to_alcotest prop_program_sema_and_runs;
+    Alcotest.test_case "sema accepts suite" `Quick t_sema_ok;
+    Alcotest.test_case "sema rejects bad programs" `Quick t_sema_errors;
+    Alcotest.test_case "sema scoping" `Quick t_sema_scoping;
+  ]

@@ -1,0 +1,227 @@
+(* Cross-cutting scenario tests that don't belong to one module: heap
+   workloads through the whole pipeline, hint-engine negatives,
+   side-effecting conditions, and deep call chains. *)
+
+open Foray_core
+
+let th nexec nloc = Filter.{ nexec; nloc }
+
+let t_heap_walk_captured () =
+  (* malloc'd buffers live in the heap segment; their pointer walks are
+     captured like any other reference *)
+  let src =
+    {|
+int main() {
+  int *buf;
+  int i;
+  int s;
+  buf = (int*)malloc(400);
+  for (i = 0; i < 100; i++) {
+    buf[i] = i * 3;
+  }
+  s = 0;
+  for (i = 0; i < 100; i++) {
+    s += buf[i];
+  }
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  let r = Pipeline.run_source src in
+  Alcotest.(check (list int)) "sum correct" [ 14850 ] r.sim.output;
+  let refs = Model.all_refs r.model in
+  Alcotest.(check int) "write and read walks captured" 2 (List.length refs);
+  List.iter
+    (fun (_, (mr : Model.mref)) ->
+      Alcotest.(check (list int)) "stride 4" [ 4 ] (List.map fst mr.terms);
+      (* heap addresses *)
+      Alcotest.(check bool) "heap segment" true
+        (mr.const >= Minic_machine.Layout.heap_base))
+    refs
+
+let t_hints_same_pattern () =
+  (* two call sites with the SAME stride: still two contexts, but the
+     hint must say the patterns agree *)
+  let src =
+    {|
+int A[500];
+int tmp;
+int foo(int off) {
+  int i;
+  for (i = 0; i < 10; i++) {
+    tmp += A[i + off];
+  }
+  return 0;
+}
+int main() {
+  int x;
+  int y;
+  for (x = 0; x < 10; x++) {
+    foo(10 * x);
+  }
+  for (y = 0; y < 10; y++) {
+    foo(10 * y);
+  }
+  return 0;
+}
+|}
+  in
+  let r = Pipeline.run_source ~thresholds:(th 5 5) src in
+  match Pipeline.hints r with
+  | [ h ] ->
+      Alcotest.(check int) "two contexts" 2 (List.length h.contexts);
+      Alcotest.(check bool) "same access pattern" false h.distinct_patterns
+  | l -> Alcotest.failf "expected one hint, got %d" (List.length l)
+
+let t_side_effect_condition () =
+  (* assignment inside a while condition, C idiom *)
+  let src =
+    {|
+int A[30];
+int main() {
+  int i;
+  int v;
+  i = 0;
+  while ((v = i * 2) < 40) {
+    A[i] = v;
+    i++;
+  }
+  return A[10];
+}
+|}
+  in
+  let prog = Minic.Parser.program src in
+  Minic.Sema.check_exn prog;
+  let res = Minic_sim.Interp.run prog ~sink:Foray_trace.Event.null_sink in
+  Alcotest.(check int) "computes through the condition" 20 res.ret
+
+let t_deep_call_chain () =
+  (* loops reached through several call levels still nest correctly *)
+  let src =
+    {|
+int A[800];
+int leaf(int base) {
+  int j;
+  for (j = 0; j < 10; j++) {
+    A[base + j] = j;
+  }
+  return 0;
+}
+int mid(int base) {
+  return leaf(base);
+}
+int main() {
+  int i;
+  for (i = 0; i < 20; i++) {
+    mid(10 * i);
+  }
+  return 0;
+}
+|}
+  in
+  let r = Pipeline.run_source src in
+  match Model.all_refs r.model with
+  | [ (chain, mr) ] ->
+      Alcotest.(check int) "two loops in the nest" 2 (List.length chain);
+      Alcotest.(check (list int)) "coefficients through two calls" [ 4; 40 ]
+        (List.map fst mr.terms);
+      Alcotest.(check bool) "fully affine despite the call chain" false
+        mr.partial
+  | l -> Alcotest.failf "expected one model ref, got %d" (List.length l)
+
+let t_recursion_contexts () =
+  (* recursion from INSIDE a loop nests the same static loop under
+     itself; tail recursion after the loop merges contexts instead.
+     Both must be handled without confusion. *)
+  let src =
+    {|
+int A[400];
+int walk(int depth, int base) {
+  int i;
+  for (i = 0; i < 6; i++) {
+    A[base + i] = depth;
+    if (i == 0 && depth > 0) {
+      walk(depth - 1, base + 40);
+    }
+  }
+  return 0;
+}
+int main() {
+  int k;
+  for (k = 0; k < 4; k++) {
+    walk(2, 24 * k);
+  }
+  return 0;
+}
+|}
+  in
+  let r = Pipeline.run_source ~thresholds:(th 4 4) src in
+  (* depth-4 nodes exist: k-loop > walk > walk > walk *)
+  let max_depth =
+    List.fold_left
+      (fun a (n : Looptree.node) -> max a n.depth)
+      0
+      (Looptree.nodes r.tree)
+  in
+  Alcotest.(check int) "recursion nests the loop under itself" 4 max_depth;
+  Alcotest.(check bool) "model nonempty" true (Model.n_refs r.model > 0);
+  (* tail recursion after the loop merges into one context *)
+  let tail =
+    {|
+int A[400];
+int walk(int depth, int base) {
+  int i;
+  for (i = 0; i < 10; i++) {
+    A[base + i] = depth;
+  }
+  if (depth > 0) {
+    return walk(depth - 1, base + 10);
+  }
+  return 0;
+}
+int main() {
+  return walk(3, 0);
+}
+|}
+  in
+  let r2 = Pipeline.run_source ~thresholds:(th 4 4) tail in
+  let loop_nodes = Looptree.nodes r2.tree in
+  Alcotest.(check int) "tail recursion merges into one node" 1
+    (List.length loop_nodes);
+  Alcotest.(check int) "entered once per depth" 4
+    (List.hd loop_nodes).entries
+
+let t_char_array_width () =
+  (* char walks produce width-1 accesses and byte-granular models *)
+  let src =
+    {|
+char S[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    S[i] = i * 7;
+  }
+  return S[9];
+}
+|}
+  in
+  let r = Pipeline.run_source src in
+  match Model.all_refs r.model with
+  | [ (_, mr) ] ->
+      Alcotest.(check int) "byte width" 1 mr.width;
+      Alcotest.(check (list int)) "byte stride" [ 1 ] (List.map fst mr.terms);
+      Alcotest.(check int) "footprint 64 bytes" 64 mr.footprint
+  | l -> Alcotest.failf "expected one ref, got %d" (List.length l)
+
+let tests =
+  [
+    Alcotest.test_case "heap walks captured" `Quick t_heap_walk_captured;
+    Alcotest.test_case "hints: same pattern not flagged" `Quick
+      t_hints_same_pattern;
+    Alcotest.test_case "side-effecting condition" `Quick
+      t_side_effect_condition;
+    Alcotest.test_case "deep call chain" `Quick t_deep_call_chain;
+    Alcotest.test_case "recursive contexts" `Quick t_recursion_contexts;
+    Alcotest.test_case "char array width" `Quick t_char_array_width;
+  ]

@@ -1,0 +1,163 @@
+(* Filter (Step 4) and FORAY model construction/emission tests. *)
+
+open Foray_core
+module Event = Foray_trace.Event
+
+let ck loop kind = Event.Checkpoint { loop; kind }
+let acc ?(write = false) site addr =
+  Event.Access { site; addr; write; sys = false; width = 4 }
+
+let loop lid trip body_of =
+  [ ck lid Event.Loop_enter ]
+  @ List.concat
+      (List.init trip (fun i ->
+           (ck lid Event.Body_enter :: body_of i) @ [ ck lid Event.Body_exit ]))
+  @ [ ck lid Event.Loop_exit ]
+
+let tree_of events =
+  let t = Looptree.create () in
+  List.iter (Looptree.sink t) events;
+  t
+
+let th nexec nloc = Filter.{ nexec; nloc }
+
+let t_filter_nexec () =
+  (* 30 execs over 30 locations passes; 5 execs fails nexec *)
+  let t = tree_of (loop 1 30 (fun i -> [ acc 7 (4 * i) ])) in
+  Alcotest.(check int) "passes" 1
+    (List.length (Filter.survivors (th 20 10) t));
+  let t5 = tree_of (loop 1 5 (fun i -> [ acc 7 (4 * i) ])) in
+  Alcotest.(check int) "too few execs" 0
+    (List.length (Filter.survivors (th 20 10) t5));
+  Alcotest.(check int) "relaxed passes" 1
+    (List.length (Filter.survivors (th 2 2) t5))
+
+let t_filter_nloc () =
+  (* many executions of few locations: reused scalar-like ref *)
+  let t = tree_of (loop 1 40 (fun i -> [ acc 7 (4 * (i mod 3)) ])) in
+  (* address pattern is irregular (mod) so it is also non-analyzable, but
+     nloc alone must reject a 3-location register-like ref *)
+  Alcotest.(check int) "few locations rejected" 0
+    (List.length (Filter.survivors (th 20 10) t))
+
+let t_filter_no_iterator () =
+  let t = tree_of (loop 1 40 (fun _ -> [ acc 7 1000 ])) in
+  Alcotest.(check int) "constant ref rejected even with execs" 0
+    (List.length (Filter.survivors (th 20 1) t))
+
+let t_default_thresholds () =
+  Alcotest.(check int) "paper Nexec" 20 Filter.default.nexec;
+  Alcotest.(check int) "paper Nloc" 10 Filter.default.nloc
+
+let mk_model ?(thresholds = th 2 2) ?(loop_kinds = []) events =
+  Model.of_tree ~thresholds ~loop_kinds (tree_of events)
+
+let t_model_counts () =
+  let m =
+    mk_model
+      (loop 1 3 (fun i ->
+           [ acc 7 (4 * i) ]
+           @ loop 2 4 (fun j -> [ acc 8 (1000 + (4 * j) + (16 * i)) ])))
+  in
+  Alcotest.(check int) "loops" 2 (Model.n_loops m);
+  Alcotest.(check int) "refs" 2 (Model.n_refs m);
+  Alcotest.(check int) "accesses" (3 + 12) (Model.accesses m);
+  Alcotest.(check (list int)) "sites" [ 7; 8 ] m.sites
+
+let t_model_prunes_empty () =
+  (* a loop whose refs are filtered disappears from the model *)
+  let m =
+    mk_model ~thresholds:(th 5 5)
+      (loop 1 10 (fun i -> [ acc 7 (4 * i) ])
+      @ loop 2 2 (fun i -> [ acc 8 (4 * i) ]))
+  in
+  Alcotest.(check int) "only the surviving nest" 1 (Model.n_loops m);
+  Alcotest.(check int) "one ref" 1 (Model.n_refs m)
+
+let t_model_expr_rendering () =
+  let m =
+    mk_model
+      (loop 1 2 (fun i -> loop 2 3 (fun j -> [ acc 9 (50 + (4 * j) + (100 * i)) ])))
+  in
+  match Model.all_refs m with
+  | [ (chain, r) ] ->
+      Alcotest.(check string) "expression" "50 + 4*i2 + 100*i1"
+        (Model.expr_of_ref r);
+      Alcotest.(check (list int)) "chain outermost first" [ 1; 2 ]
+        (List.map (fun (l : Model.mloop) -> l.lid) chain);
+      Alcotest.(check string) "array name" "A9" (Model.array_name r.site)
+  | _ -> Alcotest.fail "expected one ref"
+
+let t_model_to_c_parses () =
+  (* emitted FORAY model is valid MiniC and passes sema *)
+  let m =
+    mk_model
+      (loop 1 3 (fun i ->
+           [ acc 7 (4 * i) ]
+           @ loop 2 4 (fun j -> [ acc 8 (1000 + (4 * j) + (16 * i)) ])))
+  in
+  let src = Model.to_c m in
+  let prog = Minic.Parser.program src in
+  Minic.Sema.check_exn prog;
+  Alcotest.(check bool) "mentions A7" true
+    (let sub = "A7[" in
+     let n = String.length sub and l = String.length src in
+     let rec go i = i + n <= l && (String.sub src i n = sub || go (i + 1)) in
+     go 0)
+
+let t_model_partial_annotation () =
+  let bases = [| 100; 9000; 500 |] in
+  let m =
+    mk_model
+      (loop 1 3 (fun i -> loop 2 4 (fun j -> [ acc 9 (bases.(i) + (4 * j)) ])))
+  in
+  match Model.all_refs m with
+  | [ (_, r) ] ->
+      Alcotest.(check bool) "partial" true r.partial;
+      Alcotest.(check int) "m" 1 r.m;
+      Alcotest.(check int) "depth" 2 r.depth;
+      let src = Model.to_c m in
+      Alcotest.(check bool) "partial comment emitted" true
+        (let sub = "partial" in
+         let n = String.length sub and l = String.length src in
+         let rec go i = i + n <= l && (String.sub src i n = sub || go (i + 1)) in
+         go 0)
+  | l -> Alcotest.failf "expected one ref, got %d" (List.length l)
+
+let t_model_loop_kinds () =
+  let m =
+    mk_model
+      ~loop_kinds:[ (1, "while") ]
+      (loop 1 3 (fun i -> [ acc 7 (4 * i) ]))
+  in
+  match m.loops with
+  | [ l ] -> Alcotest.(check (option string)) "kind" (Some "while") l.kind
+  | _ -> Alcotest.fail "one loop expected"
+
+let t_zero_coeff_dropped () =
+  (* iterator with zero coefficient is not emitted in the expression *)
+  let m =
+    mk_model
+      (loop 1 3 (fun _i -> loop 2 4 (fun j -> [ acc 9 (50 + (4 * j)) ])))
+  in
+  match Model.all_refs m with
+  | [ (_, r) ] ->
+      Alcotest.(check string) "only inner term" "50 + 4*i2"
+        (Model.expr_of_ref r)
+  | _ -> Alcotest.fail "expected one ref"
+
+let tests =
+  [
+    Alcotest.test_case "filter nexec" `Quick t_filter_nexec;
+    Alcotest.test_case "filter nloc" `Quick t_filter_nloc;
+    Alcotest.test_case "filter needs an iterator" `Quick t_filter_no_iterator;
+    Alcotest.test_case "paper default thresholds" `Quick t_default_thresholds;
+    Alcotest.test_case "model counts" `Quick t_model_counts;
+    Alcotest.test_case "model prunes empty loops" `Quick t_model_prunes_empty;
+    Alcotest.test_case "model expression rendering" `Quick
+      t_model_expr_rendering;
+    Alcotest.test_case "model emits valid MiniC" `Quick t_model_to_c_parses;
+    Alcotest.test_case "partial annotation" `Quick t_model_partial_annotation;
+    Alcotest.test_case "loop kinds" `Quick t_model_loop_kinds;
+    Alcotest.test_case "zero coefficients dropped" `Quick t_zero_coeff_dropped;
+  ]

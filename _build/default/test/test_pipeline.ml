@@ -1,0 +1,151 @@
+(* End-to-end pipeline tests, including the paper's worked examples. *)
+
+open Foray_core
+module Figures = Foray_suite.Figures
+
+let th nexec nloc = Filter.{ nexec; nloc }
+
+let t_figure4_model () =
+  (* the headline worked example: while+for pointer walk becomes a
+     2x3 nest with coefficients 1 (inner) and 103 (outer) *)
+  let r = Pipeline.run_source ~thresholds:(th 2 2) Figures.fig4a in
+  match Model.all_refs r.model with
+  | [ (chain, mr) ] ->
+      Alcotest.(check (list int)) "trips outer-in" [ 2; 3 ]
+        (List.map (fun (l : Model.mloop) -> l.trip) chain);
+      Alcotest.(check (list string)) "loop kinds" [ "while"; "for" ]
+        (List.map
+           (fun (l : Model.mloop) -> Option.value l.kind ~default:"?")
+           chain);
+      Alcotest.(check (list int)) "coefficients" [ 1; 103 ]
+        (List.map fst mr.terms);
+      Alcotest.(check bool) "full affine" false mr.partial;
+      Alcotest.(check int) "6 executions" 6 mr.execs;
+      Alcotest.(check int) "6 locations" 6 mr.locations
+  | l -> Alcotest.failf "expected exactly one model ref, got %d" (List.length l)
+
+let t_figure1_models () =
+  (* Figure 1 -> Figure 2: two nests; 3x64 with strides 4/256, and a
+     16-iteration for under a single-trip while with stride 4 *)
+  let r = Pipeline.run_source ~thresholds:(th 10 10) Figures.fig1 in
+  let refs = Model.all_refs r.model in
+  Alcotest.(check int) "two references" 2 (List.length refs);
+  let with_coeffs want =
+    List.exists (fun (_, (mr : Model.mref)) -> List.map fst mr.terms = want) refs
+  in
+  Alcotest.(check bool) "4*inner + 256*outer nest" true (with_coeffs [ 4; 256 ]);
+  Alcotest.(check bool) "stride-4 result walk" true
+    (with_coeffs [ 4 ] || with_coeffs [ 4; 64 ])
+
+let t_figure7b_partial () =
+  let r = Pipeline.run_source ~thresholds:(th 10 5) Figures.fig7b in
+  let partials =
+    List.filter (fun (_, (mr : Model.mref)) -> mr.partial)
+      (Model.all_refs r.model)
+  in
+  Alcotest.(check bool) "a partial reference exists" true (partials <> []);
+  let _, mr = List.hd partials in
+  Alcotest.(check int) "covers foo's two loops" 2 mr.m;
+  Alcotest.(check (list int)) "coefficients 4*j + 40*i" [ 4; 40 ]
+    (List.map fst mr.terms)
+
+let t_figure9_hints () =
+  let r = Pipeline.run_source ~thresholds:(th 5 5) Figures.fig9 in
+  match Pipeline.hints r with
+  | [ h ] ->
+      Alcotest.(check (option string)) "foo flagged" (Some "foo") h.func;
+      Alcotest.(check int) "two contexts" 2 (List.length h.contexts);
+      Alcotest.(check bool) "different patterns" true h.distinct_patterns
+  | l -> Alcotest.failf "expected one hint, got %d" (List.length l)
+
+let t_online_equals_offline () =
+  List.iter
+    (fun (b : Foray_suite.Suite.bench) ->
+      let prog = Minic.Parser.program b.source in
+      let online = Pipeline.run prog in
+      let offline, trace = Pipeline.run_offline prog in
+      Alcotest.(check string)
+        (b.name ^ " same model")
+        (Model.to_c online.model)
+        (Model.to_c offline.model);
+      Alcotest.(check bool) (b.name ^ " trace nonempty") true (trace <> []))
+    [ Option.get (Foray_suite.Suite.find "adpcm");
+      Option.get (Foray_suite.Suite.find "fft") ]
+
+let t_trace_serialization_replay () =
+  (* serialize the trace to text, parse it back, re-analyze: same model *)
+  let prog = Minic.Parser.program Figures.fig4a in
+  let r1, trace = Pipeline.run_offline ~thresholds:(th 2 2) prog in
+  let text = Foray_trace.Event.to_string trace in
+  let replayed = Foray_trace.Event.of_string text in
+  let tree = Looptree.create () in
+  List.iter (Looptree.sink tree) replayed;
+  let model =
+    Model.of_tree ~thresholds:(th 2 2) ~loop_kinds:r1.loop_kinds tree
+  in
+  Alcotest.(check string) "same model after text round-trip"
+    (Model.to_c r1.model) (Model.to_c model)
+
+let t_thresholds_monotone () =
+  (* stricter thresholds never keep more references *)
+  let prog = Minic.Parser.program (Option.get (Foray_suite.Suite.find "gsm")).source in
+  let loose = Pipeline.run ~thresholds:(th 2 2) prog in
+  let strict = Pipeline.run ~thresholds:(th 50 50) prog in
+  Alcotest.(check bool) "monotone" true
+    (Model.n_refs strict.model <= Model.n_refs loose.model);
+  Alcotest.(check bool) "loose nonempty" true (Model.n_refs loose.model > 0)
+
+let t_model_sites_subset () =
+  let r = Pipeline.run_source (Option.get (Foray_suite.Suite.find "susan")).source in
+  let traced =
+    List.map (fun (s : Foray_trace.Tstats.site_info) -> s.site)
+      (Foray_trace.Tstats.sites r.tstats)
+  in
+  List.iter
+    (fun s ->
+      if not (List.mem s traced) then
+        Alcotest.failf "model site %x never traced" s)
+    r.model.sites
+
+let t_model_emits_parseable_minic () =
+  List.iter
+    (fun (b : Foray_suite.Suite.bench) ->
+      let r = Pipeline.run_source b.source in
+      let src = Model.to_c r.model in
+      let prog = Minic.Parser.program src in
+      Minic.Sema.check_exn prog)
+    Foray_suite.Suite.all
+
+let t_loop_functions () =
+  let prog =
+    Minic.Parser.program
+      "int f() { int i; for (i = 0; i < 2; i++) { } return 0; } int main() { int j; while (j < 1) { j++; } return f(); }"
+  in
+  let funcs = Pipeline.loop_functions prog in
+  Alcotest.(check (list string)) "owners in order" [ "f"; "main" ]
+    (List.map snd funcs)
+
+let t_sema_failure_surfaces () =
+  try
+    ignore (Pipeline.run_source "int main() { return x; }");
+    Alcotest.fail "expected sema failure"
+  with Failure m ->
+    Alcotest.(check bool) "mentions sema" true
+      (String.length m >= 4 && String.sub m 0 4 = "Sema")
+
+let tests =
+  [
+    Alcotest.test_case "figure 4 model" `Quick t_figure4_model;
+    Alcotest.test_case "figure 1 -> figure 2 models" `Quick t_figure1_models;
+    Alcotest.test_case "figure 7b partial affine" `Quick t_figure7b_partial;
+    Alcotest.test_case "figure 9 hints" `Quick t_figure9_hints;
+    Alcotest.test_case "online equals offline" `Slow t_online_equals_offline;
+    Alcotest.test_case "trace text replay" `Quick t_trace_serialization_replay;
+    Alcotest.test_case "thresholds monotone" `Slow t_thresholds_monotone;
+    Alcotest.test_case "model sites are traced sites" `Slow
+      t_model_sites_subset;
+    Alcotest.test_case "models emit parseable MiniC" `Slow
+      t_model_emits_parseable_minic;
+    Alcotest.test_case "loop functions" `Quick t_loop_functions;
+    Alcotest.test_case "sema failure surfaces" `Quick t_sema_failure_surfaces;
+  ]

@@ -1,0 +1,100 @@
+(* Experiment report invariants over the full benchmark suite. These are
+   the sanity properties behind Tables I-III; exact numbers live in
+   EXPERIMENTS.md. *)
+
+open Foray_report
+
+let reports = lazy (Report.report_all ())
+
+let t_table1_invariants () =
+  List.iter
+    (fun (r : Report.bench_report) ->
+      Alcotest.(check bool) (r.name ^ " has lines") true (r.lines > 0);
+      Alcotest.(check int)
+        (r.name ^ " loop kinds partition")
+        r.loops_total
+        (r.loops_for + r.loops_while + r.loops_do))
+    (Lazy.force reports)
+
+let t_table2_invariants () =
+  List.iter
+    (fun (r : Report.bench_report) ->
+      Alcotest.(check bool) (r.name ^ " model has loops") true (r.model_loops > 0);
+      Alcotest.(check bool) (r.name ^ " model has refs") true (r.model_refs > 0);
+      Alcotest.(check bool)
+        (r.name ^ " not-foray <= total")
+        true
+        (r.refs_not_foray <= r.model_refs && r.loops_not_foray <= r.model_loops);
+      (* inlined model loops can exceed executed source loops, but never
+         the other way by more than the context multiplier; sanity only *)
+      Alcotest.(check bool) (r.name ^ " loops sane") true (r.model_loops <= 10 * r.loops_total))
+    (Lazy.force reports)
+
+let t_table3_invariants () =
+  List.iter
+    (fun (r : Report.bench_report) ->
+      Alcotest.(check bool) (r.name ^ " accesses positive") true (r.accesses_total > 0);
+      Alcotest.(check bool)
+        (r.name ^ " categories within totals")
+        true
+        (r.model_sites + r.sys_sites <= r.refs_total
+        && r.model_accesses + r.sys_accesses <= r.accesses_total
+        && r.model_footprint <= r.footprint_total
+        && r.sys_footprint <= r.footprint_total
+        && r.other_footprint <= r.footprint_total))
+    (Lazy.force reports)
+
+let t_paper_shape () =
+  (* the qualitative claims of the evaluation *)
+  let get name =
+    List.find (fun (r : Report.bench_report) -> r.name = name) (Lazy.force reports)
+  in
+  let fft = get "fft" and adpcm = get "adpcm" in
+  Alcotest.(check int) "fft entirely in FORAY form" 0 fft.refs_not_foray;
+  Alcotest.(check int) "adpcm entirely out of FORAY form" adpcm.model_refs
+    adpcm.refs_not_foray;
+  (* non-for loops are a substantial minority overall (paper: 23%) *)
+  let total = List.fold_left (fun a (r : Report.bench_report) -> a + r.loops_total) 0 (Lazy.force reports) in
+  let nonfor =
+    List.fold_left
+      (fun a (r : Report.bench_report) -> a + r.loops_while + r.loops_do)
+      0 (Lazy.force reports)
+  in
+  let pct = 100.0 *. float_of_int nonfor /. float_of_int total in
+  Alcotest.(check bool) "non-for loops 10..45%" true (pct > 10.0 && pct < 45.0);
+  (* FORAY-GEN roughly doubles the analyzable references on average *)
+  let ratios =
+    List.filter_map
+      (fun (r : Report.bench_report) ->
+        let s = r.model_refs - r.refs_not_foray in
+        if s = 0 then None
+        else Some (float_of_int r.model_refs /. float_of_int s))
+      (Lazy.force reports)
+  in
+  let avg = List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios) in
+  Alcotest.(check bool) "about 2x average increase" true
+    (avg > 1.5 && avg < 3.0)
+
+let t_tables_render () =
+  let rs = Lazy.force reports in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "non-empty" true (String.length s > 100);
+      (* every benchmark appears *)
+      List.iter
+        (fun (r : Report.bench_report) ->
+          let sub = r.name in
+          let n = String.length sub and l = String.length s in
+          let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+          if not (go 0) then Alcotest.failf "missing %s" r.name)
+        rs)
+    [ Report.table1 rs; Report.table2 rs; Report.table3 rs; Report.headline rs ]
+
+let tests =
+  [
+    Alcotest.test_case "table I invariants" `Slow t_table1_invariants;
+    Alcotest.test_case "table II invariants" `Slow t_table2_invariants;
+    Alcotest.test_case "table III invariants" `Slow t_table3_invariants;
+    Alcotest.test_case "paper-shape claims" `Slow t_paper_shape;
+    Alcotest.test_case "tables render" `Slow t_tables_render;
+  ]

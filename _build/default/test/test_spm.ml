@@ -1,0 +1,295 @@
+(* SPM phase tests: energy model, reuse candidates, knapsack selection and
+   code transformation. *)
+
+open Foray_spm
+open Foray_core
+module Event = Foray_trace.Event
+
+let t_energy_model () =
+  Alcotest.(check bool) "SPM beats main memory" true
+    (Energy.spm_access 1024 < Energy.main_access);
+  Alcotest.(check bool) "energy grows with size" true
+    (Energy.spm_access 256 < Energy.spm_access 16384);
+  Alcotest.(check bool) "rounding up" true
+    (Energy.spm_access 300 = Energy.spm_access 512);
+  Alcotest.(check (float 0.0001)) "baseline is linear"
+    (2.0 *. Energy.baseline 100)
+    (Energy.baseline 200);
+  Alcotest.(check bool) "transfer = main + spm" true
+    (Energy.transfer_word 1024 > Energy.main_access)
+
+(* Build a model from a synthetic trace. *)
+let ck loop kind = Event.Checkpoint { loop; kind }
+let acc ?(write = false) site addr =
+  Event.Access { site; addr; write; sys = false; width = 4 }
+
+let loop lid trip body_of =
+  [ ck lid Event.Loop_enter ]
+  @ List.concat
+      (List.init trip (fun i ->
+           (ck lid Event.Body_enter :: body_of i) @ [ ck lid Event.Body_exit ]))
+  @ [ ck lid Event.Loop_exit ]
+
+let model_of events =
+  let t = Looptree.create () in
+  List.iter (Looptree.sink t) events;
+  Model.of_tree ~thresholds:Filter.{ nexec = 2; nloc = 2 } t
+
+(* reused row: inner j walks 16 ints, outer i repeats it 10 times *)
+let reuse_model =
+  model_of
+    (loop 1 10 (fun _i -> loop 2 16 (fun j -> [ acc 7 (1000 + (4 * j)) ])))
+
+let t_candidates () =
+  let cands = Reuse.candidates reuse_model in
+  Alcotest.(check int) "one per level" 2 (List.length cands);
+  let l1 = List.find (fun (c : Reuse.candidate) -> c.level = 1) cands in
+  Alcotest.(check int) "span of inner walk" 64 l1.size;
+  Alcotest.(check int) "fills once per outer iter" 10 l1.fills;
+  Alcotest.(check int) "serves all accesses" 160 l1.accesses;
+  Alcotest.(check int) "words per fill" 16 l1.words_per_fill;
+  Alcotest.(check bool) "read only" false l1.writeback;
+  let l2 = List.find (fun (c : Reuse.candidate) -> c.level = 2) cands in
+  Alcotest.(check int) "whole-nest buffer fills once" 1 l2.fills;
+  Alcotest.(check int) "same span (perfect reuse)" 64 l2.size
+
+let t_benefit_sign () =
+  let cands = Reuse.candidates reuse_model in
+  let l2 = List.find (fun (c : Reuse.candidate) -> c.level = 2) cands in
+  Alcotest.(check bool) "high-reuse buffer profitable" true
+    (Reuse.benefit l2 ~spm_bytes:256 > 0.0);
+  (* a buffer that is refilled for every access can't win *)
+  let silly =
+    Reuse.
+      {
+        group = 99;
+        site = 9;
+        lid = 0;
+        level = 1;
+        size = 64;
+        accesses = 10;
+        fills = 10;
+        words_per_fill = 16;
+        writeback = true;
+        reuse_factor = 0.1;
+      }
+  in
+  Alcotest.(check bool) "thrashing buffer unprofitable" true
+    (Reuse.benefit silly ~spm_bytes:256 < 0.0)
+
+let t_partial_limits_levels () =
+  (* partial refs only produce candidates inside their window *)
+  let bases = [| 100; 9999; 313131 |] in
+  let m =
+    model_of
+      (loop 1 3 (fun i -> loop 2 16 (fun j -> [ acc 7 (bases.(i) + (4 * j)) ])))
+  in
+  let cands = Reuse.candidates m in
+  Alcotest.(check bool) "no candidate beyond the window" true
+    (List.for_all (fun (c : Reuse.candidate) -> c.level <= 1) cands);
+  Alcotest.(check int) "inner candidate exists" 1 (List.length cands)
+
+let t_fusion_stencil () =
+  (* three stencil taps A[i-1], A[i], A[i+1] share one fused buffer *)
+  let m =
+    model_of
+      (loop 1 20 (fun i ->
+           [ acc 7 (1000 + (4 * i));
+             acc 8 (1004 + (4 * i));
+             acc 9 (1008 + (4 * i)) ]))
+  in
+  let plain = Reuse.candidates m in
+  let fused = Reuse.candidates ~fuse:true m in
+  (* plain: one group per ref; fused: a single group *)
+  Alcotest.(check int) "three groups unfused" 3
+    (List.length (Reuse.by_ref plain));
+  Alcotest.(check int) "one fused group" 1 (List.length (Reuse.by_ref fused));
+  match fused with
+  | [ c ] ->
+      (* union window: 1000 .. 1008 + 4*19 + 4 = 88 bytes *)
+      Alcotest.(check int) "union span" 88 c.size;
+      Alcotest.(check int) "all accesses served" 60 c.accesses
+  | l -> Alcotest.failf "expected one candidate, got %d" (List.length l)
+
+let t_fusion_keeps_disjoint () =
+  (* far-apart references are not fused *)
+  let m =
+    model_of
+      (loop 1 20 (fun i ->
+           [ acc 7 (1000 + (4 * i)); acc 8 (90000 + (4 * i)) ]))
+  in
+  let fused = Reuse.candidates ~fuse:true m in
+  Alcotest.(check int) "two groups" 2 (List.length (Reuse.by_ref fused))
+
+let t_fusion_needs_same_terms () =
+  (* different strides never fuse *)
+  let m =
+    model_of
+      (loop 1 20 (fun i ->
+           [ acc 7 (1000 + (4 * i)); acc 8 (1000 + (8 * i)) ]))
+  in
+  let fused = Reuse.candidates ~fuse:true m in
+  Alcotest.(check int) "two groups" 2 (List.length (Reuse.by_ref fused))
+
+let t_fusion_saves_energy () =
+  (* with a tight SPM, the fused stencil buffer fits where three separate
+     buffers cannot *)
+  let m =
+    model_of
+      (loop 1 64 (fun i ->
+           [ acc 7 (1000 + (4 * i));
+             acc 8 (1004 + (4 * i));
+             acc 9 (1008 + (4 * i)) ]))
+  in
+  let cap = 300 in
+  let plain = Dse.select_optimal (Reuse.candidates m) ~spm_bytes:cap in
+  let fused =
+    Dse.select_optimal (Reuse.candidates ~fuse:true m) ~spm_bytes:cap
+  in
+  Alcotest.(check bool) "fusion never worse" true
+    (fused.energy_opt <= plain.energy_opt +. 1e-6)
+
+let t_selection_capacity () =
+  let cands = Reuse.candidates reuse_model in
+  let sel = Dse.select_optimal cands ~spm_bytes:256 in
+  Alcotest.(check bool) "fits" true (sel.used_bytes <= 256);
+  Alcotest.(check bool) "chose something" true (sel.chosen <> []);
+  Alcotest.(check bool) "one buffer per reference group" true
+    (let groups = List.map (fun (c : Reuse.candidate) -> c.group) sel.chosen in
+     List.length groups = List.length (List.sort_uniq compare groups));
+  let tiny = Dse.select_optimal cands ~spm_bytes:16 in
+  Alcotest.(check (list int)) "nothing fits in 16B" []
+    (List.map (fun (c : Reuse.candidate) -> c.size) tiny.chosen)
+
+let t_greedy_vs_optimal () =
+  (* optimal never loses to greedy; both respect capacity *)
+  List.iter
+    (fun (b : Foray_suite.Suite.bench) ->
+      let r = Pipeline.run_source b.source in
+      let cands = Reuse.candidates r.model in
+      List.iter
+        (fun size ->
+          let g = Dse.select_greedy cands ~spm_bytes:size in
+          let o = Dse.select_optimal cands ~spm_bytes:size in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %dB optimal >= greedy" b.name size)
+            true
+            (o.energy_opt <= g.energy_opt +. 1e-6);
+          Alcotest.(check bool) "greedy fits" true (g.used_bytes <= size);
+          Alcotest.(check bool) "optimal fits" true (o.used_bytes <= size))
+        [ 256; 1024; 4096 ])
+    [ Option.get (Foray_suite.Suite.find "gsm") ]
+
+let t_optimal_matches_bruteforce () =
+  (* exhaustive check on small random candidate sets *)
+  let rng = Foray_util.Prng.create 5 in
+  for _ = 1 to 50 do
+    let n = 1 + Foray_util.Prng.int rng 8 in
+    let cands =
+      List.init n (fun i ->
+          Reuse.
+            {
+              group = i / 2;
+              site = i;
+              lid = 0;
+              level = 1 + (i mod 2);
+              size = 16 * (1 + Foray_util.Prng.int rng 20);
+              accesses = 50 + Foray_util.Prng.int rng 1000;
+              fills = 1 + Foray_util.Prng.int rng 10;
+              words_per_fill = 4 + Foray_util.Prng.int rng 64;
+              writeback = Foray_util.Prng.bool rng;
+              reuse_factor = 1.0;
+            })
+    in
+    let cap = 128 + Foray_util.Prng.int rng 512 in
+    let opt = Dse.select_optimal cands ~spm_bytes:cap in
+    (* brute force over all subsets with at most one per group *)
+    let rec subsets = function
+      | [] -> [ [] ]
+      | c :: rest ->
+          let without = subsets rest in
+          without @ List.map (fun s -> c :: s) without
+    in
+    let feasible s =
+      let groups = List.map (fun (c : Reuse.candidate) -> c.group) s in
+      List.length groups = List.length (List.sort_uniq compare groups)
+      && List.fold_left (fun a (c : Reuse.candidate) -> a + c.size) 0 s <= cap
+    in
+    let value s =
+      List.fold_left
+        (fun a c ->
+          let b = Reuse.benefit c ~spm_bytes:cap in
+          a +. if b > 0.0 then b else 0.0)
+        0.0 s
+    in
+    let best =
+      List.fold_left
+        (fun acc s -> if feasible s then max acc (value s) else acc)
+        0.0 (subsets cands)
+    in
+    let got =
+      List.fold_left
+        (fun a c -> a +. Reuse.benefit c ~spm_bytes:cap)
+        0.0 opt.chosen
+    in
+    if abs_float (got -. best) > 1e-6 then
+      Alcotest.failf "knapsack suboptimal: got %.3f, best %.3f" got best
+  done
+
+let t_sweep_shape () =
+  let b = Option.get (Foray_suite.Suite.find "susan") in
+  let r = Pipeline.run_source b.source in
+  let sweep = Dse.sweep r.model in
+  Alcotest.(check int) "seven sizes" 7 (List.length sweep);
+  List.iter
+    (fun (size, (sel : Dse.selection)) ->
+      Alcotest.(check bool) "capacity respected" true (sel.used_bytes <= size);
+      Alcotest.(check bool) "savings in range" true
+        (sel.saving_pct >= -0.01 && sel.saving_pct <= 100.0))
+    sweep
+
+let t_transform_parses () =
+  let cands = Reuse.candidates reuse_model in
+  let sel = Dse.select_optimal cands ~spm_bytes:1024 in
+  let src = Transform.apply reuse_model sel in
+  let prog = Minic.Parser.program src in
+  Minic.Sema.check_exn prog;
+  (* the chosen buffer must be declared and filled *)
+  let has sub =
+    let n = String.length sub and l = String.length src in
+    let rec go i = i + n <= l && (String.sub src i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "declares a buffer" true (has "char B7_l");
+  Alcotest.(check bool) "fills via memcpy" true (has "memcpy(B7_l")
+
+let t_transform_without_buffers () =
+  let sel = Dse.select_optimal [] ~spm_bytes:64 in
+  let src = Transform.apply reuse_model sel in
+  let prog = Minic.Parser.program src in
+  Minic.Sema.check_exn prog
+
+let tests =
+  [
+    Alcotest.test_case "energy model" `Quick t_energy_model;
+    Alcotest.test_case "reuse candidates" `Quick t_candidates;
+    Alcotest.test_case "benefit sign" `Quick t_benefit_sign;
+    Alcotest.test_case "partial limits buffer levels" `Quick
+      t_partial_limits_levels;
+    Alcotest.test_case "fusion: stencil taps share a buffer" `Quick
+      t_fusion_stencil;
+    Alcotest.test_case "fusion: disjoint refs stay apart" `Quick
+      t_fusion_keeps_disjoint;
+    Alcotest.test_case "fusion: different strides stay apart" `Quick
+      t_fusion_needs_same_terms;
+    Alcotest.test_case "fusion: never worse under pressure" `Quick
+      t_fusion_saves_energy;
+    Alcotest.test_case "selection capacity" `Quick t_selection_capacity;
+    Alcotest.test_case "greedy vs optimal" `Slow t_greedy_vs_optimal;
+    Alcotest.test_case "optimal matches brute force" `Quick
+      t_optimal_matches_bruteforce;
+    Alcotest.test_case "sweep shape" `Slow t_sweep_shape;
+    Alcotest.test_case "transform parses" `Quick t_transform_parses;
+    Alcotest.test_case "transform without buffers" `Quick
+      t_transform_without_buffers;
+  ]

@@ -1,0 +1,78 @@
+(* Input-dependence study tests (the paper's future-work question). *)
+
+open Foray_core
+
+let th nexec nloc = Filter.{ nexec; nloc }
+
+let t_deterministic_program_stable () =
+  (* a program that ignores mc_rand yields identical models for any seed *)
+  let prog = Minic.Parser.program Foray_suite.Figures.fig4a in
+  let rep = Stability.study ~thresholds:(th 2 2) ~seeds:[ 1; 2; 3 ] prog in
+  Alcotest.(check int) "runs" 3 rep.runs;
+  Alcotest.(check int) "all stable" (List.length rep.refs) rep.stable;
+  Alcotest.(check int) "none input-dependent" 0 rep.input_dependent
+
+let t_offset_program_detected () =
+  (* fig7b gathers through mc_rand offsets: the partial ref stays (its
+     coefficients are input-independent) but the report must still be
+     computed across different bases without crashing *)
+  let prog = Minic.Parser.program Foray_suite.Figures.fig7b in
+  let rep = Stability.study ~thresholds:(th 10 5) ~seeds:[ 1; 9; 77 ] prog in
+  Alcotest.(check bool) "has refs" true (rep.refs <> []);
+  List.iter
+    (fun (r : Stability.ref_stability) ->
+      Alcotest.(check bool) "seen everywhere or flagged" true
+        (r.seen_in = 3 || r.classification = Stability.Input_dependent))
+    rep.refs
+
+let t_input_dependent_flagged () =
+  (* trip counts driven by mc_rand: coefficient stays, trips differ *)
+  let src =
+    "int A[400]; int main() { int i; int n; n = 50 + mc_rand(50); for (i = \
+     0; i < n; i++) { A[i] = i; } return 0; }"
+  in
+  let prog = Minic.Parser.program src in
+  let rep = Stability.study ~thresholds:(th 20 10) ~seeds:[ 1; 2; 3; 4 ] prog in
+  Alcotest.(check int) "one ref" 1 (List.length rep.refs);
+  Alcotest.(check int) "classified trip-varying" 1 rep.trip_varies
+
+let t_structural_change_flagged () =
+  (* stride chosen by input: coefficients differ across runs *)
+  let src =
+    "int A[600]; int main() { int i; int s; s = 1 + mc_rand(3); for (i = 0; \
+     i < 60; i++) { A[s * i] = i; } return 0; }"
+  in
+  let prog = Minic.Parser.program src in
+  let rep = Stability.study ~seeds:[ 1; 2; 3; 4; 5 ] prog in
+  (* either the stride differed in some pair of runs (input-dependent) or
+     every seed drew the same stride (then stable); with 5 seeds of an
+     LCG the former is what happens *)
+  Alcotest.(check int) "flagged" 1 rep.input_dependent
+
+let t_needs_two_seeds () =
+  let prog = Minic.Parser.program Foray_suite.Figures.fig4a in
+  Alcotest.check_raises "one seed rejected"
+    (Invalid_argument "Stability.study: need >= 2 seeds") (fun () ->
+      ignore (Stability.study ~seeds:[ 1 ] prog))
+
+let t_suite_mostly_stable () =
+  (* the adpcm benchmark is input-independent end to end *)
+  let b = Option.get (Foray_suite.Suite.find "adpcm") in
+  let rep =
+    Stability.study ~seeds:[ 1; 42 ] (Minic.Parser.program b.source)
+  in
+  Alcotest.(check int) "adpcm fully stable" (List.length rep.refs) rep.stable
+
+let tests =
+  [
+    Alcotest.test_case "deterministic program stable" `Quick
+      t_deterministic_program_stable;
+    Alcotest.test_case "offset program analyzed" `Quick
+      t_offset_program_detected;
+    Alcotest.test_case "trip variation flagged" `Quick
+      t_input_dependent_flagged;
+    Alcotest.test_case "structural change flagged" `Quick
+      t_structural_change_flagged;
+    Alcotest.test_case "needs two seeds" `Quick t_needs_two_seeds;
+    Alcotest.test_case "adpcm stable" `Slow t_suite_mostly_stable;
+  ]

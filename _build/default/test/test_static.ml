@@ -1,0 +1,190 @@
+(* Static baseline tests: affine expression engine and FORAY-form
+   recognition. *)
+
+open Foray_static
+module Ast = Minic.Ast
+
+let aff_of iters src = Static_affine.of_expr ~iters (Minic.Parser.expr src)
+
+let t_affine_const () =
+  match aff_of [] "3 * 4 + 2" with
+  | Some { const = 14; coeffs = [] } -> ()
+  | _ -> Alcotest.fail "constant folding"
+
+let t_affine_linear () =
+  (match aff_of [ "i"; "j" ] "4 * i + 2" with
+  | Some { const = 2; coeffs = [ ("i", 4) ] } -> ()
+  | _ -> Alcotest.fail "4*i + 2");
+  match aff_of [ "i"; "j" ] "j + 10 * i - 3" with
+  | Some { const = -3; coeffs } ->
+      Alcotest.(check (list (pair string int)))
+        "coeffs sorted" [ ("i", 10); ("j", 1) ] coeffs
+  | _ -> Alcotest.fail "j + 10i - 3"
+
+let t_affine_combines () =
+  (match aff_of [ "i" ] "2 * (i + 3) + i" with
+  | Some { const = 6; coeffs = [ ("i", 3) ] } -> ()
+  | _ -> Alcotest.fail "distribution");
+  (match aff_of [ "i" ] "i - i" with
+  | Some { const = 0; coeffs = [] } -> ()
+  | _ -> Alcotest.fail "cancellation");
+  match aff_of [ "i" ] "i << 2" with
+  | Some { const = 0; coeffs = [ ("i", 4) ] } -> ()
+  | _ -> Alcotest.fail "shift as multiply"
+
+let t_affine_rejects () =
+  List.iter
+    (fun src ->
+      match aff_of [ "i"; "j" ] src with
+      | None -> ()
+      | Some _ -> Alcotest.failf "should reject %s" src)
+    [ "i * j"; "i / 2"; "i % 8"; "x"; "a[i]"; "i * i"; "mc_rand(4)"; "i & 7" ]
+
+let analyze src = Baseline.analyze (Minic.Parser.program src)
+
+let t_canonical_for () =
+  let r =
+    analyze
+      "int A[100]; int main() { int i; for (i = 0; i < 100; i++) { A[i] = i; } return 0; }"
+  in
+  Alcotest.(check int) "canonical" 1 (List.length r.canonical_loops);
+  Alcotest.(check int) "analyzable ref" 1 (List.length r.analyzable_refs)
+
+let t_canonical_variants () =
+  let ok src =
+    let r = analyze src in
+    List.length r.canonical_loops = List.length r.total_loops
+  in
+  Alcotest.(check bool) "down counting" true
+    (ok "int main() { int i; for (i = 10; i > 0; i--) { } return 0; }");
+  Alcotest.(check bool) "step 2" true
+    (ok "int main() { int i; for (i = 0; i < 10; i += 2) { } return 0; }");
+  Alcotest.(check bool) "i = i + 1 form" true
+    (ok "int main() { int i; for (i = 0; i < 10; i = i + 1) { } return 0; }");
+  Alcotest.(check bool) "variable bound" true
+    (ok "int n; int main() { int i; for (i = 0; i < n; i++) { } return 0; }")
+
+let t_non_canonical () =
+  let none src =
+    let r = analyze src in
+    List.length r.canonical_loops = 0
+  in
+  Alcotest.(check bool) "while loop" true
+    (none "int main() { int i; i = 0; while (i < 10) { i++; } return 0; }");
+  Alcotest.(check bool) "do loop" true
+    (none "int main() { int i; i = 0; do { i++; } while (i < 10); return 0; }");
+  Alcotest.(check bool) "iterator modified in body" true
+    (none
+       "int main() { int i; for (i = 0; i < 10; i++) { i += 2; } return 0; }");
+  Alcotest.(check bool) "iterator address taken" true
+    (none
+       "int f(int *p) { *p = 0; return 0; } int main() { int i; for (i = 0; i < 10; i++) { f(&i); } return 0; }");
+  Alcotest.(check bool) "data-dependent step" true
+    (none
+       "int n; int main() { int i; for (i = 0; i < 10; i += n) { } return 0; }")
+
+let t_pointer_not_analyzable () =
+  let r =
+    analyze
+      "int A[100]; int main() { int *p; int i; p = A; for (i = 0; i < 100; i++) { *p++ = i; } return 0; }"
+  in
+  Alcotest.(check int) "loop canonical" 1 (List.length r.canonical_loops);
+  Alcotest.(check int) "pointer write not analyzable" 0
+    (List.length r.analyzable_refs)
+
+let t_param_array_not_analyzable () =
+  (* arrays decay to pointers at function boundaries *)
+  let r =
+    analyze
+      "int f(int a[10]) { int i; for (i = 0; i < 10; i++) { a[i] = i; } return 0; } int A[10]; int main() { return f(A); }"
+  in
+  Alcotest.(check int) "param indexing rejected" 0
+    (List.length r.analyzable_refs)
+
+let t_enclosing_loop_spoils () =
+  (* an affine ref under a while loop cannot be statically placed *)
+  let r =
+    analyze
+      "int A[100]; int main() { int i; int k; k = 0; while (k < 2) { for (i = 0; i < 100; i++) { A[i] = i; } k++; } return 0; }"
+  in
+  Alcotest.(check int) "inner for still canonical" 1
+    (List.length r.canonical_loops);
+  Alcotest.(check int) "but its refs are not analyzable" 0
+    (List.length r.analyzable_refs)
+
+let t_2d_array () =
+  let r =
+    analyze
+      "int M[8][8]; int main() { int i; int j; for (i = 0; i < 8; i++) { for (j = 0; j < 8; j++) { M[i][j] = i + j; } } return 0; }"
+  in
+  Alcotest.(check int) "2-D affine ref" 1 (List.length r.analyzable_refs)
+
+let t_nonaffine_index () =
+  let r =
+    analyze
+      "int A[100]; int Z[10]; int main() { int i; for (i = 0; i < 10; i++) { A[Z[i]] = i; } return 0; }"
+  in
+  (* Z[i] is analyzable; A[Z[i]] is not *)
+  Alcotest.(check int) "only the table read" 1 (List.length r.analyzable_refs)
+
+let t_local_array () =
+  let r =
+    analyze
+      "int main() { int a[50]; int i; for (i = 0; i < 50; i++) { a[i] = i; } return 0; }"
+  in
+  Alcotest.(check int) "local array analyzable" 1
+    (List.length r.analyzable_refs)
+
+let t_sites_match_simulator () =
+  (* the eids the static analyzer reports are the sites the simulator
+     emits: every statically analyzable ref must appear in the trace *)
+  let src =
+    "int A[40]; int main() { int i; for (i = 0; i < 40; i++) { A[i] = i; } return 0; }"
+  in
+  let prog = Minic.Parser.program src in
+  let r = Baseline.analyze prog in
+  let sites = Hashtbl.create 16 in
+  let sink = function
+    | Foray_trace.Event.Access a -> Hashtbl.replace sites a.site ()
+    | _ -> ()
+  in
+  ignore (Minic_sim.Interp.run prog ~sink);
+  List.iter
+    (fun eid ->
+      if not (Hashtbl.mem sites eid) then
+        Alcotest.failf "static site %d missing from trace" eid)
+    r.analyzable_refs
+
+let t_fft_fully_static () =
+  (* the fft benchmark is written in FORAY form: every reference the
+     dynamic model captures is statically analyzable (Table II: 0%) *)
+  let b = Option.get (Foray_suite.Suite.find "fft") in
+  let res = Foray_core.Pipeline.run_source b.source in
+  let static = Baseline.analyze res.program in
+  List.iter
+    (fun (_, (mr : Foray_core.Model.mref)) ->
+      if not (Baseline.ref_analyzable static mr.site) then
+        Alcotest.failf "fft model site %x not static" mr.site)
+    (Foray_core.Model.all_refs res.model)
+
+let tests =
+  [
+    Alcotest.test_case "affine constants" `Quick t_affine_const;
+    Alcotest.test_case "affine linear" `Quick t_affine_linear;
+    Alcotest.test_case "affine combination" `Quick t_affine_combines;
+    Alcotest.test_case "affine rejections" `Quick t_affine_rejects;
+    Alcotest.test_case "canonical for" `Quick t_canonical_for;
+    Alcotest.test_case "canonical variants" `Quick t_canonical_variants;
+    Alcotest.test_case "non-canonical loops" `Quick t_non_canonical;
+    Alcotest.test_case "pointer refs not analyzable" `Quick
+      t_pointer_not_analyzable;
+    Alcotest.test_case "param arrays decay" `Quick t_param_array_not_analyzable;
+    Alcotest.test_case "enclosing while spoils refs" `Quick
+      t_enclosing_loop_spoils;
+    Alcotest.test_case "2-D arrays" `Quick t_2d_array;
+    Alcotest.test_case "non-affine index" `Quick t_nonaffine_index;
+    Alcotest.test_case "local arrays" `Quick t_local_array;
+    Alcotest.test_case "sites match the simulator" `Quick
+      t_sites_match_simulator;
+    Alcotest.test_case "fft fully static (table II)" `Slow t_fft_fully_static;
+  ]

@@ -1,0 +1,149 @@
+(* switch statement tests: parsing, printing, semantics (fallthrough,
+   default, break), sema rules, and interaction with the analyses. *)
+
+module Interp = Minic_sim.Interp
+
+let run src =
+  let prog = Minic.Parser.program src in
+  Minic.Sema.check_exn prog;
+  Interp.run prog ~sink:Foray_trace.Event.null_sink
+
+let ret src = (run src).ret
+
+let t_basic_dispatch () =
+  let prog v =
+    Printf.sprintf
+      "int main() { int r; r = 0; switch (%d) { case 1: r = 10; break; case \
+       2: r = 20; break; default: r = 99; break; } return r; }"
+      v
+  in
+  Alcotest.(check int) "case 1" 10 (ret (prog 1));
+  Alcotest.(check int) "case 2" 20 (ret (prog 2));
+  Alcotest.(check int) "default" 99 (ret (prog 7))
+
+let t_fallthrough () =
+  Alcotest.(check int) "fallthrough accumulates" 30
+    (ret
+       "int main() { int r; r = 0; switch (1) { case 1: r += 10; case 2: r \
+        += 20; break; case 3: r += 40; } return r; }")
+
+let t_stacked_labels () =
+  Alcotest.(check int) "case 2 and 3 share a body" 5
+    (ret
+       "int main() { int r; r = 0; switch (3) { case 1: r = 1; break; case \
+        2: case 3: r = 5; break; } return r; }")
+
+let t_no_match_no_default () =
+  Alcotest.(check int) "falls past the switch" 0
+    (ret
+       "int main() { int r; r = 0; switch (9) { case 1: r = 1; break; } \
+        return r; }")
+
+let t_default_position () =
+  (* default in the middle also falls through *)
+  Alcotest.(check int) "middle default" 12
+    (ret
+       "int main() { int r; r = 0; switch (9) { case 1: r = 1; break; \
+        default: r += 4; case 5: r += 8; break; } return r; }")
+
+let t_break_scoping () =
+  (* break inside the switch leaves the switch, not the loop *)
+  Alcotest.(check int) "loop continues after switch break" 6
+    (ret
+       "int main() { int i; int r; r = 0; for (i = 0; i < 3; i++) { switch \
+        (i) { case 0: r += 1; break; case 1: r += 2; break; default: r += 3; \
+        break; } } return r; }")
+
+let t_continue_through_switch () =
+  Alcotest.(check int) "continue passes through to the loop" 4
+    (ret
+       "int main() { int i; int r; r = 0; for (i = 0; i < 4; i++) { switch \
+        (i % 2) { case 1: continue; default: break; } r += 2; } return r; }")
+
+let t_roundtrip () =
+  let src =
+    "int main() { int r; r = 0; switch (r + 1) { case 1: r = 1; break; case \
+     2: case 3: r = 2; break; default: r = 9; } return r; }"
+  in
+  let p1 = Minic.Parser.program src in
+  let p2 = Minic.Parser.program (Minic.Pretty.program p1) in
+  Alcotest.(check bool) "round-trips" true (Minic.Ast.equal_program p1 p2)
+
+let t_sema_duplicate_case () =
+  let errs =
+    match
+      Minic.Sema.check
+        (Minic.Parser.program
+           "int main() { switch (1) { case 1: break; case 1: break; } return 0; }")
+    with
+    | Ok () -> []
+    | Error l -> List.map (fun (e : Minic.Sema.error) -> e.msg) l
+  in
+  Alcotest.(check bool) "duplicate case flagged" true
+    (List.exists
+       (fun m -> String.length m >= 9 && String.sub m 0 9 = "duplicate")
+       errs)
+
+let t_parse_error_naked_stmt () =
+  try
+    ignore
+      (Minic.Parser.program
+         "int main() { switch (1) { r = 1; } return 0; }");
+    Alcotest.fail "expected parse error"
+  with Minic.Parser.Error _ -> ()
+
+let t_switch_in_pipeline () =
+  (* a switch-dispatched pointer walk still yields an affine model ref *)
+  let src =
+    {|
+int A[256];
+int main() {
+  int i;
+  int mode;
+  int *p;
+  p = A;
+  for (i = 0; i < 64; i++) {
+    switch (i & 1) {
+    case 0:
+      *p = i;
+      break;
+    default:
+      *p = -i;
+      break;
+    }
+    p++;
+  }
+  return 0;
+}
+|}
+  in
+  let r =
+    Foray_core.Pipeline.run_source
+      ~thresholds:Foray_core.Filter.{ nexec = 20; nloc = 10 } src
+  in
+  (* the two switch arms write interleaved even/odd elements: each arm is
+     a stride-8 affine reference *)
+  let refs = Foray_core.Model.all_refs r.model in
+  Alcotest.(check int) "both arms captured" 2 (List.length refs);
+  List.iter
+    (fun (_, (mr : Foray_core.Model.mref)) ->
+      Alcotest.(check (list int)) "stride 4 (8 bytes per 2 iterations)" [ 4 ]
+        (List.map fst mr.terms))
+    refs
+
+let tests =
+  [
+    Alcotest.test_case "basic dispatch" `Quick t_basic_dispatch;
+    Alcotest.test_case "fallthrough" `Quick t_fallthrough;
+    Alcotest.test_case "stacked labels" `Quick t_stacked_labels;
+    Alcotest.test_case "no match, no default" `Quick t_no_match_no_default;
+    Alcotest.test_case "default in the middle" `Quick t_default_position;
+    Alcotest.test_case "break leaves only the switch" `Quick t_break_scoping;
+    Alcotest.test_case "continue passes through" `Quick
+      t_continue_through_switch;
+    Alcotest.test_case "print/parse round-trip" `Quick t_roundtrip;
+    Alcotest.test_case "sema duplicate case" `Quick t_sema_duplicate_case;
+    Alcotest.test_case "naked statement rejected" `Quick
+      t_parse_error_naked_stmt;
+    Alcotest.test_case "switch arms in the model" `Quick t_switch_in_pipeline;
+  ]

@@ -1,0 +1,103 @@
+(* Trace serialization and per-site statistics tests. *)
+
+open Foray_trace
+
+let ev_ck loop kind = Event.Checkpoint { loop; kind }
+
+let ev_acc ?(write = false) ?(sys = false) ?(width = 4) site addr =
+  Event.Access { site; addr; write; sys; width }
+
+let sample =
+  [
+    ev_ck 12 Event.Loop_enter;
+    ev_ck 12 Event.Body_enter;
+    ev_acc ~write:true ~width:1 0x4002a0 0x7fff5934;
+    ev_acc 0x4002a1 0x7fff5935;
+    ev_acc ~sys:true ~write:true ~width:1 0x0e000001 0x10000000;
+    ev_ck 12 Event.Body_exit;
+    ev_ck 12 Event.Loop_exit;
+  ]
+
+let t_line_roundtrip () =
+  List.iter
+    (fun e ->
+      let line = Event.to_line e in
+      let e2 = Event.of_line line in
+      if not (Event.equal e e2) then
+        Alcotest.failf "line round-trip failed for %s" line)
+    sample
+
+let t_figure4c_format () =
+  (* the serialization mirrors the paper's Figure 4(c) records *)
+  Alcotest.(check string)
+    "access line" "Instr: 4002a0 addr: 7fff5934 wr 1"
+    (Event.to_line (ev_acc ~write:true ~width:1 0x4002a0 0x7fff5934));
+  Alcotest.(check string)
+    "checkpoint line" "Checkpoint: 12 loop_enter"
+    (Event.to_line (ev_ck 12 Event.Loop_enter));
+  Alcotest.(check string)
+    "sys marker" "Instr: e000001 addr: 10000000 rd 4 sys"
+    (Event.to_line (ev_acc ~sys:true 0x0e000001 0x10000000))
+
+let t_string_roundtrip () =
+  let s = Event.to_string sample in
+  let back = Event.of_string s in
+  Alcotest.(check int) "same length" (List.length sample) (List.length back);
+  List.iter2
+    (fun a b -> if not (Event.equal a b) then Alcotest.fail "mismatch")
+    sample back
+
+let t_of_line_errors () =
+  List.iter
+    (fun line ->
+      try
+        ignore (Event.of_line line);
+        Alcotest.failf "expected failure for %S" line
+      with Failure _ -> ())
+    [ "garbage"; "Checkpoint: x loop_enter"; "Checkpoint: 1 sideways";
+      "Instr: 1 addr: 2 zz 4"; "Instr: 1 addr: 2 rd 4 extra stuff" ]
+
+let t_collector_tee () =
+  let s1, get1 = Event.collector () in
+  let s2, get2 = Event.collector () in
+  let t = Event.tee s1 s2 in
+  List.iter t sample;
+  Alcotest.(check int) "collector 1" (List.length sample) (List.length (get1 ()));
+  Alcotest.(check int) "collector 2" (List.length sample) (List.length (get2 ()))
+
+let t_tstats () =
+  let st = Tstats.create () in
+  let sink = Tstats.sink st in
+  List.iter sink
+    [
+      ev_acc ~write:true 1 100;
+      ev_acc 1 104;
+      ev_acc 1 100;
+      ev_acc ~sys:true ~width:1 2 200;
+      ev_ck 5 Event.Loop_enter;
+    ];
+  Alcotest.(check int) "two sites" 2 (Tstats.n_sites st);
+  Alcotest.(check int) "accesses" 4 (Tstats.total_accesses st);
+  (* site 1: bytes [100,108); site 2: [200,201) *)
+  Alcotest.(check int) "footprint union" 9 (Tstats.total_footprint st);
+  let info1 =
+    List.find (fun (s : Tstats.site_info) -> s.site = 1) (Tstats.sites st)
+  in
+  Alcotest.(check int) "site1 reads" 2 info1.reads;
+  Alcotest.(check int) "site1 writes" 1 info1.writes;
+  Alcotest.(check bool) "site1 not sys" false info1.sys;
+  let by_sys =
+    Tstats.group st ~classify:(fun (s : Tstats.site_info) -> s.sys)
+  in
+  let n, a, f = List.assoc true by_sys in
+  Alcotest.(check (list int)) "sys group" [ 1; 1; 1 ] [ n; a; f ]
+
+let tests =
+  [
+    Alcotest.test_case "line round-trip" `Quick t_line_roundtrip;
+    Alcotest.test_case "figure 4c format" `Quick t_figure4c_format;
+    Alcotest.test_case "string round-trip" `Quick t_string_roundtrip;
+    Alcotest.test_case "of_line errors" `Quick t_of_line_errors;
+    Alcotest.test_case "collector and tee" `Quick t_collector_tee;
+    Alcotest.test_case "per-site stats" `Quick t_tstats;
+  ]

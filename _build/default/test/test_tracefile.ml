@@ -1,0 +1,121 @@
+(* Trace file persistence tests: both formats, streaming, auto-detection. *)
+
+open Foray_trace
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let sample_trace () =
+  let prog = Minic.Parser.program Foray_suite.Figures.fig4a in
+  let instrumented = Foray_instrument.Annotate.program prog in
+  let sink, get = Event.collector () in
+  let _ = Minic_sim.Interp.run instrumented ~sink in
+  get ()
+
+let t_roundtrip_text () =
+  let trace = sample_trace () in
+  let path = tmp "foray_text.tr" in
+  Tracefile.save ~format:Tracefile.Text path trace;
+  let back = Tracefile.load path in
+  Alcotest.(check int) "length" (List.length trace) (List.length back);
+  List.iter2 (fun a b -> if not (Event.equal a b) then Alcotest.fail "event") trace back
+
+let t_roundtrip_binary () =
+  let trace = sample_trace () in
+  let path = tmp "foray_bin.tr" in
+  Tracefile.save ~format:Tracefile.Binary path trace;
+  let back = Tracefile.load path in
+  Alcotest.(check int) "length" (List.length trace) (List.length back);
+  List.iter2 (fun a b -> if not (Event.equal a b) then Alcotest.fail "event") trace back
+
+let t_binary_smaller () =
+  let trace = sample_trace () in
+  let pt = tmp "foray_sz_t.tr" and pb = tmp "foray_sz_b.tr" in
+  Tracefile.save ~format:Tracefile.Text pt trace;
+  Tracefile.save ~format:Tracefile.Binary pb trace;
+  let size p =
+    let ic = open_in_bin p in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  Alcotest.(check bool) "binary smaller than text" true (size pb < size pt)
+
+let t_streaming_fold () =
+  let trace = sample_trace () in
+  let path = tmp "foray_fold.tr" in
+  Tracefile.save ~format:Tracefile.Binary path trace;
+  let n = Tracefile.fold path (fun acc _ -> acc + 1) 0 in
+  Alcotest.(check int) "fold counts all" (List.length trace) n
+
+let t_sink_to_file_streaming () =
+  let path = tmp "foray_stream.tr" in
+  let sink, close = Tracefile.sink_to_file ~format:Tracefile.Binary path in
+  let prog = Minic.Parser.program Foray_suite.Figures.fig4a in
+  let instrumented = Foray_instrument.Annotate.program prog in
+  let _ = Minic_sim.Interp.run instrumented ~sink in
+  close ();
+  let back = Tracefile.load path in
+  Alcotest.(check int) "same as direct collection" 87 (List.length back)
+
+let t_analysis_from_file_matches () =
+  (* simulator -> file -> analyzer == online *)
+  let prog = Minic.Parser.program Foray_suite.Figures.fig1 in
+  let r, trace = Foray_core.Pipeline.run_offline prog in
+  let path = tmp "foray_match.tr" in
+  Tracefile.save ~format:Tracefile.Binary path trace;
+  let tree = Foray_core.Looptree.create () in
+  Tracefile.iter path (Foray_core.Looptree.sink tree);
+  let model =
+    Foray_core.Model.of_tree ~loop_kinds:r.loop_kinds tree
+  in
+  Alcotest.(check string) "same model"
+    (Foray_core.Model.to_c r.model)
+    (Foray_core.Model.to_c model)
+
+let t_empty_file () =
+  let path = tmp "foray_empty.tr" in
+  let oc = open_out path in
+  close_out oc;
+  Alcotest.(check int) "empty file, empty trace" 0
+    (List.length (Tracefile.load path))
+
+let t_corrupt_binary () =
+  let path = tmp "foray_corrupt.tr" in
+  let oc = open_out_bin path in
+  output_string oc "FORAYTR1";
+  output_string oc "\x09";
+  (* bad tag *)
+  close_out oc;
+  try
+    ignore (Tracefile.load path);
+    Alcotest.fail "expected failure"
+  with Failure _ -> ()
+
+let t_varint_values () =
+  (* exercise multi-byte varints through large addresses *)
+  let big =
+    [ Event.Access
+        { site = 0x0f00_ffff; addr = 0x7fff_fff7; write = true; sys = true;
+          width = 8 };
+      Event.Checkpoint { loop = 1_000_000; kind = Event.Body_exit } ]
+  in
+  let path = tmp "foray_big.tr" in
+  Tracefile.save ~format:Tracefile.Binary path big;
+  let back = Tracefile.load path in
+  List.iter2
+    (fun a b -> if not (Event.equal a b) then Alcotest.fail "big values")
+    big back
+
+let tests =
+  [
+    Alcotest.test_case "text round-trip" `Quick t_roundtrip_text;
+    Alcotest.test_case "binary round-trip" `Quick t_roundtrip_binary;
+    Alcotest.test_case "binary is smaller" `Quick t_binary_smaller;
+    Alcotest.test_case "streaming fold" `Quick t_streaming_fold;
+    Alcotest.test_case "streaming writer" `Quick t_sink_to_file_streaming;
+    Alcotest.test_case "file analysis matches online" `Quick
+      t_analysis_from_file_matches;
+    Alcotest.test_case "empty file" `Quick t_empty_file;
+    Alcotest.test_case "corrupt binary" `Quick t_corrupt_binary;
+    Alcotest.test_case "large varints" `Quick t_varint_values;
+  ]

@@ -1,0 +1,57 @@
+(* Loop-tree rendering and memory-comparison smoke tests. *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let t_render_fig9 () =
+  let r = Foray_core.Pipeline.run_source Foray_suite.Figures.fig9 in
+  let s =
+    Foray_core.Treedump.render ~loop_kinds:r.loop_kinds r.tree
+  in
+  Alcotest.(check bool) "mentions loop count" true
+    (contains ~sub:"loop nodes" s);
+  Alcotest.(check bool) "loop kinds shown" true (contains ~sub:"for loop" s);
+  Alcotest.(check bool) "trips shown" true (contains ~sub:"trips 10..10" s);
+  (* foo's loop appears twice (two contexts) *)
+  let count_occurrences sub s =
+    let n = String.length sub in
+    let rec go i acc =
+      if i + n > String.length s then acc
+      else if String.sub s i n = sub then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check bool) "both contexts rendered" true
+    (count_occurrences "entries, trips 10..10" s >= 1)
+
+let t_render_hides_scalars () =
+  let r = Foray_core.Pipeline.run_source Foray_suite.Figures.fig4a in
+  let quiet = Foray_core.Treedump.render r.tree in
+  let full = Foray_core.Treedump.render ~show_all:true r.tree in
+  Alcotest.(check bool) "full view is larger" true
+    (String.length full > String.length quiet)
+
+let t_memcompare_consistency () =
+  let b = Option.get (Foray_suite.Suite.find "adpcm") in
+  let r = Foray_report.Memcompare.run b ~capacity:1024 in
+  Alcotest.(check bool) "accesses counted" true (r.accesses > 0);
+  Alcotest.(check bool) "hit rate in range" true
+    (r.cache_hit_rate >= 0.0 && r.cache_hit_rate <= 1.0);
+  Alcotest.(check bool) "cache beats all-main on reuse" true
+    (r.cache_energy < r.main_energy);
+  Alcotest.(check bool) "SPM never exceeds all-main" true
+    (r.spm_energy <= r.main_energy +. 1e-6);
+  let table = Foray_report.Memcompare.table ~capacity:1024 [ r ] in
+  Alcotest.(check bool) "table mentions the benchmark" true
+    (contains ~sub:"adpcm" table)
+
+let tests =
+  [
+    Alcotest.test_case "render figure 9 tree" `Quick t_render_fig9;
+    Alcotest.test_case "scalar hiding" `Quick t_render_hides_scalars;
+    Alcotest.test_case "memory comparison consistency" `Quick
+      t_memcompare_consistency;
+  ]

@@ -1,0 +1,94 @@
+(* Tests for Stats, Tablefmt and Prng. *)
+
+open Foray_util
+
+let t_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.observe s) [ 3; 1; 4; 1; 5 ];
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  Alcotest.(check int) "total" 14 (Stats.total s);
+  Alcotest.(check int) "min" 1 (Stats.min s);
+  Alcotest.(check int) "max" 5 (Stats.max s);
+  Alcotest.(check (float 0.001)) "mean" 2.8 (Stats.mean s)
+
+let t_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Stats.mean s);
+  Alcotest.check_raises "min raises" (Invalid_argument "Stats.min: empty")
+    (fun () -> ignore (Stats.min s))
+
+let t_percent () =
+  Alcotest.(check (float 0.001)) "50%" 50.0 (Stats.percent 1 2);
+  Alcotest.(check (float 0.001)) "0 of 0" 0.0 (Stats.percent 5 0)
+
+let t_human () =
+  Alcotest.(check string) "millions" "8.3M" (Stats.human 8_300_000);
+  Alcotest.(check string) "tens of millions" "43M" (Stats.human 43_000_000);
+  Alcotest.(check string) "thousands" "124k" (Stats.human 123_625);
+  Alcotest.(check string) "small" "4964" (Stats.human 4964)
+
+let t_table_render () =
+  let t = Tablefmt.create ~title:"T" [ "a"; "bb" ] in
+  Tablefmt.row t [ "x"; "1" ];
+  Tablefmt.row t [ "long" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  (* all lines of the box have equal width *)
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> l <> "") |> List.tl
+  in
+  let w = String.length (List.hd lines) in
+  Alcotest.(check bool) "aligned box" true
+    (List.for_all (fun l -> String.length l = w) lines)
+
+let t_table_too_many () =
+  let t = Tablefmt.create ~title:"T" [ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Tablefmt.row: too many cells") (fun () ->
+      Tablefmt.row t [ "x"; "y" ])
+
+let t_pctf () =
+  Alcotest.(check string) "zero" "0%" (Tablefmt.pctf 0.0);
+  Alcotest.(check string) "sub-1" "0.2%" (Tablefmt.pctf 0.2);
+  Alcotest.(check string) "integer" "27%" (Tablefmt.pctf 27.4)
+
+let t_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let xs = List.init 100 (fun _ -> Prng.next a) in
+  let ys = List.init 100 (fun _ -> Prng.next b) in
+  Alcotest.(check bool) "same seed same stream" true (xs = ys);
+  let c = Prng.create 43 in
+  let zs = List.init 100 (fun _ -> Prng.next c) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let t_prng_bounds () =
+  let r = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 10 in
+    if x < 0 || x >= 10 then Alcotest.fail "int out of bounds";
+    let y = Prng.range r 5 8 in
+    if y < 5 || y > 8 then Alcotest.fail "range out of bounds"
+  done
+
+let t_prng_pick () =
+  let r = Prng.create 9 in
+  for _ = 1 to 100 do
+    let x = Prng.pick r [ 1; 2; 3 ] in
+    if not (List.mem x [ 1; 2; 3 ]) then Alcotest.fail "pick out of list"
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty list")
+    (fun () -> ignore (Prng.pick r []))
+
+let tests =
+  [
+    Alcotest.test_case "stats basic" `Quick t_stats_basic;
+    Alcotest.test_case "stats empty" `Quick t_stats_empty;
+    Alcotest.test_case "percent" `Quick t_percent;
+    Alcotest.test_case "human" `Quick t_human;
+    Alcotest.test_case "table render" `Quick t_table_render;
+    Alcotest.test_case "table too many cells" `Quick t_table_too_many;
+    Alcotest.test_case "pctf" `Quick t_pctf;
+    Alcotest.test_case "prng deterministic" `Quick t_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick t_prng_bounds;
+    Alcotest.test_case "prng pick" `Quick t_prng_pick;
+  ]

@@ -1,0 +1,73 @@
+(* Model validation tests: replaying the extraction trace through the
+   model's predictions. *)
+
+open Foray_core
+
+let th nexec nloc = Filter.{ nexec; nloc }
+
+let t_full_affine_exact () =
+  (* a model extracted from a trace predicts that same trace perfectly
+     when every reference is fully affine *)
+  let prog = Minic.Parser.program Foray_suite.Figures.fig4a in
+  let r, trace = Pipeline.run_offline ~thresholds:(th 2 2) prog in
+  let rep = Validate.replay r.model trace in
+  Alcotest.(check (float 0.0001)) "100% exact" 1.0 (Validate.overall rep);
+  Alcotest.(check int) "covers the six accesses" 6 rep.covered;
+  Alcotest.(check bool) "everything else is outside the model" true
+    (rep.uncovered > 0)
+
+let t_partial_rebases () =
+  (* fig7b's data-dependent offsets force one re-base per outer change *)
+  let prog = Minic.Parser.program Foray_suite.Figures.fig7b in
+  let r, trace = Pipeline.run_offline ~thresholds:(th 10 5) prog in
+  let rep = Validate.replay r.model trace in
+  let partial_sites =
+    List.filter_map
+      (fun (_, (mr : Model.mref)) -> if mr.partial then Some mr.site else None)
+      (Model.all_refs r.model)
+  in
+  Alcotest.(check bool) "has partial refs" true (partial_sites <> []);
+  List.iter
+    (fun (rr : Validate.ref_report) ->
+      if List.mem rr.site partial_sites then begin
+        (* ten calls, first aligned, so at most 9 rebases; still mostly
+           exact inside each call *)
+        Alcotest.(check bool) "rebases bounded" true (rr.rebases <= 9);
+        Alcotest.(check bool) "mostly exact" true
+          (Validate.accuracy rr > 0.85)
+      end)
+    rep.refs
+
+let t_overall_suite () =
+  (* across the suite the model should predict nearly all covered accesses;
+     only partial refs re-base *)
+  List.iter
+    (fun name ->
+      let b = Option.get (Foray_suite.Suite.find name) in
+      let prog = Minic.Parser.program b.source in
+      let r, trace = Pipeline.run_offline prog in
+      let rep = Validate.replay r.model trace in
+      Alcotest.(check bool)
+        (name ^ " accuracy > 95%")
+        true
+        (Validate.overall rep > 0.95);
+      (* coverage equals the model's share of accesses *)
+      Alcotest.(check int)
+        (name ^ " covered = model accesses")
+        (Model.accesses r.model) rep.covered)
+    [ "adpcm"; "gsm" ]
+
+let t_empty_model () =
+  let model = Model.{ loops = []; sites = [] } in
+  let rep = Validate.replay model [] in
+  Alcotest.(check (float 0.0)) "vacuous accuracy" 1.0 (Validate.overall rep);
+  Alcotest.(check int) "nothing covered" 0 rep.covered
+
+let tests =
+  [
+    Alcotest.test_case "full affine predicts exactly" `Quick
+      t_full_affine_exact;
+    Alcotest.test_case "partial refs re-base" `Quick t_partial_rebases;
+    Alcotest.test_case "suite accuracy" `Slow t_overall_suite;
+    Alcotest.test_case "empty model" `Quick t_empty_model;
+  ]
