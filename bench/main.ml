@@ -2,16 +2,31 @@
    evaluation, the Phase II SPM results, the ablations called out in
    DESIGN.md, and bechamel microbenchmarks for the complexity claims.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe -- [-j N] [--json] [--quick]
+
+   Sections render to strings and run on a Foray_util.Parallel domain
+   pool ([-j N], default = recommended domain count); output is printed
+   in section order afterwards, so tables are byte-identical for any -j.
+   --json additionally writes BENCH_pipeline.json, the perf-regression
+   record tracked across PRs (see EXPERIMENTS.md for the field list);
+   --quick trims the workload to a CI-sized smoke run. *)
 
 open Foray_core
 module Report = Foray_report.Report
 module Suite = Foray_suite.Suite
 module Figures = Foray_suite.Figures
 module Tablefmt = Foray_util.Tablefmt
+module Parallel = Foray_util.Parallel
 
-let section title =
-  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+let jobs = ref (Parallel.default_jobs ())
+let json = ref false
+let json_file = ref "BENCH_pipeline.json"
+let quick = ref false
+
+let now = Unix.gettimeofday
+
+let bsection b title =
+  Printf.bprintf b "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let th nexec nloc = Filter.{ nexec; nloc }
 
@@ -19,41 +34,44 @@ let th nexec nloc = Filter.{ nexec; nloc }
 (* Tables I-III (the paper's evaluation section)                       *)
 (* ------------------------------------------------------------------ *)
 
-let tables () =
-  section "Paper evaluation: Tables I-III";
-  let t0 = Sys.time () in
+let tables b =
+  bsection b "Paper evaluation: Tables I-III";
+  let t0 = now () in
   let reports = Report.report_all () in
-  Printf.printf "(pipeline over the 6-benchmark suite: %.2fs)\n\n" (Sys.time () -. t0);
-  print_string (Report.table1 reports);
-  print_newline ();
-  print_string (Report.table2 reports);
-  print_newline ();
-  print_string (Report.table3 reports);
-  print_newline ();
-  print_string (Report.headline reports)
+  Printf.bprintf b "(pipeline over the 6-benchmark suite: %.2fs)\n\n"
+    (now () -. t0);
+  Buffer.add_string b (Report.table1 reports);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Report.table2 reports);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Report.table3 reports);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Report.headline reports)
 
 (* ------------------------------------------------------------------ *)
 (* Figure reproductions                                                *)
 (* ------------------------------------------------------------------ *)
 
-let figure2 () =
-  section "Figure 2: FORAY models of the Figure 1 excerpts";
+let figure2 b =
+  bsection b "Figure 2: FORAY models of the Figure 1 excerpts";
   let r = Pipeline.run_source ~thresholds:(th 10 10) Figures.fig1 in
-  print_string (Model.to_c r.model)
+  Buffer.add_string b (Model.to_c r.model)
 
-let figure4 () =
-  section "Figure 4: annotated program, trace and model";
+let figure4 b =
+  bsection b "Figure 4: annotated program, trace and model";
   let prog = Minic.Parser.program Figures.fig4a in
   let _, trace = Pipeline.run_offline ~thresholds:(th 2 2) prog in
-  Printf.printf "trace (first 16 of %d records):\n" (List.length trace);
+  Printf.bprintf b "trace (first 16 of %d records):\n" (List.length trace);
   List.iteri
-    (fun i e -> if i < 16 then print_endline ("  " ^ Foray_trace.Event.to_line e))
+    (fun i e ->
+      if i < 16 then
+        Printf.bprintf b "  %s\n" (Foray_trace.Event.to_line e))
     trace;
   let r = Pipeline.run_source ~thresholds:(th 2 2) Figures.fig4a in
-  print_string (Model.to_c r.model)
+  Buffer.add_string b (Model.to_c r.model)
 
-let figure7 () =
-  section "Figure 7: partial affine index expressions";
+let figure7 b =
+  bsection b "Figure 7: partial affine index expressions";
   List.iter
     (fun (name, src) ->
       let r = Pipeline.run_source ~thresholds:(th 10 5) src in
@@ -61,36 +79,36 @@ let figure7 () =
         List.filter (fun (_, (mr : Model.mref)) -> mr.partial)
           (Model.all_refs r.model)
       in
-      Printf.printf "%s: %d model ref(s), %d partial\n" name
+      Printf.bprintf b "%s: %d model ref(s), %d partial\n" name
         (Model.n_refs r.model) (List.length partials);
       List.iter
         (fun (_, (mr : Model.mref)) ->
-          Printf.printf
+          Printf.bprintf b
             "  site %x: partial over %d of %d loops, expression %s\n" mr.site
             mr.m mr.depth (Model.expr_of_ref mr))
         partials)
     [ ("fig7a (stack base)", Figures.fig7a);
       ("fig7b (offset param)", Figures.fig7b) ]
 
-let figure9 () =
-  section "Figure 9: function duplication hints";
+let figure9 b =
+  bsection b "Figure 9: function duplication hints";
   let r = Pipeline.run_source ~thresholds:(th 5 5) Figures.fig9 in
-  print_string (Hints.to_string (Pipeline.hints r))
+  Buffer.add_string b (Hints.to_string (Pipeline.hints r))
 
 (* ------------------------------------------------------------------ *)
 (* Phase II: SPM design-space exploration                              *)
 (* ------------------------------------------------------------------ *)
 
-let spm_sweep () =
-  section "Phase II: SPM energy savings per benchmark (optimal selection)";
+let spm_sweep b =
+  bsection b "Phase II: SPM energy savings per benchmark (optimal selection)";
   let sizes = [ 256; 512; 1024; 2048; 4096; 8192; 16384 ] in
   let t =
     Tablefmt.create ~title:"Energy saved vs all-main-memory, by SPM size"
       ("Benchmark" :: List.map (fun s -> Printf.sprintf "%dB" s) sizes)
   in
   List.iter
-    (fun (b : Suite.bench) ->
-      let r = Pipeline.run_source b.source in
+    (fun (bench : Suite.bench) ->
+      let r = Pipeline.run_source bench.source in
       let cands = Foray_spm.Reuse.candidates r.model in
       let row =
         List.map
@@ -99,27 +117,27 @@ let spm_sweep () =
             Printf.sprintf "%.1f%%" sel.saving_pct)
           sizes
       in
-      Tablefmt.row t (b.name :: row))
+      Tablefmt.row t (bench.name :: row))
     Suite.all;
-  print_string (Tablefmt.render t)
+  Buffer.add_string b (Tablefmt.render t)
 
-let spm_vs_cache () =
-  section "SPM vs cache (the Banakar premise, over array traffic)";
+let spm_vs_cache b =
+  bsection b "SPM vs cache (the Banakar premise, over array traffic)";
   List.iter
     (fun capacity ->
       let results =
-        List.map (fun b -> Foray_report.Memcompare.run b ~capacity) Suite.all
+        List.map (fun bn -> Foray_report.Memcompare.run bn ~capacity) Suite.all
       in
-      print_string (Foray_report.Memcompare.table ~capacity results);
-      print_newline ())
+      Buffer.add_string b (Foray_report.Memcompare.table ~capacity results);
+      Buffer.add_char b '\n')
     [ 1024; 2048 ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_thresholds () =
-  section "Ablation: Step 4 thresholds (jpeg)";
+let ablation_thresholds b =
+  bsection b "Ablation: Step 4 thresholds (jpeg)";
   let prog = Minic.Parser.program (Option.get (Suite.find "jpeg")).source in
   let t =
     Tablefmt.create ~title:"Model size vs (Nexec, Nloc)"
@@ -135,21 +153,21 @@ let ablation_thresholds () =
           string_of_int (Model.n_loops r.model);
         ])
     [ (1, 1); (5, 5); (20, 10); (100, 10); (20, 100); (1000, 1000) ];
-  print_string (Tablefmt.render t);
-  print_string
+  Buffer.add_string b (Tablefmt.render t);
+  Buffer.add_string b
     "(the paper's Nexec=20/Nloc=10 keeps the reusable references and drops\n\
     \ scalar and small-array traffic)\n"
 
-let ablation_partial () =
-  section "Ablation: value of partial affine expressions";
+let ablation_partial b =
+  bsection b "Ablation: value of partial affine expressions";
   let t =
     Tablefmt.create
       ~title:"Model references lost if partial expressions were rejected"
       [ "Benchmark"; "refs"; "partial"; "lost accesses" ]
   in
   List.iter
-    (fun (b : Suite.bench) ->
-      let r = Pipeline.run_source b.source in
+    (fun (bench : Suite.bench) ->
+      let r = Pipeline.run_source bench.source in
       let refs = Model.all_refs r.model in
       let partial =
         List.filter (fun (_, (mr : Model.mref)) -> mr.partial) refs
@@ -159,111 +177,113 @@ let ablation_partial () =
       in
       Tablefmt.row t
         [
-          b.name;
+          bench.name;
           string_of_int (List.length refs);
           string_of_int (List.length partial);
           string_of_int lost;
         ])
     Suite.all;
-  print_string (Tablefmt.render t)
+  Buffer.add_string b (Tablefmt.render t)
 
-let ablation_dse () =
-  section "Ablation: greedy vs optimal buffer selection (4 KiB SPM)";
+let ablation_dse b =
+  bsection b "Ablation: greedy vs optimal buffer selection (4 KiB SPM)";
   let t =
     Tablefmt.create ~title:"Energy saving, greedy vs grouped-knapsack DP"
       [ "Benchmark"; "greedy"; "optimal" ]
   in
   List.iter
-    (fun (b : Suite.bench) ->
-      let r = Pipeline.run_source b.source in
+    (fun (bench : Suite.bench) ->
+      let r = Pipeline.run_source bench.source in
       let cands = Foray_spm.Reuse.candidates r.model in
       let g = Foray_spm.Dse.select_greedy cands ~spm_bytes:4096 in
       let o = Foray_spm.Dse.select_optimal cands ~spm_bytes:4096 in
       Tablefmt.row t
         [
-          b.name;
+          bench.name;
           Printf.sprintf "%.1f%%" g.saving_pct;
           Printf.sprintf "%.1f%%" o.saving_pct;
         ])
     Suite.all;
-  print_string (Tablefmt.render t)
+  Buffer.add_string b (Tablefmt.render t)
 
-let ablation_fusion () =
-  section "Ablation: buffer fusion (stencil sharing)";
+let ablation_fusion b =
+  bsection b "Ablation: buffer fusion (stencil sharing)";
   let t =
     Tablefmt.create
       ~title:"Energy saving at 1 KiB, separate vs fused buffers"
       [ "Benchmark"; "groups"; "fused groups"; "separate"; "fused" ]
   in
   List.iter
-    (fun (b : Suite.bench) ->
-      let r = Pipeline.run_source b.source in
+    (fun (bench : Suite.bench) ->
+      let r = Pipeline.run_source bench.source in
       let plain = Foray_spm.Reuse.candidates r.model in
       let fused = Foray_spm.Reuse.candidates ~fuse:true r.model in
       let sp = Foray_spm.Dse.select_optimal plain ~spm_bytes:1024 in
       let sf = Foray_spm.Dse.select_optimal fused ~spm_bytes:1024 in
       Tablefmt.row t
         [
-          b.name;
+          bench.name;
           string_of_int (List.length (Foray_spm.Reuse.by_ref plain));
           string_of_int (List.length (Foray_spm.Reuse.by_ref fused));
           Printf.sprintf "%.1f%%" sp.saving_pct;
           Printf.sprintf "%.1f%%" sf.saving_pct;
         ])
     Suite.all;
-  print_string (Tablefmt.render t)
+  Buffer.add_string b (Tablefmt.render t)
 
-let model_fidelity () =
-  section "Model fidelity: replaying the trace against the model";
+let model_fidelity b =
+  bsection b "Model fidelity: replaying the trace against the model";
   let t =
     Tablefmt.create
       ~title:"Prediction accuracy of extracted models (covered accesses)"
       [ "Benchmark"; "covered"; "uncovered"; "exact"; "accuracy" ]
   in
   List.iter
-    (fun (b : Suite.bench) ->
-      let prog = Minic.Parser.program b.source in
+    (fun (bench : Suite.bench) ->
+      let prog = Minic.Parser.program bench.source in
       let r, trace = Pipeline.run_offline prog in
       let rep = Validate.replay r.model trace in
       let exact =
-        List.fold_left (fun a (rr : Validate.ref_report) -> a + rr.exact) 0 rep.refs
+        List.fold_left (fun a (rr : Validate.ref_report) -> a + rr.exact) 0
+          rep.refs
       in
       Tablefmt.row t
         [
-          b.name;
+          bench.name;
           string_of_int rep.covered;
           string_of_int rep.uncovered;
           string_of_int exact;
           Printf.sprintf "%.2f%%" (100.0 *. Validate.overall rep);
         ])
     Suite.all;
-  print_string (Tablefmt.render t)
+  Buffer.add_string b (Tablefmt.render t)
 
-let input_dependence () =
-  section "Future work (paper section 6): model dependence on profiling input";
+let input_dependence b =
+  bsection b
+    "Future work (paper section 6): model dependence on profiling input";
   List.iter
     (fun name ->
-      let b = Option.get (Suite.find name) in
-      let prog = Minic.Parser.program b.source in
+      let bench = Option.get (Suite.find name) in
+      let prog = Minic.Parser.program bench.source in
       let rep = Stability.study ~seeds:[ 1; 42; 1337 ] prog in
-      Printf.printf "%s: %s" name (Stability.to_string rep))
+      Printf.bprintf b "%s: %s" name (Stability.to_string rep))
     [ "jpeg"; "lame"; "gsm"; "adpcm" ]
 
-let ablation_online () =
-  section "Ablation: online vs offline trace analysis (constant-space claim)";
+let ablation_online b =
+  bsection b "Ablation: online vs offline trace analysis (constant-space claim)";
   let t =
     Tablefmt.create ~title:"Same model, with and without storing the trace"
       [ "Benchmark"; "events"; "online s"; "offline s"; "models equal" ]
   in
   List.iter
     (fun name ->
-      let b = Option.get (Suite.find name) in
-      let prog = Minic.Parser.program b.source in
-      let t0 = Sys.time () in
+      let bench = Option.get (Suite.find name) in
+      let prog = Minic.Parser.program bench.source in
+      let t0 = now () in
       let online = Pipeline.run prog in
-      let t1 = Sys.time () in
+      let t1 = now () in
       let offline, trace = Pipeline.run_offline prog in
-      let t2 = Sys.time () in
+      let t2 = now () in
       Tablefmt.row t
         [
           name;
@@ -273,10 +293,10 @@ let ablation_online () =
           string_of_bool (Model.to_c online.model = Model.to_c offline.model);
         ])
     [ "adpcm"; "gsm"; "fft" ];
-  print_string (Tablefmt.render t)
+  Buffer.add_string b (Tablefmt.render t)
 
-let scaling () =
-  section "Scaling: analysis cost vs trace length (linear-time claim)";
+let scaling b =
+  bsection b "Scaling: analysis cost vs trace length (linear-time claim)";
   let t =
     Tablefmt.create ~title:"Algorithm 2+3 over synthetic nested-loop traces"
       [ "events"; "seconds"; "Mev/s" ]
@@ -286,7 +306,7 @@ let scaling () =
       let tree = Looptree.create () in
       let sink = Looptree.sink tree in
       let ck loop kind = Foray_trace.Event.Checkpoint { loop; kind } in
-      let t0 = Sys.time () in
+      let t0 = now () in
       let events = ref 0 in
       let push e = incr events; sink e in
       push (ck 1 Foray_trace.Event.Loop_enter);
@@ -305,7 +325,7 @@ let scaling () =
         push (ck 1 Foray_trace.Event.Body_exit)
       done;
       push (ck 1 Foray_trace.Event.Loop_exit);
-      let dt = Sys.time () -. t0 in
+      let dt = now () -. t0 in
       Tablefmt.row t
         [
           string_of_int !events;
@@ -315,8 +335,8 @@ let scaling () =
            else "-");
         ])
     [ 1_000; 10_000; 100_000; 200_000 ];
-  print_string (Tablefmt.render t);
-  print_string
+  Buffer.add_string b (Tablefmt.render t);
+  Buffer.add_string b
     "(near-flat throughput across two orders of magnitude: linear time; the\n\
      walker state is the loop tree plus per-reference footprint intervals,\n\
      independent of the trace length)\n"
@@ -325,22 +345,23 @@ let scaling () =
 (* Bechamel microbenchmarks (complexity claims of Section 4)           *)
 (* ------------------------------------------------------------------ *)
 
-let microbench () =
-  section "Microbenchmarks (bechamel, monotonic clock)";
+let microbench b =
+  bsection b "Microbenchmarks (bechamel, monotonic clock)";
   let open Bechamel in
   let witness = Toolkit.Instance.monotonic_clock in
   let run_one (test : Test.t) =
     let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) () in
     List.iter
       (fun elt ->
-        let b = Benchmark.run cfg [ witness ] elt in
+        let bench = Benchmark.run cfg [ witness ] elt in
         let ols =
           Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |]
         in
-        let est = Analyze.one ols witness b in
+        let est = Analyze.one ols witness bench in
         match Analyze.OLS.estimates est with
-        | Some [ t ] -> Printf.printf "  %-38s %12.1f ns/op\n" (Test.Elt.name elt) t
-        | _ -> Printf.printf "  %-38s (no estimate)\n" (Test.Elt.name elt))
+        | Some [ t ] ->
+            Printf.bprintf b "  %-38s %12.1f ns/op\n" (Test.Elt.name elt) t
+        | _ -> Printf.bprintf b "  %-38s (no estimate)\n" (Test.Elt.name elt))
       (Test.elements test)
   in
   (* Algorithm 3: one observation *)
@@ -381,7 +402,9 @@ let microbench () =
     (Test.make ~name:"iset.add_range"
        (Staged.stage (fun () ->
             incr i;
-            ignore (Foray_util.Iset.add_range (!i land 8191) ((!i land 8191) + 4) base))));
+            ignore
+              (Foray_util.Iset.add_range (!i land 8191) ((!i land 8191) + 4)
+                 base))));
   (* end-to-end simulation+analysis throughput on the smallest benchmark *)
   let adpcm = Minic.Parser.program (Option.get (Suite.find "adpcm")).source in
   run_one
@@ -396,23 +419,176 @@ let microbench () =
             ignore (Foray_spm.Dse.select_optimal cands ~spm_bytes:4096))))
 
 (* ------------------------------------------------------------------ *)
+(* Perf-regression measurements (BENCH_pipeline.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+type pipeline_perf = {
+  pname : string;
+  events : int;
+  steps : int;
+  seconds : float;
+}
+
+(* One timed simulate-and-analyze run: the interpreter feeding the loop
+   tree, the per-site statistics and an event counter, exactly the online
+   pipeline of Algorithm 1. *)
+let measure_pipeline (bench : Suite.bench) =
+  let prog = Minic.Parser.program bench.source in
+  Minic.Sema.check_exn prog;
+  let instrumented = Foray_instrument.Annotate.program prog in
+  let tree = Looptree.create () in
+  let tstats = Foray_trace.Tstats.create () in
+  let events = ref 0 in
+  let analyze =
+    Foray_trace.Event.tee (Looptree.sink tree)
+      (Foray_trace.Tstats.sink tstats)
+  in
+  let sink e = incr events; analyze e in
+  let t0 = now () in
+  let sim = Minic_sim.Interp.run instrumented ~sink in
+  let seconds = now () -. t0 in
+  ignore (Model.of_tree tree);
+  { pname = bench.name; events = !events; steps = sim.steps; seconds }
+
+(* Interpreter microbenchmark on the jpeg analogue, resolver on and off:
+   steps per second with a null sink isolates the simulator itself. *)
+let measure_interp ~reps =
+  let bench = Option.get (Suite.find "jpeg") in
+  let prog = Minic.Parser.program bench.source in
+  Minic.Sema.check_exn prog;
+  let instrumented = Foray_instrument.Annotate.program prog in
+  let best config =
+    let _ =
+      Minic_sim.Interp.run ~config instrumented
+        ~sink:Foray_trace.Event.null_sink
+    in
+    let best = ref 0.0 in
+    for _ = 1 to reps do
+      let t0 = now () in
+      let r =
+        Minic_sim.Interp.run ~config instrumented
+          ~sink:Foray_trace.Event.null_sink
+      in
+      let dt = now () -. t0 in
+      let sps = float_of_int r.steps /. dt in
+      if sps > !best then best := sps
+    done;
+    !best
+  in
+  let resolved = best Minic_sim.Interp.default_config in
+  let unresolved =
+    best { Minic_sim.Interp.default_config with resolve = false }
+  in
+  (resolved, unresolved)
+
+let write_json ~path ~section_times ~pipelines ~interp ~total =
+  let resolved, unresolved = interp in
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.bprintf b fmt in
+  add "{\n";
+  add "  \"schema\": 1,\n";
+  add "  \"generated_by\": \"bench/main.exe --json\",\n";
+  add "  \"jobs\": %d,\n" !jobs;
+  add "  \"quick\": %b,\n" !quick;
+  add "  \"interp\": {\n";
+  add "    \"benchmark\": \"jpeg\",\n";
+  add "    \"steps_per_sec\": %.0f,\n" resolved;
+  add "    \"steps_per_sec_unresolved\": %.0f,\n" unresolved;
+  add "    \"resolver_speedup\": %.2f\n" (resolved /. unresolved);
+  add "  },\n";
+  add "  \"pipelines\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "    {\"name\": %S, \"events\": %d, \"steps\": %d, \"seconds\": \
+         %.4f, \"events_per_sec\": %.0f}%s\n"
+        p.pname p.events p.steps p.seconds
+        (float_of_int p.events /. p.seconds)
+        (if i = List.length pipelines - 1 then "" else ","))
+    pipelines;
+  add "  ],\n";
+  add "  \"sections\": [\n";
+  List.iteri
+    (fun i (name, dt) ->
+      add "    {\"name\": %S, \"seconds\": %.3f}%s\n" name dt
+        (if i = List.length section_times - 1 then "" else ","))
+    section_times;
+  add "  ],\n";
+  add "  \"wall_clock_total_sec\": %.3f\n" total;
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let t0 = Sys.time () in
-  tables ();
-  figure2 ();
-  figure4 ();
-  figure7 ();
-  figure9 ();
-  spm_sweep ();
-  spm_vs_cache ();
-  ablation_thresholds ();
-  ablation_partial ();
-  ablation_dse ();
-  ablation_fusion ();
-  model_fidelity ();
-  input_dependence ();
-  ablation_online ();
-  scaling ();
-  microbench ();
-  Printf.printf "\ntotal bench time: %.1fs\n" (Sys.time () -. t0)
+  Arg.parse
+    [
+      ("-j", Arg.Set_int jobs,
+       "N  Fan independent sections out over N domains (default: \
+        recommended domain count; 1 = serial)");
+      ("--json", Arg.Set json,
+       " Write the perf-regression record BENCH_pipeline.json");
+      ("--json-file", Arg.Set_string json_file,
+       "PATH  Destination of the JSON record (default BENCH_pipeline.json)");
+      ("--quick", Arg.Set quick,
+       " CI-sized run: tables + perf measurements only, <60s");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "dune exec bench/main.exe -- [-j N] [--json] [--quick]";
+  let t0 = now () in
+  let sections =
+    if !quick then
+      [ ("tables", tables); ("figure4", figure4); ("scaling", scaling) ]
+    else
+      [
+        ("tables", tables);
+        ("figure2", figure2);
+        ("figure4", figure4);
+        ("figure7", figure7);
+        ("figure9", figure9);
+        ("spm_sweep", spm_sweep);
+        ("spm_vs_cache", spm_vs_cache);
+        ("ablation_thresholds", ablation_thresholds);
+        ("ablation_partial", ablation_partial);
+        ("ablation_dse", ablation_dse);
+        ("ablation_fusion", ablation_fusion);
+        ("model_fidelity", model_fidelity);
+        ("input_dependence", input_dependence);
+        ("ablation_online", ablation_online);
+        ("scaling", scaling);
+      ]
+  in
+  let rendered =
+    Parallel.run ~jobs:!jobs
+      (List.map
+         (fun (name, f) () ->
+           let b = Buffer.create 4096 in
+           let s0 = now () in
+           f b;
+           (name, Buffer.contents b, now () -. s0))
+         sections)
+  in
+  List.iter (fun (_, out, _) -> print_string out) rendered;
+  (* Perf measurements run serially, after the pool is idle, so domain
+     contention never skews them. *)
+  if !json then begin
+    let pipelines =
+      List.map measure_pipeline
+        (if !quick then
+           List.filter (fun (b : Suite.bench) -> b.name <> "lame") Suite.all
+         else Suite.all)
+    in
+    let interp = measure_interp ~reps:(if !quick then 3 else 5) in
+    let section_times = List.map (fun (n, _, dt) -> (n, dt)) rendered in
+    write_json ~path:!json_file ~section_times ~pipelines ~interp
+      ~total:(now () -. t0)
+  end;
+  if not !quick then begin
+    let b = Buffer.create 256 in
+    microbench b;
+    print_string (Buffer.contents b)
+  end;
+  Printf.printf "\ntotal bench time: %.1fs\n" (now () -. t0)

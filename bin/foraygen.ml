@@ -51,6 +51,17 @@ let scalars_arg =
   let doc = "Trace named scalar accesses too (default true)." in
   Arg.(value & opt bool true & info [ "trace-scalars" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run independent pipeline runs on $(docv) domains (default: the \
+     recommended domain count; 1 = serial). Output is identical for any \
+     value."
+  in
+  Arg.(
+    value
+    & opt int (Foray_util.Parallel.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let config_of scalars =
   { Minic_sim.Interp.default_config with trace_scalars = scalars }
 
@@ -272,14 +283,14 @@ let validate_cmd =
 (* ---- stability --------------------------------------------------------- *)
 
 let stability_cmd =
-  let run prog seeds =
+  let run prog seeds jobs =
     match load_source prog with
     | Error e ->
         prerr_endline e;
         1
     | Ok src ->
         let prog = Minic.Parser.program src in
-        let rep = Foray_core.Stability.study ~seeds prog in
+        let rep = Foray_core.Stability.study ~jobs ~seeds prog in
         print_string (Foray_core.Stability.to_string rep);
         0
   in
@@ -294,14 +305,14 @@ let stability_cmd =
        ~doc:
          "Compare models extracted under different profiling inputs \
           (the paper's future-work study)")
-    Term.(const run $ prog_arg $ seeds_arg)
+    Term.(const run $ prog_arg $ seeds_arg $ jobs_arg)
 
 (* ---- compare ----------------------------------------------------------- *)
 
 let compare_cmd =
-  let run capacity =
+  let run capacity jobs =
     let results =
-      List.map
+      Foray_util.Parallel.map ~jobs
         (fun b -> Foray_report.Memcompare.run b ~capacity)
         Foray_suite.Suite.all
     in
@@ -316,14 +327,14 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Cache vs SPM-with-FORAY-buffers energy over the suite")
-    Term.(const run $ cap_arg)
+    Term.(const run $ cap_arg $ jobs_arg)
 
 (* ---- tables --------------------------------------------------------- *)
 
 let tables_cmd =
-  let run nexec nloc =
+  let run nexec nloc jobs =
     let thresholds = Foray_core.Filter.{ nexec; nloc } in
-    let reports = Foray_report.Report.report_all ~thresholds () in
+    let reports = Foray_report.Report.report_all ~thresholds ~jobs () in
     print_string (Foray_report.Report.table1 reports);
     print_newline ();
     print_string (Foray_report.Report.table2 reports);
@@ -336,12 +347,12 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables"
        ~doc:"Reproduce the paper's Tables I-III over the benchmark suite")
-    Term.(const run $ nexec_arg $ nloc_arg)
+    Term.(const run $ nexec_arg $ nloc_arg $ jobs_arg)
 
 (* ---- spm ------------------------------------------------------------ *)
 
 let spm_cmd =
-  let run prog nexec nloc size transformed fuse =
+  let run prog nexec nloc size transformed fuse jobs =
     match load_source prog with
     | Error e ->
         prerr_endline e;
@@ -367,7 +378,7 @@ let spm_cmd =
             List.iter
               (fun (_, sel) ->
                 Format.printf "%a@." Foray_spm.Dse.pp_selection sel)
-              (Foray_spm.Dse.sweep r.model));
+              (Foray_spm.Dse.sweep ~jobs r.model));
         0
   in
   let size_arg =
@@ -393,7 +404,7 @@ let spm_cmd =
        ~doc:"Phase II: SPM reuse analysis and design-space exploration")
     Term.(
       const run $ prog_arg $ nexec_arg $ nloc_arg $ size_arg $ transformed_arg
-      $ fuse_arg)
+      $ fuse_arg $ jobs_arg)
 
 (* ---- main ----------------------------------------------------------- *)
 

@@ -32,10 +32,10 @@ let sightings_of model =
           trips = List.map (fun (l : Model.mloop) -> l.trip) chain } ))
     (Model.all_refs model)
 
-let study ?(thresholds = Filter.default) ~seeds prog =
+let study ?(thresholds = Filter.default) ?(jobs = 1) ~seeds prog =
   if List.length seeds < 2 then invalid_arg "Stability.study: need >= 2 seeds";
   let models =
-    List.map
+    Foray_util.Parallel.map ~jobs
       (fun seed ->
         let config = { Minic_sim.Interp.default_config with rand_seed = seed } in
         (Pipeline.run ~config ~thresholds prog).model)

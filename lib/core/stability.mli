@@ -32,10 +32,13 @@ type report = {
   input_dependent : int;
 }
 
-(** [study ?thresholds ~seeds prog] extracts one model per seed and
-    compares them. At least two seeds required. *)
+(** [study ?thresholds ?jobs ~seeds prog] extracts one model per seed and
+    compares them. At least two seeds required. [jobs] (default 1) runs
+    the per-seed profiling pipelines on a {!Foray_util.Parallel} pool; the
+    report does not depend on [jobs]. *)
 val study :
   ?thresholds:Filter.thresholds ->
+  ?jobs:int ->
   seeds:int list ->
   Minic.Ast.program ->
   report

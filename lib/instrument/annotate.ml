@@ -1,11 +1,10 @@
 open Minic.Ast
 
-(* Fresh negative statement ids for inserted nodes. *)
-let counter = ref 0
+(* Fresh negative statement ids for inserted nodes. Atomic so concurrent
+   pipeline runs (Foray_util.Parallel) never hand out colliding ids. *)
+let counter = Atomic.make 0
 
-let fresh_sid () =
-  decr counter;
-  !counter
+let fresh_sid () = -(Atomic.fetch_and_add counter 1) - 1
 
 let ck loop kind = { s = Scheckpoint (loop, kind); sid = fresh_sid () }
 let blk stmts = { s = Sblock stmts; sid = fresh_sid () }

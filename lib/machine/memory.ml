@@ -1,18 +1,35 @@
 let page_bits = 12
 let page_size = 1 lsl page_bits
 
-type t = (int, Bytes.t) Hashtbl.t
+(* A one-entry page cache in front of the hashtable: the interpreter's
+   accesses are strongly page-local (loop bodies stream through one array,
+   scalars cluster in one stack frame), so most lookups hit [last_page]
+   without touching the table. *)
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable last_key : int;
+  mutable last_page : Bytes.t;
+}
 
-let create () : t = Hashtbl.create 64
+let create () : t =
+  { pages = Hashtbl.create 64; last_key = min_int; last_page = Bytes.empty }
 
 let page (m : t) a =
   let key = a asr page_bits in
-  match Hashtbl.find_opt m key with
-  | Some p -> p
-  | None ->
-      let p = Bytes.make page_size '\000' in
-      Hashtbl.add m key p;
-      p
+  if key = m.last_key then m.last_page
+  else begin
+    let p =
+      match Hashtbl.find_opt m.pages key with
+      | Some p -> p
+      | None ->
+          let p = Bytes.make page_size '\000' in
+          Hashtbl.add m.pages key p;
+          p
+    in
+    m.last_key <- key;
+    m.last_page <- p;
+    p
+  end
 
 let read_byte m a = Char.code (Bytes.get (page m a) (a land (page_size - 1)))
 
@@ -25,16 +42,33 @@ let sign_extend w v =
   | 4 -> if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
   | _ -> v
 
-let read m a w =
+(* Multi-byte accesses fetch the page once; only the rare page-straddling
+   access falls back to per-byte lookups. *)
+
+let read_slow m a w =
   let v = ref 0 in
   for i = w - 1 downto 0 do
     v := (!v lsl 8) lor read_byte m (a + i)
   done;
   sign_extend w !v
 
-let write m a w v =
+let read m a w =
+  let off = a land (page_size - 1) in
+  if w = 4 && off + 4 <= page_size then
+    Int32.to_int (Bytes.get_int32_le (page m a) off)
+  else if w = 1 then sign_extend 1 (read_byte m a)
+  else read_slow m a w
+
+let write_slow m a w v =
   for i = 0 to w - 1 do
     write_byte m (a + i) ((v lsr (8 * i)) land 0xff)
   done
 
-let pages (m : t) = Hashtbl.length m
+let write m a w v =
+  let off = a land (page_size - 1) in
+  if w = 4 && off + 4 <= page_size then
+    Bytes.set_int32_le (page m a) off (Int32.of_int v)
+  else if w = 1 then write_byte m a v
+  else write_slow m a w v
+
+let pages (m : t) = Hashtbl.length m.pages

@@ -1,0 +1,214 @@
+open Ast
+
+type entry =
+  | Rnone
+  | Rglobal of int * Ast.ty
+  | Rslot of int * Ast.ty
+  | Runbound of string
+
+type t = {
+  vars : entry array;
+  decl_slots : int array;
+  fun_nslots : (string, int) Hashtbl.t;
+  n_globals : int;
+}
+
+(* Bounds of the id spaces. Instrumentation gives inserted statements
+   negative ids, but those are never declarations, so only [Sdecl] ids and
+   expression ids must be dense non-negative. *)
+
+let rec expr_ids f (e : expr) =
+  f e.eid;
+  match e.e with
+  | Int _ | Var _ -> ()
+  | Bin (_, a, b) | Assign (a, b) | OpAssign (_, a, b) | Index (a, b) ->
+      expr_ids f a;
+      expr_ids f b
+  | Un (_, a) | Incr (_, a) | Decr (_, a) | Deref a | Addr a | Cast (_, a) ->
+      expr_ids f a
+  | Call (_, args) -> List.iter (expr_ids f) args
+  | Cond (c, a, b) ->
+      expr_ids f c;
+      expr_ids f a;
+      expr_ids f b
+
+let stmt_exprs st =
+  match st.s with
+  | Sexpr e -> [ e ]
+  | Sdecl (_, _, Some (Iexpr e)) -> [ e ]
+  | Sdecl _ -> []
+  | Sif (c, _, _) -> [ c ]
+  | Sfor (a, b, c, _) -> List.filter_map Fun.id [ a; b; c ]
+  | Swhile (c, _) | Sdo (_, c) -> [ c ]
+  | Sreturn (Some e) -> [ e ]
+  | Sswitch (e, _) -> [ e ]
+  | Sreturn None | Sbreak | Scontinue | Sblock _ | Scheckpoint _ -> []
+
+(* Scan the whole program — function bodies and global initializers — for
+   the maximal expression id, the maximal declaration id, and any negative
+   id that would rule out dense indexing. *)
+let scan prog =
+  let max_eid = ref 0 and max_sid = ref 0 and ok = ref true in
+  let on_eid id =
+    if id < 0 then ok := false else if id > !max_eid then max_eid := id
+  in
+  let rec on_stmt st =
+    (match st.s with
+    | Sdecl _ ->
+        if st.sid < 0 then ok := false
+        else if st.sid > !max_sid then max_sid := st.sid
+    | _ -> ());
+    List.iter (expr_ids on_eid) (stmt_exprs st);
+    match st.s with
+    | Sif (_, a, b) ->
+        List.iter on_stmt a;
+        List.iter on_stmt b
+    | Sfor (_, _, _, b) | Swhile (_, b) | Sdo (b, _) | Sblock b ->
+        List.iter on_stmt b
+    | Sswitch (_, cases) ->
+        List.iter (fun (c : switch_case) -> List.iter on_stmt c.body) cases
+    | Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Scheckpoint _ -> ()
+  in
+  List.iter
+    (function
+      | Gvar (_, _, Some (Iexpr e)) -> expr_ids on_eid e
+      | Gvar _ -> ()
+      | Gfunc f -> List.iter on_stmt f.body)
+    prog.globals;
+  if !ok then Some (!max_eid, !max_sid) else None
+
+(* Scopes are tiny (a handful of names); association lists prepended on
+   declaration give the same innermost-first, latest-wins shadowing as the
+   interpreter's hashtable chain. *)
+type env = {
+  t : t;
+  globals : (string, entry) Hashtbl.t;
+  mutable scopes : (string * entry) list list; (* innermost first *)
+  mutable next_slot : int;
+}
+
+let lookup env name =
+  let rec in_scopes = function
+    | [] -> None
+    | s :: rest -> (
+        match List.assoc_opt name s with
+        | Some _ as r -> r
+        | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some e -> e
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some e -> e
+      | None -> Runbound name)
+
+let bind env name e =
+  match env.scopes with
+  | s :: rest -> env.scopes <- ((name, e) :: s) :: rest
+  | [] -> assert false
+
+let rec resolve_expr env (e : expr) =
+  (match e.e with
+  | Var name -> env.t.vars.(e.eid) <- lookup env name
+  | _ -> ());
+  match e.e with
+  | Int _ | Var _ -> ()
+  | Bin (_, a, b) | Assign (a, b) | OpAssign (_, a, b) | Index (a, b) ->
+      resolve_expr env a;
+      resolve_expr env b
+  | Un (_, a) | Incr (_, a) | Decr (_, a) | Deref a | Addr a | Cast (_, a) ->
+      resolve_expr env a
+  | Call (_, args) -> List.iter (resolve_expr env) args
+  | Cond (c, a, b) ->
+      resolve_expr env c;
+      resolve_expr env a;
+      resolve_expr env b
+
+let rec resolve_stmt env st =
+  match st.s with
+  | Sexpr e -> resolve_expr env e
+  | Sdecl (ty, name, init) ->
+      let slot = env.next_slot in
+      env.next_slot <- slot + 1;
+      env.t.decl_slots.(st.sid) <- slot;
+      (* The name is bound before the initializer is resolved: the
+         interpreter enters the variable into scope before evaluating its
+         initializer, so [int x = x + 1;] reads the fresh slot. *)
+      bind env name (Rslot (slot, ty));
+      (match init with
+      | Some (Iexpr e) -> resolve_expr env e
+      | Some (Ilist _) | None -> ())
+  | Sif (c, a, b) ->
+      resolve_expr env c;
+      resolve_block env a;
+      resolve_block env b
+  | Sfor (i, c, s, b) ->
+      Option.iter (resolve_expr env) i;
+      Option.iter (resolve_expr env) c;
+      Option.iter (resolve_expr env) s;
+      resolve_block env b
+  | Swhile (c, b) ->
+      resolve_expr env c;
+      resolve_block env b
+  | Sdo (b, c) ->
+      resolve_block env b;
+      resolve_expr env c
+  | Sreturn e -> Option.iter (resolve_expr env) e
+  | Sbreak | Scontinue | Scheckpoint _ -> ()
+  | Sblock b -> resolve_block env b
+  | Sswitch (e, cases) ->
+      resolve_expr env e;
+      List.iter (fun (c : switch_case) -> resolve_block env c.body) cases
+
+and resolve_block env b =
+  env.scopes <- [] :: env.scopes;
+  List.iter (resolve_stmt env) b;
+  env.scopes <- List.tl env.scopes
+
+let program prog =
+  match scan prog with
+  | None -> None
+  | Some (max_eid, max_sid) ->
+      let t =
+        {
+          vars = Array.make (max_eid + 1) Rnone;
+          decl_slots = Array.make (max_sid + 1) (-1);
+          fun_nslots = Hashtbl.create 16;
+          n_globals = 0;
+        }
+      in
+      let globals = Hashtbl.create 32 in
+      (* All globals are allocated before any initializer runs, so every
+         initializer sees the full global table. *)
+      let n_globals =
+        List.fold_left
+          (fun i g ->
+            match g with
+            | Gvar (ty, name, _) ->
+                Hashtbl.replace globals name (Rglobal (i, ty));
+                i + 1
+            | Gfunc _ -> i)
+          0 prog.globals
+      in
+      let t = { t with n_globals } in
+      let env = { t; globals; scopes = []; next_slot = 0 } in
+      List.iter
+        (function
+          | Gvar (_, _, Some (Iexpr e)) -> resolve_expr env e
+          | Gvar _ -> ()
+          | Gfunc f ->
+              env.next_slot <- 0;
+              let params =
+                List.map
+                  (fun (ty, name) ->
+                    let slot = env.next_slot in
+                    env.next_slot <- slot + 1;
+                    (name, Rslot (slot, ty)))
+                  f.params
+              in
+              env.scopes <- [ List.rev params ];
+              resolve_block env f.body;
+              env.scopes <- [];
+              Hashtbl.replace t.fun_nslots f.fname env.next_slot)
+        prog.globals;
+      Some t

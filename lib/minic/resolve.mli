@@ -1,0 +1,42 @@
+(** Compile-time name resolution for the simulator's hot path.
+
+    The interpreter historically resolved every [Var] occurrence by walking
+    a chain of [(string, var) Hashtbl.t] scopes — a string hash plus a list
+    walk on the single most frequent operation of the whole system. This
+    pass does that walk once, statically, and annotates every identifier
+    occurrence (keyed by its expression id) with its storage class:
+
+    - [Rglobal (i, ty)]: the [i]-th global variable, in declaration order —
+      the simulator resolves [i] through a flat address array;
+    - [Rslot (i, ty)]: slot [i] of the enclosing function's frame — the
+      simulator resolves [i] through a per-call [int array];
+    - [Runbound name]: no declaration in scope; the simulator raises the
+      same runtime error the dynamic lookup would have raised.
+
+    Resolution mirrors the interpreter's dynamic scoping exactly,
+    including its two quirks: a declaration's name is in scope inside its
+    own initializer (the slot is bound before the initializer runs), and
+    global initializers may reference any global, even a later one
+    (allocation of all globals precedes initialization). *)
+
+type entry =
+  | Rnone  (** expression is not an identifier occurrence *)
+  | Rglobal of int * Ast.ty
+  | Rslot of int * Ast.ty
+  | Runbound of string
+
+type t = {
+  vars : entry array;  (** indexed by expression id *)
+  decl_slots : int array;
+      (** indexed by statement id; frame slot of an [Sdecl], -1 otherwise *)
+  fun_nslots : (string, int) Hashtbl.t;
+      (** function name -> frame slot count (parameters occupy slots
+          [0 .. n_params-1], declarations follow) *)
+  n_globals : int;
+}
+
+(** [program p] resolves every identifier of [p]. Returns [None] when the
+    program's expression or statement ids are unsuitable for dense array
+    indexing (negative — hand-built ASTs only; parser output always
+    qualifies), in which case the simulator falls back to dynamic lookup. *)
+val program : Ast.program -> t option

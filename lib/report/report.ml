@@ -101,8 +101,9 @@ let report ?thresholds (b : Foray_suite.Suite.bench) =
     hints = List.length (Pipeline.hints r);
   }
 
-let report_all ?thresholds () =
-  List.map (fun b -> report ?thresholds b) Foray_suite.Suite.all
+let report_all ?thresholds ?(jobs = 1) () =
+  Foray_util.Parallel.map ~jobs (fun b -> report ?thresholds b)
+    Foray_suite.Suite.all
 
 let pct = Stats.percent
 

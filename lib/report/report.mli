@@ -46,9 +46,14 @@ val report :
   Foray_suite.Suite.bench ->
   bench_report
 
-(** Runs every suite benchmark. *)
+(** Runs every suite benchmark. [jobs] (default 1) fans the runs out over
+    a {!Foray_util.Parallel} domain pool; results keep suite order, so the
+    rendered tables are identical for any [jobs]. *)
 val report_all :
-  ?thresholds:Foray_core.Filter.thresholds -> unit -> bench_report list
+  ?thresholds:Foray_core.Filter.thresholds ->
+  ?jobs:int ->
+  unit ->
+  bench_report list
 
 val table1 : bench_report list -> string
 val table2 : bench_report list -> string

@@ -2,6 +2,7 @@ open Minic.Ast
 module Event = Foray_trace.Event
 module Memory = Minic_machine.Memory
 module Layout = Minic_machine.Layout
+module Resolve = Minic.Resolve
 
 exception Runtime_error of string
 
@@ -9,10 +10,16 @@ let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
 type value = Vint of int | Vptr of { addr : int; elem : ty }
 
-type config = { trace_scalars : bool; max_steps : int; rand_seed : int }
+type config = {
+  trace_scalars : bool;
+  max_steps : int;
+  rand_seed : int;
+  resolve : bool;
+}
 
 let default_config =
-  { trace_scalars = true; max_steps = 200_000_000; rand_seed = 42 }
+  { trace_scalars = true; max_steps = 200_000_000; rand_seed = 42;
+    resolve = true }
 
 type result = { ret : int; output : int list; steps : int; accesses : int }
 
@@ -28,19 +35,29 @@ exception Ret of value
 
 type var = { vaddr : int; vty : ty }
 
+(* Two frame representations share one record. With a resolution table
+   (the fast path) a frame is a flat [int array] of slot addresses, -1
+   while unallocated, and [prev_slots] restores the caller's array on
+   return; [scopes]/[slots_tbl] stay empty. Without one (the reference
+   path, [config.resolve = false]) names are looked up through the
+   hashtable scope chain exactly as before. *)
 type frame = {
-  mutable scopes : (string, var) Hashtbl.t list;
-  slots : (int, int) Hashtbl.t;  (* decl sid -> stack address *)
+  mutable scopes : (string, var) Hashtbl.t list;  (* reference path only *)
+  slots_tbl : (int, int) Hashtbl.t option;  (* decl sid -> stack address *)
+  prev_slots : int array;  (* fast path: caller's slot frame *)
   saved_sp : int;
 }
 
 type ctx = {
   cfg : config;
+  res : Resolve.t option;  (* fast path when [Some] *)
   mem : Memory.t;
   layout : Layout.t;
   globals : (string, var) Hashtbl.t;
+  global_addrs : int array;  (* fast path, indexed like [Resolve.Rglobal] *)
   funcs : (string, func) Hashtbl.t;
   sink : Event.sink;
+  mutable cur_slots : int array;  (* fast path: current frame's slots *)
   mutable frames : frame list;  (* current first; empty during global init *)
   mutable steps : int;
   mutable accesses : int;
@@ -243,9 +260,19 @@ and binop op a b =
 
 and lvalue ctx (e : expr) : lval =
   match e.e with
-  | Var name ->
-      let v = find_var ctx name in
-      { laddr = v.vaddr; lty = v.vty; lnamed = true }
+  | Var name -> (
+      match ctx.res with
+      | Some r -> (
+          match r.Resolve.vars.(e.eid) with
+          | Resolve.Rslot (i, ty) ->
+              { laddr = ctx.cur_slots.(i); lty = ty; lnamed = true }
+          | Resolve.Rglobal (i, ty) ->
+              { laddr = ctx.global_addrs.(i); lty = ty; lnamed = true }
+          | Resolve.Runbound n -> error "undefined variable %s" n
+          | Resolve.Rnone -> error "undefined variable %s" name)
+      | None ->
+          let v = find_var ctx name in
+          { laddr = v.vaddr; lty = v.vty; lnamed = true })
   | Index (base, idx) -> (
       let b = eval ctx base in
       let i = as_int (eval ctx idx) in
@@ -328,30 +355,52 @@ and call ctx fname args call_site =
   | Some f ->
       if List.length argv <> List.length f.params then
         error "arity mismatch calling %s" fname;
+      let fast = ctx.res <> None in
       let frame =
         {
-          scopes = [ Hashtbl.create 8 ];
-          slots = Hashtbl.create 8;
+          scopes = (if fast then [] else [ Hashtbl.create 8 ]);
+          slots_tbl = (if fast then None else Some (Hashtbl.create 8));
+          prev_slots = ctx.cur_slots;
           saved_sp = Layout.sp ctx.layout;
         }
       in
+      let slots =
+        match ctx.res with
+        | Some r ->
+            let n =
+              match Hashtbl.find_opt r.Resolve.fun_nslots f.fname with
+              | Some n -> n
+              | None -> List.length f.params
+            in
+            Array.make (max n 1) (-1)
+        | None -> ctx.cur_slots
+      in
       (* Store arguments into the callee frame ("placing arguments to the
          stack"); these stores are real memory traffic. *)
+      let slot = ref 0 in
       List.iter2
         (fun (pty, pname) v ->
           let size = sizeof pty in
           let addr = Layout.alloc_stack ctx.layout ~size ~align:(align_of pty) in
-          (match List.nth_opt frame.scopes 0 with
-          | Some scope -> Hashtbl.replace scope pname { vaddr = addr; vty = pty }
-          | None -> assert false);
+          (if fast then begin
+             slots.(!slot) <- addr;
+             incr slot
+           end
+           else
+             match List.nth_opt frame.scopes 0 with
+             | Some scope ->
+                 Hashtbl.replace scope pname { vaddr = addr; vty = pty }
+             | None -> assert false);
           store_raw ctx addr pty (coerce pty v);
           if ctx.cfg.trace_scalars then
             emit_access ctx ~site:call_site ~addr ~write:true ~sys:false
               ~width:(width_of pty))
         f.params argv;
       ctx.frames <- frame :: ctx.frames;
+      ctx.cur_slots <- slots;
       let finish () =
         ctx.frames <- List.tl ctx.frames;
+        ctx.cur_slots <- frame.prev_slots;
         Layout.restore_sp ctx.layout frame.saved_sp
       in
       let res =
@@ -373,15 +422,21 @@ and call_catch ctx fname args site =
   try call ctx fname args site with Ret v -> v
 
 and exec_block ctx stmts =
-  let frame = List.hd ctx.frames in
-  let scope = Hashtbl.create 4 in
-  frame.scopes <- scope :: frame.scopes;
-  let pop () = frame.scopes <- List.tl frame.scopes in
-  (try List.iter (exec_stmt ctx) stmts
-   with exn ->
-     pop ();
-     raise exn);
-  pop ()
+  (* Fast path: names are pre-resolved to frame slots, so no dynamic scope
+     needs to be pushed — the single biggest saving of the resolver, since
+     the reference path allocates a hashtable per loop-body iteration. *)
+  if ctx.res <> None then List.iter (exec_stmt ctx) stmts
+  else begin
+    let frame = List.hd ctx.frames in
+    let scope = Hashtbl.create 4 in
+    frame.scopes <- scope :: frame.scopes;
+    let pop () = frame.scopes <- List.tl frame.scopes in
+    (try List.iter (exec_stmt ctx) stmts
+     with exn ->
+       pop ();
+       raise exn);
+    pop ()
+  end
 
 and tick ctx =
   ctx.steps <- ctx.steps + 1;
@@ -395,7 +450,7 @@ and exec_stmt ctx st =
   | Sif (c, a, b) ->
       if truthy (eval_full ctx c) then exec_block ctx a else exec_block ctx b
   | Sfor (init, cond, step, body) ->
-      Option.iter (fun e -> ignore (eval_full ctx e)) init;
+      (match init with None -> () | Some e -> ignore (eval_full ctx e));
       let continue_loop = ref true in
       while !continue_loop do
         tick ctx;
@@ -409,7 +464,7 @@ and exec_stmt ctx st =
               continue_loop := false
           | Cont -> ());
           if !continue_loop then
-            Option.iter (fun e -> ignore (eval_full ctx e)) step
+            match step with None -> () | Some e -> ignore (eval_full ctx e)
         end
       done
   | Swhile (c, body) ->
@@ -470,20 +525,39 @@ and exec_stmt ctx st =
 and eval_full ctx e = try eval ctx e with Ret v -> v
 
 and exec_decl ctx sid ty name init =
-  let frame = List.hd ctx.frames in
   let addr =
-    match Hashtbl.find_opt frame.slots sid with
-    | Some a -> a
-    | None ->
-        let a =
-          Layout.alloc_stack ctx.layout ~size:(sizeof ty) ~align:(align_of ty)
+    match ctx.res with
+    | Some r ->
+        let slot = r.Resolve.decl_slots.(sid) in
+        let a = ctx.cur_slots.(slot) in
+        if a >= 0 then a
+        else begin
+          let a =
+            Layout.alloc_stack ctx.layout ~size:(sizeof ty)
+              ~align:(align_of ty)
+          in
+          ctx.cur_slots.(slot) <- a;
+          a
+        end
+    | None -> (
+        let frame = List.hd ctx.frames in
+        let slots_tbl = Option.get frame.slots_tbl in
+        let addr =
+          match Hashtbl.find_opt slots_tbl sid with
+          | Some a -> a
+          | None ->
+              let a =
+                Layout.alloc_stack ctx.layout ~size:(sizeof ty)
+                  ~align:(align_of ty)
+              in
+              Hashtbl.add slots_tbl sid a;
+              a
         in
-        Hashtbl.add frame.slots sid a;
-        a
+        (match frame.scopes with
+        | scope :: _ -> Hashtbl.replace scope name { vaddr = addr; vty = ty }
+        | [] -> assert false);
+        addr)
   in
-  (match frame.scopes with
-  | scope :: _ -> Hashtbl.replace scope name { vaddr = addr; vty = ty }
-  | [] -> assert false);
   match init with
   | None -> ()
   | Some (Iexpr e) ->
@@ -514,14 +588,19 @@ and init_array ctx site addr ty vals =
 (* ------------------------------------------------------------------ *)
 
 let run ?(config = default_config) (prog : program) ~sink =
+  let res = if config.resolve then Resolve.program prog else None in
+  let n_globals = match res with Some r -> r.Resolve.n_globals | None -> 0 in
   let ctx =
     {
       cfg = config;
+      res;
       mem = Memory.create ();
       layout = Layout.create ();
       globals = Hashtbl.create 32;
+      global_addrs = Array.make (max n_globals 1) 0;
       funcs = Hashtbl.create 16;
       sink;
+      cur_slots = [||];
       frames = [];
       steps = 0;
       accesses = 0;
@@ -530,6 +609,7 @@ let run ?(config = default_config) (prog : program) ~sink =
     }
   in
   (* Allocate globals first so initializers may reference earlier ones. *)
+  let gi = ref 0 in
   List.iter
     (function
       | Gvar (ty, name, _) ->
@@ -537,7 +617,9 @@ let run ?(config = default_config) (prog : program) ~sink =
             Layout.alloc_global ctx.layout ~size:(sizeof ty)
               ~align:(align_of ty)
           in
-          Hashtbl.replace ctx.globals name { vaddr = addr; vty = ty }
+          Hashtbl.replace ctx.globals name { vaddr = addr; vty = ty };
+          if !gi < n_globals then ctx.global_addrs.(!gi) <- addr;
+          incr gi
       | Gfunc f -> Hashtbl.replace ctx.funcs f.fname f)
     prog.globals;
   (* Run global initializers through a silent copy of the context: startup

@@ -27,6 +27,12 @@ type config = {
   trace_scalars : bool;  (** emit events for named scalar accesses *)
   max_steps : int;  (** statement budget; exceeded -> [Runtime_error] *)
   rand_seed : int;  (** seed of the [mc_rand] builtin *)
+  resolve : bool;
+      (** pre-resolve identifiers to frame slots ({!Minic.Resolve}) and
+          index flat [int array] frames instead of walking hashtable scope
+          chains. Default [true]; [false] keeps the original string-lookup
+          path (the observable behaviour — results and event streams — is
+          identical, only speed differs). *)
 }
 
 val default_config : config

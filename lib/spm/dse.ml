@@ -90,9 +90,11 @@ let select_greedy cands ~spm_bytes =
 
 let default_sizes = [ 256; 512; 1024; 2048; 4096; 8192; 16384 ]
 
-let sweep ?(sizes = default_sizes) model =
+let sweep ?(sizes = default_sizes) ?(jobs = 1) model =
   let cands = Reuse.candidates model in
-  List.map (fun s -> (s, select_optimal cands ~spm_bytes:s)) sizes
+  Foray_util.Parallel.map ~jobs
+    (fun s -> (s, select_optimal cands ~spm_bytes:s))
+    sizes
 
 let pp_selection fmt s =
   Format.fprintf fmt

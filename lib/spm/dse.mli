@@ -24,9 +24,11 @@ val select_optimal : Reuse.candidate list -> spm_bytes:int -> selection
     when they fit and their group is still free. *)
 val select_greedy : Reuse.candidate list -> spm_bytes:int -> selection
 
-(** [sweep ?sizes model] runs optimal selection for each SPM size
-    (default 256 B .. 16 KiB in powers of two). *)
+(** [sweep ?sizes ?jobs model] runs optimal selection for each SPM size
+    (default 256 B .. 16 KiB in powers of two). [jobs] (default 1) solves
+    the per-size knapsacks on a {!Foray_util.Parallel} pool; the result
+    list keeps [sizes] order regardless. *)
 val sweep :
-  ?sizes:int list -> Foray_core.Model.t -> (int * selection) list
+  ?sizes:int list -> ?jobs:int -> Foray_core.Model.t -> (int * selection) list
 
 val pp_selection : Format.formatter -> selection -> unit

@@ -79,22 +79,33 @@ let decode ic =
 
 (* --- writers ---------------------------------------------------------- *)
 
+(* Events accumulate in one persistent buffer that is blitted to the
+   channel only when it passes [chunk] bytes — no per-event string
+   allocation and no per-event channel call. [close] flushes the tail. *)
+let chunk = 64 * 1024
+
 let sink_to_file ~format path =
   let oc = Out_channel.open_bin path in
   (match format with
   | Binary -> Out_channel.output_string oc magic
   | Text -> ());
-  let buf = Buffer.create 64 in
+  let buf = Buffer.create (2 * chunk) in
+  let flush () =
+    Buffer.output_buffer oc buf;
+    Buffer.clear buf
+  in
   let sink e =
-    Buffer.clear buf;
     (match format with
     | Text ->
         Buffer.add_string buf (Event.to_line e);
         Buffer.add_char buf '\n'
     | Binary -> encode buf e);
-    Out_channel.output_string oc (Buffer.contents buf)
+    if Buffer.length buf >= chunk then flush ()
   in
-  (sink, fun () -> Out_channel.close oc)
+  ( sink,
+    fun () ->
+      flush ();
+      Out_channel.close oc )
 
 let save ~format path events =
   let sink, close = sink_to_file ~format path in

@@ -17,26 +17,30 @@ type cell = {
   mutable sys : bool;
 }
 
-type t = (int, cell) Hashtbl.t
+(* [total] is the union footprint over all sites, maintained incrementally
+   in the sink (one O(log n) add_range per event) so [total_footprint] does
+   not have to union every per-site set on each call. *)
+type t = { cells : (int, cell) Hashtbl.t; mutable total : Iset.t }
 
-let create () : t = Hashtbl.create 256
+let create () = { cells = Hashtbl.create 256; total = Iset.empty }
 
 let sink (t : t) : Event.sink = function
   | Event.Checkpoint _ -> ()
   | Event.Access { site; addr; write; sys; width } ->
       let cell =
-        match Hashtbl.find_opt t site with
+        match Hashtbl.find_opt t.cells site with
         | Some c -> c
         | None ->
             let c =
               { accesses = 0; reads = 0; writes = 0; footprint = Iset.empty; sys }
             in
-            Hashtbl.add t site c;
+            Hashtbl.add t.cells site c;
             c
       in
       cell.accesses <- cell.accesses + 1;
       if write then cell.writes <- cell.writes + 1 else cell.reads <- cell.reads + 1;
       cell.footprint <- Iset.add_range addr (addr + width) cell.footprint;
+      t.total <- Iset.add_range addr (addr + width) t.total;
       if sys then cell.sys <- true
 
 let sites (t : t) =
@@ -51,17 +55,15 @@ let sites (t : t) =
         sys = c.sys;
       }
       :: acc)
-    t []
+    t.cells []
   |> List.sort (fun a b -> compare a.site b.site)
 
-let n_sites t = Hashtbl.length t
+let n_sites t = Hashtbl.length t.cells
 
 let total_accesses t =
-  Hashtbl.fold (fun _ (c : cell) acc -> acc + c.accesses) t 0
+  Hashtbl.fold (fun _ (c : cell) acc -> acc + c.accesses) t.cells 0
 
-let total_footprint t =
-  Iset.cardinal
-    (Hashtbl.fold (fun _ (c : cell) acc -> Iset.union acc c.footprint) t Iset.empty)
+let total_footprint t = Iset.cardinal t.total
 
 let group t ~classify =
   let tbl = Hashtbl.create 8 in

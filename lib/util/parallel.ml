@@ -1,0 +1,35 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'b outcome = Pending | Done of 'b | Failed of exn
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (results.(i) <-
+           (match f input.(i) with v -> Done v | exception e -> Failed e));
+        worker ()
+      end
+    in
+    let spawned =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    (* Every slot is filled once all domains joined; re-raise the earliest
+       failure so error behaviour is deterministic too. *)
+    Array.iter (function Failed e -> raise e | _ -> ()) results;
+    Array.to_list
+      (Array.map
+         (function Done v -> v | Pending | Failed _ -> assert false)
+         results)
+  end
+
+let run ?jobs tasks = map ?jobs (fun task -> task ()) tasks

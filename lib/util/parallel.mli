@@ -1,0 +1,30 @@
+(** A small domain pool for fanning out independent experiment runs.
+
+    The benchmark suite, the ablations and the CLI verbs all map an
+    expensive pure-ish function (parse + simulate + analyze) over an
+    independent list of inputs. [map] distributes those tasks over OCaml 5
+    domains while keeping the contract callers rely on:
+
+    - {b deterministic ordering}: the result list matches the input list
+      element-for-element, whatever order tasks finished in, so rendered
+      tables are byte-identical to a serial run;
+    - {b serial fallback}: [jobs <= 1] (or a single task) runs everything
+      in the calling domain with no spawns at all — exactly the historical
+      behaviour;
+    - {b exception propagation}: if tasks raise, the exception of the
+      earliest-indexed failing task is re-raised in the caller after all
+      domains joined (no orphan domains, no lost results).
+
+    Tasks are pulled from a shared atomic counter, so uneven task costs
+    (jpeg simulates an order of magnitude longer than adpcm) balance
+    automatically across the pool. *)
+
+(** [Domain.recommended_domain_count ()], the default pool width. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f xs] is [List.map f xs] computed by up to [jobs] domains
+    (the calling domain included). [jobs] defaults to {!default_jobs}. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [run ~jobs tasks] forces a list of thunks, pool semantics as {!map}. *)
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list

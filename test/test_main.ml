@@ -26,4 +26,6 @@ let () =
       ("treedump", Test_treedump.tests);
       ("misc", Test_misc.tests);
       ("report", Test_report.tests);
+      ("resolve", Test_resolve.tests);
+      ("parallel", Test_parallel.tests);
     ]

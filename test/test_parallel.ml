@@ -1,0 +1,123 @@
+(* Foray_util.Parallel: the Domain pool behind -j. Results must keep input
+   order whatever the interleaving, exceptions must propagate, and
+   consumers (the report tables) must render byte-identically for any job
+   count. *)
+
+module Parallel = Foray_util.Parallel
+
+let t_ordering_more_tasks_than_domains () =
+  (* 50 tasks on 3 domains: every domain pulls many indices; the result
+     list must still be the input order *)
+  let xs = List.init 50 Fun.id in
+  let got = Parallel.map ~jobs:3 (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "squares in order" (List.map (fun x -> x * x) xs)
+    got
+
+let t_serial_fallback () =
+  let xs = [ 5; 4; 3 ] in
+  Alcotest.(check (list int))
+    "jobs:1 = List.map" (List.map succ xs)
+    (Parallel.map ~jobs:1 succ xs);
+  Alcotest.(check (list int)) "empty input" [] (Parallel.map ~jobs:4 succ []);
+  Alcotest.(check (list int))
+    "singleton input" [ 6 ]
+    (Parallel.map ~jobs:4 succ [ 5 ])
+
+let t_uneven_work () =
+  (* make late indices cheap and early ones expensive so domains finish
+     out of submission order *)
+  let xs = List.init 24 (fun i -> 24 - i) in
+  let work n =
+    let acc = ref 0 in
+    for i = 1 to n * 100_000 do
+      acc := !acc + (i land 7)
+    done;
+    (n, !acc)
+  in
+  let got = Parallel.map ~jobs:4 work xs in
+  Alcotest.(check (list int)) "first components keep order" xs
+    (List.map fst got)
+
+exception Boom of int
+
+let t_exception_propagates () =
+  let xs = List.init 20 Fun.id in
+  match Parallel.map ~jobs:4 (fun x -> if x = 7 then raise (Boom x) else x) xs
+  with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 7 -> ()
+
+let t_earliest_exception_wins () =
+  (* several tasks fail; the re-raised one must be the earliest index so
+     failures are deterministic across schedules *)
+  let xs = List.init 30 Fun.id in
+  match
+    Parallel.map ~jobs:4 (fun x -> if x mod 10 = 3 then raise (Boom x) else x) xs
+  with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom n -> Alcotest.(check int) "earliest failing index" 3 n
+
+let t_run () =
+  let got = Parallel.run ~jobs:2 [ (fun () -> "a"); (fun () -> "b") ] in
+  Alcotest.(check (list string)) "thunks in order" [ "a"; "b" ] got
+
+let t_default_jobs () =
+  Alcotest.(check bool) "at least one domain" true (Parallel.default_jobs () >= 1)
+
+(* -- consumers: parallel fan-out must not change rendered output ------- *)
+
+let render_tables ~jobs =
+  let reports = Foray_report.Report.report_all ~jobs () in
+  String.concat "\n"
+    [
+      Foray_report.Report.table1 reports;
+      Foray_report.Report.table2 reports;
+      Foray_report.Report.table3 reports;
+      Foray_report.Report.headline reports;
+    ]
+
+let t_tables_byte_identical () =
+  Alcotest.(check string)
+    "tables -j 4 == -j 1" (render_tables ~jobs:1) (render_tables ~jobs:4)
+
+let t_stability_jobs_identical () =
+  let prog =
+    Minic.Parser.program (Option.get (Foray_suite.Suite.find "adpcm")).source
+  in
+  let a = Foray_core.Stability.study ~jobs:1 ~seeds:[ 1; 2; 3; 4 ] prog in
+  let b = Foray_core.Stability.study ~jobs:4 ~seeds:[ 1; 2; 3; 4 ] prog in
+  Alcotest.(check string)
+    "stability report identical"
+    (Foray_core.Stability.to_string a)
+    (Foray_core.Stability.to_string b)
+
+let t_sweep_jobs_identical () =
+  let r =
+    Foray_core.Pipeline.run_source (Option.get (Foray_suite.Suite.find "gsm")).source
+  in
+  let show sel =
+    Format.asprintf "%a" Foray_spm.Dse.pp_selection sel
+  in
+  let a = List.map (fun (_, s) -> show s) (Foray_spm.Dse.sweep ~jobs:1 r.model) in
+  let b = List.map (fun (_, s) -> show s) (Foray_spm.Dse.sweep ~jobs:4 r.model) in
+  Alcotest.(check (list string)) "DSE sweep identical" a b
+
+let tests =
+  [
+    Alcotest.test_case "ordering, more tasks than domains" `Quick
+      t_ordering_more_tasks_than_domains;
+    Alcotest.test_case "serial fallback and small inputs" `Quick
+      t_serial_fallback;
+    Alcotest.test_case "uneven work keeps order" `Quick t_uneven_work;
+    Alcotest.test_case "exception propagates" `Quick t_exception_propagates;
+    Alcotest.test_case "earliest exception wins" `Quick
+      t_earliest_exception_wins;
+    Alcotest.test_case "run thunks" `Quick t_run;
+    Alcotest.test_case "default_jobs sane" `Quick t_default_jobs;
+    Alcotest.test_case "tables byte-identical across -j" `Slow
+      t_tables_byte_identical;
+    Alcotest.test_case "stability identical across jobs" `Quick
+      t_stability_jobs_identical;
+    Alcotest.test_case "DSE sweep identical across jobs" `Quick
+      t_sweep_jobs_identical;
+  ]
