@@ -7,9 +7,11 @@
      trace     - print the profile trace (Figure 4(c))
      tables    - print Tables I / II / III and the headline comparison
      spm       - reuse candidates, DSE sweep and transformed model
+     metrics   - run the full flow with counters on, print/check them
 *)
 
 open Cmdliner
+module Obs = Foray_obs.Obs
 
 let load_source name_or_path =
   match Foray_suite.Suite.find name_or_path with
@@ -62,8 +64,54 @@ let jobs_arg =
     & opt int (Foray_util.Parallel.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Collect internal counters during the run and write them as JSON to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Enable observability collection around [f] and dump the registry to
+   [path] afterwards — even if [f] raises, so a crashed run still leaves
+   its partial counters behind for inspection. *)
+let with_metrics path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+      Obs.reset ();
+      Obs.set_enabled true;
+      let finish () =
+        Obs.set_enabled false;
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Obs.to_json ());
+            output_char oc '\n');
+        Printf.eprintf "metrics written to %s\n%!" path
+      in
+      Fun.protect ~finally:finish f
+
 let config_of scalars =
   { Minic_sim.Interp.default_config with trace_scalars = scalars }
+
+(* Simulate a named program into a fresh binary trace file and hand the
+   path to [k]; the temporary is removed afterwards. Exercises the whole
+   write+read trace path rather than an in-memory sink. *)
+let with_simulated_trace ~scalars src k =
+  let p = Minic.Parser.program src in
+  Minic.Sema.check_exn p;
+  let instrumented = Foray_instrument.Annotate.program p in
+  let tmp = Filename.temp_file "foraygen" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Foray_trace.Tracefile.with_sink ~format:Foray_trace.Tracefile.Binary tmp
+        (fun sink ->
+          ignore
+            (Minic_sim.Interp.run ~config:(config_of scalars) instrumented
+               ~sink));
+      k tmp)
 
 let run_pipeline src ~nexec ~nloc ~scalars =
   let thresholds = Foray_core.Filter.{ nexec; nloc } in
@@ -92,20 +140,21 @@ let list_cmd =
 (* ---- extract -------------------------------------------------------- *)
 
 let extract_cmd =
-  let run prog nexec nloc scalars show_hints =
+  let run prog nexec nloc scalars show_hints metrics =
     match load_source prog with
     | Error e ->
         prerr_endline e;
         1
     | Ok src ->
-        let r = run_pipeline src ~nexec ~nloc ~scalars in
-        print_string (Foray_core.Model.to_c r.model);
-        if show_hints then begin
-          print_newline ();
-          print_string
-            (Foray_core.Hints.to_string (Foray_core.Pipeline.hints r))
-        end;
-        0
+        with_metrics metrics (fun () ->
+            let r = run_pipeline src ~nexec ~nloc ~scalars in
+            print_string (Foray_core.Model.to_c r.model);
+            if show_hints then begin
+              print_newline ();
+              print_string
+                (Foray_core.Hints.to_string (Foray_core.Pipeline.hints r))
+            end;
+            0)
   in
   let hints_arg =
     Arg.(value & flag & info [ "hints" ] ~doc:"Also print duplication hints.")
@@ -113,7 +162,9 @@ let extract_cmd =
   Cmd.v
     (Cmd.info "extract"
        ~doc:"Run FORAY-GEN and print the extracted FORAY model")
-    Term.(const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ hints_arg)
+    Term.(
+      const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ hints_arg
+      $ metrics_arg)
 
 (* ---- annotate ------------------------------------------------------- *)
 
@@ -137,47 +188,46 @@ let annotate_cmd =
 (* ---- trace ---------------------------------------------------------- *)
 
 let trace_cmd =
-  let run prog limit scalars out format =
+  let run prog limit scalars out format metrics =
     match load_source prog with
     | Error e ->
         prerr_endline e;
         1
-    | Ok src -> (
-        let p = Minic.Parser.program src in
-        Minic.Sema.check_exn p;
-        let instrumented = Foray_instrument.Annotate.program p in
-        match out with
-        | Some path ->
-            let format =
-              match format with
-              | "binary" -> Foray_trace.Tracefile.Binary
-              | _ -> Foray_trace.Tracefile.Text
-            in
-            let sink, close = Foray_trace.Tracefile.sink_to_file ~format path in
-            let n = ref 0 in
-            let sink e = incr n; sink e in
-            let _ =
-              Minic_sim.Interp.run ~config:(config_of scalars) instrumented
-                ~sink
-            in
-            close ();
-            Printf.printf "wrote %d events to %s\n" !n path;
-            0
-        | None ->
-            let printed = ref 0 in
-            let sink e =
-              if !printed < limit then begin
-                print_endline (Foray_trace.Event.to_line e);
-                incr printed
-              end
-            in
-            let _ =
-              Minic_sim.Interp.run ~config:(config_of scalars) instrumented
-                ~sink
-            in
-            if !printed >= limit then
-              Printf.printf "... (truncated at %d events)\n" limit;
-            0)
+    | Ok src ->
+        with_metrics metrics (fun () ->
+            let p = Minic.Parser.program src in
+            Minic.Sema.check_exn p;
+            let instrumented = Foray_instrument.Annotate.program p in
+            match out with
+            | Some path ->
+                let format =
+                  match format with
+                  | "binary" -> Foray_trace.Tracefile.Binary
+                  | _ -> Foray_trace.Tracefile.Text
+                in
+                let n = ref 0 in
+                Foray_trace.Tracefile.with_sink ~format path (fun sink ->
+                    let sink e = incr n; sink e in
+                    ignore
+                      (Minic_sim.Interp.run ~config:(config_of scalars)
+                         instrumented ~sink));
+                Printf.printf "wrote %d events to %s\n" !n path;
+                0
+            | None ->
+                let printed = ref 0 in
+                let sink e =
+                  if !printed < limit then begin
+                    print_endline (Foray_trace.Event.to_line e);
+                    incr printed
+                  end
+                in
+                let _ =
+                  Minic_sim.Interp.run ~config:(config_of scalars) instrumented
+                    ~sink
+                in
+                if !printed >= limit then
+                  Printf.printf "... (truncated at %d events)\n" limit;
+                0)
   in
   let limit_arg =
     Arg.(value & opt int 200 & info [ "limit" ] ~doc:"Maximum events to print.")
@@ -195,32 +245,53 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Print or save the profile trace (Step 2)")
-    Term.(const run $ prog_arg $ limit_arg $ scalars_arg $ out_arg $ format_arg)
+    Term.(
+      const run $ prog_arg $ limit_arg $ scalars_arg $ out_arg $ format_arg
+      $ metrics_arg)
 
 (* ---- analyze (trace file -> model) ---------------------------------- *)
 
 let analyze_cmd =
-  let run path nexec nloc =
-    if not (Sys.file_exists path) then begin
-      Printf.eprintf "no such trace file: %s\n" path;
-      1
-    end
-    else begin
+  let run target nexec nloc scalars metrics =
+    let analyze_file path =
       let tree = Foray_core.Looptree.create () in
       Foray_trace.Tracefile.iter path (Foray_core.Looptree.sink tree);
+      Foray_core.Looptree.flush_metrics tree;
       let thresholds = Foray_core.Filter.{ nexec; nloc } in
       let model = Foray_core.Model.of_tree ~thresholds tree in
-      print_string (Foray_core.Model.to_c model);
-      0
-    end
+      print_string (Foray_core.Model.to_c model)
+    in
+    with_metrics metrics (fun () ->
+        if Sys.file_exists target then begin
+          analyze_file target;
+          0
+        end
+        else
+          match load_source target with
+          | Error _ ->
+              Printf.eprintf
+                "no such trace file (or benchmark/figure name): %s\n" target;
+              1
+          | Ok src ->
+              (* A benchmark or figure name: simulate it to a temporary
+                 binary trace first, then analyze that file. *)
+              with_simulated_trace ~scalars src (fun tmp ->
+                  analyze_file tmp;
+                  0))
   in
   let path_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file (text or binary, auto-detected).")
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Trace file (text or binary, auto-detected), or a \
+             benchmark/figure name to simulate and analyze in one go.")
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run Steps 3-4 on a stored trace file and print the model")
-    Term.(const run $ path_arg $ nexec_arg $ nloc_arg)
+    Term.(const run $ path_arg $ nexec_arg $ nloc_arg $ scalars_arg $ metrics_arg)
 
 (* ---- tree ------------------------------------------------------------ *)
 
@@ -406,6 +477,98 @@ let spm_cmd =
       const run $ prog_arg $ nexec_arg $ nloc_arg $ size_arg $ transformed_arg
       $ fuse_arg $ jobs_arg)
 
+(* ---- metrics -------------------------------------------------------- *)
+
+let metrics_cmd =
+  let run prog nexec nloc scalars out check verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    match load_source prog with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src ->
+        Obs.reset ();
+        Obs.set_enabled true;
+        with_simulated_trace ~scalars src (fun tmp ->
+            let tree = Foray_core.Looptree.create () in
+            let tstats = Foray_trace.Tstats.create () in
+            let sink =
+              Foray_trace.Event.tee
+                (Foray_core.Looptree.sink tree)
+                (Foray_trace.Tstats.sink tstats)
+            in
+            Foray_trace.Tracefile.iter tmp sink;
+            Foray_core.Looptree.flush_metrics tree;
+            let thresholds = Foray_core.Filter.{ nexec; nloc } in
+            ignore (Foray_core.Model.of_tree ~thresholds tree));
+        Obs.set_enabled false;
+        print_string (Obs.to_table ());
+        (match out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Obs.to_json ());
+                output_char oc '\n');
+            Printf.eprintf "metrics written to %s\n%!" path);
+        if check then begin
+          (* The counters every healthy end-to-end run must move. *)
+          let required =
+            [ "interp.steps"; "interp.accesses"; "trace.events_written";
+              "trace.events_read"; "looptree.nodes"; "infer.refs_seen" ]
+          in
+          let missing =
+            List.filter
+              (fun name ->
+                match Obs.value name with
+                | Some v -> v <= 0
+                | None -> true)
+              required
+          in
+          if missing = [] then 0
+          else begin
+            Printf.eprintf "metrics check FAILED; missing or zero: %s\n"
+              (String.concat ", " missing);
+            1
+          end
+        end
+        else 0
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Also write the metrics as JSON to $(docv).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit non-zero unless every pipeline stage reported activity \
+             (simulation, trace I/O, loop tree, inference).")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Print structured observability events to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the full simulate-trace-analyze flow with counters enabled \
+          and report them")
+    Term.(
+      const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ out_arg
+      $ check_arg $ verbose_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -419,4 +582,4 @@ let () =
        (Cmd.group info
           [ list_cmd; extract_cmd; annotate_cmd; trace_cmd; analyze_cmd;
             tree_cmd; validate_cmd; stability_cmd; compare_cmd; tables_cmd;
-            spm_cmd ]))
+            spm_cmd; metrics_cmd ]))

@@ -1,3 +1,5 @@
+module Obs = Foray_obs.Obs
+
 type policy = Lru | Fifo
 
 type config = {
@@ -14,6 +16,7 @@ type stats = {
   accesses : int;
   hits : int;
   misses : int;
+  line_fills : int;
   evictions : int;
   writebacks : int;
 }
@@ -32,6 +35,7 @@ type t = {
   mutable accesses : int;
   mutable hits : int;
   mutable misses : int;
+  mutable line_fills : int;
   mutable evictions : int;
   mutable writebacks : int;
 }
@@ -65,6 +69,7 @@ let create cfg =
     accesses = 0;
     hits = 0;
     misses = 0;
+    line_fills = 0;
     evictions = 0;
     writebacks = 0;
   }
@@ -82,12 +87,11 @@ let access_line t line write =
       None set
   with
   | Some w ->
-      t.hits <- t.hits + 1;
       if write then w.dirty <- true;
       if t.cfg.policy = Lru then w.stamp <- t.clock;
       true
   | None ->
-      t.misses <- t.misses + 1;
+      t.line_fills <- t.line_fills + 1;
       (* victim: invalid way if any, else smallest stamp *)
       let victim =
         let inv = Array.fold_left (fun acc w -> if (not w.valid) && acc = None then Some w else acc) None set in
@@ -108,6 +112,11 @@ let access_line t line write =
       victim.stamp <- t.clock;
       false
 
+(* One access is one hit or one miss, whatever its width: an access that
+   straddles a line boundary and misses either line counts as a single
+   miss (the per-line traffic is still visible as [line_fills]). This
+   keeps the invariant [hits + misses = accesses] that [hit_rate] and the
+   energy model rely on. *)
 let access t ~addr ~width ~write =
   t.accesses <- t.accesses + 1;
   let first = addr lsr t.line_bits in
@@ -116,6 +125,7 @@ let access t ~addr ~width ~write =
   for line = first to last do
     if not (access_line t line write) then hit := false
   done;
+  if !hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
   !hit
 
 let stats t =
@@ -123,6 +133,7 @@ let stats t =
     accesses = t.accesses;
     hits = t.hits;
     misses = t.misses;
+    line_fills = t.line_fills;
     evictions = t.evictions;
     writebacks = t.writebacks;
   }
@@ -130,8 +141,19 @@ let stats t =
 let config t = t.cfg
 
 let hit_rate t =
-  let total = t.hits + t.misses in
-  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+  if t.accesses = 0 then 0.0
+  else float_of_int t.hits /. float_of_int t.accesses
+
+let flush_metrics ?(label = "l1") t =
+  if Obs.enabled () then begin
+    let labels = [ ("cache", label) ] in
+    Obs.add (Obs.counter ~labels "cachesim.accesses") t.accesses;
+    Obs.add (Obs.counter ~labels "cachesim.hits") t.hits;
+    Obs.add (Obs.counter ~labels "cachesim.misses") t.misses;
+    Obs.add (Obs.counter ~labels "cachesim.line_fills") t.line_fills;
+    Obs.add (Obs.counter ~labels "cachesim.evictions") t.evictions;
+    Obs.add (Obs.counter ~labels "cachesim.writebacks") t.writebacks
+  end
 
 let sink t : Foray_trace.Event.sink = function
   | Foray_trace.Event.Checkpoint _ -> ()

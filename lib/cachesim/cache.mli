@@ -8,7 +8,10 @@
     table (see [bench/main.exe]).
 
     Write-allocate, write-back, with LRU or FIFO replacement. Accesses that
-    straddle a line boundary touch both lines. *)
+    straddle a line boundary touch both lines, but still count as one
+    access and one hit-or-miss, so [hits + misses = accesses] always
+    holds; per-line fill traffic is reported separately as [line_fills]
+    (what the energy model charges line transfers for). *)
 
 type policy = Lru | Fifo
 
@@ -24,8 +27,9 @@ val default_config : config
 
 type stats = {
   accesses : int;
-  hits : int;
-  misses : int;
+  hits : int;  (** accesses whose every touched line was resident *)
+  misses : int;  (** accesses with at least one non-resident line *)
+  line_fills : int;  (** lines brought in from the next level *)
   evictions : int;
   writebacks : int;  (** dirty evictions *)
 }
@@ -51,3 +55,8 @@ val sink : t -> Foray_trace.Event.sink
 
 (** [lines t] is the number of lines the cache holds. *)
 val lines : t -> int
+
+(** [flush_metrics ?label t] adds the current stats to the global
+    {!Foray_obs.Obs} registry as [cachesim.*{cache=label}] counters
+    (default label ["l1"]). No-op while collection is disabled. *)
+val flush_metrics : ?label:string -> t -> unit

@@ -1,5 +1,6 @@
 module Event = Foray_trace.Event
 module Iset = Foray_util.Iset
+module Obs = Foray_obs.Obs
 
 type node = {
   uid : int;
@@ -33,6 +34,8 @@ type t = {
   ref_tbl : (int * int, refinfo) Hashtbl.t;
   node_tbl : (int * int, node) Hashtbl.t;
   mutable n_nodes : int;
+  mutable max_depth : int;
+  mutable mismatches : int;  (* checkpoints that found no matching node *)
 }
 
 let mk_node ~uid ~lid ~depth ~parent =
@@ -59,6 +62,8 @@ let create () =
     ref_tbl = Hashtbl.create 256;
     node_tbl = Hashtbl.create 64;
     n_nodes = 0;
+    max_depth = 0;
+    mismatches = 0;
   }
 
 let record_trip n =
@@ -93,6 +98,7 @@ let enter t lid =
         t.cur.children <- t.cur.children @ [ n ];
         Hashtbl.add t.node_tbl key n;
         t.n_nodes <- t.n_nodes + 1;
+        if n.depth > t.max_depth then t.max_depth <- n.depth;
         n
   in
   n.iter <- -1;
@@ -149,8 +155,14 @@ let sink t : Event.sink = function
       | Event.Body_enter ->
           pop_to t loop;
           if t.cur.lid = loop then t.cur.iter <- t.cur.iter + 1
-          else enter t loop (* defensive: body without a preceding enter *)
-      | Event.Body_exit -> pop_to t loop
+          else begin
+            (* defensive: body without a preceding enter *)
+            t.mismatches <- t.mismatches + 1;
+            enter t loop
+          end
+      | Event.Body_exit ->
+          pop_to t loop;
+          if t.cur.lid <> loop then t.mismatches <- t.mismatches + 1
       | Event.Loop_exit ->
           pop_to t loop;
           if t.cur.lid = loop then begin
@@ -158,7 +170,8 @@ let sink t : Event.sink = function
             match t.cur.parent with
             | Some p -> t.cur <- p
             | None -> ()
-          end)
+          end
+          else t.mismatches <- t.mismatches + 1)
 
 let root t = t.root
 
@@ -180,3 +193,16 @@ let rec path n =
   match n.parent with None -> [] | Some p -> path p @ [ n.lid ]
 
 let n_nodes t = t.n_nodes
+let max_depth t = t.max_depth
+let mismatches t = t.mismatches
+
+let m_nodes = Obs.gauge "looptree.nodes"
+let m_depth = Obs.gauge "looptree.max_depth"
+let m_mismatches = Obs.counter "looptree.checkpoint_mismatches"
+
+let flush_metrics t =
+  if Obs.enabled () then begin
+    Obs.set_max m_nodes t.n_nodes;
+    Obs.set_max m_depth t.max_depth;
+    Obs.add m_mismatches t.mismatches
+  end

@@ -64,3 +64,18 @@ val path : node -> int list
 
 (** Number of loop nodes (excluding the root). *)
 val n_nodes : t -> int
+
+(** Deepest nesting level seen (0 for an empty tree). *)
+val max_depth : t -> int
+
+(** Checkpoints whose loop id matched no live node — a body or exit for a
+    loop the walker never saw entered. A well-formed instrumented trace
+    has zero; nonzero means the producer lost or reordered checkpoint
+    events. *)
+val mismatches : t -> int
+
+(** Publish this tree's shape into the {!Foray_obs.Obs} registry
+    ([looptree.nodes], [looptree.max_depth] gauges via max-merge, and the
+    [looptree.checkpoint_mismatches] counter). No-op while collection is
+    disabled. *)
+val flush_metrics : t -> unit

@@ -1,4 +1,43 @@
 module Iset = Foray_util.Iset
+module Obs = Foray_obs.Obs
+
+(* Per-extraction inference outcome: one promoted/demoted verdict per
+   (site, tree position) reference, with the demotion reason split the way
+   Step 4 applies its tests, plus the rank (included-iterator count)
+   distribution of partial expressions. *)
+let m_refs_seen = Obs.counter "infer.refs_seen"
+let m_promoted = Obs.counter "infer.promoted"
+let m_demoted = Obs.counter "infer.demoted"
+let m_dem_unanalyzable = Obs.counter ~labels:[ ("reason", "unanalyzable") ] "infer.demoted_by"
+let m_dem_no_iterator = Obs.counter ~labels:[ ("reason", "no_iterator") ] "infer.demoted_by"
+let m_dem_nexec = Obs.counter ~labels:[ ("reason", "below_nexec") ] "infer.demoted_by"
+let m_dem_nloc = Obs.counter ~labels:[ ("reason", "below_nloc") ] "infer.demoted_by"
+let m_mispredictions = Obs.counter "infer.mispredictions"
+let m_partial = Obs.counter "infer.partial_refs"
+let m_rank = Obs.histogram ~bounds:[ 0; 1; 2; 3; 4; 6; 8 ] "infer.partial_rank"
+
+let flush_inference_obs thresholds tree =
+  List.iter
+    (fun ((_ : Looptree.node), (r : Looptree.refinfo)) ->
+      let aff = r.aff in
+      Obs.incr m_refs_seen;
+      Obs.add m_mispredictions (Affine.mispredictions aff);
+      if Filter.keep thresholds r then begin
+        Obs.incr m_promoted;
+        if Affine.partial aff then begin
+          Obs.incr m_partial;
+          Obs.observe m_rank (Affine.m aff)
+        end
+      end
+      else begin
+        Obs.incr m_demoted;
+        Obs.incr
+          (if not (Affine.analyzable aff) then m_dem_unanalyzable
+           else if not (Affine.has_iterator aff) then m_dem_no_iterator
+           else if Affine.execs aff < thresholds.Filter.nexec then m_dem_nexec
+           else m_dem_nloc)
+      end)
+    (Looptree.refs tree)
 
 type mref = {
   site : int;
@@ -58,6 +97,7 @@ let mref_of_info (node : Looptree.node) (r : Looptree.refinfo) =
   }
 
 let of_tree ?(thresholds = Filter.default) ?(loop_kinds = []) tree =
+  if Obs.enabled () then flush_inference_obs thresholds tree;
   let kind_of lid = List.assoc_opt lid loop_kinds in
   let sites = Hashtbl.create 64 in
   (* Build the pruned loop forest: keep nodes whose subtree has survivors. *)

@@ -3,6 +3,10 @@ module Interp = Minic_sim.Interp
 module Event = Foray_trace.Event
 module Tstats = Foray_trace.Tstats
 module Annotate = Foray_instrument.Annotate
+module Obs = Foray_obs.Obs
+
+let t_simulate = Obs.timer "pipeline.simulate"
+let t_analyze = Obs.timer "pipeline.analyze"
 
 type result = {
   program : Ast.program;
@@ -31,6 +35,10 @@ let loop_functions (prog : Ast.program) =
             | Ast.Sfor (_, _, _, b) | Ast.Swhile (_, b) | Ast.Sdo (b, _)
             | Ast.Sblock b ->
                 List.iter go b
+            | Ast.Sswitch (_, cases) ->
+                List.iter
+                  (fun (c : Ast.switch_case) -> List.iter go c.body)
+                  cases
             | _ -> ()
           in
           List.iter go f.body;
@@ -38,7 +46,8 @@ let loop_functions (prog : Ast.program) =
     prog.Ast.globals
 
 let finish ~thresholds ~program ~instrumented ~loop_kinds tree tstats sim =
-  let model = Model.of_tree ~thresholds ~loop_kinds tree in
+  Looptree.flush_metrics tree;
+  let model = Obs.time t_analyze (fun () -> Model.of_tree ~thresholds ~loop_kinds tree) in
   let funcs = loop_functions program in
   {
     program;
@@ -59,7 +68,7 @@ let run ?(config = Interp.default_config) ?(thresholds = Filter.default) prog =
   let tree = Looptree.create () in
   let tstats = Tstats.create () in
   let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
-  let sim = Interp.run ~config instrumented ~sink in
+  let sim = Obs.time t_simulate (fun () -> Interp.run ~config instrumented ~sink) in
   finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree tstats sim
 
 let run_source ?config ?thresholds src =
@@ -70,7 +79,9 @@ let run_offline ?(config = Interp.default_config)
   Minic.Sema.check_exn prog;
   let instrumented = Annotate.program prog in
   let loop_kinds = Annotate.loop_table prog in
-  let sim, trace = Interp.run_to_trace ~config instrumented in
+  let sim, trace =
+    Obs.time t_simulate (fun () -> Interp.run_to_trace ~config instrumented)
+  in
   (* Replay the stored trace through the analyzers. *)
   let tree = Looptree.create () in
   let tstats = Tstats.create () in

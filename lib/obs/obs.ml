@@ -1,0 +1,319 @@
+(* Process-global metrics registry. Values are atomic so Parallel workers
+   can update them losslessly; the registry map and the (rarely-updated)
+   timers sit behind one mutex. Handles cache a lookup by canonical name
+   and survive [reset] by re-registering on their next update. *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+let now () = Unix.gettimeofday ()
+
+(* --- canonical names -------------------------------------------------- *)
+
+let canonical name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      let labels = List.sort compare labels in
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=\"" ^ v ^ "\"") labels)
+      ^ "}"
+
+(* --- metric cells ----------------------------------------------------- *)
+
+type hcell = {
+  bounds : int array; (* ascending inclusive upper edges *)
+  buckets : int Atomic.t array; (* length bounds + 1 (overflow) *)
+  hsum : int Atomic.t;
+  hcount : int Atomic.t;
+}
+
+type tcell = { mutable tcount : int; mutable tseconds : float }
+
+type cell =
+  | Ccounter of int Atomic.t
+  | Cgauge of int Atomic.t
+  | Chistogram of hcell
+  | Ctimer of tcell
+
+let kind_name = function
+  | Ccounter _ -> "counter"
+  | Cgauge _ -> "gauge"
+  | Chistogram _ -> "histogram"
+  | Ctimer _ -> "timer"
+
+let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Get-or-create under the lock. [fresh] builds a new cell; [same] checks
+   that an existing cell is of the expected kind and extracts it. *)
+let register name fresh same =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some cell -> (
+          match same cell with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Obs: %s already registered as a %s" name
+                   (kind_name cell)))
+      | None ->
+          let cell, v = fresh () in
+          Hashtbl.add registry name cell;
+          v)
+
+(* A handle is the canonical name plus a cache of the underlying cell; the
+   cache is invalidated by [reset] (the registry no longer holds the
+   name), so updates revalidate cheaply via a generation stamp. *)
+let generation = Atomic.make 0
+
+type 'a handle = { name : string; mutable cached : ('a * int) option; find : string -> 'a }
+
+let resolve h =
+  let gen = Atomic.get generation in
+  match h.cached with
+  | Some (v, g) when g = gen -> v
+  | _ ->
+      let v = h.find h.name in
+      h.cached <- Some (v, gen);
+      v
+
+type counter = int Atomic.t handle
+type gauge = int Atomic.t handle
+type histogram = hcell handle
+type timer = tcell handle
+
+let find_counter name =
+  register name
+    (fun () ->
+      let v = Atomic.make 0 in
+      (Ccounter v, v))
+    (function Ccounter v -> Some v | _ -> None)
+
+let find_gauge name =
+  register name
+    (fun () ->
+      let v = Atomic.make 0 in
+      (Cgauge v, v))
+    (function Cgauge v -> Some v | _ -> None)
+
+let default_bounds = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let find_histogram bounds name =
+  register name
+    (fun () ->
+      let bounds = Array.of_list bounds in
+      let h =
+        {
+          bounds;
+          buckets = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+          hsum = Atomic.make 0;
+          hcount = Atomic.make 0;
+        }
+      in
+      (Chistogram h, h))
+    (function Chistogram h -> Some h | _ -> None)
+
+let find_timer name =
+  register name
+    (fun () ->
+      let t = { tcount = 0; tseconds = 0.0 } in
+      (Ctimer t, t))
+    (function Ctimer t -> Some t | _ -> None)
+
+let counter ?(labels = []) name =
+  { name = canonical name labels; cached = None; find = find_counter }
+
+let gauge ?(labels = []) name =
+  { name = canonical name labels; cached = None; find = find_gauge }
+
+let histogram ?(labels = []) ?(bounds = default_bounds) name =
+  let bounds = List.sort_uniq compare bounds in
+  if bounds = [] then invalid_arg "Obs.histogram: empty bounds";
+  { name = canonical name labels; cached = None; find = find_histogram bounds }
+
+let timer ?(labels = []) name =
+  { name = canonical name labels; cached = None; find = find_timer }
+
+(* --- updates ---------------------------------------------------------- *)
+
+let add c n = if enabled () then ignore (Atomic.fetch_and_add (resolve c) n)
+let incr c = add c 1
+let set g v = if enabled () then Atomic.set (resolve g) v
+
+let set_max g v =
+  if enabled () then begin
+    let cell = resolve g in
+    let rec go () =
+      let cur = Atomic.get cell in
+      if v > cur && not (Atomic.compare_and_set cell cur v) then go ()
+    in
+    go ()
+  end
+
+let observe h v =
+  if enabled () then begin
+    let h = resolve h in
+    let n = Array.length h.bounds in
+    let rec idx i = if i >= n || v <= h.bounds.(i) then i else idx (i + 1) in
+    ignore (Atomic.fetch_and_add h.buckets.(idx 0) 1);
+    ignore (Atomic.fetch_and_add h.hsum v);
+    ignore (Atomic.fetch_and_add h.hcount 1)
+  end
+
+let add_time t secs =
+  if enabled () then begin
+    let cell = resolve t in
+    with_lock (fun () ->
+        cell.tcount <- cell.tcount + 1;
+        cell.tseconds <- cell.tseconds +. secs)
+  end
+
+let time t f =
+  if enabled () then begin
+    let t0 = now () in
+    let finally () = add_time t (now () -. t0) in
+    Fun.protect ~finally f
+  end
+  else f ()
+
+let reset () =
+  with_lock (fun () -> Hashtbl.reset registry);
+  Atomic.incr generation
+
+(* --- event log -------------------------------------------------------- *)
+
+let log_src = Logs.Src.create "foray.obs" ~doc:"FORAY-GEN pipeline events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let event ?(fields = []) name =
+  if enabled () then
+    Log.info (fun m ->
+        m "%s%s" name
+          (String.concat ""
+             (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) fields)))
+
+(* --- inspection ------------------------------------------------------- *)
+
+let sorted_bindings () =
+  with_lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [])
+  |> List.sort compare
+
+let value name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Ccounter v) | Some (Cgauge v) -> Some (Atomic.get v)
+      | _ -> None)
+
+let timer_seconds name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Ctimer t) -> Some t.tseconds
+      | _ -> None)
+
+let json_obj buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, emit) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "%S: " k);
+      emit buf)
+    fields;
+  Buffer.add_char buf '}'
+
+let to_json () =
+  let bindings = sorted_bindings () in
+  let pick f = List.filter_map (fun (k, c) -> f k c) bindings in
+  let buf = Buffer.create 1024 in
+  let ints l buf =
+    json_obj buf
+      (List.map (fun (k, v) -> (k, fun b -> Buffer.add_string b (string_of_int v))) l)
+  in
+  let counters = pick (fun k -> function Ccounter v -> Some (k, Atomic.get v) | _ -> None) in
+  let gauges = pick (fun k -> function Cgauge v -> Some (k, Atomic.get v) | _ -> None) in
+  let hists = pick (fun k -> function Chistogram h -> Some (k, h) | _ -> None) in
+  let timers = pick (fun k -> function Ctimer t -> Some (k, t) | _ -> None) in
+  json_obj buf
+    [
+      ("schema", fun b -> Buffer.add_string b "1");
+      ("counters", ints counters);
+      ("gauges", ints gauges);
+      ( "histograms",
+        fun b ->
+          json_obj b
+            (List.map
+               (fun (k, h) ->
+                 ( k,
+                   fun b ->
+                     let buckets =
+                       Array.to_list
+                         (Array.mapi
+                            (fun i c ->
+                              let le =
+                                if i < Array.length h.bounds then
+                                  string_of_int h.bounds.(i)
+                                else "\"+inf\""
+                              in
+                              Printf.sprintf "{\"le\": %s, \"count\": %d}" le
+                                (Atomic.get c))
+                            h.buckets)
+                     in
+                     json_obj b
+                       [
+                         ( "count",
+                           fun b ->
+                             Buffer.add_string b
+                               (string_of_int (Atomic.get h.hcount)) );
+                         ( "sum",
+                           fun b ->
+                             Buffer.add_string b
+                               (string_of_int (Atomic.get h.hsum)) );
+                         ( "buckets",
+                           fun b ->
+                             Buffer.add_string b
+                               ("[" ^ String.concat ", " buckets ^ "]") );
+                       ] ))
+               hists) );
+      ( "timers",
+        fun b ->
+          json_obj b
+            (List.map
+               (fun (k, t) ->
+                 ( k,
+                   fun b ->
+                     json_obj b
+                       [
+                         ( "count",
+                           fun b -> Buffer.add_string b (string_of_int t.tcount)
+                         );
+                         ( "seconds",
+                           fun b ->
+                             Buffer.add_string b (Printf.sprintf "%.6f" t.tseconds)
+                         );
+                       ] ))
+               timers) );
+    ];
+  Buffer.contents buf
+
+let to_table () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, cell) ->
+      match cell with
+      | Ccounter v ->
+          Printf.bprintf buf "%-48s %12d\n" k (Atomic.get v)
+      | Cgauge v ->
+          Printf.bprintf buf "%-48s %12d  (gauge)\n" k (Atomic.get v)
+      | Chistogram h ->
+          Printf.bprintf buf "%-48s count=%d sum=%d\n" k
+            (Atomic.get h.hcount) (Atomic.get h.hsum)
+      | Ctimer t ->
+          Printf.bprintf buf "%-48s %10.4fs over %d span(s)\n" k t.tseconds
+            t.tcount)
+    (sorted_bindings ());
+  Buffer.contents buf

@@ -1,0 +1,102 @@
+(** Pipeline-wide observability: a process-global metrics registry plus a
+    structured, [Logs]-backed event log.
+
+    The paper's value is {e measurement} — FORAY-GEN only matters if you
+    can see how many references survive inference, why the rest were
+    demoted, and what the simulator/analyzer cost. Every stage of the
+    pipeline (interpreter, affine inference, loop-tree walker, trace I/O,
+    cache simulator, domain pool) reports into this registry; the CLI
+    ([foraygen --metrics], [foraygen metrics]) and the bench harness
+    ([bench/main.exe --json]) dump it as JSON or a table.
+
+    {b Zero cost when disabled.} Collection is off by default; every
+    update is a single load-and-branch when {!enabled} is [false], and the
+    hot interpreter loop avoids even that by accumulating locally and
+    flushing aggregates once per run. Metric handles may be created
+    eagerly at module-initialization time whether or not collection is on.
+
+    {b Domain safety.} Counter/gauge/histogram updates are atomic; the
+    registry and timers are mutex-protected. Updates from
+    {!Foray_util.Parallel} workers are safe and lossless. *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** Forget every registered metric (handles created before a [reset] keep
+    working — they re-register on next update). Meant for tests and for
+    scoping a metrics dump to one CLI invocation. *)
+val reset : unit -> unit
+
+(** {1 Metric handles}
+
+    Handles are get-or-create by canonical name: the same [name] (plus
+    [labels], sorted and rendered Prometheus-style as
+    [name{k="v",...}]) always yields the same underlying metric.
+    Creating an existing name with a different kind raises
+    [Invalid_argument]. *)
+
+type counter
+type gauge
+type histogram
+type timer
+
+val counter : ?labels:(string * string) list -> string -> counter
+val gauge : ?labels:(string * string) list -> string -> gauge
+
+(** [histogram ?bounds name] — [bounds] are inclusive upper bucket edges
+    (ascending); an implicit overflow bucket is added. Default bounds
+    [1; 2; 4; 8; 16; 32; 64]. *)
+val histogram :
+  ?labels:(string * string) list -> ?bounds:int list -> string -> histogram
+
+val timer : ?labels:(string * string) list -> string -> timer
+
+(** {1 Updates} (no-ops while disabled) *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> int -> unit
+
+(** Raise the gauge to [v] if [v] is larger (high-water mark). *)
+val set_max : gauge -> int -> unit
+
+val observe : histogram -> int -> unit
+
+(** [add_time t secs] accumulates one observation of [secs] seconds. *)
+val add_time : timer -> float -> unit
+
+(** [time t f] runs [f ()], charging its wall-clock duration to [t]. *)
+val time : timer -> (unit -> 'a) -> 'a
+
+(** Monotonic-enough wall clock (seconds), for callers that measure
+    sections themselves before calling {!add_time}. *)
+val now : unit -> float
+
+(** {1 Event log}
+
+    [event ?fields name] emits a structured line on the ["foray.obs"]
+    [Logs] source at info level, e.g.
+    [pipeline.run bench=jpeg steps=1234]. Silent unless a reporter is
+    installed and collection is enabled. *)
+
+val event : ?fields:(string * string) list -> string -> unit
+
+val log_src : Logs.src
+
+(** {1 Inspection} *)
+
+(** Current value of the counter or gauge with this canonical name. *)
+val value : string -> int option
+
+(** Total seconds accumulated by the timer with this canonical name. *)
+val timer_seconds : string -> float option
+
+(** All metrics as a JSON object: [{"schema": 1, "counters": {...},
+    "gauges": {...}, "histograms": {...}, "timers": {...}}]. Keys sorted;
+    no trailing newline. *)
+val to_json : unit -> string
+
+(** Human-readable dump, one metric per line, sorted by name. *)
+val to_table : unit -> string

@@ -39,11 +39,13 @@ let run ?(cache_config = Cache.default_config) (b : Foray_suite.Suite.bench)
   let total = Foray_trace.Tstats.total_accesses tstats in
   (* cache organization *)
   let cs = Cache.stats cache in
+  Cache.flush_metrics ~label:(Printf.sprintf "%dB" capacity) cache;
   let line = cache_config.Cache.line_bytes in
+  (* line transfers are per-line traffic: fills + dirty write-backs *)
   let cache_energy =
     (float_of_int cs.accesses
     *. Energy.cache_access ~bytes:capacity ~assoc:cache_config.Cache.assoc)
-    +. (float_of_int (cs.misses + cs.writebacks) *. Energy.line_transfer ~line_bytes:line)
+    +. (float_of_int (cs.line_fills + cs.writebacks) *. Energy.line_transfer ~line_bytes:line)
   in
   (* SPM organization: optimal buffers at this capacity, rest from main *)
   let cands = Foray_spm.Reuse.candidates model in

@@ -3,6 +3,20 @@ module Event = Foray_trace.Event
 module Memory = Minic_machine.Memory
 module Layout = Minic_machine.Layout
 module Resolve = Minic.Resolve
+module Obs = Foray_obs.Obs
+
+(* Hot-loop statistics accumulate in plain [ctx] fields (an int store, no
+   branch on the metrics switch) and are flushed as aggregates once per
+   [run] — the interpreter costs the same whether collection is on or
+   off. *)
+let m_steps = Obs.counter "interp.steps"
+let m_accesses = Obs.counter "interp.accesses"
+let m_resolved_lookups = Obs.counter "interp.resolved_lookups"
+let m_chain_lookups = Obs.counter "interp.chain_lookups"
+let m_calls = Obs.counter "interp.calls"
+let m_malloc_bytes = Obs.counter "interp.malloc_bytes"
+let m_max_frame_depth = Obs.gauge "interp.max_frame_depth"
+let m_runs = Obs.counter "interp.runs"
 
 exception Runtime_error of string
 
@@ -61,6 +75,12 @@ type ctx = {
   mutable frames : frame list;  (* current first; empty during global init *)
   mutable steps : int;
   mutable accesses : int;
+  mutable resolved_lookups : int;  (* Var lvalues through the slot table *)
+  mutable chain_lookups : int;  (* Var lvalues through the scope chain *)
+  mutable calls : int;
+  mutable malloc_bytes : int;
+  mutable frame_depth : int;
+  mutable max_frame_depth : int;
   mutable rand_state : int;
   mutable output : int list;  (* reversed *)
 }
@@ -263,6 +283,7 @@ and lvalue ctx (e : expr) : lval =
   | Var name -> (
       match ctx.res with
       | Some r -> (
+          ctx.resolved_lookups <- ctx.resolved_lookups + 1;
           match r.Resolve.vars.(e.eid) with
           | Resolve.Rslot (i, ty) ->
               { laddr = ctx.cur_slots.(i); lty = ty; lnamed = true }
@@ -271,6 +292,7 @@ and lvalue ctx (e : expr) : lval =
           | Resolve.Runbound n -> error "undefined variable %s" n
           | Resolve.Rnone -> error "undefined variable %s" name)
       | None ->
+          ctx.chain_lookups <- ctx.chain_lookups + 1;
           let v = find_var ctx name in
           { laddr = v.vaddr; lty = v.vty; lnamed = true })
   | Index (base, idx) -> (
@@ -303,6 +325,7 @@ and call_builtin ctx name args =
   | "malloc" ->
       let size = int_arg 0 in
       if size < 0 then error "malloc of negative size";
+      ctx.malloc_bytes <- ctx.malloc_bytes + size;
       Vptr { addr = Layout.alloc_heap ctx.layout ~size; elem = Tchar }
   | "memset" -> (
       match args with
@@ -398,8 +421,13 @@ and call ctx fname args call_site =
         f.params argv;
       ctx.frames <- frame :: ctx.frames;
       ctx.cur_slots <- slots;
+      ctx.calls <- ctx.calls + 1;
+      ctx.frame_depth <- ctx.frame_depth + 1;
+      if ctx.frame_depth > ctx.max_frame_depth then
+        ctx.max_frame_depth <- ctx.frame_depth;
       let finish () =
         ctx.frames <- List.tl ctx.frames;
+        ctx.frame_depth <- ctx.frame_depth - 1;
         ctx.cur_slots <- frame.prev_slots;
         Layout.restore_sp ctx.layout frame.saved_sp
       in
@@ -604,6 +632,12 @@ let run ?(config = default_config) (prog : program) ~sink =
       frames = [];
       steps = 0;
       accesses = 0;
+      resolved_lookups = 0;
+      chain_lookups = 0;
+      calls = 0;
+      malloc_bytes = 0;
+      frame_depth = 0;
+      max_frame_depth = 0;
       rand_state = config.rand_seed land 0x3fff_ffff;
       output = [];
     }
@@ -655,6 +689,23 @@ let run ?(config = default_config) (prog : program) ~sink =
         let call_eid = 0 in
         as_int (call_catch ctx "main" [] call_eid)
   in
+  if Obs.enabled () then begin
+    Obs.incr m_runs;
+    Obs.add m_steps ctx.steps;
+    Obs.add m_accesses ctx.accesses;
+    Obs.add m_resolved_lookups ctx.resolved_lookups;
+    Obs.add m_chain_lookups ctx.chain_lookups;
+    Obs.add m_calls ctx.calls;
+    Obs.add m_malloc_bytes ctx.malloc_bytes;
+    Obs.set_max m_max_frame_depth ctx.max_frame_depth;
+    Obs.event "interp.run"
+      ~fields:
+        [
+          ("steps", string_of_int ctx.steps);
+          ("accesses", string_of_int ctx.accesses);
+          ("ret", string_of_int ret);
+        ]
+  end;
   { ret; output = List.rev ctx.output; steps = ctx.steps; accesses = ctx.accesses }
 
 let run_to_trace ?(config = default_config) prog =

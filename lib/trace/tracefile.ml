@@ -1,6 +1,23 @@
+module Obs = Foray_obs.Obs
+
 type format = Text | Binary
 
+exception Corrupt of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some (Printf.sprintf "Tracefile.Corrupt(%S)" msg)
+    | _ -> None)
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
 let magic = "FORAYTR1"
+
+(* metrics: stream-level totals; zero-cost unless Obs collection is on *)
+let m_events_written = Obs.counter "trace.events_written"
+let m_bytes_written = Obs.counter "trace.bytes_written"
+let m_flushes = Obs.counter "trace.flushes"
+let m_events_read = Obs.counter "trace.events_read"
 
 (* --- varints --------------------------------------------------------- *)
 
@@ -25,13 +42,21 @@ let read_byte ic =
   | Some c -> Char.code c
   | None -> raise Eof
 
+(* Nine 7-bit groups (shift 56) already cover every value [write_varint]
+   can produce from a non-negative 63-bit int; a tenth continuation byte
+   would shift by 63, where [lsl] is unspecified, so it can only come from
+   corrupted input. *)
+let rec varint_rest ic shift acc =
+  let b = read_byte ic in
+  let acc = acc lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 = 0 then acc
+  else if shift >= 56 then corrupt "varint longer than 9 bytes"
+  else varint_rest ic (shift + 7) acc
+
 let read_varint ic =
-  let rec go shift acc =
-    let b = read_byte ic in
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 <> 0 then go (shift + 7) acc else acc
-  in
-  go 0 0
+  let b = read_byte ic in
+  let acc = b land 0x7f in
+  if b land 0x80 = 0 then acc else varint_rest ic 7 acc
 
 (* --- binary records -------------------------------------------------- *)
 
@@ -48,7 +73,7 @@ let ckind_of_code = function
   | 1 -> Event.Body_enter
   | 2 -> Event.Body_exit
   | 3 -> Event.Loop_exit
-  | n -> failwith (Printf.sprintf "Tracefile: bad checkpoint kind %d" n)
+  | n -> corrupt "bad checkpoint kind %d" n
 
 let encode buf = function
   | Event.Checkpoint { loop; kind } ->
@@ -62,8 +87,7 @@ let encode buf = function
       write_varint buf addr;
       write_varint buf width
 
-let decode ic =
-  let tag = read_varint ic in
+let decode_body ic tag =
   match tag with
   | 0 ->
       let kind = ckind_of_code (read_varint ic) in
@@ -75,7 +99,22 @@ let decode ic =
       let addr = read_varint ic in
       let width = read_varint ic in
       Event.Access { site; addr; write = tag = 2; sys; width }
-  | n -> failwith (Printf.sprintf "Tracefile: bad record tag %d" n)
+  | n -> corrupt "bad record tag %d" n
+
+(* [None] only at a clean record boundary; Eof anywhere inside a record is
+   data loss and must not decode as a short-but-successful stream. *)
+let decode_opt ic =
+  match In_channel.input_char ic with
+  | None -> None
+  | Some c ->
+      let e =
+        try
+          let b = Char.code c in
+          let tag = if b land 0x80 = 0 then b else varint_rest ic 7 (b land 0x7f) in
+          decode_body ic tag
+        with Eof -> corrupt "binary trace truncated mid-record"
+      in
+      Some e
 
 (* --- writers ---------------------------------------------------------- *)
 
@@ -86,31 +125,64 @@ let chunk = 64 * 1024
 
 let sink_to_file ~format path =
   let oc = Out_channel.open_bin path in
-  (match format with
-  | Binary -> Out_channel.output_string oc magic
-  | Text -> ());
+  let closed = ref false in
+  let close_channel () =
+    if not !closed then begin
+      closed := true;
+      Out_channel.close oc
+    end
+  in
+  (try
+     match format with
+     | Binary -> Out_channel.output_string oc magic
+     | Text -> ()
+   with e ->
+     close_channel ();
+     raise e);
   let buf = Buffer.create (2 * chunk) in
   let flush () =
+    Obs.add m_bytes_written (Buffer.length buf);
+    Obs.incr m_flushes;
     Buffer.output_buffer oc buf;
     Buffer.clear buf
   in
   let sink e =
-    (match format with
-    | Text ->
-        Buffer.add_string buf (Event.to_line e);
-        Buffer.add_char buf '\n'
-    | Binary -> encode buf e);
-    if Buffer.length buf >= chunk then flush ()
+    if !closed then invalid_arg "Tracefile: sink used after close";
+    (* If encoding or the channel write fails mid-event, flush the whole
+       records buffered so far (dropping the partial one) and release the
+       channel instead of leaking it. *)
+    let mark = Buffer.length buf in
+    try
+      (match format with
+      | Text ->
+          Buffer.add_string buf (Event.to_line e);
+          Buffer.add_char buf '\n'
+      | Binary -> encode buf e);
+      Obs.incr m_events_written;
+      if Buffer.length buf >= chunk then flush ()
+    with ex ->
+      Buffer.truncate buf mark;
+      (try flush () with _ -> ());
+      close_channel ();
+      raise ex
   in
   ( sink,
     fun () ->
-      flush ();
-      Out_channel.close oc )
+      if not !closed then begin
+        (try flush ()
+         with e ->
+           close_channel ();
+           raise e);
+        close_channel ()
+      end )
 
 let save ~format path events =
   let sink, close = sink_to_file ~format path in
-  List.iter sink events;
-  close ()
+  Fun.protect ~finally:close (fun () -> List.iter sink events)
+
+let with_sink ~format path k =
+  let sink, close = sink_to_file ~format path in
+  Fun.protect ~finally:close (fun () -> k sink)
 
 (* --- readers ---------------------------------------------------------- *)
 
@@ -127,20 +199,32 @@ let fold path f init =
   with_reader path (function
     | `Binary ic ->
         let acc = ref init in
-        (try
-           while true do
-             acc := f !acc (decode ic)
-           done
-         with Eof -> ());
+        let continue = ref true in
+        while !continue do
+          match decode_opt ic with
+          | None -> continue := false
+          | Some e ->
+              Obs.incr m_events_read;
+              acc := f !acc e
+        done;
         !acc
     | `Text ic ->
         let acc = ref init in
+        let lineno = ref 0 in
         let continue = ref true in
         while !continue do
           match In_channel.input_line ic with
           | None -> continue := false
           | Some line ->
-              if String.trim line <> "" then acc := f !acc (Event.of_line line)
+              Stdlib.incr lineno;
+              if String.trim line <> "" then begin
+                let e =
+                  try Event.of_line line
+                  with Failure msg -> corrupt "line %d: %s" !lineno msg
+                in
+                Obs.incr m_events_read;
+                acc := f !acc e
+              end
         done;
         !acc)
 

@@ -9,24 +9,46 @@
     - {b Binary}: a ["FORAYTR1"] magic followed by tag-byte +
       LEB128-varint records, roughly 4-6x smaller than text.
 
-    Readers auto-detect the format from the magic. *)
+    Readers auto-detect the format from the magic and raise {!Corrupt} on
+    malformed or truncated content — a binary stream may only end at a
+    record boundary, so a file chopped mid-record fails loudly instead of
+    silently losing its tail.
+
+    When {!Foray_obs.Obs} collection is enabled, readers and writers
+    report [trace.events_written], [trace.bytes_written], [trace.flushes]
+    and [trace.events_read]. *)
 
 type format = Text | Binary
 
-(** [save ~format path events] writes a whole trace. *)
+(** Malformed trace content: bad record tag or checkpoint kind, a varint
+    longer than 9 bytes, a binary stream truncated mid-record, or an
+    unparseable text line. *)
+exception Corrupt of string
+
+(** [save ~format path events] writes a whole trace. The file is closed
+    (buffered complete records flushed) even if serialization raises. *)
 val save : format:format -> string -> Event.event list -> unit
 
 (** [sink_to_file ~format path] opens a streaming writer. The returned
-    sink appends events; call the close function when done (also flushes).
-    This is how the simulator writes traces without materializing them. *)
+    sink appends events; call the close function when done (also flushes;
+    idempotent). If the sink itself raises mid-event, it flushes the
+    complete records buffered so far, closes the channel and re-raises —
+    the channel is never leaked. Prefer {!with_sink} when the event
+    producer may raise. *)
 val sink_to_file : format:format -> string -> Event.sink * (unit -> unit)
 
+(** [with_sink ~format path k] passes a streaming sink to [k] and
+    guarantees flush-and-close on any exit, including exceptions raised by
+    the event producer. *)
+val with_sink : format:format -> string -> (Event.sink -> 'a) -> 'a
+
 (** [load path] reads a whole trace, auto-detecting the format.
-    @raise Failure on malformed content. *)
+    @raise Corrupt on malformed content. *)
 val load : string -> Event.event list
 
 (** [fold path f init] streams the file through [f] without building a
-    list — constant space for arbitrarily large traces. *)
+    list — constant space for arbitrarily large traces.
+    @raise Corrupt on malformed content. *)
 val fold : string -> ('a -> Event.event -> 'a) -> 'a -> 'a
 
 (** [iter path f] is [fold] for side effects; [f] is a sink, so an

@@ -1,3 +1,5 @@
+module Obs = Foray_obs.Obs
+
 let default_jobs () = Domain.recommended_domain_count ()
 
 type 'b outcome = Pending | Done of 'b | Failed of exn
@@ -10,19 +12,46 @@ let map ?jobs f xs =
     let input = Array.of_list xs in
     let results = Array.make n Pending in
     let next = Atomic.make 0 in
-    let rec worker () =
+    let nworkers = min jobs n in
+    (* Per-worker load statistics, flushed once after the pool joins:
+       pool-idle time is the gap between the pool's aggregate wall clock
+       and the summed busy time, i.e. what a better schedule could still
+       reclaim. Only sampled when collection is on. *)
+    let obs = Obs.enabled () in
+    let tasks_done = Array.make nworkers 0 in
+    let busy = Array.make nworkers 0.0 in
+    let rec worker w =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
+        let t0 = if obs then Obs.now () else 0.0 in
         (results.(i) <-
            (match f input.(i) with v -> Done v | exception e -> Failed e));
-        worker ()
+        if obs then begin
+          tasks_done.(w) <- tasks_done.(w) + 1;
+          busy.(w) <- busy.(w) +. (Obs.now () -. t0)
+        end;
+        worker w
       end
     in
+    let wall0 = if obs then Obs.now () else 0.0 in
     let spawned =
-      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+      Array.init (nworkers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
     in
-    worker ();
+    worker 0;
     Array.iter Domain.join spawned;
+    if obs then begin
+      let wall = Obs.now () -. wall0 in
+      Array.iteri
+        (fun w c ->
+          Obs.add
+            (Obs.counter ~labels:[ ("domain", string_of_int w) ] "parallel.tasks")
+            c)
+        tasks_done;
+      let total_busy = Array.fold_left ( +. ) 0.0 busy in
+      Obs.add_time (Obs.timer "parallel.busy") total_busy;
+      Obs.add_time (Obs.timer "parallel.idle")
+        (Float.max 0.0 ((wall *. float_of_int nworkers) -. total_busy))
+    end;
     (* Every slot is filled once all domains joined; re-raise the earliest
        failure so error behaviour is deterministic too. *)
     Array.iter (function Failed e -> raise e | _ -> ()) results;

@@ -28,12 +28,30 @@ let t_cold_miss_then_hit () =
 
 let t_straddling_access () =
   let c = Cache.create (cfg ()) in
-  (* width 4 at line-boundary-2: touches two lines *)
+  (* width 4 at line-boundary-2: touches two lines, but counts as one
+     access and one miss; the per-line traffic shows up in line_fills *)
   ignore (Cache.access c ~addr:14 ~width:4 ~write:false);
   let s = Cache.stats c in
-  Alcotest.(check int) "two line misses" 2 s.misses;
+  Alcotest.(check int) "one access" 1 s.accesses;
+  Alcotest.(check int) "one miss" 1 s.misses;
+  Alcotest.(check int) "two line fills" 2 s.line_fills;
   Alcotest.(check bool) "now both hit" true
-    (Cache.access c ~addr:14 ~width:4 ~write:false)
+    (Cache.access c ~addr:14 ~width:4 ~write:false);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hit counted once" 1 s.hits
+
+let t_partial_hit_is_miss () =
+  (* one line of a straddling access resident, the other not: the access
+     as a whole must count as a miss, and fill only the absent line *)
+  let c = Cache.create (cfg ()) in
+  ignore (Cache.access c ~addr:0 ~width:4 ~write:false);
+  ignore (Cache.access c ~addr:14 ~width:4 ~write:false);
+  let s = Cache.stats c in
+  Alcotest.(check int) "two accesses" 2 s.accesses;
+  Alcotest.(check int) "both missed" 2 s.misses;
+  Alcotest.(check int) "zero hits" 0 s.hits;
+  (* line 0 was already resident, so the second access fills only line 1 *)
+  Alcotest.(check int) "two line fills" 2 s.line_fills
 
 let t_lru_eviction () =
   (* 2-way set: fill both ways, touch the first, insert a third ->
@@ -122,7 +140,8 @@ let prop_fully_assoc_lru =
         addrs)
 
 let prop_conservation =
-  QCheck2.Test.make ~name:"hits + misses = line touches" ~count:100
+  QCheck2.Test.make ~name:"hits + misses = accesses; fills bounded by touches"
+    ~count:100
     QCheck2.Gen.(list_size (int_range 0 200) (pair (int_range 0 4095) (int_range 1 8)))
     (fun ops ->
       let c = Cache.create (cfg ~size:512 ~line:16 ~assoc:2 ()) in
@@ -134,13 +153,17 @@ let prop_conservation =
           ignore (Cache.access c ~addr ~width ~write:false))
         ops;
       let s = Cache.stats c in
-      s.hits + s.misses = !touches && s.accesses = List.length ops)
+      s.hits + s.misses = s.accesses
+      && s.accesses = List.length ops
+      && s.line_fills <= !touches
+      && s.line_fills >= s.misses)
 
 let tests =
   [
     Alcotest.test_case "geometry validation" `Quick t_geometry_errors;
     Alcotest.test_case "cold miss then hit" `Quick t_cold_miss_then_hit;
     Alcotest.test_case "straddling access" `Quick t_straddling_access;
+    Alcotest.test_case "partial hit is a miss" `Quick t_partial_hit_is_miss;
     Alcotest.test_case "LRU eviction" `Quick t_lru_eviction;
     Alcotest.test_case "FIFO eviction" `Quick t_fifo_eviction;
     Alcotest.test_case "writeback accounting" `Quick t_writeback_accounting;

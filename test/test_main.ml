@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "foray"
     [
+      ("obs", Test_obs.tests);
       ("iset", Test_iset.tests);
       ("util", Test_util.tests);
       ("minic", Test_minic.tests);

@@ -125,6 +125,29 @@ let t_loop_functions () =
   Alcotest.(check (list string)) "owners in order" [ "f"; "main" ]
     (List.map snd funcs)
 
+let t_loop_functions_in_switch () =
+  (* regression: loops nested in switch arms used to be invisible to
+     loop_functions, so their hints reported no owning function *)
+  let prog =
+    Minic.Parser.program
+      "int A[64];\n\
+       int helper(int v) {\n\
+      \  int s; s = 0;\n\
+      \  switch (v) {\n\
+      \    case 3: for (int i = 0; i < 32; i++) { s = s + A[i]; } break;\n\
+      \    default: while (s < 2) { s++; }\n\
+      \  }\n\
+      \  return s;\n\
+       }\n\
+       int main() { return helper(3); }"
+  in
+  let funcs = Pipeline.loop_functions prog in
+  Alcotest.(check int) "both switch-arm loops found" 2 (List.length funcs);
+  List.iter
+    (fun (_, owner) ->
+      Alcotest.(check string) "owned by helper" "helper" owner)
+    funcs
+
 let t_sema_failure_surfaces () =
   try
     ignore (Pipeline.run_source "int main() { return x; }");
@@ -147,5 +170,7 @@ let tests =
     Alcotest.test_case "models emit parseable MiniC" `Slow
       t_model_emits_parseable_minic;
     Alcotest.test_case "loop functions" `Quick t_loop_functions;
+    Alcotest.test_case "loop functions inside switch" `Quick
+      t_loop_functions_in_switch;
     Alcotest.test_case "sema failure surfaces" `Quick t_sema_failure_surfaces;
   ]

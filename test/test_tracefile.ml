@@ -79,6 +79,12 @@ let t_empty_file () =
   Alcotest.(check int) "empty file, empty trace" 0
     (List.length (Tracefile.load path))
 
+let expect_corrupt what f =
+  try
+    ignore (f ());
+    Alcotest.fail (what ^ ": expected Tracefile.Corrupt")
+  with Tracefile.Corrupt _ -> ()
+
 let t_corrupt_binary () =
   let path = tmp "foray_corrupt.tr" in
   let oc = open_out_bin path in
@@ -86,10 +92,66 @@ let t_corrupt_binary () =
   output_string oc "\x09";
   (* bad tag *)
   close_out oc;
-  try
-    ignore (Tracefile.load path);
-    Alcotest.fail "expected failure"
-  with Failure _ -> ()
+  expect_corrupt "bad tag" (fun () -> Tracefile.load path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let t_truncated_binary () =
+  (* chopping 1 or 2 bytes always cuts the final record mid-body (the
+     smallest record, a checkpoint, is 3 bytes), which must surface as
+     Corrupt rather than a silently shorter trace *)
+  let trace = sample_trace () in
+  let whole = tmp "foray_trunc_src.tr" in
+  Tracefile.save ~format:Tracefile.Binary whole trace;
+  let bytes = read_file whole in
+  List.iter
+    (fun chop ->
+      let path = tmp (Printf.sprintf "foray_trunc_%d.tr" chop) in
+      write_file path (String.sub bytes 0 (String.length bytes - chop));
+      expect_corrupt
+        (Printf.sprintf "chopped %d byte(s)" chop)
+        (fun () -> Tracefile.load path))
+    [ 1; 2 ]
+
+let t_truncated_header () =
+  (* EOF while still inside the first record's body *)
+  let path = tmp "foray_trunc_hdr.tr" in
+  write_file path "FORAYTR1\x00";
+  (* checkpoint tag with no kind/loop *)
+  expect_corrupt "mid-record eof" (fun () -> Tracefile.load path)
+
+let t_oversized_varint () =
+  (* ten continuation bytes would shift past bit 62: reject, don't wrap *)
+  let path = tmp "foray_bigvarint.tr" in
+  write_file path ("FORAYTR1\x00" ^ String.make 10 '\xff');
+  expect_corrupt "oversized varint" (fun () -> Tracefile.load path)
+
+let t_bitflipped_magic () =
+  (* a damaged magic demotes the file to the text reader, which must then
+     reject the binary payload instead of decoding garbage *)
+  let trace = sample_trace () in
+  let src = tmp "foray_flip_src.tr" in
+  Tracefile.save ~format:Tracefile.Binary src trace;
+  let bytes = Bytes.of_string (read_file src) in
+  Bytes.set bytes 0 (Char.chr (Char.code (Bytes.get bytes 0) lxor 1));
+  let path = tmp "foray_flip.tr" in
+  write_file path (Bytes.to_string bytes);
+  expect_corrupt "flipped magic" (fun () -> Tracefile.load path)
+
+let t_corrupt_text_line () =
+  let path = tmp "foray_badline.tr" in
+  write_file path "Checkpoint: 1 loop_enter\nthis is not a trace record\n";
+  expect_corrupt "bad text line" (fun () -> Tracefile.load path)
 
 let t_varint_values () =
   (* exercise multi-byte varints through large addresses *)
@@ -117,5 +179,10 @@ let tests =
       t_analysis_from_file_matches;
     Alcotest.test_case "empty file" `Quick t_empty_file;
     Alcotest.test_case "corrupt binary" `Quick t_corrupt_binary;
+    Alcotest.test_case "truncated binary" `Quick t_truncated_binary;
+    Alcotest.test_case "truncated first record" `Quick t_truncated_header;
+    Alcotest.test_case "oversized varint" `Quick t_oversized_varint;
+    Alcotest.test_case "bit-flipped magic" `Quick t_bitflipped_magic;
+    Alcotest.test_case "corrupt text line" `Quick t_corrupt_text_line;
     Alcotest.test_case "large varints" `Quick t_varint_values;
   ]
