@@ -18,11 +18,13 @@ module Figures = Foray_suite.Figures
 module Tablefmt = Foray_util.Tablefmt
 module Parallel = Foray_util.Parallel
 module Obs = Foray_obs.Obs
+module Span = Foray_obs.Span
 
 let jobs = ref (Parallel.default_jobs ())
 let json = ref false
 let json_file = ref "BENCH_pipeline.json"
 let quick = ref false
+let trace_out = ref ""
 
 let now = Unix.gettimeofday
 
@@ -487,14 +489,34 @@ let measure_interp ~reps =
   Obs.set_enabled true;
   let with_metrics = best Minic_sim.Interp.default_config in
   Obs.set_enabled false;
-  (resolved, unresolved, with_metrics)
+  (* A fourth pass with span tracing on tracks the loop-span cost the same
+     way; the ring keeps only the tail, which is all the overhead needs. *)
+  let span_was = Span.enabled () in
+  Span.set_enabled true;
+  let with_tracing = best Minic_sim.Interp.default_config in
+  Span.set_enabled span_was;
+  (resolved, unresolved, with_metrics, with_tracing)
 
 let write_json ~path ~section_times ~pipelines ~interp ~total =
-  let resolved, unresolved, with_metrics = interp in
+  let resolved, unresolved, with_metrics, with_tracing = interp in
   let b = Buffer.create 4096 in
   let add fmt = Printf.bprintf b fmt in
   add "{\n";
-  add "  \"schema\": 1,\n";
+  add "  \"schema\": 2,\n";
+  add "  \"meta\": {\n";
+  add "    \"schema_version\": 2,\n";
+  add "    \"generated_by\": \"bench/main.exe --json\",\n";
+  add "    \"benchmark_set\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun (b : Suite.bench) -> Printf.sprintf "%S" b.name)
+          Suite.all));
+  add "    \"jobs\": %d,\n" !jobs;
+  add "    \"quick\": %b,\n" !quick;
+  add "    \"obs_overhead_pct\": %.2f,\n"
+    (100.0 *. (resolved -. with_metrics) /. resolved);
+  add "    \"trace_overhead_pct\": %.2f\n"
+    (100.0 *. (resolved -. with_tracing) /. resolved);
+  add "  },\n";
   add "  \"generated_by\": \"bench/main.exe --json\",\n";
   add "  \"jobs\": %d,\n" !jobs;
   add "  \"quick\": %b,\n" !quick;
@@ -503,8 +525,11 @@ let write_json ~path ~section_times ~pipelines ~interp ~total =
   add "    \"steps_per_sec\": %.0f,\n" resolved;
   add "    \"steps_per_sec_unresolved\": %.0f,\n" unresolved;
   add "    \"steps_per_sec_metrics\": %.0f,\n" with_metrics;
+  add "    \"steps_per_sec_tracing\": %.0f,\n" with_tracing;
   add "    \"metrics_overhead_pct\": %.2f,\n"
     (100.0 *. (resolved -. with_metrics) /. resolved);
+  add "    \"tracing_overhead_pct\": %.2f,\n"
+    (100.0 *. (resolved -. with_tracing) /. resolved);
   add "    \"resolver_speedup\": %.2f\n" (resolved /. unresolved);
   add "  },\n";
   (* Obs.to_json is itself a JSON object, captured during the
@@ -549,9 +574,17 @@ let () =
        "PATH  Destination of the JSON record (default BENCH_pipeline.json)");
       ("--quick", Arg.Set quick,
        " CI-sized run: tables + perf measurements only, <60s");
+      ("--trace-out", Arg.Set_string trace_out,
+       "FILE  Record spans for the whole bench run and write the Chrome \
+        trace (or .folded stacks) to FILE");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "dune exec bench/main.exe -- [-j N] [--json] [--quick]";
+    "dune exec bench/main.exe -- [-j N] [--json] [--quick] [--trace-out FILE]";
+  Span.setup_env ();
+  if !trace_out <> "" then begin
+    Span.reset ();
+    Span.set_enabled true
+  end;
   let t0 = now () in
   let sections =
     if !quick then
@@ -604,5 +637,11 @@ let () =
     let b = Buffer.create 256 in
     microbench b;
     print_string (Buffer.contents b)
+  end;
+  if !trace_out <> "" then begin
+    Span.set_enabled false;
+    Span.write !trace_out;
+    Printf.eprintf "trace written to %s (%d span(s), %d dropped)\n%!"
+      !trace_out (Span.recorded ()) (Span.dropped ())
   end;
   Printf.printf "\ntotal bench time: %.1fs\n" (now () -. t0)

@@ -8,10 +8,13 @@
      tables    - print Tables I / II / III and the headline comparison
      spm       - reuse candidates, DSE sweep and transformed model
      metrics   - run the full flow with counters on, print/check them
+     explain   - per-reference Algorithm-3 inference timelines
+     tracecheck - validate an exported Chrome trace file
 *)
 
 open Cmdliner
 module Obs = Foray_obs.Obs
+module Span = Foray_obs.Span
 
 let load_source name_or_path =
   match Foray_suite.Suite.find name_or_path with
@@ -67,9 +70,38 @@ let jobs_arg =
 let metrics_arg =
   let doc =
     "Collect internal counters during the run and write them as JSON to \
-     $(docv)."
+     $(docv). FORAY_OBS=1 in the environment enables collection without a \
+     dump file; this flag takes precedence for where the dump goes."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Record hierarchical spans during the run and write them to $(docv): \
+     Chrome trace-event JSON (load in Perfetto or chrome://tracing), or \
+     folded flamegraph stacks when $(docv) ends in .folded. \
+     FORAY_TRACE=FILE in the environment does the same for the whole \
+     process; this flag takes precedence and resets the span ring first."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Enable span tracing around [f] and export the ring to [path] afterwards,
+   even when [f] raises — a crashed run keeps the timeline that led up to
+   the crash. Mirrors [with_metrics] below. *)
+let with_tracing path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+      Span.reset ();
+      Span.set_enabled true;
+      let finish () =
+        Span.set_enabled false;
+        Span.write path;
+        Printf.eprintf "trace written to %s (%d span(s), %d dropped)\n%!"
+          path (Span.recorded ()) (Span.dropped ())
+      in
+      Fun.protect ~finally:finish f
 
 (* Enable observability collection around [f] and dump the registry to
    [path] afterwards — even if [f] raises, so a crashed run still leaves
@@ -140,21 +172,22 @@ let list_cmd =
 (* ---- extract -------------------------------------------------------- *)
 
 let extract_cmd =
-  let run prog nexec nloc scalars show_hints metrics =
+  let run prog nexec nloc scalars show_hints metrics trace_out =
     match load_source prog with
     | Error e ->
         prerr_endline e;
         1
     | Ok src ->
-        with_metrics metrics (fun () ->
-            let r = run_pipeline src ~nexec ~nloc ~scalars in
-            print_string (Foray_core.Model.to_c r.model);
-            if show_hints then begin
-              print_newline ();
-              print_string
-                (Foray_core.Hints.to_string (Foray_core.Pipeline.hints r))
-            end;
-            0)
+        with_tracing trace_out (fun () ->
+            with_metrics metrics (fun () ->
+                let r = run_pipeline src ~nexec ~nloc ~scalars in
+                print_string (Foray_core.Model.to_c r.model);
+                if show_hints then begin
+                  print_newline ();
+                  print_string
+                    (Foray_core.Hints.to_string (Foray_core.Pipeline.hints r))
+                end;
+                0))
   in
   let hints_arg =
     Arg.(value & flag & info [ "hints" ] ~doc:"Also print duplication hints.")
@@ -164,7 +197,7 @@ let extract_cmd =
        ~doc:"Run FORAY-GEN and print the extracted FORAY model")
     Term.(
       const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ hints_arg
-      $ metrics_arg)
+      $ metrics_arg $ trace_out_arg)
 
 (* ---- annotate ------------------------------------------------------- *)
 
@@ -252,7 +285,7 @@ let trace_cmd =
 (* ---- analyze (trace file -> model) ---------------------------------- *)
 
 let analyze_cmd =
-  let run target nexec nloc scalars metrics =
+  let run target nexec nloc scalars metrics trace_out =
     let analyze_file path =
       let tree = Foray_core.Looptree.create () in
       Foray_trace.Tracefile.iter path (Foray_core.Looptree.sink tree);
@@ -261,23 +294,24 @@ let analyze_cmd =
       let model = Foray_core.Model.of_tree ~thresholds tree in
       print_string (Foray_core.Model.to_c model)
     in
-    with_metrics metrics (fun () ->
-        if Sys.file_exists target then begin
-          analyze_file target;
-          0
-        end
-        else
-          match load_source target with
-          | Error _ ->
-              Printf.eprintf
-                "no such trace file (or benchmark/figure name): %s\n" target;
-              1
-          | Ok src ->
-              (* A benchmark or figure name: simulate it to a temporary
-                 binary trace first, then analyze that file. *)
-              with_simulated_trace ~scalars src (fun tmp ->
-                  analyze_file tmp;
-                  0))
+    with_tracing trace_out (fun () ->
+        with_metrics metrics (fun () ->
+            if Sys.file_exists target then begin
+              analyze_file target;
+              0
+            end
+            else
+              match load_source target with
+              | Error _ ->
+                  Printf.eprintf
+                    "no such trace file (or benchmark/figure name): %s\n" target;
+                  1
+              | Ok src ->
+                  (* A benchmark or figure name: simulate it to a temporary
+                     binary trace first, then analyze that file. *)
+                  with_simulated_trace ~scalars src (fun tmp ->
+                      analyze_file tmp;
+                      0)))
   in
   let path_arg =
     Arg.(
@@ -291,7 +325,9 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run Steps 3-4 on a stored trace file and print the model")
-    Term.(const run $ path_arg $ nexec_arg $ nloc_arg $ scalars_arg $ metrics_arg)
+    Term.(
+      const run $ path_arg $ nexec_arg $ nloc_arg $ scalars_arg $ metrics_arg
+      $ trace_out_arg)
 
 (* ---- tree ------------------------------------------------------------ *)
 
@@ -569,9 +605,89 @@ let metrics_cmd =
       const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ out_arg
       $ check_arg $ verbose_arg)
 
+(* ---- explain -------------------------------------------------------- *)
+
+let explain_cmd =
+  let run prog nexec nloc ref_site json =
+    match load_source prog with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok src -> (
+        let site =
+          match ref_site with
+          | None -> Ok None
+          | Some s -> (
+              let s =
+                if String.length s > 2 && String.sub s 0 2 = "0x" then s
+                else "0x" ^ s
+              in
+              match int_of_string_opt s with
+              | Some n -> Ok (Some n)
+              | None -> Error s)
+        in
+        match site with
+        | Error s ->
+            Printf.eprintf "not a hex site id: %s\n" s;
+            1
+        | Ok site ->
+            let thresholds = Foray_core.Filter.{ nexec; nloc } in
+            let t = Foray_report.Explain.run_source ~name:prog ~thresholds src in
+            if json then print_endline (Foray_report.Explain.to_json ?site t)
+            else print_string (Foray_report.Explain.render ?site t);
+            0)
+  in
+  let ref_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ref" ] ~docv:"SITE"
+          ~doc:
+            "Restrict to one reference by its hex site id (as shown in the \
+             model's array names, e.g. 4002a0).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Narrate Algorithm 3 per reference: how each coefficient was \
+          solved, every misprediction and demotion, and the Step-4 verdict")
+    Term.(
+      const run $ prog_arg $ nexec_arg $ nloc_arg $ ref_arg $ json_arg)
+
+(* ---- tracecheck ------------------------------------------------------ *)
+
+let tracecheck_cmd =
+  let run path =
+    match Span.validate_chrome_file path with
+    | Ok n ->
+        Printf.printf "%s: OK (%d trace event(s), spans well-nested)\n" path n;
+        0
+    | Error e ->
+        Printf.eprintf "%s: INVALID: %s\n" path e;
+        1
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace JSON written by --trace-out.")
+  in
+  Cmd.v
+    (Cmd.info "tracecheck"
+       ~doc:
+         "Validate an exported Chrome trace file: JSON shape and per-track \
+          span nesting")
+    Term.(const run $ path_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
+  Span.setup_env ();
   let doc =
     "FORAY-GEN: profile-based extraction of affine memory models \
      (reproduction of Issenin & Dutt, DATE 2005)"
@@ -582,4 +698,4 @@ let () =
        (Cmd.group info
           [ list_cmd; extract_cmd; annotate_cmd; trace_cmd; analyze_cmd;
             tree_cmd; validate_cmd; stability_cmd; compare_cmd; tables_cmd;
-            spm_cmd; metrics_cmd ]))
+            spm_cmd; metrics_cmd; explain_cmd; tracecheck_cmd ]))

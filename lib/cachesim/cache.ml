@@ -153,7 +153,16 @@ let flush_metrics ?(label = "l1") t =
     Obs.add (Obs.counter ~labels "cachesim.line_fills") t.line_fills;
     Obs.add (Obs.counter ~labels "cachesim.evictions") t.evictions;
     Obs.add (Obs.counter ~labels "cachesim.writebacks") t.writebacks
-  end
+  end;
+  if Foray_obs.Span.enabled () then
+    Foray_obs.Span.instant ~cat:"cachesim" "cachesim.flush"
+      ~args:
+        [
+          ("cache", label);
+          ("accesses", string_of_int t.accesses);
+          ("hits", string_of_int t.hits);
+          ("misses", string_of_int t.misses);
+        ]
 
 let sink t : Foray_trace.Event.sink = function
   | Foray_trace.Event.Checkpoint _ -> ()

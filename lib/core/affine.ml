@@ -1,6 +1,9 @@
 type coeff = Unknown | Known of int
 
+let next_uid = Atomic.make 1
+
 type t = {
+  uid : int;
   site : int;
   depth : int;
   mutable const : int;
@@ -15,7 +18,10 @@ type t = {
 }
 
 let create ~site ~depth =
+  let uid = Atomic.fetch_and_add next_uid 1 in
+  if Provenance.enabled () then Provenance.register ~uid ~site ~depth;
   {
+    uid;
     site;
     depth;
     const = 0;
@@ -29,6 +35,7 @@ let create ~site ~depth =
     mispredictions = 0;
   }
 
+let uid t = t.uid
 let site t = t.site
 let depth t = t.depth
 let execs t = t.execs
@@ -56,11 +63,14 @@ let finish t ~iters ~addr =
 let observe t ~iters ~addr =
   if Array.length iters <> t.depth then
     invalid_arg "Affine.observe: iterator vector length mismatch";
+  let prov = Provenance.enabled () in
   if not t.analyzable then finish t ~iters ~addr
   else if t.execs = 0 then begin
     (* Step 1 of Figure 8: first sighting. *)
     t.const <- addr;
     t.m <- t.depth;
+    if prov then
+      Provenance.record t.uid (Provenance.First_sighting { exec = 0; addr });
     finish t ~iters ~addr
   end
   else begin
@@ -83,7 +93,13 @@ let observe t ~iters ~addr =
       done;
       let num = addr - !adj - t.prev_addr in
       let den = iters.(!k) - t.prev_iters.(!k) in
-      if num mod den <> 0 then t.analyzable <- false
+      if num mod den <> 0 then begin
+        t.analyzable <- false;
+        if prov then
+          Provenance.record t.uid
+            (Provenance.Non_integer
+               { exec = t.execs; iter = !k; d_addr = num; d_iter = den })
+      end
       else begin
         t.coeffs.(!k) <- Known (num / den);
         (* Re-base the constant so the expression is consistent with the
@@ -98,12 +114,27 @@ let observe t ~iters ~addr =
           | Known c -> contrib := !contrib + (c * t.prev_iters.(i))
           | Unknown -> ()
         done;
-        t.const <- t.prev_addr - !contrib
+        t.const <- t.prev_addr - !contrib;
+        if prov then
+          Provenance.record t.uid
+            (Provenance.Coeff_solved
+               { exec = t.execs; iter = !k; coeff = num / den; d_addr = num;
+                 d_iter = den; const = t.const })
       end
     end
-    else if !h > 1 then
+    else if !h > 1 then begin
       (* Step 4: several unknowns changed together; give up. *)
       t.analyzable <- false;
+      if prov then begin
+        let changed = ref [] in
+        for i = t.depth - 1 downto 0 do
+          if t.coeffs.(i) = Unknown && iters.(i) <> t.prev_iters.(i) then
+            changed := i :: !changed
+        done;
+        Provenance.record t.uid
+          (Provenance.Ambiguous { exec = t.execs; changed = !changed })
+      end
+    end;
     if t.analyzable then begin
       (* Step 5: predict; Step 6: re-base on misprediction. *)
       let indc = predict t ~iters in
@@ -119,7 +150,12 @@ let observe t ~iters ~addr =
         for i = 0 to t.depth - 1 do
           if not t.s.(i) then m := i
         done;
-        t.m <- if Array.exists not t.s then !m else 0
+        t.m <- (if Array.exists not t.s then !m else 0);
+        if prov then
+          Provenance.record t.uid
+            (Provenance.Mispredicted
+               { exec = t.execs; predicted = indc; actual = addr;
+                 sticky = Array.copy t.s; m = t.m; const = t.const })
       end
     end;
     finish t ~iters ~addr

@@ -45,6 +45,10 @@ val observe : t -> iters:int array -> addr:int -> unit
 val site : t -> int
 val depth : t -> int
 
+(** Process-unique tracker id, assigned at {!create}; the key of this
+    reference's {!Provenance} story. *)
+val uid : t -> int
+
 (** Number of executions observed. *)
 val execs : t -> int
 

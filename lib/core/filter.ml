@@ -8,5 +8,17 @@ let keep th (r : Looptree.refinfo) =
   && Affine.execs r.aff >= th.nexec
   && Foray_util.Iset.cardinal r.starts >= th.nloc
 
+(* The purge tests in the order Step 4 applies them; the first failing
+   test names the reason. *)
+let verdict th (r : Looptree.refinfo) =
+  if keep th r then (true, None)
+  else
+    ( false,
+      Some
+        (if not (Affine.analyzable r.aff) then Provenance.Unanalyzable
+         else if not (Affine.has_iterator r.aff) then Provenance.No_iterator
+         else if Affine.execs r.aff < th.nexec then Provenance.Below_nexec
+         else Provenance.Below_nloc) )
+
 let survivors th tree =
   List.filter (fun (_, r) -> keep th r) (Looptree.refs tree)

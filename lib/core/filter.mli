@@ -18,6 +18,11 @@ val default : thresholds
 (** [keep th ref] decides survival of one reference. *)
 val keep : thresholds -> Looptree.refinfo -> bool
 
+(** [verdict th ref] is [keep] plus, for purged references, the first
+    failing test as a {!Provenance.purge_reason}. *)
+val verdict :
+  thresholds -> Looptree.refinfo -> bool * Provenance.purge_reason option
+
 (** [survivors th tree] lists surviving references with their nodes. *)
 val survivors :
   thresholds -> Looptree.t -> (Looptree.node * Looptree.refinfo) list

@@ -16,27 +16,40 @@ let m_mispredictions = Obs.counter "infer.mispredictions"
 let m_partial = Obs.counter "infer.partial_refs"
 let m_rank = Obs.histogram ~bounds:[ 0; 1; 2; 3; 4; 6; 8 ] "infer.partial_rank"
 
+let reason_counter = function
+  | Provenance.Unanalyzable -> m_dem_unanalyzable
+  | Provenance.No_iterator -> m_dem_no_iterator
+  | Provenance.Below_nexec -> m_dem_nexec
+  | Provenance.Below_nloc -> m_dem_nloc
+
 let flush_inference_obs thresholds tree =
   List.iter
     (fun ((_ : Looptree.node), (r : Looptree.refinfo)) ->
       let aff = r.aff in
       Obs.incr m_refs_seen;
       Obs.add m_mispredictions (Affine.mispredictions aff);
-      if Filter.keep thresholds r then begin
-        Obs.incr m_promoted;
-        if Affine.partial aff then begin
-          Obs.incr m_partial;
-          Obs.observe m_rank (Affine.m aff)
-        end
-      end
-      else begin
-        Obs.incr m_demoted;
-        Obs.incr
-          (if not (Affine.analyzable aff) then m_dem_unanalyzable
-           else if not (Affine.has_iterator aff) then m_dem_no_iterator
-           else if Affine.execs aff < thresholds.Filter.nexec then m_dem_nexec
-           else m_dem_nloc)
-      end)
+      match Filter.verdict thresholds r with
+      | true, _ ->
+          Obs.incr m_promoted;
+          if Affine.partial aff then begin
+            Obs.incr m_partial;
+            Obs.observe m_rank (Affine.m aff)
+          end
+      | false, reason ->
+          Obs.incr m_demoted;
+          Obs.incr
+            (reason_counter
+               (Option.value reason ~default:Provenance.Below_nloc)))
+    (Looptree.refs tree)
+
+(* Close every story with its Step-4 verdict; re-filtering the same tree
+   (e.g. a threshold ablation) replaces earlier verdicts. *)
+let flush_provenance thresholds tree =
+  List.iter
+    (fun ((_ : Looptree.node), (r : Looptree.refinfo)) ->
+      let kept, reason = Filter.verdict thresholds r in
+      Provenance.record (Affine.uid r.aff)
+        (Provenance.Verdict { kept; reason }))
     (Looptree.refs tree)
 
 type mref = {
@@ -98,6 +111,7 @@ let mref_of_info (node : Looptree.node) (r : Looptree.refinfo) =
 
 let of_tree ?(thresholds = Filter.default) ?(loop_kinds = []) tree =
   if Obs.enabled () then flush_inference_obs thresholds tree;
+  if Provenance.enabled () then flush_provenance thresholds tree;
   let kind_of lid = List.assoc_opt lid loop_kinds in
   let sites = Hashtbl.create 64 in
   (* Build the pruned loop forest: keep nodes whose subtree has survivors. *)
@@ -160,7 +174,7 @@ let expr_of_ref r =
   in
   String.concat " + " (string_of_int r.const :: terms)
 
-let to_c t =
+let to_c ?deriv t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "/* FORAY model extracted by FORAY-GEN */\n";
   List.iter
@@ -189,7 +203,14 @@ let to_c t =
         in
         Buffer.add_string buf
           (Printf.sprintf "%s  %s[%s];%s\n" pad (array_name r.site)
-             (expr_of_ref r) note))
+             (expr_of_ref r) note);
+        match deriv with
+        | Some f -> (
+            match f r with
+            | Some d -> Buffer.add_string buf
+                          (Printf.sprintf "%s  /* %s */\n" pad d)
+            | None -> ())
+        | None -> ())
       l.refs;
     List.iter (emit (indent + 1)) l.subs;
     Buffer.add_string buf (pad ^ "}\n")

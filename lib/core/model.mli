@@ -42,12 +42,23 @@ type t = {
 (** [of_tree ~thresholds ~loop_kinds tree] filters references (Step 4) and
     prunes loop nodes whose subtree captured nothing. [loop_kinds] maps
     original loop ids to "for"/"while"/"do" (from
-    {!Foray_instrument.Annotate.loop_table}). *)
+    {!Foray_instrument.Annotate.loop_table}).
+
+    When {!Provenance.enabled}, every reference in [tree] — purged or
+    kept — gets a closing {!Provenance.Verdict} event recorded against
+    its {!Affine.uid} story, so [foraygen explain] can report the Step-4
+    outcome. *)
 val of_tree :
   ?thresholds:Filter.thresholds ->
   ?loop_kinds:(int * string) list ->
   Looptree.t ->
   t
+
+(** [mref_of_info node ref] converts one surviving loop-tree reference to
+    its model form (coefficients paired with loop ids along [node]'s
+    path). Exposed so {!module:Foray_report} can rebuild the model view of
+    a reference when rendering provenance timelines. *)
+val mref_of_info : Looptree.node -> Looptree.refinfo -> mref
 
 (** Total loops in the model (nested included). *)
 val n_loops : t -> int
@@ -67,8 +78,10 @@ val all_refs : t -> (mloop list * mref) list
     style of Figure 4(d): one [char A<site>\[\]] declaration per captured
     site and a [main] of perfectly nested [for] loops whose bodies are the
     array references. Partial references carry a comment noting that their
-    base varies with the outer loops. *)
-val to_c : t -> string
+    base varies with the outer loops. [deriv], when given, maps a
+    reference to an optional one-line derivation note (typically from its
+    {!Provenance} story) emitted as a comment under the access. *)
+val to_c : ?deriv:(mref -> string option) -> t -> string
 
 (** Renders one reference's index expression, e.g.
     ["2147440948 + 1*i15 + 103*i12"]. *)

@@ -4,6 +4,7 @@ module Event = Foray_trace.Event
 module Tstats = Foray_trace.Tstats
 module Annotate = Foray_instrument.Annotate
 module Obs = Foray_obs.Obs
+module Span = Foray_obs.Span
 
 let t_simulate = Obs.timer "pipeline.simulate"
 let t_analyze = Obs.timer "pipeline.analyze"
@@ -47,7 +48,11 @@ let loop_functions (prog : Ast.program) =
 
 let finish ~thresholds ~program ~instrumented ~loop_kinds tree tstats sim =
   Looptree.flush_metrics tree;
-  let model = Obs.time t_analyze (fun () -> Model.of_tree ~thresholds ~loop_kinds tree) in
+  let model =
+    Span.with_span ~cat:"pipeline" "pipeline.analyze" (fun () ->
+        Obs.time t_analyze (fun () ->
+            Model.of_tree ~thresholds ~loop_kinds tree))
+  in
   let funcs = loop_functions program in
   {
     program;
@@ -62,31 +67,46 @@ let finish ~thresholds ~program ~instrumented ~loop_kinds tree tstats sim =
   }
 
 let run ?(config = Interp.default_config) ?(thresholds = Filter.default) prog =
-  Minic.Sema.check_exn prog;
-  let instrumented = Annotate.program prog in
-  let loop_kinds = Annotate.loop_table prog in
+  Span.with_span ~cat:"pipeline" "pipeline.sema" (fun () ->
+      Minic.Sema.check_exn prog);
+  let instrumented, loop_kinds =
+    Span.with_span ~cat:"pipeline" "pipeline.annotate" (fun () ->
+        (Annotate.program prog, Annotate.loop_table prog))
+  in
   let tree = Looptree.create () in
   let tstats = Tstats.create () in
   let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
-  let sim = Obs.time t_simulate (fun () -> Interp.run ~config instrumented ~sink) in
+  let sim =
+    Span.with_span ~cat:"pipeline" "pipeline.simulate" (fun () ->
+        Obs.time t_simulate (fun () -> Interp.run ~config instrumented ~sink))
+  in
   finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree tstats sim
 
 let run_source ?config ?thresholds src =
-  run ?config ?thresholds (Minic.Parser.program src)
+  let prog =
+    Span.with_span ~cat:"pipeline" "pipeline.parse" (fun () ->
+        Minic.Parser.program src)
+  in
+  run ?config ?thresholds prog
 
 let run_offline ?(config = Interp.default_config)
     ?(thresholds = Filter.default) prog =
-  Minic.Sema.check_exn prog;
-  let instrumented = Annotate.program prog in
-  let loop_kinds = Annotate.loop_table prog in
+  Span.with_span ~cat:"pipeline" "pipeline.sema" (fun () ->
+      Minic.Sema.check_exn prog);
+  let instrumented, loop_kinds =
+    Span.with_span ~cat:"pipeline" "pipeline.annotate" (fun () ->
+        (Annotate.program prog, Annotate.loop_table prog))
+  in
   let sim, trace =
-    Obs.time t_simulate (fun () -> Interp.run_to_trace ~config instrumented)
+    Span.with_span ~cat:"pipeline" "pipeline.simulate" (fun () ->
+        Obs.time t_simulate (fun () -> Interp.run_to_trace ~config instrumented))
   in
   (* Replay the stored trace through the analyzers. *)
   let tree = Looptree.create () in
   let tstats = Tstats.create () in
   let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
-  List.iter sink trace;
+  Span.with_span ~cat:"pipeline" "pipeline.replay" (fun () ->
+      List.iter sink trace);
   ( finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree tstats sim,
     trace )
 

@@ -1,0 +1,172 @@
+(* Stories are keyed by Affine uid in one mutex-protected table; events
+   are consed in reverse and flipped on read. Recording is skipped
+   entirely (no allocation) while disabled — Affine checks [enabled]
+   before building event payloads. *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+
+type purge_reason = Unanalyzable | No_iterator | Below_nexec | Below_nloc
+
+type event =
+  | First_sighting of { exec : int; addr : int }
+  | Coeff_solved of {
+      exec : int;
+      iter : int;
+      coeff : int;
+      d_addr : int;
+      d_iter : int;
+      const : int;
+    }
+  | Non_integer of { exec : int; iter : int; d_addr : int; d_iter : int }
+  | Ambiguous of { exec : int; changed : int list }
+  | Mispredicted of {
+      exec : int;
+      predicted : int;
+      actual : int;
+      sticky : bool array;
+      m : int;
+      const : int;
+    }
+  | Verdict of { kept : bool; reason : purge_reason option }
+
+type cell = { c_site : int; c_depth : int; mutable c_events : event list }
+
+let registry : (int, cell) Hashtbl.t = Hashtbl.create 256
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let reset () = with_lock (fun () -> Hashtbl.reset registry)
+
+let register ~uid ~site ~depth =
+  if enabled () then
+    with_lock (fun () ->
+        if not (Hashtbl.mem registry uid) then
+          Hashtbl.add registry uid
+            { c_site = site; c_depth = depth; c_events = [] })
+
+let is_verdict = function Verdict _ -> true | _ -> false
+
+let record uid e =
+  if enabled () then
+    with_lock (fun () ->
+        match Hashtbl.find_opt registry uid with
+        | None -> ()
+        | Some c ->
+            (* one verdict per story: re-filtering replaces it *)
+            if is_verdict e then
+              c.c_events <- List.filter (fun e -> not (is_verdict e)) c.c_events;
+            c.c_events <- e :: c.c_events)
+
+type story = { site : int; depth : int; events : event list }
+
+let story_of_cell c =
+  { site = c.c_site; depth = c.c_depth; events = List.rev c.c_events }
+
+let story uid =
+  with_lock (fun () ->
+      Option.map story_of_cell (Hashtbl.find_opt registry uid))
+
+let stories () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun uid c acc -> (uid, story_of_cell c) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* --- replay ------------------------------------------------------------ *)
+
+type replayed = {
+  r_coeffs : int option array;
+  r_m : int;
+  r_const : int option;
+  r_analyzable : bool;
+}
+
+let replay ~depth events =
+  let coeffs = Array.make depth None in
+  let m = ref depth in
+  let const = ref None in
+  let analyzable = ref true in
+  List.iter
+    (function
+      | First_sighting { addr; _ } ->
+          const := Some addr;
+          m := depth
+      | Coeff_solved { iter; coeff; const = c; _ } ->
+          if iter >= 0 && iter < depth then coeffs.(iter) <- Some coeff;
+          const := Some c
+      | Non_integer _ | Ambiguous _ -> analyzable := false
+      | Mispredicted { m = m'; const = c; _ } ->
+          m := m';
+          const := Some c
+      | Verdict _ -> ())
+    events;
+  { r_coeffs = coeffs; r_m = !m; r_const = !const; r_analyzable = !analyzable }
+
+(* --- rendering --------------------------------------------------------- *)
+
+let reason_to_string = function
+  | Unanalyzable -> "non-analyzable"
+  | No_iterator -> "no-iterator"
+  | Below_nexec -> "below-Nexec"
+  | Below_nloc -> "below-Nloc"
+
+let all_reasons = [ Unanalyzable; No_iterator; Below_nexec; Below_nloc ]
+
+let event_label = function
+  | First_sighting _ -> "first_sighting"
+  | Coeff_solved _ -> "coeff_solved"
+  | Non_integer _ -> "non_integer"
+  | Ambiguous _ -> "ambiguous"
+  | Mispredicted _ -> "mispredicted"
+  | Verdict _ -> "verdict"
+
+let event_exec = function
+  | First_sighting { exec; _ }
+  | Coeff_solved { exec; _ }
+  | Non_integer { exec; _ }
+  | Ambiguous { exec; _ }
+  | Mispredicted { exec; _ } ->
+      Some exec
+  | Verdict _ -> None
+
+let sticky_to_string s =
+  String.concat ""
+    (List.init (Array.length s) (fun i -> if s.(i) then "1" else "0"))
+
+let event_to_string = function
+  | First_sighting { exec; addr } ->
+      Printf.sprintf "exec %d: first sighting at addr %#x; CONST := %d" exec
+        addr addr
+  | Coeff_solved { exec; iter; coeff; d_addr; d_iter; const } ->
+      Printf.sprintf
+        "exec %d: C%d solved from iterator %d: daddr=%d over diter=%d gives \
+         C%d=%d (const rebased to %d)"
+        exec (iter + 1) (iter + 1) d_addr d_iter (iter + 1) coeff const
+  | Non_integer { exec; iter; d_addr; d_iter } ->
+      Printf.sprintf
+        "exec %d: no integer coefficient for iterator %d (daddr=%d, \
+         diter=%d); marked non-analyzable"
+        exec (iter + 1) d_addr d_iter
+  | Ambiguous { exec; changed } ->
+      Printf.sprintf
+        "exec %d: %d unknown-coefficient iterators changed together (%s); \
+         marked non-analyzable (Fig. 8 step 4)"
+        exec
+        (List.length changed)
+        (String.concat ","
+           (List.map (fun i -> Printf.sprintf "i%d" (i + 1)) changed))
+  | Mispredicted { exec; predicted; actual; sticky; m; const } ->
+      Printf.sprintf
+        "exec %d: mispredicted (predicted %d, actual %d); sticky=%s; \
+         demoted to m=%d, const rebased to %d"
+        exec predicted actual (sticky_to_string sticky) m const
+  | Verdict { kept = true; _ } -> "verdict: kept in the FORAY model"
+  | Verdict { kept = false; reason } ->
+      Printf.sprintf "verdict: purged (%s)"
+        (match reason with
+        | Some r -> reason_to_string r
+        | None -> "unspecified")

@@ -1,0 +1,121 @@
+(** Inference provenance: the recorded lifecycle of every {!Affine.t}.
+
+    Algorithm 3 reaches its verdict about a memory reference through a
+    sequence of irreversible steps — a first sighting fixes the constant,
+    each single-iterator change solves one coefficient, a misprediction
+    grows the sticky set and demotes the expression to a partial rank, a
+    simultaneous multi-iterator change (or a non-integer coefficient
+    equation) marks it non-analyzable, and Step 4 finally purges it for
+    one of three reasons. The paper's Figure 4 walkthrough narrates this
+    by hand for one reference; this module records it for all of them, so
+    [foraygen explain] can answer "why did reference X end up like this?"
+
+    Recording follows the {!Obs} zero-cost discipline: while
+    {!enabled} is [false] (the default) nothing is allocated or stored —
+    {!Affine.observe} pays one atomic load per call. Each tracked
+    reference is keyed by its {!Affine.uid}; the registry is
+    mutex-protected, so {!Foray_util.Parallel} workers may run pipelines
+    concurrently. *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** Forget every recorded story. *)
+val reset : unit -> unit
+
+(** {1 Events} *)
+
+(** Why Step 4 dropped a reference (tested in this order). *)
+type purge_reason =
+  | Unanalyzable  (** marked non-analyzable during inference *)
+  | No_iterator  (** no included iterator with a nonzero coefficient *)
+  | Below_nexec  (** executed fewer than [Nexec] times *)
+  | Below_nloc  (** touched fewer than [Nloc] distinct locations *)
+
+(** One lifecycle step. [exec] is the 0-based index of the execution that
+    triggered the event; iterator indices are 0-based, innermost first
+    (iterator [i] is the paper's [iter_{i+1}]). *)
+type event =
+  | First_sighting of { exec : int; addr : int }
+      (** Step 1: the constant term is initialized to the first address. *)
+  | Coeff_solved of {
+      exec : int;
+      iter : int;  (** the single unknown-coefficient iterator that moved *)
+      coeff : int;  (** the solved coefficient *)
+      d_addr : int;  (** address delta attributed to this iterator *)
+      d_iter : int;  (** iterator delta that produced it *)
+      const : int;  (** constant term after re-basing *)
+    }  (** Step 3: [coeff = d_addr / d_iter]. *)
+  | Non_integer of { exec : int; iter : int; d_addr : int; d_iter : int }
+      (** The coefficient equation had no integer solution; the reference
+          is marked non-analyzable (divergence noted in {!Affine}). *)
+  | Ambiguous of { exec : int; changed : int list }
+      (** Fig. 8 Step 4: several unknown-coefficient iterators changed at
+          once; the reference is marked non-analyzable. *)
+  | Mispredicted of {
+      exec : int;
+      predicted : int;
+      actual : int;
+      sticky : bool array;  (** snapshot of the sticky set after update *)
+      m : int;  (** rank after demotion *)
+      const : int;  (** constant term after re-basing *)
+    }  (** Steps 5–6: wrong prediction, demotion to a partial rank. *)
+  | Verdict of { kept : bool; reason : purge_reason option }
+      (** Step 4 of Algorithm 1: the filter decision. Recording a second
+          verdict replaces the first (re-filtering the same tree). *)
+
+(** {1 Recording} (no-ops while disabled) *)
+
+(** [register ~uid ~site ~depth] opens a story for a tracked reference. *)
+val register : uid:int -> site:int -> depth:int -> unit
+
+(** [record uid e] appends [e] to the story of [uid]. Unknown [uid]s are
+    ignored (their reference was created while recording was off). *)
+val record : int -> event -> unit
+
+(** {1 Inspection} *)
+
+type story = {
+  site : int;
+  depth : int;
+  events : event list;  (** in recording order *)
+}
+
+(** The story of one reference, if it was registered. *)
+val story : int -> story option
+
+(** All stories, sorted by registration order (uid). *)
+val stories : unit -> (int * story) list
+
+(** {1 Replay}
+
+    Re-deriving the inference outcome from the recorded events alone; the
+    property tests check this against the live {!Affine.t}. *)
+
+type replayed = {
+  r_coeffs : int option array;  (** [Some c] per solved coefficient *)
+  r_m : int;  (** rank *)
+  r_const : int option;  (** [None] before the first sighting *)
+  r_analyzable : bool;
+}
+
+(** [replay ~depth events] folds the events of one story. *)
+val replay : depth:int -> event list -> replayed
+
+(** {1 Rendering} *)
+
+(** Machine-friendly event tag, e.g. ["coeff_solved"]. *)
+val event_label : event -> string
+
+(** The triggering execution index, when the event has one. *)
+val event_exec : event -> int option
+
+(** One human-readable line per event (no trailing newline). *)
+val event_to_string : event -> string
+
+val reason_to_string : purge_reason -> string
+
+(** All purge reasons, in test order (for summary tables). *)
+val all_reasons : purge_reason list

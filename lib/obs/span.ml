@@ -1,0 +1,563 @@
+(* Completed spans land in one process-global ring; per-domain nesting
+   state (the open-span path) lives in domain-local storage, so recording
+   only contends on the ring mutex once per completed span. Instants are
+   zero-duration entries (e_dur < 0 marks them). *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+
+type entry = {
+  e_path : string; (* "outer;inner" within the recording domain *)
+  e_name : string;
+  e_cat : string;
+  e_tid : int;
+  e_ts : float; (* microseconds since [epoch] *)
+  e_dur : float; (* microseconds; negative for instants *)
+  e_args : (string * string) list;
+}
+
+let dummy =
+  { e_path = ""; e_name = ""; e_cat = ""; e_tid = 0; e_ts = 0.0; e_dur = 0.0;
+    e_args = [] }
+
+let default_capacity = 65536
+let lock = Mutex.create ()
+let ring = ref (Array.make default_capacity dummy)
+let count = ref 0
+let next = ref 0
+let n_dropped = ref 0
+let epoch = ref (Unix.gettimeofday ())
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* End timestamps of already-closed spans, keyed by path. A span left out
+   of order (parent before child) would otherwise outlive its enclosing
+   interval in the export; clamping the child's end to the closed
+   ancestor's keeps every track well-nested. Entering a path again clears
+   its stale cap. *)
+let caps_key : (string, float) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let push e =
+  with_lock (fun () ->
+      let cap = Array.length !ring in
+      !ring.(!next) <- e;
+      next := (!next + 1) mod cap;
+      if !count = cap then incr n_dropped else incr count)
+
+let snapshot () =
+  with_lock (fun () ->
+      let cap = Array.length !ring in
+      Array.init !count (fun i -> !ring.((!next - !count + i + cap) mod cap)))
+
+let reset () =
+  Hashtbl.reset (Domain.DLS.get caps_key);
+  with_lock (fun () ->
+      Array.fill !ring 0 (Array.length !ring) dummy;
+      count := 0;
+      next := 0;
+      n_dropped := 0;
+      epoch := Unix.gettimeofday ())
+
+let set_capacity cap =
+  if cap <= 0 then invalid_arg "Span.set_capacity: non-positive capacity";
+  with_lock (fun () ->
+      ring := Array.make cap dummy;
+      count := 0;
+      next := 0;
+      n_dropped := 0)
+
+let recorded () = with_lock (fun () -> !count)
+let dropped () = with_lock (fun () -> !n_dropped)
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+let tid () = (Domain.self () :> int)
+
+(* The open-span path of this domain, innermost first. Entries are full
+   paths, so [leave] restores the parent by popping one frame. *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+type span =
+  | Off
+  | On of {
+      s_name : string;
+      s_cat : string;
+      s_args : (string * string) list;
+      s_ts : float;
+      s_tid : int;
+      s_path : string;
+    }
+
+let null = Off
+
+let enter ?(cat = "foray") ?(args = []) name =
+  if not (enabled ()) then Off
+  else begin
+    let st = Domain.DLS.get stack_key in
+    let path = match !st with [] -> name | p :: _ -> p ^ ";" ^ name in
+    st := path :: !st;
+    Hashtbl.remove (Domain.DLS.get caps_key) path;
+    On
+      { s_name = name; s_cat = cat; s_args = args; s_ts = now_us ();
+        s_tid = tid (); s_path = path }
+  end
+
+let leave = function
+  | Off -> ()
+  | On s ->
+      let st = Domain.DLS.get stack_key in
+      (match !st with [] -> () | _ :: rest -> st := rest);
+      if enabled () then begin
+        let caps = Domain.DLS.get caps_key in
+        let fin = ref (now_us ()) in
+        String.iteri
+          (fun i c ->
+            if c = ';' then
+              match Hashtbl.find_opt caps (String.sub s.s_path 0 i) with
+              | Some e when e < !fin -> fin := e
+              | _ -> ())
+          s.s_path;
+        let fin = Float.max s.s_ts !fin in
+        Hashtbl.replace caps s.s_path fin;
+        push
+          { e_path = s.s_path; e_name = s.s_name; e_cat = s.s_cat;
+            e_tid = s.s_tid; e_ts = s.s_ts; e_dur = fin -. s.s_ts;
+            e_args = s.s_args }
+      end
+
+let with_span ?cat ?args name f =
+  let s = enter ?cat ?args name in
+  Fun.protect ~finally:(fun () -> leave s) f
+
+let instant ?(cat = "foray") ?(args = []) name =
+  if enabled () then begin
+    let st = Domain.DLS.get stack_key in
+    let path = match !st with [] -> name | p :: _ -> p ^ ";" ^ name in
+    push
+      { e_path = path; e_name = name; e_cat = cat; e_tid = tid ();
+        e_ts = now_us (); e_dur = -1.0; e_args = args }
+  end
+
+(* --- Chrome trace-event export ---------------------------------------- *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_str b s =
+  Buffer.add_char b '"';
+  add_escaped b s;
+  Buffer.add_char b '"'
+
+let add_args b args =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      add_str b k;
+      Buffer.add_string b ": ";
+      add_str b v)
+    args;
+  Buffer.add_char b '}'
+
+let to_chrome_json () =
+  let es = snapshot () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  let first = ref true in
+  let item f =
+    if !first then first := false else Buffer.add_string b ",";
+    Buffer.add_string b "\n  ";
+    f ()
+  in
+  item (fun () ->
+      Buffer.add_string b
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"foraygen\"}}");
+  let tids =
+    List.sort_uniq compare (Array.to_list (Array.map (fun e -> e.e_tid) es))
+  in
+  List.iter
+    (fun t ->
+      item (fun () ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \
+                \"tid\": %d, \"args\": {\"name\": \"domain%d\"}}"
+               t t)))
+    tids;
+  Array.iter
+    (fun e ->
+      item (fun () ->
+          Buffer.add_string b "{\"name\": ";
+          add_str b e.e_name;
+          Buffer.add_string b ", \"cat\": ";
+          add_str b e.e_cat;
+          if e.e_dur < 0.0 then
+            Buffer.add_string b
+              (Printf.sprintf
+                 ", \"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 1, \
+                  \"tid\": %d"
+                 e.e_ts e.e_tid)
+          else
+            Buffer.add_string b
+              (Printf.sprintf
+                 ", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \
+                  \"tid\": %d"
+                 e.e_ts e.e_dur e.e_tid);
+          Buffer.add_string b ", \"args\": ";
+          add_args b e.e_args;
+          Buffer.add_char b '}'))
+    es;
+  Buffer.add_string b "\n]}";
+  Buffer.contents b
+
+(* --- folded stacks ----------------------------------------------------- *)
+
+let to_folded () =
+  let es = snapshot () in
+  (* inclusive microseconds per distinct stack, domain-prefixed *)
+  let incl = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      if e.e_dur >= 0.0 then begin
+        let key = Printf.sprintf "domain%d;%s" e.e_tid e.e_path in
+        let prev = try Hashtbl.find incl key with Not_found -> 0.0 in
+        Hashtbl.replace incl key (prev +. e.e_dur)
+      end)
+    es;
+  (* self time: inclusive minus the inclusive time of direct children.
+     Same-stack spans never overlap (stack discipline), so this is exact
+     up to clock resolution. *)
+  let self = Hashtbl.copy incl in
+  Hashtbl.iter
+    (fun key v ->
+      match String.rindex_opt key ';' with
+      | None -> ()
+      | Some i -> (
+          let parent = String.sub key 0 i in
+          match Hashtbl.find_opt self parent with
+          | Some p -> Hashtbl.replace self parent (p -. v)
+          | None -> ()))
+    incl;
+  let lines =
+    Hashtbl.fold
+      (fun key v acc ->
+        let us = Float.round v in
+        if us >= 1.0 then Printf.sprintf "%s %.0f" key us :: acc else acc)
+      self []
+  in
+  String.concat "" (List.map (fun l -> l ^ "\n") (List.sort compare lines))
+
+let write path =
+  let data =
+    if Filename.check_suffix path ".folded" then to_folded ()
+    else to_chrome_json () ^ "\n"
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+(* --- validation -------------------------------------------------------- *)
+
+(* A minimal JSON reader, enough to structurally check our own export (and
+   any spec-conforming trace): full value grammar, string escapes decoded
+   loosely (\uXXXX becomes '?'), numbers via [float_of_string]. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        (if !pos >= n then fail "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'u' ->
+             if !pos + 4 > n then fail "short \\u escape";
+             String.iter
+               (fun h ->
+                 match h with
+                 | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                 | _ -> fail "bad \\u escape")
+               (String.sub s !pos 4);
+             pos := !pos + 4;
+             Buffer.add_char b '?'
+         | _ -> fail "bad escape");
+        go ()
+      end
+      else if Char.code c < 0x20 then fail "control character in string"
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a value";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Jnum f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Jobj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jarr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Jarr (elements [])
+        end
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+let validate_chrome str =
+  match parse_json str with
+  | exception Bad msg -> Error ("not valid JSON: " ^ msg)
+  | Jobj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Jarr events) -> (
+          let err = ref None in
+          let fail fmt =
+            Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt
+          in
+          (* collect X events per tid for the nesting check *)
+          let tracks : (int, (float * float) list ref) Hashtbl.t =
+            Hashtbl.create 8
+          in
+          List.iteri
+            (fun i ev ->
+              match ev with
+              | Jobj f -> (
+                  let str_field k =
+                    match List.assoc_opt k f with
+                    | Some (Jstr s) -> Some s
+                    | _ -> None
+                  in
+                  let num_field k =
+                    match List.assoc_opt k f with
+                    | Some (Jnum x) -> Some x
+                    | _ -> None
+                  in
+                  if str_field "name" = None then
+                    fail "event %d: missing name" i;
+                  match str_field "ph" with
+                  | None -> fail "event %d: missing ph" i
+                  | Some "X" -> (
+                      match (num_field "ts", num_field "dur", num_field "tid")
+                      with
+                      | Some ts, Some dur, Some tid ->
+                          if dur < 0.0 then fail "event %d: negative dur" i
+                          else begin
+                            let l =
+                              match Hashtbl.find_opt tracks (int_of_float tid)
+                              with
+                              | Some l -> l
+                              | None ->
+                                  let l = ref [] in
+                                  Hashtbl.add tracks (int_of_float tid) l;
+                                  l
+                            in
+                            l := (ts, dur) :: !l
+                          end
+                      | _ -> fail "event %d: X event missing ts/dur/tid" i)
+                  | Some "i" ->
+                      if num_field "ts" = None then
+                        fail "event %d: instant missing ts" i
+                  | Some _ -> ())
+              | _ -> fail "event %d: not an object" i)
+            events;
+          (* per-track laminar check: sorted by start (longest first on
+             ties), every span fits inside the enclosing open span *)
+          let eps = 0.002 in
+          Hashtbl.iter
+            (fun tid l ->
+              let spans =
+                List.sort
+                  (fun (a, da) (b, db) ->
+                    match compare a b with 0 -> compare db da | c -> c)
+                  !l
+              in
+              let stack = ref [] in
+              List.iter
+                (fun (ts, dur) ->
+                  let fin = ts +. dur in
+                  let rec pop () =
+                    match !stack with
+                    | top :: rest when top <= ts +. eps ->
+                        stack := rest;
+                        pop ()
+                    | _ -> ()
+                  in
+                  pop ();
+                  (match !stack with
+                  | top :: _ when fin > top +. eps ->
+                      fail
+                        "track %d: span at ts=%.3f overlaps its enclosing \
+                         span"
+                        tid ts
+                  | _ -> ());
+                  stack := fin :: !stack)
+                spans)
+            tracks;
+          match !err with
+          | Some m -> Error m
+          | None -> Ok (List.length events))
+      | _ -> Error "missing traceEvents array")
+  | _ -> Error "top level is not an object"
+
+let validate_chrome_file path =
+  match
+    let ic = In_channel.open_bin path in
+    Fun.protect
+      ~finally:(fun () -> In_channel.close ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | exception Sys_error msg -> Error msg
+  | data -> validate_chrome data
+
+(* --- environment activation ------------------------------------------- *)
+
+let env_done = ref false
+
+let setup_env () =
+  if not !env_done then begin
+    env_done := true;
+    (match Sys.getenv_opt "FORAY_OBS" with
+    | None | Some "" | Some "0" | Some "false" | Some "off" -> ()
+    | Some ("1" | "true" | "yes" | "on") -> Obs.set_enabled true
+    | Some path ->
+        Obs.set_enabled true;
+        at_exit (fun () ->
+            try
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc (Obs.to_json ());
+                  output_char oc '\n')
+            with Sys_error _ -> ()));
+    match Sys.getenv_opt "FORAY_TRACE" with
+    | None | Some "" -> ()
+    | Some path ->
+        set_enabled true;
+        at_exit (fun () -> try write path with Sys_error _ -> ())
+  end

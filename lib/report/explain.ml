@@ -1,0 +1,251 @@
+module Affine = Foray_core.Affine
+module Filter = Foray_core.Filter
+module Looptree = Foray_core.Looptree
+module Model = Foray_core.Model
+module Pipeline = Foray_core.Pipeline
+module Provenance = Foray_core.Provenance
+module Tablefmt = Foray_util.Tablefmt
+
+type ref_story = {
+  uid : int;
+  site : int;
+  path : int list;
+  depth : int;
+  kept : bool;
+  reason : Provenance.purge_reason option;
+  expr : string;
+  execs : int;
+  locations : int;
+  mispredictions : int;
+  events : Provenance.event list;
+}
+
+type t = {
+  name : string;
+  thresholds : Filter.thresholds;
+  refs : ref_story list;
+  model_c : string;
+}
+
+let rec path_of (n : Looptree.node) acc =
+  match n.Looptree.parent with
+  | None -> acc
+  | Some p -> path_of p (n.Looptree.lid :: acc)
+
+let derivation_line events =
+  let solved = ref [] and mis = ref 0 in
+  List.iter
+    (fun e ->
+      match e with
+      | Provenance.Coeff_solved { exec; iter; coeff; _ } ->
+          if not (List.exists (fun (i, _, _) -> i = iter) !solved) then
+            solved := (iter, coeff, exec) :: !solved
+      | Provenance.Mispredicted _ -> incr mis
+      | _ -> ())
+    events;
+  if !solved = [] && !mis = 0 then None
+  else
+    let coeffs =
+      List.sort compare !solved
+      |> List.map (fun (i, c, e) ->
+             Printf.sprintf "C%d=%d @exec %d" (i + 1) c e)
+    in
+    let mis_part =
+      Printf.sprintf "%d misprediction%s" !mis (if !mis = 1 then "" else "s")
+    in
+    Some (String.concat "; " (coeffs @ [ mis_part ]))
+
+let story_of_ref thresholds ((node, r) : Looptree.node * Looptree.refinfo) =
+  let aff = r.Looptree.aff in
+  let uid = Affine.uid aff in
+  let events =
+    match Provenance.story uid with Some s -> s.events | None -> []
+  in
+  let kept, reason = Filter.verdict thresholds r in
+  let expr = Model.expr_of_ref (Model.mref_of_info node r) in
+  {
+    uid;
+    site = Affine.site aff;
+    path = path_of node [];
+    depth = Affine.depth aff;
+    kept;
+    reason;
+    expr;
+    execs = Affine.execs aff;
+    locations = Foray_util.Iset.cardinal r.Looptree.starts;
+    mispredictions = Affine.mispredictions aff;
+    events;
+  }
+
+let run_source ?(name = "program") ?(thresholds = Filter.default) src =
+  let was = Provenance.enabled () in
+  Provenance.reset ();
+  Provenance.set_enabled true;
+  let restore () = Provenance.set_enabled was in
+  let r =
+    try Pipeline.run_source ~thresholds src
+    with e ->
+      restore ();
+      raise e
+  in
+  let refs =
+    List.map (story_of_ref thresholds) (Looptree.refs r.tree)
+    |> List.sort (fun a b -> compare (a.site, a.uid) (b.site, b.uid))
+  in
+  (* Derivation notes for the annotated model, keyed by what [mref_of_info]
+     reproduces for the surviving references. *)
+  let derivs = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s.kept then
+        match derivation_line s.events with
+        | Some d -> Hashtbl.replace derivs (s.site, s.expr) d
+        | None -> ())
+    refs;
+  let deriv (mr : Model.mref) =
+    Hashtbl.find_opt derivs (mr.Model.site, Model.expr_of_ref mr)
+  in
+  let model_c = Model.to_c ~deriv r.model in
+  restore ();
+  { name; thresholds; refs; model_c }
+
+(* --- text rendering ---------------------------------------------------- *)
+
+let verdict_string s =
+  if s.kept then "KEPT"
+  else
+    Printf.sprintf "PURGED (%s)"
+      (match s.reason with
+      | Some r -> Provenance.reason_to_string r
+      | None -> "unspecified")
+
+let path_string path =
+  if path = [] then "-"
+  else String.concat " > " (List.map string_of_int path)
+
+let summary_table t =
+  let tab =
+    Tablefmt.create ~title:"Step-4 purge summary" [ "Verdict"; "References" ]
+  in
+  let kept = List.length (List.filter (fun s -> s.kept) t.refs) in
+  Tablefmt.row tab [ "kept"; string_of_int kept ];
+  List.iter
+    (fun reason ->
+      let n =
+        List.length
+          (List.filter (fun s -> (not s.kept) && s.reason = Some reason) t.refs)
+      in
+      Tablefmt.row tab
+        [ "purged: " ^ Provenance.reason_to_string reason; string_of_int n ])
+    Provenance.all_reasons;
+  Tablefmt.separator tab;
+  Tablefmt.row tab [ "total"; string_of_int (List.length t.refs) ];
+  Tablefmt.render tab
+
+let select ?site t =
+  match site with
+  | None -> t.refs
+  | Some s -> List.filter (fun r -> r.site = s) t.refs
+
+let render ?site t =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "foraygen explain: %s (Nexec=%d, Nloc=%d)\n\n" t.name
+    t.thresholds.Filter.nexec t.thresholds.Filter.nloc;
+  let chosen = select ?site t in
+  (match (site, chosen) with
+  | Some s, [] ->
+      out "no reference with site %#x; known sites: %s\n" s
+        (String.concat ", "
+           (List.sort_uniq compare
+              (List.map (fun r -> Printf.sprintf "%#x" r.site) t.refs)))
+  | _ -> ());
+  List.iter
+    (fun s ->
+      out "reference %s (site %#x), loops [%s], depth %d - %s\n"
+        (Model.array_name s.site) s.site (path_string s.path) s.depth
+        (verdict_string s);
+      out "  expr: %s\n" s.expr;
+      out "  execs %d, locations %d, mispredictions %d\n" s.execs s.locations
+        s.mispredictions;
+      (match derivation_line s.events with
+      | Some d -> out "  derivation: %s\n" d
+      | None -> ());
+      List.iter
+        (fun e -> out "    %s\n" (Provenance.event_to_string e))
+        s.events;
+      out "\n")
+    chosen;
+  if site = None then begin
+    Buffer.add_string buf (summary_table t);
+    out "\nFORAY model with derivations:\n%s" t.model_c
+  end;
+  Buffer.contents buf
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_json ?site t =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\"program\": ";
+  add_json_string buf t.name;
+  out ", \"thresholds\": {\"nexec\": %d, \"nloc\": %d}, \"refs\": ["
+    t.thresholds.Filter.nexec t.thresholds.Filter.nloc;
+  let chosen = select ?site t in
+  List.iteri
+    (fun i s ->
+      if i > 0 then out ", ";
+      out
+        "{\"uid\": %d, \"site\": \"%#x\", \"path\": [%s], \"depth\": %d, \
+         \"kept\": %b, \"reason\": %s, \"expr\": "
+        s.uid s.site
+        (String.concat ", " (List.map string_of_int s.path))
+        s.depth s.kept
+        (match s.reason with
+        | Some r -> Printf.sprintf "\"%s\"" (Provenance.reason_to_string r)
+        | None -> "null");
+      add_json_string buf s.expr;
+      out ", \"execs\": %d, \"locations\": %d, \"mispredictions\": %d, \
+           \"events\": ["
+        s.execs s.locations s.mispredictions;
+      List.iteri
+        (fun j e ->
+          if j > 0 then out ", ";
+          out "{\"label\": \"%s\", \"exec\": %s, \"text\": "
+            (Provenance.event_label e)
+            (match Provenance.event_exec e with
+            | Some n -> string_of_int n
+            | None -> "null");
+          add_json_string buf (Provenance.event_to_string e);
+          out "}")
+        s.events;
+      out "]}")
+    chosen;
+  let kept = List.length (List.filter (fun s -> s.kept) t.refs) in
+  out "], \"summary\": {\"kept\": %d, \"purged\": {" kept;
+  List.iteri
+    (fun i reason ->
+      if i > 0 then out ", ";
+      out "\"%s\": %d"
+        (Provenance.reason_to_string reason)
+        (List.length
+           (List.filter
+              (fun s -> (not s.kept) && s.reason = Some reason)
+              t.refs)))
+    Provenance.all_reasons;
+  out "}}}";
+  Buffer.contents buf

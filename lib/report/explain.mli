@@ -1,0 +1,50 @@
+(** Rendering {!Foray_core.Provenance} stories: the [foraygen explain]
+    back end.
+
+    Runs the pipeline with provenance recording on, pairs every tracked
+    reference with its loop-tree context and Step-4 verdict, and renders
+    per-reference inference timelines (the paper's Figure 4 walkthrough,
+    automated), a purge summary table, and the FORAY model annotated with
+    one-line derivations. *)
+
+(** One reference's recorded life, joined with its tree context. *)
+type ref_story = {
+  uid : int;  (** {!Foray_core.Affine.uid} of the tracker *)
+  site : int;
+  path : int list;  (** enclosing loop ids, outermost first *)
+  depth : int;
+  kept : bool;
+  reason : Foray_core.Provenance.purge_reason option;  (** when purged *)
+  expr : string;  (** rendered (partial) affine expression *)
+  execs : int;
+  locations : int;  (** distinct start addresses *)
+  mispredictions : int;
+  events : Foray_core.Provenance.event list;
+}
+
+type t = {
+  name : string;  (** program name, for headings *)
+  thresholds : Foray_core.Filter.thresholds;
+  refs : ref_story list;  (** sorted by (site, uid) *)
+  model_c : string;  (** {!Foray_core.Model.to_c} with derivation notes *)
+}
+
+(** [run_source ~name ~thresholds src] parses and runs [src] through the
+    pipeline with provenance recording enabled (the previous enabled state
+    and any previously recorded stories are restored afterwards). *)
+val run_source :
+  ?name:string -> ?thresholds:Foray_core.Filter.thresholds -> string -> t
+
+(** [derivation_line events] compresses a story into one line, e.g.
+    ["C1=1 @exec 1; C2=103 @exec 103; 0 mispredictions"]. [None] when the
+    story holds no inference step. *)
+val derivation_line : Foray_core.Provenance.event list -> string option
+
+(** [render ?site t] lays out the report: one timeline per reference
+    (restricted to [site] when given), the purge summary table, and —
+    when no [site] filter is active — the annotated model. Unknown [site]
+    values render a note listing the sites that do exist. *)
+val render : ?site:int -> t -> string
+
+(** Machine-readable form of the same data (stable key order). *)
+val to_json : ?site:int -> t -> string

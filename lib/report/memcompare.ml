@@ -14,6 +14,9 @@ type result = {
 
 let run ?(cache_config = Cache.default_config) (b : Foray_suite.Suite.bench)
     ~capacity =
+  Foray_obs.Span.with_span ~cat:"report" "memcompare.run"
+    ~args:[ ("bench", b.name); ("capacity", string_of_int capacity) ]
+  @@ fun () ->
   let cache_config = { cache_config with Cache.size_bytes = capacity } in
   let cache = Cache.create cache_config in
   let prog = Minic.Parser.program b.source in

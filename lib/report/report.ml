@@ -35,6 +35,9 @@ let rec fold_model_loops f acc (l : Model.mloop) =
   List.fold_left (fold_model_loops f) acc l.subs
 
 let report ?thresholds (b : Foray_suite.Suite.bench) =
+  Foray_obs.Span.with_span ~cat:"report" "report.bench"
+    ~args:[ ("bench", b.name) ]
+  @@ fun () ->
   let r =
     match thresholds with
     | Some thresholds -> Pipeline.run_source ~thresholds b.source

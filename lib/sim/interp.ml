@@ -4,6 +4,7 @@ module Memory = Minic_machine.Memory
 module Layout = Minic_machine.Layout
 module Resolve = Minic.Resolve
 module Obs = Foray_obs.Obs
+module Span = Foray_obs.Span
 
 (* Hot-loop statistics accumulate in plain [ctx] fields (an int store, no
    branch on the metrics switch) and are flushed as aggregates once per
@@ -83,6 +84,8 @@ type ctx = {
   mutable max_frame_depth : int;
   mutable rand_state : int;
   mutable output : int list;  (* reversed *)
+  tracing : bool;  (* Span.enabled, cached once per run *)
+  mutable loop_spans : (int * Span.span) list;  (* open loop-execution spans *)
 }
 
 let ckind_of_ast = function
@@ -548,7 +551,28 @@ and exec_stmt ctx st =
       try List.iter (fun (c : switch_case) -> exec_block ctx c.body) selected
       with Brk -> ())
   | Scheckpoint (loop, kind) ->
+      if ctx.tracing then trace_checkpoint ctx loop kind;
       ctx.sink (Event.Checkpoint { loop; kind = ckind_of_ast kind })
+
+(* One span per loop execution (Loop_enter .. Loop_exit). Early function
+   returns can skip a Loop_exit checkpoint, so closing pops every span
+   opened since the matching enter; stray exits are ignored. *)
+and trace_checkpoint ctx loop kind =
+  match kind with
+  | Loop_enter ->
+      let s = Span.enter ~cat:"loop" (Printf.sprintf "loop%d" loop) in
+      ctx.loop_spans <- (loop, s) :: ctx.loop_spans
+  | Loop_exit ->
+      if List.mem_assoc loop ctx.loop_spans then begin
+        let rec pop = function
+          | (lid, s) :: rest ->
+              Span.leave s;
+              if lid = loop then rest else pop rest
+          | [] -> []
+        in
+        ctx.loop_spans <- pop ctx.loop_spans
+      end
+  | Body_enter | Body_exit -> ()
 
 and eval_full ctx e = try eval ctx e with Ret v -> v
 
@@ -616,7 +640,13 @@ and init_array ctx site addr ty vals =
 (* ------------------------------------------------------------------ *)
 
 let run ?(config = default_config) (prog : program) ~sink =
-  let res = if config.resolve then Resolve.program prog else None in
+  let tracing = Span.enabled () in
+  let res =
+    if config.resolve then
+      Span.with_span ~cat:"interp" "interp.resolve" (fun () ->
+          Resolve.program prog)
+    else None
+  in
   let n_globals = match res with Some r -> r.Resolve.n_globals | None -> 0 in
   let ctx =
     {
@@ -640,6 +670,8 @@ let run ?(config = default_config) (prog : program) ~sink =
       max_frame_depth = 0;
       rand_state = config.rand_seed land 0x3fff_ffff;
       output = [];
+      tracing;
+      loop_spans = [];
     }
   in
   (* Allocate globals first so initializers may reference earlier ones. *)
@@ -682,12 +714,24 @@ let run ?(config = default_config) (prog : program) ~sink =
     prog.globals;
   ctx.accesses <- 0;
   (* silent ctx shares the mutable counters record? No: record copy; reset. *)
+  let drain_spans () =
+    List.iter (fun (_, s) -> Span.leave s) ctx.loop_spans;
+    ctx.loop_spans <- []
+  in
   let ret =
-    match Hashtbl.find_opt ctx.funcs "main" with
-    | None -> error "program has no main"
-    | Some _ ->
-        let call_eid = 0 in
-        as_int (call_catch ctx "main" [] call_eid)
+    let span = if tracing then Span.enter ~cat:"interp" "interp.run" else Span.null in
+    Fun.protect
+      ~finally:(fun () ->
+        if tracing then begin
+          drain_spans ();
+          Span.leave span
+        end)
+      (fun () ->
+        match Hashtbl.find_opt ctx.funcs "main" with
+        | None -> error "program has no main"
+        | Some _ ->
+            let call_eid = 0 in
+            as_int (call_catch ctx "main" [] call_eid))
   in
   if Obs.enabled () then begin
     Obs.incr m_runs;

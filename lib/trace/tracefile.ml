@@ -1,4 +1,5 @@
 module Obs = Foray_obs.Obs
+module Span = Foray_obs.Span
 
 type format = Text | Binary
 
@@ -143,6 +144,9 @@ let sink_to_file ~format path =
   let flush () =
     Obs.add m_bytes_written (Buffer.length buf);
     Obs.incr m_flushes;
+    if Span.enabled () then
+      Span.instant ~cat:"trace" "trace.flush"
+        ~args:[ ("bytes", string_of_int (Buffer.length buf)) ];
     Buffer.output_buffer oc buf;
     Buffer.clear buf
   in
@@ -196,6 +200,9 @@ let with_reader path k =
           k (`Text ic))
 
 let fold path f init =
+  Span.with_span ~cat:"trace" "trace.read"
+    ~args:[ ("path", Filename.basename path) ]
+  @@ fun () ->
   with_reader path (function
     | `Binary ic ->
         let acc = ref init in

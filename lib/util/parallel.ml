@@ -1,4 +1,5 @@
 module Obs = Foray_obs.Obs
+module Span = Foray_obs.Span
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -18,14 +19,23 @@ let map ?jobs f xs =
        and the summed busy time, i.e. what a better schedule could still
        reclaim. Only sampled when collection is on. *)
     let obs = Obs.enabled () in
+    let tracing = Span.enabled () in
     let tasks_done = Array.make nworkers 0 in
     let busy = Array.make nworkers 0.0 in
     let rec worker w =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
         let t0 = if obs then Obs.now () else 0.0 in
+        let span =
+          if tracing then
+            Span.enter ~cat:"parallel"
+              ~args:[ ("worker", string_of_int w) ]
+              (Printf.sprintf "task%d" i)
+          else Span.null
+        in
         (results.(i) <-
            (match f input.(i) with v -> Done v | exception e -> Failed e));
+        if tracing then Span.leave span;
         if obs then begin
           tasks_done.(w) <- tasks_done.(w) + 1;
           busy.(w) <- busy.(w) +. (Obs.now () -. t0)

@@ -4,6 +4,8 @@ let () =
   Alcotest.run "foray"
     [
       ("obs", Test_obs.tests);
+      ("span", Test_span.tests);
+      ("provenance", Test_provenance.tests);
       ("iset", Test_iset.tests);
       ("util", Test_util.tests);
       ("minic", Test_minic.tests);

@@ -90,6 +90,35 @@ let t_timer () =
   | Some s -> Alcotest.(check bool) "non-negative" true (s >= 0.0)
   | None -> Alcotest.fail "timer not registered"
 
+let t_timer_charges_on_raise () =
+  (* a timed section that raises must still be charged its elapsed time *)
+  let t = Obs.timer "t.raise" in
+  (try Obs.time t (fun () -> failwith "boom") with Failure _ -> ());
+  match Obs.timer_seconds "t.raise" with
+  | Some s -> Alcotest.(check bool) "elapsed charged" true (s >= 0.0)
+  | None -> Alcotest.fail "raising section left the timer unregistered"
+
+let t_timer_reentrant () =
+  (* nested time on the same timer: both sections charge, so the total is
+     at least the inner section's share and nothing is lost or doubled
+     into other cells *)
+  let t = Obs.timer "t.nest" in
+  let v =
+    Obs.time t (fun () ->
+        Obs.time t (fun () ->
+            let t0 = Unix.gettimeofday () in
+            while Unix.gettimeofday () -. t0 < 0.002 do
+              ()
+            done;
+            17))
+  in
+  Alcotest.(check int) "value passes through nesting" 17 v;
+  match Obs.timer_seconds "t.nest" with
+  | Some s ->
+      (* inner (>= 2ms) and outer (>= inner) both accumulate *)
+      Alcotest.(check bool) "both sections charged" true (s >= 0.004)
+  | None -> Alcotest.fail "timer not registered"
+
 let t_pipeline_smoke () =
   (* the acceptance check: counters flushed by a full pipeline run agree
      with the result record the pipeline itself returns *)
@@ -148,6 +177,9 @@ let tests =
     Alcotest.test_case "reset invalidates" `Quick (scoped t_reset_invalidates);
     Alcotest.test_case "histogram json" `Quick (scoped t_histogram_json);
     Alcotest.test_case "timer" `Quick (scoped t_timer);
+    Alcotest.test_case "timer charges on raise" `Quick
+      (scoped t_timer_charges_on_raise);
+    Alcotest.test_case "timer re-entrant" `Quick (scoped t_timer_reentrant);
     Alcotest.test_case "pipeline metrics smoke" `Quick (scoped t_pipeline_smoke);
     Alcotest.test_case "trace io counters" `Quick (scoped t_trace_io_counters);
   ]

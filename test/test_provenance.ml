@@ -1,0 +1,201 @@
+(* Provenance tests: recorded stories replay to the live Affine state
+   (the qcheck oracle), pipeline runs give every tracked reference a
+   first sighting and a verdict, verdicts replace on re-filtering, and
+   the explain renderer compresses stories into derivation lines. *)
+
+open Foray_core
+
+(* Every test owns the global story registry for its duration. *)
+let scoped f () =
+  Provenance.reset ();
+  Provenance.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Provenance.set_enabled false;
+      Provenance.reset ())
+    f
+
+let contains hay needle =
+  let n = String.length needle and hs = String.length hay in
+  let rec go i = i + n <= hs && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- replay oracle ----------------------------------------------------- *)
+
+(* Address streams covering the whole event vocabulary: exact affine
+   functions (all coefficients solve), per-outer-iteration base jumps
+   (mispredictions and demotion), and pure noise (non-analyzable or
+   fully demoted). *)
+let gen_case =
+  QCheck2.Gen.(
+    let* depth = int_range 1 3 in
+    let* trips = list_repeat depth (int_range 2 4) in
+    let* coeffs = list_repeat depth (int_range (-8) 8) in
+    let* base = int_range 0 10_000 in
+    let* kind = int_range 0 2 in
+    let* seed = int_range 1 1_000_000 in
+    return (trips, Array.of_list coeffs, base, kind, seed))
+
+let addr_of_case (coeffs, base, kind, seed) it =
+  let affine =
+    let a = ref base in
+    Array.iteri (fun i v -> a := !a + (coeffs.(i) * v)) it;
+    !a
+  in
+  match kind with
+  | 0 -> affine
+  | 1 ->
+      (* base jumps with the outermost iterator: demotion territory *)
+      let outer = it.(Array.length it - 1) in
+      affine + (((outer * seed) mod 7919) * 64)
+  | _ ->
+      (* deterministic hash noise: usually non-analyzable *)
+      let h = ref seed in
+      Array.iter (fun v -> h := (!h * 131) + v) it;
+      (!h * 2654435761) land 0xFFFFF
+
+let prop_replay_matches_live =
+  QCheck2.Test.make ~name:"provenance replay reproduces the live tracker"
+    ~count:300 gen_case (fun (trips, coeffs, base, kind, seed) ->
+      Provenance.reset ();
+      Provenance.set_enabled true;
+      let aff =
+        Fun.protect
+          ~finally:(fun () -> Provenance.set_enabled false)
+          (fun () ->
+            Test_affine.drive ~trips
+              ~addr_of:(addr_of_case (coeffs, base, kind, seed)))
+      in
+      let depth = List.length trips in
+      match Provenance.story (Affine.uid aff) with
+      | None -> false
+      | Some story ->
+          let rp = Provenance.replay ~depth story.events in
+          rp.r_analyzable = Affine.analyzable aff
+          && rp.r_m = Affine.m aff
+          && rp.r_const = Some (Affine.const aff)
+          && Array.for_all2
+               (fun replayed live ->
+                 match (replayed, live) with
+                 | Some c, Affine.Known c' -> c = c'
+                 | None, Affine.Unknown -> true
+                 | _ -> false)
+               rp.r_coeffs (Affine.coeffs aff))
+
+(* --- pipeline coverage ------------------------------------------------- *)
+
+let t_pipeline_stories () =
+  let r =
+    Pipeline.run_source
+      ~thresholds:Filter.{ nexec = 2; nloc = 2 }
+      Foray_suite.Figures.fig4a
+  in
+  let refs = Looptree.refs r.tree in
+  Alcotest.(check bool) "tree has references" true (refs <> []);
+  List.iter
+    (fun ((_ : Looptree.node), (ri : Looptree.refinfo)) ->
+      match Provenance.story (Affine.uid ri.Looptree.aff) with
+      | None -> Alcotest.fail "tracked reference without a story"
+      | Some s ->
+          (match s.events with
+          | Provenance.First_sighting _ :: _ -> ()
+          | _ -> Alcotest.fail "story does not open with a first sighting");
+          Alcotest.(check bool) "story carries a verdict" true
+            (List.exists
+               (function Provenance.Verdict _ -> true | _ -> false)
+               s.events))
+    refs
+
+let t_verdict_replaced () =
+  Provenance.register ~uid:424242 ~site:1 ~depth:1;
+  Provenance.record 424242
+    (Provenance.Verdict { kept = false; reason = Some Provenance.Below_nexec });
+  Provenance.record 424242 (Provenance.Verdict { kept = true; reason = None });
+  match Provenance.story 424242 with
+  | None -> Alcotest.fail "story missing"
+  | Some s -> (
+      let verdicts =
+        List.filter
+          (function Provenance.Verdict _ -> true | _ -> false)
+          s.events
+      in
+      match verdicts with
+      | [ Provenance.Verdict { kept; _ } ] ->
+          Alcotest.(check bool) "later verdict wins" true kept
+      | _ -> Alcotest.fail "expected exactly one verdict")
+
+let t_disabled_records_nothing () =
+  Provenance.set_enabled false;
+  Provenance.register ~uid:777 ~site:1 ~depth:1;
+  Provenance.record 777 (Provenance.First_sighting { exec = 0; addr = 4 });
+  Alcotest.(check bool) "no story while disabled" true
+    (Provenance.story 777 = None);
+  (* records for never-registered uids are dropped, not crashed on *)
+  Provenance.set_enabled true;
+  Provenance.record 778 (Provenance.First_sighting { exec = 0; addr = 4 });
+  Alcotest.(check bool) "unknown uid ignored" true (Provenance.story 778 = None)
+
+(* --- explain rendering ------------------------------------------------- *)
+
+let t_derivation_line () =
+  let events =
+    [ Provenance.First_sighting { exec = 0; addr = 1000 };
+      Provenance.Coeff_solved
+        { exec = 1; iter = 0; coeff = 4; d_addr = 4; d_iter = 1; const = 1000 };
+      Provenance.Mispredicted
+        { exec = 5; predicted = 1016; actual = 2000; sticky = [| false |];
+          m = 1; const = 2000 }
+    ]
+  in
+  (match Foray_report.Explain.derivation_line events with
+  | Some line ->
+      Alcotest.(check string) "compressed derivation"
+        "C1=4 @exec 1; 1 misprediction" line
+  | None -> Alcotest.fail "derivation expected");
+  Alcotest.(check (option string)) "no inference, no line" None
+    (Foray_report.Explain.derivation_line
+       [ Provenance.Verdict { kept = true; reason = None } ])
+
+let t_explain_smoke () =
+  (* Explain manages the provenance flag itself; run it disabled to check
+     the save/restore path too *)
+  Provenance.set_enabled false;
+  let e =
+    Foray_report.Explain.run_source ~name:"fig4a"
+      ~thresholds:Filter.{ nexec = 4; nloc = 4 }
+      Foray_suite.Figures.fig4a
+  in
+  Alcotest.(check bool) "flag restored" false (Provenance.enabled ());
+  Alcotest.(check bool) "references explained" true (e.refs <> []);
+  List.iter
+    (fun (s : Foray_report.Explain.ref_story) ->
+      Alcotest.(check bool) "every story opens with a sighting" true
+        (match s.events with
+        | Provenance.First_sighting _ :: _ -> true
+        | _ -> false))
+    e.refs;
+  let text = Foray_report.Explain.render e in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " rendered") true (contains text needle))
+    [ "foraygen explain: fig4a"; "reference "; "Step-4 purge summary";
+      "FORAY model with derivations:" ];
+  (* the paper's Figure 4 walkthrough: site 0x11 solves C1=1, C2=103 *)
+  Alcotest.(check bool) "figure 4 derivation" true
+    (contains text "C1=1 @exec 1" && contains text "C2=103");
+  let unknown = Foray_report.Explain.render ~site:0xdead e in
+  Alcotest.(check bool) "unknown site lists known ones" true
+    (contains unknown "known sites:")
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_replay_matches_live;
+    Alcotest.test_case "pipeline stories complete" `Quick
+      (scoped t_pipeline_stories);
+    Alcotest.test_case "verdict replaced on re-filter" `Quick
+      (scoped t_verdict_replaced);
+    Alcotest.test_case "disabled records nothing" `Quick
+      (scoped t_disabled_records_nothing);
+    Alcotest.test_case "derivation line" `Quick t_derivation_line;
+    Alcotest.test_case "explain smoke" `Quick (scoped t_explain_smoke);
+  ]
