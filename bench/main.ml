@@ -57,27 +57,27 @@ let tables b =
 
 let figure2 b =
   bsection b "Figure 2: FORAY models of the Figure 1 excerpts";
-  let r = Pipeline.run_source ~thresholds:(th 10 10) Figures.fig1 in
+  let r = Pipeline.run_source_exn ~thresholds:(th 10 10) Figures.fig1 in
   Buffer.add_string b (Model.to_c r.model)
 
 let figure4 b =
   bsection b "Figure 4: annotated program, trace and model";
   let prog = Minic.Parser.program Figures.fig4a in
-  let _, trace = Pipeline.run_offline ~thresholds:(th 2 2) prog in
+  let _, trace = Pipeline.run_offline_exn ~thresholds:(th 2 2) prog in
   Printf.bprintf b "trace (first 16 of %d records):\n" (List.length trace);
   List.iteri
     (fun i e ->
       if i < 16 then
         Printf.bprintf b "  %s\n" (Foray_trace.Event.to_line e))
     trace;
-  let r = Pipeline.run_source ~thresholds:(th 2 2) Figures.fig4a in
+  let r = Pipeline.run_source_exn ~thresholds:(th 2 2) Figures.fig4a in
   Buffer.add_string b (Model.to_c r.model)
 
 let figure7 b =
   bsection b "Figure 7: partial affine index expressions";
   List.iter
     (fun (name, src) ->
-      let r = Pipeline.run_source ~thresholds:(th 10 5) src in
+      let r = Pipeline.run_source_exn ~thresholds:(th 10 5) src in
       let partials =
         List.filter (fun (_, (mr : Model.mref)) -> mr.partial)
           (Model.all_refs r.model)
@@ -95,7 +95,7 @@ let figure7 b =
 
 let figure9 b =
   bsection b "Figure 9: function duplication hints";
-  let r = Pipeline.run_source ~thresholds:(th 5 5) Figures.fig9 in
+  let r = Pipeline.run_source_exn ~thresholds:(th 5 5) Figures.fig9 in
   Buffer.add_string b (Hints.to_string (Pipeline.hints r))
 
 (* ------------------------------------------------------------------ *)
@@ -111,7 +111,7 @@ let spm_sweep b =
   in
   List.iter
     (fun (bench : Suite.bench) ->
-      let r = Pipeline.run_source bench.source in
+      let r = Pipeline.run_source_exn bench.source in
       let cands = Foray_spm.Reuse.candidates r.model in
       let row =
         List.map
@@ -148,7 +148,7 @@ let ablation_thresholds b =
   in
   List.iter
     (fun (nexec, nloc) ->
-      let r = Pipeline.run ~thresholds:(th nexec nloc) prog in
+      let r = Pipeline.run_exn ~thresholds:(th nexec nloc) prog in
       Tablefmt.row t
         [
           string_of_int nexec; string_of_int nloc;
@@ -170,7 +170,7 @@ let ablation_partial b =
   in
   List.iter
     (fun (bench : Suite.bench) ->
-      let r = Pipeline.run_source bench.source in
+      let r = Pipeline.run_source_exn bench.source in
       let refs = Model.all_refs r.model in
       let partial =
         List.filter (fun (_, (mr : Model.mref)) -> mr.partial) refs
@@ -196,7 +196,7 @@ let ablation_dse b =
   in
   List.iter
     (fun (bench : Suite.bench) ->
-      let r = Pipeline.run_source bench.source in
+      let r = Pipeline.run_source_exn bench.source in
       let cands = Foray_spm.Reuse.candidates r.model in
       let g = Foray_spm.Dse.select_greedy cands ~spm_bytes:4096 in
       let o = Foray_spm.Dse.select_optimal cands ~spm_bytes:4096 in
@@ -218,7 +218,7 @@ let ablation_fusion b =
   in
   List.iter
     (fun (bench : Suite.bench) ->
-      let r = Pipeline.run_source bench.source in
+      let r = Pipeline.run_source_exn bench.source in
       let plain = Foray_spm.Reuse.candidates r.model in
       let fused = Foray_spm.Reuse.candidates ~fuse:true r.model in
       let sp = Foray_spm.Dse.select_optimal plain ~spm_bytes:1024 in
@@ -244,7 +244,7 @@ let model_fidelity b =
   List.iter
     (fun (bench : Suite.bench) ->
       let prog = Minic.Parser.program bench.source in
-      let r, trace = Pipeline.run_offline prog in
+      let r, trace = Pipeline.run_offline_exn prog in
       let rep = Validate.replay r.model trace in
       let exact =
         List.fold_left (fun a (rr : Validate.ref_report) -> a + rr.exact) 0
@@ -283,9 +283,9 @@ let ablation_online b =
       let bench = Option.get (Suite.find name) in
       let prog = Minic.Parser.program bench.source in
       let t0 = now () in
-      let online = Pipeline.run prog in
+      let online = Pipeline.run_exn prog in
       let t1 = now () in
-      let offline, trace = Pipeline.run_offline prog in
+      let offline, trace = Pipeline.run_offline_exn prog in
       let t2 = now () in
       Tablefmt.row t
         [
@@ -412,9 +412,9 @@ let microbench b =
   let adpcm = Minic.Parser.program (Option.get (Suite.find "adpcm")).source in
   run_one
     (Test.make ~name:"pipeline.run adpcm (end to end)"
-       (Staged.stage (fun () -> ignore (Pipeline.run adpcm))));
+       (Staged.stage (fun () -> ignore (Pipeline.run_exn adpcm))));
   (* knapsack on a real candidate set *)
-  let gsm = Pipeline.run_source (Option.get (Suite.find "gsm")).source in
+  let gsm = Pipeline.run_source_exn (Option.get (Suite.find "gsm")).source in
   let cands = Foray_spm.Reuse.candidates gsm.model in
   run_one
     (Test.make ~name:"dse.select_optimal gsm@4KiB"
@@ -430,6 +430,7 @@ type pipeline_perf = {
   events : int;
   steps : int;
   seconds : float;
+  degraded : bool;  (** the run hit a simulator budget and stopped early *)
 }
 
 (* One timed simulate-and-analyze run: the interpreter feeding the loop
@@ -451,7 +452,13 @@ let measure_pipeline (bench : Suite.bench) =
   let sim = Minic_sim.Interp.run instrumented ~sink in
   let seconds = now () -. t0 in
   ignore (Model.of_tree tree);
-  { pname = bench.name; events = !events; steps = sim.steps; seconds }
+  {
+    pname = bench.name;
+    events = !events;
+    steps = sim.steps;
+    seconds;
+    degraded = sim.stopped <> Minic_sim.Interp.Completed;
+  }
 
 (* Interpreter microbenchmark on the jpeg analogue, resolver on and off:
    steps per second with a null sink isolates the simulator itself. A
@@ -514,8 +521,10 @@ let write_json ~path ~section_times ~pipelines ~interp ~total =
   add "    \"quick\": %b,\n" !quick;
   add "    \"obs_overhead_pct\": %.2f,\n"
     (100.0 *. (resolved -. with_metrics) /. resolved);
-  add "    \"trace_overhead_pct\": %.2f\n"
+  add "    \"trace_overhead_pct\": %.2f,\n"
     (100.0 *. (resolved -. with_tracing) /. resolved);
+  add "    \"degraded_runs\": %d\n"
+    (List.length (List.filter (fun p -> p.degraded) pipelines));
   add "  },\n";
   add "  \"generated_by\": \"bench/main.exe --json\",\n";
   add "  \"jobs\": %d,\n" !jobs;
@@ -540,9 +549,10 @@ let write_json ~path ~section_times ~pipelines ~interp ~total =
     (fun i p ->
       add
         "    {\"name\": %S, \"events\": %d, \"steps\": %d, \"seconds\": \
-         %.4f, \"events_per_sec\": %.0f}%s\n"
+         %.4f, \"events_per_sec\": %.0f, \"degraded\": %b}%s\n"
         p.pname p.events p.steps p.seconds
         (float_of_int p.events /. p.seconds)
+        p.degraded
         (if i = List.length pipelines - 1 then "" else ","))
     pipelines;
   add "  ],\n";

@@ -10,31 +10,72 @@
      metrics   - run the full flow with counters on, print/check them
      explain   - per-reference Algorithm-3 inference timelines
      tracecheck - validate an exported Chrome trace file
-*)
+     faults    - fault-injection campaign over a program's trace
+
+   Exit codes follow the documented contract (README "Exit and error
+   codes"): 0 success, 3 success-but-degraded, 10-15 the typed taxonomy
+   of Foray_core.Error, anything else cmdliner usage errors. *)
 
 open Cmdliner
 module Obs = Foray_obs.Obs
 module Span = Foray_obs.Span
+module Ferr = Foray_core.Error
 
-let load_source name_or_path =
-  match Foray_suite.Suite.find name_or_path with
-  | Some b -> Ok b.source
-  | None -> (
-      match List.assoc_opt name_or_path Foray_suite.Figures.all with
-      | Some src -> Ok src
-      | None ->
-          if Sys.file_exists name_or_path then begin
-            let ic = open_in_bin name_or_path in
-            let n = in_channel_length ic in
-            let s = really_input_string ic n in
-            close_in ic;
-            Ok s
-          end
+let load_source = Foray_suite.Suite.load
+
+(* Exit code for runs that finished but lost something (budget stop,
+   salvaged trace): distinct from both success and the error taxonomy so
+   scripts can branch on it. *)
+let exit_degraded = 3
+
+let fail_error ?(json = false) e =
+  if json then prerr_endline (Ferr.to_json e)
+  else Printf.eprintf "foraygen: %s\n" (Ferr.to_string e);
+  Ferr.exit_code e
+
+(* Run a subcommand body; exceptions the taxonomy recognizes become the
+   documented exit codes instead of cmdliner's generic 125 backtrace. *)
+let guard ?json f =
+  match Ferr.catch f with Ok code -> code | Error e -> fail_error ?json e
+
+(* Map the shortfalls of an otherwise successful run onto the exit-code
+   contract: nothing lost -> 0; degraded -> notes on stderr and exit 3;
+   degraded under --strict -> the corresponding typed error. *)
+let finish_degraded ?(strict = false) ?(json = false) degraded =
+  match degraded with
+  | [] -> 0
+  | d :: _ when strict ->
+      fail_error ~json
+        (match d with
+        | Foray_core.Pipeline.Degraded_budget { budget; limit; spent; _ } ->
+            Ferr.Budget_exceeded { budget; limit; spent }
+        | Foray_core.Pipeline.Degraded_corrupt { offset; kind; salvaged; _ } ->
+            Ferr.Trace_corrupt { offset; kind; events_salvaged = salvaged })
+  | ds ->
+      List.iter
+        (fun d ->
+          if json then
+            prerr_endline (Foray_core.Pipeline.degradation_to_json d)
           else
-            Error
-              (Printf.sprintf
-                 "unknown program %S (not a benchmark, figure or file)"
-                 name_or_path))
+            Printf.eprintf "foraygen: %s\n"
+              (Foray_core.Pipeline.degradation_to_string d))
+        ds;
+      exit_degraded
+
+(* A positional PROGRAM argument may actually be a stored trace file;
+   recognize both on-disk formats so [extract] can fall back to offline
+   analysis (Steps 3-4) of the file. *)
+let looks_like_trace path =
+  Sys.file_exists path
+  && (not (Sys.is_directory path))
+  &&
+  let head =
+    In_channel.with_open_bin path (fun ic ->
+        really_input_string ic (min 16 (In_channel.length ic |> Int64.to_int)))
+  in
+  String.starts_with ~prefix:"FORAYTR1" head
+  || String.starts_with ~prefix:"Checkpoint:" head
+  || String.starts_with ~prefix:"Instr:" head
 
 let prog_arg =
   let doc =
@@ -124,8 +165,45 @@ let with_metrics path f =
       in
       Fun.protect ~finally:finish f
 
-let config_of scalars =
-  { Minic_sim.Interp.default_config with trace_scalars = scalars }
+let strict_arg =
+  let doc =
+    "Fail fast with a typed error instead of degrading: corrupt trace \
+     records become E_TRACE_CORRUPT and exhausted budgets become E_BUDGET, \
+     rather than a partial model with exit code 3."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let json_errors_arg =
+  let doc =
+    "Print errors and degradation notes as one-line JSON objects on stderr."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let max_steps_arg =
+  let doc =
+    "Statement budget for the simulation; exhausting it stops the run \
+     cleanly and the model covers the prefix seen (exit 3)."
+  in
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Wall-clock budget for the simulation, in milliseconds." in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_events_arg =
+  let doc = "Budget on trace events emitted (accesses plus checkpoints)." in
+  Arg.(
+    value & opt (some int) None & info [ "max-trace-events" ] ~docv:"N" ~doc)
+
+let config_of ?max_steps ?deadline_ms ?max_trace_events scalars =
+  let d = Minic_sim.Interp.default_config in
+  {
+    d with
+    trace_scalars = scalars;
+    max_steps = Option.value max_steps ~default:d.Minic_sim.Interp.max_steps;
+    deadline_ms;
+    max_trace_events;
+  }
 
 (* Simulate a named program into a fresh binary trace file and hand the
    path to [k]; the temporary is removed afterwards. Exercises the whole
@@ -147,7 +225,43 @@ let with_simulated_trace ~scalars src k =
 
 let run_pipeline src ~nexec ~nloc ~scalars =
   let thresholds = Foray_core.Filter.{ nexec; nloc } in
-  Foray_core.Pipeline.run_source ~config:(config_of scalars) ~thresholds src
+  Foray_core.Pipeline.run_source_exn ~config:(config_of scalars) ~thresholds
+    src
+
+(* Steps 3-4 on a stored trace file: salvages damaged records by default,
+   [strict] turns the first corrupt record into E_TRACE_CORRUPT. *)
+let analyze_trace_file ~strict ~json ~nexec ~nloc path =
+  let tree = Foray_core.Looptree.create () in
+  match
+    Foray_trace.Tracefile.read ~strict path (Foray_core.Looptree.sink tree)
+  with
+  | Error { Foray_trace.Tracefile.offset; kind; events_before } ->
+      fail_error ~json
+        (Ferr.Trace_corrupt { offset; kind; events_salvaged = events_before })
+  | Ok salvage ->
+      Foray_core.Looptree.flush_metrics tree;
+      let thresholds = Foray_core.Filter.{ nexec; nloc } in
+      let model = Foray_core.Model.of_tree ~thresholds tree in
+      print_string (Foray_core.Model.to_c model);
+      if salvage.resyncs = 0 && not salvage.truncated_tail then 0
+      else
+        finish_degraded ~json
+          [
+            Foray_core.Pipeline.Degraded_corrupt
+              {
+                offset =
+                  (match salvage.first_errors with
+                  | (off, _) :: _ -> off
+                  | [] -> -1);
+                kind =
+                  (match salvage.first_errors with
+                  | (_, k) :: _ -> k
+                  | [] -> "unknown");
+                salvaged = salvage.events;
+                resyncs = salvage.resyncs;
+                bytes_skipped = salvage.bytes_skipped;
+              };
+          ]
 
 (* ---- list ----------------------------------------------------------- *)
 
@@ -172,22 +286,43 @@ let list_cmd =
 (* ---- extract -------------------------------------------------------- *)
 
 let extract_cmd =
-  let run prog nexec nloc scalars show_hints metrics trace_out =
-    match load_source prog with
-    | Error e ->
-        prerr_endline e;
-        1
-    | Ok src ->
-        with_tracing trace_out (fun () ->
-            with_metrics metrics (fun () ->
-                let r = run_pipeline src ~nexec ~nloc ~scalars in
-                print_string (Foray_core.Model.to_c r.model);
-                if show_hints then begin
-                  print_newline ();
-                  print_string
-                    (Foray_core.Hints.to_string (Foray_core.Pipeline.hints r))
-                end;
-                0))
+  let run prog nexec nloc scalars show_hints metrics trace_out strict json
+      max_steps deadline_ms max_events =
+    guard ~json (fun () ->
+        if looks_like_trace prog then
+          (* A stored trace: skip simulation and run Steps 3-4 offline,
+             salvaging damaged records unless --strict. *)
+          with_tracing trace_out (fun () ->
+              with_metrics metrics (fun () ->
+                  analyze_trace_file ~strict ~json ~nexec ~nloc prog))
+        else
+          match load_source prog with
+          | Error e -> fail_error ~json e
+          | Ok src ->
+              with_tracing trace_out (fun () ->
+                  with_metrics metrics (fun () ->
+                      let thresholds = Foray_core.Filter.{ nexec; nloc } in
+                      let config =
+                        config_of ?max_steps ?deadline_ms
+                          ?max_trace_events:max_events scalars
+                      in
+                      match
+                        Foray_core.Pipeline.run_source ~config ~thresholds src
+                      with
+                      | Error e -> fail_error ~json e
+                      | Ok { result = r; degraded } when strict && degraded <> []
+                        ->
+                          ignore r;
+                          finish_degraded ~strict ~json degraded
+                      | Ok { result = r; degraded } ->
+                          print_string (Foray_core.Model.to_c r.model);
+                          if show_hints then begin
+                            print_newline ();
+                            print_string
+                              (Foray_core.Hints.to_string
+                                 (Foray_core.Pipeline.hints r))
+                          end;
+                          finish_degraded ~json degraded)))
   in
   let hints_arg =
     Arg.(value & flag & info [ "hints" ] ~doc:"Also print duplication hints.")
@@ -197,21 +332,21 @@ let extract_cmd =
        ~doc:"Run FORAY-GEN and print the extracted FORAY model")
     Term.(
       const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ hints_arg
-      $ metrics_arg $ trace_out_arg)
+      $ metrics_arg $ trace_out_arg $ strict_arg $ json_errors_arg
+      $ max_steps_arg $ deadline_arg $ max_events_arg)
 
 (* ---- annotate ------------------------------------------------------- *)
 
 let annotate_cmd =
   let run prog =
-    match load_source prog with
-    | Error e ->
-        prerr_endline e;
-        1
-    | Ok src ->
-        let p = Minic.Parser.program src in
-        print_string
-          (Minic.Pretty.program (Foray_instrument.Annotate.program p));
-        0
+    guard (fun () ->
+        match load_source prog with
+        | Error e -> fail_error e
+        | Ok src ->
+            let p = Minic.Parser.program src in
+            print_string
+              (Minic.Pretty.program (Foray_instrument.Annotate.program p));
+            0)
   in
   Cmd.v
     (Cmd.info "annotate"
@@ -222,12 +357,11 @@ let annotate_cmd =
 
 let trace_cmd =
   let run prog limit scalars out format metrics =
-    match load_source prog with
-    | Error e ->
-        prerr_endline e;
-        1
-    | Ok src ->
-        with_metrics metrics (fun () ->
+    guard (fun () ->
+        match load_source prog with
+        | Error e -> fail_error e
+        | Ok src ->
+            with_metrics metrics (fun () ->
             let p = Minic.Parser.program src in
             Minic.Sema.check_exn p;
             let instrumented = Foray_instrument.Annotate.program p in
@@ -260,7 +394,7 @@ let trace_cmd =
                 in
                 if !printed >= limit then
                   Printf.printf "... (truncated at %d events)\n" limit;
-                0)
+                0))
   in
   let limit_arg =
     Arg.(value & opt int 200 & info [ "limit" ] ~doc:"Maximum events to print.")
@@ -285,33 +419,20 @@ let trace_cmd =
 (* ---- analyze (trace file -> model) ---------------------------------- *)
 
 let analyze_cmd =
-  let run target nexec nloc scalars metrics trace_out =
-    let analyze_file path =
-      let tree = Foray_core.Looptree.create () in
-      Foray_trace.Tracefile.iter path (Foray_core.Looptree.sink tree);
-      Foray_core.Looptree.flush_metrics tree;
-      let thresholds = Foray_core.Filter.{ nexec; nloc } in
-      let model = Foray_core.Model.of_tree ~thresholds tree in
-      print_string (Foray_core.Model.to_c model)
-    in
-    with_tracing trace_out (fun () ->
-        with_metrics metrics (fun () ->
-            if Sys.file_exists target then begin
-              analyze_file target;
-              0
-            end
-            else
-              match load_source target with
-              | Error _ ->
-                  Printf.eprintf
-                    "no such trace file (or benchmark/figure name): %s\n" target;
-                  1
-              | Ok src ->
-                  (* A benchmark or figure name: simulate it to a temporary
-                     binary trace first, then analyze that file. *)
-                  with_simulated_trace ~scalars src (fun tmp ->
-                      analyze_file tmp;
-                      0)))
+  let run target nexec nloc scalars metrics trace_out strict json =
+    guard ~json (fun () ->
+        with_tracing trace_out (fun () ->
+            with_metrics metrics (fun () ->
+                if Sys.file_exists target then
+                  analyze_trace_file ~strict ~json ~nexec ~nloc target
+                else
+                  match load_source target with
+                  | Error e -> fail_error ~json e
+                  | Ok src ->
+                      (* A benchmark or figure name: simulate it to a temporary
+                         binary trace first, then analyze that file. *)
+                      with_simulated_trace ~scalars src (fun tmp ->
+                          analyze_trace_file ~strict ~json ~nexec ~nloc tmp))))
   in
   let path_arg =
     Arg.(
@@ -320,29 +441,32 @@ let analyze_cmd =
       & info [] ~docv:"TRACE"
           ~doc:
             "Trace file (text or binary, auto-detected), or a \
-             benchmark/figure name to simulate and analyze in one go.")
+             benchmark/figure name to simulate and analyze in one go. \
+             Damaged records are salvaged by resynchronization unless \
+             $(b,--strict).")
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run Steps 3-4 on a stored trace file and print the model")
     Term.(
       const run $ path_arg $ nexec_arg $ nloc_arg $ scalars_arg $ metrics_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ strict_arg $ json_errors_arg)
 
 (* ---- tree ------------------------------------------------------------ *)
 
 let tree_cmd =
   let run prog show_all =
-    match load_source prog with
-    | Error e ->
-        prerr_endline e;
-        1
-    | Ok src ->
-        let r = Foray_core.Pipeline.run_source src in
-        print_string
-          (Foray_core.Treedump.render ~loop_kinds:r.loop_kinds ~show_all
-             r.tree);
-        0
+    guard (fun () ->
+        match load_source prog with
+        | Error e -> fail_error e
+        | Ok src -> (
+            match Foray_core.Pipeline.run_source src with
+            | Error e -> fail_error e
+            | Ok { result = r; degraded } ->
+                print_string
+                  (Foray_core.Treedump.render ~loop_kinds:r.loop_kinds
+                     ~show_all r.tree);
+                finish_degraded degraded))
   in
   let all_arg =
     Arg.(
@@ -358,15 +482,14 @@ let tree_cmd =
 
 let validate_cmd =
   let run prog nexec nloc =
-    match load_source prog with
-    | Error e ->
-        prerr_endline e;
-        1
-    | Ok src ->
+    guard (fun () ->
+        match load_source prog with
+        | Error e -> fail_error e
+        | Ok src ->
         let thresholds = Foray_core.Filter.{ nexec; nloc } in
         let prog = Minic.Parser.program src in
         let r, trace =
-          Foray_core.Pipeline.run_offline ~thresholds prog
+          Foray_core.Pipeline.run_offline_exn ~thresholds prog
         in
         let rep = Foray_core.Validate.replay r.model trace in
         Printf.printf
@@ -380,7 +503,7 @@ let validate_cmd =
               (String.concat ">" (List.map string_of_int rr.path))
               rr.exact rr.checked rr.rebases)
           rep.refs;
-        0
+        0)
   in
   Cmd.v
     (Cmd.info "validate"
@@ -391,15 +514,14 @@ let validate_cmd =
 
 let stability_cmd =
   let run prog seeds jobs =
-    match load_source prog with
-    | Error e ->
-        prerr_endline e;
-        1
-    | Ok src ->
-        let prog = Minic.Parser.program src in
-        let rep = Foray_core.Stability.study ~jobs ~seeds prog in
-        print_string (Foray_core.Stability.to_string rep);
-        0
+    guard (fun () ->
+        match load_source prog with
+        | Error e -> fail_error e
+        | Ok src ->
+            let prog = Minic.Parser.program src in
+            let rep = Foray_core.Stability.study ~jobs ~seeds prog in
+            print_string (Foray_core.Stability.to_string rep);
+            0)
   in
   let seeds_arg =
     Arg.(
@@ -460,11 +582,10 @@ let tables_cmd =
 
 let spm_cmd =
   let run prog nexec nloc size transformed fuse jobs =
-    match load_source prog with
-    | Error e ->
-        prerr_endline e;
-        1
-    | Ok src ->
+    guard (fun () ->
+        match load_source prog with
+        | Error e -> fail_error e
+        | Ok src ->
         let r = run_pipeline src ~nexec ~nloc ~scalars:true in
         let cands = Foray_spm.Reuse.candidates ~fuse r.model in
         Printf.printf "%d buffer candidate(s)\n" (List.length cands);
@@ -486,7 +607,7 @@ let spm_cmd =
               (fun (_, sel) ->
                 Format.printf "%a@." Foray_spm.Dse.pp_selection sel)
               (Foray_spm.Dse.sweep ~jobs r.model));
-        0
+        0)
   in
   let size_arg =
     Arg.(
@@ -521,11 +642,10 @@ let metrics_cmd =
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
-    match load_source prog with
-    | Error e ->
-        prerr_endline e;
-        1
-    | Ok src ->
+    guard (fun () ->
+        match load_source prog with
+        | Error e -> fail_error e
+        | Ok src ->
         Obs.reset ();
         Obs.set_enabled true;
         with_simulated_trace ~scalars src (fun tmp ->
@@ -573,7 +693,7 @@ let metrics_cmd =
             1
           end
         end
-        else 0
+        else 0)
   in
   let out_arg =
     Arg.(
@@ -609,11 +729,10 @@ let metrics_cmd =
 
 let explain_cmd =
   let run prog nexec nloc ref_site json =
-    match load_source prog with
-    | Error e ->
-        prerr_endline e;
-        1
-    | Ok src -> (
+    guard (fun () ->
+        match load_source prog with
+        | Error e -> fail_error e
+        | Ok src -> (
         let site =
           match ref_site with
           | None -> Ok None
@@ -635,7 +754,7 @@ let explain_cmd =
             let t = Foray_report.Explain.run_source ~name:prog ~thresholds src in
             if json then print_endline (Foray_report.Explain.to_json ?site t)
             else print_string (Foray_report.Explain.render ?site t);
-            0)
+            0))
   in
   let ref_arg =
     Arg.(
@@ -684,6 +803,103 @@ let tracecheck_cmd =
           span nesting")
     Term.(const run $ path_arg)
 
+(* ---- faults ---------------------------------------------------------- *)
+
+let faults_cmd =
+  let module FI = Foray_util.Faultinject in
+  let run prog runs seed json =
+    guard ~json (fun () ->
+        match load_source prog with
+        | Error e -> fail_error ~json e
+        | Ok src ->
+            let p = Minic.Parser.program src in
+            Minic.Sema.check_exn p;
+            let instrumented = Foray_instrument.Annotate.program p in
+            let tmp = Filename.temp_file "foraygen-fault" ".trace" in
+            Fun.protect
+              ~finally:(fun () ->
+                try Sys.remove tmp with Sys_error _ -> ())
+              (fun () ->
+                Foray_trace.Tracefile.with_sink
+                  ~format:Foray_trace.Tracefile.Binary tmp (fun sink ->
+                    ignore (Minic_sim.Interp.run instrumented ~sink));
+                let bytes =
+                  In_channel.with_open_bin tmp In_channel.input_all
+                in
+                let thresholds = Foray_core.Filter.default in
+                (* Feed one mutated trace through the offline analyzers:
+                   salvage read, loop-tree reconstruction, model build. *)
+                let analyze_mutant mutant =
+                  Out_channel.with_open_bin tmp (fun oc ->
+                      Out_channel.output_string oc mutant);
+                  let tree = Foray_core.Looptree.create () in
+                  match
+                    Foray_trace.Tracefile.read tmp
+                      (Foray_core.Looptree.sink tree)
+                  with
+                  | Error _ -> FI.Typed_failure
+                  | Ok s ->
+                      Foray_core.Looptree.flush_metrics tree;
+                      ignore (Foray_core.Model.of_tree ~thresholds tree);
+                      if s.resyncs = 0 && not s.truncated_tail then FI.Clean
+                      else FI.Degraded
+                in
+                (* Stall models a wedged producer, not damaged bytes: run
+                   the live pipeline under a tiny step budget and require a
+                   clean degraded stop. *)
+                let stalled_producer () =
+                  let config =
+                    { Minic_sim.Interp.default_config with max_steps = 64 }
+                  in
+                  match Foray_core.Pipeline.run ~config p with
+                  | Ok { degraded = []; _ } -> FI.Clean
+                  | Ok _ -> FI.Degraded
+                  | Error _ -> FI.Typed_failure
+                in
+                let run_one kind mutant =
+                  match kind with
+                  | FI.Stall -> stalled_producer ()
+                  | _ -> analyze_mutant mutant
+                in
+                let report =
+                  FI.campaign ~seed ~runs ~bytes ~run:run_one
+                in
+                if json then
+                  Printf.printf
+                    "{\"runs\": %d, \"clean\": %d, \"degraded\": %d, \
+                     \"typed\": %d, \"escaped\": %d}\n"
+                    report.runs report.clean report.degraded report.typed
+                    (List.length report.escaped)
+                else print_string (FI.report_to_string report);
+                if report.escaped = [] then 0 else 1))
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of mutated traces to try.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed; equal seeds replay the exact same campaign.")
+  in
+  let prog_arg =
+    let doc =
+      "Program whose trace is mutated: a benchmark name, figure name or \
+       MiniC file (default fig4a)."
+    in
+    Arg.(value & pos 0 string "fig4a" & info [] ~docv:"PROGRAM" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-injection campaign: mutate a simulated trace hundreds of \
+          ways (bit flips, truncation, duplication, garbage, zeroed spans, \
+          stalls) and verify the pipeline always degrades or fails with a \
+          typed error — never an escaped exception. Exit 0 iff no escapes.")
+    Term.(const run $ prog_arg $ runs_arg $ seed_arg $ json_errors_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -698,4 +914,4 @@ let () =
        (Cmd.group info
           [ list_cmd; extract_cmd; annotate_cmd; trace_cmd; analyze_cmd;
             tree_cmd; validate_cmd; stability_cmd; compare_cmd; tables_cmd;
-            spm_cmd; metrics_cmd; explain_cmd; tracecheck_cmd ]))
+            spm_cmd; metrics_cmd; explain_cmd; tracecheck_cmd; faults_cmd ]))

@@ -17,7 +17,7 @@ let () =
   print_string src;
 
   let thresholds = Foray_core.Filter.{ nexec = 5; nloc = 5 } in
-  let r = Foray_core.Pipeline.run_source ~thresholds src in
+  let r = Foray_core.Pipeline.run_source_exn ~thresholds src in
 
   banner "FORAY model: foo's loop appears once per calling context";
   print_string (Foray_core.Model.to_c r.model);

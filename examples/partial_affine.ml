@@ -15,7 +15,7 @@ let show name src =
   banner (name ^ ": program");
   print_string src;
   let thresholds = Foray_core.Filter.{ nexec = 10; nloc = 5 } in
-  let r = Foray_core.Pipeline.run_source ~thresholds src in
+  let r = Foray_core.Pipeline.run_source_exn ~thresholds src in
   banner (name ^ ": FORAY model");
   print_string (Foray_core.Model.to_c r.model);
   banner (name ^ ": per-reference analysis");

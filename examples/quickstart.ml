@@ -22,7 +22,7 @@ let () =
   print_string (Minic.Pretty.program (Foray_instrument.Annotate.program prog));
 
   banner "Profile trace, first 24 records (Figure 4c)";
-  let _, trace = Foray_core.Pipeline.run_offline prog in
+  let _, trace = Foray_core.Pipeline.run_offline_exn prog in
   List.iteri
     (fun i e -> if i < 24 then print_endline (Foray_trace.Event.to_line e))
     trace;
@@ -32,7 +32,7 @@ let () =
   (* The example is tiny, so relax the paper's Nexec=20/Nloc=10 thresholds
      that target real workloads. *)
   let thresholds = Foray_core.Filter.{ nexec = 2; nloc = 2 } in
-  let r = Foray_core.Pipeline.run_source ~thresholds src in
+  let r = Foray_core.Pipeline.run_source_exn ~thresholds src in
   print_string (Foray_core.Model.to_c r.model);
 
   banner "What the static baseline sees";

@@ -13,7 +13,7 @@ let banner title =
 let () =
   let bench = Option.get (Foray_suite.Suite.find "jpeg") in
   banner "Phase I: extract the FORAY model";
-  let r = Foray_core.Pipeline.run_source bench.source in
+  let r = Foray_core.Pipeline.run_source_exn bench.source in
   Printf.printf "model: %d loops, %d references, %d distinct sites\n"
     (Foray_core.Model.n_loops r.model)
     (Foray_core.Model.n_refs r.model)

@@ -49,7 +49,7 @@ let () =
     (Foray_core.Model.n_refs model);
 
   banner "Stage 3: agreement with the online analysis";
-  let online = Foray_core.Pipeline.run prog in
+  let online = Foray_core.Pipeline.run_exn prog in
   Printf.printf "identical models: %b\n"
     (Foray_core.Model.to_c online.model = Foray_core.Model.to_c model);
 

@@ -1,0 +1,121 @@
+type t =
+  | Parse of { msg : string; line : int }
+  | Sema of { msg : string }
+  | Runtime of { loc : string; step : int; msg : string }
+  | Trace_corrupt of { offset : int; kind : string; events_salvaged : int }
+  | Budget_exceeded of { budget : string; limit : int; spent : int }
+  | Not_found_program of { name : string }
+
+let code = function
+  | Parse _ -> "E_PARSE"
+  | Sema _ -> "E_SEMA"
+  | Runtime _ -> "E_RUNTIME"
+  | Trace_corrupt _ -> "E_TRACE_CORRUPT"
+  | Budget_exceeded _ -> "E_BUDGET"
+  | Not_found_program _ -> "E_NOT_FOUND"
+
+let exit_code = function
+  | Parse _ -> 10
+  | Sema _ -> 11
+  | Runtime _ -> 12
+  | Trace_corrupt _ -> 13
+  | Budget_exceeded _ -> 14
+  | Not_found_program _ -> 15
+
+let to_string = function
+  | Parse { msg; line } ->
+      if line > 0 then Printf.sprintf "parse error at line %d: %s" line msg
+      else Printf.sprintf "parse error: %s" msg
+  | Sema { msg } -> Printf.sprintf "semantic error: %s" msg
+  | Runtime { loc; step; msg } ->
+      if step >= 0 then
+        Printf.sprintf "runtime error in %s at step %d: %s" loc step msg
+      else Printf.sprintf "runtime error in %s: %s" loc msg
+  | Trace_corrupt { offset; kind; events_salvaged } ->
+      Printf.sprintf
+        "corrupt trace at byte %d (%s); %d event(s) salvaged before it"
+        offset kind events_salvaged
+  | Budget_exceeded { budget; limit; spent } ->
+      Printf.sprintf "budget %s exceeded: spent %d of %d" budget spent limit
+  | Not_found_program { name } ->
+      Printf.sprintf "unknown program %S (not a benchmark, figure or file)"
+        name
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json e =
+  let detail =
+    match e with
+    | Parse { line; _ } -> Printf.sprintf ", \"line\": %d" line
+    | Sema _ -> ""
+    | Runtime { loc; step; _ } ->
+        Printf.sprintf ", \"loc\": \"%s\", \"step\": %d" (json_escape loc)
+          step
+    | Trace_corrupt { offset; kind; events_salvaged } ->
+        Printf.sprintf
+          ", \"offset\": %d, \"kind\": \"%s\", \"events_salvaged\": %d"
+          offset (json_escape kind) events_salvaged
+    | Budget_exceeded { budget; limit; spent } ->
+        Printf.sprintf ", \"budget\": \"%s\", \"limit\": %d, \"spent\": %d"
+          (json_escape budget) limit spent
+    | Not_found_program { name } ->
+        Printf.sprintf ", \"name\": \"%s\"" (json_escape name)
+  in
+  Printf.sprintf "{\"error\": \"%s\", \"exit\": %d, \"message\": \"%s\"%s}"
+    (code e) (exit_code e)
+    (json_escape (to_string e))
+    detail
+
+exception Error of t
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Foray_core.Error(%s: %s)" (code e) (to_string e))
+    | _ -> None)
+
+let raise_error e = raise (Error e)
+
+(* "Sema: msg" is the prefix Minic.Sema.check_exn uses. *)
+let sema_prefix = "Sema: "
+
+let of_exn = function
+  | Error e -> Some e
+  | Minic.Parser.Error (msg, line) | Minic.Lexer.Error (msg, line) ->
+      Some (Parse { msg; line })
+  | Failure msg
+    when String.length msg >= String.length sema_prefix
+         && String.sub msg 0 (String.length sema_prefix) = sema_prefix ->
+      Some
+        (Sema
+           {
+             msg =
+               String.sub msg (String.length sema_prefix)
+                 (String.length msg - String.length sema_prefix);
+           })
+  | Minic_sim.Interp.Runtime_error msg ->
+      Some (Runtime { loc = "simulate"; step = -1; msg })
+  | Minic_sim.Interp.Runtime_error_at { msg; step } ->
+      Some (Runtime { loc = "simulate"; step; msg })
+  | Foray_trace.Tracefile.Corrupt msg ->
+      Some (Trace_corrupt { offset = -1; kind = msg; events_salvaged = 0 })
+  | _ -> None
+
+let catch f =
+  match f () with
+  | v -> Ok v
+  | exception exn -> (
+      match of_exn exn with Some e -> Error e | None -> raise exn)

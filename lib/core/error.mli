@@ -1,0 +1,72 @@
+(** The closed error taxonomy of the FORAY-GEN pipeline.
+
+    Every way the flow can fail is one constructor of {!t}, with a stable
+    machine-readable code, a process exit code, and both human-readable and
+    JSON renderings. Downstream drivers (bench harness, batch scripts, a
+    future daemon mode) triage failures by {!code} / {!exit_code} without
+    parsing prose.
+
+    The contract (documented in README "Exit and error codes"):
+
+    {v
+    code             exit  meaning
+    E_PARSE            10  source could not be lexed/parsed
+    E_SEMA             11  semantic checking rejected the program
+    E_RUNTIME          12  simulation failed (division by zero, ...)
+    E_TRACE_CORRUPT    13  trace file unusable / corrupt under --strict
+    E_BUDGET           14  a resource budget was exhausted (strict mode)
+    E_NOT_FOUND        15  program name is no benchmark, figure or file
+    v}
+
+    Exit code 0 is success and 3 is "succeeded, but degraded" (partial
+    model after salvage or a budget stop) — see {!Pipeline.degradation}. *)
+
+type t =
+  | Parse of { msg : string; line : int }  (** [line] 0 when unknown *)
+  | Sema of { msg : string }
+  | Runtime of { loc : string; step : int; msg : string }
+      (** [loc] names the pipeline stage; [step] is the simulator statement
+          count at failure, -1 when unknown. *)
+  | Trace_corrupt of { offset : int; kind : string; events_salvaged : int }
+      (** First unrecoverable corruption: byte [offset] into the file,
+          [kind] of damage, and how many events decoded before it. *)
+  | Budget_exceeded of { budget : string; limit : int; spent : int }
+      (** [budget] is ["max_steps"], ["deadline_ms"] or
+          ["max_trace_events"]. Only an error in strict mode; the default
+          pipeline turns budget exhaustion into a degraded outcome. *)
+  | Not_found_program of { name : string }
+
+(** Stable machine-readable code, e.g. ["E_PARSE"]. *)
+val code : t -> string
+
+(** Documented process exit code (see table above). *)
+val exit_code : t -> int
+
+(** One-line human-readable rendering. *)
+val to_string : t -> string
+
+(** One JSON object: [{"error": code, "exit": n, "message": ..., ...}]
+    plus per-constructor detail fields. *)
+val to_json : t -> string
+
+(** Escape a string for embedding in a JSON string literal (shared by the
+    other hand-rolled JSON emitters in this codebase). *)
+val json_escape : string -> string
+
+(** The taxonomy as an exception, for the [*_exn] compatibility wrappers.
+    A printer is registered. *)
+exception Error of t
+
+(** [raise_error e] raises {!Error}. *)
+val raise_error : t -> 'a
+
+(** Map the exceptions legacy layers still throw ([Minic.Parser.Error],
+    [Minic.Lexer.Error], sema [Failure], simulator runtime errors,
+    [Foray_trace.Tracefile.Corrupt]) onto the taxonomy. [None] for
+    exceptions that are none of ours (asserts, Stack_overflow, ...), which
+    must keep propagating. *)
+val of_exn : exn -> t option
+
+(** [catch f] runs [f] and converts any exception {!of_exn} recognizes
+    into [Error]; unrecognized exceptions propagate. *)
+val catch : (unit -> 'a) -> ('a, t) result

@@ -21,6 +21,47 @@ type result = {
   thresholds : Filter.thresholds;
 }
 
+type degradation =
+  | Degraded_budget of {
+      budget : string;
+      limit : int;
+      spent : int;
+      events_seen : int;
+    }
+  | Degraded_corrupt of {
+      offset : int;
+      kind : string;
+      salvaged : int;
+      resyncs : int;
+      bytes_skipped : int;
+    }
+
+let degradation_to_string = function
+  | Degraded_budget { budget; limit; spent; events_seen } ->
+      Printf.sprintf
+        "degraded: budget %s exhausted (spent %d of %d); model covers the %d \
+         access(es) seen"
+        budget spent limit events_seen
+  | Degraded_corrupt { offset; kind; salvaged; resyncs; bytes_skipped } ->
+      Printf.sprintf
+        "degraded: corrupt trace (first damage at byte %d: %s); salvaged %d \
+         event(s) across %d resync(s), %d byte(s) skipped"
+        offset kind salvaged resyncs bytes_skipped
+
+let degradation_to_json = function
+  | Degraded_budget { budget; limit; spent; events_seen } ->
+      Printf.sprintf
+        "{\"degraded\": \"budget\", \"budget\": \"%s\", \"limit\": %d, \
+         \"spent\": %d, \"events_seen\": %d}"
+        budget limit spent events_seen
+  | Degraded_corrupt { offset; kind; salvaged; resyncs; bytes_skipped } ->
+      Printf.sprintf
+        "{\"degraded\": \"corrupt\", \"offset\": %d, \"kind\": \"%s\", \
+         \"salvaged\": %d, \"resyncs\": %d, \"bytes_skipped\": %d}"
+        offset (Error.json_escape kind) salvaged resyncs bytes_skipped
+
+type outcome = { result : result; degraded : degradation list }
+
 let loop_functions (prog : Ast.program) =
   List.concat_map
     (function
@@ -53,7 +94,14 @@ let finish ~thresholds ~program ~instrumented ~loop_kinds tree tstats sim =
         Obs.time t_analyze (fun () ->
             Model.of_tree ~thresholds ~loop_kinds tree))
   in
-  let funcs = loop_functions program in
+  (* One table lookup per query instead of a linear scan of the
+     association list: hint generation calls [func_of_loop] for every
+     loop in the tree. *)
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (lid, fname) ->
+      if not (Hashtbl.mem funcs lid) then Hashtbl.add funcs lid fname)
+    (loop_functions program);
   {
     program;
     instrumented;
@@ -62,52 +110,104 @@ let finish ~thresholds ~program ~instrumented ~loop_kinds tree tstats sim =
     tstats;
     sim;
     loop_kinds;
-    func_of_loop = (fun lid -> List.assoc_opt lid funcs);
+    func_of_loop = (fun lid -> Hashtbl.find_opt funcs lid);
     thresholds;
   }
 
+let sema_error errs =
+  let msg =
+    String.concat "; "
+      (List.map (fun e -> Format.asprintf "%a" Minic.Sema.pp_error e) errs)
+  in
+  Error.Sema { msg }
+
+let budget_degradations (sim : Interp.result) =
+  match sim.Interp.stopped with
+  | Interp.Completed -> []
+  | Interp.Stopped { budget; limit; spent } ->
+      [ Degraded_budget { budget; limit; spent; events_seen = sim.accesses } ]
+
 let run ?(config = Interp.default_config) ?(thresholds = Filter.default) prog =
-  Span.with_span ~cat:"pipeline" "pipeline.sema" (fun () ->
-      Minic.Sema.check_exn prog);
-  let instrumented, loop_kinds =
-    Span.with_span ~cat:"pipeline" "pipeline.annotate" (fun () ->
-        (Annotate.program prog, Annotate.loop_table prog))
-  in
-  let tree = Looptree.create () in
-  let tstats = Tstats.create () in
-  let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
-  let sim =
-    Span.with_span ~cat:"pipeline" "pipeline.simulate" (fun () ->
-        Obs.time t_simulate (fun () -> Interp.run ~config instrumented ~sink))
-  in
-  finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree tstats sim
+  match
+    Span.with_span ~cat:"pipeline" "pipeline.sema" (fun () ->
+        Minic.Sema.check prog)
+  with
+  | Error errs -> Error (sema_error errs)
+  | Ok () -> (
+      let instrumented, loop_kinds =
+        Span.with_span ~cat:"pipeline" "pipeline.annotate" (fun () ->
+            (Annotate.program prog, Annotate.loop_table prog))
+      in
+      let tree = Looptree.create () in
+      let tstats = Tstats.create () in
+      let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
+      match
+        Span.with_span ~cat:"pipeline" "pipeline.simulate" (fun () ->
+            Obs.time t_simulate (fun () -> Interp.run ~config instrumented ~sink))
+      with
+      | exception Interp.Runtime_error_at { msg; step } ->
+          Error (Error.Runtime { loc = "simulate"; step; msg })
+      | sim ->
+          let result =
+            finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree
+              tstats sim
+          in
+          Ok { result; degraded = budget_degradations sim })
 
 let run_source ?config ?thresholds src =
-  let prog =
+  match
     Span.with_span ~cat:"pipeline" "pipeline.parse" (fun () ->
         Minic.Parser.program src)
-  in
-  run ?config ?thresholds prog
+  with
+  | exception Minic.Parser.Error (msg, line) -> Error (Error.Parse { msg; line })
+  | exception Minic.Lexer.Error (msg, line) -> Error (Error.Parse { msg; line })
+  | prog -> run ?config ?thresholds prog
 
 let run_offline ?(config = Interp.default_config)
     ?(thresholds = Filter.default) prog =
-  Span.with_span ~cat:"pipeline" "pipeline.sema" (fun () ->
-      Minic.Sema.check_exn prog);
-  let instrumented, loop_kinds =
-    Span.with_span ~cat:"pipeline" "pipeline.annotate" (fun () ->
-        (Annotate.program prog, Annotate.loop_table prog))
-  in
-  let sim, trace =
-    Span.with_span ~cat:"pipeline" "pipeline.simulate" (fun () ->
-        Obs.time t_simulate (fun () -> Interp.run_to_trace ~config instrumented))
-  in
-  (* Replay the stored trace through the analyzers. *)
-  let tree = Looptree.create () in
-  let tstats = Tstats.create () in
-  let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
-  Span.with_span ~cat:"pipeline" "pipeline.replay" (fun () ->
-      List.iter sink trace);
-  ( finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree tstats sim,
-    trace )
+  match
+    Span.with_span ~cat:"pipeline" "pipeline.sema" (fun () ->
+        Minic.Sema.check prog)
+  with
+  | Error errs -> Error (sema_error errs)
+  | Ok () -> (
+      let instrumented, loop_kinds =
+        Span.with_span ~cat:"pipeline" "pipeline.annotate" (fun () ->
+            (Annotate.program prog, Annotate.loop_table prog))
+      in
+      match
+        Span.with_span ~cat:"pipeline" "pipeline.simulate" (fun () ->
+            Obs.time t_simulate (fun () ->
+                Interp.run_to_trace ~config instrumented))
+      with
+      | exception Interp.Runtime_error_at { msg; step } ->
+          Error (Error.Runtime { loc = "simulate"; step; msg })
+      | sim, trace ->
+          (* Replay the stored trace through the analyzers. *)
+          let tree = Looptree.create () in
+          let tstats = Tstats.create () in
+          let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
+          Span.with_span ~cat:"pipeline" "pipeline.replay" (fun () ->
+              List.iter sink trace);
+          let result =
+            finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree
+              tstats sim
+          in
+          Ok ({ result; degraded = budget_degradations sim }, trace))
+
+let run_exn ?config ?thresholds prog =
+  match run ?config ?thresholds prog with
+  | Ok o -> o.result
+  | Error e -> Error.raise_error e
+
+let run_source_exn ?config ?thresholds src =
+  match run_source ?config ?thresholds src with
+  | Ok o -> o.result
+  | Error e -> Error.raise_error e
+
+let run_offline_exn ?config ?thresholds prog =
+  match run_offline ?config ?thresholds prog with
+  | Ok (o, trace) -> (o.result, trace)
+  | Error e -> Error.raise_error e
 
 let hints r = Hints.duplication_hints ~func_of_loop:r.func_of_loop r.tree

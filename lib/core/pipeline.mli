@@ -4,6 +4,14 @@
     online analysis = Steps 3.1/3.2) -> purge (Step 4) -> FORAY model],
     with trace statistics collected on the side for Table III.
 
+    The flow is {e total}: {!run}, {!run_source} and {!run_offline} return
+    every failure as a typed {!Error.t} and every recoverable shortfall as
+    a {!degradation} attached to a still-useful partial result — mirroring
+    the paper's own tolerance of partial affine forms. Budget exhaustion
+    in the simulator ({!Minic_sim.Interp.config} [max_steps],
+    [deadline_ms], [max_trace_events]) stops simulation cleanly and the
+    analyzers finish on the events seen so far.
+
     The analysis consumes the simulator's event stream directly (online
     mode); {!run_offline} instead materializes the trace and replays it,
     which the tests use to show both modes agree. *)
@@ -20,26 +28,76 @@ type result = {
   thresholds : Filter.thresholds;
 }
 
+(** Ways a successful run can be less than complete. The model is still
+    valid over the events that were seen; these records say what was
+    missed and how much. *)
+type degradation =
+  | Degraded_budget of {
+      budget : string;  (** "max_steps" | "deadline_ms" | "max_trace_events" *)
+      limit : int;
+      spent : int;
+      events_seen : int;  (** accesses the analyzers did consume *)
+    }
+  | Degraded_corrupt of {
+      offset : int;  (** byte offset of the first corrupt region *)
+      kind : string;
+      salvaged : int;  (** events recovered and analyzed *)
+      resyncs : int;
+      bytes_skipped : int;
+    }
+
+val degradation_to_string : degradation -> string
+
+(** JSON object mirroring {!degradation_to_string}. *)
+val degradation_to_json : degradation -> string
+
+type outcome = { result : result; degraded : degradation list }
+
 (** [run ?config ?thresholds prog] executes the full flow on a parsed
-    program.
-    @raise Failure when semantic checking fails.
-    @raise Minic_sim.Interp.Runtime_error when simulation fails. *)
+    program. Total: semantic and runtime failures come back as
+    [Error]; budget exhaustion yields [Ok] with [Degraded_budget]. *)
 val run :
+  ?config:Minic_sim.Interp.config ->
+  ?thresholds:Filter.thresholds ->
+  Minic.Ast.program ->
+  (outcome, Error.t) Stdlib.result
+
+(** [run_source ?config ?thresholds src] parses and runs; lexer and parser
+    failures become [Error (Parse _)]. *)
+val run_source :
+  ?config:Minic_sim.Interp.config ->
+  ?thresholds:Filter.thresholds ->
+  string ->
+  (outcome, Error.t) Stdlib.result
+
+(** Offline variant: simulate to a stored trace, then analyze the trace.
+    Returns the outcome and the trace. *)
+val run_offline :
+  ?config:Minic_sim.Interp.config ->
+  ?thresholds:Filter.thresholds ->
+  Minic.Ast.program ->
+  (outcome * Foray_trace.Event.event list, Error.t) Stdlib.result
+
+(** {1 Compatibility wrappers}
+
+    Kept for one release so downstream code can migrate to the typed API
+    at its own pace; they raise {!Error.Error} where the typed API returns
+    [Error], and silently discard degradation records. New code should
+    call {!run} / {!run_source} / {!run_offline}. *)
+
+val run_exn :
   ?config:Minic_sim.Interp.config ->
   ?thresholds:Filter.thresholds ->
   Minic.Ast.program ->
   result
 
-(** [run_source ?config ?thresholds src] parses and runs. *)
-val run_source :
+val run_source_exn :
   ?config:Minic_sim.Interp.config ->
   ?thresholds:Filter.thresholds ->
   string ->
   result
 
-(** Offline variant: simulate to a stored trace, then analyze the trace.
-    Returns the result and the trace. *)
-val run_offline :
+val run_offline_exn :
   ?config:Minic_sim.Interp.config ->
   ?thresholds:Filter.thresholds ->
   Minic.Ast.program ->

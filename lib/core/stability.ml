@@ -38,7 +38,7 @@ let study ?(thresholds = Filter.default) ?(jobs = 1) ~seeds prog =
     Foray_util.Parallel.map ~jobs
       (fun seed ->
         let config = { Minic_sim.Interp.default_config with rand_seed = seed } in
-        (Pipeline.run ~config ~thresholds prog).model)
+        (Pipeline.run_exn ~config ~thresholds prog).model)
       seeds
   in
   let runs = List.length models in

@@ -83,7 +83,7 @@ let run_source ?(name = "program") ?(thresholds = Filter.default) src =
   Provenance.set_enabled true;
   let restore () = Provenance.set_enabled was in
   let r =
-    try Pipeline.run_source ~thresholds src
+    try Pipeline.run_source_exn ~thresholds src
     with e ->
       restore ();
       raise e

@@ -40,8 +40,8 @@ let report ?thresholds (b : Foray_suite.Suite.bench) =
   @@ fun () ->
   let r =
     match thresholds with
-    | Some thresholds -> Pipeline.run_source ~thresholds b.source
-    | None -> Pipeline.run_source b.source
+    | Some thresholds -> Pipeline.run_source_exn ~thresholds b.source
+    | None -> Pipeline.run_source_exn b.source
   in
   let static = Baseline.analyze r.program in
   (* Table I: loops that executed (distinct source loops seen in the tree) *)

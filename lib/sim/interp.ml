@@ -20,6 +20,13 @@ let m_max_frame_depth = Obs.gauge "interp.max_frame_depth"
 let m_runs = Obs.counter "interp.runs"
 
 exception Runtime_error of string
+exception Runtime_error_at of { msg : string; step : int }
+
+let () =
+  Printexc.register_printer (function
+    | Runtime_error_at { msg; step } ->
+        Some (Printf.sprintf "Interp.Runtime_error_at(%S, step %d)" msg step)
+    | _ -> None)
 
 let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
@@ -28,15 +35,31 @@ type value = Vint of int | Vptr of { addr : int; elem : ty }
 type config = {
   trace_scalars : bool;
   max_steps : int;
+  deadline_ms : int option;
+  max_trace_events : int option;
   rand_seed : int;
   resolve : bool;
 }
 
 let default_config =
-  { trace_scalars = true; max_steps = 200_000_000; rand_seed = 42;
-    resolve = true }
+  { trace_scalars = true; max_steps = 200_000_000; deadline_ms = None;
+    max_trace_events = None; rand_seed = 42; resolve = true }
 
-type result = { ret : int; output : int list; steps : int; accesses : int }
+type budget_stop = { budget : string; limit : int; spent : int }
+type stop = Completed | Stopped of budget_stop
+
+(* Clean budget unwinding: not an error, so distinct from Runtime_error.
+   Caught only in [run]; the frame-restore handlers along the way unwind
+   normally. *)
+exception Budget_hit of budget_stop
+
+type result = {
+  ret : int;
+  output : int list;
+  steps : int;
+  accesses : int;
+  stopped : stop;
+}
 
 let site_memset = 0x0e00_0001
 let site_memcpy_rd = 0x0e00_0002
@@ -72,6 +95,10 @@ type ctx = {
   global_addrs : int array;  (* fast path, indexed like [Resolve.Rglobal] *)
   funcs : (string, func) Hashtbl.t;
   sink : Event.sink;
+  max_events : int;  (* trace-event budget; max_int when unlimited *)
+  deadline : float;  (* absolute wall-clock cutoff; infinity when none *)
+  started : float;  (* run start, for deadline accounting *)
+  mutable events : int;  (* sink events emitted (accesses + checkpoints) *)
   mutable cur_slots : int array;  (* fast path: current frame's slots *)
   mutable frames : frame list;  (* current first; empty during global init *)
   mutable steps : int;
@@ -94,8 +121,17 @@ let ckind_of_ast = function
   | Body_exit -> Event.Body_exit
   | Loop_exit -> Event.Loop_exit
 
+let check_event_budget ctx =
+  if ctx.events > ctx.max_events then
+    raise
+      (Budget_hit
+         { budget = "max_trace_events"; limit = ctx.max_events;
+           spent = ctx.events })
+
 let emit_access ctx ~site ~addr ~write ~sys ~width =
   ctx.accesses <- ctx.accesses + 1;
+  ctx.events <- ctx.events + 1;
+  check_event_budget ctx;
   ctx.sink (Event.Access { site; addr; write; sys; width })
 
 (* ------------------------------------------------------------------ *)
@@ -471,7 +507,23 @@ and exec_block ctx stmts =
 
 and tick ctx =
   ctx.steps <- ctx.steps + 1;
-  if ctx.steps > ctx.cfg.max_steps then error "step limit exceeded"
+  if ctx.steps > ctx.cfg.max_steps then
+    raise
+      (Budget_hit
+         { budget = "max_steps"; limit = ctx.cfg.max_steps; spent = ctx.steps });
+  (* Wall-clock deadline: a gettimeofday every 4096 steps is invisible in
+     the profile yet bounds overshoot to a few microseconds of work. *)
+  if ctx.steps land 4095 = 0 && ctx.deadline < infinity then begin
+    let now = Unix.gettimeofday () in
+    if now > ctx.deadline then
+      raise
+        (Budget_hit
+           {
+             budget = "deadline_ms";
+             limit = Option.value ctx.cfg.deadline_ms ~default:0;
+             spent = int_of_float ((now -. ctx.started) *. 1000.0);
+           })
+  end
 
 and exec_stmt ctx st =
   tick ctx;
@@ -552,6 +604,8 @@ and exec_stmt ctx st =
       with Brk -> ())
   | Scheckpoint (loop, kind) ->
       if ctx.tracing then trace_checkpoint ctx loop kind;
+      ctx.events <- ctx.events + 1;
+      check_event_budget ctx;
       ctx.sink (Event.Checkpoint { loop; kind = ckind_of_ast kind })
 
 (* One span per loop execution (Loop_enter .. Loop_exit). Early function
@@ -648,6 +702,7 @@ let run ?(config = default_config) (prog : program) ~sink =
     else None
   in
   let n_globals = match res with Some r -> r.Resolve.n_globals | None -> 0 in
+  let started = Unix.gettimeofday () in
   let ctx =
     {
       cfg = config;
@@ -658,6 +713,14 @@ let run ?(config = default_config) (prog : program) ~sink =
       global_addrs = Array.make (max n_globals 1) 0;
       funcs = Hashtbl.create 16;
       sink;
+      max_events =
+        (match config.max_trace_events with Some n -> n | None -> max_int);
+      deadline =
+        (match config.deadline_ms with
+        | Some ms -> started +. (float_of_int ms /. 1000.0)
+        | None -> infinity);
+      started;
+      events = 0;
       cur_slots = [||];
       frames = [];
       steps = 0;
@@ -718,6 +781,7 @@ let run ?(config = default_config) (prog : program) ~sink =
     List.iter (fun (_, s) -> Span.leave s) ctx.loop_spans;
     ctx.loop_spans <- []
   in
+  let stopped = ref Completed in
   let ret =
     let span = if tracing then Span.enter ~cat:"interp" "interp.run" else Span.null in
     Fun.protect
@@ -727,11 +791,20 @@ let run ?(config = default_config) (prog : program) ~sink =
           Span.leave span
         end)
       (fun () ->
-        match Hashtbl.find_opt ctx.funcs "main" with
-        | None -> error "program has no main"
-        | Some _ ->
-            let call_eid = 0 in
-            as_int (call_catch ctx "main" [] call_eid))
+        try
+          match Hashtbl.find_opt ctx.funcs "main" with
+          | None -> error "program has no main"
+          | Some _ ->
+              let call_eid = 0 in
+              as_int (call_catch ctx "main" [] call_eid)
+        with
+        | Budget_hit b ->
+            (* A budget stop is a clean, partial run: everything already
+               pushed into the sink is a valid trace prefix. *)
+            stopped := Stopped b;
+            0
+        | Runtime_error msg ->
+            raise (Runtime_error_at { msg; step = ctx.steps }))
   in
   if Obs.enabled () then begin
     Obs.incr m_runs;
@@ -750,7 +823,8 @@ let run ?(config = default_config) (prog : program) ~sink =
           ("ret", string_of_int ret);
         ]
   end;
-  { ret; output = List.rev ctx.output; steps = ctx.steps; accesses = ctx.accesses }
+  { ret; output = List.rev ctx.output; steps = ctx.steps;
+    accesses = ctx.accesses; stopped = !stopped }
 
 let run_to_trace ?(config = default_config) prog =
   let sink, get = Event.collector () in

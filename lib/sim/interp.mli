@@ -21,11 +21,26 @@
 
 exception Runtime_error of string
 
+(** What {!run} actually raises on dynamic errors: the message plus the
+    statement count at failure, so the pipeline's typed taxonomy can
+    report where the simulation died. ({!Runtime_error} is still the
+    internal raise form and what third-party builtins may throw.) *)
+exception Runtime_error_at of { msg : string; step : int }
+
 type value = Vint of int | Vptr of { addr : int; elem : Minic.Ast.ty }
 
 type config = {
   trace_scalars : bool;  (** emit events for named scalar accesses *)
-  max_steps : int;  (** statement budget; exceeded -> [Runtime_error] *)
+  max_steps : int;
+      (** statement budget; exhausting it stops the run cleanly with
+          [Stopped] (it is NOT an error: the events already emitted are a
+          valid trace prefix and the analyzers finish on them) *)
+  deadline_ms : int option;
+      (** wall-clock budget for one [run], checked every few thousand
+          steps; [None] = unlimited *)
+  max_trace_events : int option;
+      (** budget on events pushed into the sink (accesses + checkpoints);
+          [None] = unlimited *)
   rand_seed : int;  (** seed of the [mc_rand] builtin *)
   resolve : bool;
       (** pre-resolve identifiers to frame slots ({!Minic.Resolve}) and
@@ -37,17 +52,25 @@ type config = {
 
 val default_config : config
 
+(** Which budget stopped the run, how much was allowed and how much was
+    spent when it tripped (for [deadline_ms] both are milliseconds). *)
+type budget_stop = { budget : string; limit : int; spent : int }
+
+type stop = Completed | Stopped of budget_stop
+
 type result = {
   ret : int;  (** [main]'s return value (0 when it returns void) *)
   output : int list;  (** values passed to [print_int], in order *)
   steps : int;  (** statements executed *)
   accesses : int;  (** memory-access events emitted *)
+  stopped : stop;
+      (** [Completed], or the budget that cleanly cut the run short *)
 }
 
 (** [run ?config prog ~sink] executes [main]. The program should have passed
-    {!Minic.Sema.check}.
-    @raise Runtime_error on dynamic errors (division by zero, step-limit,
-    unknown function, bad pointer operations). *)
+    {!Minic.Sema.check}. Exhausting a budget is a clean stop, not an error.
+    @raise Runtime_error_at on dynamic errors (division by zero, unknown
+    function, bad pointer operations). *)
 val run : ?config:config -> Minic.Ast.program -> sink:Foray_trace.Event.sink -> result
 
 (** Convenience: run and also return the full event list. *)

@@ -36,6 +36,23 @@ let all =
 
 let find name = List.find_opt (fun b -> b.name = name) all
 let names = List.map (fun b -> b.name) all
+
+let load name_or_path =
+  match find name_or_path with
+  | Some b -> Ok b.source
+  | None -> (
+      match List.assoc_opt name_or_path Figures.all with
+      | Some src -> Ok src
+      | None ->
+          if Sys.file_exists name_or_path then begin
+            let ic = open_in_bin name_or_path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                Ok (really_input_string ic (in_channel_length ic)))
+          end
+          else
+            Error (Foray_core.Error.Not_found_program { name = name_or_path }))
 let program b = Minic.Parser.program b.source
 
 let lines b =

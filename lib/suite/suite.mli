@@ -24,6 +24,12 @@ val find : string -> bench option
 (** Names of all benchmarks, in order. *)
 val names : string list
 
+(** [load name_or_path] resolves a program argument the way every
+    [foraygen] subcommand does: a benchmark name, then a figure name
+    ({!Figures.all}), then a path to a MiniC source file. Returns the
+    source text, or [Not_found_program] when the name matches nothing. *)
+val load : string -> (string, Foray_core.Error.t) result
+
 (** Parsed program of a benchmark. *)
 val program : bench -> Minic.Ast.program
 

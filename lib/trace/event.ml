@@ -29,11 +29,11 @@ let string_of_ckind = function
   | Loop_exit -> "loop_exit"
 
 let ckind_of_string = function
-  | "loop_enter" -> Loop_enter
-  | "body_enter" -> Body_enter
-  | "body_exit" -> Body_exit
-  | "loop_exit" -> Loop_exit
-  | s -> failwith ("Event.ckind_of_string: " ^ s)
+  | "loop_enter" -> Ok Loop_enter
+  | "body_enter" -> Ok Body_enter
+  | "body_exit" -> Ok Body_exit
+  | "loop_exit" -> Ok Loop_exit
+  | s -> Error ("unknown checkpoint kind " ^ s)
 
 let to_line = function
   | Checkpoint { loop; kind } ->
@@ -44,39 +44,57 @@ let to_line = function
         width
         (if sys then " sys" else "")
 
+(* [result]-based parsing: the parser reports what is wrong, the caller
+   (in practice only {!Tracefile}) decides whether a bad record is fatal
+   or a resynchronization point. *)
+
+let ( let* ) = Result.bind
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad %s %S" what s)
+
 let of_line line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "Checkpoint:"; loop; kind ] ->
-      Checkpoint { loop = int_of_string loop; kind = ckind_of_string kind }
+      let* loop = int_field "loop id" loop in
+      let* kind = ckind_of_string kind in
+      Ok (Checkpoint { loop; kind })
   | "Instr:" :: site :: "addr:" :: addr :: dir :: width :: rest ->
-      let write =
+      let* write =
         match dir with
-        | "wr" -> true
-        | "rd" -> false
-        | _ -> failwith ("Event.of_line: bad direction " ^ dir)
+        | "wr" -> Ok true
+        | "rd" -> Ok false
+        | _ -> Error ("bad direction " ^ dir)
       in
-      let sys =
+      let* sys =
         match rest with
-        | [] -> false
-        | [ "sys" ] -> true
-        | _ -> failwith ("Event.of_line: trailing junk in " ^ line)
+        | [] -> Ok false
+        | [ "sys" ] -> Ok true
+        | _ -> Error ("trailing junk after " ^ dir ^ " record")
       in
-      Access
-        {
-          site = int_of_string ("0x" ^ site);
-          addr = int_of_string ("0x" ^ addr);
-          write;
-          sys;
-          width = int_of_string width;
-        }
-  | _ -> failwith ("Event.of_line: cannot parse " ^ line)
+      let* site = int_field "site" ("0x" ^ site) in
+      let* addr = int_field "address" ("0x" ^ addr) in
+      let* width = int_field "width" width in
+      Ok (Access { site; addr; write; sys; width })
+  | _ -> Error "not a trace record"
 
 let to_string events = String.concat "\n" (List.map to_line events) ^ "\n"
 
 let of_string s =
-  String.split_on_char '\n' s
-  |> List.filter (fun l -> String.trim l <> "")
-  |> List.map of_line
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match of_line l with
+        | Ok e -> go (e :: acc) (lineno + 1) rest
+        | Error msg -> Error (Printf.sprintf "record %d: %s" lineno msg))
+  in
+  go [] 1 lines
 
 let equal a b = a = b
 let pp fmt e = Format.pp_print_string fmt (to_line e)

@@ -49,16 +49,19 @@ val collector : unit -> sink * (unit -> event list)
     width, optional trailing [sys]). *)
 val to_line : event -> string
 
-(** Parses one line. Raises [Failure] on malformed input. *)
-val of_line : string -> event
+(** Parses one line. Never raises: a malformed line is [Error reason].
+    Only {!Tracefile} decides whether that is fatal (strict mode) or a
+    resynchronization point (salvage mode). *)
+val of_line : string -> (event, string) result
 
 (** Renders a whole trace. *)
 val to_string : event list -> string
 
-(** Parses a whole trace (blank lines ignored). *)
-val of_string : string -> event list
+(** Parses a whole trace (blank lines ignored). [Error] names the first
+    malformed record (1-based) and why. *)
+val of_string : string -> (event list, string) result
 
 val string_of_ckind : ckind -> string
-val ckind_of_string : string -> ckind
+val ckind_of_string : string -> (ckind, string) result
 val equal : event -> event -> bool
 val pp : Format.formatter -> event -> unit

@@ -226,8 +226,9 @@ let fold path f init =
               Stdlib.incr lineno;
               if String.trim line <> "" then begin
                 let e =
-                  try Event.of_line line
-                  with Failure msg -> corrupt "line %d: %s" !lineno msg
+                  match Event.of_line line with
+                  | Ok e -> e
+                  | Error msg -> corrupt "line %d: %s" !lineno msg
                 in
                 Obs.incr m_events_read;
                 acc := f !acc e
@@ -238,3 +239,190 @@ let fold path f init =
 let iter path (sink : Event.sink) = fold path (fun () e -> sink e) ()
 
 let load path = List.rev (fold path (fun acc e -> e :: acc) [])
+
+(* --- salvaging reader -------------------------------------------------- *)
+
+(* The readers above are fail-fast: the first malformed record raises
+   {!Corrupt}. [read] instead treats a trace as evidence to be recovered:
+   on a bad record it scans forward to the next byte position where a
+   record decodes again, counts the gap, and keeps going — the analyzers
+   downstream already tolerate partial information (partial affine forms,
+   threshold purging), so a damaged trace yields a best-effort model
+   instead of nothing. [~strict:true] restores fail-fast behaviour but as
+   a typed value, never an exception. *)
+
+type corruption = { offset : int; kind : string; events_before : int }
+
+type salvage = {
+  events : int;
+  resyncs : int;
+  bytes_skipped : int;
+  truncated_tail : bool;
+  first_errors : (int * string) list;
+}
+
+let clean_salvage events =
+  {
+    events;
+    resyncs = 0;
+    bytes_skipped = 0;
+    truncated_tail = false;
+    first_errors = [];
+  }
+
+let max_recorded_errors = 8
+
+(* String-based binary record decoder, so resynchronization can retry at
+   an arbitrary byte offset (the channel decoder above cannot rewind). *)
+
+let decode_varint_at s pos =
+  let len = String.length s in
+  let rec go p shift acc =
+    if p >= len then Error "varint truncated"
+    else
+      let b = Char.code s.[p] in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Ok (acc, p + 1)
+      else if shift >= 56 then Error "varint longer than 9 bytes"
+      else go (p + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let decode_event_at s pos =
+  let ( let* ) = Result.bind in
+  let* tag, pos = decode_varint_at s pos in
+  match tag with
+  | 0 ->
+      let* kind, pos = decode_varint_at s pos in
+      let* kind =
+        match kind with
+        | 0 -> Ok Event.Loop_enter
+        | 1 -> Ok Event.Body_enter
+        | 2 -> Ok Event.Body_exit
+        | 3 -> Ok Event.Loop_exit
+        | n -> Error (Printf.sprintf "bad checkpoint kind %d" n)
+      in
+      let* loop, pos = decode_varint_at s pos in
+      Ok (Event.Checkpoint { loop; kind }, pos)
+  | 1 | 2 ->
+      let* sys, pos = decode_varint_at s pos in
+      let* site, pos = decode_varint_at s pos in
+      let* addr, pos = decode_varint_at s pos in
+      let* width, pos = decode_varint_at s pos in
+      Ok
+        ( Event.Access { site; addr; write = tag = 2; sys = sys = 1; width },
+          pos )
+  | n -> Error (Printf.sprintf "bad record tag %d" n)
+
+let read_all path =
+  let ic = In_channel.open_bin path in
+  Fun.protect
+    ~finally:(fun () -> In_channel.close ic)
+    (fun () -> In_channel.input_all ic)
+
+let read_binary_salvage ~strict s (sink : Event.sink) =
+  let len = String.length s in
+  let pos = ref (String.length magic) in
+  let events = ref 0 in
+  let resyncs = ref 0 in
+  let skipped = ref 0 in
+  let truncated = ref false in
+  let errors = ref [] in
+  let stop = ref None in
+  while !stop = None && !pos < len do
+    match decode_event_at s !pos with
+    | Ok (e, next) ->
+        sink e;
+        Obs.incr m_events_read;
+        incr events;
+        pos := next
+    | Error kind ->
+        if strict then
+          stop := Some { offset = !pos; kind; events_before = !events }
+        else begin
+          if List.length !errors < max_recorded_errors then
+            errors := (!pos, kind) :: !errors;
+          let gap_start = !pos in
+          Stdlib.incr pos;
+          let continue = ref true in
+          while !continue && !pos < len do
+            match decode_event_at s !pos with
+            | Ok _ -> continue := false
+            | Error _ -> Stdlib.incr pos
+          done;
+          if !pos >= len then truncated := true;
+          Stdlib.incr resyncs;
+          skipped := !skipped + (!pos - gap_start)
+        end
+  done;
+  match !stop with
+  | Some c -> Error c
+  | None ->
+      Ok
+        {
+          events = !events;
+          resyncs = !resyncs;
+          bytes_skipped = !skipped;
+          truncated_tail = !truncated;
+          first_errors = List.rev !errors;
+        }
+
+let read_text_salvage ~strict s (sink : Event.sink) =
+  let events = ref 0 in
+  let resyncs = ref 0 in
+  let skipped = ref 0 in
+  let errors = ref [] in
+  let stop = ref None in
+  let in_gap = ref false in
+  let offset = ref 0 in
+  let lines = String.split_on_char '\n' s in
+  List.iter
+    (fun line ->
+      let line_off = !offset in
+      offset := !offset + String.length line + 1;
+      if !stop = None && String.trim line <> "" then
+        match Event.of_line line with
+        | Ok e ->
+            in_gap := false;
+            sink e;
+            Obs.incr m_events_read;
+            incr events
+        | Error kind ->
+            if strict then
+              stop := Some { offset = line_off; kind; events_before = !events }
+            else begin
+              if List.length !errors < max_recorded_errors then
+                errors := (line_off, kind) :: !errors;
+              if not !in_gap then Stdlib.incr resyncs;
+              in_gap := true;
+              skipped := !skipped + String.length line + 1
+            end)
+    lines;
+  match !stop with
+  | Some c -> Error c
+  | None ->
+      Ok
+        {
+          events = !events;
+          resyncs = !resyncs;
+          bytes_skipped = !skipped;
+          truncated_tail = false;
+          first_errors = List.rev !errors;
+        }
+
+let read ?(strict = false) path (sink : Event.sink) =
+  Span.with_span ~cat:"trace" "trace.read_salvage"
+    ~args:[ ("path", Filename.basename path) ]
+  @@ fun () ->
+  let s = read_all path in
+  if
+    String.length s >= String.length magic
+    && String.sub s 0 (String.length magic) = magic
+  then read_binary_salvage ~strict s sink
+  else read_text_salvage ~strict s sink
+
+let salvage_to_string (s : salvage) =
+  Printf.sprintf
+    "%d event(s) salvaged, %d resync(s), %d byte(s) skipped%s" s.events
+    s.resyncs s.bytes_skipped
+    (if s.truncated_tail then ", truncated tail" else "")

@@ -54,3 +54,36 @@ val fold : string -> ('a -> Event.event -> 'a) -> 'a -> 'a
 (** [iter path f] is [fold] for side effects; [f] is a sink, so an
     analyzer can be fed directly from a file. *)
 val iter : string -> Event.sink -> unit
+
+(** {1 Salvaging reader}
+
+    {!load}/{!fold}/{!iter} are fail-fast. {!read} instead recovers what
+    it can: on a corrupt record it scans forward to the next decodable
+    record, counts the gap, and keeps feeding the sink — so a damaged
+    trace still yields a best-effort partial model. This module is the
+    only place that decides corrupt-handling policy; {!Event.of_line}
+    merely reports. *)
+
+(** First unrecoverable corruption in strict mode: byte [offset], damage
+    [kind], events decoded before it. *)
+type corruption = { offset : int; kind : string; events_before : int }
+
+type salvage = {
+  events : int;  (** events delivered to the sink *)
+  resyncs : int;  (** corrupt regions skipped over *)
+  bytes_skipped : int;
+  truncated_tail : bool;  (** a corrupt region ran to end-of-file *)
+  first_errors : (int * string) list;  (** first few (offset, kind) *)
+}
+
+(** A fully intact read: [events] delivered, nothing skipped. *)
+val clean_salvage : int -> salvage
+
+(** [read ?strict path sink] streams [path] (format auto-detected) into
+    [sink]. Default salvage mode always returns [Ok]; [~strict:true]
+    stops at the first corrupt record and returns it as a value — this
+    API never raises {!Corrupt}. *)
+val read : ?strict:bool -> string -> Event.sink -> (salvage, corruption) result
+
+(** One-line summary of salvage statistics. *)
+val salvage_to_string : salvage -> string

@@ -18,9 +18,9 @@ let signature model =
   |> List.sort compare
 
 let check_fixpoint ?(thresholds = th 2 2) src =
-  let r = Pipeline.run_source ~thresholds src in
+  let r = Tutil.run_source ~thresholds src in
   let emitted = Model.to_c_exec r.model in
-  let r2 = Pipeline.run_source ~thresholds emitted in
+  let r2 = Tutil.run_source ~thresholds emitted in
   let s1 = signature r.model and s2 = signature r2.model in
   if s1 <> s2 then
     Alcotest.failf "not a fixpoint\noriginal:  %s\nre-extract: %s\nprogram:\n%s"
@@ -58,7 +58,7 @@ let t_suite_bench () =
 let t_exec_model_runs_cleanly () =
   (* the emitted program must pass sema and run without runtime errors *)
   let b = Option.get (Foray_suite.Suite.find "gsm") in
-  let r = Pipeline.run_source b.source in
+  let r = Tutil.run_source b.source in
   let src = Model.to_c_exec r.model in
   let prog = Minic.Parser.program src in
   Minic.Sema.check_exn prog;

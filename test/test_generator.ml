@@ -18,7 +18,7 @@ let planted_multiset (g : Generator.t) =
 let run_one seed nests =
   let g = Generator.generate ~seed ~nests in
   let r =
-    try Pipeline.run_source g.source
+    try Tutil.run_source g.source
     with e ->
       Alcotest.failf "seed %d: pipeline failed (%s) on:\n%s" seed
         (Printexc.to_string e) g.source

@@ -139,7 +139,7 @@ let t_runtime_errors () =
     try
       ignore (ret src);
       Alcotest.failf "expected runtime error %s" frag
-    with Interp.Runtime_error m ->
+    with Interp.Runtime_error_at { msg = m; _ } ->
       if
         not
           (let n = String.length frag and l = String.length m in
@@ -152,12 +152,55 @@ let t_runtime_errors () =
   expect_err "int main() { return mc_rand(0); }" "mc_rand"
 
 let t_step_limit_config () =
+  (* Exhausting the step budget is a clean stop, not an error: the run
+     returns with [Stopped] naming the budget and the spend. *)
   let prog = Minic.Parser.program "int main() { int i; for (i = 0; i < 1000; i++) { } return i; }" in
   let config = { Interp.default_config with max_steps = 50 } in
-  try
-    ignore (Interp.run ~config prog ~sink:Foray_trace.Event.null_sink);
-    Alcotest.fail "expected step limit"
-  with Interp.Runtime_error _ -> ()
+  let r = Interp.run ~config prog ~sink:Foray_trace.Event.null_sink in
+  match r.stopped with
+  | Interp.Stopped { budget; limit; spent } ->
+      Alcotest.(check string) "budget" "max_steps" budget;
+      Alcotest.(check int) "limit" 50 limit;
+      Alcotest.(check bool) "spent at limit" true (spent >= limit)
+  | Interp.Completed -> Alcotest.fail "expected a budget stop"
+
+let t_deadline_config () =
+  (* A zero-millisecond deadline trips at the first periodic check. *)
+  let prog =
+    Minic.Parser.program
+      "int main() { int i; int s; s = 0; for (i = 0; i < 100000; i++) { s = \
+       s + i; } return s; }"
+  in
+  let config = { Interp.default_config with deadline_ms = Some 0 } in
+  let r = Interp.run ~config prog ~sink:Foray_trace.Event.null_sink in
+  match r.stopped with
+  | Interp.Stopped { budget; _ } ->
+      Alcotest.(check string) "budget" "deadline_ms" budget
+  | Interp.Completed -> Alcotest.fail "expected a deadline stop"
+
+let t_event_limit_config () =
+  let prog =
+    Minic.Parser.program
+      "int A[100]; int main() { int i; for (i = 0; i < 100; i++) { A[i] = i; \
+       } return 0; }"
+  in
+  let config = { Interp.default_config with max_trace_events = Some 12 } in
+  let n = ref 0 in
+  let r = Interp.run ~config prog ~sink:(fun _ -> incr n) in
+  (match r.stopped with
+  | Interp.Stopped { budget; limit; _ } ->
+      Alcotest.(check string) "budget" "max_trace_events" budget;
+      Alcotest.(check int) "limit" 12 limit
+  | Interp.Completed -> Alcotest.fail "expected an event-budget stop");
+  Alcotest.(check bool) "sink saw no more than the budget" true (!n <= 12)
+
+let t_completed_marks_completed () =
+  let r =
+    Interp.run
+      (Minic.Parser.program "int main() { return 3; }")
+      ~sink:Foray_trace.Event.null_sink
+  in
+  Alcotest.(check bool) "completed" true (r.stopped = Interp.Completed)
 
 let t_scalar_tracing_toggle () =
   let prog =
@@ -225,6 +268,10 @@ let tests =
     Alcotest.test_case "ternary and casts" `Quick t_ternary_cast;
     Alcotest.test_case "runtime errors" `Quick t_runtime_errors;
     Alcotest.test_case "step limit config" `Quick t_step_limit_config;
+    Alcotest.test_case "deadline config" `Quick t_deadline_config;
+    Alcotest.test_case "event limit config" `Quick t_event_limit_config;
+    Alcotest.test_case "completed marks completed" `Quick
+      t_completed_marks_completed;
     Alcotest.test_case "scalar tracing toggle" `Quick t_scalar_tracing_toggle;
     Alcotest.test_case "parameter stack traffic" `Quick t_param_stack_traffic;
     Alcotest.test_case "suite outputs deterministic" `Slow t_suite_outputs;

@@ -13,6 +13,7 @@ let () =
       ("interp", Test_interp.tests);
       ("trace", Test_trace.tests);
       ("tracefile", Test_tracefile.tests);
+      ("faults", Test_faults.tests);
       ("instrument", Test_instrument.tests);
       ("affine", Test_affine.tests);
       ("looptree", Test_looptree.tests);

@@ -368,7 +368,7 @@ let prop_program_sema_and_runs =
           try
             ignore (Minic_sim.Interp.run ~config p ~sink:Foray_trace.Event.null_sink);
             true
-          with Minic_sim.Interp.Runtime_error _ -> true))
+          with Minic_sim.Interp.Runtime_error_at _ -> true))
 
 (* --- sema ------------------------------------------------------------ *)
 

@@ -28,7 +28,7 @@ int main() {
 }
 |}
   in
-  let r = Pipeline.run_source src in
+  let r = Tutil.run_source src in
   Alcotest.(check (list int)) "sum correct" [ 14850 ] r.sim.output;
   let refs = Model.all_refs r.model in
   Alcotest.(check int) "write and read walks captured" 2 (List.length refs);
@@ -67,7 +67,7 @@ int main() {
 }
 |}
   in
-  let r = Pipeline.run_source ~thresholds:(th 5 5) src in
+  let r = Tutil.run_source ~thresholds:(th 5 5) src in
   match Pipeline.hints r with
   | [ h ] ->
       Alcotest.(check int) "two contexts" 2 (List.length h.contexts);
@@ -120,7 +120,7 @@ int main() {
 }
 |}
   in
-  let r = Pipeline.run_source src in
+  let r = Tutil.run_source src in
   match Model.all_refs r.model with
   | [ (chain, mr) ] ->
       Alcotest.(check int) "two loops in the nest" 2 (List.length chain);
@@ -156,7 +156,7 @@ int main() {
 }
 |}
   in
-  let r = Pipeline.run_source ~thresholds:(th 4 4) src in
+  let r = Tutil.run_source ~thresholds:(th 4 4) src in
   (* depth-4 nodes exist: k-loop > walk > walk > walk *)
   let max_depth =
     List.fold_left
@@ -185,7 +185,7 @@ int main() {
 }
 |}
   in
-  let r2 = Pipeline.run_source ~thresholds:(th 4 4) tail in
+  let r2 = Tutil.run_source ~thresholds:(th 4 4) tail in
   let loop_nodes = Looptree.nodes r2.tree in
   Alcotest.(check int) "tail recursion merges into one node" 1
     (List.length loop_nodes);
@@ -206,7 +206,7 @@ int main() {
 }
 |}
   in
-  let r = Pipeline.run_source src in
+  let r = Tutil.run_source src in
   match Model.all_refs r.model with
   | [ (_, mr) ] ->
       Alcotest.(check int) "byte width" 1 mr.width;

@@ -123,7 +123,7 @@ let t_pipeline_smoke () =
   (* the acceptance check: counters flushed by a full pipeline run agree
      with the result record the pipeline itself returns *)
   let r =
-    Foray_core.Pipeline.run_source
+    Tutil.run_source
       ~thresholds:Foray_core.Filter.{ nexec = 2; nloc = 2 }
       Foray_suite.Figures.fig4a
   in

@@ -93,7 +93,7 @@ let t_stability_jobs_identical () =
 
 let t_sweep_jobs_identical () =
   let r =
-    Foray_core.Pipeline.run_source (Option.get (Foray_suite.Suite.find "gsm")).source
+    Tutil.run_source (Option.get (Foray_suite.Suite.find "gsm")).source
   in
   let show sel =
     Format.asprintf "%a" Foray_spm.Dse.pp_selection sel

@@ -8,7 +8,7 @@ let th nexec nloc = Filter.{ nexec; nloc }
 let t_figure4_model () =
   (* the headline worked example: while+for pointer walk becomes a
      2x3 nest with coefficients 1 (inner) and 103 (outer) *)
-  let r = Pipeline.run_source ~thresholds:(th 2 2) Figures.fig4a in
+  let r = Tutil.run_source ~thresholds:(th 2 2) Figures.fig4a in
   match Model.all_refs r.model with
   | [ (chain, mr) ] ->
       Alcotest.(check (list int)) "trips outer-in" [ 2; 3 ]
@@ -27,7 +27,7 @@ let t_figure4_model () =
 let t_figure1_models () =
   (* Figure 1 -> Figure 2: two nests; 3x64 with strides 4/256, and a
      16-iteration for under a single-trip while with stride 4 *)
-  let r = Pipeline.run_source ~thresholds:(th 10 10) Figures.fig1 in
+  let r = Tutil.run_source ~thresholds:(th 10 10) Figures.fig1 in
   let refs = Model.all_refs r.model in
   Alcotest.(check int) "two references" 2 (List.length refs);
   let with_coeffs want =
@@ -38,7 +38,7 @@ let t_figure1_models () =
     (with_coeffs [ 4 ] || with_coeffs [ 4; 64 ])
 
 let t_figure7b_partial () =
-  let r = Pipeline.run_source ~thresholds:(th 10 5) Figures.fig7b in
+  let r = Tutil.run_source ~thresholds:(th 10 5) Figures.fig7b in
   let partials =
     List.filter (fun (_, (mr : Model.mref)) -> mr.partial)
       (Model.all_refs r.model)
@@ -50,7 +50,7 @@ let t_figure7b_partial () =
     (List.map fst mr.terms)
 
 let t_figure9_hints () =
-  let r = Pipeline.run_source ~thresholds:(th 5 5) Figures.fig9 in
+  let r = Tutil.run_source ~thresholds:(th 5 5) Figures.fig9 in
   match Pipeline.hints r with
   | [ h ] ->
       Alcotest.(check (option string)) "foo flagged" (Some "foo") h.func;
@@ -62,8 +62,8 @@ let t_online_equals_offline () =
   List.iter
     (fun (b : Foray_suite.Suite.bench) ->
       let prog = Minic.Parser.program b.source in
-      let online = Pipeline.run prog in
-      let offline, trace = Pipeline.run_offline prog in
+      let online = Tutil.run prog in
+      let offline, trace = Tutil.run_offline prog in
       Alcotest.(check string)
         (b.name ^ " same model")
         (Model.to_c online.model)
@@ -75,9 +75,13 @@ let t_online_equals_offline () =
 let t_trace_serialization_replay () =
   (* serialize the trace to text, parse it back, re-analyze: same model *)
   let prog = Minic.Parser.program Figures.fig4a in
-  let r1, trace = Pipeline.run_offline ~thresholds:(th 2 2) prog in
+  let r1, trace = Tutil.run_offline ~thresholds:(th 2 2) prog in
   let text = Foray_trace.Event.to_string trace in
-  let replayed = Foray_trace.Event.of_string text in
+  let replayed =
+    match Foray_trace.Event.of_string text with
+    | Ok events -> events
+    | Error msg -> Alcotest.failf "of_string rejected its own output: %s" msg
+  in
   let tree = Looptree.create () in
   List.iter (Looptree.sink tree) replayed;
   let model =
@@ -89,14 +93,14 @@ let t_trace_serialization_replay () =
 let t_thresholds_monotone () =
   (* stricter thresholds never keep more references *)
   let prog = Minic.Parser.program (Option.get (Foray_suite.Suite.find "gsm")).source in
-  let loose = Pipeline.run ~thresholds:(th 2 2) prog in
-  let strict = Pipeline.run ~thresholds:(th 50 50) prog in
+  let loose = Tutil.run ~thresholds:(th 2 2) prog in
+  let strict = Tutil.run ~thresholds:(th 50 50) prog in
   Alcotest.(check bool) "monotone" true
     (Model.n_refs strict.model <= Model.n_refs loose.model);
   Alcotest.(check bool) "loose nonempty" true (Model.n_refs loose.model > 0)
 
 let t_model_sites_subset () =
-  let r = Pipeline.run_source (Option.get (Foray_suite.Suite.find "susan")).source in
+  let r = Tutil.run_source (Option.get (Foray_suite.Suite.find "susan")).source in
   let traced =
     List.map (fun (s : Foray_trace.Tstats.site_info) -> s.site)
       (Foray_trace.Tstats.sites r.tstats)
@@ -110,7 +114,7 @@ let t_model_sites_subset () =
 let t_model_emits_parseable_minic () =
   List.iter
     (fun (b : Foray_suite.Suite.bench) ->
-      let r = Pipeline.run_source b.source in
+      let r = Tutil.run_source b.source in
       let src = Model.to_c r.model in
       let prog = Minic.Parser.program src in
       Minic.Sema.check_exn prog)
@@ -149,12 +153,63 @@ let t_loop_functions_in_switch () =
     funcs
 
 let t_sema_failure_surfaces () =
+  match Pipeline.run_source "int main() { return x; }" with
+  | Ok _ -> Alcotest.fail "expected sema failure"
+  | Error (Error.Sema { msg }) ->
+      Alcotest.(check bool) "mentions the undeclared variable" true
+        (String.length msg > 0)
+  | Error e ->
+      Alcotest.failf "expected E_SEMA, got %s" (Error.to_string e)
+
+let t_parse_failure_typed () =
+  match Pipeline.run_source "int main( {" with
+  | Ok _ -> Alcotest.fail "expected parse failure"
+  | Error (Error.Parse _ as e) ->
+      Alcotest.(check string) "code" "E_PARSE" (Error.code e);
+      Alcotest.(check int) "exit code" 10 (Error.exit_code e)
+  | Error e ->
+      Alcotest.failf "expected E_PARSE, got %s" (Error.to_string e)
+
+let t_runtime_failure_typed () =
+  match Pipeline.run_source "int main() { int a; a = 1 / 0; return a; }" with
+  | Ok _ -> Alcotest.fail "expected runtime failure"
+  | Error (Error.Runtime { loc; step; _ } as e) ->
+      Alcotest.(check string) "stage" "simulate" loc;
+      Alcotest.(check bool) "step recorded" true (step >= 0);
+      Alcotest.(check int) "exit code" 12 (Error.exit_code e)
+  | Error e ->
+      Alcotest.failf "expected E_RUNTIME, got %s" (Error.to_string e)
+
+let t_budget_degrades () =
+  (* A tight step budget must stop the simulation cleanly and surface a
+     Degraded_budget record alongside a usable (prefix) model. *)
+  let prog = Minic.Parser.program Figures.fig4a in
+  let config = { Minic_sim.Interp.default_config with max_steps = 40 } in
+  let o = Tutil.run_outcome ~config ~thresholds:(th 2 2) prog in
+  match o.degraded with
+  | [ Pipeline.Degraded_budget { budget; limit; spent; _ } ] ->
+      Alcotest.(check string) "budget name" "max_steps" budget;
+      Alcotest.(check int) "limit" 40 limit;
+      Alcotest.(check bool) "spent at limit" true (spent >= limit)
+  | _ -> Alcotest.fail "expected exactly one Degraded_budget record"
+
+let t_event_budget_degrades () =
+  let prog = Minic.Parser.program Figures.fig4a in
+  let config =
+    { Minic_sim.Interp.default_config with max_trace_events = Some 10 }
+  in
+  let o = Tutil.run_outcome ~config ~thresholds:(th 2 2) prog in
+  match o.degraded with
+  | [ Pipeline.Degraded_budget { budget; events_seen; _ } ] ->
+      Alcotest.(check string) "budget name" "max_trace_events" budget;
+      Alcotest.(check bool) "events bounded" true (events_seen <= 10)
+  | _ -> Alcotest.fail "expected exactly one Degraded_budget record"
+
+let t_exn_wrapper_raises_typed () =
   try
-    ignore (Pipeline.run_source "int main() { return x; }");
-    Alcotest.fail "expected sema failure"
-  with Failure m ->
-    Alcotest.(check bool) "mentions sema" true
-      (String.length m >= 4 && String.sub m 0 4 = "Sema")
+    ignore (Pipeline.run_source_exn "int main() { return x; }");
+    Alcotest.fail "expected Error.Error"
+  with Error.Error (Error.Sema _) -> ()
 
 let tests =
   [
@@ -173,4 +228,10 @@ let tests =
     Alcotest.test_case "loop functions inside switch" `Quick
       t_loop_functions_in_switch;
     Alcotest.test_case "sema failure surfaces" `Quick t_sema_failure_surfaces;
+    Alcotest.test_case "parse failure typed" `Quick t_parse_failure_typed;
+    Alcotest.test_case "runtime failure typed" `Quick t_runtime_failure_typed;
+    Alcotest.test_case "step budget degrades" `Quick t_budget_degrades;
+    Alcotest.test_case "event budget degrades" `Quick t_event_budget_degrades;
+    Alcotest.test_case "exn wrapper raises typed" `Quick
+      t_exn_wrapper_raises_typed;
   ]

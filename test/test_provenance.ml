@@ -86,7 +86,7 @@ let prop_replay_matches_live =
 
 let t_pipeline_stories () =
   let r =
-    Pipeline.run_source
+    Tutil.run_source
       ~thresholds:Filter.{ nexec = 2; nloc = 2 }
       Foray_suite.Figures.fig4a
   in

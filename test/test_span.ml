@@ -154,7 +154,7 @@ let t_write_formats () =
 let t_pipeline_spans () =
   (* a full pipeline run records the stage spans, nested and valid *)
   ignore
-    (Foray_core.Pipeline.run_source
+    (Tutil.run_source
        ~thresholds:Foray_core.Filter.{ nexec = 2; nloc = 2 }
        Foray_suite.Figures.fig4a);
   let js = Span.to_chrome_json () in

@@ -165,7 +165,7 @@ let t_greedy_vs_optimal () =
   (* optimal never loses to greedy; both respect capacity *)
   List.iter
     (fun (b : Foray_suite.Suite.bench) ->
-      let r = Pipeline.run_source b.source in
+      let r = Tutil.run_source b.source in
       let cands = Reuse.candidates r.model in
       List.iter
         (fun size ->
@@ -238,7 +238,7 @@ let t_optimal_matches_bruteforce () =
 
 let t_sweep_shape () =
   let b = Option.get (Foray_suite.Suite.find "susan") in
-  let r = Pipeline.run_source b.source in
+  let r = Tutil.run_source b.source in
   let sweep = Dse.sweep r.model in
   Alcotest.(check int) "seven sizes" 7 (List.length sweep);
   List.iter

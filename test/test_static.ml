@@ -159,7 +159,7 @@ let t_fft_fully_static () =
   (* the fft benchmark is written in FORAY form: every reference the
      dynamic model captures is statically analyzable (Table II: 0%) *)
   let b = Option.get (Foray_suite.Suite.find "fft") in
-  let res = Foray_core.Pipeline.run_source b.source in
+  let res = Tutil.run_source b.source in
   let static = Baseline.analyze res.program in
   List.iter
     (fun (_, (mr : Foray_core.Model.mref)) ->

@@ -118,7 +118,7 @@ int main() {
 |}
   in
   let r =
-    Foray_core.Pipeline.run_source
+    Tutil.run_source
       ~thresholds:Foray_core.Filter.{ nexec = 20; nloc = 10 } src
   in
   (* the two switch arms write interleaved even/odd elements: each arm is

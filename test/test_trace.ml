@@ -22,9 +22,10 @@ let t_line_roundtrip () =
   List.iter
     (fun e ->
       let line = Event.to_line e in
-      let e2 = Event.of_line line in
-      if not (Event.equal e e2) then
-        Alcotest.failf "line round-trip failed for %s" line)
+      match Event.of_line line with
+      | Ok e2 when Event.equal e e2 -> ()
+      | Ok _ -> Alcotest.failf "line round-trip failed for %s" line
+      | Error msg -> Alcotest.failf "of_line rejected %s: %s" line msg)
     sample
 
 let t_figure4c_format () =
@@ -41,19 +42,25 @@ let t_figure4c_format () =
 
 let t_string_roundtrip () =
   let s = Event.to_string sample in
-  let back = Event.of_string s in
-  Alcotest.(check int) "same length" (List.length sample) (List.length back);
-  List.iter2
-    (fun a b -> if not (Event.equal a b) then Alcotest.fail "mismatch")
-    sample back
+  match Event.of_string s with
+  | Error msg -> Alcotest.failf "of_string rejected its own output: %s" msg
+  | Ok back ->
+      Alcotest.(check int) "same length" (List.length sample)
+        (List.length back);
+      List.iter2
+        (fun a b -> if not (Event.equal a b) then Alcotest.fail "mismatch")
+        sample back
 
 let t_of_line_errors () =
+  (* Malformed records come back as [Error], never as an exception; the
+     corrupt-handling policy lives entirely in Tracefile. *)
   List.iter
     (fun line ->
-      try
-        ignore (Event.of_line line);
-        Alcotest.failf "expected failure for %S" line
-      with Failure _ -> ())
+      match Event.of_line line with
+      | Ok _ -> Alcotest.failf "expected Error for %S" line
+      | Error msg ->
+          Alcotest.(check bool) "diagnostic is non-empty" true
+            (String.length msg > 0))
     [ "garbage"; "Checkpoint: x loop_enter"; "Checkpoint: 1 sideways";
       "Instr: 1 addr: 2 zz 4"; "Instr: 1 addr: 2 rd 4 extra stuff" ]
 

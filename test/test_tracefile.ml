@@ -60,7 +60,7 @@ let t_sink_to_file_streaming () =
 let t_analysis_from_file_matches () =
   (* simulator -> file -> analyzer == online *)
   let prog = Minic.Parser.program Foray_suite.Figures.fig1 in
-  let r, trace = Foray_core.Pipeline.run_offline prog in
+  let r, trace = Tutil.run_offline prog in
   let path = tmp "foray_match.tr" in
   Tracefile.save ~format:Tracefile.Binary path trace;
   let tree = Foray_core.Looptree.create () in

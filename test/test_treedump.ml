@@ -6,7 +6,7 @@ let contains ~sub s =
   go 0
 
 let t_render_fig9 () =
-  let r = Foray_core.Pipeline.run_source Foray_suite.Figures.fig9 in
+  let r = Tutil.run_source Foray_suite.Figures.fig9 in
   let s =
     Foray_core.Treedump.render ~loop_kinds:r.loop_kinds r.tree
   in
@@ -28,7 +28,7 @@ let t_render_fig9 () =
     (count_occurrences "entries, trips 10..10" s >= 1)
 
 let t_render_hides_scalars () =
-  let r = Foray_core.Pipeline.run_source Foray_suite.Figures.fig4a in
+  let r = Tutil.run_source Foray_suite.Figures.fig4a in
   let quiet = Foray_core.Treedump.render r.tree in
   let full = Foray_core.Treedump.render ~show_all:true r.tree in
   Alcotest.(check bool) "full view is larger" true

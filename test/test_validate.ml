@@ -9,7 +9,7 @@ let t_full_affine_exact () =
   (* a model extracted from a trace predicts that same trace perfectly
      when every reference is fully affine *)
   let prog = Minic.Parser.program Foray_suite.Figures.fig4a in
-  let r, trace = Pipeline.run_offline ~thresholds:(th 2 2) prog in
+  let r, trace = Tutil.run_offline ~thresholds:(th 2 2) prog in
   let rep = Validate.replay r.model trace in
   Alcotest.(check (float 0.0001)) "100% exact" 1.0 (Validate.overall rep);
   Alcotest.(check int) "covers the six accesses" 6 rep.covered;
@@ -19,7 +19,7 @@ let t_full_affine_exact () =
 let t_partial_rebases () =
   (* fig7b's data-dependent offsets force one re-base per outer change *)
   let prog = Minic.Parser.program Foray_suite.Figures.fig7b in
-  let r, trace = Pipeline.run_offline ~thresholds:(th 10 5) prog in
+  let r, trace = Tutil.run_offline ~thresholds:(th 10 5) prog in
   let rep = Validate.replay r.model trace in
   let partial_sites =
     List.filter_map
@@ -45,7 +45,7 @@ let t_overall_suite () =
     (fun name ->
       let b = Option.get (Foray_suite.Suite.find name) in
       let prog = Minic.Parser.program b.source in
-      let r, trace = Pipeline.run_offline prog in
+      let r, trace = Tutil.run_offline prog in
       let rep = Validate.replay r.model trace in
       Alcotest.(check bool)
         (name ^ " accuracy > 95%")

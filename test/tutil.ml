@@ -1,0 +1,27 @@
+(* Shared helpers for tests exercising the typed pipeline API: unwrap
+   the [result]-returning entry points, failing the test with the typed
+   error's rendering when a run that must succeed does not. *)
+
+let ok_result = function
+  | Ok (o : Foray_core.Pipeline.outcome) -> o.result
+  | Error e ->
+      Alcotest.failf "pipeline error: %s" (Foray_core.Error.to_string e)
+
+let run ?config ?thresholds prog =
+  ok_result (Foray_core.Pipeline.run ?config ?thresholds prog)
+
+let run_source ?config ?thresholds src =
+  ok_result (Foray_core.Pipeline.run_source ?config ?thresholds src)
+
+let run_offline ?config ?thresholds prog =
+  match Foray_core.Pipeline.run_offline ?config ?thresholds prog with
+  | Ok (o, trace) -> (o.Foray_core.Pipeline.result, trace)
+  | Error e ->
+      Alcotest.failf "pipeline error: %s" (Foray_core.Error.to_string e)
+
+(* Full outcome (with degradation records), still asserting no error. *)
+let run_outcome ?config ?thresholds prog =
+  match Foray_core.Pipeline.run ?config ?thresholds prog with
+  | Ok o -> o
+  | Error e ->
+      Alcotest.failf "pipeline error: %s" (Foray_core.Error.to_string e)
