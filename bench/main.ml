@@ -33,6 +33,24 @@ let bsection b title =
 
 let th nexec nloc = Filter.{ nexec; nloc }
 
+(* Typed-API unwrappers: the harness's error policy for runs that must
+   succeed is to abort with the typed error (guarded nowhere, so the
+   registered printer renders it). *)
+let run_ok ?config ?thresholds prog =
+  match Pipeline.run ?config ?thresholds prog with
+  | Ok (o : Pipeline.outcome) -> o.result
+  | Error e -> Error.raise_error e
+
+let run_source_ok ?config ?thresholds src =
+  match Pipeline.run_source ?config ?thresholds src with
+  | Ok (o : Pipeline.outcome) -> o.result
+  | Error e -> Error.raise_error e
+
+let run_offline_ok ?thresholds ?shards ?jobs prog =
+  match Pipeline.run_offline ?thresholds ?shards ?jobs prog with
+  | Ok ((o : Pipeline.outcome), trace) -> (o.result, trace)
+  | Error e -> Error.raise_error e
+
 (* ------------------------------------------------------------------ *)
 (* Tables I-III (the paper's evaluation section)                       *)
 (* ------------------------------------------------------------------ *)
@@ -57,27 +75,27 @@ let tables b =
 
 let figure2 b =
   bsection b "Figure 2: FORAY models of the Figure 1 excerpts";
-  let r = Pipeline.run_source_exn ~thresholds:(th 10 10) Figures.fig1 in
+  let r = run_source_ok ~thresholds:(th 10 10) Figures.fig1 in
   Buffer.add_string b (Model.to_c r.model)
 
 let figure4 b =
   bsection b "Figure 4: annotated program, trace and model";
   let prog = Minic.Parser.program Figures.fig4a in
-  let _, trace = Pipeline.run_offline_exn ~thresholds:(th 2 2) prog in
+  let _, trace = run_offline_ok ~thresholds:(th 2 2) prog in
   Printf.bprintf b "trace (first 16 of %d records):\n" (List.length trace);
   List.iteri
     (fun i e ->
       if i < 16 then
         Printf.bprintf b "  %s\n" (Foray_trace.Event.to_line e))
     trace;
-  let r = Pipeline.run_source_exn ~thresholds:(th 2 2) Figures.fig4a in
+  let r = run_source_ok ~thresholds:(th 2 2) Figures.fig4a in
   Buffer.add_string b (Model.to_c r.model)
 
 let figure7 b =
   bsection b "Figure 7: partial affine index expressions";
   List.iter
     (fun (name, src) ->
-      let r = Pipeline.run_source_exn ~thresholds:(th 10 5) src in
+      let r = run_source_ok ~thresholds:(th 10 5) src in
       let partials =
         List.filter (fun (_, (mr : Model.mref)) -> mr.partial)
           (Model.all_refs r.model)
@@ -95,7 +113,7 @@ let figure7 b =
 
 let figure9 b =
   bsection b "Figure 9: function duplication hints";
-  let r = Pipeline.run_source_exn ~thresholds:(th 5 5) Figures.fig9 in
+  let r = run_source_ok ~thresholds:(th 5 5) Figures.fig9 in
   Buffer.add_string b (Hints.to_string (Pipeline.hints r))
 
 (* ------------------------------------------------------------------ *)
@@ -111,7 +129,7 @@ let spm_sweep b =
   in
   List.iter
     (fun (bench : Suite.bench) ->
-      let r = Pipeline.run_source_exn bench.source in
+      let r = run_source_ok bench.source in
       let cands = Foray_spm.Reuse.candidates r.model in
       let row =
         List.map
@@ -148,7 +166,7 @@ let ablation_thresholds b =
   in
   List.iter
     (fun (nexec, nloc) ->
-      let r = Pipeline.run_exn ~thresholds:(th nexec nloc) prog in
+      let r = run_ok ~thresholds:(th nexec nloc) prog in
       Tablefmt.row t
         [
           string_of_int nexec; string_of_int nloc;
@@ -170,7 +188,7 @@ let ablation_partial b =
   in
   List.iter
     (fun (bench : Suite.bench) ->
-      let r = Pipeline.run_source_exn bench.source in
+      let r = run_source_ok bench.source in
       let refs = Model.all_refs r.model in
       let partial =
         List.filter (fun (_, (mr : Model.mref)) -> mr.partial) refs
@@ -196,7 +214,7 @@ let ablation_dse b =
   in
   List.iter
     (fun (bench : Suite.bench) ->
-      let r = Pipeline.run_source_exn bench.source in
+      let r = run_source_ok bench.source in
       let cands = Foray_spm.Reuse.candidates r.model in
       let g = Foray_spm.Dse.select_greedy cands ~spm_bytes:4096 in
       let o = Foray_spm.Dse.select_optimal cands ~spm_bytes:4096 in
@@ -218,7 +236,7 @@ let ablation_fusion b =
   in
   List.iter
     (fun (bench : Suite.bench) ->
-      let r = Pipeline.run_source_exn bench.source in
+      let r = run_source_ok bench.source in
       let plain = Foray_spm.Reuse.candidates r.model in
       let fused = Foray_spm.Reuse.candidates ~fuse:true r.model in
       let sp = Foray_spm.Dse.select_optimal plain ~spm_bytes:1024 in
@@ -244,7 +262,7 @@ let model_fidelity b =
   List.iter
     (fun (bench : Suite.bench) ->
       let prog = Minic.Parser.program bench.source in
-      let r, trace = Pipeline.run_offline_exn prog in
+      let r, trace = run_offline_ok prog in
       let rep = Validate.replay r.model trace in
       let exact =
         List.fold_left (fun a (rr : Validate.ref_report) -> a + rr.exact) 0
@@ -283,9 +301,9 @@ let ablation_online b =
       let bench = Option.get (Suite.find name) in
       let prog = Minic.Parser.program bench.source in
       let t0 = now () in
-      let online = Pipeline.run_exn prog in
+      let online = run_ok prog in
       let t1 = now () in
-      let offline, trace = Pipeline.run_offline_exn prog in
+      let offline, trace = run_offline_ok prog in
       let t2 = now () in
       Tablefmt.row t
         [
@@ -412,9 +430,9 @@ let microbench b =
   let adpcm = Minic.Parser.program (Option.get (Suite.find "adpcm")).source in
   run_one
     (Test.make ~name:"pipeline.run adpcm (end to end)"
-       (Staged.stage (fun () -> ignore (Pipeline.run_exn adpcm))));
+       (Staged.stage (fun () -> ignore (run_ok adpcm))));
   (* knapsack on a real candidate set *)
-  let gsm = Pipeline.run_source_exn (Option.get (Suite.find "gsm")).source in
+  let gsm = run_source_ok (Option.get (Suite.find "gsm")).source in
   let cands = Foray_spm.Reuse.candidates gsm.model in
   run_one
     (Test.make ~name:"dse.select_optimal gsm@4KiB"
@@ -458,6 +476,70 @@ let measure_pipeline (bench : Suite.bench) =
     steps = sim.steps;
     seconds;
     degraded = sim.stopped <> Minic_sim.Interp.Completed;
+  }
+
+type shard_perf = {
+  sname : string;
+  sevents : int;
+  shard_count : int;
+  sjobs : int;  (** domains the sharded pass actually used *)
+  seq_seconds : float;
+  shard_seconds : float;
+  merge_seconds : float;
+}
+
+(* Sharded-analysis measurement on the largest trace in the suite: the
+   stored-trace analysis run once sequentially and once split over 4
+   domains, models compared byte-for-byte. Merge cost comes from the
+   pipeline.shard_merge timer, so metrics collection is switched on just
+   for the sharded pass (and read back before measure_interp resets it). *)
+let measure_shards (pipelines : pipeline_perf list) =
+  let largest =
+    List.fold_left
+      (fun (acc : pipeline_perf) p -> if p.events > acc.events then p else acc)
+      (List.hd pipelines) (List.tl pipelines)
+  in
+  let bench = Option.get (Suite.find largest.pname) in
+  let prog = Minic.Parser.program bench.source in
+  Minic.Sema.check_exn prog;
+  let instrumented = Foray_instrument.Annotate.program prog in
+  let buf = ref [] in
+  let _ =
+    Minic_sim.Interp.run instrumented ~sink:(fun e -> buf := e :: !buf)
+  in
+  let events = Array.of_list (List.rev !buf) in
+  let loop_kinds = Foray_instrument.Annotate.loop_table prog in
+  let time f =
+    let t0 = now () in
+    let r = f () in
+    (r, now () -. t0)
+  in
+  let seq_model, seq_seconds =
+    time (fun () ->
+        let tree, _ = Pipeline.analyze_events events in
+        Model.to_c (Model.of_tree ~loop_kinds tree))
+  in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let shard_model, shard_seconds =
+    time (fun () ->
+        let tree, _ = Pipeline.analyze_events ~shards:4 events in
+        Model.to_c (Model.of_tree ~loop_kinds tree))
+  in
+  Obs.set_enabled false;
+  let merge_seconds =
+    Option.value ~default:0.0 (Obs.timer_seconds "pipeline.shard_merge")
+  in
+  if not (String.equal seq_model shard_model) then
+    failwith "measure_shards: sharded model diverged from the sequential one";
+  {
+    sname = largest.pname;
+    sevents = Array.length events;
+    shard_count = 4;
+    sjobs = min 4 (Parallel.default_jobs ());
+    seq_seconds;
+    shard_seconds;
+    merge_seconds;
   }
 
 (* Interpreter microbenchmark on the jpeg analogue, resolver on and off:
@@ -504,14 +586,14 @@ let measure_interp ~reps =
   Span.set_enabled span_was;
   (resolved, unresolved, with_metrics, with_tracing)
 
-let write_json ~path ~section_times ~pipelines ~interp ~total =
+let write_json ~path ~section_times ~pipelines ~shard ~interp ~total =
   let resolved, unresolved, with_metrics, with_tracing = interp in
   let b = Buffer.create 4096 in
   let add fmt = Printf.bprintf b fmt in
   add "{\n";
-  add "  \"schema\": 2,\n";
+  add "  \"schema\": 3,\n";
   add "  \"meta\": {\n";
-  add "    \"schema_version\": 2,\n";
+  add "    \"schema_version\": 3,\n";
   add "    \"generated_by\": \"bench/main.exe --json\",\n";
   add "    \"benchmark_set\": [%s],\n"
     (String.concat ", "
@@ -540,6 +622,18 @@ let write_json ~path ~section_times ~pipelines ~interp ~total =
   add "    \"tracing_overhead_pct\": %.2f,\n"
     (100.0 *. (resolved -. with_tracing) /. resolved);
   add "    \"resolver_speedup\": %.2f\n" (resolved /. unresolved);
+  add "  },\n";
+  (* Schema 3: the sharded-analysis record — sequential vs 4-domain
+     analysis of the largest stored trace, plus the merge cost. *)
+  add "  \"shard\": {\n";
+  add "    \"name\": %S,\n" shard.sname;
+  add "    \"events\": %d,\n" shard.sevents;
+  add "    \"shards\": %d,\n" shard.shard_count;
+  add "    \"domains\": %d,\n" shard.sjobs;
+  add "    \"seq_seconds\": %.4f,\n" shard.seq_seconds;
+  add "    \"shard_seconds\": %.4f,\n" shard.shard_seconds;
+  add "    \"merge_seconds\": %.4f,\n" shard.merge_seconds;
+  add "    \"speedup\": %.2f\n" (shard.seq_seconds /. shard.shard_seconds);
   add "  },\n";
   (* Obs.to_json is itself a JSON object, captured during the
      metrics-enabled interpreter pass above. *)
@@ -638,9 +732,10 @@ let () =
            List.filter (fun (b : Suite.bench) -> b.name <> "lame") Suite.all
          else Suite.all)
     in
+    let shard = measure_shards pipelines in
     let interp = measure_interp ~reps:(if !quick then 3 else 5) in
     let section_times = List.map (fun (n, _, dt) -> (n, dt)) rendered in
-    write_json ~path:!json_file ~section_times ~pipelines ~interp
+    write_json ~path:!json_file ~section_times ~pipelines ~shard ~interp
       ~total:(now () -. t0)
   end;
   if not !quick then begin

@@ -108,6 +108,23 @@ let jobs_arg =
     & opt int (Foray_util.Parallel.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let shards_arg =
+  let doc =
+    "Cut the stored trace into $(docv) checkpoint-aligned shards and \
+     analyze them in parallel on a domain pool, merging the per-shard \
+     state. The printed model is byte-identical to a sequential analysis \
+     for any shard count."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let shard_jobs_arg =
+  let doc =
+    "Domains for sharded analysis (default: the shard count, capped at \
+     the machine's recommended domain count). Only meaningful together \
+     with $(b,--shards)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let metrics_arg =
   let doc =
     "Collect internal counters during the run and write them as JSON to \
@@ -225,20 +242,40 @@ let with_simulated_trace ~scalars src k =
 
 let run_pipeline src ~nexec ~nloc ~scalars =
   let thresholds = Foray_core.Filter.{ nexec; nloc } in
-  Foray_core.Pipeline.run_source_exn ~config:(config_of scalars) ~thresholds
-    src
+  match
+    Foray_core.Pipeline.run_source ~config:(config_of scalars) ~thresholds src
+  with
+  | Ok o -> o.Foray_core.Pipeline.result
+  | Error e -> Ferr.raise_error e
 
 (* Steps 3-4 on a stored trace file: salvages damaged records by default,
-   [strict] turns the first corrupt record into E_TRACE_CORRUPT. *)
-let analyze_trace_file ~strict ~json ~nexec ~nloc path =
-  let tree = Foray_core.Looptree.create () in
-  match
-    Foray_trace.Tracefile.read ~strict path (Foray_core.Looptree.sink tree)
-  with
+   [strict] turns the first corrupt record into E_TRACE_CORRUPT. With
+   [shards > 1] the (salvaged) stream is analyzed in parallel and merged —
+   same model, bit for bit. *)
+let analyze_trace_file ~strict ~json ~nexec ~nloc ?(shards = 1) ?jobs path =
+  let analyzed =
+    if shards <= 1 then begin
+      let tree = Foray_core.Looptree.create () in
+      match
+        Foray_trace.Tracefile.read ~strict path (Foray_core.Looptree.sink tree)
+      with
+      | Ok salvage -> Ok (tree, salvage)
+      | Error _ as e -> e
+    end
+    else
+      match Foray_trace.Tracefile.read_events ~strict path with
+      | Ok (events, salvage) ->
+          let tree, _tstats =
+            Foray_core.Pipeline.analyze_events ~shards ?jobs events
+          in
+          Ok (tree, salvage)
+      | Error _ as e -> e
+  in
+  match analyzed with
   | Error { Foray_trace.Tracefile.offset; kind; events_before } ->
       fail_error ~json
         (Ferr.Trace_corrupt { offset; kind; events_salvaged = events_before })
-  | Ok salvage ->
+  | Ok (tree, salvage) ->
       Foray_core.Looptree.flush_metrics tree;
       let thresholds = Foray_core.Filter.{ nexec; nloc } in
       let model = Foray_core.Model.of_tree ~thresholds tree in
@@ -287,14 +324,15 @@ let list_cmd =
 
 let extract_cmd =
   let run prog nexec nloc scalars show_hints metrics trace_out strict json
-      max_steps deadline_ms max_events =
+      max_steps deadline_ms max_events shards jobs =
     guard ~json (fun () ->
         if looks_like_trace prog then
           (* A stored trace: skip simulation and run Steps 3-4 offline,
              salvaging damaged records unless --strict. *)
           with_tracing trace_out (fun () ->
               with_metrics metrics (fun () ->
-                  analyze_trace_file ~strict ~json ~nexec ~nloc prog))
+                  analyze_trace_file ~strict ~json ~nexec ~nloc ~shards ?jobs
+                    prog))
         else
           match load_source prog with
           | Error e -> fail_error ~json e
@@ -306,9 +344,23 @@ let extract_cmd =
                         config_of ?max_steps ?deadline_ms
                           ?max_trace_events:max_events scalars
                       in
-                      match
-                        Foray_core.Pipeline.run_source ~config ~thresholds src
-                      with
+                      let outcome =
+                        if shards <= 1 then
+                          Foray_core.Pipeline.run_source ~config ~thresholds
+                            src
+                        else
+                          (* --shards: materialize the trace and analyze it
+                             in parallel instead of online. *)
+                          match
+                            Ferr.catch (fun () -> Minic.Parser.program src)
+                          with
+                          | Error _ as e -> e
+                          | Ok prog ->
+                              Result.map fst
+                                (Foray_core.Pipeline.run_offline ~config
+                                   ~thresholds ~shards ?jobs prog)
+                      in
+                      match outcome with
                       | Error e -> fail_error ~json e
                       | Ok { result = r; degraded } when strict && degraded <> []
                         ->
@@ -333,7 +385,8 @@ let extract_cmd =
     Term.(
       const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ hints_arg
       $ metrics_arg $ trace_out_arg $ strict_arg $ json_errors_arg
-      $ max_steps_arg $ deadline_arg $ max_events_arg)
+      $ max_steps_arg $ deadline_arg $ max_events_arg $ shards_arg
+      $ shard_jobs_arg)
 
 (* ---- annotate ------------------------------------------------------- *)
 
@@ -419,12 +472,13 @@ let trace_cmd =
 (* ---- analyze (trace file -> model) ---------------------------------- *)
 
 let analyze_cmd =
-  let run target nexec nloc scalars metrics trace_out strict json =
+  let run target nexec nloc scalars metrics trace_out strict json shards jobs =
     guard ~json (fun () ->
         with_tracing trace_out (fun () ->
             with_metrics metrics (fun () ->
                 if Sys.file_exists target then
-                  analyze_trace_file ~strict ~json ~nexec ~nloc target
+                  analyze_trace_file ~strict ~json ~nexec ~nloc ~shards ?jobs
+                    target
                 else
                   match load_source target with
                   | Error e -> fail_error ~json e
@@ -432,7 +486,8 @@ let analyze_cmd =
                       (* A benchmark or figure name: simulate it to a temporary
                          binary trace first, then analyze that file. *)
                       with_simulated_trace ~scalars src (fun tmp ->
-                          analyze_trace_file ~strict ~json ~nexec ~nloc tmp))))
+                          analyze_trace_file ~strict ~json ~nexec ~nloc ~shards
+                            ?jobs tmp))))
   in
   let path_arg =
     Arg.(
@@ -450,7 +505,8 @@ let analyze_cmd =
        ~doc:"Run Steps 3-4 on a stored trace file and print the model")
     Term.(
       const run $ path_arg $ nexec_arg $ nloc_arg $ scalars_arg $ metrics_arg
-      $ trace_out_arg $ strict_arg $ json_errors_arg)
+      $ trace_out_arg $ strict_arg $ json_errors_arg $ shards_arg
+      $ shard_jobs_arg)
 
 (* ---- tree ------------------------------------------------------------ *)
 
@@ -489,7 +545,9 @@ let validate_cmd =
         let thresholds = Foray_core.Filter.{ nexec; nloc } in
         let prog = Minic.Parser.program src in
         let r, trace =
-          Foray_core.Pipeline.run_offline_exn ~thresholds prog
+          match Foray_core.Pipeline.run_offline ~thresholds prog with
+          | Ok (o, trace) -> (o.Foray_core.Pipeline.result, trace)
+          | Error e -> Ferr.raise_error e
         in
         let rep = Foray_core.Validate.replay r.model trace in
         Printf.printf

@@ -15,7 +15,13 @@ let show name src =
   banner (name ^ ": program");
   print_string src;
   let thresholds = Foray_core.Filter.{ nexec = 10; nloc = 5 } in
-  let r = Foray_core.Pipeline.run_source_exn ~thresholds src in
+  let r =
+    match Foray_core.Pipeline.run_source ~thresholds src with
+    | Ok o -> o.Foray_core.Pipeline.result
+    | Error e ->
+        prerr_endline (Foray_core.Error.to_string e);
+        exit (Foray_core.Error.exit_code e)
+  in
   banner (name ^ ": FORAY model");
   print_string (Foray_core.Model.to_c r.model);
   banner (name ^ ": per-reference analysis");

@@ -10,6 +10,14 @@
 let banner title =
   Printf.printf "\n=== %s %s\n" title (String.make (60 - String.length title) '=')
 
+(* The typed pipeline API returns failures as values; a demo's error
+   policy is to print the error and exit with its documented code. *)
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline (Foray_core.Error.to_string e);
+      exit (Foray_core.Error.exit_code e)
+
 let () =
   let src = Foray_suite.Figures.fig4a in
   banner "Original program (Figure 4a)";
@@ -22,7 +30,9 @@ let () =
   print_string (Minic.Pretty.program (Foray_instrument.Annotate.program prog));
 
   banner "Profile trace, first 24 records (Figure 4c)";
-  let _, trace = Foray_core.Pipeline.run_offline_exn prog in
+  let (_ : Foray_core.Pipeline.outcome), trace =
+    or_die (Foray_core.Pipeline.run_offline prog)
+  in
   List.iteri
     (fun i e -> if i < 24 then print_endline (Foray_trace.Event.to_line e))
     trace;
@@ -32,7 +42,10 @@ let () =
   (* The example is tiny, so relax the paper's Nexec=20/Nloc=10 thresholds
      that target real workloads. *)
   let thresholds = Foray_core.Filter.{ nexec = 2; nloc = 2 } in
-  let r = Foray_core.Pipeline.run_source_exn ~thresholds src in
+  let r =
+    (or_die (Foray_core.Pipeline.run_source ~thresholds src))
+      .Foray_core.Pipeline.result
+  in
   print_string (Foray_core.Model.to_c r.model);
 
   banner "What the static baseline sees";

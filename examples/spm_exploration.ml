@@ -13,7 +13,13 @@ let banner title =
 let () =
   let bench = Option.get (Foray_suite.Suite.find "jpeg") in
   banner "Phase I: extract the FORAY model";
-  let r = Foray_core.Pipeline.run_source_exn bench.source in
+  let r =
+    match Foray_core.Pipeline.run_source bench.source with
+    | Ok o -> o.Foray_core.Pipeline.result
+    | Error e ->
+        prerr_endline (Foray_core.Error.to_string e);
+        exit (Foray_core.Error.exit_code e)
+  in
   Printf.printf "model: %d loops, %d references, %d distinct sites\n"
     (Foray_core.Model.n_loops r.model)
     (Foray_core.Model.n_refs r.model)

@@ -48,8 +48,25 @@ let () =
     (Foray_core.Model.n_loops model)
     (Foray_core.Model.n_refs model);
 
+  banner "Stage 2b: the same analysis, sharded 4 ways across domains";
+  let events, _salvage =
+    match Foray_trace.Tracefile.read_events path with
+    | Ok x -> x
+    | Error _ -> assert false (* salvage mode always returns Ok *)
+  in
+  let sharded_tree, _ = Foray_core.Pipeline.analyze_events ~shards:4 events in
+  let sharded_model = Foray_core.Model.of_tree ~loop_kinds sharded_tree in
+  Printf.printf "4-shard model identical to the sequential one: %b\n"
+    (Foray_core.Model.to_c sharded_model = Foray_core.Model.to_c model);
+
   banner "Stage 3: agreement with the online analysis";
-  let online = Foray_core.Pipeline.run_exn prog in
+  let online =
+    match Foray_core.Pipeline.run prog with
+    | Ok o -> o.Foray_core.Pipeline.result
+    | Error e ->
+        prerr_endline (Foray_core.Error.to_string e);
+        exit (Foray_core.Error.exit_code e)
+  in
   Printf.printf "identical models: %b\n"
     (Foray_core.Model.to_c online.model = Foray_core.Model.to_c model);
 

@@ -2,6 +2,15 @@ type coeff = Unknown | Known of int
 
 let next_uid = Atomic.make 1
 
+(* Raw observation log used by the mergeable (sharded) representation:
+   [depth + 1] ints per observation — the iterator vector, then the
+   address — in a growable flat array. Merging states concatenates logs;
+   the Algorithm-3 fold replays them lazily (see [force]), so a merged
+   state is bit-identical to the sequential walker's state on the same
+   stream: every coefficient solve, misprediction and demotion happens in
+   trace order, whatever the shard boundaries were. *)
+type oblog = { mutable buf : int array; mutable len : int (* in ints *) }
+
 type t = {
   uid : int;
   site : int;
@@ -15,9 +24,11 @@ type t = {
   mutable execs : int;
   mutable analyzable : bool;
   mutable mispredictions : int;
+  log : oblog option; (* Some: mergeable mode; None: eager fold *)
+  mutable folded : int; (* ints of [log] already folded through Algorithm 3 *)
 }
 
-let create ~site ~depth =
+let make ~log ~site ~depth =
   let uid = Atomic.fetch_and_add next_uid 1 in
   if Provenance.enabled () then Provenance.register ~uid ~site ~depth;
   {
@@ -33,20 +44,18 @@ let create ~site ~depth =
     execs = 0;
     analyzable = true;
     mispredictions = 0;
+    log = (if log then Some { buf = [||]; len = 0 } else None);
+    folded = 0;
   }
+
+let create ~site ~depth = make ~log:false ~site ~depth
+let create_logged ~site ~depth = make ~log:true ~site ~depth
 
 let uid t = t.uid
 let site t = t.site
 let depth t = t.depth
-let execs t = t.execs
-let analyzable t = t.analyzable
-let const t = t.const
-let coeffs t = Array.copy t.coeffs
-let m t = t.m
-let partial t = t.m < t.depth
-let mispredictions t = t.mispredictions
 
-let predict t ~iters =
+let predict_raw t ~iters =
   let acc = ref t.const in
   for i = 0 to t.depth - 1 do
     match t.coeffs.(i) with
@@ -60,9 +69,7 @@ let finish t ~iters ~addr =
   t.prev_addr <- addr;
   t.execs <- t.execs + 1
 
-let observe t ~iters ~addr =
-  if Array.length iters <> t.depth then
-    invalid_arg "Affine.observe: iterator vector length mismatch";
+let fold_observe t ~iters ~addr =
   let prov = Provenance.enabled () in
   if not t.analyzable then finish t ~iters ~addr
   else if t.execs = 0 then begin
@@ -137,7 +144,7 @@ let observe t ~iters ~addr =
     end;
     if t.analyzable then begin
       (* Step 5: predict; Step 6: re-base on misprediction. *)
-      let indc = predict t ~iters in
+      let indc = predict_raw t ~iters in
       if indc <> addr then begin
         t.mispredictions <- t.mispredictions + 1;
         for i = 0 to t.depth - 1 do
@@ -161,10 +168,95 @@ let observe t ~iters ~addr =
     finish t ~iters ~addr
   end
 
+(* --- mergeable (log) mode --------------------------------------------- *)
+
+let stride t = t.depth + 1
+
+let log_append l t iters addr =
+  let n = stride t in
+  if l.len + n > Array.length l.buf then begin
+    let cap = max 64 (max (2 * Array.length l.buf) (l.len + n)) in
+    let buf = Array.make cap 0 in
+    Array.blit l.buf 0 buf 0 l.len;
+    l.buf <- buf
+  end;
+  Array.blit iters 0 l.buf l.len t.depth;
+  l.buf.(l.len + t.depth) <- addr;
+  l.len <- l.len + n
+
+let force t =
+  match t.log with
+  | None -> ()
+  | Some l ->
+      if t.folded < l.len then begin
+        let iters = Array.make t.depth 0 in
+        let n = stride t in
+        let p = ref t.folded in
+        while !p < l.len do
+          Array.blit l.buf !p iters 0 t.depth;
+          fold_observe t ~iters ~addr:l.buf.(!p + t.depth);
+          p := !p + n
+        done;
+        t.folded <- l.len
+      end
+
+let pending t =
+  match t.log with None -> 0 | Some l -> (l.len - t.folded) / stride t
+
+let observe t ~iters ~addr =
+  if Array.length iters <> t.depth then
+    invalid_arg "Affine.observe: iterator vector length mismatch";
+  match t.log with
+  | None -> fold_observe t ~iters ~addr
+  | Some l -> log_append l t iters addr
+
+let log_append_all dst src =
+  if dst.len + src.len > Array.length dst.buf then begin
+    let cap = max (dst.len + src.len) (2 * Array.length dst.buf) in
+    let buf = Array.make cap 0 in
+    Array.blit dst.buf 0 buf 0 dst.len;
+    dst.buf <- buf
+  end;
+  Array.blit src.buf 0 dst.buf dst.len src.len;
+  dst.len <- dst.len + src.len;
+  (* [src] is consumed by the merge; releasing its buffer immediately
+     keeps peak heap near one log's worth instead of two. *)
+  src.buf <- [||];
+  src.len <- 0
+
+let merge a b =
+  (match (a.log, b.log) with
+  | Some _, Some _ -> ()
+  | _ -> invalid_arg "Affine.merge: both states must be in log mode");
+  if a.site <> b.site || a.depth <> b.depth then
+    invalid_arg "Affine.merge: site/depth mismatch";
+  let la = Option.get a.log and lb = Option.get b.log in
+  (* Concatenate observation streams in shard order; the result is always
+     [a], so callers may keep aliases to it. [a]'s folded prefix stays
+     valid — [b]'s observations strictly follow it — whereas [b]'s own
+     fold (if any) used the wrong prefix and is discarded with [b]. In
+     practice shard states are never folded before merging finishes (the
+     fold is lazy, see [force]). *)
+  if lb.len > 0 then log_append_all la lb;
+  a
+
+(* --- inspection (forces pending log entries first) --------------------- *)
+
+let execs t = force t; t.execs
+let analyzable t = force t; t.analyzable
+let const t = force t; t.const
+let coeffs t = force t; Array.copy t.coeffs
+let m t = force t; t.m
+let partial t = force t; t.m < t.depth
+let mispredictions t = force t; t.mispredictions
+
+let predict t ~iters = force t; predict_raw t ~iters
+
 let included_terms t =
+  force t;
   List.init t.m (fun i ->
       match t.coeffs.(i) with Known c -> c | Unknown -> 0)
 
 let has_iterator t =
-  t.analyzable
+  analyzable t
   && List.exists (fun c -> c <> 0) (included_terms t)

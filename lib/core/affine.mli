@@ -31,8 +31,42 @@ type t
 
 (** [create ~site ~depth] starts tracking a reference with [depth] enclosing
     loops ([depth] may be 0; such references can never be affine in an
-    iterator and are filtered later). *)
+    iterator and are filtered later). Observations fold through Algorithm 3
+    eagerly — the historical representation, nothing extra allocated. *)
 val create : site:int -> depth:int -> t
+
+(** [create_logged ~site ~depth] is the {e mergeable} representation used
+    by sharded trace analysis: observations are recorded as a raw
+    [(iters, addr)] log and the Algorithm-3 fold is deferred until the
+    state is first inspected (or {!force}d). Logged states form a monoid
+    under {!merge} with a fresh state as identity, and the deferred fold
+    guarantees the merged state is {e bit-identical} to the sequential
+    walker's: demoted coefficients cannot be resurrected by merge order
+    because merge never reconciles two folded states — it concatenates
+    their observation streams and replays Algorithm 3, demotions included,
+    in trace order. *)
+val create_logged : site:int -> depth:int -> t
+
+(** {1 Merging (sharded analysis)} *)
+
+(** [merge a b] combines two logged states of the same reference, where
+    [b] observed the trace segment {e following} [a]'s. The result is
+    always [a] (its log absorbs [b]'s; [b] is consumed and must not be
+    used again). Associative; a state with no observations is an
+    identity.
+    @raise Invalid_argument if either state is not in log mode or the
+    site/depth disagree. *)
+val merge : t -> t -> t
+
+(** [force t] folds any observations still pending in the log through
+    Algorithm 3. Idempotent; a no-op for eager-mode states. Every
+    inspection function below forces implicitly, so calling this is only
+    useful to choose {e when} the fold happens (e.g. in parallel across
+    references, see {!Looptree.finalize}). *)
+val force : t -> unit
+
+(** Number of logged observations not yet folded (0 in eager mode). *)
+val pending : t -> int
 
 (** [observe t ~iters ~addr] folds one execution. [iters.(0)] is the
     innermost loop's current iteration count; the array length must equal

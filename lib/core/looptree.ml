@@ -3,10 +3,10 @@ module Iset = Foray_util.Iset
 module Obs = Foray_obs.Obs
 
 type node = {
-  uid : int;
+  mutable uid : int;
   lid : int;
   depth : int;
-  parent : node option;
+  mutable parent : node option;
   mutable children : node list;
   mutable refs : refinfo list;
   mutable iter : int;
@@ -36,6 +36,8 @@ type t = {
   mutable n_nodes : int;
   mutable max_depth : int;
   mutable mismatches : int;  (* checkpoints that found no matching node *)
+  mergeable : bool;  (* refs use Affine.create_logged; tree supports merge *)
+  mutable merged : bool;  (* consumed by merge; walking it again is a bug *)
 }
 
 let mk_node ~uid ~lid ~depth ~parent =
@@ -53,7 +55,7 @@ let mk_node ~uid ~lid ~depth ~parent =
     trip_total = 0;
   }
 
-let create () =
+let create ?(mergeable = false) () =
   let root = mk_node ~uid:0 ~lid:0 ~depth:0 ~parent:None in
   {
     root;
@@ -64,7 +66,11 @@ let create () =
     n_nodes = 0;
     max_depth = 0;
     mismatches = 0;
+    mergeable;
+    merged = false;
   }
+
+let mergeable t = t.mergeable
 
 let record_trip n =
   (* iter+1 is the trip count of this entry (-1 -> body never ran). *)
@@ -125,9 +131,10 @@ let observe_access t (a : Event.access) =
     match Hashtbl.find_opt t.ref_tbl key with
     | Some r -> r
     | None ->
+        let mk = if t.mergeable then Affine.create_logged else Affine.create in
         let r =
           {
-            aff = Affine.create ~site:a.site ~depth:node.depth;
+            aff = mk ~site:a.site ~depth:node.depth;
             footprint = Iset.empty;
             starts = Iset.empty;
             reads = 0;
@@ -148,6 +155,7 @@ let observe_access t (a : Event.access) =
   if a.width > info.width_max then info.width_max <- a.width
 
 let sink t : Event.sink = function
+  | _ when t.merged -> invalid_arg "Looptree.sink: tree was consumed by merge"
   | Event.Access a -> observe_access t a
   | Event.Checkpoint { loop; kind } -> (
       match kind with
@@ -172,6 +180,106 @@ let sink t : Event.sink = function
             | None -> ()
           end
           else t.mismatches <- t.mismatches + 1)
+
+(* --- sharded analysis: context restore, merge, finalize ---------------- *)
+
+let restore_context t ctx =
+  if not t.mergeable then
+    invalid_arg "Looptree.restore_context: not a mergeable tree";
+  if t.cur != t.root || t.n_nodes > 0 then
+    invalid_arg "Looptree.restore_context: walker already started";
+  List.iter
+    (fun (lid, iter) ->
+      enter t lid;
+      (* The Loop_enter that opened this node ran in an earlier shard,
+         which owns the entry count; here the node is only scaffolding to
+         put the walker back on the sequential walker's stack. *)
+      t.cur.entries <- t.cur.entries - 1;
+      t.cur.iter <- iter)
+    ctx
+
+let rec renumber t n =
+  n.uid <- t.next_uid;
+  t.next_uid <- t.next_uid + 1;
+  List.iter (renumber t) n.children
+
+(* Children keep first-encountered order under a left fold over shards:
+   both lists are already in first-encounter order within their shard, the
+   left shard comes first in trace order, and anything the right shard saw
+   that the left also saw merges into the left's slot. Same for refs. *)
+let rec merge_node t dst src =
+  dst.entries <- dst.entries + src.entries;
+  dst.trip_total <- dst.trip_total + src.trip_total;
+  if src.trip_min < dst.trip_min then dst.trip_min <- src.trip_min;
+  if src.trip_max > dst.trip_max then dst.trip_max <- src.trip_max;
+  dst.iter <- src.iter;
+  List.iter
+    (fun (rs : refinfo) ->
+      let site = Affine.site rs.aff in
+      match List.find_opt (fun r -> Affine.site r.aff = site) dst.refs with
+      | Some rd ->
+          ignore (Affine.merge rd.aff rs.aff : Affine.t);
+          rd.footprint <- Iset.union rd.footprint rs.footprint;
+          rd.starts <- Iset.union rd.starts rs.starts;
+          rd.reads <- rd.reads + rs.reads;
+          rd.writes <- rd.writes + rs.writes;
+          rd.sys <- rd.sys || rs.sys;
+          if rs.width_max > rd.width_max then rd.width_max <- rs.width_max
+      | None -> dst.refs <- dst.refs @ [ rs ])
+    src.refs;
+  List.iter
+    (fun cs ->
+      match List.find_opt (fun c -> c.lid = cs.lid) dst.children with
+      | Some cd -> merge_node t cd cs
+      | None ->
+          cs.parent <- Some dst;
+          renumber t cs;
+          dst.children <- dst.children @ [ cs ])
+    src.children
+
+let merge a b =
+  if not (a.mergeable && b.mergeable) then
+    invalid_arg "Looptree.merge: trees must be created with ~mergeable:true";
+  merge_node a a.root b.root;
+  a.mismatches <- a.mismatches + b.mismatches;
+  b.merged <- true;
+  (* The walker tables describe a single shard's stack; after a merge the
+     tree is a read-only result, so drop them and refuse further events. *)
+  a.merged <- true;
+  Hashtbl.reset a.node_tbl;
+  Hashtbl.reset a.ref_tbl;
+  a.n_nodes <- 0;
+  a.max_depth <- 0;
+  let rec shape n =
+    if n.uid <> 0 then begin
+      a.n_nodes <- a.n_nodes + 1;
+      if n.depth > a.max_depth then a.max_depth <- n.depth
+    end;
+    List.iter shape n.children
+  in
+  shape a.root;
+  a
+
+let rec all_affs acc n =
+  let acc = List.fold_left (fun acc r -> r.aff :: acc) acc n.refs in
+  List.fold_left all_affs acc n.children
+
+let finalize ?(jobs = 1) t =
+  let affs = Array.of_list (all_affs [] t.root) in
+  let n = Array.length affs in
+  if jobs <= 1 || n <= 1 then Array.iter Affine.force affs
+  else
+    (* Round-robin partition: each ref is forced by exactly one worker, so
+       no Affine state is touched concurrently (Provenance, the only shared
+       structure a fold writes, is mutex-protected). *)
+    Foray_util.Parallel.run ~jobs
+      (List.init (min jobs n) (fun k () ->
+           let i = ref k in
+           while !i < n do
+             Affine.force affs.(!i);
+             i := !i + jobs
+           done))
+    |> ignore
 
 let root t = t.root
 

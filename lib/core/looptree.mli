@@ -16,10 +16,10 @@
     and space is proportional to the tree, not the trace (§4). *)
 
 type node = {
-  uid : int;  (** unique node stamp; 0 for the root *)
+  mutable uid : int;  (** unique node stamp; 0 for the root *)
   lid : int;  (** loop id; 0 for the root *)
   depth : int;  (** 0 for the root *)
-  parent : node option;
+  mutable parent : node option;
   mutable children : node list;  (** in first-encountered order *)
   mutable refs : refinfo list;  (** references attached to this node *)
   mutable iter : int;  (** current iteration counter *)
@@ -41,8 +41,15 @@ and refinfo = {
 
 type t
 
-(** A fresh walker. *)
-val create : unit -> t
+(** A fresh walker. With [~mergeable:true] the tree participates in
+    sharded analysis: references use {!Affine.create_logged} (so their
+    Algorithm-3 fold is deferred and mergeable) and the tree supports
+    {!restore_context} and {!merge}. Default [false]: the historical
+    eager single-pass walker. *)
+val create : ?mergeable:bool -> unit -> t
+
+(** Whether this tree was created with [~mergeable:true]. *)
+val mergeable : t -> bool
 
 (** The event sink implementing Algorithm 2 (plus Algorithm 3 per access).
     Robust to missing [body_exit]/[loop_exit] checkpoints from [break],
@@ -73,6 +80,47 @@ val max_depth : t -> int
     has zero; nonzero means the producer lost or reordered checkpoint
     events. *)
 val mismatches : t -> int
+
+(** {1 Sharded analysis}
+
+    A stored trace can be cut at any checkpoint into context-complete
+    shards ({!Foray_trace.Tracefile.shards}); each shard is walked by its
+    own mergeable tree whose starting stack is rebuilt with
+    {!restore_context}, and the per-shard trees are folded with {!merge}.
+    Because mergeable references log raw observations instead of folding
+    them, the merged tree replays every Algorithm-3 fold in trace order
+    ({!finalize}) and is therefore {e bit-identical} to the sequential
+    walker's result, whatever the shard boundaries were. *)
+
+(** [restore_context t ctx] puts a fresh mergeable walker on the loop
+    stack described by [ctx] — [(lid, iter)] pairs, outermost first, as
+    produced by {!Foray_trace.Tracefile.shards}. The stack nodes are
+    created with [entries = 0] (the [Loop_enter] that opened them belongs
+    to an earlier shard) and their iteration counters restored, so the
+    walker behaves exactly like the sequential walker resumed at the cut.
+    @raise Invalid_argument if [t] is not mergeable or already walked. *)
+val restore_context : t -> (int * int) list -> unit
+
+(** [merge a b] folds shard [b]'s tree into shard [a]'s, where [b] walked
+    the trace segment {e following} [a]'s. Nodes are unified by their
+    loop-id path from the root: entries, trip totals and mismatches are
+    summed, trip bounds widened, per-site references merged
+    ({!Affine.merge} for the solver state; footprints and start sets
+    unioned, read/write counters summed) and nodes or references only one
+    side saw are adopted, preserving first-encounter order. Returns [a];
+    both arguments are consumed ([b] entirely, and [a]'s walker state is
+    dropped — feeding more events into either raises). Associative, with
+    a fresh mergeable tree as identity.
+    @raise Invalid_argument unless both trees are mergeable. *)
+val merge : t -> t -> t
+
+(** [finalize ~jobs t] forces the deferred Algorithm-3 folds of every
+    reference in the tree, [jobs] at a time on a domain pool (references
+    are partitioned, so each solver state stays single-domain). Implicit
+    forcing on first inspection makes this optional — calling it merely
+    decides {e when} (and with how much parallelism) the replay happens.
+    Safe on eager trees (no-op). *)
+val finalize : ?jobs:int -> t -> unit
 
 (** Publish this tree's shape into the {!Foray_obs.Obs} registry
     ([looptree.nodes], [looptree.max_depth] gauges via max-merge, and the

@@ -2,12 +2,15 @@ module Ast = Minic.Ast
 module Interp = Minic_sim.Interp
 module Event = Foray_trace.Event
 module Tstats = Foray_trace.Tstats
+module Tracefile = Foray_trace.Tracefile
 module Annotate = Foray_instrument.Annotate
 module Obs = Foray_obs.Obs
 module Span = Foray_obs.Span
 
 let t_simulate = Obs.timer "pipeline.simulate"
 let t_analyze = Obs.timer "pipeline.analyze"
+let t_shard_merge = Obs.timer "pipeline.shard_merge"
+let m_shards = Obs.counter "pipeline.shards_analyzed"
 
 type result = {
   program : Ast.program;
@@ -163,8 +166,64 @@ let run_source ?config ?thresholds src =
   | exception Minic.Lexer.Error (msg, line) -> Error (Error.Parse { msg; line })
   | prog -> run ?config ?thresholds prog
 
+(* --- sharded trace analysis -------------------------------------------- *)
+
+let analyze_shards ~shards:n ~jobs events =
+  let cuts = Tracefile.shards ~n events in
+  let parts =
+    Foray_util.Parallel.map ~jobs
+      (fun (s : Tracefile.shard) ->
+        Span.with_span ~cat:"pipeline" "shard.analyze"
+          ~args:
+            [ ("shard", string_of_int s.s_index);
+              ("events", string_of_int s.s_len) ]
+        @@ fun () ->
+        let tree = Looptree.create ~mergeable:true () in
+        Looptree.restore_context tree s.s_context;
+        let tstats = Tstats.create () in
+        let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
+        for i = s.s_start to s.s_start + s.s_len - 1 do
+          sink events.(i)
+        done;
+        Obs.incr m_shards;
+        (tree, tstats))
+      cuts
+  in
+  let tree, tstats =
+    Span.with_span ~cat:"pipeline" "pipeline.shard_merge" (fun () ->
+        Obs.time t_shard_merge (fun () ->
+            match parts with
+            | [] -> (Looptree.create ~mergeable:true (), Tstats.create ())
+            | first :: rest ->
+                List.fold_left
+                  (fun (ta, sa) (tb, sb) ->
+                    (Looptree.merge ta tb, Tstats.merge sa sb))
+                  first rest))
+  in
+  Span.with_span ~cat:"pipeline" "pipeline.shard_finalize" (fun () ->
+      Looptree.finalize ~jobs tree);
+  (tree, tstats)
+
+let analyze_events ?(shards = 1) ?jobs events =
+  if shards <= 1 then begin
+    let tree = Looptree.create () in
+    let tstats = Tstats.create () in
+    let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
+    Array.iter sink events;
+    (tree, tstats)
+  end
+  else
+    (* Never spawn more domains than the hardware offers: extra domains
+       only add minor-GC synchronization, they cannot add parallelism. *)
+    let jobs =
+      match jobs with
+      | Some j -> j
+      | None -> min shards (Foray_util.Parallel.default_jobs ())
+    in
+    analyze_shards ~shards ~jobs events
+
 let run_offline ?(config = Interp.default_config)
-    ?(thresholds = Filter.default) prog =
+    ?(thresholds = Filter.default) ?(shards = 1) ?jobs prog =
   match
     Span.with_span ~cat:"pipeline" "pipeline.sema" (fun () ->
         Minic.Sema.check prog)
@@ -183,31 +242,25 @@ let run_offline ?(config = Interp.default_config)
       | exception Interp.Runtime_error_at { msg; step } ->
           Error (Error.Runtime { loc = "simulate"; step; msg })
       | sim, trace ->
-          (* Replay the stored trace through the analyzers. *)
-          let tree = Looptree.create () in
-          let tstats = Tstats.create () in
-          let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
-          Span.with_span ~cat:"pipeline" "pipeline.replay" (fun () ->
-              List.iter sink trace);
+          (* Replay the stored trace through the analyzers — sequentially,
+             or sharded across a domain pool when [shards > 1]. *)
+          let tree, tstats =
+            Span.with_span ~cat:"pipeline" "pipeline.replay" (fun () ->
+                if shards <= 1 then begin
+                  let tree = Looptree.create () in
+                  let tstats = Tstats.create () in
+                  let sink =
+                    Event.tee (Looptree.sink tree) (Tstats.sink tstats)
+                  in
+                  List.iter sink trace;
+                  (tree, tstats)
+                end
+                else analyze_events ~shards ?jobs (Array.of_list trace))
+          in
           let result =
             finish ~thresholds ~program:prog ~instrumented ~loop_kinds tree
               tstats sim
           in
           Ok ({ result; degraded = budget_degradations sim }, trace))
-
-let run_exn ?config ?thresholds prog =
-  match run ?config ?thresholds prog with
-  | Ok o -> o.result
-  | Error e -> Error.raise_error e
-
-let run_source_exn ?config ?thresholds src =
-  match run_source ?config ?thresholds src with
-  | Ok o -> o.result
-  | Error e -> Error.raise_error e
-
-let run_offline_exn ?config ?thresholds prog =
-  match run_offline ?config ?thresholds prog with
-  | Ok (o, trace) -> (o.result, trace)
-  | Error e -> Error.raise_error e
 
 let hints r = Hints.duplication_hints ~func_of_loop:r.func_of_loop r.tree

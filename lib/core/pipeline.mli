@@ -70,38 +70,38 @@ val run_source :
   string ->
   (outcome, Error.t) Stdlib.result
 
-(** Offline variant: simulate to a stored trace, then analyze the trace.
-    Returns the outcome and the trace. *)
+(** Offline variant: simulate to a stored trace, then analyze the trace —
+    sequentially by default, or cut into [shards] checkpoint-aligned
+    shards analyzed on [jobs] domains ([jobs] defaults to [shards] capped at the domain count) and
+    merged; see {!analyze_events}. Returns the outcome and the trace. *)
 val run_offline :
   ?config:Minic_sim.Interp.config ->
   ?thresholds:Filter.thresholds ->
+  ?shards:int ->
+  ?jobs:int ->
   Minic.Ast.program ->
   (outcome * Foray_trace.Event.event list, Error.t) Stdlib.result
 
-(** {1 Compatibility wrappers}
+(** {1 Sharded trace analysis}
 
-    Kept for one release so downstream code can migrate to the typed API
-    at its own pace; they raise {!Error.Error} where the typed API returns
-    [Error], and silently discard degradation records. New code should
-    call {!run} / {!run_source} / {!run_offline}. *)
-
-val run_exn :
-  ?config:Minic_sim.Interp.config ->
-  ?thresholds:Filter.thresholds ->
-  Minic.Ast.program ->
-  result
-
-val run_source_exn :
-  ?config:Minic_sim.Interp.config ->
-  ?thresholds:Filter.thresholds ->
-  string ->
-  result
-
-val run_offline_exn :
-  ?config:Minic_sim.Interp.config ->
-  ?thresholds:Filter.thresholds ->
-  Minic.Ast.program ->
-  result * Foray_trace.Event.event list
+    [analyze_events ~shards ~jobs events] runs Algorithms 2–3 and the
+    trace statistics over a stored event stream. With [shards <= 1]
+    (default) this is the plain sequential walk. With [shards = n > 1]
+    the stream is cut by {!Foray_trace.Tracefile.shards} into at most [n]
+    context-complete chunks, each analyzed by its own mergeable walker on
+    a [jobs]-wide domain pool (default: [shards] capped at the available domain count), and the per-shard
+    states folded with [Looptree.merge] / [Tstats.merge]; the deferred
+    Algorithm-3 folds are then replayed in trace order
+    ([Looptree.finalize]), which makes the result {e bit-identical} to the
+    sequential walk — the differential suite in [test/test_shard.ml]
+    checks exactly this. Per-shard work is traced under [shard.analyze]
+    spans; merging under the [pipeline.shard_merge] timer and the
+    [pipeline.shards_analyzed] counter. *)
+val analyze_events :
+  ?shards:int ->
+  ?jobs:int ->
+  Foray_trace.Event.event array ->
+  Looptree.t * Foray_trace.Tstats.t
 
 (** Duplication hints for the analyzed program (Figure 9). *)
 val hints : result -> Hints.hint list

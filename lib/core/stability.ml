@@ -38,7 +38,9 @@ let study ?(thresholds = Filter.default) ?(jobs = 1) ~seeds prog =
     Foray_util.Parallel.map ~jobs
       (fun seed ->
         let config = { Minic_sim.Interp.default_config with rand_seed = seed } in
-        (Pipeline.run_exn ~config ~thresholds prog).model)
+        match Pipeline.run ~config ~thresholds prog with
+        | Ok o -> o.Pipeline.result.model
+        | Error e -> Error.raise_error e)
       seeds
   in
   let runs = List.length models in

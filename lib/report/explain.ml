@@ -83,10 +83,14 @@ let run_source ?(name = "program") ?(thresholds = Filter.default) src =
   Provenance.set_enabled true;
   let restore () = Provenance.set_enabled was in
   let r =
-    try Pipeline.run_source_exn ~thresholds src
-    with e ->
-      restore ();
-      raise e
+    match Pipeline.run_source ~thresholds src with
+    | Ok o -> o.Pipeline.result
+    | Error e ->
+        restore ();
+        Foray_core.Error.raise_error e
+    | exception e ->
+        restore ();
+        raise e
   in
   let refs =
     List.map (story_of_ref thresholds) (Looptree.refs r.tree)

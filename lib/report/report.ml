@@ -39,9 +39,9 @@ let report ?thresholds (b : Foray_suite.Suite.bench) =
     ~args:[ ("bench", b.name) ]
   @@ fun () ->
   let r =
-    match thresholds with
-    | Some thresholds -> Pipeline.run_source_exn ~thresholds b.source
-    | None -> Pipeline.run_source_exn b.source
+    match Pipeline.run_source ?thresholds b.source with
+    | Ok o -> o.Pipeline.result
+    | Error e -> Foray_core.Error.raise_error e
   in
   let static = Baseline.analyze r.program in
   (* Table I: loops that executed (distinct source loops seen in the tree) *)

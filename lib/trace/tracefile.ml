@@ -426,3 +426,83 @@ let salvage_to_string (s : salvage) =
     "%d event(s) salvaged, %d resync(s), %d byte(s) skipped%s" s.events
     s.resyncs s.bytes_skipped
     (if s.truncated_tail then ", truncated tail" else "")
+
+let read_events ?strict path =
+  let sink, events = Event.collector () in
+  match read ?strict path sink with
+  | Ok salvage -> Ok (Array.of_list (events ()), salvage)
+  | Error _ as e -> e
+
+(* --- sharding ----------------------------------------------------------- *)
+
+type shard = {
+  s_index : int;
+  s_start : int;
+  s_len : int;
+  s_context : (int * int) list;
+}
+
+let shards ~n events =
+  if n < 1 then invalid_arg "Tracefile.shards: n must be >= 1";
+  let total = Array.length events in
+  (* A mini-walker mirroring Looptree.sink's stack transitions exactly —
+     including the defensive mismatch paths for break/continue/return and
+     malformed checkpoints — so the context captured at a cut puts a fresh
+     walker in precisely the state the sequential walker had there. The
+     stack is innermost-first; the bottom element is the root sentinel
+     (lid 0), which like the root node can match but never pops. *)
+  let stack = ref [ (0, -1) ] in
+  let pop_to loop =
+    let rec go = function
+      | [ _ ] as bottom -> bottom
+      | ((l, _) :: _) as s when l = loop -> s
+      | _ :: tl -> go tl
+      | [] -> assert false
+    in
+    stack := go !stack
+  in
+  let apply = function
+    | Event.Access _ -> ()
+    | Event.Checkpoint { loop; kind } -> (
+        match kind with
+        | Event.Loop_enter -> stack := (loop, -1) :: !stack
+        | Event.Body_enter -> (
+            pop_to loop;
+            match !stack with
+            | (l, it) :: tl when l = loop -> stack := (l, it + 1) :: tl
+            | s -> stack := (loop, -1) :: s)
+        | Event.Body_exit -> pop_to loop
+        | Event.Loop_exit -> (
+            pop_to loop;
+            match !stack with
+            | (l, _) :: (_ :: _ as tl) when l = loop -> stack := tl
+            | _ -> ()))
+  in
+  let cuts = ref [] (* (start index, context), newest first *) in
+  let next = ref 1 in
+  for idx = 0 to total - 1 do
+    (if !next < n && idx > 0 && idx >= !next * total / n then
+       match events.(idx) with
+       | Event.Checkpoint _ ->
+           (* Outermost first, sentinel dropped. *)
+           let ctx =
+             match List.rev !stack with _ :: outer -> outer | [] -> []
+           in
+           cuts := (idx, ctx) :: !cuts;
+           (* One cut satisfies every boundary target passed so far; a
+              checkpoint-poor trace therefore yields fewer shards. *)
+           while !next < n && idx >= !next * total / n do
+             incr next
+           done
+       | Event.Access _ -> ());
+    apply events.(idx)
+  done;
+  let starts = Array.of_list ((0, []) :: List.rev !cuts) in
+  Array.to_list
+    (Array.mapi
+       (fun i (s_start, s_context) ->
+         let stop =
+           if i + 1 < Array.length starts then fst starts.(i + 1) else total
+         in
+         { s_index = i; s_start; s_len = stop - s_start; s_context })
+       starts)

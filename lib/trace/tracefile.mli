@@ -87,3 +87,40 @@ val read : ?strict:bool -> string -> Event.sink -> (salvage, corruption) result
 
 (** One-line summary of salvage statistics. *)
 val salvage_to_string : salvage -> string
+
+(** [read_events ?strict path] materializes the (salvaged) event stream of
+    [path] as an array, for random access — the form {!shards} partitions.
+    Same salvage policy as {!read}. *)
+val read_events :
+  ?strict:bool -> string -> (Event.event array * salvage, corruption) result
+
+(** {1 Sharding}
+
+    A stored trace can be analyzed in parallel by cutting it into
+    context-complete chunks: each shard knows the loop stack the
+    sequential analyzer would have at its first event, so a fresh
+    {!Foray_core.Looptree} walker (see [Looptree.restore_context]) resumes
+    exactly where the previous shard stops. Cuts are checkpoint-aligned —
+    a shard never starts in the middle of an access burst — and computed
+    by a single linear pre-pass that replays only the checkpoint stack. *)
+
+type shard = {
+  s_index : int;  (** 0-based shard number, in trace order *)
+  s_start : int;  (** index of the shard's first event *)
+  s_len : int;  (** number of events in the shard *)
+  s_context : (int * int) list;
+      (** [(lid, iter)] loop stack at [s_start], outermost first: the
+          loops entered before this shard and still open, with their
+          current iteration counters (-1: entered, body not yet begun) *)
+}
+
+(** [shards ~n events] cuts a trace into at most [n] contiguous shards
+    covering it exactly ([s_start = 0] for the first; consecutive;
+    [s_len]s sum to the length). Every shard after the first begins at a
+    checkpoint event at-or-after its balanced boundary [i*total/n], so a
+    trace with few checkpoints yields fewer (larger) shards; [n = 1] or
+    an empty trace yields a single shard. Analyzing the shards
+    independently and merging ([Looptree.merge], [Tstats.merge]) is
+    bit-equivalent to the sequential pass.
+    @raise Invalid_argument if [n < 1]. *)
+val shards : n:int -> Event.event array -> shard list

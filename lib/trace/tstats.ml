@@ -43,6 +43,21 @@ let sink (t : t) : Event.sink = function
       t.total <- Iset.add_range addr (addr + width) t.total;
       if sys then cell.sys <- true
 
+let merge (a : t) (b : t) =
+  Hashtbl.iter
+    (fun site (cb : cell) ->
+      match Hashtbl.find_opt a.cells site with
+      | Some ca ->
+          ca.accesses <- ca.accesses + cb.accesses;
+          ca.reads <- ca.reads + cb.reads;
+          ca.writes <- ca.writes + cb.writes;
+          ca.footprint <- Iset.union ca.footprint cb.footprint;
+          ca.sys <- ca.sys || cb.sys
+      | None -> Hashtbl.add a.cells site cb)
+    b.cells;
+  a.total <- Iset.union a.total b.total;
+  a
+
 let sites (t : t) =
   Hashtbl.fold
     (fun site (c : cell) acc ->

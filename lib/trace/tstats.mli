@@ -23,6 +23,12 @@ val create : unit -> t
     ignored). *)
 val sink : t -> Event.sink
 
+(** [merge a b] adds [b]'s sites into [a] (counters summed, footprints
+    unioned) and returns [a]; [b] must not be used afterwards (its cells
+    may be shared). Used to combine per-shard accumulators — order
+    independent, a fresh accumulator is an identity. *)
+val merge : t -> t -> t
+
 (** All sites observed, in increasing site order. *)
 val sites : t -> site_info list
 

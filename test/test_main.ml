@@ -27,6 +27,7 @@ let () =
       ("fixpoint", Test_fixpoint.tests);
       ("validate", Test_validate.tests);
       ("pipeline", Test_pipeline.tests);
+      ("shard", Test_shard.tests);
       ("treedump", Test_treedump.tests);
       ("misc", Test_misc.tests);
       ("report", Test_report.tests);

@@ -205,11 +205,11 @@ let t_event_budget_degrades () =
       Alcotest.(check bool) "events bounded" true (events_seen <= 10)
   | _ -> Alcotest.fail "expected exactly one Degraded_budget record"
 
-let t_exn_wrapper_raises_typed () =
-  try
-    ignore (Pipeline.run_source_exn "int main() { return x; }");
-    Alcotest.fail "expected Error.Error"
-  with Error.Error (Error.Sema _) -> ()
+let t_sema_error_is_typed () =
+  match Pipeline.run_source "int main() { return x; }" with
+  | Error (Error.Sema _) -> ()
+  | Ok _ -> Alcotest.fail "expected a Sema error"
+  | Error e -> Alcotest.failf "wrong error class: %s" (Error.to_string e)
 
 let tests =
   [
@@ -232,6 +232,5 @@ let tests =
     Alcotest.test_case "runtime failure typed" `Quick t_runtime_failure_typed;
     Alcotest.test_case "step budget degrades" `Quick t_budget_degrades;
     Alcotest.test_case "event budget degrades" `Quick t_event_budget_degrades;
-    Alcotest.test_case "exn wrapper raises typed" `Quick
-      t_exn_wrapper_raises_typed;
+    Alcotest.test_case "sema error is typed" `Quick t_sema_error_is_typed;
   ]

@@ -1,0 +1,413 @@
+(* Differential tests for sharded trace analysis.
+
+   The contract under test: for ANY trace and ANY shard count, cutting
+   the trace with Tracefile.shards, walking each shard with a mergeable
+   Looptree and folding Looptree.merge/Tstats.merge yields exactly the
+   sequential analysis — same generated C model byte-for-byte, same
+   Step-4 verdicts, same footprint statistics. The properties run over
+   the random ground-truth generator, over fault-injected (salvaged)
+   traces, and over hand-written programs whose loops are abandoned by
+   break/continue/return, with shard boundaries swept across the trace. *)
+
+open Foray_core
+module Generator = Foray_suite.Generator
+module Event = Foray_trace.Event
+module Tracefile = Foray_trace.Tracefile
+module Tstats = Foray_trace.Tstats
+module FI = Foray_util.Faultinject
+
+(* --- helpers --------------------------------------------------------- *)
+
+let trace_of_source src =
+  let prog = Minic.Parser.program src in
+  match Pipeline.run_offline prog with
+  | Ok (_, trace) -> Array.of_list trace
+  | Error e ->
+      Alcotest.failf "trace generation failed: %s" (Error.to_string e)
+
+(* Everything observable about one analysis: the generated C model, the
+   Step-4 verdict of every reference keyed by (loop path, site), and the
+   aggregate trace statistics. Two analyses agree iff these are equal. *)
+type digest = {
+  model : string;
+  verdicts : ((int list * int) * (bool * Provenance.purge_reason option)) list;
+  accesses : int;
+  footprint : int;
+  sites : int;
+}
+
+let digest_of (tree, stats) =
+  let verdicts =
+    Looptree.refs tree
+    |> List.map (fun ((n : Looptree.node), (ri : Looptree.refinfo)) ->
+           ( (Looptree.path n, Affine.site ri.aff),
+             Filter.verdict Filter.default ri ))
+    |> List.sort compare
+  in
+  {
+    model = Model.to_c (Model.of_tree tree);
+    verdicts;
+    accesses = Tstats.total_accesses stats;
+    footprint = Tstats.total_footprint stats;
+    sites = Tstats.n_sites stats;
+  }
+
+let analyze ?shards events = digest_of (Pipeline.analyze_events ?shards events)
+
+let check_equiv ~what ~shards events =
+  let seq = analyze events in
+  let shd = analyze ~shards events in
+  if seq <> shd then
+    Alcotest.failf
+      "%s: %d-shard analysis diverged from sequential\n\
+       models equal: %b  verdicts equal: %b  accesses %d/%d  footprint \
+       %d/%d  sites %d/%d"
+      what shards
+      (String.equal seq.model shd.model)
+      (seq.verdicts = shd.verdicts)
+      seq.accesses shd.accesses seq.footprint shd.footprint seq.sites
+      shd.sites
+
+(* --- the differential property over generated programs --------------- *)
+
+let gen_case =
+  let open QCheck2.Gen in
+  let* seed = int_bound 99_999 in
+  let* nests = int_range 1 3 in
+  let* shards = oneofl [ 1; 2; 7; 64 ] in
+  return (seed, nests, shards)
+
+let print_case (seed, nests, shards) =
+  Printf.sprintf "seed=%d nests=%d shards=%d" seed nests shards
+
+let prop_differential =
+  QCheck2.Test.make ~name:"sharded = sequential on generated programs"
+    ~count:200 ~print:print_case gen_case (fun (seed, nests, shards) ->
+      let g = Generator.generate ~seed ~nests in
+      let events = trace_of_source g.source in
+      analyze events = analyze ~shards events)
+
+(* --- salvage composition --------------------------------------------- *)
+
+(* Sharding partitions whatever event stream salvage produced, so a
+   damaged trace must shard to the same result as its sequential salvage
+   read. Mutations are deterministic in the seed (Foray_util.Prng). *)
+let prop_salvage =
+  let open QCheck2.Gen in
+  let gen =
+    let* seed = int_bound 9_999 in
+    let* kind = oneofl FI.all in
+    let* shards = oneofl [ 2; 7; 64 ] in
+    return (seed, kind, shards)
+  in
+  QCheck2.Test.make ~name:"sharded = sequential on salvaged traces" ~count:60
+    ~print:(fun (seed, kind, shards) ->
+      Printf.sprintf "seed=%d kind=%s shards=%d" seed (FI.name kind) shards)
+    gen
+    (fun (seed, kind, shards) ->
+      let g = Generator.generate ~seed ~nests:2 in
+      let events = trace_of_source g.source in
+      let path = Filename.temp_file "foray_shard" ".trace" in
+      Tracefile.save ~format:Tracefile.Binary path (Array.to_list events);
+      let bytes =
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let b = really_input_string ic n in
+        close_in ic;
+        b
+      in
+      let mutated = FI.apply (Foray_util.Prng.create seed) kind bytes in
+      let oc = open_out_bin path in
+      output_string oc mutated;
+      close_out oc;
+      let read = Tracefile.read_events path in
+      Sys.remove path;
+      match read with
+      | Error _ -> true (* typed rejection: nothing to shard *)
+      | Ok (salvaged, _) -> analyze salvaged = analyze ~shards salvaged)
+
+(* --- merge algebra ---------------------------------------------------- *)
+
+(* Affine.merge consumes its arguments, so each algebraic expression gets
+   freshly rebuilt solver states for the same observation streams. *)
+let aff_of depth obs =
+  let a = Affine.create_logged ~site:0xfee ~depth in
+  List.iter (fun (iters, addr) -> Affine.observe a ~iters ~addr) obs;
+  a
+
+let aff_summary a =
+  Affine.force a;
+  ( Affine.execs a,
+    Affine.analyzable a,
+    Affine.const a,
+    Affine.coeffs a,
+    Affine.m a,
+    Affine.partial a,
+    Affine.mispredictions a,
+    Affine.included_terms a )
+
+let gen_obs depth =
+  let open QCheck2.Gen in
+  let iters = array_size (return depth) (int_bound 12) in
+  let ob =
+    let* i = iters in
+    let* addr = int_bound 4_000 in
+    return (i, addr)
+  in
+  list_size (int_range 0 20) ob
+
+let prop_affine_merge_assoc =
+  let open QCheck2.Gen in
+  let gen =
+    let* depth = int_range 1 3 in
+    let* o1 = gen_obs depth in
+    let* o2 = gen_obs depth in
+    let* o3 = gen_obs depth in
+    return (depth, o1, o2, o3)
+  in
+  QCheck2.Test.make ~name:"Affine.merge is associative" ~count:200 gen
+    (fun (depth, o1, o2, o3) ->
+      let left =
+        Affine.merge
+          (Affine.merge (aff_of depth o1) (aff_of depth o2))
+          (aff_of depth o3)
+      in
+      let right =
+        Affine.merge (aff_of depth o1)
+          (Affine.merge (aff_of depth o2) (aff_of depth o3))
+      in
+      aff_summary left = aff_summary right)
+
+let prop_affine_merge_identity =
+  let open QCheck2.Gen in
+  let gen =
+    let* depth = int_range 1 3 in
+    let* obs = gen_obs depth in
+    return (depth, obs)
+  in
+  QCheck2.Test.make ~name:"fresh logged state is a merge identity" ~count:100
+    gen
+    (fun (depth, obs) ->
+      let plain = aff_summary (aff_of depth obs) in
+      let left =
+        aff_summary
+          (Affine.merge (Affine.create_logged ~site:0xfee ~depth)
+             (aff_of depth obs))
+      in
+      let right =
+        aff_summary
+          (Affine.merge (aff_of depth obs)
+             (Affine.create_logged ~site:0xfee ~depth))
+      in
+      plain = left && plain = right)
+
+(* Looptree.merge associativity on real shard trees: cut a generated
+   trace three ways, build the per-shard trees twice, fold in both
+   association orders and compare the resulting models. *)
+let shard_tree events (s : Tracefile.shard) =
+  let tree = Looptree.create ~mergeable:true () in
+  Looptree.restore_context tree s.s_context;
+  let sink = Looptree.sink tree in
+  for i = s.s_start to s.s_start + s.s_len - 1 do
+    sink events.(i)
+  done;
+  tree
+
+let tree_digest tree =
+  Looptree.finalize tree;
+  let verdicts =
+    Looptree.refs tree
+    |> List.map (fun ((n : Looptree.node), (ri : Looptree.refinfo)) ->
+           ( (Looptree.path n, Affine.site ri.aff),
+             Filter.verdict Filter.default ri ))
+    |> List.sort compare
+  in
+  (Model.to_c (Model.of_tree tree), verdicts, Looptree.mismatches tree)
+
+let t_looptree_merge_assoc () =
+  for seed = 1 to 10 do
+    let g = Generator.generate ~seed ~nests:3 in
+    let events = trace_of_source g.source in
+    match Tracefile.shards ~n:3 events with
+    | [ _; _; _ ] as ss ->
+        let build () =
+          match List.map (shard_tree events) ss with
+          | [ a; b; c ] -> (a, b, c)
+          | _ -> assert false
+        in
+        let a, b, c = build () in
+        let left = Looptree.merge (Looptree.merge a b) c in
+        let a, b, c = build () in
+        let right = Looptree.merge a (Looptree.merge b c) in
+        if tree_digest left <> tree_digest right then
+          Alcotest.failf "seed %d: merge association order changed the model"
+            seed
+    | _ -> () (* checkpoint-poor trace: fewer than 3 shards, nothing to test *)
+  done
+
+let t_looptree_merge_identity () =
+  let g = Generator.generate ~seed:11 ~nests:2 in
+  let events = trace_of_source g.source in
+  let whole events =
+    shard_tree events
+      { Tracefile.s_index = 0; s_start = 0; s_len = Array.length events;
+        s_context = [] }
+  in
+  let plain = tree_digest (whole events) in
+  let left =
+    tree_digest (Looptree.merge (Looptree.create ~mergeable:true ()) (whole events))
+  in
+  let right =
+    tree_digest (Looptree.merge (whole events) (Looptree.create ~mergeable:true ()))
+  in
+  Alcotest.(check bool) "fresh tree is a left identity" true (plain = left);
+  Alcotest.(check bool) "fresh tree is a right identity" true (plain = right)
+
+(* --- boundary placement and abandoned loops --------------------------- *)
+
+(* Loops abandoned by break/continue/return leave the walker with nodes
+   that only a later checkpoint pops; shard cuts landing in that window
+   historically risked double-counting or lost context. Sweeping the
+   shard count moves the balanced boundary across every checkpoint of
+   these small traces, so each program is analyzed with cuts before,
+   inside and after the abandoned region. *)
+let src_break =
+  {|
+int A[400];
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 12; i++) {
+    for (j = 0; j < 30; j++) {
+      A[j] = i + j;
+      if (j > 2 + i % 3) break;
+    }
+  }
+  return 0;
+}
+|}
+
+let src_continue =
+  {|
+int A[400];
+int B[400];
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 10; i++) {
+    for (j = 0; j < 12; j++) {
+      A[j + 12 * i % 400] = j;
+      if (j % 3 == 1) continue;
+      B[j] = i;
+    }
+  }
+  return 0;
+}
+|}
+
+let src_return =
+  {|
+int A[500];
+
+int walk(int stop) {
+  int k;
+  for (k = 0; k < 50; k++) {
+    A[k] = k;
+    if (k == stop) return k;
+  }
+  return -1;
+}
+
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 10; i++) {
+    acc += walk(3 * i);
+  }
+  return 0;
+}
+|}
+
+let t_boundary_sweep () =
+  List.iter
+    (fun (what, src) ->
+      let events = trace_of_source src in
+      let seq = analyze events in
+      for n = 2 to 40 do
+        let shd = analyze ~shards:n events in
+        if seq <> shd then
+          Alcotest.failf "%s: shard count %d diverged from sequential" what n
+      done)
+    [
+      ("break mid-loop", src_break);
+      ("continue mid-loop", src_continue);
+      ("return mid-loop", src_return);
+    ]
+
+(* Every distinct cut Tracefile.shards can produce for n=2 on the break
+   trace — near-exhaustive 2-shard boundary placement. Distinct n give
+   distinct balanced boundaries, so sweeping n while forcing 2 shards by
+   re-cutting the prefix is equivalent to moving the single cut. *)
+let t_two_shard_cuts () =
+  let events = trace_of_source src_break in
+  let seq = analyze events in
+  let seen = Hashtbl.create 64 in
+  for n = 2 to Array.length events do
+    match Tracefile.shards ~n events with
+    | first :: _ when first.Tracefile.s_len < Array.length events ->
+        let cut = first.Tracefile.s_len in
+        if not (Hashtbl.mem seen cut) then begin
+          Hashtbl.add seen cut ();
+          (* rebuild as exactly two shards cut at [cut] via the n-shard
+             list: merge the per-shard trees pairwise left-to-right *)
+          let shd = analyze ~shards:n events in
+          if seq <> shd then
+            Alcotest.failf "cut at event %d (n=%d) diverged" cut n
+        end
+    | _ -> ()
+  done;
+  if Hashtbl.length seen < 4 then
+    Alcotest.failf "expected several distinct cut positions, got %d"
+      (Hashtbl.length seen)
+
+(* --- shard partition sanity ------------------------------------------ *)
+
+let t_shards_partition () =
+  let events = trace_of_source src_break in
+  let total = Array.length events in
+  List.iter
+    (fun n ->
+      let ss = Tracefile.shards ~n events in
+      assert (List.length ss <= n);
+      let sum = List.fold_left (fun a s -> a + s.Tracefile.s_len) 0 ss in
+      Alcotest.(check int) "covers exactly" total sum;
+      ignore
+        (List.fold_left
+           (fun expect (s : Tracefile.shard) ->
+             Alcotest.(check int) "contiguous" expect s.s_start;
+             if s.s_start > 0 then
+               (match events.(s.s_start) with
+               | Event.Checkpoint _ -> ()
+               | _ -> Alcotest.fail "shard start is not checkpoint-aligned");
+             s.s_start + s.s_len)
+           0 ss))
+    [ 1; 2; 3; 7; 64; 1000 ]
+
+let tests =
+  [
+    Alcotest.test_case "looptree merge associative" `Quick
+      t_looptree_merge_assoc;
+    Alcotest.test_case "looptree merge identity" `Quick
+      t_looptree_merge_identity;
+    Alcotest.test_case "boundary sweep over abandoned loops" `Quick
+      t_boundary_sweep;
+    Alcotest.test_case "two-shard cuts near-exhaustive" `Quick
+      t_two_shard_cuts;
+    Alcotest.test_case "shards partition the trace" `Quick t_shards_partition;
+    QCheck_alcotest.to_alcotest prop_differential;
+    QCheck_alcotest.to_alcotest prop_salvage;
+    QCheck_alcotest.to_alcotest prop_affine_merge_assoc;
+    QCheck_alcotest.to_alcotest prop_affine_merge_identity;
+  ]
