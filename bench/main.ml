@@ -478,6 +478,12 @@ let measure_pipeline (bench : Suite.bench) =
     degraded = sim.stopped <> Minic_sim.Interp.Completed;
   }
 
+type curve_point = {
+  dp_domains : int;
+  dp_seconds : float;
+  dp_speedup : float;  (** vs the sequential in-memory walk *)
+}
+
 type shard_perf = {
   sname : string;
   sevents : int;
@@ -486,13 +492,22 @@ type shard_perf = {
   seq_seconds : float;
   shard_seconds : float;
   merge_seconds : float;
+  curve : curve_point list;  (** v2 mapped analysis at 1/2/4 domains *)
+  v1_bytes : int;
+  v2_bytes : int;
+  v1_read_eps : float;  (** v1 channel decode, events/s, null sink *)
+  v2_read_eps : float;  (** v2 mapped decode, events/s, null sink *)
+  emit_eps : float;  (** v2 frame encoder, events/s *)
 }
 
 (* Sharded-analysis measurement on the largest trace in the suite: the
    stored-trace analysis run once sequentially and once split over 4
    domains, models compared byte-for-byte. Merge cost comes from the
    pipeline.shard_merge timer, so metrics collection is switched on just
-   for the sharded pass (and read back before measure_interp resets it). *)
+   for the sharded pass (and read back before measure_interp resets it).
+   Schema 4 adds the FORAYTR2 wire measurements on the same trace: file
+   sizes, raw decode rates for both formats, frame-encoder throughput,
+   and the mapped sharded analysis at 1, 2 and 4 domains. *)
 let measure_shards (pipelines : pipeline_perf list) =
   let largest =
     List.fold_left
@@ -532,15 +547,72 @@ let measure_shards (pipelines : pipeline_perf list) =
   in
   if not (String.equal seq_model shard_model) then
     failwith "measure_shards: sharded model diverged from the sequential one";
-  {
-    sname = largest.pname;
-    sevents = Array.length events;
-    shard_count = 4;
-    sjobs = min 4 (Parallel.default_jobs ());
-    seq_seconds;
-    shard_seconds;
-    merge_seconds;
-  }
+  (* FORAYTR2 wire measurements on the same trace. Decode rates are
+     best-of-3 on a null sink, which isolates the readers from analysis. *)
+  let module Tracefile = Foray_trace.Tracefile in
+  let nf = float_of_int (Array.length events) in
+  let ev_list = Array.to_list events in
+  let v1_path = Filename.temp_file "foraybench" ".trace" in
+  let v2_path = Filename.temp_file "foraybench" ".trace2" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ v1_path; v2_path ])
+    (fun () ->
+      Tracefile.save ~format:Tracefile.Binary v1_path ev_list;
+      let (), emit_seconds =
+        time (fun () -> Tracefile.save ~format:Tracefile.Binary2 v2_path ev_list)
+      in
+      let v1_bytes = (Unix.stat v1_path).Unix.st_size in
+      let v2_bytes = (Unix.stat v2_path).Unix.st_size in
+      let best_of n f =
+        let best = ref infinity in
+        for _ = 1 to n do
+          let (), dt = time f in
+          if dt < !best then best := dt
+        done;
+        !best
+      in
+      let v1_read_s =
+        best_of 3 (fun () -> Tracefile.iter v1_path Foray_trace.Event.null_sink)
+      in
+      let m = Tracefile.map v2_path in
+      let v2_read_s =
+        best_of 3 (fun () -> Tracefile.iter_mapped m Foray_trace.Event.null_sink)
+      in
+      let eps dt = if dt > 0.0 then nf /. dt else 0.0 in
+      let curve =
+        List.map
+          (fun d ->
+            let model, secs =
+              time (fun () ->
+                  let tree, _ = Pipeline.analyze_mapped ~shards:4 ~jobs:d m in
+                  Model.to_c (Model.of_tree ~loop_kinds tree))
+            in
+            if not (String.equal seq_model model) then
+              failwith
+                "measure_shards: v2 mapped model diverged from the sequential \
+                 one";
+            { dp_domains = d; dp_seconds = secs;
+              dp_speedup = seq_seconds /. secs })
+          [ 1; 2; 4 ]
+      in
+      {
+        sname = largest.pname;
+        sevents = Array.length events;
+        shard_count = 4;
+        sjobs = min 4 (Parallel.default_jobs ());
+        seq_seconds;
+        shard_seconds;
+        merge_seconds;
+        curve;
+        v1_bytes;
+        v2_bytes;
+        v1_read_eps = eps v1_read_s;
+        v2_read_eps = eps v2_read_s;
+        emit_eps = eps emit_seconds;
+      })
 
 (* Interpreter microbenchmark on the jpeg analogue, resolver on and off:
    steps per second with a null sink isolates the simulator itself. A
@@ -591,9 +663,9 @@ let write_json ~path ~section_times ~pipelines ~shard ~interp ~total =
   let b = Buffer.create 4096 in
   let add fmt = Printf.bprintf b fmt in
   add "{\n";
-  add "  \"schema\": 3,\n";
+  add "  \"schema\": 4,\n";
   add "  \"meta\": {\n";
-  add "    \"schema_version\": 3,\n";
+  add "    \"schema_version\": 4,\n";
   add "    \"generated_by\": \"bench/main.exe --json\",\n";
   add "    \"benchmark_set\": [%s],\n"
     (String.concat ", "
@@ -624,7 +696,8 @@ let write_json ~path ~section_times ~pipelines ~shard ~interp ~total =
   add "    \"resolver_speedup\": %.2f\n" (resolved /. unresolved);
   add "  },\n";
   (* Schema 3: the sharded-analysis record — sequential vs 4-domain
-     analysis of the largest stored trace, plus the merge cost. *)
+     analysis of the largest stored trace, plus the merge cost. Schema 4
+     adds the v2 mapped-analysis domain curve at a fixed 4 shards. *)
   add "  \"shard\": {\n";
   add "    \"name\": %S,\n" shard.sname;
   add "    \"events\": %d,\n" shard.sevents;
@@ -633,7 +706,30 @@ let write_json ~path ~section_times ~pipelines ~shard ~interp ~total =
   add "    \"seq_seconds\": %.4f,\n" shard.seq_seconds;
   add "    \"shard_seconds\": %.4f,\n" shard.shard_seconds;
   add "    \"merge_seconds\": %.4f,\n" shard.merge_seconds;
-  add "    \"speedup\": %.2f\n" (shard.seq_seconds /. shard.shard_seconds);
+  add "    \"speedup\": %.2f,\n" (shard.seq_seconds /. shard.shard_seconds);
+  add "    \"curve\": [\n";
+  List.iteri
+    (fun i (p : curve_point) ->
+      add
+        "      {\"domains\": %d, \"seconds\": %.4f, \"speedup\": %.2f}%s\n"
+        p.dp_domains p.dp_seconds p.dp_speedup
+        (if i = List.length shard.curve - 1 then "" else ","))
+    shard.curve;
+  add "    ]\n";
+  add "  },\n";
+  (* Schema 4: FORAYTR2 wire numbers on the same trace — file sizes,
+     raw decode throughput of both formats, frame-encoder throughput. *)
+  add "  \"trace_v2\": {\n";
+  add "    \"name\": %S,\n" shard.sname;
+  add "    \"events\": %d,\n" shard.sevents;
+  add "    \"v1_bytes\": %d,\n" shard.v1_bytes;
+  add "    \"v2_bytes\": %d,\n" shard.v2_bytes;
+  add "    \"v1_read_events_per_sec\": %.0f,\n" shard.v1_read_eps;
+  add "    \"v2_read_events_per_sec\": %.0f,\n" shard.v2_read_eps;
+  add "    \"read_speedup\": %.2f,\n"
+    (if shard.v1_read_eps > 0.0 then shard.v2_read_eps /. shard.v1_read_eps
+     else 0.0);
+  add "    \"emit_events_per_sec\": %.0f\n" shard.emit_eps;
   add "  },\n";
   (* Obs.to_json is itself a JSON object, captured during the
      metrics-enabled interpreter pass above. *)

@@ -74,6 +74,7 @@ let looks_like_trace path =
         really_input_string ic (min 16 (In_channel.length ic |> Int64.to_int)))
   in
   String.starts_with ~prefix:"FORAYTR1" head
+  || String.starts_with ~prefix:"FORAYTR2" head
   || String.starts_with ~prefix:"Checkpoint:" head
   || String.starts_with ~prefix:"Instr:" head
 
@@ -250,32 +251,15 @@ let run_pipeline src ~nexec ~nloc ~scalars =
 
 (* Steps 3-4 on a stored trace file: salvages damaged records by default,
    [strict] turns the first corrupt record into E_TRACE_CORRUPT. With
-   [shards > 1] the (salvaged) stream is analyzed in parallel and merged —
-   same model, bit for bit. *)
+   [shards > 1] the stream is analyzed in parallel and merged — same
+   model, bit for bit. FORAYTR2 files take the zero-copy mapped path
+   (Pipeline.analyze_trace decides). *)
 let analyze_trace_file ~strict ~json ~nexec ~nloc ?(shards = 1) ?jobs path =
-  let analyzed =
-    if shards <= 1 then begin
-      let tree = Foray_core.Looptree.create () in
-      match
-        Foray_trace.Tracefile.read ~strict path (Foray_core.Looptree.sink tree)
-      with
-      | Ok salvage -> Ok (tree, salvage)
-      | Error _ as e -> e
-    end
-    else
-      match Foray_trace.Tracefile.read_events ~strict path with
-      | Ok (events, salvage) ->
-          let tree, _tstats =
-            Foray_core.Pipeline.analyze_events ~shards ?jobs events
-          in
-          Ok (tree, salvage)
-      | Error _ as e -> e
-  in
-  match analyzed with
+  match Foray_core.Pipeline.analyze_trace ~strict ~shards ?jobs path with
   | Error { Foray_trace.Tracefile.offset; kind; events_before } ->
       fail_error ~json
         (Ferr.Trace_corrupt { offset; kind; events_salvaged = events_before })
-  | Ok (tree, salvage) ->
+  | Ok ((tree, _tstats), salvage) ->
       Foray_core.Looptree.flush_metrics tree;
       let thresholds = Foray_core.Filter.{ nexec; nloc } in
       let model = Foray_core.Model.of_tree ~thresholds tree in
@@ -409,8 +393,59 @@ let annotate_cmd =
 (* ---- trace ---------------------------------------------------------- *)
 
 let trace_cmd =
-  let run prog limit scalars out format metrics =
+  (* Convert an existing trace file to [target] format: read (salvaging if
+     damaged), rewrite, report. The v1 -> v2 upgrade path. *)
+  let convert_file ~src ~dst ~target =
+    if not (Sys.file_exists src) then begin
+      Printf.eprintf "foraygen trace --convert: no such trace file: %s\n" src;
+      2
+    end
+    else
+    match Foray_trace.Tracefile.read_events src with
+    | Error { Foray_trace.Tracefile.offset; kind; events_before } ->
+        fail_error
+          (Ferr.Trace_corrupt { offset; kind; events_salvaged = events_before })
+    | Ok (events, salvage) ->
+        let n = ref 0 in
+        Foray_trace.Tracefile.with_sink ~format:target dst (fun sink ->
+            Array.iter
+              (fun e ->
+                incr n;
+                sink e)
+              events);
+        Printf.printf "converted %d event(s): %s -> %s\n" !n src dst;
+        if salvage.resyncs = 0 && not salvage.truncated_tail then 0
+        else
+          finish_degraded
+            [
+              Foray_core.Pipeline.Degraded_corrupt
+                {
+                  offset =
+                    (match salvage.first_errors with
+                    | (off, _) :: _ -> off
+                    | [] -> -1);
+                  kind =
+                    (match salvage.first_errors with
+                    | (_, k) :: _ -> k
+                    | [] -> "unknown");
+                  salvaged = salvage.events;
+                  resyncs = salvage.resyncs;
+                  bytes_skipped = salvage.bytes_skipped;
+                };
+            ]
+  in
+  let run prog limit scalars out format convert metrics =
     guard (fun () ->
+        match convert with
+        | Some target -> (
+            match out with
+            | None ->
+                prerr_endline
+                  "foraygen trace --convert needs --out FILE for the converted \
+                   trace";
+                2
+            | Some dst -> convert_file ~src:prog ~dst ~target)
+        | None -> (
         match load_source prog with
         | Error e -> fail_error e
         | Ok src ->
@@ -420,11 +455,6 @@ let trace_cmd =
             let instrumented = Foray_instrument.Annotate.program p in
             match out with
             | Some path ->
-                let format =
-                  match format with
-                  | "binary" -> Foray_trace.Tracefile.Binary
-                  | _ -> Foray_trace.Tracefile.Text
-                in
                 let n = ref 0 in
                 Foray_trace.Tracefile.with_sink ~format path (fun sink ->
                     let sink e = incr n; sink e in
@@ -447,7 +477,7 @@ let trace_cmd =
                 in
                 if !printed >= limit then
                   Printf.printf "... (truncated at %d events)\n" limit;
-                0))
+                0)))
   in
   let limit_arg =
     Arg.(value & opt int 200 & info [ "limit" ] ~doc:"Maximum events to print.")
@@ -458,16 +488,38 @@ let trace_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~doc:"Write the full trace to this file instead.")
   in
+  let format_conv =
+    Arg.enum
+      [
+        ("text", Foray_trace.Tracefile.Text);
+        ("binary", Foray_trace.Tracefile.Binary);
+        ("v1", Foray_trace.Tracefile.Binary);
+        ("v2", Foray_trace.Tracefile.Binary2);
+        ("binary2", Foray_trace.Tracefile.Binary2);
+      ]
+  in
   let format_arg =
     Arg.(
-      value & opt string "text"
-      & info [ "format" ] ~doc:"Trace file format: text or binary.")
+      value
+      & opt format_conv Foray_trace.Tracefile.Text
+      & info [ "format" ]
+          ~doc:"Trace file format: text, binary (alias v1) or v2.")
+  in
+  let convert_arg =
+    Arg.(
+      value
+      & opt (some format_conv) None
+      & info [ "convert" ] ~docv:"FORMAT"
+          ~doc:
+            "Treat PROGRAM as an existing trace file and rewrite it to \
+             $(docv) (text, binary/v1 or v2) at --out; damaged records are \
+             salvaged and reported.")
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Print or save the profile trace (Step 2)")
+    (Cmd.info "trace" ~doc:"Print, save or convert the profile trace (Step 2)")
     Term.(
       const run $ prog_arg $ limit_arg $ scalars_arg $ out_arg $ format_arg
-      $ metrics_arg)
+      $ convert_arg $ metrics_arg)
 
 (* ---- analyze (trace file -> model) ---------------------------------- *)
 
@@ -865,7 +917,7 @@ let tracecheck_cmd =
 
 let faults_cmd =
   let module FI = Foray_util.Faultinject in
-  let run prog runs seed json =
+  let run prog runs seed format json =
     guard ~json (fun () ->
         match load_source prog with
         | Error e -> fail_error ~json e
@@ -878,8 +930,7 @@ let faults_cmd =
               ~finally:(fun () ->
                 try Sys.remove tmp with Sys_error _ -> ())
               (fun () ->
-                Foray_trace.Tracefile.with_sink
-                  ~format:Foray_trace.Tracefile.Binary tmp (fun sink ->
+                Foray_trace.Tracefile.with_sink ~format tmp (fun sink ->
                     ignore (Minic_sim.Interp.run instrumented ~sink));
                 let bytes =
                   In_channel.with_open_bin tmp In_channel.input_all
@@ -949,6 +1000,19 @@ let faults_cmd =
     in
     Arg.(value & pos 0 string "fig4a" & info [] ~docv:"PROGRAM" ~doc)
   in
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("binary", Foray_trace.Tracefile.Binary);
+               ("v2", Foray_trace.Tracefile.Binary2);
+             ])
+          Foray_trace.Tracefile.Binary
+      & info [ "format" ]
+          ~doc:"Trace format the mutants are written in: binary (v1) or v2.")
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
@@ -956,7 +1020,9 @@ let faults_cmd =
           ways (bit flips, truncation, duplication, garbage, zeroed spans, \
           stalls) and verify the pipeline always degrades or fails with a \
           typed error — never an escaped exception. Exit 0 iff no escapes.")
-    Term.(const run $ prog_arg $ runs_arg $ seed_arg $ json_errors_arg)
+    Term.(
+      const run $ prog_arg $ runs_arg $ seed_arg $ format_arg
+      $ json_errors_arg)
 
 (* ---- main ----------------------------------------------------------- *)
 

@@ -4,12 +4,36 @@ let next_uid = Atomic.make 1
 
 (* Raw observation log used by the mergeable (sharded) representation:
    [depth + 1] ints per observation — the iterator vector, then the
-   address — in a growable flat array. Merging states concatenates logs;
-   the Algorithm-3 fold replays them lazily (see [force]), so a merged
-   state is bit-identical to the sequential walker's state on the same
-   stream: every coefficient solve, misprediction and demotion happens in
-   trace order, whatever the shard boundaries were. *)
-type oblog = { mutable buf : int array; mutable len : int (* in ints *) }
+   address — in a chain of Bigarray arena segments. Merging states
+   concatenates logs; the Algorithm-3 fold replays them lazily (see
+   [force]), so a merged state is bit-identical to the sequential
+   walker's state on the same stream: every coefficient solve,
+   misprediction and demotion happens in trace order, whatever the shard
+   boundaries were.
+
+   Why Bigarray segments instead of one growable int array: segment
+   capacities are whole multiples of the observation stride, so merge is
+   a pointer splice — O(segments), no byte copied — where the flat array
+   re-blitted every log on every merge; and the buffers live outside the
+   OCaml heap, so multi-million-event logs neither get scanned by the GC
+   nor copied when a worker domain's results reach the merging domain. *)
+
+module BA1 = Bigarray.Array1
+
+type seg = {
+  sbuf : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable slen : int; (* ints used; always a whole number of observations *)
+}
+
+(* Shared zero-capacity tail placeholder: never written, because the
+   first append finds it full and installs a fresh segment. *)
+let empty_seg = { sbuf = BA1.create Bigarray.int Bigarray.c_layout 0; slen = 0 }
+
+type oblog = {
+  mutable closed : seg list; (* filled segments, newest first *)
+  mutable tail : seg; (* currently filling *)
+  mutable nobs : int; (* observations across all segments *)
+}
 
 type t = {
   uid : int;
@@ -25,7 +49,7 @@ type t = {
   mutable analyzable : bool;
   mutable mispredictions : int;
   log : oblog option; (* Some: mergeable mode; None: eager fold *)
-  mutable folded : int; (* ints of [log] already folded through Algorithm 3 *)
+  mutable folded : int; (* observations of [log] already folded (Algorithm 3) *)
 }
 
 let make ~log ~site ~depth =
@@ -44,7 +68,7 @@ let make ~log ~site ~depth =
     execs = 0;
     analyzable = true;
     mispredictions = 0;
-    log = (if log then Some { buf = [||]; len = 0 } else None);
+    log = (if log then Some { closed = []; tail = empty_seg; nobs = 0 } else None);
     folded = 0;
   }
 
@@ -174,34 +198,83 @@ let stride t = t.depth + 1
 
 let log_append l t iters addr =
   let n = stride t in
-  if l.len + n > Array.length l.buf then begin
-    let cap = max 64 (max (2 * Array.length l.buf) (l.len + n)) in
-    let buf = Array.make cap 0 in
-    Array.blit l.buf 0 buf 0 l.len;
-    l.buf <- buf
+  let tail = l.tail in
+  if tail.slen + n > BA1.dim tail.sbuf then begin
+    if tail.slen > 0 then l.closed <- tail :: l.closed;
+    (* doubling growth, capped at 1M observations per segment; capacities
+       are whole multiples of the stride so no observation ever spans two
+       segments *)
+    let obs_cap = min 1_048_576 (max 256 (2 * (BA1.dim tail.sbuf / n))) in
+    l.tail <- { sbuf = BA1.create Bigarray.int Bigarray.c_layout (obs_cap * n);
+                slen = 0 }
   end;
-  Array.blit iters 0 l.buf l.len t.depth;
-  l.buf.(l.len + t.depth) <- addr;
-  l.len <- l.len + n
+  let tail = l.tail in
+  let base = tail.slen in
+  (* in bounds: [base + n <= dim] established just above *)
+  for i = 0 to t.depth - 1 do
+    BA1.unsafe_set tail.sbuf (base + i) (Array.unsafe_get iters i)
+  done;
+  BA1.unsafe_set tail.sbuf (base + t.depth) addr;
+  tail.slen <- base + n;
+  l.nobs <- l.nobs + 1
+
+(* Oldest first — trace order. *)
+let segs_in_order l =
+  List.rev (if l.tail.slen > 0 then l.tail :: l.closed else l.closed)
 
 let force t =
   match t.log with
   | None -> ()
   | Some l ->
-      if t.folded < l.len then begin
-        let iters = Array.make t.depth 0 in
+      if t.folded < l.nobs then begin
         let n = stride t in
-        let p = ref t.folded in
-        while !p < l.len do
-          Array.blit l.buf !p iters 0 t.depth;
-          fold_observe t ~iters ~addr:l.buf.(!p + t.depth);
-          p := !p + n
+        let d = t.depth in
+        let iters = Array.make d 0 in
+        let segs = Array.of_list (segs_in_order l) in
+        let nsegs = Array.length segs in
+        (* locate the segment holding the first pending observation *)
+        let si = ref 0 and before = ref 0 in
+        while
+          !si < nsegs && !before + (segs.(!si).slen / n) <= t.folded
+        do
+          before := !before + (segs.(!si).slen / n);
+          incr si
         done;
-        t.folded <- l.len
+        let off = ref ((t.folded - !before) * n) in
+        (* replay in trace order while the solver is still live *)
+        while t.analyzable && !si < nsegs do
+          let seg = segs.(!si) in
+          let buf = seg.sbuf in
+          while t.analyzable && !off < seg.slen do
+            for i = 0 to d - 1 do
+              iters.(i) <- BA1.unsafe_get buf (!off + i)
+            done;
+            fold_observe t ~iters ~addr:(BA1.unsafe_get buf (!off + d));
+            t.folded <- t.folded + 1;
+            off := !off + n
+          done;
+          if !off >= seg.slen then begin
+            incr si;
+            off := 0
+          end
+        done;
+        (* A dead solver's fold is pure bookkeeping — [fold_observe] then
+           only records prev_iters/prev_addr and counts the execution —
+           so the remaining observations collapse to an exec count plus
+           the last observation, skipping the per-entry replay. *)
+        if t.folded < l.nobs then begin
+          let last = segs.(nsegs - 1) in
+          let base = last.slen - n in
+          for i = 0 to d - 1 do
+            iters.(i) <- BA1.unsafe_get last.sbuf (base + i)
+          done;
+          t.execs <- t.execs + (l.nobs - t.folded - 1);
+          fold_observe t ~iters ~addr:(BA1.unsafe_get last.sbuf (base + d));
+          t.folded <- l.nobs
+        end
       end
 
-let pending t =
-  match t.log with None -> 0 | Some l -> (l.len - t.folded) / stride t
+let pending t = match t.log with None -> 0 | Some l -> l.nobs - t.folded
 
 let observe t ~iters ~addr =
   if Array.length iters <> t.depth then
@@ -210,19 +283,18 @@ let observe t ~iters ~addr =
   | None -> fold_observe t ~iters ~addr
   | Some l -> log_append l t iters addr
 
-let log_append_all dst src =
-  if dst.len + src.len > Array.length dst.buf then begin
-    let cap = max (dst.len + src.len) (2 * Array.length dst.buf) in
-    let buf = Array.make cap 0 in
-    Array.blit dst.buf 0 buf 0 dst.len;
-    dst.buf <- buf
-  end;
-  Array.blit src.buf 0 dst.buf dst.len src.len;
-  dst.len <- dst.len + src.len;
-  (* [src] is consumed by the merge; releasing its buffer immediately
-     keeps peak heap near one log's worth instead of two. *)
-  src.buf <- [||];
-  src.len <- 0
+let log_concat la lb =
+  (* Pointer splice, O(segments): [lb]'s observations strictly follow
+     [la]'s in trace order, and [closed] is newest-first, so [lb]'s
+     segments go in front. Nothing is copied. [lb] is consumed. *)
+  let b_segs = if lb.tail.slen > 0 then lb.tail :: lb.closed else lb.closed in
+  let a_segs = if la.tail.slen > 0 then la.tail :: la.closed else la.closed in
+  la.closed <- b_segs @ a_segs;
+  la.tail <- empty_seg;
+  la.nobs <- la.nobs + lb.nobs;
+  lb.closed <- [];
+  lb.tail <- empty_seg;
+  lb.nobs <- 0
 
 let merge a b =
   (match (a.log, b.log) with
@@ -234,10 +306,8 @@ let merge a b =
   (* Concatenate observation streams in shard order; the result is always
      [a], so callers may keep aliases to it. [a]'s folded prefix stays
      valid — [b]'s observations strictly follow it — whereas [b]'s own
-     fold (if any) used the wrong prefix and is discarded with [b]. In
-     practice shard states are never folded before merging finishes (the
-     fold is lazy, see [force]). *)
-  if lb.len > 0 then log_append_all la lb;
+     fold (if any) used the wrong prefix and is discarded with [b]. *)
+  if lb.nobs > 0 then log_concat la lb;
   a
 
 (* --- inspection (forces pending log entries first) --------------------- *)

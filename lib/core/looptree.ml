@@ -260,6 +260,22 @@ let merge a b =
   shape a.root;
   a
 
+(* Tree-wise reduction: adjacent pairs merge concurrently — each merge
+   touches only its own two trees — halving the list per round, so the
+   critical path is log2(shards) merges instead of a left fold's
+   shards-1. Pairing adjacent shards preserves trace order, and merge
+   associativity (tested) makes the result identical to the fold. *)
+let rec merge_all ?(jobs = 1) = function
+  | [] -> create ~mergeable:true ()
+  | [ t ] -> t
+  | ts ->
+      let rec pair = function
+        | a :: b :: rest -> (fun () -> merge a b) :: pair rest
+        | [ a ] -> [ (fun () -> a) ]
+        | [] -> []
+      in
+      merge_all ~jobs (Foray_util.Parallel.run ~jobs (pair ts))
+
 let rec all_affs acc n =
   let acc = List.fold_left (fun acc r -> r.aff :: acc) acc n.refs in
   List.fold_left all_affs acc n.children

@@ -114,6 +114,13 @@ val restore_context : t -> (int * int) list -> unit
     @raise Invalid_argument unless both trees are mergeable. *)
 val merge : t -> t -> t
 
+(** [merge_all ~jobs ts] reduces shard trees (in shard order) to one tree
+    by merging adjacent pairs concurrently on the domain pool — a
+    log2-depth reduction with the same result as a left fold of {!merge}
+    (which is associative). Every input tree is consumed; an empty list
+    yields a fresh mergeable tree. *)
+val merge_all : ?jobs:int -> t list -> t
+
 (** [finalize ~jobs t] forces the deferred Algorithm-3 folds of every
     reference in the tree, [jobs] at a time on a domain pool (references
     are partitioned, so each solver state stays single-domain). Implicit

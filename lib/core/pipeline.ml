@@ -168,6 +168,25 @@ let run_source ?config ?thresholds src =
 
 (* --- sharded trace analysis -------------------------------------------- *)
 
+(* Shard results reduce tree-wise on the pool (log2 rounds of pairwise
+   merges — and with arena logs each merge is a pointer splice, not a
+   copy); Tstats are a few dozen scalars, so a left fold is free. *)
+let merge_parts ~jobs parts =
+  let tree, tstats =
+    Span.with_span ~cat:"pipeline" "pipeline.shard_merge" (fun () ->
+        Obs.time t_shard_merge (fun () ->
+            let tree = Looptree.merge_all ~jobs (List.map fst parts) in
+            let tstats =
+              match List.map snd parts with
+              | [] -> Tstats.create ()
+              | first :: rest -> List.fold_left Tstats.merge first rest
+            in
+            (tree, tstats)))
+  in
+  Span.with_span ~cat:"pipeline" "pipeline.shard_finalize" (fun () ->
+      Looptree.finalize ~jobs tree);
+  (tree, tstats)
+
 let analyze_shards ~shards:n ~jobs events =
   let cuts = Tracefile.shards ~n events in
   let parts =
@@ -185,24 +204,17 @@ let analyze_shards ~shards:n ~jobs events =
         for i = s.s_start to s.s_start + s.s_len - 1 do
           sink events.(i)
         done;
+        (* The first shard is the true trace prefix, so its Algorithm-3
+           folds are already on the sequential walker's path — run them
+           now, overlapped with the other shards' walks, leaving that much
+           less replay after the merge. Later shards must stay raw: their
+           folds would start from the wrong prefix and be discarded. *)
+        if s.s_index = 0 then Looptree.finalize tree;
         Obs.incr m_shards;
         (tree, tstats))
       cuts
   in
-  let tree, tstats =
-    Span.with_span ~cat:"pipeline" "pipeline.shard_merge" (fun () ->
-        Obs.time t_shard_merge (fun () ->
-            match parts with
-            | [] -> (Looptree.create ~mergeable:true (), Tstats.create ())
-            | first :: rest ->
-                List.fold_left
-                  (fun (ta, sa) (tb, sb) ->
-                    (Looptree.merge ta tb, Tstats.merge sa sb))
-                  first rest))
-  in
-  Span.with_span ~cat:"pipeline" "pipeline.shard_finalize" (fun () ->
-      Looptree.finalize ~jobs tree);
-  (tree, tstats)
+  merge_parts ~jobs parts
 
 let analyze_events ?(shards = 1) ?jobs events =
   if shards <= 1 then begin
@@ -221,6 +233,66 @@ let analyze_events ?(shards = 1) ?jobs events =
       | None -> min shards (Foray_util.Parallel.default_jobs ())
     in
     analyze_shards ~shards ~jobs events
+
+(* Zero-copy variant: shard workers decode their mmap'd frame windows
+   straight into the tree sinks — no [Event.event array] is ever built. *)
+let analyze_mapped ?(shards = 1) ?jobs m =
+  if shards <= 1 || Tracefile.mapped_events m = 0 then begin
+    let tree = Looptree.create () in
+    let tstats = Tstats.create () in
+    Tracefile.iter_mapped m
+      (Event.tee (Looptree.sink tree) (Tstats.sink tstats));
+    (tree, tstats)
+  end
+  else begin
+    let jobs =
+      match jobs with
+      | Some j -> j
+      | None -> min shards (Foray_util.Parallel.default_jobs ())
+    in
+    let cuts = Tracefile.frame_shards ~n:shards m in
+    let parts =
+      Foray_util.Parallel.map ~jobs
+        (fun (fs : Tracefile.fshard) ->
+          Span.with_span ~cat:"pipeline" "shard.analyze"
+            ~args:
+              [ ("shard", string_of_int fs.fs_index);
+                ("events", string_of_int fs.fs_events) ]
+          @@ fun () ->
+          let tree = Looptree.create ~mergeable:true () in
+          Looptree.restore_context tree fs.fs_context;
+          let tstats = Tstats.create () in
+          let sink = Event.tee (Looptree.sink tree) (Tstats.sink tstats) in
+          Tracefile.iter_fshard m fs sink;
+          if fs.fs_index = 0 then Looptree.finalize tree;
+          Obs.incr m_shards;
+          (tree, tstats))
+        cuts
+    in
+    merge_parts ~jobs parts
+  end
+
+(* Analyze a trace file end to end, picking the fastest correct path: a
+   FORAYTR2 file goes through the mapped reader (and its frame-index
+   sharder); anything else — or a v2 file whose frames turn out damaged —
+   falls back to the salvaging event-array reader. The fallback rebuilds
+   fresh trees, so events a failing mapped pass already delivered are
+   never double-counted. *)
+let analyze_trace ?(strict = false) ?(shards = 1) ?jobs path =
+  let from_events () =
+    match Tracefile.read_events ~strict path with
+    | Error _ as e -> e
+    | Ok (events, salvage) ->
+        Ok (analyze_events ~shards ?jobs events, salvage)
+  in
+  if Tracefile.is_binary2 path then
+    match
+      let m = Tracefile.map path in
+      (analyze_mapped ~shards ?jobs m, Tracefile.mapped_events m)
+    with
+    | r, n -> Ok (r, Tracefile.clean_salvage n)
+    | exception Tracefile.Corrupt _ -> from_events ()
+  else from_events ()
 
 let run_offline ?(config = Interp.default_config)
     ?(thresholds = Filter.default) ?(shards = 1) ?jobs prog =

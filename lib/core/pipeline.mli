@@ -103,6 +103,35 @@ val analyze_events :
   Foray_trace.Event.event array ->
   Looptree.t * Foray_trace.Tstats.t
 
+(** [analyze_mapped ~shards ~jobs m] is {!analyze_events} for a mapped
+    FORAYTR2 file: shard cut points come from the frame index
+    ({!Foray_trace.Tracefile.frame_shards}) and each worker decodes its
+    mmap'd frame window directly into its walker — no event array is ever
+    materialized. Bit-identical to the sequential walk, like
+    {!analyze_events}.
+    @raise Foray_trace.Tracefile.Corrupt if a frame body is damaged. *)
+val analyze_mapped :
+  ?shards:int ->
+  ?jobs:int ->
+  Foray_trace.Tracefile.mapped ->
+  Looptree.t * Foray_trace.Tstats.t
+
+(** [analyze_trace ?strict ?shards ?jobs path] analyzes a trace file end
+    to end by the fastest correct path: FORAYTR2 files go through
+    {!analyze_mapped} (clean salvage on success); other formats — and v2
+    files whose frames turn out damaged — go through the salvaging
+    event-array reader and {!analyze_events}, rebuilding fresh state so
+    nothing is double-counted. Never raises: salvage statistics or (under
+    [~strict]) the first corruption come back as values. *)
+val analyze_trace :
+  ?strict:bool ->
+  ?shards:int ->
+  ?jobs:int ->
+  string ->
+  ( (Looptree.t * Foray_trace.Tstats.t) * Foray_trace.Tracefile.salvage,
+    Foray_trace.Tracefile.corruption )
+  Stdlib.result
+
 (** Duplication hints for the analyzed program (Figure 9). *)
 val hints : result -> Hints.hint list
 

@@ -1,13 +1,20 @@
 (** Trace files: persisting the profile for offline analysis.
 
     The paper's flow stores the (typically large) trace on disk between the
-    simulator and the analyzer, unless the online mode is used. Two
+    simulator and the analyzer, unless the online mode is used. Three
     on-disk formats:
 
     - {b Text}: one {!Event.to_line} record per line — the human-readable
       Figure 4(c) format;
     - {b Binary}: a ["FORAYTR1"] magic followed by tag-byte +
-      LEB128-varint records, roughly 4-6x smaller than text.
+      LEB128-varint records, roughly 4-6x smaller than text;
+    - {b Binary2}: a ["FORAYTR2"] magic followed by fixed-header batch
+      frames — per-frame site dictionaries, one-byte record heads and
+      zigzag-delta-encoded addresses — built for zero-copy reading: the
+      whole file is [Unix.map_file]'d and decoded straight out of the
+      mapping ({!map}/{!iter_mapped}), and the frame index doubles as a
+      shard cutter ({!frame_shards}) that never materializes an event
+      array.
 
     Readers auto-detect the format from the magic and raise {!Corrupt} on
     malformed or truncated content — a binary stream may only end at a
@@ -15,19 +22,24 @@
     silently losing its tail.
 
     When {!Foray_obs.Obs} collection is enabled, readers and writers
-    report [trace.events_written], [trace.bytes_written], [trace.flushes]
-    and [trace.events_read]. *)
+    report [trace.events_written], [trace.bytes_written], [trace.flushes],
+    [trace.events_read], and for the v2 format [trace.frames_written],
+    [trace.frames_read] and [trace.bytes_mapped]. *)
 
-type format = Text | Binary
+type format = Text | Binary | Binary2
 
 (** Malformed trace content: bad record tag or checkpoint kind, a varint
-    longer than 9 bytes, a binary stream truncated mid-record, or an
-    unparseable text line. *)
+    longer than 9 bytes, a binary stream truncated mid-record, a damaged
+    v2 frame header, or an unparseable text line. *)
 exception Corrupt of string
 
 (** [save ~format path events] writes a whole trace. The file is closed
-    (buffered complete records flushed) even if serialization raises. *)
-val save : format:format -> string -> Event.event list -> unit
+    (buffered complete records flushed) even if serialization raises.
+    [?frame_events] sets the v2 frame-flush target (default 8192 events;
+    ignored by the other formats) — frames flush early at the first
+    checkpoint past the target, so smaller values force more
+    checkpoint-aligned cut points for testing. *)
+val save : ?frame_events:int -> format:format -> string -> Event.event list -> unit
 
 (** [sink_to_file ~format path] opens a streaming writer. The returned
     sink appends events; call the close function when done (also flushes;
@@ -35,19 +47,22 @@ val save : format:format -> string -> Event.event list -> unit
     complete records buffered so far, closes the channel and re-raises —
     the channel is never leaked. Prefer {!with_sink} when the event
     producer may raise. *)
-val sink_to_file : format:format -> string -> Event.sink * (unit -> unit)
+val sink_to_file :
+  ?frame_events:int -> format:format -> string -> Event.sink * (unit -> unit)
 
 (** [with_sink ~format path k] passes a streaming sink to [k] and
     guarantees flush-and-close on any exit, including exceptions raised by
     the event producer. *)
-val with_sink : format:format -> string -> (Event.sink -> 'a) -> 'a
+val with_sink :
+  ?frame_events:int -> format:format -> string -> (Event.sink -> 'a) -> 'a
 
 (** [load path] reads a whole trace, auto-detecting the format.
     @raise Corrupt on malformed content. *)
 val load : string -> Event.event list
 
 (** [fold path f init] streams the file through [f] without building a
-    list — constant space for arbitrarily large traces.
+    list — constant space for arbitrarily large traces. A v2 file is
+    decoded through the zero-copy mapped reader.
     @raise Corrupt on malformed content. *)
 val fold : string -> ('a -> Event.event -> 'a) -> 'a -> 'a
 
@@ -55,14 +70,69 @@ val fold : string -> ('a -> Event.event -> 'a) -> 'a -> 'a
     analyzer can be fed directly from a file. *)
 val iter : string -> Event.sink -> unit
 
+(** {1 Zero-copy mapped reader (v2)}
+
+    A FORAYTR2 file decodes fastest through the mapping: {!map} validates
+    every frame window against the file length once, and {!decode_frame}'s
+    hot varint loop then runs on unchecked byte loads bounded by those
+    windows. Nothing is copied — events are synthesized straight off the
+    page cache into the sink. *)
+
+(** An open mapping plus its validated frame index. The mapping lives
+    until the value is collected; it is safe to share read-only across
+    domains, so shard workers decode disjoint frame windows in parallel. *)
+type mapped
+
+(** [map path] maps a FORAYTR2 file and builds its frame index, checking
+    every frame header, context and dictionary. Reports
+    [trace.bytes_mapped].
+    @raise Corrupt if [path] is not a well-formed FORAYTR2 file. *)
+val map : string -> mapped
+
+(** Total events in the mapping (sum of frame headers). *)
+val mapped_events : mapped -> int
+
+(** [iter_mapped m sink] decodes every frame in order — the sequential
+    read. Reports [trace.frames_read]/[trace.events_read] per frame.
+    @raise Corrupt if a frame body contradicts its validated header. *)
+val iter_mapped : mapped -> Event.sink -> unit
+
+(** [is_binary2 path] sniffs for the FORAYTR2 magic; total — unreadable
+    or short files are simply [false]. *)
+val is_binary2 : string -> bool
+
+(** A shard of whole frames: decode with {!iter_fshard} after restoring
+    [fs_context] (same form as {!shard}[.s_context]). *)
+type fshard = {
+  fs_index : int;  (** 0-based shard number, in trace order *)
+  fs_frame : int;  (** index of the shard's first frame *)
+  fs_frames : int;  (** number of frames in the shard *)
+  fs_events : int;  (** events across those frames *)
+  fs_context : (int * int) list;
+      (** loop stack at the shard's first event, outermost first *)
+}
+
+(** [frame_shards ~n m] cuts the mapping into at most [n] contiguous
+    frame runs covering it exactly, using only the frame index — no event
+    decode. Every shard after the first starts at a cuttable frame (one
+    whose first record is a checkpoint) at-or-after its balanced boundary,
+    so like {!shards} a checkpoint-poor trace yields fewer shards.
+    Analyzing the shards independently and merging is bit-equivalent to
+    {!iter_mapped}.
+    @raise Invalid_argument if [n < 1]. *)
+val frame_shards : n:int -> mapped -> fshard list
+
+(** [iter_fshard m fs sink] decodes one shard's frames into [sink]. *)
+val iter_fshard : mapped -> fshard -> Event.sink -> unit
+
 (** {1 Salvaging reader}
 
     {!load}/{!fold}/{!iter} are fail-fast. {!read} instead recovers what
     it can: on a corrupt record it scans forward to the next decodable
-    record, counts the gap, and keeps feeding the sink — so a damaged
-    trace still yields a best-effort partial model. This module is the
-    only place that decides corrupt-handling policy; {!Event.of_line}
-    merely reports. *)
+    record — for v2, to the next frame marker — counts the gap, and keeps
+    feeding the sink — so a damaged trace still yields a best-effort
+    partial model. This module is the only place that decides
+    corrupt-handling policy; {!Event.of_line} merely reports. *)
 
 (** First unrecoverable corruption in strict mode: byte [offset], damage
     [kind], events decoded before it. *)
@@ -102,7 +172,9 @@ val read_events :
     {!Foray_core.Looptree} walker (see [Looptree.restore_context]) resumes
     exactly where the previous shard stops. Cuts are checkpoint-aligned —
     a shard never starts in the middle of an access burst — and computed
-    by a single linear pre-pass that replays only the checkpoint stack. *)
+    by a single linear pre-pass that replays only the checkpoint stack.
+    For v2 files prefer {!frame_shards}, which gets the same guarantee
+    from the frame index without decoding events. *)
 
 type shard = {
   s_index : int;  (** 0-based shard number, in trace order *)

@@ -97,6 +97,9 @@ let prop_clean_salvage format name =
 let prop_clean_salvage_binary =
   prop_clean_salvage Tracefile.Binary "intact binary trace salvages fully"
 
+let prop_clean_salvage_binary2 =
+  prop_clean_salvage Tracefile.Binary2 "intact v2 trace salvages fully"
+
 let prop_clean_salvage_text =
   prop_clean_salvage Tracefile.Text "intact text trace salvages fully"
 
@@ -117,12 +120,23 @@ let prop_truncation_salvage =
           | Ok s -> s.Tracefile.events <= List.length events
           | Error _ -> false))
 
+let prop_truncation_salvage_v2 =
+  QCheck2.Test.make ~name:"truncated v2 trace: salvaged <= written" ~count:200
+    gen_trace_and_cut (fun (events, cut) ->
+      with_trace_file ~format:Tracefile.Binary2 events (fun tmp ->
+          let bytes = In_channel.with_open_bin tmp In_channel.input_all in
+          let keep = int_of_float (cut *. float_of_int (String.length bytes)) in
+          overwrite tmp (String.sub bytes 0 keep);
+          match read_salvage tmp with
+          | Ok s -> s.Tracefile.events <= List.length events
+          | Error _ -> false))
+
 (* The totality property at the center of the harness: every mutation
    kind, applied to a real binary trace, must produce either a full read,
    a salvage, or (under strict) a typed corruption value. The campaign
    callback also drives the downstream analyzers so an escape anywhere in
    trace->tree->model fails the test. *)
-let t_campaign_total () =
+let campaign_total ~format () =
   let events =
     List.concat
       (List.init 8 (fun i ->
@@ -130,7 +144,7 @@ let t_campaign_total () =
              ev_acc 0x42 (0x1000 + (4 * i)) ~write:(i mod 2 = 0);
              ev_ck 1 Event.Body_exit; ev_ck 1 Event.Loop_exit ]))
   in
-  with_trace_file ~format:Tracefile.Binary events (fun tmp ->
+  with_trace_file ~format events (fun tmp ->
       let bytes = In_channel.with_open_bin tmp In_channel.input_all in
       let run _kind mutant =
         overwrite tmp mutant;
@@ -203,10 +217,14 @@ let tests =
     QCheck_alcotest.to_alcotest prop_ckind_roundtrip;
     QCheck_alcotest.to_alcotest prop_trace_string_roundtrip;
     QCheck_alcotest.to_alcotest prop_clean_salvage_binary;
+    QCheck_alcotest.to_alcotest prop_clean_salvage_binary2;
     QCheck_alcotest.to_alcotest prop_clean_salvage_text;
     QCheck_alcotest.to_alcotest prop_truncation_salvage;
+    QCheck_alcotest.to_alcotest prop_truncation_salvage_v2;
     Alcotest.test_case "campaign is total over 600 mutants" `Slow
-      t_campaign_total;
+      (campaign_total ~format:Tracefile.Binary);
+    Alcotest.test_case "campaign is total over 600 v2 mutants" `Slow
+      (campaign_total ~format:Tracefile.Binary2);
     Alcotest.test_case "campaign deterministic in seed" `Quick
       t_campaign_deterministic;
     Alcotest.test_case "mutations total on empty input" `Quick

@@ -372,6 +372,84 @@ let t_two_shard_cuts () =
     Alcotest.failf "expected several distinct cut positions, got %d"
       (Hashtbl.length seen)
 
+(* --- v2 mapped analysis ------------------------------------------------ *)
+
+(* The zero-copy path must agree with everything else: write the same
+   events as a FORAYTR2 file (with a small frame budget so cut points
+   exist), analyze the mapping sharded, compare digests with the
+   sequential in-memory walk. *)
+let with_v2_file events k =
+  let path = Filename.temp_file "foray_shard" ".trace2" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Tracefile.save ~frame_events:32 ~format:Tracefile.Binary2 path
+        (Array.to_list events);
+      k (Tracefile.map path))
+
+let analyze_mapped ?shards m = digest_of (Pipeline.analyze_mapped ?shards m)
+
+let t_mapped_equals_sequential () =
+  List.iter
+    (fun (what, src) ->
+      let events = trace_of_source src in
+      let seq = analyze events in
+      with_v2_file events (fun m ->
+          List.iter
+            (fun n ->
+              if seq <> analyze_mapped ~shards:n m then
+                Alcotest.failf "%s: v2 mapped %d-shard analysis diverged" what
+                  n)
+            [ 1; 2; 4; 13 ]))
+    [
+      ("break mid-loop", src_break);
+      ("continue mid-loop", src_continue);
+      ("return mid-loop", src_return);
+    ]
+
+let prop_mapped_differential =
+  QCheck2.Test.make
+    ~name:"v2 mapped sharded = sequential on generated programs" ~count:60
+    ~print:print_case gen_case (fun (seed, nests, shards) ->
+      let g = Generator.generate ~seed ~nests in
+      let events = trace_of_source g.source in
+      let seq = analyze events in
+      with_v2_file events (fun m -> seq = analyze_mapped ~shards m))
+
+let t_frame_shards_partition () =
+  let events = trace_of_source src_break in
+  with_v2_file events (fun m ->
+      List.iter
+        (fun n ->
+          let fss = Tracefile.frame_shards ~n m in
+          assert (List.length fss <= n);
+          let sum =
+            List.fold_left
+              (fun a (fs : Tracefile.fshard) -> a + fs.fs_events)
+              0 fss
+          in
+          Alcotest.(check int) "frame shards cover every event"
+            (Array.length events) sum)
+        [ 1; 2; 3; 7; 64; 1000 ])
+
+let t_merge_all_equals_fold () =
+  for seed = 1 to 5 do
+    let g = Generator.generate ~seed ~nests:3 in
+    let events = trace_of_source g.source in
+    let ss = Tracefile.shards ~n:5 events in
+    if List.length ss > 1 then begin
+      let build () = List.map (shard_tree events) ss in
+      let folded =
+        match build () with
+        | t :: ts -> List.fold_left Looptree.merge t ts
+        | [] -> assert false
+      in
+      let treed = Looptree.merge_all ~jobs:2 (build ()) in
+      if tree_digest folded <> tree_digest treed then
+        Alcotest.failf "seed %d: merge_all diverged from the left fold" seed
+    end
+  done
+
 (* --- shard partition sanity ------------------------------------------ *)
 
 let t_shards_partition () =
@@ -406,7 +484,14 @@ let tests =
     Alcotest.test_case "two-shard cuts near-exhaustive" `Quick
       t_two_shard_cuts;
     Alcotest.test_case "shards partition the trace" `Quick t_shards_partition;
+    Alcotest.test_case "v2 mapped analysis = sequential" `Quick
+      t_mapped_equals_sequential;
+    Alcotest.test_case "v2 frame shards partition the trace" `Quick
+      t_frame_shards_partition;
+    Alcotest.test_case "merge_all = left fold of merge" `Quick
+      t_merge_all_equals_fold;
     QCheck_alcotest.to_alcotest prop_differential;
+    QCheck_alcotest.to_alcotest prop_mapped_differential;
     QCheck_alcotest.to_alcotest prop_salvage;
     QCheck_alcotest.to_alcotest prop_affine_merge_assoc;
     QCheck_alcotest.to_alcotest prop_affine_merge_identity;

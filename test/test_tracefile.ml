@@ -168,6 +168,164 @@ let t_varint_values () =
     (fun a b -> if not (Event.equal a b) then Alcotest.fail "big values")
     big back
 
+(* ---- FORAYTR2 (v2 frame format) ------------------------------------- *)
+
+let check_equal_traces what a b =
+  Alcotest.(check int) (what ^ ": length") (List.length a) (List.length b);
+  List.iter2
+    (fun x y -> if not (Event.equal x y) then Alcotest.fail (what ^ ": event"))
+    a b
+
+let t_roundtrip_v2 () =
+  let trace = sample_trace () in
+  let path = tmp "foray_v2.tr" in
+  Tracefile.save ~format:Tracefile.Binary2 path trace;
+  Alcotest.(check bool) "sniffed as v2" true (Tracefile.is_binary2 path);
+  check_equal_traces "v2 round-trip" trace (Tracefile.load path)
+
+let t_v2_smaller_than_v1 () =
+  let trace = sample_trace () in
+  let p1 = tmp "foray_sz_v1.tr" and p2 = tmp "foray_sz_v2.tr" in
+  Tracefile.save ~format:Tracefile.Binary p1 trace;
+  Tracefile.save ~format:Tracefile.Binary2 p2 trace;
+  let size p =
+    let ic = open_in_bin p in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  Alcotest.(check bool) "v2 smaller than v1" true (size p2 < size p1)
+
+let t_v2_mapped_reader () =
+  let trace = sample_trace () in
+  let path = tmp "foray_v2_map.tr" in
+  Tracefile.save ~format:Tracefile.Binary2 path trace;
+  let m = Tracefile.map path in
+  Alcotest.(check int) "frame headers count all events" (List.length trace)
+    (Tracefile.mapped_events m);
+  let sink, get = Event.collector () in
+  Tracefile.iter_mapped m sink;
+  check_equal_traces "mapped decode" trace (get ())
+
+let t_v2_obs_counters () =
+  let trace = sample_trace () in
+  let path = tmp "foray_v2_obs.tr" in
+  Foray_obs.Obs.reset ();
+  Foray_obs.Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Foray_obs.Obs.set_enabled false)
+    (fun () ->
+      Tracefile.save ~frame_events:16 ~format:Tracefile.Binary2 path trace;
+      let m = Tracefile.map path in
+      Tracefile.iter_mapped m Event.null_sink;
+      let v name = Option.value ~default:0 (Foray_obs.Obs.value name) in
+      Alcotest.(check bool) "frames written" true (v "trace.frames_written" > 1);
+      Alcotest.(check int) "frames read = frames written"
+        (v "trace.frames_written") (v "trace.frames_read");
+      Alcotest.(check bool) "bytes mapped covers the file" true
+        (v "trace.bytes_mapped" > 8))
+
+let t_v2_empty_trace () =
+  let path = tmp "foray_v2_empty.tr" in
+  Tracefile.save ~format:Tracefile.Binary2 path [];
+  Alcotest.(check int) "no events" 0 (List.length (Tracefile.load path));
+  Alcotest.(check int) "no mapped events" 0
+    (Tracefile.mapped_events (Tracefile.map path))
+
+let t_v2_frame_boundaries () =
+  (* a tiny frame budget forces many frames, so dictionary reset, address
+     delta reset and context capture all happen mid-trace *)
+  let trace = sample_trace () in
+  let path = tmp "foray_v2_frames.tr" in
+  Tracefile.save ~frame_events:2 ~format:Tracefile.Binary2 path trace;
+  check_equal_traces "tiny frames" trace (Tracefile.load path)
+
+let t_v2_escape_paths () =
+  (* head-byte escapes: loop ids past the 4-bit inline range, more sites
+     than the 3-bit dictionary window, widths outside {1,4,8}, and address
+     deltas in both directions *)
+  let ck loop kind = Event.Checkpoint { loop; kind } in
+  let acc site addr width =
+    Event.Access { site; addr; write = false; sys = true; width }
+  in
+  let trace =
+    ck 15 Event.Loop_enter
+    :: ck 1_000_000 Event.Body_enter
+    :: List.init 12 (fun i -> acc (0x100 + i) (0x7fff_0000 - (i * 4096)) 3)
+    @ [ acc 0x100 16 16; ck 1_000_000 Event.Body_exit;
+        ck 15 Event.Loop_exit ]
+  in
+  let path = tmp "foray_v2_escape.tr" in
+  Tracefile.save ~frame_events:4 ~format:Tracefile.Binary2 path trace;
+  check_equal_traces "escape paths" trace (Tracefile.load path)
+
+let t_v2_truncated () =
+  let trace = sample_trace () in
+  let whole = tmp "foray_v2_trunc_src.tr" in
+  Tracefile.save ~format:Tracefile.Binary2 whole trace;
+  let bytes = read_file whole in
+  List.iter
+    (fun chop ->
+      let path = tmp (Printf.sprintf "foray_v2_trunc_%d.tr" chop) in
+      write_file path (String.sub bytes 0 (String.length bytes - chop));
+      expect_corrupt
+        (Printf.sprintf "v2 chopped %d byte(s)" chop)
+        (fun () -> Tracefile.load path))
+    [ 1; 7; 64 ]
+
+let t_v2_bad_frame_header () =
+  let trace = sample_trace () in
+  let src = tmp "foray_v2_hdr_src.tr" in
+  Tracefile.save ~format:Tracefile.Binary2 src trace;
+  let bytes = Bytes.of_string (read_file src) in
+  (* flip a bit in the first frame's magic (right after the file magic) *)
+  Bytes.set bytes 8 (Char.chr (Char.code (Bytes.get bytes 8) lxor 1));
+  let path = tmp "foray_v2_hdr.tr" in
+  write_file path (Bytes.to_string bytes);
+  expect_corrupt "v2 frame magic" (fun () -> Tracefile.load path);
+  (* oversized body_len walks the next frame off the end of the file *)
+  let bytes = Bytes.of_string (read_file src) in
+  Bytes.set bytes 12 '\xff';
+  Bytes.set bytes 13 '\xff';
+  write_file path (Bytes.to_string bytes);
+  expect_corrupt "v2 oversized body" (fun () -> Tracefile.load path)
+
+(* Differential property: the v2 encoder/decoder agrees with v1 on
+   arbitrary event streams, with a frame budget small enough that frame
+   boundaries land everywhere, including between a checkpoint and its
+   accesses. *)
+let gen_v2_event =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* loop = oneof [ int_bound 14; int_range 15 2_000_000 ] in
+       let* kind =
+         oneofl
+           [ Event.Loop_enter; Event.Body_enter; Event.Body_exit;
+             Event.Loop_exit ]
+       in
+       return (Event.Checkpoint { loop; kind }));
+      (let* site = oneof [ int_bound 6; int_bound 0xfff_ffff ] in
+       let* addr = oneof [ int_bound 0xffff; int_bound 0x3fff_ffff_ffff ] in
+       let* write = bool in
+       let* sys = bool in
+       let* width = oneofl [ 1; 2; 3; 4; 8; 16; 64 ] in
+       return (Event.Access { site; addr; write; sys; width }));
+    ]
+
+let prop_v2_equals_v1 =
+  QCheck2.Test.make ~name:"v1 and v2 round-trip the same stream identically"
+    ~count:150
+    QCheck2.Gen.(list_size (int_range 0 128) gen_v2_event)
+    (fun trace ->
+      let p1 = tmp "foray_q_v1.tr" and p2 = tmp "foray_q_v2.tr" in
+      Tracefile.save ~format:Tracefile.Binary p1 trace;
+      Tracefile.save ~frame_events:4 ~format:Tracefile.Binary2 p2 trace;
+      let b1 = Tracefile.load p1 and b2 = Tracefile.load p2 in
+      List.length b1 = List.length trace
+      && List.length b2 = List.length trace
+      && List.for_all2 Event.equal b1 b2)
+
 let tests =
   [
     Alcotest.test_case "text round-trip" `Quick t_roundtrip_text;
@@ -185,4 +343,14 @@ let tests =
     Alcotest.test_case "bit-flipped magic" `Quick t_bitflipped_magic;
     Alcotest.test_case "corrupt text line" `Quick t_corrupt_text_line;
     Alcotest.test_case "large varints" `Quick t_varint_values;
+    Alcotest.test_case "v2 round-trip" `Quick t_roundtrip_v2;
+    Alcotest.test_case "v2 smaller than v1" `Quick t_v2_smaller_than_v1;
+    Alcotest.test_case "v2 mapped reader" `Quick t_v2_mapped_reader;
+    Alcotest.test_case "v2 obs counters" `Quick t_v2_obs_counters;
+    Alcotest.test_case "v2 empty trace" `Quick t_v2_empty_trace;
+    Alcotest.test_case "v2 tiny frames" `Quick t_v2_frame_boundaries;
+    Alcotest.test_case "v2 head-byte escapes" `Quick t_v2_escape_paths;
+    Alcotest.test_case "v2 truncation" `Quick t_v2_truncated;
+    Alcotest.test_case "v2 damaged frame header" `Quick t_v2_bad_frame_header;
+    QCheck_alcotest.to_alcotest prop_v2_equals_v1;
   ]
