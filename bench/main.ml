@@ -658,14 +658,35 @@ let measure_interp ~reps =
   Span.set_enabled span_was;
   (resolved, unresolved, with_metrics, with_tracing)
 
-let write_json ~path ~section_times ~pipelines ~shard ~interp ~total =
+(* Serving measurement (schema 5): a private forayd on a temp socket
+   driven by the load generator — 4 concurrent clients over a mixed
+   analyze/extract workload, plus the cold/warm cache probe on jpeg (the
+   largest benchmark, so the cached-speedup headline is the one that
+   matters). Runs after measure_interp's Obs.reset, so the hit/miss
+   totals read back over the wire start from zero. *)
+let measure_serve () =
+  let module Serve = Foray_serve.Serve in
+  let path = Serve.temp_socket_path () in
+  let srv = Serve.start (Serve.default_config ~socket_path:path) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Serve.Client.shutdown path with _ -> ());
+      Serve.wait srv;
+      Obs.set_enabled false)
+    (fun () ->
+      Serve.bench ~socket:path ~clients:4
+        ~requests:(if !quick then 5 else 25)
+        ~programs:[ "adpcm"; "gsm"; "fft"; "fig4a" ]
+        ~cold_program:"jpeg")
+
+let write_json ~path ~section_times ~pipelines ~shard ~interp ~serve ~total =
   let resolved, unresolved, with_metrics, with_tracing = interp in
   let b = Buffer.create 4096 in
   let add fmt = Printf.bprintf b fmt in
   add "{\n";
-  add "  \"schema\": 4,\n";
+  add "  \"schema\": 5,\n";
   add "  \"meta\": {\n";
-  add "    \"schema_version\": 4,\n";
+  add "    \"schema_version\": 5,\n";
   add "    \"generated_by\": \"bench/main.exe --json\",\n";
   add "    \"benchmark_set\": [%s],\n"
     (String.concat ", "
@@ -731,6 +752,10 @@ let write_json ~path ~section_times ~pipelines ~shard ~interp ~total =
      else 0.0);
   add "    \"emit_events_per_sec\": %.0f\n" shard.emit_eps;
   add "  },\n";
+  (* Schema 5: the forayd serving record — concurrent mixed traffic
+     against the daemon, latency percentiles, cache totals and the
+     cold-vs-warm (cached) speedup on jpeg. *)
+  add "  \"serve\": %s,\n" (Foray_serve.Serve.bench_result_to_json serve);
   (* Obs.to_json is itself a JSON object, captured during the
      metrics-enabled interpreter pass above. *)
   add "  \"metrics\": %s,\n" (Obs.to_json ());
@@ -830,9 +855,10 @@ let () =
     in
     let shard = measure_shards pipelines in
     let interp = measure_interp ~reps:(if !quick then 3 else 5) in
+    let serve = measure_serve () in
     let section_times = List.map (fun (n, _, dt) -> (n, dt)) rendered in
     write_json ~path:!json_file ~section_times ~pipelines ~shard ~interp
-      ~total:(now () -. t0)
+      ~serve ~total:(now () -. t0)
   end;
   if not !quick then begin
     let b = Buffer.create 256 in

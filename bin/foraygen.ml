@@ -11,6 +11,8 @@
      explain   - per-reference Algorithm-3 inference timelines
      tracecheck - validate an exported Chrome trace file
      faults    - fault-injection campaign over a program's trace
+     serve     - forayd: concurrent analysis daemon with a model cache
+     serve-bench - load-generate against forayd, report latency/cache
 
    Exit codes follow the documented contract (README "Exit and error
    codes"): 0 success, 3 success-but-degraded, 10-15 the typed taxonomy
@@ -1024,6 +1026,206 @@ let faults_cmd =
       const run $ prog_arg $ runs_arg $ seed_arg $ format_arg
       $ json_errors_arg)
 
+(* ---- serve ----------------------------------------------------------- *)
+
+module Serve = Foray_serve.Serve
+module Sjson = Foray_serve.Json
+
+let default_socket () =
+  Filename.concat (Filename.get_temp_dir_name ()) "forayd.sock"
+
+let serve_config ~socket ~jobs ~cache_mb ~max_steps_cap =
+  let base = Serve.default_config ~socket_path:socket in
+  {
+    base with
+    Serve.jobs = (if jobs > 0 then jobs else base.Serve.jobs);
+    cache_bytes = cache_mb * 1024 * 1024;
+    max_steps_cap;
+  }
+
+(* Counter value out of a [metrics] response, the over-the-wire way (the
+   smoke check must exercise the protocol, not peek at the in-process
+   registry). *)
+let wire_counter resp name =
+  match Sjson.member "metrics" resp with
+  | Some m -> (
+      match Sjson.member "counters" m with
+      | Some c -> (
+          match Sjson.member name c with Some (Sjson.Int i) -> i | _ -> 0)
+      | None -> 0)
+  | None -> 0
+
+(* The @serve-smoke contract: fresh daemon on a temp socket, cold analyze
+   (a miss), warm analyze (a hit, byte-identical model), the hit visible
+   through the metrics verb, then a clean shutdown that removes the
+   socket. One process, no backgrounding — fits a dune rule. *)
+let run_serve_smoke ~jobs ~cache_mb =
+  let path = Serve.temp_socket_path () in
+  let srv = Serve.start (serve_config ~socket:path ~jobs ~cache_mb ~max_steps_cap:None) in
+  let failures = ref 0 in
+  let check cond msg =
+    if not cond then begin
+      incr failures;
+      Printf.eprintf "serve-smoke: FAIL: %s\n" msg
+    end
+  in
+  let c = Serve.Client.connect path in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      let analyze () =
+        Serve.Client.rpc c
+          [ ("op", "\"analyze\""); ("program", "\"adpcm\"") ]
+      in
+      let cold = analyze () in
+      check (Sjson.member "status" cold = Some (Sjson.Str "ok"))
+        "cold analyze did not succeed";
+      check (Sjson.member "cached" cold = Some (Sjson.Bool false))
+        "cold analyze claimed a cache hit";
+      let warm = analyze () in
+      check (Sjson.member "cached" warm = Some (Sjson.Bool true))
+        "warm analyze was not served from the cache";
+      check (Sjson.member "model" cold = Sjson.member "model" warm)
+        "cached model differs from the uncached one";
+      check (Sjson.member "model" cold <> None)
+        "analyze response has no model";
+      let metrics = Serve.Client.rpc c [ ("op", "\"metrics\"") ] in
+      check (wire_counter metrics "serve.cache.hits" >= 1)
+        "metrics verb shows no cache hit";
+      check (wire_counter metrics "serve.cache.misses" >= 1)
+        "metrics verb shows no cache miss");
+  Serve.Client.shutdown path;
+  Serve.wait srv;
+  check (not (Sys.file_exists path)) "socket not removed on shutdown";
+  if !failures = 0 then begin
+    Printf.printf "serve-smoke: OK (cold miss, warm hit, clean shutdown)\n";
+    0
+  end
+  else 1
+
+let jobs_serve_arg =
+  let doc = "Worker domains of the analysis pool (0 = one per core)." in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_mb_arg =
+  let doc = "Model cache bound in MiB; 0 disables caching." in
+  Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB" ~doc)
+
+let serve_cmd =
+  let run socket jobs cache_mb max_steps smoke json =
+    guard ~json (fun () ->
+        if smoke then run_serve_smoke ~jobs ~cache_mb
+        else begin
+          let socket = Option.value socket ~default:(default_socket ()) in
+          let srv =
+            Serve.start
+              (serve_config ~socket ~jobs ~cache_mb ~max_steps_cap:max_steps)
+          in
+          Printf.eprintf "forayd: listening on %s\n%!" socket;
+          Serve.wait srv;
+          0
+        end)
+  in
+  let socket_arg =
+    let doc =
+      "Unix-domain socket to listen on (default: forayd.sock under the \
+       temp directory). A stale socket file is replaced."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let cap_arg =
+    let doc = "Server-side ceiling clamped onto every request's max_steps." in
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Self-test: daemon on a temp socket, cold analyze, warm analyze \
+       (must hit the cache, byte-identical model), metrics check, clean \
+       shutdown. Exit 0 iff all checks pass."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run forayd: a daemon answering analyze/extract/metrics requests \
+          over a Unix-domain socket (newline-delimited JSON), with an LRU \
+          model cache and the documented E_* error taxonomy on the wire.")
+    Term.(
+      const run $ socket_arg $ jobs_serve_arg $ cache_mb_arg $ cap_arg
+      $ smoke_arg $ json_errors_arg)
+
+let serve_bench_cmd =
+  let run socket clients requests programs cold jobs cache_mb json =
+    guard ~json (fun () ->
+        let programs =
+          if programs = [] then [ "adpcm"; "fig4a"; "fig7a" ] else programs
+        in
+        let cold_program = Option.value cold ~default:(List.hd programs) in
+        (* no --socket: spin up a private daemon for the duration *)
+        let own, path =
+          match socket with
+          | Some p -> (None, p)
+          | None ->
+              let path = Serve.temp_socket_path () in
+              let srv =
+                Serve.start
+                  (serve_config ~socket:path ~jobs ~cache_mb
+                     ~max_steps_cap:None)
+              in
+              (Some srv, path)
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            match own with
+            | Some srv ->
+                (try Serve.Client.shutdown path with _ -> ());
+                Serve.wait srv
+            | None -> ())
+          (fun () ->
+            let r =
+              Serve.bench ~socket:path ~clients ~requests ~programs
+                ~cold_program
+            in
+            if json then print_endline (Serve.bench_result_to_json r)
+            else print_string (Serve.bench_result_to_string r));
+        0)
+  in
+  let socket_arg =
+    let doc =
+      "Drive an already-running daemon at this socket instead of starting \
+       (and shutting down) a private one."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let clients_arg =
+    let doc = "Concurrent client connections." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let requests_arg =
+    let doc = "Requests per client (alternating analyze/extract)." in
+    Arg.(value & opt int 25 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let programs_arg =
+    let doc = "Comma-separated program mix (default: adpcm,fig4a,fig7a)." in
+    Arg.(value & opt (list string) [] & info [ "programs" ] ~docv:"NAMES" ~doc)
+  in
+  let cold_arg =
+    let doc =
+      "Program for the cold/warm cache probe (default: first of the mix)."
+    in
+    Arg.(value & opt (some string) None & info [ "cold" ] ~docv:"NAME" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Load-generate against forayd: concurrent clients with a mixed \
+          analyze/extract workload; report req/s, p50/p99 latency, cache \
+          hit rate and the cold-vs-warm speedup.")
+    Term.(
+      const run $ socket_arg $ clients_arg $ requests_arg $ programs_arg
+      $ cold_arg $ jobs_serve_arg $ cache_mb_arg $ json_errors_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -1038,4 +1240,5 @@ let () =
        (Cmd.group info
           [ list_cmd; extract_cmd; annotate_cmd; trace_cmd; analyze_cmd;
             tree_cmd; validate_cmd; stability_cmd; compare_cmd; tables_cmd;
-            spm_cmd; metrics_cmd; explain_cmd; tracecheck_cmd; faults_cmd ]))
+            spm_cmd; metrics_cmd; explain_cmd; tracecheck_cmd; faults_cmd;
+            serve_cmd; serve_bench_cmd ]))

@@ -5,6 +5,7 @@ type t =
   | Trace_corrupt of { offset : int; kind : string; events_salvaged : int }
   | Budget_exceeded of { budget : string; limit : int; spent : int }
   | Not_found_program of { name : string }
+  | Bad_request of { msg : string }
 
 let code = function
   | Parse _ -> "E_PARSE"
@@ -13,6 +14,7 @@ let code = function
   | Trace_corrupt _ -> "E_TRACE_CORRUPT"
   | Budget_exceeded _ -> "E_BUDGET"
   | Not_found_program _ -> "E_NOT_FOUND"
+  | Bad_request _ -> "E_BAD_REQUEST"
 
 let exit_code = function
   | Parse _ -> 10
@@ -21,6 +23,7 @@ let exit_code = function
   | Trace_corrupt _ -> 13
   | Budget_exceeded _ -> 14
   | Not_found_program _ -> 15
+  | Bad_request _ -> 16
 
 let to_string = function
   | Parse { msg; line } ->
@@ -40,6 +43,7 @@ let to_string = function
   | Not_found_program { name } ->
       Printf.sprintf "unknown program %S (not a benchmark, figure or file)"
         name
+  | Bad_request { msg } -> Printf.sprintf "bad request: %s" msg
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -74,6 +78,7 @@ let to_json e =
           (json_escape budget) limit spent
     | Not_found_program { name } ->
         Printf.sprintf ", \"name\": \"%s\"" (json_escape name)
+    | Bad_request _ -> ""
   in
   Printf.sprintf "{\"error\": \"%s\", \"exit\": %d, \"message\": \"%s\"%s}"
     (code e) (exit_code e)

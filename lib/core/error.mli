@@ -16,6 +16,7 @@
     E_TRACE_CORRUPT    13  trace file unusable / corrupt under --strict
     E_BUDGET           14  a resource budget was exhausted (strict mode)
     E_NOT_FOUND        15  program name is no benchmark, figure or file
+    E_BAD_REQUEST      16  malformed daemon request (bad JSON, unknown op)
     v}
 
     Exit code 0 is success and 3 is "succeeded, but degraded" (partial
@@ -35,6 +36,10 @@ type t =
           ["max_trace_events"]. Only an error in strict mode; the default
           pipeline turns budget exhaustion into a degraded outcome. *)
   | Not_found_program of { name : string }
+  | Bad_request of { msg : string }
+      (** A [forayd] protocol violation: request not valid JSON, not an
+          object, missing/mistyped fields, or an unknown [op]. Never
+          produced by the batch pipeline itself. *)
 
 (** Stable machine-readable code, e.g. ["E_PARSE"]. *)
 val code : t -> string

@@ -336,3 +336,21 @@ let run_offline ?(config = Interp.default_config)
           Ok ({ result; degraded = budget_degradations sim }, trace))
 
 let hints r = Hints.duplication_hints ~func_of_loop:r.func_of_loop r.tree
+
+(* Every config field that can change the extracted model is folded into
+   the key; [deadline_ms] is deliberately left out because it is a
+   wall-clock bound, not a model parameter — two runs that both complete
+   under different deadlines produce identical models, and degraded
+   (budget-stopped) results must never be cached anyway. *)
+let model_key ?(config = Interp.default_config)
+    ?(thresholds = Filter.default) src =
+  let descr =
+    Printf.sprintf
+      "scalars=%b steps=%d events=%s seed=%d nexec=%d nloc=%d"
+      config.Interp.trace_scalars config.Interp.max_steps
+      (match config.Interp.max_trace_events with
+      | Some n -> string_of_int n
+      | None -> "-")
+      config.Interp.rand_seed thresholds.Filter.nexec thresholds.Filter.nloc
+  in
+  Digest.to_hex (Digest.string src) ^ ":" ^ Digest.to_hex (Digest.string descr)

@@ -135,5 +135,19 @@ val analyze_trace :
 (** Duplication hints for the analyzed program (Figure 9). *)
 val hints : result -> Hints.hint list
 
+(** [model_key ?config ?thresholds src] is a stable cache key over
+    [(source digest, analysis config)]: equal keys guarantee {!run_source}
+    produces byte-identical models. Every model-determining config field
+    participates ([trace_scalars], [max_steps], [max_trace_events],
+    [rand_seed], the Step-4 thresholds); [deadline_ms] does not, because a
+    wall-clock bound never changes a run that completes — callers caching
+    by this key must simply refuse to cache degraded outcomes. The daemon
+    ([Foray_serve]) keys its model cache with exactly this. *)
+val model_key :
+  ?config:Minic_sim.Interp.config ->
+  ?thresholds:Filter.thresholds ->
+  string ->
+  string
+
 (** Map each loop id to the name of the function containing it. *)
 val loop_functions : Minic.Ast.program -> (int * string) list

@@ -210,6 +210,15 @@ let value name =
       | Some (Ccounter v) | Some (Cgauge v) -> Some (Atomic.get v)
       | _ -> None)
 
+let values ?(prefix = "") () =
+  List.filter_map
+    (fun (k, cell) ->
+      match cell with
+      | (Ccounter v | Cgauge v) when String.starts_with ~prefix k ->
+          Some (k, Atomic.get v)
+      | _ -> None)
+    (sorted_bindings ())
+
 let timer_seconds name =
   with_lock (fun () ->
       match Hashtbl.find_opt registry name with

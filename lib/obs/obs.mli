@@ -90,6 +90,11 @@ val log_src : Logs.src
 (** Current value of the counter or gauge with this canonical name. *)
 val value : string -> int option
 
+(** Every counter and gauge whose canonical name starts with [prefix]
+    (default: all), sorted by name — how the daemon's [metrics] verb and
+    the serve smoke check read the [serve.*] family in one call. *)
+val values : ?prefix:string -> unit -> (string * int) list
+
 (** Total seconds accumulated by the timer with this canonical name. *)
 val timer_seconds : string -> float option
 

@@ -1,0 +1,41 @@
+(** A minimal JSON reader for the [forayd] wire protocol.
+
+    The daemon's requests are single-line JSON objects with scalar fields,
+    so this is a small recursive-descent parser over the full JSON grammar
+    (objects, arrays, strings with escapes, numbers, booleans, null) with
+    no dependencies — the response side stays on the hand-rolled emitters
+    the rest of the codebase already uses ({!Foray_core.Error.json_escape}).
+
+    Numbers without a fractional part or exponent parse as [Int]; anything
+    else as [Float]. Duplicate object keys keep their first occurrence
+    (lookup order of {!member}). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [parse s] reads one JSON value spanning all of [s] (surrounding
+    whitespace allowed); trailing garbage is an error. The error string
+    names the byte offset. *)
+val parse : string -> (t, string) result
+
+(** First binding of [key] in an object; [None] on missing key or
+    non-object. *)
+val member : string -> t -> t option
+
+(** {1 Schema accessors}
+
+    [None] when the field is absent or [Null]; [Error] strings name the
+    field when it is present with the wrong type — the daemon turns these
+    into [E_BAD_REQUEST]. *)
+
+val str_field : string -> t -> (string option, string) result
+
+val int_field : string -> t -> (int option, string) result
+
+val bool_field : string -> t -> (bool option, string) result

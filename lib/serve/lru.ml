@@ -1,0 +1,78 @@
+type 'a node = {
+  n_key : string;
+  n_value : 'a;
+  n_bytes : int;
+  mutable n_prev : 'a node option;  (* toward most-recent *)
+  mutable n_next : 'a node option;  (* toward least-recent *)
+}
+
+type 'a t = {
+  lru_max : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
+  mutable total : int;
+}
+
+let create ~max_bytes =
+  if max_bytes < 0 then invalid_arg "Lru.create: negative max_bytes";
+  { lru_max = max_bytes; tbl = Hashtbl.create 64; head = None; tail = None;
+    total = 0 }
+
+let unlink t node =
+  (match node.n_prev with
+  | Some p -> p.n_next <- node.n_next
+  | None -> t.head <- node.n_next);
+  (match node.n_next with
+  | Some nx -> nx.n_prev <- node.n_prev
+  | None -> t.tail <- node.n_prev);
+  node.n_prev <- None;
+  node.n_next <- None
+
+let push_front t node =
+  node.n_next <- t.head;
+  node.n_prev <- None;
+  (match t.head with Some h -> h.n_prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.n_value
+
+let drop t node =
+  unlink t node;
+  Hashtbl.remove t.tbl node.n_key;
+  t.total <- t.total - node.n_bytes
+
+let add t ~key ~bytes v =
+  if t.lru_max = 0 || bytes > t.lru_max then 0
+  else begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some old -> drop t old
+    | None -> ());
+    let node =
+      { n_key = key; n_value = v; n_bytes = bytes; n_prev = None;
+        n_next = None }
+    in
+    Hashtbl.replace t.tbl key node;
+    push_front t node;
+    t.total <- t.total + bytes;
+    let evicted = ref 0 in
+    while t.total > t.lru_max do
+      match t.tail with
+      | Some victim ->
+          drop t victim;
+          incr evicted
+      | None -> assert false (* total > 0 implies a tail *)
+    done;
+    !evicted
+  end
+
+let entries t = Hashtbl.length t.tbl
+let bytes t = t.total
+let max_bytes t = t.lru_max

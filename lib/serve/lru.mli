@@ -1,0 +1,34 @@
+(** A byte-bounded LRU map, the shape of the daemon's model cache.
+
+    Entries carry an explicit byte cost; insertions that push the total
+    over [max_bytes] evict least-recently-used entries until the bound
+    holds again. {!find} counts as a use. O(1) find/add via a hash table
+    over intrusive doubly-linked nodes.
+
+    {b Not thread-safe} — the daemon serializes access behind its own
+    mutex (contention is one hash lookup, never the analysis itself). *)
+
+type 'a t
+
+(** [create ~max_bytes] with [max_bytes >= 0]; [0] disables caching
+    entirely (every [add] is a no-op). *)
+val create : max_bytes:int -> 'a t
+
+(** [find t key] returns the entry and marks it most-recently used. *)
+val find : 'a t -> string -> 'a option
+
+(** [add t ~key ~bytes v] inserts or replaces, then evicts from the LRU
+    end until the byte bound holds; returns how many entries were evicted
+    (the replaced entry, if any, is not counted). An entry larger than
+    [max_bytes] on its own is not inserted at all — it would only flush
+    the whole cache to hold a single unshareable result. *)
+val add : 'a t -> key:string -> bytes:int -> 'a -> int
+
+(** Current number of entries. *)
+val entries : 'a t -> int
+
+(** Current total byte cost. *)
+val bytes : 'a t -> int
+
+(** The configured bound. *)
+val max_bytes : 'a t -> int

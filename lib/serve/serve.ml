@@ -1,0 +1,724 @@
+module Ferr = Foray_core.Error
+module Pipeline = Foray_core.Pipeline
+module Filter = Foray_core.Filter
+module Model = Foray_core.Model
+module Obs = Foray_obs.Obs
+module Parallel = Foray_util.Parallel
+module Interp = Minic_sim.Interp
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+
+let m_requests op = Obs.counter ~labels:[ ("op", op) ] "serve.requests"
+let m_errors = lazy (Obs.counter "serve.errors")
+let m_connections = lazy (Obs.counter "serve.connections")
+let m_cache_hits = lazy (Obs.counter "serve.cache.hits")
+let m_cache_misses = lazy (Obs.counter "serve.cache.misses")
+let m_cache_evictions = lazy (Obs.counter "serve.cache.evictions")
+let m_cache_entries = lazy (Obs.gauge "serve.cache.entries")
+let m_cache_bytes = lazy (Obs.gauge "serve.cache.bytes")
+
+let m_request_ms =
+  lazy
+    (Obs.histogram
+       ~bounds:[ 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 2000; 5000 ]
+       "serve.request_ms")
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and server state                                     *)
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  cache_bytes : int;
+  max_steps_cap : int option;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = Parallel.default_jobs ();
+    cache_bytes = 64 * 1024 * 1024;
+    max_steps_cap = None;
+  }
+
+(* The cached product of one analysis: everything both [analyze] and
+   [extract] responses need, so the two ops share cache entries and a
+   cached response is byte-identical to the uncached one. *)
+type payload = {
+  mp_model : string;
+  mp_n_refs : int;
+  mp_n_loops : int;
+  mp_steps : int;
+  mp_accesses : int;
+  mp_events : int;
+}
+
+type server = {
+  s_cfg : config;
+  s_fd : Unix.file_descr;
+  s_pool : Parallel.pool;
+  s_cache : payload Lru.t;
+  s_cache_mutex : Mutex.t;
+  s_stop : bool Atomic.t;
+  s_conn_mutex : Mutex.t;
+  s_conn_cond : Condition.t;
+  mutable s_active : int;
+  mutable s_acceptor : unit Domain.t option;
+}
+
+let socket_path srv = srv.s_cfg.socket_path
+
+let temp_counter = Atomic.make 0
+
+let temp_socket_path () =
+  (* sun_path is ~108 bytes; keep the name short and under the temp dir. *)
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "forayd-%d-%d.sock" (Unix.getpid ())
+       (Atomic.fetch_and_add temp_counter 1))
+
+(* ------------------------------------------------------------------ *)
+(* Line-oriented socket IO                                            *)
+
+(* A hand-rolled buffered reader over [Unix.read]. Channels
+   ([in_channel]/[out_channel] pairs over one fd) are avoided on purpose:
+   closing either channel closes the shared fd, and with connection
+   threads racing a shutdown drain that invites double-close/fd-reuse
+   bugs. *)
+type reader = {
+  r_fd : Unix.file_descr;
+  r_chunk : bytes;
+  mutable r_pending : string;
+  mutable r_eof : bool;
+}
+
+let make_reader fd =
+  { r_fd = fd; r_chunk = Bytes.create 8192; r_pending = ""; r_eof = false }
+
+let rec read_line r =
+  match String.index_opt r.r_pending '\n' with
+  | Some i ->
+      let line = String.sub r.r_pending 0 i in
+      r.r_pending <-
+        String.sub r.r_pending (i + 1) (String.length r.r_pending - i - 1);
+      Some line
+  | None ->
+      if r.r_eof then
+        if r.r_pending = "" then None
+        else begin
+          (* final line without a trailing newline *)
+          let line = r.r_pending in
+          r.r_pending <- "";
+          Some line
+        end
+      else begin
+        let n = Unix.read r.r_fd r.r_chunk 0 (Bytes.length r.r_chunk) in
+        if n = 0 then r.r_eof <- true
+        else r.r_pending <- r.r_pending ^ Bytes.sub_string r.r_chunk 0 n;
+        read_line r
+      end
+
+let write_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd data !off (len - !off)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                   *)
+
+let render_id j =
+  match Json.member "id" j with
+  | Some (Json.Int i) -> string_of_int i
+  | Some (Json.Str s) -> Printf.sprintf "\"%s\"" (Ferr.json_escape s)
+  | _ -> "null"
+
+let render_error ~id e =
+  Obs.incr (Lazy.force m_errors);
+  Printf.sprintf "{\"id\": %s, \"status\": \"error\", \"error\": %s}" id
+    (Ferr.to_json e)
+
+let render_ok ~id ~op ~cached ~degraded p =
+  let buf = Buffer.create (String.length p.mp_model + 256) in
+  Printf.bprintf buf
+    "{\"id\": %s, \"status\": \"ok\", \"op\": \"%s\", \"cached\": %b, \
+     \"model\": \"%s\""
+    id op cached
+    (Ferr.json_escape p.mp_model);
+  if op <> "extract" then
+    Printf.bprintf buf
+      ", \"n_refs\": %d, \"n_loops\": %d, \"steps\": %d, \"accesses\": %d, \
+       \"events\": %d"
+      p.mp_n_refs p.mp_n_loops p.mp_steps p.mp_accesses p.mp_events;
+  Printf.bprintf buf ", \"degraded\": [%s]}"
+    (String.concat ", " (List.map Pipeline.degradation_to_json degraded));
+  Buffer.contents buf
+
+let cache_find srv key =
+  Mutex.lock srv.s_cache_mutex;
+  let hit = Lru.find srv.s_cache key in
+  Mutex.unlock srv.s_cache_mutex;
+  (match hit with
+  | Some _ -> Obs.incr (Lazy.force m_cache_hits)
+  | None -> Obs.incr (Lazy.force m_cache_misses));
+  hit
+
+let cache_add srv key p =
+  let bytes = String.length p.mp_model + String.length key + 128 in
+  Mutex.lock srv.s_cache_mutex;
+  let evicted = Lru.add srv.s_cache ~key ~bytes p in
+  let entries = Lru.entries srv.s_cache and total = Lru.bytes srv.s_cache in
+  Mutex.unlock srv.s_cache_mutex;
+  Obs.add (Lazy.force m_cache_evictions) evicted;
+  Obs.set (Lazy.force m_cache_entries) entries;
+  Obs.set (Lazy.force m_cache_bytes) total
+
+(* [finish_degraded]'s strict arm, daemon-side: the first shortfall as the
+   typed error the CLI would have exited with. *)
+let error_of_degradation = function
+  | Pipeline.Degraded_budget { budget; limit; spent; _ } ->
+      Ferr.Budget_exceeded { budget; limit; spent }
+  | Pipeline.Degraded_corrupt { offset; kind; salvaged; _ } ->
+      Ferr.Trace_corrupt { offset; kind; events_salvaged = salvaged }
+
+type request = {
+  rq_op : string;
+  rq_program : string option;
+  rq_source : string option;
+  rq_trace : string option;
+  rq_config : Interp.config;
+  rq_thresholds : Filter.thresholds;
+  rq_cache : bool;
+  rq_strict : bool;
+  rq_shards : int;
+  rq_jobs : int option;
+}
+
+let parse_request srv j op =
+  let ( let* ) = Result.bind in
+  let field f k =
+    Result.map_error (fun msg -> Ferr.Bad_request { msg }) (f k j)
+  in
+  let* program = field Json.str_field "program" in
+  let* source = field Json.str_field "source" in
+  let* trace = field Json.str_field "trace" in
+  let* max_steps = field Json.int_field "max_steps" in
+  let* deadline_ms = field Json.int_field "deadline_ms" in
+  let* max_trace_events = field Json.int_field "max_trace_events" in
+  let* nexec = field Json.int_field "nexec" in
+  let* nloc = field Json.int_field "nloc" in
+  let* trace_scalars = field Json.bool_field "trace_scalars" in
+  let* use_cache = field Json.bool_field "cache" in
+  let* strict = field Json.bool_field "strict" in
+  let* shards = field Json.int_field "shards" in
+  let* jobs = field Json.int_field "jobs" in
+  let base = Interp.default_config in
+  let max_steps =
+    let requested = Option.value max_steps ~default:base.Interp.max_steps in
+    match srv.s_cfg.max_steps_cap with
+    | Some cap -> min requested cap
+    | None -> requested
+  in
+  let config =
+    {
+      base with
+      Interp.trace_scalars =
+        Option.value trace_scalars ~default:base.Interp.trace_scalars;
+      max_steps;
+      deadline_ms =
+        (match deadline_ms with Some _ -> deadline_ms | None -> base.Interp.deadline_ms);
+      max_trace_events =
+        (match max_trace_events with
+        | Some _ -> max_trace_events
+        | None -> base.Interp.max_trace_events);
+    }
+  in
+  let thresholds =
+    {
+      Filter.nexec = Option.value nexec ~default:Filter.default.Filter.nexec;
+      nloc = Option.value nloc ~default:Filter.default.Filter.nloc;
+    }
+  in
+  Ok
+    {
+      rq_op = op;
+      rq_program = program;
+      rq_source = source;
+      rq_trace = trace;
+      rq_config = config;
+      rq_thresholds = thresholds;
+      rq_cache = Option.value use_cache ~default:true;
+      rq_strict = Option.value strict ~default:false;
+      rq_shards = Option.value shards ~default:1;
+      rq_jobs = jobs;
+    }
+
+let payload_of_outcome (r : Pipeline.result) =
+  {
+    mp_model = Model.to_c r.Pipeline.model;
+    mp_n_refs = Model.n_refs r.Pipeline.model;
+    mp_n_loops = Model.n_loops r.Pipeline.model;
+    mp_steps = r.Pipeline.sim.Interp.steps;
+    mp_accesses = r.Pipeline.sim.Interp.accesses;
+    mp_events = Foray_trace.Tstats.total_accesses r.Pipeline.tstats;
+  }
+
+(* Analyze a program source: cache lookup, then the full pipeline on the
+   domain pool. Only complete (non-degraded) outcomes enter the cache, so
+   a hit can always claim [degraded: []]. *)
+let analyze_source srv rq src =
+  let key = Pipeline.model_key ~config:rq.rq_config ~thresholds:rq.rq_thresholds src in
+  match if rq.rq_cache then cache_find srv key else None with
+  | Some p -> Ok (p, true, [])
+  | None -> (
+      let outcome =
+        Parallel.await
+          (Parallel.async srv.s_pool (fun () ->
+               Pipeline.run_source ~config:rq.rq_config
+                 ~thresholds:rq.rq_thresholds src))
+      in
+      match outcome with
+      | Error e -> Error e
+      | Ok { Pipeline.degraded = d :: _; _ } when rq.rq_strict ->
+          Error (error_of_degradation d)
+      | Ok { Pipeline.result = r; degraded } ->
+          let p = payload_of_outcome r in
+          if rq.rq_cache && degraded = [] then cache_add srv key p;
+          Ok (p, false, degraded))
+
+(* Analyze a stored trace file (Steps 3-4 only): keyed by content digest
+   plus the Step-4 thresholds — the only knobs that change the model of a
+   stored trace (shard count is bit-identical by construction). *)
+let analyze_trace srv rq path =
+  if not (Sys.file_exists path) then
+    Error (Ferr.Not_found_program { name = path })
+  else
+    match Digest.file path with
+    | exception Sys_error _ -> Error (Ferr.Not_found_program { name = path })
+    | digest -> (
+        let key =
+          Printf.sprintf "trace:%s:%d:%d" (Digest.to_hex digest)
+            rq.rq_thresholds.Filter.nexec rq.rq_thresholds.Filter.nloc
+        in
+        match if rq.rq_cache then cache_find srv key else None with
+        | Some p -> Ok (p, true, [])
+        | None -> (
+            let res =
+              Parallel.await
+                (Parallel.async srv.s_pool (fun () ->
+                     Pipeline.analyze_trace ~strict:rq.rq_strict
+                       ~shards:rq.rq_shards ?jobs:rq.rq_jobs path))
+            in
+            match res with
+            | Error { Foray_trace.Tracefile.offset; kind; events_before } ->
+                Error
+                  (Ferr.Trace_corrupt
+                     { offset; kind; events_salvaged = events_before })
+            | Ok ((tree, tstats), salvage) ->
+                let model =
+                  Model.of_tree ~thresholds:rq.rq_thresholds tree
+                in
+                let open Foray_trace.Tracefile in
+                let degraded =
+                  if salvage.resyncs = 0 && not salvage.truncated_tail then []
+                  else
+                    [
+                      Pipeline.Degraded_corrupt
+                        {
+                          offset =
+                            (match salvage.first_errors with
+                            | (off, _) :: _ -> off
+                            | [] -> -1);
+                          kind =
+                            (match salvage.first_errors with
+                            | (_, k) :: _ -> k
+                            | [] -> "unknown");
+                          salvaged = salvage.events;
+                          resyncs = salvage.resyncs;
+                          bytes_skipped = salvage.bytes_skipped;
+                        };
+                    ]
+                in
+                let p =
+                  {
+                    mp_model = Model.to_c model;
+                    mp_n_refs = Model.n_refs model;
+                    mp_n_loops = Model.n_loops model;
+                    mp_steps = 0;
+                    mp_accesses =
+                      Foray_trace.Tstats.total_accesses tstats;
+                    mp_events = salvage.events;
+                  }
+                in
+                if rq.rq_cache && degraded = [] then cache_add srv key p;
+                Ok (p, false, degraded)))
+
+let handle_analyze srv j ~id ~op =
+  match
+    let ( let* ) = Result.bind in
+    let* rq = parse_request srv j op in
+    match rq.rq_trace with
+    | Some path -> analyze_trace srv rq path
+    | None -> (
+        let* src =
+          match (rq.rq_source, rq.rq_program) with
+          | Some s, _ -> Ok s
+          | None, Some name -> Foray_suite.Suite.load name
+          | None, None ->
+              Error
+                (Ferr.Bad_request
+                   {
+                     msg =
+                       Printf.sprintf
+                         "%s needs \"program\", \"source\" or \"trace\"" op;
+                   })
+        in
+        analyze_source srv rq src)
+  with
+  | Ok (p, cached, degraded) -> render_ok ~id ~op ~cached ~degraded p
+  | Error e -> render_error ~id e
+
+(* One request line in, one response line out. Returns the response and
+   whether the connection (or the whole server) should wind down. *)
+let handle_line srv line =
+  match Json.parse line with
+  | Error msg ->
+      (render_error ~id:"null" (Ferr.Bad_request { msg }), false)
+  | Ok j -> (
+      let id = render_id j in
+      match Json.str_field "op" j with
+      | Error msg -> (render_error ~id (Ferr.Bad_request { msg }), false)
+      | Ok None ->
+          (render_error ~id (Ferr.Bad_request { msg = "missing \"op\"" }), false)
+      | Ok (Some op) -> (
+          Obs.incr (m_requests op);
+          match op with
+          | "ping" ->
+              ( Printf.sprintf "{\"id\": %s, \"status\": \"ok\", \"op\": \"ping\"}" id,
+                false )
+          | "metrics" ->
+              ( Printf.sprintf
+                  "{\"id\": %s, \"status\": \"ok\", \"op\": \"metrics\", \
+                   \"metrics\": %s}"
+                  id (Obs.to_json ()),
+                false )
+          | "shutdown" ->
+              Atomic.set srv.s_stop true;
+              ( Printf.sprintf
+                  "{\"id\": %s, \"status\": \"ok\", \"op\": \"shutdown\"}" id,
+                true )
+          | "analyze" | "extract" -> (
+              match handle_analyze srv j ~id ~op with
+              | resp -> (resp, false)
+              | exception e -> (
+                  (* a worker exception that escaped the taxonomy must
+                     never kill the daemon — or poison other clients *)
+                  match Ferr.of_exn e with
+                  | Some fe -> (render_error ~id fe, false)
+                  | None ->
+                      ( render_error ~id
+                          (Ferr.Runtime
+                             {
+                               loc = "serve";
+                               step = -1;
+                               msg = Printexc.to_string e;
+                             }),
+                        false )))
+          | other ->
+              ( render_error ~id
+                  (Ferr.Bad_request
+                     { msg = Printf.sprintf "unknown op %S" other }),
+                false )))
+
+(* Wake the acceptor blocked in [Unix.accept]: connect to ourselves and
+   hang up. Done after every shutdown reply, by the connection thread. *)
+let poke srv =
+  match Unix.socket PF_UNIX SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.connect fd (ADDR_UNIX srv.s_cfg.socket_path)
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let serve_connection srv fd =
+  let reader = make_reader fd in
+  let rec loop () =
+    match read_line reader with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+        let t0 = Unix.gettimeofday () in
+        let resp, wind_down = handle_line srv line in
+        Obs.observe
+          (Lazy.force m_request_ms)
+          (int_of_float ((Unix.gettimeofday () -. t0) *. 1000.0));
+        write_line fd resp;
+        if wind_down then poke srv else loop ()
+  in
+  (* a client hanging up mid-request or mid-response is its own problem *)
+  try loop () with Unix.Unix_error _ -> ()
+
+let accept_loop srv =
+  let rec loop () =
+    if Atomic.get srv.s_stop then ()
+    else
+      match Unix.accept srv.s_fd with
+      | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> if Atomic.get srv.s_stop then () else ()
+      | cfd, _ ->
+          if Atomic.get srv.s_stop then (
+            (try Unix.close cfd with Unix.Unix_error _ -> ()))
+          else begin
+            Obs.incr (Lazy.force m_connections);
+            Mutex.lock srv.s_conn_mutex;
+            srv.s_active <- srv.s_active + 1;
+            Mutex.unlock srv.s_conn_mutex;
+            ignore
+              (Thread.create
+                 (fun () ->
+                   Fun.protect
+                     ~finally:(fun () ->
+                       (try Unix.close cfd with Unix.Unix_error _ -> ());
+                       Mutex.lock srv.s_conn_mutex;
+                       srv.s_active <- srv.s_active - 1;
+                       Condition.broadcast srv.s_conn_cond;
+                       Mutex.unlock srv.s_conn_mutex)
+                     (fun () -> serve_connection srv cfd))
+                 ());
+            loop ()
+          end
+  in
+  loop ();
+  (* drain in-flight connections before tearing anything down *)
+  Mutex.lock srv.s_conn_mutex;
+  while srv.s_active > 0 do
+    Condition.wait srv.s_conn_cond srv.s_conn_mutex
+  done;
+  Mutex.unlock srv.s_conn_mutex;
+  Parallel.shutdown_pool srv.s_pool;
+  (try Unix.close srv.s_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink srv.s_cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+
+let remove_stale path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+  | { Unix.st_kind = S_SOCK; _ } -> Unix.unlink path
+  | _ ->
+      Ferr.raise_error
+        (Ferr.Bad_request
+           { msg = Printf.sprintf "%s exists and is not a socket" path })
+
+let start cfg =
+  if cfg.jobs < 1 then invalid_arg "Serve.start: jobs must be >= 1";
+  Obs.set_enabled true;
+  (* a client vanishing mid-response must be an EPIPE error, not a kill *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  remove_stale cfg.socket_path;
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (match Unix.bind fd (ADDR_UNIX cfg.socket_path) with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  Unix.listen fd 64;
+  let srv =
+    {
+      s_cfg = cfg;
+      s_fd = fd;
+      s_pool = Parallel.create_pool ~jobs:cfg.jobs ();
+      s_cache = Lru.create ~max_bytes:cfg.cache_bytes;
+      s_cache_mutex = Mutex.create ();
+      s_stop = Atomic.make false;
+      s_conn_mutex = Mutex.create ();
+      s_conn_cond = Condition.create ();
+      s_active = 0;
+      s_acceptor = None;
+    }
+  in
+  srv.s_acceptor <- Some (Domain.spawn (fun () -> accept_loop srv));
+  srv
+
+let wait srv =
+  match srv.s_acceptor with Some d -> Domain.join d | None -> ()
+
+let run cfg = wait (start cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                             *)
+
+module Client = struct
+  type t = { c_fd : Unix.file_descr; c_reader : reader }
+
+  let connect path =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    (match Unix.connect fd (ADDR_UNIX path) with
+    | () -> ()
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e);
+    { c_fd = fd; c_reader = make_reader fd }
+
+  let request t line =
+    write_line t.c_fd line;
+    match read_line t.c_reader with
+    | Some resp -> resp
+    | None -> failwith "Serve.Client.request: server closed the connection"
+
+  let rpc t fields =
+    let line =
+      "{"
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "\"%s\": %s" (Ferr.json_escape k) v)
+             fields)
+      ^ "}"
+    in
+    match Json.parse (request t line) with
+    | Ok j -> j
+    | Error msg -> failwith ("Serve.Client.rpc: bad response JSON: " ^ msg)
+
+  let close t = try Unix.close t.c_fd with Unix.Unix_error _ -> ()
+
+  let shutdown path =
+    let t = connect path in
+    Fun.protect
+      ~finally:(fun () -> close t)
+      (fun () -> ignore (request t "{\"op\": \"shutdown\"}"))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Load generator                                                     *)
+
+type bench_result = {
+  br_clients : int;
+  br_requests : int;
+  br_wall_s : float;
+  br_rps : float;
+  br_p50_ms : float;
+  br_p99_ms : float;
+  br_hits : int;
+  br_misses : int;
+  br_hit_rate : float;
+  br_cold_ms : float;
+  br_warm_ms : float;
+  br_warm_speedup : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+let timed_request client line =
+  let t0 = Unix.gettimeofday () in
+  let resp = Client.request client line in
+  let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  (resp, dt)
+
+let analyze_line prog =
+  Printf.sprintf "{\"op\": \"analyze\", \"program\": \"%s\"}"
+    (Ferr.json_escape prog)
+
+let extract_line prog =
+  Printf.sprintf "{\"op\": \"extract\", \"program\": \"%s\"}"
+    (Ferr.json_escape prog)
+
+let metric_value j name =
+  match Json.member "metrics" j with
+  | Some m -> (
+      match Json.member "counters" m with
+      | Some c -> (
+          match Json.member name c with Some (Json.Int i) -> i | _ -> 0)
+      | None -> 0)
+  | None -> 0
+
+let bench ~socket ~clients ~requests ~programs ~cold_program =
+  if programs = [] then invalid_arg "Serve.bench: programs must be non-empty";
+  let progs = Array.of_list programs in
+  (* cold/warm probe first: on a fresh daemon the first analyze of
+     [cold_program] is a guaranteed miss, the immediate repeat a hit *)
+  let cold_ms, warm_ms =
+    let c = Client.connect socket in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let _, cold = timed_request c (analyze_line cold_program) in
+        let _, warm = timed_request c (analyze_line cold_program) in
+        (cold, warm))
+  in
+  (* soak: [clients] domains, each its own connection, alternating
+     analyze/extract over the program mix *)
+  let t0 = Unix.gettimeofday () in
+  let per_client =
+    Parallel.map ~jobs:clients
+      (fun ci ->
+        let c = Client.connect socket in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            List.init requests (fun i ->
+                let prog = progs.((ci + i) mod Array.length progs) in
+                let line =
+                  if i mod 2 = 0 then analyze_line prog else extract_line prog
+                in
+                let resp, dt = timed_request c line in
+                (match Json.parse resp with
+                | Ok _ -> ()
+                | Error msg ->
+                    failwith ("serve-bench: malformed response: " ^ msg));
+                dt)))
+      (List.init clients Fun.id)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let lat = Array.of_list (List.concat per_client) in
+  Array.sort compare lat;
+  let total = Array.length lat in
+  (* cache totals over the daemon's lifetime, via the metrics op *)
+  let hits, misses =
+    let c = Client.connect socket in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let j = Client.rpc c [ ("op", "\"metrics\"") ] in
+        (metric_value j "serve.cache.hits", metric_value j "serve.cache.misses"))
+  in
+  {
+    br_clients = clients;
+    br_requests = total;
+    br_wall_s = wall_s;
+    br_rps = (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
+    br_p50_ms = percentile lat 0.50;
+    br_p99_ms = percentile lat 0.99;
+    br_hits = hits;
+    br_misses = misses;
+    br_hit_rate =
+      (let denom = hits + misses in
+       if denom = 0 then 0.0 else float_of_int hits /. float_of_int denom);
+    br_cold_ms = cold_ms;
+    br_warm_ms = warm_ms;
+    br_warm_speedup = (if warm_ms > 0.0 then cold_ms /. warm_ms else 0.0);
+  }
+
+let bench_result_to_string r =
+  Printf.sprintf
+    "serve: %d clients, %d requests in %.2fs = %.1f req/s\n\
+     latency: p50 %.2fms  p99 %.2fms\n\
+     cache: %d hits / %d misses (%.1f%% hit rate)\n\
+     cold %.2fms -> warm %.2fms (%.1fx)\n"
+    r.br_clients r.br_requests r.br_wall_s r.br_rps r.br_p50_ms r.br_p99_ms
+    r.br_hits r.br_misses (100.0 *. r.br_hit_rate) r.br_cold_ms r.br_warm_ms
+    r.br_warm_speedup
+
+let bench_result_to_json r =
+  Printf.sprintf
+    "{\"clients\": %d, \"requests\": %d, \"wall_s\": %.6f, \"rps\": %.2f, \
+     \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hits\": %d, \
+     \"cache_misses\": %d, \"hit_rate\": %.4f, \"cold_ms\": %.3f, \
+     \"warm_ms\": %.3f, \"warm_speedup\": %.2f}"
+    r.br_clients r.br_requests r.br_wall_s r.br_rps r.br_p50_ms r.br_p99_ms
+    r.br_hits r.br_misses r.br_hit_rate r.br_cold_ms r.br_warm_ms
+    r.br_warm_speedup

@@ -1,0 +1,137 @@
+(** [forayd]: a long-running FORAY-GEN analysis service.
+
+    The daemon listens on a Unix-domain socket and speaks a
+    newline-delimited JSON protocol: each request is one JSON object on
+    one line, each response one JSON object on one line, many requests per
+    connection. Connections are handled by lightweight threads (so the
+    daemon always stays responsive to cheap requests) while the actual
+    simulate-and-analyze work is dispatched onto a persistent
+    {!Foray_util.Parallel.pool} of domains.
+
+    {b Operations} (the ["op"] field):
+    - ["analyze"] — run the full pipeline on a program (["program"] name
+      or inline ["source"]) or on a stored trace file (["trace"] path,
+      optionally ["shards"]/["jobs"]/["strict"]); returns the FORAY model
+      plus run statistics.
+    - ["extract"] — like [analyze] on a program, but the response carries
+      only the model (the CLI [extract] analogue).
+    - ["metrics"] — the process metrics registry
+      ({!Foray_obs.Obs.to_json}), including the [serve.*] family.
+    - ["ping"] — liveness probe.
+    - ["shutdown"] — reply, then stop accepting, drain connections, join
+      the pool and remove the socket.
+
+    Analyze/extract accept per-request budgets ["max_steps"],
+    ["deadline_ms"], ["max_trace_events"] (enforced by the
+    {!Minic_sim.Interp.config} machinery; exhaustion degrades the result,
+    it does not fail it), Step-4 thresholds ["nexec"]/["nloc"],
+    ["trace_scalars"], and ["cache": false] to bypass the model cache.
+
+    {b Failure taxonomy.} Every failure maps onto {!Foray_core.Error.t}
+    and is returned as [{"status": "error", "error": {...}}] with the same
+    [E_*] codes and JSON shape as the CLI; recoverable shortfalls come
+    back as [{"status": "ok", "degraded": [...]}] with the pipeline's
+    degradation provenance. Protocol violations (bad JSON, unknown op,
+    mistyped field) are [E_BAD_REQUEST].
+
+    {b Model cache.} Results are cached in a byte-bounded {!Lru} keyed by
+    {!Foray_core.Pipeline.model_key} (source digest × analysis config), so
+    repeat traffic is served from memory without re-simulating. Degraded
+    results are never cached. Hits/misses/evictions are counted under
+    [serve.cache.*]. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** worker domains of the analysis pool *)
+  cache_bytes : int;  (** model-cache bound; [0] disables caching *)
+  max_steps_cap : int option;
+      (** server-side ceiling clamped onto every request's [max_steps] *)
+}
+
+(** [jobs = Parallel.default_jobs ()], 64 MiB cache, no step cap. *)
+val default_config : socket_path:string -> config
+
+type server
+
+(** [start config] binds the socket (replacing a stale file), spawns the
+    pool and an acceptor domain, and returns immediately. Metrics
+    collection ({!Foray_obs.Obs.set_enabled}) is switched on so the
+    [serve.*] counters and the [metrics] op are live. *)
+val start : config -> server
+
+(** Block until the server has fully stopped (shutdown request received,
+    connections drained, pool joined, socket removed). *)
+val wait : server -> unit
+
+(** [run config] is [wait (start config)]: the blocking form behind
+    [foraygen serve]. *)
+val run : config -> unit
+
+(** The bound socket path. *)
+val socket_path : server -> string
+
+(** A fresh short path under the temp directory, safe for
+    [sun_path]-length limits. *)
+val temp_socket_path : unit -> string
+
+(** {1 Client side} *)
+
+module Client : sig
+  type t
+
+  val connect : string -> t
+
+  (** [request t line] sends one request line and blocks for the response
+      line. @raise Failure if the server hangs up mid-request. *)
+  val request : t -> string -> string
+
+  (** [rpc t fields] builds a one-line JSON object from
+      [(key, literal-value)] pairs (values must already be valid JSON
+      literals, e.g. ["\"jpeg\""] or ["20"]), sends it, and parses the
+      response. *)
+  val rpc : t -> (string * string) list -> Json.t
+
+  val close : t -> unit
+
+  (** Connect, send [{"op": "shutdown"}], await the reply, close. *)
+  val shutdown : string -> unit
+end
+
+(** {1 Load generator}
+
+    Drives a running daemon with [clients] concurrent connections (one
+    domain each) issuing [requests] analyze/extract requests per client
+    over [programs] round-robin, after timing one cold and one warm
+    [analyze] of [cold_program]. The cold/warm pair is issued first, so
+    on a fresh daemon [br_cold_ms] is a true miss and [br_warm_ms] a
+    cache hit of the same key. Latencies are measured per request at the
+    client; hit/miss totals are read from the daemon's [metrics] op
+    afterwards. *)
+
+type bench_result = {
+  br_clients : int;
+  br_requests : int;  (** total requests across all clients (soak only) *)
+  br_wall_s : float;
+  br_rps : float;
+  br_p50_ms : float;
+  br_p99_ms : float;
+  br_hits : int;
+  br_misses : int;
+  br_hit_rate : float;  (** hits / (hits + misses), daemon lifetime *)
+  br_cold_ms : float;
+  br_warm_ms : float;
+  br_warm_speedup : float;  (** cold / warm *)
+}
+
+val bench :
+  socket:string ->
+  clients:int ->
+  requests:int ->
+  programs:string list ->
+  cold_program:string ->
+  bench_result
+
+val bench_result_to_string : bench_result -> string
+
+(** The [serve] record of [BENCH_pipeline.json] (schema 5). *)
+val bench_result_to_json : bench_result -> string

@@ -512,7 +512,10 @@ and tick ctx =
       (Budget_hit
          { budget = "max_steps"; limit = ctx.cfg.max_steps; spent = ctx.steps });
   (* Wall-clock deadline: a gettimeofday every 4096 steps is invisible in
-     the profile yet bounds overshoot to a few microseconds of work. *)
+     the profile yet bounds overshoot to a few microseconds of work. An
+     already-expired deadline is caught at run admission (see [run]), so
+     the first periodic check firing only at step 4096 cannot leak a
+     "clean" result past a spent budget. *)
   if ctx.steps land 4095 = 0 && ctx.deadline < infinity then begin
     let now = Unix.gettimeofday () in
     if now > ctx.deadline then
@@ -792,6 +795,22 @@ let run ?(config = default_config) (prog : program) ~sink =
         end)
       (fun () ->
         try
+          (* Admission check: a request can arrive with its wall-clock
+             deadline already spent (trivially possible under daemon
+             queuing). The periodic check in [tick] first fires at step
+             4096, so without this gate an expired deadline would still
+             execute up to 4095 steps and report a clean completion. *)
+          if ctx.deadline < infinity && Unix.gettimeofday () >= ctx.deadline
+          then
+            raise
+              (Budget_hit
+                 {
+                   budget = "deadline_ms";
+                   limit = Option.value config.deadline_ms ~default:0;
+                   spent =
+                     int_of_float
+                       ((Unix.gettimeofday () -. started) *. 1000.0);
+                 });
           match Hashtbl.find_opt ctx.funcs "main" with
           | None -> error "program has no main"
           | Some _ ->

@@ -36,8 +36,10 @@ type config = {
           [Stopped] (it is NOT an error: the events already emitted are a
           valid trace prefix and the analyzers finish on them) *)
   deadline_ms : int option;
-      (** wall-clock budget for one [run], checked every few thousand
-          steps; [None] = unlimited *)
+      (** wall-clock budget for one [run], checked once at admission
+          (before any statement executes, so an already-expired deadline
+          stops at step 0) and then every few thousand steps;
+          [None] = unlimited *)
   max_trace_events : int option;
       (** budget on events pushed into the sink (accesses + checkpoints);
           [None] = unlimited *)

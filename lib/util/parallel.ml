@@ -3,7 +3,13 @@ module Span = Foray_obs.Span
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-type 'b outcome = Pending | Done of 'b | Failed of exn
+(* A failure keeps the backtrace captured in the worker domain, so the
+   re-raise in the caller points at the failing task's frames, not at the
+   pool plumbing. *)
+type 'b outcome =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
 
 let map ?jobs f xs =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
@@ -34,7 +40,9 @@ let map ?jobs f xs =
           else Span.null
         in
         (results.(i) <-
-           (match f input.(i) with v -> Done v | exception e -> Failed e));
+           (match f input.(i) with
+           | v -> Done v
+           | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
         if tracing then Span.leave span;
         if obs then begin
           tasks_done.(w) <- tasks_done.(w) + 1;
@@ -63,8 +71,12 @@ let map ?jobs f xs =
         (Float.max 0.0 ((wall *. float_of_int nworkers) -. total_busy))
     end;
     (* Every slot is filled once all domains joined; re-raise the earliest
-       failure so error behaviour is deterministic too. *)
-    Array.iter (function Failed e -> raise e | _ -> ()) results;
+       failure so error behaviour is deterministic too, with the original
+       backtrace reattached. *)
+    Array.iter
+      (function
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt | _ -> ())
+      results;
     Array.to_list
       (Array.map
          (function Done v -> v | Pending | Failed _ -> assert false)
@@ -72,3 +84,116 @@ let map ?jobs f xs =
   end
 
 let run ?jobs tasks = map ?jobs (fun task -> task ()) tasks
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pool                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [map] spins domains up and down per call, which is the right shape for
+   batch fan-out but not for a long-running service: the daemon wants a
+   pool that outlives any one request. Workers block on a condition
+   variable; submitters may be any domain or systhread. *)
+
+type 'a future_state =
+  | F_pending
+  | F_done of 'a
+  | F_failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a future_state;
+}
+
+type pool = {
+  p_mutex : Mutex.t;
+  p_nonempty : Condition.t;
+  p_queue : (unit -> unit) Queue.t;
+  mutable p_stopping : bool;
+  mutable p_workers : unit Domain.t array;
+  p_jobs : int;
+}
+
+let m_pool_tasks = lazy (Obs.counter "parallel.pool.tasks")
+
+let pool_worker p =
+  let rec loop () =
+    Mutex.lock p.p_mutex;
+    while Queue.is_empty p.p_queue && not p.p_stopping do
+      Condition.wait p.p_nonempty p.p_mutex
+    done;
+    if Queue.is_empty p.p_queue then Mutex.unlock p.p_mutex
+      (* stopping and drained: exit *)
+    else begin
+      let task = Queue.pop p.p_queue in
+      Mutex.unlock p.p_mutex;
+      task ();
+      if Obs.enabled () then Obs.incr (Lazy.force m_pool_tasks);
+      loop ()
+    end
+  in
+  loop ()
+
+let create_pool ?jobs () =
+  let jobs =
+    max 1 (match jobs with Some j -> j | None -> default_jobs ())
+  in
+  let p =
+    {
+      p_mutex = Mutex.create ();
+      p_nonempty = Condition.create ();
+      p_queue = Queue.create ();
+      p_stopping = false;
+      p_workers = [||];
+      p_jobs = jobs;
+    }
+  in
+  p.p_workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> pool_worker p));
+  p
+
+let pool_jobs p = p.p_jobs
+
+let async p f =
+  let fut =
+    { f_mutex = Mutex.create (); f_cond = Condition.create ();
+      f_state = F_pending }
+  in
+  let task () =
+    let state =
+      match f () with
+      | v -> F_done v
+      | exception e -> F_failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.f_mutex;
+    fut.f_state <- state;
+    Condition.broadcast fut.f_cond;
+    Mutex.unlock fut.f_mutex
+  in
+  Mutex.lock p.p_mutex;
+  if p.p_stopping then begin
+    Mutex.unlock p.p_mutex;
+    invalid_arg "Parallel.async: pool is shut down"
+  end;
+  Queue.push task p.p_queue;
+  Condition.signal p.p_nonempty;
+  Mutex.unlock p.p_mutex;
+  fut
+
+let await fut =
+  Mutex.lock fut.f_mutex;
+  while (match fut.f_state with F_pending -> true | _ -> false) do
+    Condition.wait fut.f_cond fut.f_mutex
+  done;
+  let state = fut.f_state in
+  Mutex.unlock fut.f_mutex;
+  match state with
+  | F_done v -> v
+  | F_failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | F_pending -> assert false
+
+let shutdown_pool p =
+  Mutex.lock p.p_mutex;
+  p.p_stopping <- true;
+  Condition.broadcast p.p_nonempty;
+  Mutex.unlock p.p_mutex;
+  Array.iter Domain.join p.p_workers

@@ -13,7 +13,10 @@
       behaviour;
     - {b exception propagation}: if tasks raise, the exception of the
       earliest-indexed failing task is re-raised in the caller after all
-      domains joined (no orphan domains, no lost results).
+      domains joined (no orphan domains, no lost results), {e with the
+      backtrace captured in the worker domain reattached}
+      ([Printexc.raise_with_backtrace]), so the trace names the failing
+      task's frames rather than the pool plumbing.
 
     Tasks are pulled from a shared atomic counter, so uneven task costs
     (jpeg simulates an order of magnitude longer than adpcm) balance
@@ -28,3 +31,39 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [run ~jobs tasks] forces a list of thunks, pool semantics as {!map}. *)
 val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+
+(** {1 Persistent pool}
+
+    {!map} spins domains up and down per call — right for batch fan-out,
+    wrong for a long-running service. A {!pool} keeps [jobs] worker
+    domains alive, blocking on a queue; {!async} may be called from any
+    domain or systhread (the [forayd] daemon submits from its
+    per-connection threads), and tasks run in whatever worker frees up
+    first. Counted under the [parallel.pool.tasks] metric. *)
+
+type pool
+
+(** A deferred task result; {!await} blocks until it is available. *)
+type 'a future
+
+(** [create_pool ~jobs ()] spawns [max 1 jobs] worker domains
+    ([jobs] defaults to {!default_jobs}). *)
+val create_pool : ?jobs:int -> unit -> pool
+
+(** Worker-domain count of the pool. *)
+val pool_jobs : pool -> int
+
+(** [async pool f] queues [f] and returns immediately. The task's
+    exception (if any) is captured with its backtrace and re-raised by
+    {!await}. @raise Invalid_argument on a pool already shut down. *)
+val async : pool -> (unit -> 'a) -> 'a future
+
+(** [await fut] blocks until the task finished; returns its value or
+    re-raises its exception with the original backtrace. Never call from
+    inside a task running on the same single-worker pool — the task would
+    wait on itself. *)
+val await : 'a future -> 'a
+
+(** Drain the queue, then join and release every worker. Idempotent in
+    effect; subsequent {!async} calls raise. *)
+val shutdown_pool : pool -> unit

@@ -165,7 +165,8 @@ let t_step_limit_config () =
   | Interp.Completed -> Alcotest.fail "expected a budget stop"
 
 let t_deadline_config () =
-  (* A zero-millisecond deadline trips at the first periodic check. *)
+  (* A zero-millisecond deadline trips at admission, before any statement
+     runs. *)
   let prog =
     Minic.Parser.program
       "int main() { int i; int s; s = 0; for (i = 0; i < 100000; i++) { s = \
@@ -177,6 +178,27 @@ let t_deadline_config () =
   | Interp.Stopped { budget; _ } ->
       Alcotest.(check string) "budget" "deadline_ms" budget
   | Interp.Completed -> Alcotest.fail "expected a deadline stop"
+
+let t_deadline_admission_short_program () =
+  (* Regression: the periodic deadline check first fires at step 4096, so
+     a program shorter than that used to run to completion under an
+     already-expired deadline. The admission check must stop it at step 0
+     with non-negative spend. *)
+  let prog =
+    Minic.Parser.program
+      "int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) { s = s + \
+       i; } return s; }"
+  in
+  let config = { Interp.default_config with deadline_ms = Some 0 } in
+  let r = Interp.run ~config prog ~sink:Foray_trace.Event.null_sink in
+  match r.stopped with
+  | Interp.Stopped { budget; limit; spent } ->
+      Alcotest.(check string) "budget" "deadline_ms" budget;
+      Alcotest.(check int) "limit" 0 limit;
+      Alcotest.(check bool) "spent non-negative" true (spent >= 0);
+      Alcotest.(check int) "stopped before any statement" 0 r.steps
+  | Interp.Completed ->
+      Alcotest.fail "short program completed under an expired deadline"
 
 let t_event_limit_config () =
   let prog =
@@ -269,6 +291,8 @@ let tests =
     Alcotest.test_case "runtime errors" `Quick t_runtime_errors;
     Alcotest.test_case "step limit config" `Quick t_step_limit_config;
     Alcotest.test_case "deadline config" `Quick t_deadline_config;
+    Alcotest.test_case "deadline admission on short program" `Quick
+      t_deadline_admission_short_program;
     Alcotest.test_case "event limit config" `Quick t_event_limit_config;
     Alcotest.test_case "completed marks completed" `Quick
       t_completed_marks_completed;

@@ -33,4 +33,5 @@ let () =
       ("report", Test_report.tests);
       ("resolve", Test_resolve.tests);
       ("parallel", Test_parallel.tests);
+      ("serve", Test_serve.tests);
     ]

@@ -57,9 +57,89 @@ let t_earliest_exception_wins () =
   | _ -> Alcotest.fail "expected Boom to propagate"
   | exception Boom n -> Alcotest.(check int) "earliest failing index" 3 n
 
+(* A multi-frame raise pinned to this file, so the re-raised backtrace
+   must name test_parallel.ml if the worker's raw backtrace survived the
+   domain boundary. *)
+let[@inline never] raise_deep_in_test_parallel x =
+  if x >= 0 then raise (Boom x);
+  x
+
+let[@inline never] worker_task_frame x =
+  if x = 5 then 1 + raise_deep_in_test_parallel x else x
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let t_backtrace_preserved () =
+  (* Regression: map used to re-raise worker exceptions with a bare
+     [raise], which resets the backtrace to the re-raise site in
+     parallel.ml. The failing task's own frames must survive. *)
+  let was = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace was)
+    (fun () ->
+      match Parallel.map ~jobs:4 worker_task_frame (List.init 16 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 5 ->
+          let bt = Printexc.get_backtrace () in
+          Alcotest.(check bool)
+            (Printf.sprintf "backtrace names the failing task's file:\n%s" bt)
+            true
+            (contains ~sub:"test_parallel" bt))
+
 let t_run () =
   let got = Parallel.run ~jobs:2 [ (fun () -> "a"); (fun () -> "b") ] in
   Alcotest.(check (list string)) "thunks in order" [ "a"; "b" ] got
+
+(* -- persistent pool (async/await, the daemon's substrate) ------------- *)
+
+let t_pool_async_await () =
+  let p = Parallel.create_pool ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown_pool p)
+    (fun () ->
+      let futs =
+        List.init 20 (fun i -> Parallel.async p (fun () -> i * i))
+      in
+      Alcotest.(check (list int))
+        "futures resolve in submission order"
+        (List.init 20 (fun i -> i * i))
+        (List.map Parallel.await futs))
+
+let t_pool_await_reraises () =
+  let was = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  let p = Parallel.create_pool ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.shutdown_pool p;
+      Printexc.record_backtrace was)
+    (fun () ->
+      let ok = Parallel.async p (fun () -> 1) in
+      let bad = Parallel.async p (fun () -> raise_deep_in_test_parallel 3) in
+      Alcotest.(check int) "healthy future unaffected" 1 (Parallel.await ok);
+      match Parallel.await bad with
+      | _ -> Alcotest.fail "expected Boom from await"
+      | exception Boom 3 ->
+          Alcotest.(check bool)
+            "await re-raises with the worker backtrace" true
+            (contains ~sub:"test_parallel" (Printexc.get_backtrace ())))
+
+let t_pool_shutdown_drains_then_rejects () =
+  let p = Parallel.create_pool ~jobs:1 () in
+  let futs = List.init 8 (fun i -> Parallel.async p (fun () -> i + 100)) in
+  Parallel.shutdown_pool p;
+  (* queued work submitted before shutdown still completes *)
+  Alcotest.(check (list int))
+    "queued futures drained"
+    (List.init 8 (fun i -> i + 100))
+    (List.map Parallel.await futs);
+  match Parallel.async p (fun () -> 0) with
+  | _ -> Alcotest.fail "async on a shut-down pool must be rejected"
+  | exception Invalid_argument _ -> ()
 
 let t_default_jobs () =
   Alcotest.(check bool) "at least one domain" true (Parallel.default_jobs () >= 1)
@@ -112,7 +192,14 @@ let tests =
     Alcotest.test_case "exception propagates" `Quick t_exception_propagates;
     Alcotest.test_case "earliest exception wins" `Quick
       t_earliest_exception_wins;
+    Alcotest.test_case "worker backtrace preserved" `Quick
+      t_backtrace_preserved;
     Alcotest.test_case "run thunks" `Quick t_run;
+    Alcotest.test_case "pool async/await" `Quick t_pool_async_await;
+    Alcotest.test_case "pool await re-raises with backtrace" `Quick
+      t_pool_await_reraises;
+    Alcotest.test_case "pool shutdown drains then rejects" `Quick
+      t_pool_shutdown_drains_then_rejects;
     Alcotest.test_case "default_jobs sane" `Quick t_default_jobs;
     Alcotest.test_case "tables byte-identical across -j" `Slow
       t_tables_byte_identical;

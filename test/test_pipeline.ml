@@ -205,6 +205,24 @@ let t_event_budget_degrades () =
       Alcotest.(check bool) "events bounded" true (events_seen <= 10)
   | _ -> Alcotest.fail "expected exactly one Degraded_budget record"
 
+let t_deadline_zero_degrades () =
+  (* Regression: an already-expired wall-clock deadline on a short program
+     must surface as a Degraded_budget stop at admission, never as a clean
+     result (the periodic check alone only fires from step 4096 on). *)
+  let prog = Minic.Parser.program Figures.fig4a in
+  let config =
+    { Minic_sim.Interp.default_config with deadline_ms = Some 0 }
+  in
+  let o = Tutil.run_outcome ~config ~thresholds:(th 2 2) prog in
+  match o.degraded with
+  | [ Pipeline.Degraded_budget { budget; limit; spent; events_seen } ] ->
+      Alcotest.(check string) "budget name" "deadline_ms" budget;
+      Alcotest.(check int) "limit" 0 limit;
+      Alcotest.(check bool) "spent non-negative" true (spent >= 0);
+      Alcotest.(check int) "no events analyzed" 0 events_seen
+  | [] -> Alcotest.fail "clean result under an expired deadline"
+  | _ -> Alcotest.fail "expected exactly one Degraded_budget record"
+
 let t_sema_error_is_typed () =
   match Pipeline.run_source "int main() { return x; }" with
   | Error (Error.Sema _) -> ()
@@ -232,5 +250,7 @@ let tests =
     Alcotest.test_case "runtime failure typed" `Quick t_runtime_failure_typed;
     Alcotest.test_case "step budget degrades" `Quick t_budget_degrades;
     Alcotest.test_case "event budget degrades" `Quick t_event_budget_degrades;
+    Alcotest.test_case "expired deadline degrades at admission" `Quick
+      t_deadline_zero_degrades;
     Alcotest.test_case "sema error is typed" `Quick t_sema_error_is_typed;
   ]

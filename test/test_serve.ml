@@ -1,0 +1,444 @@
+(* Foray_serve: the forayd daemon, its wire protocol, the model cache and
+   the client-isolation guarantees — plus unit coverage of the JSON reader
+   and the byte-bounded LRU it is built on. *)
+
+module Serve = Foray_serve.Serve
+module Json = Foray_serve.Json
+module Lru = Foray_serve.Lru
+module Parallel = Foray_util.Parallel
+
+(* ---- Lru ------------------------------------------------------------- *)
+
+let t_lru_basics () =
+  let l = Lru.create ~max_bytes:100 in
+  Alcotest.(check int) "fresh cache empty" 0 (Lru.entries l);
+  ignore (Lru.add l ~key:"a" ~bytes:40 1);
+  ignore (Lru.add l ~key:"b" ~bytes:40 2);
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find l "a");
+  Alcotest.(check (option int)) "find b" (Some 2) (Lru.find l "b");
+  Alcotest.(check (option int)) "miss" None (Lru.find l "c");
+  Alcotest.(check int) "bytes tracked" 80 (Lru.bytes l)
+
+let t_lru_evicts_lru_end () =
+  let l = Lru.create ~max_bytes:100 in
+  ignore (Lru.add l ~key:"a" ~bytes:40 1);
+  ignore (Lru.add l ~key:"b" ~bytes:40 2);
+  (* touch "a" so "b" is the LRU entry when "c" overflows the bound *)
+  ignore (Lru.find l "a");
+  let evicted = Lru.add l ~key:"c" ~bytes:40 3 in
+  Alcotest.(check int) "one eviction" 1 evicted;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find l "b");
+  Alcotest.(check (option int)) "a kept (recently used)" (Some 1)
+    (Lru.find l "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Lru.find l "c")
+
+let t_lru_replace_and_bounds () =
+  let l = Lru.create ~max_bytes:100 in
+  ignore (Lru.add l ~key:"a" ~bytes:60 1);
+  let ev = Lru.add l ~key:"a" ~bytes:30 2 in
+  Alcotest.(check int) "replacement is not an eviction" 0 ev;
+  Alcotest.(check (option int)) "replaced value" (Some 2) (Lru.find l "a");
+  Alcotest.(check int) "bytes re-accounted" 30 (Lru.bytes l);
+  (* an entry bigger than the whole cache is refused outright *)
+  let ev = Lru.add l ~key:"huge" ~bytes:101 3 in
+  Alcotest.(check int) "oversized refused, nothing evicted" 0 ev;
+  Alcotest.(check (option int)) "oversized absent" None (Lru.find l "huge");
+  (* max_bytes = 0 disables caching entirely *)
+  let off = Lru.create ~max_bytes:0 in
+  ignore (Lru.add off ~key:"x" ~bytes:0 1);
+  Alcotest.(check (option int)) "disabled cache stores nothing" None
+    (Lru.find off "x")
+
+(* ---- Json ------------------------------------------------------------ *)
+
+let t_json_values () =
+  let ok s = match Json.parse s with Ok v -> v | Error e -> Alcotest.fail e in
+  Alcotest.(check bool) "object with scalars" true
+    (ok "{\"a\": 1, \"b\": -2.5, \"c\": true, \"d\": null, \"e\": \"x\"}"
+    = Json.Obj
+        [ ("a", Json.Int 1); ("b", Json.Float (-2.5)); ("c", Json.Bool true);
+          ("d", Json.Null); ("e", Json.Str "x") ]);
+  Alcotest.(check bool) "nested arrays" true
+    (ok "[1, [2, 3], {\"k\": []}]"
+    = Json.Arr
+        [ Json.Int 1; Json.Arr [ Json.Int 2; Json.Int 3 ];
+          Json.Obj [ ("k", Json.Arr []) ] ]);
+  Alcotest.(check bool) "string escapes" true
+    (ok "\"a\\n\\\"b\\\"\\u0041\"" = Json.Str "a\n\"b\"A")
+
+let t_json_errors () =
+  let bad s =
+    match Json.parse s with Ok _ -> Alcotest.failf "parsed %S" s | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "{\"a\": }";
+  bad "[1, 2,]";
+  bad "tru";
+  bad "1 2";
+  bad "{\"a\": 1} trailing"
+
+let t_json_fields () =
+  let j =
+    match Json.parse "{\"s\": \"x\", \"i\": 7, \"b\": false, \"n\": null}" with
+    | Ok v -> v
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "str present" true (Json.str_field "s" j = Ok (Some "x"));
+  Alcotest.(check bool) "int present" true (Json.int_field "i" j = Ok (Some 7));
+  Alcotest.(check bool) "bool present" true
+    (Json.bool_field "b" j = Ok (Some false));
+  Alcotest.(check bool) "null reads as absent" true
+    (Json.int_field "n" j = Ok None);
+  Alcotest.(check bool) "absent is None" true (Json.str_field "z" j = Ok None);
+  Alcotest.(check bool) "mistyped is Error" true
+    (match Json.int_field "s" j with Error _ -> true | Ok _ -> false)
+
+(* ---- daemon helpers -------------------------------------------------- *)
+
+let with_daemon ?(jobs = 2) ?(cache_bytes = 64 * 1024 * 1024) f =
+  let path = Serve.temp_socket_path () in
+  let cfg =
+    { (Serve.default_config ~socket_path:path) with Serve.jobs; cache_bytes }
+  in
+  let srv = Serve.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Serve.Client.shutdown path with _ -> ());
+      Serve.wait srv;
+      Foray_obs.Obs.set_enabled false)
+    (fun () -> f path)
+
+let status j =
+  match Json.member "status" j with Some (Json.Str s) -> s | _ -> "?"
+
+let err_code j =
+  match Json.member "error" j with
+  | Some e -> (
+      match Json.member "error" e with Some (Json.Str c) -> c | _ -> "?")
+  | None -> "?"
+
+let model j =
+  match Json.member "model" j with Some (Json.Str m) -> m | _ -> ""
+
+let cached j =
+  match Json.member "cached" j with Some (Json.Bool b) -> b | _ -> false
+
+let degraded j =
+  match Json.member "degraded" j with Some (Json.Arr l) -> l | _ -> []
+
+let degraded_budget_names j =
+  List.filter_map
+    (fun d ->
+      match Json.member "budget" d with Some (Json.Str b) -> Some b | _ -> None)
+    (degraded j)
+
+(* ---- protocol and error taxonomy ------------------------------------- *)
+
+let t_ping_and_shutdown () =
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let j = Serve.Client.rpc c [ ("op", "\"ping\""); ("id", "42") ] in
+          Alcotest.(check string) "ping ok" "ok" (status j);
+          Alcotest.(check bool) "id echoed" true
+            (Json.member "id" j = Some (Json.Int 42))))
+
+let t_bad_requests () =
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let resp line =
+            match Json.parse (Serve.Client.request c line) with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "response not JSON: %s" e
+          in
+          (* not JSON at all *)
+          let j = resp "this is not json" in
+          Alcotest.(check string) "garbage -> error" "error" (status j);
+          Alcotest.(check string) "garbage -> E_BAD_REQUEST" "E_BAD_REQUEST"
+            (err_code j);
+          (* valid JSON, no op *)
+          let j = resp "{\"id\": 1}" in
+          Alcotest.(check string) "missing op" "E_BAD_REQUEST" (err_code j);
+          (* unknown op *)
+          let j = resp "{\"op\": \"frobnicate\"}" in
+          Alcotest.(check string) "unknown op" "E_BAD_REQUEST" (err_code j);
+          (* mistyped field *)
+          let j = resp "{\"op\": \"analyze\", \"program\": \"adpcm\", \"max_steps\": \"lots\"}" in
+          Alcotest.(check string) "mistyped field" "E_BAD_REQUEST" (err_code j);
+          (* analyze with no target *)
+          let j = resp "{\"op\": \"analyze\"}" in
+          Alcotest.(check string) "no target" "E_BAD_REQUEST" (err_code j);
+          (* unknown program name -> the pipeline's own taxonomy *)
+          let j = resp "{\"op\": \"analyze\", \"program\": \"nonesuch\"}" in
+          Alcotest.(check string) "unknown program" "E_NOT_FOUND" (err_code j);
+          (* inline source that cannot parse *)
+          let j = resp "{\"op\": \"analyze\", \"source\": \"int main( {\"}" in
+          Alcotest.(check string) "bad source" "E_PARSE" (err_code j);
+          (* the daemon survived all of the above *)
+          let j = resp "{\"op\": \"ping\"}" in
+          Alcotest.(check string) "still alive" "ok" (status j)))
+
+(* ---- model cache ------------------------------------------------------ *)
+
+let t_cache_hit_identical_model () =
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let analyze () =
+            Serve.Client.rpc c
+              [ ("op", "\"analyze\""); ("program", "\"fig4a\"") ]
+          in
+          let cold = analyze () in
+          Alcotest.(check string) "cold ok" "ok" (status cold);
+          Alcotest.(check bool) "cold is a miss" false (cached cold);
+          Alcotest.(check bool) "cold has a model" true (model cold <> "");
+          let warm = analyze () in
+          Alcotest.(check bool) "warm is a hit" true (cached warm);
+          Alcotest.(check string) "cached model byte-identical" (model cold)
+            (model warm);
+          (* extract shares the cache entry and the exact model bytes *)
+          let ex =
+            Serve.Client.rpc c
+              [ ("op", "\"extract\""); ("program", "\"fig4a\"") ]
+          in
+          Alcotest.(check bool) "extract hits the same entry" true (cached ex);
+          Alcotest.(check string) "extract model identical" (model cold)
+            (model ex);
+          (* cache-bypassed responses still carry the same model *)
+          let nc =
+            Serve.Client.rpc c
+              [ ("op", "\"analyze\""); ("program", "\"fig4a\"");
+                ("cache", "false") ]
+          in
+          Alcotest.(check bool) "bypass is uncached" false (cached nc);
+          Alcotest.(check string) "bypass model identical" (model cold)
+            (model nc);
+          (* different thresholds are a different key, not a stale hit *)
+          let other =
+            Serve.Client.rpc c
+              [ ("op", "\"analyze\""); ("program", "\"fig4a\"");
+                ("nexec", "1"); ("nloc", "1") ]
+          in
+          Alcotest.(check bool) "different config misses" false (cached other)))
+
+let t_degraded_never_cached () =
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let req () =
+            Serve.Client.rpc c
+              [ ("op", "\"analyze\""); ("program", "\"adpcm\"");
+                ("max_steps", "40") ]
+          in
+          let a = req () in
+          Alcotest.(check string) "budget stop still ok" "ok" (status a);
+          Alcotest.(check bool) "degraded recorded" true (degraded a <> []);
+          Alcotest.(check (list string)) "budget named"
+            [ "max_steps" ]
+            (degraded_budget_names a);
+          let b = req () in
+          Alcotest.(check bool) "degraded result was not cached" false
+            (cached b)))
+
+(* ---- budgets and strictness over the wire ----------------------------- *)
+
+let t_deadline_admission_over_wire () =
+  (* deadline_ms = 0 must degrade (or error under strict) even though the
+     programs here are far shorter than the periodic check interval. *)
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let j =
+            Serve.Client.rpc c
+              [ ("op", "\"analyze\""); ("program", "\"fig4a\"");
+                ("deadline_ms", "0") ]
+          in
+          Alcotest.(check string) "expired deadline degrades" "ok" (status j);
+          Alcotest.(check (list string)) "deadline named"
+            [ "deadline_ms" ]
+            (degraded_budget_names j);
+          let j =
+            Serve.Client.rpc c
+              [ ("op", "\"analyze\""); ("program", "\"fig4a\"");
+                ("deadline_ms", "0"); ("strict", "true") ]
+          in
+          Alcotest.(check string) "strict turns it into E_BUDGET" "E_BUDGET"
+            (err_code j)))
+
+(* ---- concurrency and isolation ---------------------------------------- *)
+
+let t_concurrent_mixed_workload () =
+  (* 6 client domains, each its own connection, each issuing a mixed
+     analyze/extract stream over three programs. Every response must be
+     well-formed, successful, and carry the same model bytes per
+     (program) as every other client saw. *)
+  with_daemon ~jobs:2 (fun path ->
+      let programs = [| "adpcm"; "fig4a"; "fig7a" |] in
+      let per_client =
+        Parallel.map ~jobs:6
+          (fun ci ->
+            let c = Serve.Client.connect path in
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () ->
+                List.init 6 (fun i ->
+                    let prog = programs.((ci + i) mod 3) in
+                    let op = if i mod 2 = 0 then "analyze" else "extract" in
+                    let j =
+                      Serve.Client.rpc c
+                        [ ("op", Printf.sprintf "\"%s\"" op);
+                          ("program", Printf.sprintf "\"%s\"" prog) ]
+                    in
+                    Alcotest.(check string)
+                      (Printf.sprintf "client %d req %d ok" ci i)
+                      "ok" (status j);
+                    Alcotest.(check bool)
+                      (Printf.sprintf "client %d req %d has model" ci i)
+                      true
+                      (model j <> "");
+                    Alcotest.(check bool)
+                      (Printf.sprintf "client %d req %d not degraded" ci i)
+                      true
+                      (degraded j = []);
+                    (prog, model j))))
+          (List.init 6 Fun.id)
+      in
+      (* cross-client agreement: one model per program, regardless of who
+         asked, in what order, and whether the cache answered *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (prog, m) ->
+          match Hashtbl.find_opt tbl prog with
+          | None -> Hashtbl.add tbl prog m
+          | Some m' ->
+              Alcotest.(check string)
+                (Printf.sprintf "every client sees one %s model" prog)
+                m' m)
+        (List.concat per_client))
+
+let t_client_failures_isolated () =
+  (* Three concurrent clients: one exhausts budgets (strict, so it gets
+     E_BUDGET errors), one analyzes a corrupt trace file, one runs clean
+     requests. The failing clients must never poison the clean one, and
+     the daemon must still answer afterwards. *)
+  with_daemon ~jobs:2 (fun path ->
+      let corrupt = Filename.temp_file "foray_serve_corrupt" ".trace" in
+      let oc = open_out_bin corrupt in
+      output_string oc "FORAYTR1\n\xde\xad\xbe\xef not a real record stream";
+      close_out oc;
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove corrupt with Sys_error _ -> ())
+        (fun () ->
+          let rounds = 4 in
+          let outcomes =
+            Parallel.map ~jobs:3
+              (fun role ->
+                let c = Serve.Client.connect path in
+                Fun.protect
+                  ~finally:(fun () -> Serve.Client.close c)
+                  (fun () ->
+                    List.init rounds (fun _ ->
+                        match role with
+                        | 0 ->
+                            (* budget exhaustion, strict: a typed error *)
+                            let j =
+                              Serve.Client.rpc c
+                                [ ("op", "\"analyze\"");
+                                  ("program", "\"adpcm\"");
+                                  ("max_steps", "40"); ("strict", "true");
+                                  ("cache", "false") ]
+                            in
+                            Alcotest.(check string) "strict budget -> E_BUDGET"
+                              "E_BUDGET" (err_code j);
+                            `Failed
+                        | 1 ->
+                            (* corrupt trace: error or salvaged-degraded,
+                               but always a well-formed response *)
+                            let j =
+                              Serve.Client.rpc c
+                                [ ("op", "\"analyze\"");
+                                  ( "trace",
+                                    Printf.sprintf "\"%s\""
+                                      (Foray_core.Error.json_escape corrupt) );
+                                  ("strict", "true"); ("cache", "false") ]
+                            in
+                            Alcotest.(check bool)
+                              "corrupt trace -> typed error or degraded ok"
+                              true
+                              (err_code j = "E_TRACE_CORRUPT"
+                              || (status j = "ok" && degraded j <> []));
+                            `Failed
+                        | _ ->
+                            (* the clean client must stay clean *)
+                            let j =
+                              Serve.Client.rpc c
+                                [ ("op", "\"analyze\"");
+                                  ("program", "\"fig4a\"") ]
+                            in
+                            Alcotest.(check string) "clean client ok" "ok"
+                              (status j);
+                            Alcotest.(check bool) "clean client not degraded"
+                              true
+                              (degraded j = []);
+                            `Clean)))
+              [ 0; 1; 2 ]
+          in
+          Alcotest.(check int) "all rounds ran" (3 * rounds)
+            (List.length (List.concat outcomes));
+          (* daemon is still healthy after the mixed failure traffic *)
+          let c = Serve.Client.connect path in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close c)
+            (fun () ->
+              let j =
+                Serve.Client.rpc c
+                  [ ("op", "\"analyze\""); ("program", "\"fig4a\"") ]
+              in
+              Alcotest.(check string) "daemon alive and correct" "ok"
+                (status j);
+              Alcotest.(check bool) "and serving from cache" true (cached j))))
+
+let t_shutdown_removes_socket () =
+  let path = Serve.temp_socket_path () in
+  let cfg = { (Serve.default_config ~socket_path:path) with Serve.jobs = 1 } in
+  let srv = Serve.start cfg in
+  Serve.Client.shutdown path;
+  Serve.wait srv;
+  Foray_obs.Obs.set_enabled false;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+let tests =
+  [
+    Alcotest.test_case "lru basics" `Quick t_lru_basics;
+    Alcotest.test_case "lru evicts LRU end" `Quick t_lru_evicts_lru_end;
+    Alcotest.test_case "lru replace and bounds" `Quick t_lru_replace_and_bounds;
+    Alcotest.test_case "json values" `Quick t_json_values;
+    Alcotest.test_case "json errors" `Quick t_json_errors;
+    Alcotest.test_case "json field accessors" `Quick t_json_fields;
+    Alcotest.test_case "ping and id echo" `Quick t_ping_and_shutdown;
+    Alcotest.test_case "bad requests are E_BAD_REQUEST" `Quick t_bad_requests;
+    Alcotest.test_case "cache hit returns identical model" `Quick
+      t_cache_hit_identical_model;
+    Alcotest.test_case "degraded results never cached" `Quick
+      t_degraded_never_cached;
+    Alcotest.test_case "deadline admission over the wire" `Quick
+      t_deadline_admission_over_wire;
+    Alcotest.test_case "concurrent mixed workload" `Slow
+      t_concurrent_mixed_workload;
+    Alcotest.test_case "client failures isolated" `Slow
+      t_client_failures_isolated;
+    Alcotest.test_case "shutdown removes socket" `Quick
+      t_shutdown_removes_socket;
+  ]
