@@ -658,7 +658,7 @@ let measure_interp ~reps =
   Span.set_enabled span_was;
   (resolved, unresolved, with_metrics, with_tracing)
 
-(* Serving measurement (schema 5): a private forayd on a temp socket
+(* Serving measurement (schema 6): a private forayd on a temp socket
    driven by the load generator — 4 concurrent clients over a mixed
    analyze/extract workload, plus the cold/warm cache probe on jpeg (the
    largest benchmark, so the cached-speedup headline is the one that
@@ -684,9 +684,9 @@ let write_json ~path ~section_times ~pipelines ~shard ~interp ~serve ~total =
   let b = Buffer.create 4096 in
   let add fmt = Printf.bprintf b fmt in
   add "{\n";
-  add "  \"schema\": 5,\n";
+  add "  \"schema\": 6,\n";
   add "  \"meta\": {\n";
-  add "    \"schema_version\": 5,\n";
+  add "    \"schema_version\": 6,\n";
   add "    \"generated_by\": \"bench/main.exe --json\",\n";
   add "    \"benchmark_set\": [%s],\n"
     (String.concat ", "

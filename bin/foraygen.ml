@@ -13,6 +13,7 @@
      faults    - fault-injection campaign over a program's trace
      serve     - forayd: concurrent analysis daemon with a model cache
      serve-bench - load-generate against forayd, report latency/cache
+     top       - live dashboard over a running forayd's metrics op
 
    Exit codes follow the documented contract (README "Exit and error
    codes"): 0 success, 3 success-but-degraded, 10-15 the typed taxonomy
@@ -749,7 +750,7 @@ let spm_cmd =
 (* ---- metrics -------------------------------------------------------- *)
 
 let metrics_cmd =
-  let run prog nexec nloc scalars out check verbose =
+  let run prog nexec nloc scalars out check verbose openmetrics =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -773,7 +774,8 @@ let metrics_cmd =
             let thresholds = Foray_core.Filter.{ nexec; nloc } in
             ignore (Foray_core.Model.of_tree ~thresholds tree));
         Obs.set_enabled false;
-        print_string (Obs.to_table ());
+        if openmetrics then print_string (Obs.to_openmetrics ())
+        else print_string (Obs.to_table ());
         (match out with
         | None -> ()
         | Some path ->
@@ -828,6 +830,14 @@ let metrics_cmd =
       & info [ "verbose"; "v" ]
           ~doc:"Print structured observability events to stderr.")
   in
+  let openmetrics_arg =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Print the registry in the Prometheus/OpenMetrics text \
+             exposition format instead of the human-readable table.")
+  in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
@@ -835,7 +845,7 @@ let metrics_cmd =
           and report them")
     Term.(
       const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ out_arg
-      $ check_arg $ verbose_arg)
+      $ check_arg $ verbose_arg $ openmetrics_arg)
 
 (* ---- explain -------------------------------------------------------- *)
 
@@ -1034,13 +1044,16 @@ module Sjson = Foray_serve.Json
 let default_socket () =
   Filename.concat (Filename.get_temp_dir_name ()) "forayd.sock"
 
-let serve_config ~socket ~jobs ~cache_mb ~max_steps_cap =
+let serve_config ?access_log ?slow_ms ~socket ~jobs ~cache_mb ~max_steps_cap
+    () =
   let base = Serve.default_config ~socket_path:socket in
   {
     base with
     Serve.jobs = (if jobs > 0 then jobs else base.Serve.jobs);
     cache_bytes = cache_mb * 1024 * 1024;
     max_steps_cap;
+    access_log;
+    slow_ms;
   }
 
 (* Counter value out of a [metrics] response, the over-the-wire way (the
@@ -1061,7 +1074,7 @@ let wire_counter resp name =
    socket. One process, no backgrounding — fits a dune rule. *)
 let run_serve_smoke ~jobs ~cache_mb =
   let path = Serve.temp_socket_path () in
-  let srv = Serve.start (serve_config ~socket:path ~jobs ~cache_mb ~max_steps_cap:None) in
+  let srv = Serve.start (serve_config ~socket:path ~jobs ~cache_mb ~max_steps_cap:None ()) in
   let failures = ref 0 in
   let check cond msg =
     if not cond then begin
@@ -1103,6 +1116,246 @@ let run_serve_smoke ~jobs ~cache_mb =
   end
   else 1
 
+(* ---- top: live daemon dashboard -------------------------------------- *)
+
+let jnum = function
+  | Some (Sjson.Int i) -> float_of_int i
+  | Some (Sjson.Float f) -> f
+  | _ -> 0.0
+
+let jint v = int_of_float (jnum v)
+
+let window_stat j w name =
+  jnum
+    (Option.bind
+       (Option.bind (Sjson.member "window" j) (Sjson.member w))
+       (Sjson.member name))
+
+let wire_gauge resp name =
+  match Sjson.member "metrics" resp with
+  | Some m -> (
+      match Sjson.member "gauges" m with
+      | Some g -> (
+          match Sjson.member name g with Some (Sjson.Int i) -> i | _ -> 0)
+      | None -> 0)
+  | None -> 0
+
+(* One metrics snapshot over the wire: raw response line (what
+   [--json] prints) plus its parsed form. *)
+let top_snapshot c =
+  let raw = Serve.Client.request c "{\"op\": \"metrics\"}" in
+  match Sjson.parse raw with
+  | Ok j -> (raw, j)
+  | Error msg -> failwith ("top: bad metrics response: " ^ msg)
+
+let render_top j =
+  let b = Buffer.create 1024 in
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.bprintf b "\027[1mforayd top\027[0m  %02d:%02d:%02d\n\n"
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+  Printf.bprintf b "  \027[1m%-8s %9s %9s %9s %7s %7s\027[0m\n" "window"
+    "rps" "p50 ms" "p99 ms" "hit%" "err%";
+  List.iter
+    (fun w ->
+      Printf.bprintf b "  %-8s %9.1f %9d %9d %6.1f%% %6.1f%%\n" w
+        (window_stat j w "rps")
+        (jint
+           (Option.bind
+              (Option.bind (Sjson.member "window" j) (Sjson.member w))
+              (Sjson.member "p50_ms")))
+        (jint
+           (Option.bind
+              (Option.bind (Sjson.member "window" j) (Sjson.member w))
+              (Sjson.member "p99_ms")))
+        (100.0 *. window_stat j w "hit_rate")
+        (100.0 *. window_stat j w "error_rate"))
+    [ "10s"; "60s"; "300s" ];
+  Printf.bprintf b
+    "\n  cache: %d hits / %d misses lifetime, %d entries, %d KiB\n"
+    (wire_counter j "serve.cache.hits")
+    (wire_counter j "serve.cache.misses")
+    (wire_gauge j "serve.cache.entries")
+    (wire_gauge j "serve.cache.bytes" / 1024);
+  Printf.bprintf b
+    "  pool: %d busy, %d queued   conns: %d   gc: %d major kwords, %d \
+     compactions\n"
+    (wire_gauge j "serve.pool.busy")
+    (wire_gauge j "serve.pool.pending")
+    (wire_gauge j "serve.connections.active")
+    (wire_gauge j "runtime.gc.major_words" / 1000)
+    (wire_gauge j "runtime.gc.compactions");
+  (match Sjson.member "slow" j with
+  | Some (Sjson.Arr (_ :: _ as slow)) ->
+      Printf.bprintf b "\n  \027[1mlast slow requests\027[0m\n";
+      List.iter
+        (fun e ->
+          Printf.bprintf b "  rid %-6d %-10s %8.1f ms\n"
+            (jint (Sjson.member "rid" e))
+            (match Sjson.member "op" e with Some (Sjson.Str s) -> s | _ -> "?")
+            (jnum (Sjson.member "ms" e)))
+        slow
+  | _ -> ());
+  Buffer.contents b
+
+let run_top ~socket ~interval ~once ~json =
+  let c = Serve.Client.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      let rec loop () =
+        let raw, j = top_snapshot c in
+        if json then print_endline raw
+        else begin
+          if not once then print_string "\027[2J\027[H";
+          print_string (render_top j);
+          flush stdout
+        end;
+        if once then 0
+        else begin
+          Unix.sleepf interval;
+          loop ()
+        end
+      in
+      loop ())
+
+(* ---- telemetry smoke -------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* The @telemetry-smoke contract: daemon with an access log and slow-ms 0
+   on a temp socket; brief soak; the metrics_text scrape carries the
+   serve families and non-zero window gauges; a "trace": true analyze
+   returns a span tree whose root duration equals the reported latency;
+   top --once --json works against the live daemon; after shutdown the
+   access log is valid JSONL with at least one slow span breakdown. *)
+let run_telemetry_smoke ~jobs ~cache_mb =
+  let path = Serve.temp_socket_path () in
+  let log_path = Filename.temp_file "foray-access" ".jsonl" in
+  let srv =
+    Serve.start
+      (serve_config ~access_log:log_path ~slow_ms:0 ~socket:path ~jobs
+         ~cache_mb ~max_steps_cap:None ())
+  in
+  let failures = ref 0 in
+  let check cond msg =
+    if not cond then begin
+      incr failures;
+      Printf.eprintf "telemetry-smoke: FAIL: %s\n" msg
+    end
+  in
+  let c = Serve.Client.connect path in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      (* soak: first analyze is a miss, the rest hits *)
+      for _ = 1 to 3 do
+        ignore
+          (Serve.Client.rpc c
+             [ ("op", "\"analyze\""); ("program", "\"adpcm\"") ]);
+        ignore
+          (Serve.Client.rpc c
+             [ ("op", "\"extract\""); ("program", "\"adpcm\"") ])
+      done;
+      (* inline span tree, forced uncached so the pool actually runs *)
+      let tr =
+        Serve.Client.rpc c
+          [
+            ("op", "\"analyze\"");
+            ("program", "\"adpcm\"");
+            ("cache", "false");
+            ("trace", "true");
+          ]
+      in
+      check (Sjson.member "rid" tr <> None) "response carries no rid";
+      (match (Sjson.member "trace" tr, Sjson.member "ms" tr) with
+      | Some trace, Some ms ->
+          let ms = jnum (Some ms) in
+          let dur = jnum (Sjson.member "dur_us" trace) in
+          check
+            (Sjson.member "name" trace = Some (Sjson.Str "request"))
+            "trace root is not \"request\"";
+          check
+            (Float.abs (dur -. (ms *. 1000.0))
+            <= Float.max 1000.0 (0.05 *. ms *. 1000.0))
+            "trace root duration does not match reported latency";
+          check
+            (match Sjson.member "children" trace with
+            | Some (Sjson.Arr (_ :: _)) -> true
+            | _ -> false)
+            "uncached traced analyze has no child spans"
+      | _ -> check false "trace:true response lacks trace/ms fields");
+      (* OpenMetrics scrape over the wire *)
+      let mt = Serve.Client.rpc c [ ("op", "\"metrics_text\"") ] in
+      (match Sjson.member "text" mt with
+      | Some (Sjson.Str text) ->
+          let has needle label =
+            check (contains text needle) ("metrics_text lacks " ^ label)
+          in
+          has "# EOF\n" "the EOF terminator";
+          has "# TYPE serve_requests counter" "the serve_requests family";
+          has "serve_requests_total{op=\"analyze\"}" "the analyze counter";
+          has "# TYPE serve_request_ms histogram" "the latency histogram";
+          has "serve_request_ms_bucket{le=\"+Inf\"}" "the +Inf bucket";
+          has "serve_request_ms_sum" "the histogram sum";
+          has "serve_request_ms_count" "the histogram count";
+          has "foray_window_rps{window=\"10s\"}" "the 10s window gauge";
+          has "serve_pool_busy" "the pool gauge";
+          has "runtime_gc_major_words" "the GC gauge"
+      | _ -> check false "metrics_text response has no text field");
+      (* sliding-window stats over the wire *)
+      let m = Serve.Client.rpc c [ ("op", "\"metrics\"") ] in
+      check (window_stat m "10s" "requests" > 0.0) "10s window saw no requests";
+      check (window_stat m "10s" "rps" > 0.0) "10s window rps is zero";
+      check
+        (window_stat m "10s" "hit_rate" > 0.0)
+        "10s window hit rate is zero despite warm repeats";
+      check
+        (match Sjson.member "slow" m with
+        | Some (Sjson.Arr (_ :: _)) -> true
+        | _ -> false)
+        "slow list is empty at slow-ms 0");
+  (* the dashboard's scripting mode against the live daemon *)
+  (match run_top ~socket:path ~interval:1.0 ~once:true ~json:true with
+  | 0 -> ()
+  | _ -> check false "top --once --json failed"
+  | exception e ->
+      check false ("top --once --json raised: " ^ Printexc.to_string e));
+  Serve.Client.shutdown path;
+  Serve.wait srv;
+  (* the access log must be valid JSONL, with the slow breakdown inline *)
+  let lines =
+    In_channel.with_open_text log_path (fun ic -> In_channel.input_lines ic)
+  in
+  check (List.length lines >= 8) "access log is missing lines";
+  List.iter
+    (fun l ->
+      match Sjson.parse l with
+      | Ok j ->
+          check (Sjson.member "rid" j <> None) "access-log line lacks rid";
+          check (Sjson.member "ms" j <> None) "access-log line lacks ms"
+      | Error msg -> check false ("access-log line does not parse: " ^ msg))
+    lines;
+  check
+    (List.exists (fun l -> contains l "\"slow\": true") lines)
+    "no slow request marked in the access log";
+  check
+    (List.exists (fun l -> contains l "\"spans\": ") lines)
+    "no span breakdown in the access log";
+  check
+    (List.exists (fun l -> contains l "\"cached\": true") lines)
+    "no cache hit visible in the access log";
+  (try Sys.remove log_path with Sys_error _ -> ());
+  if !failures = 0 then begin
+    Printf.printf
+      "telemetry-smoke: OK (openmetrics scrape, inline trace, window \
+       stats, access log, top)\n";
+    0
+  end
+  else 1
+
 let jobs_serve_arg =
   let doc = "Worker domains of the analysis pool (0 = one per core)." in
   Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
@@ -1112,14 +1365,17 @@ let cache_mb_arg =
   Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB" ~doc)
 
 let serve_cmd =
-  let run socket jobs cache_mb max_steps smoke json =
+  let run socket jobs cache_mb max_steps access_log slow_ms smoke tsmoke json
+      =
     guard ~json (fun () ->
-        if smoke then run_serve_smoke ~jobs ~cache_mb
+        if tsmoke then run_telemetry_smoke ~jobs ~cache_mb
+        else if smoke then run_serve_smoke ~jobs ~cache_mb
         else begin
           let socket = Option.value socket ~default:(default_socket ()) in
           let srv =
             Serve.start
-              (serve_config ~socket ~jobs ~cache_mb ~max_steps_cap:max_steps)
+              (serve_config ?access_log ?slow_ms ~socket ~jobs ~cache_mb
+                 ~max_steps_cap:max_steps ())
           in
           Printf.eprintf "forayd: listening on %s\n%!" socket;
           Serve.wait srv;
@@ -1137,6 +1393,22 @@ let serve_cmd =
     let doc = "Server-side ceiling clamped onto every request's max_steps." in
     Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
   in
+  let access_log_arg =
+    let doc =
+      "Append one JSON line per request (ts, rid, op, digest, cache \
+       hit/miss, degradations, latency) to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+  in
+  let slow_ms_arg =
+    let doc =
+      "Slow-request threshold: requests at or over $(docv) milliseconds \
+       log their full span breakdown to the access log and appear in the \
+       metrics op's slow list (and foraygen top)."
+    in
+    Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
   let smoke_arg =
     let doc =
       "Self-test: daemon on a temp socket, cold analyze, warm analyze \
@@ -1144,6 +1416,15 @@ let serve_cmd =
        shutdown. Exit 0 iff all checks pass."
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let tsmoke_arg =
+    let doc =
+      "Telemetry self-test: daemon with access log and slow-ms 0 on a \
+       temp socket, brief soak, OpenMetrics scrape, inline trace tree, \
+       window stats, top --once --json, access-log validation. Exit 0 \
+       iff all checks pass."
+    in
+    Arg.(value & flag & info [ "telemetry-smoke" ] ~doc)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1153,7 +1434,8 @@ let serve_cmd =
           model cache and the documented E_* error taxonomy on the wire.")
     Term.(
       const run $ socket_arg $ jobs_serve_arg $ cache_mb_arg $ cap_arg
-      $ smoke_arg $ json_errors_arg)
+      $ access_log_arg $ slow_ms_arg $ smoke_arg $ tsmoke_arg
+      $ json_errors_arg)
 
 let serve_bench_cmd =
   let run socket clients requests programs cold jobs cache_mb json =
@@ -1171,7 +1453,7 @@ let serve_bench_cmd =
               let srv =
                 Serve.start
                   (serve_config ~socket:path ~jobs ~cache_mb
-                     ~max_steps_cap:None)
+                     ~max_steps_cap:None ())
               in
               (Some srv, path)
         in
@@ -1226,6 +1508,39 @@ let serve_bench_cmd =
       const run $ socket_arg $ clients_arg $ requests_arg $ programs_arg
       $ cold_arg $ jobs_serve_arg $ cache_mb_arg $ json_errors_arg)
 
+let top_cmd =
+  let run socket interval once json =
+    guard (fun () ->
+        let socket = Option.value socket ~default:(default_socket ()) in
+        run_top ~socket ~interval ~once ~json)
+  in
+  let socket_arg =
+    let doc = "Socket of the daemon to watch (default: forayd.sock)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECS" ~doc)
+  in
+  let once_arg =
+    let doc = "Print one snapshot and exit instead of refreshing." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Print the raw metrics response (JSON, one line per poll) instead \
+       of the ANSI view — for scripting, usually with $(b,--once)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running forayd: polls the daemon's metrics \
+          op and renders sliding-window rps/p50/p99/hit-rate, pool and GC \
+          gauges and the last slow requests.")
+    Term.(const run $ socket_arg $ interval_arg $ once_arg $ json_arg)
+
 (* ---- main ----------------------------------------------------------- *)
 
 let () =
@@ -1241,4 +1556,4 @@ let () =
           [ list_cmd; extract_cmd; annotate_cmd; trace_cmd; analyze_cmd;
             tree_cmd; validate_cmd; stability_cmd; compare_cmd; tables_cmd;
             spm_cmd; metrics_cmd; explain_cmd; tracecheck_cmd; faults_cmd;
-            serve_cmd; serve_bench_cmd ]))
+            serve_cmd; serve_bench_cmd; top_cmd ]))

@@ -10,13 +10,43 @@ let now () = Unix.gettimeofday ()
 
 (* --- canonical names -------------------------------------------------- *)
 
+(* Label values are rendered Prometheus-style inside the canonical name;
+   a raw '"', '\' or newline would make that name (and any exposition
+   built from it) unparseable. The escaping below is exactly the
+   OpenMetrics text-format rule, so canonical names embed directly into
+   {!to_openmetrics} output. *)
+let escape_label_value v =
+  let plain =
+    let ok = ref true in
+    String.iter
+      (fun c -> match c with '"' | '\\' | '\n' -> ok := false | _ -> ())
+      v;
+    !ok
+  in
+  if plain then v
+  else begin
+    let b = Buffer.create (String.length v + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+  end
+
 let canonical name labels =
   match labels with
   | [] -> name
   | labels ->
       let labels = List.sort compare labels in
       name ^ "{"
-      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=\"" ^ v ^ "\"") labels)
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> k ^ "=\"" ^ escape_label_value v ^ "\"")
+             labels)
       ^ "}"
 
 (* --- metric cells ----------------------------------------------------- *)
@@ -132,8 +162,18 @@ let gauge ?(labels = []) name =
   { name = canonical name labels; cached = None; find = find_gauge }
 
 let histogram ?(labels = []) ?(bounds = default_bounds) name =
-  let bounds = List.sort_uniq compare bounds in
   if bounds = [] then invalid_arg "Obs.histogram: empty bounds";
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+        if a >= b then
+          invalid_arg
+            (Printf.sprintf
+               "Obs.histogram %s: bounds must be strictly ascending (%d >= %d)"
+               name a b)
+        else ascending rest
+    | _ -> ()
+  in
+  ascending bounds;
   { name = canonical name labels; cached = None; find = find_histogram bounds }
 
 let timer ?(labels = []) name =
@@ -307,6 +347,122 @@ let to_json () =
                        ] ))
                timers) );
     ];
+  Buffer.contents buf
+
+(* --- OpenMetrics exposition ------------------------------------------- *)
+
+let sanitize_metric_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* Split a canonical name into its base and its brace-delimited label
+   block (empty when unlabeled). Label values are already escaped per the
+   OpenMetrics rules (see [escape_label_value]), so the block embeds
+   verbatim into exposition lines. *)
+let split_canonical k =
+  match String.index_opt k '{' with
+  | None -> (k, "")
+  | Some i -> (String.sub k 0 i, String.sub k i (String.length k - i))
+
+(* Merge one extra label (e.g. le="8") into an existing label block. *)
+let with_label labels kv =
+  if labels = "" then "{" ^ kv ^ "}"
+  else String.sub labels 0 (String.length labels - 1) ^ "," ^ kv ^ "}"
+
+let to_openmetrics ?(extra = "") () =
+  let bindings = sorted_bindings () in
+  (* Group series into families keyed by (sanitized base, kind). Sorted
+     order does not guarantee adjacency (e.g. "foo.bar" sorts between
+     "foo" and "foo{..}"), so group via a map, keeping first-seen order. *)
+  let groups : (string, (string * cell) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let order = ref [] in
+  List.iter
+    (fun (k, cell) ->
+      let base, labels = split_canonical k in
+      let base = sanitize_metric_name base in
+      let key = base ^ "\x00" ^ kind_name cell in
+      match Hashtbl.find_opt groups key with
+      | Some l -> l := (labels, cell) :: !l
+      | None ->
+          Hashtbl.add groups key (ref [ (labels, cell) ]);
+          order := (key, base) :: !order)
+    bindings;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (key, base) ->
+      let entries = List.rev !(Hashtbl.find groups key) in
+      match entries with
+      | [] -> ()
+      | (_, first) :: _ -> (
+          match first with
+          | Ccounter _ ->
+              Printf.bprintf buf "# TYPE %s counter\n" base;
+              List.iter
+                (fun (labels, cell) ->
+                  match cell with
+                  | Ccounter v ->
+                      Printf.bprintf buf "%s_total%s %d\n" base labels
+                        (Atomic.get v)
+                  | _ -> ())
+                entries
+          | Cgauge _ ->
+              Printf.bprintf buf "# TYPE %s gauge\n" base;
+              List.iter
+                (fun (labels, cell) ->
+                  match cell with
+                  | Cgauge v ->
+                      Printf.bprintf buf "%s%s %d\n" base labels (Atomic.get v)
+                  | _ -> ())
+                entries
+          | Chistogram _ ->
+              Printf.bprintf buf "# TYPE %s histogram\n" base;
+              List.iter
+                (fun (labels, cell) ->
+                  match cell with
+                  | Chistogram h ->
+                      let cum = ref 0 in
+                      Array.iteri
+                        (fun i c ->
+                          cum := !cum + Atomic.get c;
+                          let le =
+                            if i < Array.length h.bounds then
+                              string_of_int h.bounds.(i)
+                            else "+Inf"
+                          in
+                          Printf.bprintf buf "%s_bucket%s %d\n" base
+                            (with_label labels ("le=\"" ^ le ^ "\""))
+                            !cum)
+                        h.buckets;
+                      Printf.bprintf buf "%s_sum%s %d\n" base labels
+                        (Atomic.get h.hsum);
+                      Printf.bprintf buf "%s_count%s %d\n" base labels
+                        (Atomic.get h.hcount)
+                  | _ -> ())
+                entries
+          | Ctimer _ ->
+              Printf.bprintf buf "# TYPE %s summary\n" base;
+              List.iter
+                (fun (labels, cell) ->
+                  match cell with
+                  | Ctimer t ->
+                      Printf.bprintf buf "%s_sum%s %.6f\n" base labels
+                        t.tseconds;
+                      Printf.bprintf buf "%s_count%s %d\n" base labels
+                        t.tcount
+                  | _ -> ())
+                entries))
+    (List.rev !order);
+  if extra <> "" then begin
+    Buffer.add_string buf extra;
+    if not (String.ends_with ~suffix:"\n" extra) then Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
 let to_table () =

@@ -46,8 +46,9 @@ val counter : ?labels:(string * string) list -> string -> counter
 val gauge : ?labels:(string * string) list -> string -> gauge
 
 (** [histogram ?bounds name] — [bounds] are inclusive upper bucket edges
-    (ascending); an implicit overflow bucket is added. Default bounds
-    [1; 2; 4; 8; 16; 32; 64]. *)
+    (strictly ascending); an implicit overflow bucket is added. Default
+    bounds [1; 2; 4; 8; 16; 32; 64]. Raises [Invalid_argument] on empty,
+    unsorted or duplicate bounds. *)
 val histogram :
   ?labels:(string * string) list -> ?bounds:int list -> string -> histogram
 
@@ -105,3 +106,16 @@ val to_json : unit -> string
 
 (** Human-readable dump, one metric per line, sorted by name. *)
 val to_table : unit -> string
+
+(** The whole registry in the Prometheus / OpenMetrics text exposition
+    format, terminated by [# EOF]. Metric names are sanitized
+    ([.] becomes [_]); label values keep the escaping applied when the
+    canonical name was built. Counters render as [name_total], gauges as
+    [name], histograms as cumulative [name_bucket{le="..."}] series plus
+    [name_sum]/[name_count], and timers as summaries ([name_sum] in
+    seconds, [name_count]). Families appear in sorted-name order.
+
+    [extra], when given, must be pre-rendered exposition text (e.g.
+    {!Window.to_openmetrics} output); it is spliced in verbatim before
+    the [# EOF] terminator. *)
+val to_openmetrics : ?extra:string -> unit -> string

@@ -561,3 +561,111 @@ let setup_env () =
         set_enabled true;
         at_exit (fun () -> try write path with Sys_error _ -> ())
   end
+
+(* --- request-scoped collection ----------------------------------------- *)
+
+(* The daemon hands analysis work to a Parallel pool worker; that worker
+   domain runs exactly one task at a time, so every completed span on its
+   tid inside the task's [t0, t1] interval belongs to that one request.
+   [collect] cuts those entries out of the ring and rebuilds the call
+   forest by interval containment (spans are well-nested per track by
+   construction, including the out-of-order-leave clamping above). *)
+
+type node = {
+  n_name : string;
+  n_cat : string;
+  n_ts_us : float;
+  n_dur_us : float;
+  n_args : (string * string) list;
+  n_children : node list;
+}
+
+let current_tid () = tid ()
+
+let collect ?(max_nodes = 512) ~tid ~t0 ~t1 () =
+  let eps = 1.0 (* microsecond slack against clock rounding *) in
+  let sel =
+    snapshot () |> Array.to_list
+    |> List.filter (fun e ->
+           e.e_tid = tid && e.e_dur >= 0.0
+           && e.e_ts >= t0 -. eps
+           && e.e_ts +. e.e_dur <= t1 +. eps)
+  in
+  (* Start ascending; ties broken longest-first so a parent precedes the
+     children sharing its start timestamp. *)
+  let sel =
+    List.stable_sort
+      (fun a b ->
+        match compare a.e_ts b.e_ts with
+        | 0 -> compare b.e_dur a.e_dur
+        | c -> c)
+      sel
+  in
+  let total = List.length sel in
+  let sel, truncated =
+    if total <= max_nodes then (sel, 0)
+    else (List.filteri (fun i _ -> i < max_nodes) sel, total - max_nodes)
+  in
+  let module M = struct
+    type m = { e : entry; mutable kids : m list }
+  end in
+  let open M in
+  let roots = ref [] and stack = ref [] in
+  List.iter
+    (fun e ->
+      let fin = e.e_ts +. e.e_dur in
+      let contains top =
+        e.e_ts >= top.e.e_ts -. eps
+        && fin <= top.e.e_ts +. top.e.e_dur +. eps
+      in
+      let rec pop () =
+        match !stack with
+        | top :: rest when not (contains top) ->
+            stack := rest;
+            pop ()
+        | _ -> ()
+      in
+      pop ();
+      let m = { e; kids = [] } in
+      (match !stack with
+      | [] -> roots := m :: !roots
+      | top :: _ -> top.kids <- m :: top.kids);
+      stack := m :: !stack)
+    sel;
+  let rec freeze m =
+    {
+      n_name = m.e.e_name;
+      n_cat = m.e.e_cat;
+      n_ts_us = m.e.e_ts;
+      n_dur_us = m.e.e_dur;
+      n_args = m.e.e_args;
+      n_children = List.rev_map freeze m.kids;
+    }
+  in
+  (List.rev_map freeze !roots, truncated)
+
+let rec node_to_buf b n =
+  Buffer.add_string b "{\"name\": ";
+  add_str b n.n_name;
+  Buffer.add_string b ", \"cat\": ";
+  add_str b n.n_cat;
+  Buffer.add_string b (Printf.sprintf ", \"dur_us\": %.1f" n.n_dur_us);
+  if n.n_args <> [] then begin
+    Buffer.add_string b ", \"args\": ";
+    add_args b n.n_args
+  end;
+  if n.n_children <> [] then begin
+    Buffer.add_string b ", \"children\": [";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string b ", ";
+        node_to_buf b c)
+      n.n_children;
+    Buffer.add_char b ']'
+  end;
+  Buffer.add_char b '}'
+
+let node_to_json n =
+  let b = Buffer.create 256 in
+  node_to_buf b n;
+  Buffer.contents b

@@ -114,6 +114,46 @@ val validate_chrome : string -> (int, string) result
 (** [validate_chrome_file path] reads and validates [path]. *)
 val validate_chrome_file : string -> (int, string) result
 
+(** {1 Request-scoped collection}
+
+    The daemon runs each request's heavy analysis as one task on a
+    {!Foray_util.Parallel} pool worker. A worker domain executes a single
+    task at a time, so the completed spans recorded on that domain's tid
+    within the task's time window belong to exactly one request.
+    {!collect} cuts that slice out of the ring and rebuilds the call
+    forest, powering the daemon's ["trace": true] inline responses and
+    [--slow-ms] breakdown logging. *)
+
+(** One reconstructed span and its nested children (chronological). *)
+type node = {
+  n_name : string;
+  n_cat : string;
+  n_ts_us : float;  (** start, microseconds since the ring epoch *)
+  n_dur_us : float;
+  n_args : (string * string) list;
+  n_children : node list;
+}
+
+(** The calling domain's tid as recorded in span entries. *)
+val current_tid : unit -> int
+
+(** Microseconds since the ring epoch — the clock span timestamps use.
+    Sample before/after a pool task to bound its window for {!collect}. *)
+val now_us : unit -> float
+
+(** [collect ~tid ~t0 ~t1 ()] — the forest of completed spans recorded on
+    [tid] whose intervals fall inside [[t0, t1]] (µs since epoch), oldest
+    first. At most [max_nodes] (default 512) spans are kept; the second
+    component counts those cut. Instants are excluded. *)
+val collect :
+  ?max_nodes:int -> tid:int -> t0:float -> t1:float -> unit ->
+  node list * int
+
+(** One node as a JSON object
+    [{"name": ..., "cat": ..., "dur_us": ..., "args": {..}?,
+    "children": [..]?}]. *)
+val node_to_json : node -> string
+
 (** {1 Environment activation}
 
     [setup_env ()] reads the process environment once (idempotent):

@@ -1,0 +1,193 @@
+(* Sliding-window request stats: a ring of per-second buckets. Each
+   bucket carries outcome counts plus a fixed-bucket latency histogram;
+   folding a window is a linear scan over at most [capacity] buckets.
+   One mutex guards the ring — contention is one short critical section
+   per request plus one per scrape. *)
+
+type kind = Hit | Miss | Uncached | Error
+
+let capacity = 300
+let windows = [ 10; 60; 300 ]
+
+(* Latency quantization edges (ms). Matches the spirit of the daemon's
+   serve.request_ms histogram; the last edge saturates (an 8s request
+   records as 5000ms) so percentiles never invent a value outside the
+   scale. *)
+let edges = [| 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 2000; 5000 |]
+let nedges = Array.length edges
+
+let quantize_idx ms =
+  let ms = if ms < 0 then 0 else ms in
+  let rec go i = if i >= nedges - 1 || ms <= edges.(i) then i else go (i + 1) in
+  go 0
+
+let quantize_ms ms = edges.(quantize_idx ms)
+
+type bucket = {
+  mutable b_sec : int; (* epoch second this slot currently represents *)
+  mutable b_requests : int;
+  mutable b_errors : int;
+  mutable b_hits : int;
+  mutable b_misses : int;
+  b_lat : int array; (* counts per quantization edge *)
+}
+
+type t = { ring : bucket array; m : Mutex.t }
+
+let create () =
+  {
+    ring =
+      Array.init capacity (fun _ ->
+          {
+            b_sec = -1;
+            b_requests = 0;
+            b_errors = 0;
+            b_hits = 0;
+            b_misses = 0;
+            b_lat = Array.make nedges 0;
+          });
+    m = Mutex.create ();
+  }
+
+let slot t sec =
+  let b = t.ring.(sec mod capacity) in
+  if b.b_sec <> sec then begin
+    b.b_sec <- sec;
+    b.b_requests <- 0;
+    b.b_errors <- 0;
+    b.b_hits <- 0;
+    b.b_misses <- 0;
+    Array.fill b.b_lat 0 nedges 0
+  end;
+  b
+
+let record ?now t kind ms =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  let sec = int_of_float now in
+  Mutex.lock t.m;
+  let b = slot t sec in
+  b.b_requests <- b.b_requests + 1;
+  (match kind with
+  | Hit -> b.b_hits <- b.b_hits + 1
+  | Miss -> b.b_misses <- b.b_misses + 1
+  | Uncached -> ()
+  | Error -> b.b_errors <- b.b_errors + 1);
+  let i = quantize_idx ms in
+  b.b_lat.(i) <- b.b_lat.(i) + 1;
+  Mutex.unlock t.m
+
+type stats = {
+  w_seconds : int;
+  w_requests : int;
+  w_errors : int;
+  w_hits : int;
+  w_misses : int;
+  w_rps : float;
+  w_error_rate : float;
+  w_hit_rate : float;
+  w_p50_ms : int;
+  w_p99_ms : int;
+}
+
+let percentile lat n p =
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else rank in
+    let cum = ref 0 and res = ref edges.(nedges - 1) in
+    (try
+       for i = 0 to nedges - 1 do
+         cum := !cum + lat.(i);
+         if !cum >= rank then begin
+           res := edges.(i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end
+
+let stats ?now t seconds =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  let seconds = max 1 (min seconds capacity) in
+  let sec = int_of_float now in
+  let lo = sec - seconds + 1 in
+  let requests = ref 0
+  and errors = ref 0
+  and hits = ref 0
+  and misses = ref 0 in
+  let lat = Array.make nedges 0 in
+  Mutex.lock t.m;
+  Array.iter
+    (fun b ->
+      if b.b_sec >= lo && b.b_sec <= sec then begin
+        requests := !requests + b.b_requests;
+        errors := !errors + b.b_errors;
+        hits := !hits + b.b_hits;
+        misses := !misses + b.b_misses;
+        Array.iteri (fun i c -> lat.(i) <- lat.(i) + c) b.b_lat
+      end)
+    t.ring;
+  Mutex.unlock t.m;
+  let n = !requests in
+  let cached = !hits + !misses in
+  {
+    w_seconds = seconds;
+    w_requests = n;
+    w_errors = !errors;
+    w_hits = !hits;
+    w_misses = !misses;
+    w_rps = float_of_int n /. float_of_int seconds;
+    w_error_rate =
+      (if n = 0 then 0.0 else float_of_int !errors /. float_of_int n);
+    w_hit_rate =
+      (if cached = 0 then 0.0 else float_of_int !hits /. float_of_int cached);
+    w_p50_ms = percentile lat n 0.50;
+    w_p99_ms = percentile lat n 0.99;
+  }
+
+let stats_to_json s =
+  Printf.sprintf
+    "{\"seconds\": %d, \"requests\": %d, \"errors\": %d, \"hits\": %d, \
+     \"misses\": %d, \"rps\": %.2f, \"error_rate\": %.4f, \"hit_rate\": \
+     %.4f, \"p50_ms\": %d, \"p99_ms\": %d}"
+    s.w_seconds s.w_requests s.w_errors s.w_hits s.w_misses s.w_rps
+    s.w_error_rate s.w_hit_rate s.w_p50_ms s.w_p99_ms
+
+let all_to_json ?now t =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun w ->
+           Printf.sprintf "\"%ds\": %s" w (stats_to_json (stats ~now t w)))
+         windows)
+  ^ "}"
+
+let to_openmetrics ?now t =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  let all = List.map (fun w -> (w, stats ~now t w)) windows in
+  let buf = Buffer.create 1024 in
+  let family name fmt get =
+    Printf.bprintf buf "# TYPE foray_window_%s gauge\n" name;
+    List.iter
+      (fun (w, s) ->
+        Printf.bprintf buf "foray_window_%s{window=\"%ds\"} %s\n" name w
+          (Printf.sprintf fmt (get s)))
+      all
+  in
+  let familyi name get =
+    Printf.bprintf buf "# TYPE foray_window_%s gauge\n" name;
+    List.iter
+      (fun (w, s) ->
+        Printf.bprintf buf "foray_window_%s{window=\"%ds\"} %d\n" name w
+          (get s))
+      all
+  in
+  familyi "requests" (fun s -> s.w_requests);
+  family "rps" "%.2f" (fun s -> s.w_rps);
+  family "error_rate" "%.4f" (fun s -> s.w_error_rate);
+  family "hit_rate" "%.4f" (fun s -> s.w_hit_rate);
+  familyi "p50_ms" (fun s -> s.w_p50_ms);
+  familyi "p99_ms" (fun s -> s.w_p99_ms);
+  Buffer.contents buf

@@ -1,0 +1,76 @@
+(** Sliding-window request aggregation for the daemon.
+
+    Lifetime totals ({!Obs}) answer "how much work since boot"; a live
+    service also needs "what is p99 {e right now}". A {!t} is a ring of
+    per-second buckets: each request is recorded once (outcome kind +
+    latency), and {!stats} folds the last [N] seconds into rps, error
+    rate, cache hit rate and latency percentiles without touching the
+    lifetime registry.
+
+    {b Cost.} One mutex-protected bucket update per request (a handful of
+    int increments) — negligible next to even a cache-hit analyze.
+
+    {b Determinism.} Every operation takes an optional [?now] (seconds
+    since the epoch, as {!Obs.now}) so tests can replay a stream at fixed
+    timestamps. Latencies are quantized to the upper edge of a fixed
+    bucket (see {!quantize_ms}); percentiles are exact over the quantized
+    stream, which is what the qcheck oracle checks. *)
+
+type t
+
+(** Request outcome, as recorded per request:
+    - [Hit] — served from the model cache;
+    - [Miss] — full analysis, result entered the cache;
+    - [Uncached] — full analysis, caching not requested or not cacheable
+      (excluded from the hit-rate denominator);
+    - [Error] — request failed (wire errors count; transport drops don't). *)
+type kind = Hit | Miss | Uncached | Error
+
+(** Ring capacity in seconds — also the widest supported window. *)
+val capacity : int
+
+(** The window lengths (seconds) reported by {!to_openmetrics} and the
+    daemon's [metrics] op: 10, 60, 300. *)
+val windows : int list
+
+val create : unit -> t
+
+(** Record one completed request. [ms] is the request latency in
+    milliseconds (clamped to 0 if negative). *)
+val record : ?now:float -> t -> kind -> int -> unit
+
+(** [quantize_ms ms] is the latency value that {!record} effectively
+    stores: the smallest bucket upper edge [>= ms], saturating at the top
+    edge. Exposed so tests can build an exact percentile oracle. *)
+val quantize_ms : int -> int
+
+type stats = {
+  w_seconds : int;  (** the window actually used (clamped to capacity) *)
+  w_requests : int;
+  w_errors : int;
+  w_hits : int;
+  w_misses : int;
+  w_rps : float;  (** requests / window seconds *)
+  w_error_rate : float;  (** errors / requests, 0 when idle *)
+  w_hit_rate : float;  (** hits / (hits + misses), 0 when no cached ops *)
+  w_p50_ms : int;  (** 0 when idle *)
+  w_p99_ms : int;
+}
+
+(** Aggregate the last [seconds] (clamped to {!capacity}), including the
+    current partial second. Percentile [p] is the quantized latency of
+    the sample with 1-based rank [ceil (p * n)]. *)
+val stats : ?now:float -> t -> int -> stats
+
+(** [{"seconds": 10, "requests": ..., "rps": ..., ...}] — all {!stats}
+    fields; rates with 4 decimals, rps with 2. *)
+val stats_to_json : stats -> string
+
+(** One JSON object keyed by window length: [{"10s": {...}, "60s": {...},
+    "300s": {...}}]. *)
+val all_to_json : ?now:float -> t -> string
+
+(** OpenMetrics gauge families ([foray_window_rps{window="10s"} ...] and
+    friends) for every window in {!windows} — rendered text meant to be
+    passed as [~extra] to {!Obs.to_openmetrics}. *)
+val to_openmetrics : ?now:float -> t -> string

@@ -3,6 +3,8 @@ module Pipeline = Foray_core.Pipeline
 module Filter = Foray_core.Filter
 module Model = Foray_core.Model
 module Obs = Foray_obs.Obs
+module Span = Foray_obs.Span
+module Window = Foray_obs.Window
 module Parallel = Foray_util.Parallel
 module Interp = Minic_sim.Interp
 
@@ -24,6 +26,17 @@ let m_request_ms =
        ~bounds:[ 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 2000; 5000 ]
        "serve.request_ms")
 
+(* Runtime gauges, sampled at scrape time (the metrics / metrics_text
+   ops) rather than continuously — a scrape sees the state it asked
+   about, and an idle daemon costs nothing. *)
+let m_gc_major_words = lazy (Obs.gauge "runtime.gc.major_words")
+let m_gc_compactions = lazy (Obs.gauge "runtime.gc.compactions")
+let m_gc_heap_words = lazy (Obs.gauge "runtime.gc.heap_words")
+let m_pool_pending = lazy (Obs.gauge "serve.pool.pending")
+let m_pool_busy = lazy (Obs.gauge "serve.pool.busy")
+let m_conn_active = lazy (Obs.gauge "serve.connections.active")
+let m_slow_requests = lazy (Obs.counter "serve.slow_requests")
+
 (* ------------------------------------------------------------------ *)
 (* Configuration and server state                                     *)
 
@@ -32,6 +45,8 @@ type config = {
   jobs : int;
   cache_bytes : int;
   max_steps_cap : int option;
+  access_log : string option;
+  slow_ms : int option;
 }
 
 let default_config ~socket_path =
@@ -40,6 +55,8 @@ let default_config ~socket_path =
     jobs = Parallel.default_jobs ();
     cache_bytes = 64 * 1024 * 1024;
     max_steps_cap = None;
+    access_log = None;
+    slow_ms = None;
   }
 
 (* The cached product of one analysis: everything both [analyze] and
@@ -54,6 +71,17 @@ type payload = {
   mp_events : int;
 }
 
+(* Remembered for [top] and the [metrics] op: the last few requests that
+   crossed the slow threshold. *)
+type slow_entry = {
+  sl_rid : int;
+  sl_op : string;
+  sl_ms : float;
+  sl_ts : float; (* epoch seconds at completion *)
+}
+
+let slow_keep = 16
+
 type server = {
   s_cfg : config;
   s_fd : Unix.file_descr;
@@ -65,6 +93,12 @@ type server = {
   s_conn_cond : Condition.t;
   mutable s_active : int;
   mutable s_acceptor : unit Domain.t option;
+  s_window : Window.t;
+  s_rid : int Atomic.t;
+  s_log : out_channel option;
+  s_log_mutex : Mutex.t;
+  s_slow : slow_entry Queue.t; (* newest at the back, <= slow_keep *)
+  s_slow_mutex : Mutex.t;
 }
 
 let socket_path srv = srv.s_cfg.socket_path
@@ -136,25 +170,60 @@ let render_id j =
   | Some (Json.Str s) -> Printf.sprintf "\"%s\"" (Ferr.json_escape s)
   | _ -> "null"
 
-let render_error ~id e =
-  Obs.incr (Lazy.force m_errors);
-  Printf.sprintf "{\"id\": %s, \"status\": \"error\", \"error\": %s}" id
-    (Ferr.to_json e)
+(* The window of one request's pool task: the worker domain's span tid
+   and the [t0, t1] interval (µs since the span epoch) its spans lie in. *)
+type span_window = { sw_tid : int; sw_t0 : float; sw_t1 : float }
 
-let render_ok ~id ~op ~cached ~degraded p =
+(* The inline trace of a request: a synthetic "request" root whose
+   duration is the connection-measured latency (the same number the
+   access log reports), with the pool task's reconstructed span forest as
+   children. Cache hits never touched the pool, so their tree is just the
+   root. *)
+let trace_tree ~rid ~op ~dt_ms sw =
+  let children, cut =
+    match sw with
+    | None -> ([], 0)
+    | Some { sw_tid; sw_t0; sw_t1 } ->
+        Span.collect ~tid:sw_tid ~t0:sw_t0 ~t1:sw_t1 ()
+  in
+  let args =
+    [ ("rid", string_of_int rid); ("op", op) ]
+    @ if cut > 0 then [ ("spans_cut", string_of_int cut) ] else []
+  in
+  {
+    Span.n_name = "request";
+    n_cat = "serve";
+    n_ts_us = (match sw with Some s -> s.sw_t0 | None -> 0.0);
+    n_dur_us = dt_ms *. 1000.0;
+    n_args = args;
+    n_children = children;
+  }
+
+let render_error ~id ~rid ~dt_ms e =
+  Printf.sprintf
+    "{\"id\": %s, \"rid\": %d, \"status\": \"error\", \"error\": %s, \
+     \"ms\": %.3f}"
+    id rid (Ferr.to_json e) dt_ms
+
+let render_ok ~id ~rid ~op ~cached ~degraded ~dt_ms ~trace p =
   let buf = Buffer.create (String.length p.mp_model + 256) in
   Printf.bprintf buf
-    "{\"id\": %s, \"status\": \"ok\", \"op\": \"%s\", \"cached\": %b, \
-     \"model\": \"%s\""
-    id op cached
+    "{\"id\": %s, \"rid\": %d, \"status\": \"ok\", \"op\": \"%s\", \
+     \"cached\": %b, \"model\": \"%s\""
+    id rid op cached
     (Ferr.json_escape p.mp_model);
   if op <> "extract" then
     Printf.bprintf buf
       ", \"n_refs\": %d, \"n_loops\": %d, \"steps\": %d, \"accesses\": %d, \
        \"events\": %d"
       p.mp_n_refs p.mp_n_loops p.mp_steps p.mp_accesses p.mp_events;
-  Printf.bprintf buf ", \"degraded\": [%s]}"
+  Printf.bprintf buf ", \"degraded\": [%s]"
     (String.concat ", " (List.map Pipeline.degradation_to_json degraded));
+  (match trace with
+  | None -> ()
+  | Some node ->
+      Printf.bprintf buf ", \"trace\": %s" (Span.node_to_json node));
+  Printf.bprintf buf ", \"ms\": %.3f}" dt_ms;
   Buffer.contents buf
 
 let cache_find srv key =
@@ -189,6 +258,7 @@ type request = {
   rq_program : string option;
   rq_source : string option;
   rq_trace : string option;
+  rq_want_trace : bool; (* "trace": true — inline span tree in response *)
   rq_config : Interp.config;
   rq_thresholds : Filter.thresholds;
   rq_cache : bool;
@@ -204,7 +274,19 @@ let parse_request srv j op =
   in
   let* program = field Json.str_field "program" in
   let* source = field Json.str_field "source" in
-  let* trace = field Json.str_field "trace" in
+  (* "trace" is overloaded by JSON type: a string is a stored-trace path
+     (analyze this file), a bool asks for the request's own span tree
+     inline in the response. *)
+  let* trace, want_trace =
+    match Json.member "trace" j with
+    | None | Some Json.Null -> Ok (None, false)
+    | Some (Json.Str s) -> Ok (Some s, false)
+    | Some (Json.Bool b) -> Ok (None, b)
+    | Some _ ->
+        Error
+          (Ferr.Bad_request
+             { msg = "field \"trace\": expected a string path or a bool" })
+  in
   let* max_steps = field Json.int_field "max_steps" in
   let* deadline_ms = field Json.int_field "deadline_ms" in
   let* max_trace_events = field Json.int_field "max_trace_events" in
@@ -248,6 +330,7 @@ let parse_request srv j op =
       rq_program = program;
       rq_source = source;
       rq_trace = trace;
+      rq_want_trace = want_trace;
       rq_config = config;
       rq_thresholds = thresholds;
       rq_cache = Option.value use_cache ~default:true;
@@ -266,19 +349,37 @@ let payload_of_outcome (r : Pipeline.result) =
     mp_events = Foray_trace.Tstats.total_accesses r.Pipeline.tstats;
   }
 
+(* Run [f] on the domain pool inside a rid-tagged span, capturing the
+   worker's tid and time window. A pool worker executes one task at a
+   time, so every completed span on that tid within [t0, t1] belongs to
+   this request — which is what lets [Span.collect] cut the request's
+   tree out of the process-global ring without per-request plumbing. *)
+let pool_run srv ~rid ~op f =
+  Parallel.await
+    (Parallel.async srv.s_pool (fun () ->
+         let tid = Span.current_tid () in
+         let t0 = Span.now_us () in
+         let v =
+           Span.with_span ~cat:"serve"
+             ~args:[ ("rid", string_of_int rid); ("op", op) ]
+             "serve.request" f
+         in
+         let t1 = Span.now_us () in
+         (v, { sw_tid = tid; sw_t0 = t0; sw_t1 = t1 })))
+
 (* Analyze a program source: cache lookup, then the full pipeline on the
    domain pool. Only complete (non-degraded) outcomes enter the cache, so
    a hit can always claim [degraded: []]. *)
-let analyze_source srv rq src =
+let analyze_source srv rq ~rid src =
+  let digest = Digest.to_hex (Digest.string src) in
   let key = Pipeline.model_key ~config:rq.rq_config ~thresholds:rq.rq_thresholds src in
   match if rq.rq_cache then cache_find srv key else None with
-  | Some p -> Ok (p, true, [])
+  | Some p -> Ok (p, true, [], digest, None)
   | None -> (
-      let outcome =
-        Parallel.await
-          (Parallel.async srv.s_pool (fun () ->
-               Pipeline.run_source ~config:rq.rq_config
-                 ~thresholds:rq.rq_thresholds src))
+      let outcome, sw =
+        pool_run srv ~rid ~op:rq.rq_op (fun () ->
+            Pipeline.run_source ~config:rq.rq_config
+              ~thresholds:rq.rq_thresholds src)
       in
       match outcome with
       | Error e -> Error e
@@ -287,30 +388,30 @@ let analyze_source srv rq src =
       | Ok { Pipeline.result = r; degraded } ->
           let p = payload_of_outcome r in
           if rq.rq_cache && degraded = [] then cache_add srv key p;
-          Ok (p, false, degraded))
+          Ok (p, false, degraded, digest, Some sw))
 
 (* Analyze a stored trace file (Steps 3-4 only): keyed by content digest
    plus the Step-4 thresholds — the only knobs that change the model of a
    stored trace (shard count is bit-identical by construction). *)
-let analyze_trace srv rq path =
+let analyze_trace srv rq ~rid path =
   if not (Sys.file_exists path) then
     Error (Ferr.Not_found_program { name = path })
   else
     match Digest.file path with
     | exception Sys_error _ -> Error (Ferr.Not_found_program { name = path })
     | digest -> (
+        let digest_hex = Digest.to_hex digest in
         let key =
-          Printf.sprintf "trace:%s:%d:%d" (Digest.to_hex digest)
+          Printf.sprintf "trace:%s:%d:%d" digest_hex
             rq.rq_thresholds.Filter.nexec rq.rq_thresholds.Filter.nloc
         in
         match if rq.rq_cache then cache_find srv key else None with
-        | Some p -> Ok (p, true, [])
+        | Some p -> Ok (p, true, [], digest_hex, None)
         | None -> (
-            let res =
-              Parallel.await
-                (Parallel.async srv.s_pool (fun () ->
-                     Pipeline.analyze_trace ~strict:rq.rq_strict
-                       ~shards:rq.rq_shards ?jobs:rq.rq_jobs path))
+            let res, sw =
+              pool_run srv ~rid ~op:rq.rq_op (fun () ->
+                  Pipeline.analyze_trace ~strict:rq.rq_strict
+                    ~shards:rq.rq_shards ?jobs:rq.rq_jobs path)
             in
             match res with
             | Error { Foray_trace.Tracefile.offset; kind; events_before } ->
@@ -354,14 +455,14 @@ let analyze_trace srv rq path =
                   }
                 in
                 if rq.rq_cache && degraded = [] then cache_add srv key p;
-                Ok (p, false, degraded)))
+                Ok (p, false, degraded, digest_hex, Some sw)))
 
-let handle_analyze srv j ~id ~op =
-  match
-    let ( let* ) = Result.bind in
-    let* rq = parse_request srv j op in
+let handle_analyze srv j ~rid ~op =
+  let ( let* ) = Result.bind in
+  let* rq = parse_request srv j op in
+  let* p, cached, degraded, digest, sw =
     match rq.rq_trace with
-    | Some path -> analyze_trace srv rq path
+    | Some path -> analyze_trace srv rq ~rid path
     | None -> (
         let* src =
           match (rq.rq_source, rq.rq_program) with
@@ -376,62 +477,235 @@ let handle_analyze srv j ~id ~op =
                          "%s needs \"program\", \"source\" or \"trace\"" op;
                    })
         in
-        analyze_source srv rq src)
-  with
-  | Ok (p, cached, degraded) -> render_ok ~id ~op ~cached ~degraded p
-  | Error e -> render_error ~id e
+        analyze_source srv rq ~rid src)
+  in
+  Ok (rq, p, cached, degraded, digest, sw)
 
-(* One request line in, one response line out. Returns the response and
-   whether the connection (or the whole server) should wind down. *)
-let handle_line srv line =
+(* ------------------------------------------------------------------ *)
+(* Per-request accounting: runtime gauges, window, access log, slow   *)
+
+let sample_runtime_gauges srv =
+  let g = Gc.quick_stat () in
+  Obs.set (Lazy.force m_gc_major_words) (int_of_float g.Gc.major_words);
+  Obs.set (Lazy.force m_gc_compactions) g.Gc.compactions;
+  Obs.set (Lazy.force m_gc_heap_words) g.Gc.heap_words;
+  Obs.set (Lazy.force m_pool_pending) (Parallel.pool_pending srv.s_pool);
+  Obs.set (Lazy.force m_pool_busy) (Parallel.pool_busy srv.s_pool);
+  Mutex.lock srv.s_conn_mutex;
+  let active = srv.s_active in
+  Mutex.unlock srv.s_conn_mutex;
+  Obs.set (Lazy.force m_conn_active) active
+
+let slow_to_json e =
+  Printf.sprintf "{\"rid\": %d, \"op\": \"%s\", \"ms\": %.3f, \"ts\": %.3f}"
+    e.sl_rid (Ferr.json_escape e.sl_op) e.sl_ms e.sl_ts
+
+let slow_snapshot srv =
+  Mutex.lock srv.s_slow_mutex;
+  let l = List.of_seq (Queue.to_seq srv.s_slow) in
+  Mutex.unlock srv.s_slow_mutex;
+  l
+
+let slow_push srv e =
+  Mutex.lock srv.s_slow_mutex;
+  Queue.push e srv.s_slow;
+  while Queue.length srv.s_slow > slow_keep do
+    ignore (Queue.pop srv.s_slow)
+  done;
+  Mutex.unlock srv.s_slow_mutex
+
+(* One JSONL access-log line per request. Absent fields are omitted, not
+   nulled, so lines stay grep-friendly; [spans] (the full breakdown) only
+   appears on slow requests. *)
+let log_request srv ~rid ~op ~dt_ms ~digest ~cached ~err ~degraded ~steps
+    ~slow_spans =
+  match srv.s_log with
+  | None -> ()
+  | Some oc ->
+      let buf = Buffer.create 256 in
+      Printf.bprintf buf
+        "{\"ts\": %.3f, \"rid\": %d, \"op\": \"%s\", \"status\": \"%s\""
+        (Unix.gettimeofday ()) rid (Ferr.json_escape op)
+        (match err with None -> "ok" | Some _ -> "error");
+      (match err with
+      | Some code -> Printf.bprintf buf ", \"error\": \"%s\"" code
+      | None -> ());
+      (match digest with
+      | Some d ->
+          Printf.bprintf buf ", \"digest\": \"%s\"" (Ferr.json_escape d)
+      | None -> ());
+      (match cached with
+      | Some b -> Printf.bprintf buf ", \"cached\": %b" b
+      | None -> ());
+      if degraded <> [] then
+        Printf.bprintf buf ", \"degraded\": [%s]"
+          (String.concat ", "
+             (List.map Pipeline.degradation_to_json degraded));
+      if steps > 0 then Printf.bprintf buf ", \"steps\": %d" steps;
+      Printf.bprintf buf ", \"ms\": %.3f" dt_ms;
+      (match slow_spans with
+      | Some node ->
+          Printf.bprintf buf ", \"slow\": true, \"spans\": %s"
+            (Span.node_to_json node)
+      | None -> ());
+      Buffer.add_char buf '}';
+      Mutex.lock srv.s_log_mutex;
+      output_string oc (Buffer.contents buf);
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock srv.s_log_mutex
+
+(* What one dispatched request hands back to the accounting wrapper: a
+   response renderer (latency-parameterized, so the reported [ms], the
+   access-log latency and an inline trace root all quote the same
+   number) plus everything the window/log need. *)
+type handled = {
+  h_render : dt_ms:float -> string;
+  h_wind_down : bool;
+  h_op : string;
+  h_kind : Window.kind;
+  h_digest : string option;
+  h_cached : bool option;
+  h_degraded : Pipeline.degradation list;
+  h_steps : int;
+  h_err : string option; (* stable E_* code *)
+  h_sw : span_window option;
+}
+
+let dispatch srv ~rid line =
+  let mk ?(wind = false) ?(kind = Window.Uncached) ?(digest = None)
+      ?(cached = None) ?(degraded = []) ?(steps = 0) ?(err = None)
+      ?(sw = None) ~op render =
+    {
+      h_render = render;
+      h_wind_down = wind;
+      h_op = op;
+      h_kind = kind;
+      h_digest = digest;
+      h_cached = cached;
+      h_degraded = degraded;
+      h_steps = steps;
+      h_err = err;
+      h_sw = sw;
+    }
+  in
+  let error ~id ~op e =
+    Obs.incr (Lazy.force m_errors);
+    mk ~op ~kind:Window.Error ~err:(Some (Ferr.code e)) (fun ~dt_ms ->
+        render_error ~id ~rid ~dt_ms e)
+  in
   match Json.parse line with
-  | Error msg ->
-      (render_error ~id:"null" (Ferr.Bad_request { msg }), false)
+  | Error msg -> error ~id:"null" ~op:"parse" (Ferr.Bad_request { msg })
   | Ok j -> (
       let id = render_id j in
       match Json.str_field "op" j with
-      | Error msg -> (render_error ~id (Ferr.Bad_request { msg }), false)
+      | Error msg -> error ~id ~op:"parse" (Ferr.Bad_request { msg })
       | Ok None ->
-          (render_error ~id (Ferr.Bad_request { msg = "missing \"op\"" }), false)
+          error ~id ~op:"parse" (Ferr.Bad_request { msg = "missing \"op\"" })
       | Ok (Some op) -> (
           Obs.incr (m_requests op);
           match op with
           | "ping" ->
-              ( Printf.sprintf "{\"id\": %s, \"status\": \"ok\", \"op\": \"ping\"}" id,
-                false )
+              mk ~op (fun ~dt_ms ->
+                  Printf.sprintf
+                    "{\"id\": %s, \"rid\": %d, \"status\": \"ok\", \"op\": \
+                     \"ping\", \"ms\": %.3f}"
+                    id rid dt_ms)
           | "metrics" ->
-              ( Printf.sprintf
-                  "{\"id\": %s, \"status\": \"ok\", \"op\": \"metrics\", \
-                   \"metrics\": %s}"
-                  id (Obs.to_json ()),
-                false )
+              sample_runtime_gauges srv;
+              let metrics = Obs.to_json () in
+              let window = Window.all_to_json srv.s_window in
+              let slow =
+                String.concat ", "
+                  (List.map slow_to_json (slow_snapshot srv))
+              in
+              mk ~op (fun ~dt_ms ->
+                  Printf.sprintf
+                    "{\"id\": %s, \"rid\": %d, \"status\": \"ok\", \"op\": \
+                     \"metrics\", \"metrics\": %s, \"window\": %s, \"slow\": \
+                     [%s], \"ms\": %.3f}"
+                    id rid metrics window slow dt_ms)
+          | "metrics_text" ->
+              sample_runtime_gauges srv;
+              let text =
+                Obs.to_openmetrics
+                  ~extra:(Window.to_openmetrics srv.s_window)
+                  ()
+              in
+              mk ~op (fun ~dt_ms ->
+                  Printf.sprintf
+                    "{\"id\": %s, \"rid\": %d, \"status\": \"ok\", \"op\": \
+                     \"metrics_text\", \"text\": \"%s\", \"ms\": %.3f}"
+                    id rid (Ferr.json_escape text) dt_ms)
           | "shutdown" ->
               Atomic.set srv.s_stop true;
-              ( Printf.sprintf
-                  "{\"id\": %s, \"status\": \"ok\", \"op\": \"shutdown\"}" id,
-                true )
+              mk ~op ~wind:true (fun ~dt_ms ->
+                  Printf.sprintf
+                    "{\"id\": %s, \"rid\": %d, \"status\": \"ok\", \"op\": \
+                     \"shutdown\", \"ms\": %.3f}"
+                    id rid dt_ms)
           | "analyze" | "extract" -> (
-              match handle_analyze srv j ~id ~op with
-              | resp -> (resp, false)
+              match handle_analyze srv j ~rid ~op with
+              | Ok (rq, p, cached, degraded, digest, sw) ->
+                  let kind =
+                    if cached then Window.Hit
+                    else if rq.rq_cache then Window.Miss
+                    else Window.Uncached
+                  in
+                  mk ~op ~kind ~digest:(Some digest) ~cached:(Some cached)
+                    ~degraded ~steps:p.mp_steps ~sw (fun ~dt_ms ->
+                      let trace =
+                        if rq.rq_want_trace then
+                          Some (trace_tree ~rid ~op ~dt_ms sw)
+                        else None
+                      in
+                      render_ok ~id ~rid ~op ~cached ~degraded ~dt_ms ~trace
+                        p)
+              | Error e -> error ~id ~op e
               | exception e -> (
                   (* a worker exception that escaped the taxonomy must
                      never kill the daemon — or poison other clients *)
                   match Ferr.of_exn e with
-                  | Some fe -> (render_error ~id fe, false)
+                  | Some fe -> error ~id ~op fe
                   | None ->
-                      ( render_error ~id
-                          (Ferr.Runtime
-                             {
-                               loc = "serve";
-                               step = -1;
-                               msg = Printexc.to_string e;
-                             }),
-                        false )))
+                      error ~id ~op
+                        (Ferr.Runtime
+                           {
+                             loc = "serve";
+                             step = -1;
+                             msg = Printexc.to_string e;
+                           })))
           | other ->
-              ( render_error ~id
-                  (Ferr.Bad_request
-                     { msg = Printf.sprintf "unknown op %S" other }),
-                false )))
+              error ~id ~op:other
+                (Ferr.Bad_request
+                   { msg = Printf.sprintf "unknown op %S" other })))
+
+(* One request line in, one response line out. Returns the response and
+   whether the connection (or the whole server) should wind down. *)
+let handle_line srv line =
+  let rid = Atomic.fetch_and_add srv.s_rid 1 in
+  let t0 = Unix.gettimeofday () in
+  let h = dispatch srv ~rid line in
+  let dt_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Obs.observe (Lazy.force m_request_ms) (int_of_float dt_ms);
+  Window.record srv.s_window h.h_kind (int_of_float dt_ms);
+  let slow_spans =
+    match srv.s_cfg.slow_ms with
+    | Some thr when dt_ms >= float_of_int thr ->
+        Obs.incr (Lazy.force m_slow_requests);
+        slow_push srv
+          {
+            sl_rid = rid;
+            sl_op = h.h_op;
+            sl_ms = dt_ms;
+            sl_ts = Unix.gettimeofday ();
+          };
+        Some (trace_tree ~rid ~op:h.h_op ~dt_ms h.h_sw)
+    | _ -> None
+  in
+  log_request srv ~rid ~op:h.h_op ~dt_ms ~digest:h.h_digest ~cached:h.h_cached
+    ~err:h.h_err ~degraded:h.h_degraded ~steps:h.h_steps ~slow_spans;
+  (h.h_render ~dt_ms, h.h_wind_down)
 
 (* Wake the acceptor blocked in [Unix.accept]: connect to ourselves and
    hang up. Done after every shutdown reply, by the connection thread. *)
@@ -450,11 +724,7 @@ let serve_connection srv fd =
     | None -> ()
     | Some line when String.trim line = "" -> loop ()
     | Some line ->
-        let t0 = Unix.gettimeofday () in
         let resp, wind_down = handle_line srv line in
-        Obs.observe
-          (Lazy.force m_request_ms)
-          (int_of_float ((Unix.gettimeofday () -. t0) *. 1000.0));
         write_line fd resp;
         if wind_down then poke srv else loop ()
   in
@@ -499,6 +769,9 @@ let accept_loop srv =
   done;
   Mutex.unlock srv.s_conn_mutex;
   Parallel.shutdown_pool srv.s_pool;
+  (match srv.s_log with
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())
+  | None -> ());
   (try Unix.close srv.s_fd with Unix.Unix_error _ -> ());
   try Unix.unlink srv.s_cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
 
@@ -514,15 +787,27 @@ let remove_stale path =
 let start cfg =
   if cfg.jobs < 1 then invalid_arg "Serve.start: jobs must be >= 1";
   Obs.set_enabled true;
+  (* spans feed the per-request trees ("trace": true, --slow-ms); the
+     ring overwrites its oldest entries, so leaving this on is bounded *)
+  Span.set_enabled true;
   (* a client vanishing mid-response must be an EPIPE error, not a kill *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   remove_stale cfg.socket_path;
+  let log =
+    match cfg.access_log with
+    | None -> None
+    | Some path ->
+        Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+  in
   let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
   (match Unix.bind fd (ADDR_UNIX cfg.socket_path) with
   | () -> ()
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match log with
+      | Some oc -> ( try close_out oc with Sys_error _ -> ())
+      | None -> ());
       raise e);
   Unix.listen fd 64;
   let srv =
@@ -537,6 +822,12 @@ let start cfg =
       s_conn_cond = Condition.create ();
       s_active = 0;
       s_acceptor = None;
+      s_window = Window.create ();
+      s_rid = Atomic.make 1;
+      s_log = log;
+      s_log_mutex = Mutex.create ();
+      s_slow = Queue.create ();
+      s_slow_mutex = Mutex.create ();
     }
   in
   srv.s_acceptor <- Some (Domain.spawn (fun () -> accept_loop srv));
@@ -600,12 +891,15 @@ type bench_result = {
   br_rps : float;
   br_p50_ms : float;
   br_p99_ms : float;
-  br_hits : int;
+  br_hits : int; (* soak-only delta, not lifetime totals *)
   br_misses : int;
   br_hit_rate : float;
   br_cold_ms : float;
   br_warm_ms : float;
   br_warm_speedup : float;
+  br_win_rps : float; (* daemon-side 10s window, read post-soak *)
+  br_win_p50_ms : int;
+  br_win_p99_ms : int;
 }
 
 let percentile sorted p =
@@ -650,6 +944,17 @@ let bench ~socket ~clients ~requests ~programs ~cold_program =
         let _, warm = timed_request c (analyze_line cold_program) in
         (cold, warm))
   in
+  (* snapshot the cache counters now: the daemon may have served earlier
+     soaks (or the probe above), and only the soak's own delta is an
+     honest hit rate *)
+  let hits0, misses0 =
+    let c = Client.connect socket in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let j = Client.rpc c [ ("op", "\"metrics\"") ] in
+        (metric_value j "serve.cache.hits", metric_value j "serve.cache.misses"))
+  in
   (* soak: [clients] domains, each its own connection, alternating
      analyze/extract over the program mix *)
   let t0 = Unix.gettimeofday () in
@@ -677,14 +982,35 @@ let bench ~socket ~clients ~requests ~programs ~cold_program =
   let lat = Array.of_list (List.concat per_client) in
   Array.sort compare lat;
   let total = Array.length lat in
-  (* cache totals over the daemon's lifetime, via the metrics op *)
-  let hits, misses =
+  (* post-soak: cache counters again (delta = the soak's own traffic) and
+     the daemon's live 10s window *)
+  let hits, misses, win_rps, win_p50, win_p99 =
     let c = Client.connect socket in
     Fun.protect
       ~finally:(fun () -> Client.close c)
       (fun () ->
         let j = Client.rpc c [ ("op", "\"metrics\"") ] in
-        (metric_value j "serve.cache.hits", metric_value j "serve.cache.misses"))
+        let w10 =
+          match Json.member "window" j with
+          | Some w -> Json.member "10s" w
+          | None -> None
+        in
+        let wf name =
+          match Option.bind w10 (Json.member name) with
+          | Some (Json.Float f) -> f
+          | Some (Json.Int i) -> float_of_int i
+          | _ -> 0.0
+        in
+        let wi name =
+          match Option.bind w10 (Json.member name) with
+          | Some (Json.Int i) -> i
+          | _ -> 0
+        in
+        ( metric_value j "serve.cache.hits" - hits0,
+          metric_value j "serve.cache.misses" - misses0,
+          wf "rps",
+          wi "p50_ms",
+          wi "p99_ms" ))
   in
   {
     br_clients = clients;
@@ -701,24 +1027,29 @@ let bench ~socket ~clients ~requests ~programs ~cold_program =
     br_cold_ms = cold_ms;
     br_warm_ms = warm_ms;
     br_warm_speedup = (if warm_ms > 0.0 then cold_ms /. warm_ms else 0.0);
+    br_win_rps = win_rps;
+    br_win_p50_ms = win_p50;
+    br_win_p99_ms = win_p99;
   }
 
 let bench_result_to_string r =
   Printf.sprintf
     "serve: %d clients, %d requests in %.2fs = %.1f req/s\n\
      latency: p50 %.2fms  p99 %.2fms\n\
-     cache: %d hits / %d misses (%.1f%% hit rate)\n\
-     cold %.2fms -> warm %.2fms (%.1fx)\n"
+     cache (soak delta): %d hits / %d misses (%.1f%% hit rate)\n\
+     cold %.2fms -> warm %.2fms (%.1fx)\n\
+     daemon 10s window: %.1f rps  p50 %dms  p99 %dms\n"
     r.br_clients r.br_requests r.br_wall_s r.br_rps r.br_p50_ms r.br_p99_ms
     r.br_hits r.br_misses (100.0 *. r.br_hit_rate) r.br_cold_ms r.br_warm_ms
-    r.br_warm_speedup
+    r.br_warm_speedup r.br_win_rps r.br_win_p50_ms r.br_win_p99_ms
 
 let bench_result_to_json r =
   Printf.sprintf
     "{\"clients\": %d, \"requests\": %d, \"wall_s\": %.6f, \"rps\": %.2f, \
      \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hits\": %d, \
      \"cache_misses\": %d, \"hit_rate\": %.4f, \"cold_ms\": %.3f, \
-     \"warm_ms\": %.3f, \"warm_speedup\": %.2f}"
+     \"warm_ms\": %.3f, \"warm_speedup\": %.2f, \"win10_rps\": %.2f, \
+     \"win10_p50_ms\": %d, \"win10_p99_ms\": %d}"
     r.br_clients r.br_requests r.br_wall_s r.br_rps r.br_p50_ms r.br_p99_ms
     r.br_hits r.br_misses r.br_hit_rate r.br_cold_ms r.br_warm_ms
-    r.br_warm_speedup
+    r.br_warm_speedup r.br_win_rps r.br_win_p50_ms r.br_win_p99_ms

@@ -16,7 +16,14 @@
     - ["extract"] — like [analyze] on a program, but the response carries
       only the model (the CLI [extract] analogue).
     - ["metrics"] — the process metrics registry
-      ({!Foray_obs.Obs.to_json}), including the [serve.*] family.
+      ({!Foray_obs.Obs.to_json}) plus a ["window"] object (the
+      {!Foray_obs.Window} 10s/60s/300s sliding stats) and a ["slow"]
+      array (the last requests over the [--slow-ms] threshold). Runtime
+      gauges ([runtime.gc.*], [serve.pool.*],
+      [serve.connections.active]) are sampled at this scrape.
+    - ["metrics_text"] — the same registry rendered as Prometheus /
+      OpenMetrics text ({!Foray_obs.Obs.to_openmetrics}, window gauges
+      included), returned as the ["text"] string field.
     - ["ping"] — liveness probe.
     - ["shutdown"] — reply, then stop accepting, drain connections, join
       the pool and remove the socket.
@@ -26,6 +33,19 @@
     {!Minic_sim.Interp.config} machinery; exhaustion degrades the result,
     it does not fail it), Step-4 thresholds ["nexec"]/["nloc"],
     ["trace_scalars"], and ["cache": false] to bypass the model cache.
+
+    {b Request telemetry.} Every request is assigned a [rid] (echoed in
+    the response and in all telemetry). ["trace": true] on
+    analyze/extract returns the request's reconstructed span tree inline
+    as the ["trace"] field — a synthetic ["request"] root whose
+    [dur_us] is the same latency the response's ["ms"] field and the
+    access log report, with the pool task's spans as children. With
+    [config.access_log] set, each request appends one JSONL line (ts,
+    rid, op, source digest, cache hit/miss, degradations, steps,
+    latency); requests at or over [config.slow_ms] additionally log
+    their full span breakdown and are remembered for the [metrics] op's
+    ["slow"] array. Every request also lands in the sliding
+    {!Foray_obs.Window}.
 
     {b Failure taxonomy.} Every failure maps onto {!Foray_core.Error.t}
     and is returned as [{"status": "error", "error": {...}}] with the same
@@ -46,17 +66,25 @@ type config = {
   cache_bytes : int;  (** model-cache bound; [0] disables caching *)
   max_steps_cap : int option;
       (** server-side ceiling clamped onto every request's [max_steps] *)
+  access_log : string option;
+      (** append one JSONL line per request to this path *)
+  slow_ms : int option;
+      (** requests at/over this latency log their span breakdown and are
+          kept for the [metrics] op's ["slow"] array *)
 }
 
-(** [jobs = Parallel.default_jobs ()], 64 MiB cache, no step cap. *)
+(** [jobs = Parallel.default_jobs ()], 64 MiB cache, no step cap, no
+    access log, no slow threshold. *)
 val default_config : socket_path:string -> config
 
 type server
 
 (** [start config] binds the socket (replacing a stale file), spawns the
     pool and an acceptor domain, and returns immediately. Metrics
-    collection ({!Foray_obs.Obs.set_enabled}) is switched on so the
-    [serve.*] counters and the [metrics] op are live. *)
+    collection ({!Foray_obs.Obs.set_enabled}) and span tracing
+    ({!Foray_obs.Span.set_enabled}) are switched on so the [serve.*]
+    counters, the [metrics]/[metrics_text] ops and per-request traces
+    are live. *)
 val start : config -> server
 
 (** Block until the server has fully stopped (shutdown request received,
@@ -105,8 +133,10 @@ end
     [analyze] of [cold_program]. The cold/warm pair is issued first, so
     on a fresh daemon [br_cold_ms] is a true miss and [br_warm_ms] a
     cache hit of the same key. Latencies are measured per request at the
-    client; hit/miss totals are read from the daemon's [metrics] op
-    afterwards. *)
+    client; hit/miss counts are the {e soak-only delta} of the daemon's
+    cache counters (snapshot before, read after), so back-to-back soaks
+    against one daemon report honest hit rates. The daemon's own
+    10s-window rps/percentiles are read post-soak. *)
 
 type bench_result = {
   br_clients : int;
@@ -115,12 +145,15 @@ type bench_result = {
   br_rps : float;
   br_p50_ms : float;
   br_p99_ms : float;
-  br_hits : int;
-  br_misses : int;
-  br_hit_rate : float;  (** hits / (hits + misses), daemon lifetime *)
+  br_hits : int;  (** soak-only delta *)
+  br_misses : int;  (** soak-only delta *)
+  br_hit_rate : float;  (** hits / (hits + misses) over the soak *)
   br_cold_ms : float;
   br_warm_ms : float;
   br_warm_speedup : float;  (** cold / warm *)
+  br_win_rps : float;  (** daemon 10s window, read post-soak *)
+  br_win_p50_ms : int;
+  br_win_p99_ms : int;
 }
 
 val bench :
@@ -133,5 +166,5 @@ val bench :
 
 val bench_result_to_string : bench_result -> string
 
-(** The [serve] record of [BENCH_pipeline.json] (schema 5). *)
+(** The [serve] record of [BENCH_pipeline.json] (schema 6). *)
 val bench_result_to_json : bench_result -> string

@@ -112,6 +112,7 @@ type pool = {
   mutable p_stopping : bool;
   mutable p_workers : unit Domain.t array;
   p_jobs : int;
+  p_busy : int Atomic.t; (* workers currently inside a task *)
 }
 
 let m_pool_tasks = lazy (Obs.counter "parallel.pool.tasks")
@@ -127,7 +128,8 @@ let pool_worker p =
     else begin
       let task = Queue.pop p.p_queue in
       Mutex.unlock p.p_mutex;
-      task ();
+      Atomic.incr p.p_busy;
+      Fun.protect ~finally:(fun () -> Atomic.decr p.p_busy) task;
       if Obs.enabled () then Obs.incr (Lazy.force m_pool_tasks);
       loop ()
     end
@@ -146,12 +148,20 @@ let create_pool ?jobs () =
       p_stopping = false;
       p_workers = [||];
       p_jobs = jobs;
+      p_busy = Atomic.make 0;
     }
   in
   p.p_workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> pool_worker p));
   p
 
 let pool_jobs p = p.p_jobs
+let pool_busy p = Atomic.get p.p_busy
+
+let pool_pending p =
+  Mutex.lock p.p_mutex;
+  let n = Queue.length p.p_queue in
+  Mutex.unlock p.p_mutex;
+  n
 
 let async p f =
   let fut =

@@ -53,6 +53,14 @@ val create_pool : ?jobs:int -> unit -> pool
 (** Worker-domain count of the pool. *)
 val pool_jobs : pool -> int
 
+(** Workers currently executing a task (instantaneous; [0..pool_jobs]).
+    Feeds the daemon's [foray_pool_busy] gauge. *)
+val pool_busy : pool -> int
+
+(** Tasks queued but not yet picked up by a worker (instantaneous).
+    Feeds the daemon's [foray_pool_pending] gauge. *)
+val pool_pending : pool -> int
+
 (** [async pool f] queues [f] and returns immediately. The task's
     exception (if any) is captured with its backtrace and re-raised by
     {!await}. @raise Invalid_argument on a pool already shut down. *)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "foray"
     [
       ("obs", Test_obs.tests);
+      ("window", Test_window.tests);
       ("span", Test_span.tests);
       ("provenance", Test_provenance.tests);
       ("iset", Test_iset.tests);

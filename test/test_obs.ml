@@ -142,6 +142,77 @@ let t_pipeline_smoke () =
   | Some s -> Alcotest.(check bool) "simulate timed" true (s >= 0.0)
   | None -> Alcotest.fail "pipeline.simulate missing"
 
+let t_label_value_escaping () =
+  (* OpenMetrics-reserved characters in label values must be escaped in
+     the canonical name (and hence in the exposition, which embeds it
+     verbatim): backslash, double quote, newline. *)
+  let c = Obs.counter ~labels:[ ("p", "a\"b\\c\nd") ] "t.esc" in
+  Obs.incr c;
+  Alcotest.(check (option int)) "escaped canonical key" (Some 1)
+    (Obs.value "t.esc{p=\"a\\\"b\\\\c\\nd\"}");
+  let om = Obs.to_openmetrics () in
+  let contains needle =
+    let n = String.length needle and hs = String.length om in
+    let rec go i = i + n <= hs && (String.sub om i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "escaped in exposition" true
+    (contains "t_esc_total{p=\"a\\\"b\\\\c\\nd\"} 1");
+  Alcotest.(check bool) "raw newline never emitted" true
+    (not (contains "b\\c\nd"))
+
+let t_histogram_bounds_validated () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty bounds rejected" true
+    (raises (fun () -> Obs.histogram ~bounds:[] "t.hb0"));
+  Alcotest.(check bool) "descending bounds rejected" true
+    (raises (fun () -> Obs.histogram ~bounds:[ 5; 1 ] "t.hb1"));
+  Alcotest.(check bool) "duplicate bounds rejected" true
+    (raises (fun () -> Obs.histogram ~bounds:[ 1; 3; 3 ] "t.hb2"));
+  (* valid bounds still register and observe *)
+  let h = Obs.histogram ~bounds:[ 1; 3 ] "t.hb3" in
+  Obs.observe h 2;
+  let om = Obs.to_openmetrics () in
+  Alcotest.(check bool) "valid bounds accepted" true
+    (String.length om > 0
+    &&
+    let needle = "t_hb3_count 1" in
+    let n = String.length needle and hs = String.length om in
+    let rec go i = i + n <= hs && (String.sub om i n = needle || go (i + 1)) in
+    go 0)
+
+let t_openmetrics_golden () =
+  (* The full exposition for a fixed registry, byte for byte: family
+     grouping with TYPE lines, _total counters, cumulative buckets with
+     +Inf, _sum/_count, label escaping, the # EOF terminator. *)
+  let e = Obs.counter ~labels:[ ("p", "a\"b\\c\nd") ] "esc" in
+  Obs.incr e;
+  let h = Obs.histogram ~bounds:[ 1; 5 ] "lat.ms" in
+  List.iter (Obs.observe h) [ 0; 1; 2; 7 ];
+  Obs.set (Obs.gauge "pool.size") 4;
+  Obs.add (Obs.counter ~labels:[ ("op", "analyze") ] "serve.req") 3;
+  Obs.incr (Obs.counter ~labels:[ ("op", "extract") ] "serve.req");
+  let expected =
+    "# TYPE esc counter\n"
+    ^ "esc_total{p=\"a\\\"b\\\\c\\nd\"} 1\n"
+    ^ "# TYPE lat_ms histogram\n" ^ "lat_ms_bucket{le=\"1\"} 2\n"
+    ^ "lat_ms_bucket{le=\"5\"} 3\n" ^ "lat_ms_bucket{le=\"+Inf\"} 4\n"
+    ^ "lat_ms_sum 10\n" ^ "lat_ms_count 4\n" ^ "# TYPE pool_size gauge\n"
+    ^ "pool_size 4\n" ^ "# TYPE serve_req counter\n"
+    ^ "serve_req_total{op=\"analyze\"} 3\n"
+    ^ "serve_req_total{op=\"extract\"} 1\n" ^ "# EOF\n"
+  in
+  Alcotest.(check string) "golden exposition" expected (Obs.to_openmetrics ());
+  (* ~extra splices before the terminator, newline-normalized *)
+  let with_extra = Obs.to_openmetrics ~extra:"win_rps 2" () in
+  Alcotest.(check bool) "extra precedes EOF" true
+    (String.ends_with ~suffix:"win_rps 2\n# EOF\n" with_extra)
+
 let t_trace_io_counters () =
   let path = Filename.temp_file "foray_obs" ".tr" in
   Fun.protect
@@ -180,6 +251,11 @@ let tests =
     Alcotest.test_case "timer charges on raise" `Quick
       (scoped t_timer_charges_on_raise);
     Alcotest.test_case "timer re-entrant" `Quick (scoped t_timer_reentrant);
+    Alcotest.test_case "label value escaping" `Quick
+      (scoped t_label_value_escaping);
+    Alcotest.test_case "histogram bounds validated" `Quick
+      (scoped t_histogram_bounds_validated);
+    Alcotest.test_case "openmetrics golden" `Quick (scoped t_openmetrics_golden);
     Alcotest.test_case "pipeline metrics smoke" `Quick (scoped t_pipeline_smoke);
     Alcotest.test_case "trace io counters" `Quick (scoped t_trace_io_counters);
   ]

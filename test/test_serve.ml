@@ -106,7 +106,8 @@ let with_daemon ?(jobs = 2) ?(cache_bytes = 64 * 1024 * 1024) f =
     ~finally:(fun () ->
       (try Serve.Client.shutdown path with _ -> ());
       Serve.wait srv;
-      Foray_obs.Obs.set_enabled false)
+      Foray_obs.Obs.set_enabled false;
+      Foray_obs.Span.set_enabled false)
     (fun () -> f path)
 
 let status j =
@@ -410,6 +411,214 @@ let t_client_failures_isolated () =
                 (status j);
               Alcotest.(check bool) "and serving from cache" true (cached j))))
 
+(* ---- request telemetry ------------------------------------------------ *)
+
+let contains hay needle =
+  let n = String.length needle and hs = String.length hay in
+  let rec go i = i + n <= hs && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let jfloat = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let t_rid_and_ms () =
+  (* every response carries a request id and its latency *)
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let rid j =
+            match Json.member "rid" j with
+            | Some (Json.Int r) -> r
+            | _ -> Alcotest.fail "rid missing"
+          in
+          let a = Serve.Client.rpc c [ ("op", "\"ping\"") ] in
+          let b = Serve.Client.rpc c [ ("op", "\"ping\"") ] in
+          Alcotest.(check bool) "rids advance" true (rid b > rid a);
+          match jfloat (Json.member "ms" a) with
+          | Some ms -> Alcotest.(check bool) "ms non-negative" true (ms >= 0.0)
+          | None -> Alcotest.fail "ms missing"))
+
+let t_metrics_text_op () =
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let j =
+            Serve.Client.rpc c
+              [ ("op", "\"analyze\""); ("program", "\"fig4a\"") ]
+          in
+          Alcotest.(check string) "analyze ok" "ok" (status j);
+          let m = Serve.Client.rpc c [ ("op", "\"metrics_text\"") ] in
+          Alcotest.(check string) "metrics_text ok" "ok" (status m);
+          let text =
+            match Json.member "text" m with
+            | Some (Json.Str t) -> t
+            | _ -> Alcotest.fail "text field missing"
+          in
+          Alcotest.(check bool) "counter family" true
+            (contains text "# TYPE serve_requests counter");
+          Alcotest.(check bool) "labeled series" true
+            (contains text "serve_requests_total{op=\"analyze\"}");
+          Alcotest.(check bool) "latency histogram" true
+            (contains text "serve_request_ms_bucket{le=\"+Inf\"}");
+          Alcotest.(check bool) "window gauges spliced" true
+            (contains text "foray_window_rps{window=\"10s\"}");
+          Alcotest.(check bool) "runtime gauges sampled" true
+            (contains text "runtime_gc_major_words");
+          Alcotest.(check bool) "terminated" true
+            (String.ends_with ~suffix:"# EOF\n" text)))
+
+let t_inline_trace_tree () =
+  (* "trace": true returns the request's span tree; the synthetic root's
+     duration is the same latency the "ms" field reports. *)
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let j =
+            Serve.Client.rpc c
+              [ ("op", "\"analyze\""); ("program", "\"fig4a\"");
+                ("cache", "false"); ("trace", "true") ]
+          in
+          Alcotest.(check string) "traced analyze ok" "ok" (status j);
+          let tr =
+            match Json.member "trace" j with
+            | Some t -> t
+            | None -> Alcotest.fail "trace field missing"
+          in
+          (match Json.member "name" tr with
+          | Some (Json.Str "request") -> ()
+          | _ -> Alcotest.fail "root is not the synthetic request node");
+          let ms =
+            match jfloat (Json.member "ms" j) with
+            | Some v -> v
+            | None -> Alcotest.fail "ms missing"
+          in
+          let dur =
+            match jfloat (Json.member "dur_us" tr) with
+            | Some v -> v
+            | None -> Alcotest.fail "root dur_us missing"
+          in
+          let want = ms *. 1000.0 in
+          Alcotest.(check bool) "root duration equals response latency" true
+            (Float.abs (dur -. want) <= Float.max 1000.0 (0.05 *. want));
+          (match Json.member "children" tr with
+          | Some (Json.Arr (_ :: _)) -> ()
+          | _ -> Alcotest.fail "trace tree has no children");
+          (* untraced requests carry no trace field *)
+          let plain =
+            Serve.Client.rpc c [ ("op", "\"analyze\""); ("program", "\"fig4a\"") ]
+          in
+          Alcotest.(check bool) "no trace unless asked" true
+            (Json.member "trace" plain = None)))
+
+let t_window_in_metrics () =
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let analyze () =
+            ignore
+              (Serve.Client.rpc c
+                 [ ("op", "\"analyze\""); ("program", "\"fig4a\"") ])
+          in
+          analyze ();
+          analyze ();
+          analyze ();
+          let m = Serve.Client.rpc c [ ("op", "\"metrics\"") ] in
+          let win10 =
+            match Json.member "window" m with
+            | Some w -> (
+                match Json.member "10s" w with
+                | Some s -> s
+                | None -> Alcotest.fail "10s window missing")
+            | None -> Alcotest.fail "window object missing"
+          in
+          (match Json.member "requests" win10 with
+          | Some (Json.Int n) ->
+              Alcotest.(check bool) "window counted the soak" true (n >= 3)
+          | _ -> Alcotest.fail "window requests missing");
+          (match jfloat (Json.member "rps" win10) with
+          | Some r -> Alcotest.(check bool) "rps positive" true (r > 0.0)
+          | None -> Alcotest.fail "window rps missing");
+          (match jfloat (Json.member "hit_rate" win10) with
+          | Some hr ->
+              (* 1 miss then 2 hits of the same key *)
+              Alcotest.(check bool) "hit rate reflects cache" true (hr > 0.0)
+          | None -> Alcotest.fail "window hit_rate missing");
+          match Json.member "slow" m with
+          | Some (Json.Arr _) -> ()
+          | _ -> Alcotest.fail "slow array missing"))
+
+let t_access_log_and_slow () =
+  (* with an access log and slow_ms = 0, every request appends one JSONL
+     line and qualifies as slow, so lines carry the span breakdown *)
+  let path = Serve.temp_socket_path () in
+  let log = Filename.temp_file "foray_test_access" ".jsonl" in
+  let cfg =
+    {
+      (Serve.default_config ~socket_path:path) with
+      Serve.jobs = 1;
+      access_log = Some log;
+      slow_ms = Some 0;
+    }
+  in
+  let srv = Serve.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Serve.Client.shutdown path with _ -> ());
+      Serve.wait srv;
+      Foray_obs.Obs.set_enabled false;
+      Foray_obs.Span.set_enabled false;
+      try Sys.remove log with Sys_error _ -> ())
+    (fun () ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          ignore (Serve.Client.rpc c [ ("op", "\"ping\"") ]);
+          let j =
+            Serve.Client.rpc c
+              [ ("op", "\"analyze\""); ("program", "\"fig4a\"");
+                ("cache", "false") ]
+          in
+          Alcotest.(check string) "analyze ok" "ok" (status j));
+      (* the log is flushed per line; read it back without shutdown *)
+      let ic = open_in log in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check bool) "one line per request" true
+        (List.length lines >= 2);
+      List.iter
+        (fun line ->
+          match Json.parse line with
+          | Ok entry ->
+              Alcotest.(check bool) "line has rid" true
+                (Json.member "rid" entry <> None);
+              Alcotest.(check bool) "line has latency" true
+                (jfloat (Json.member "ms" entry) <> None);
+              Alcotest.(check bool) "line flagged slow" true
+                (Json.member "slow" entry = Some (Json.Bool true))
+          | Error e -> Alcotest.failf "access-log line not JSON: %s" e)
+        lines;
+      (* the analyze line carries its span breakdown and cache outcome *)
+      Alcotest.(check bool) "slow line has spans" true
+        (List.exists (fun l -> contains l "\"spans\"") lines);
+      Alcotest.(check bool) "analyze line logged its op" true
+        (List.exists (fun l -> contains l "\"op\": \"analyze\"") lines))
+
 let t_shutdown_removes_socket () =
   let path = Serve.temp_socket_path () in
   let cfg = { (Serve.default_config ~socket_path:path) with Serve.jobs = 1 } in
@@ -439,6 +648,12 @@ let tests =
       t_concurrent_mixed_workload;
     Alcotest.test_case "client failures isolated" `Slow
       t_client_failures_isolated;
+    Alcotest.test_case "rid and ms on every response" `Quick t_rid_and_ms;
+    Alcotest.test_case "metrics_text exposition" `Quick t_metrics_text_op;
+    Alcotest.test_case "inline trace tree" `Quick t_inline_trace_tree;
+    Alcotest.test_case "window stats in metrics op" `Quick t_window_in_metrics;
+    Alcotest.test_case "access log and slow breakdown" `Quick
+      t_access_log_and_slow;
     Alcotest.test_case "shutdown removes socket" `Quick
       t_shutdown_removes_socket;
   ]

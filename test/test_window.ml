@@ -1,0 +1,147 @@
+(* Sliding-window aggregation tests: bucket rotation, rate math,
+   hit-rate denominators, and a qcheck property that the window's
+   percentiles match an exact oracle over the quantized stream. *)
+
+module Window = Foray_obs.Window
+
+(* A fixed epoch well away from zero, so ring arithmetic sees realistic
+   absolute seconds. *)
+let t0 = 1_000_000.0
+
+let t_empty_stats () =
+  let w = Window.create () in
+  let s = Window.stats ~now:t0 w 10 in
+  Alcotest.(check int) "no requests" 0 s.Window.w_requests;
+  Alcotest.(check (float 1e-9)) "rps zero" 0.0 s.Window.w_rps;
+  Alcotest.(check (float 1e-9)) "error rate zero" 0.0 s.Window.w_error_rate;
+  Alcotest.(check (float 1e-9)) "hit rate zero" 0.0 s.Window.w_hit_rate;
+  Alcotest.(check int) "p50 zero when idle" 0 s.Window.w_p50_ms;
+  Alcotest.(check int) "p99 zero when idle" 0 s.Window.w_p99_ms
+
+let t_basic_counts () =
+  let w = Window.create () in
+  Window.record ~now:t0 w Window.Hit 3;
+  Window.record ~now:t0 w Window.Miss 40;
+  Window.record ~now:(t0 +. 1.0) w Window.Error 7;
+  Window.record ~now:(t0 +. 2.0) w Window.Uncached 100;
+  let s = Window.stats ~now:(t0 +. 2.0) w 10 in
+  Alcotest.(check int) "requests" 4 s.Window.w_requests;
+  Alcotest.(check int) "errors" 1 s.Window.w_errors;
+  Alcotest.(check int) "hits" 1 s.Window.w_hits;
+  Alcotest.(check int) "misses" 1 s.Window.w_misses;
+  Alcotest.(check (float 1e-9)) "rps = n / seconds" 0.4 s.Window.w_rps;
+  Alcotest.(check (float 1e-9)) "error rate" 0.25 s.Window.w_error_rate;
+  (* Uncached requests stay out of the hit-rate denominator *)
+  Alcotest.(check (float 1e-9)) "hit rate hits/(hits+misses)" 0.5
+    s.Window.w_hit_rate
+
+let t_window_excludes_old () =
+  let w = Window.create () in
+  Window.record ~now:t0 w Window.Hit 1;
+  Window.record ~now:(t0 +. 30.0) w Window.Miss 1;
+  (* a 10s window at t0+30 must only see the second request *)
+  let s = Window.stats ~now:(t0 +. 30.0) w 10 in
+  Alcotest.(check int) "only recent request" 1 s.Window.w_requests;
+  Alcotest.(check int) "no hits in window" 0 s.Window.w_hits;
+  (* a 60s window sees both *)
+  let s60 = Window.stats ~now:(t0 +. 30.0) w 60 in
+  Alcotest.(check int) "wide window sees both" 2 s60.Window.w_requests
+
+let t_ring_wrap_resets () =
+  let w = Window.create () in
+  Window.record ~now:t0 w Window.Hit 1;
+  (* come back more than [capacity] seconds later: the slot was reused
+     and the old sample must not resurface *)
+  let later = t0 +. float_of_int (Window.capacity + 5) in
+  Window.record ~now:later w Window.Miss 1;
+  let s = Window.stats ~now:later w Window.capacity in
+  Alcotest.(check int) "stale bucket dropped" 1 s.Window.w_requests;
+  Alcotest.(check int) "stale hit dropped" 0 s.Window.w_hits
+
+let t_quantize () =
+  Alcotest.(check int) "0 -> first edge" 1 (Window.quantize_ms 0);
+  Alcotest.(check int) "exact edge kept" 5 (Window.quantize_ms 5);
+  Alcotest.(check int) "rounds up" 10 (Window.quantize_ms 6);
+  Alcotest.(check int) "saturates at top" (Window.quantize_ms max_int)
+    (Window.quantize_ms 1_000_000)
+
+let t_percentiles_simple () =
+  let w = Window.create () in
+  (* 100 requests: 99 at 1ms, one at 5000ms *)
+  for _ = 1 to 99 do
+    Window.record ~now:t0 w Window.Uncached 1
+  done;
+  Window.record ~now:t0 w Window.Uncached 5000;
+  let s = Window.stats ~now:t0 w 10 in
+  Alcotest.(check int) "p50 is the common case" 1 s.Window.w_p50_ms;
+  (* rank ceil(0.99 * 100) = 99 -> still the 1ms mass *)
+  Alcotest.(check int) "p99 rank 99" 1 s.Window.w_p99_ms;
+  Window.record ~now:t0 w Window.Uncached 5000;
+  (* now 101 samples, rank ceil(.99*101)=100 -> the 5000ms tail *)
+  let s' = Window.stats ~now:t0 w 10 in
+  Alcotest.(check int) "p99 reaches the tail"
+    (Window.quantize_ms 5000)
+    s'.Window.w_p99_ms
+
+(* The exact oracle: quantize every sample in the window, sort, take the
+   1-based rank ceil(p * n). *)
+let oracle_percentile samples p =
+  let q = List.map Window.quantize_ms samples in
+  let sorted = List.sort compare q in
+  let n = List.length sorted in
+  if n = 0 then 0
+  else
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+    List.nth sorted (rank - 1)
+
+let prop_percentiles_match_oracle =
+  (* Replay a random stream of (second-offset, latency) pairs at fixed
+     timestamps and require the window percentiles to equal the oracle
+     computed over exactly the samples the window covers. *)
+  QCheck2.Test.make ~name:"window percentiles match exact oracle" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 400) (pair (int_range 0 9) (int_range 0 6000)))
+    (fun stream ->
+      let w = Window.create () in
+      List.iter
+        (fun (off, ms) ->
+          Window.record ~now:(t0 +. float_of_int off) w Window.Uncached ms)
+        stream;
+      let now = t0 +. 9.0 in
+      let s = Window.stats ~now w 10 in
+      let in_window = List.map snd stream in
+      (* every sample lands within the 10s window by construction *)
+      s.Window.w_requests = List.length stream
+      && s.Window.w_p50_ms = oracle_percentile in_window 0.50
+      && s.Window.w_p99_ms = oracle_percentile in_window 0.99)
+
+let t_json_shapes () =
+  let w = Window.create () in
+  Window.record ~now:t0 w Window.Hit 3;
+  let js = Window.all_to_json ~now:t0 w in
+  let contains needle hay =
+    let n = String.length needle and hs = String.length hay in
+    let rec go i = i + n <= hs && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (contains ("\"" ^ k ^ "\"") js))
+    [ "10s"; "60s"; "300s"; "requests"; "rps"; "hit_rate"; "p99_ms" ];
+  let om = Window.to_openmetrics ~now:t0 w in
+  Alcotest.(check bool) "gauge family rendered" true
+    (contains "foray_window_rps{window=\"10s\"}" om);
+  Alcotest.(check bool) "p99 family rendered" true
+    (contains "foray_window_p99_ms{window=\"300s\"}" om)
+
+let tests =
+  [
+    Alcotest.test_case "empty stats" `Quick t_empty_stats;
+    Alcotest.test_case "basic counts" `Quick t_basic_counts;
+    Alcotest.test_case "window excludes old" `Quick t_window_excludes_old;
+    Alcotest.test_case "ring wrap resets" `Quick t_ring_wrap_resets;
+    Alcotest.test_case "quantize" `Quick t_quantize;
+    Alcotest.test_case "percentiles simple" `Quick t_percentiles_simple;
+    QCheck_alcotest.to_alcotest prop_percentiles_match_oracle;
+    Alcotest.test_case "json shapes" `Quick t_json_shapes;
+  ]
