@@ -207,10 +207,12 @@ let ablation_partial b =
   Buffer.add_string b (Tablefmt.render t)
 
 let ablation_dse b =
-  bsection b "Ablation: greedy vs optimal buffer selection (4 KiB SPM)";
+  bsection b "Ablation: greedy vs optimal vs stochastic buffer selection \
+              (4 KiB SPM)";
   let t =
-    Tablefmt.create ~title:"Energy saving, greedy vs grouped-knapsack DP"
-      [ "Benchmark"; "greedy"; "optimal" ]
+    Tablefmt.create
+      ~title:"Energy saving, greedy vs grouped-knapsack DP vs annealing"
+      [ "Benchmark"; "greedy"; "optimal"; "stochastic" ]
   in
   List.iter
     (fun (bench : Suite.bench) ->
@@ -218,11 +220,17 @@ let ablation_dse b =
       let cands = Foray_spm.Reuse.candidates r.model in
       let g = Foray_spm.Dse.select_greedy cands ~spm_bytes:4096 in
       let o = Foray_spm.Dse.select_optimal cands ~spm_bytes:4096 in
+      let s =
+        Foray_spm.Dse.solve
+          ~strategy:(Foray_spm.Dse.Stochastic Foray_spm.Stochastic.default_config)
+          cands ~spm_bytes:4096
+      in
       Tablefmt.row t
         [
           bench.name;
           Printf.sprintf "%.1f%%" g.saving_pct;
           Printf.sprintf "%.1f%%" o.saving_pct;
+          Printf.sprintf "%.1f%%" s.selection.saving_pct;
         ])
     Suite.all;
   Buffer.add_string b (Tablefmt.render t)
@@ -658,6 +666,136 @@ let measure_interp ~reps =
   Span.set_enabled span_was;
   (resolved, unresolved, with_metrics, with_tracing)
 
+type spm_perf = {
+  spname : string;  (** benchmark of the convergence measurement *)
+  sp_bytes : int;
+  sp_proposals : int;
+  sp_wall_s : float;
+  sp_pps : float;  (** proposals per second, serial ensemble *)
+  sp_gap_pct : float;  (** energy gap vs select_optimal *)
+  sp_within1_proposals : int;  (** single-chain proposals to within 1% *)
+  sp_within1_s : float;  (** the same point on the wall clock *)
+  sp_speedup_jobs : int;
+  sp_speedup : float;  (** ensemble wall-clock, jobs=1 / jobs=N *)
+  fz_clusters : int;  (** fusable clusters of the showcase *)
+  fz_configs : float;  (** 2^clusters fusion configurations *)
+  fz_deadline_ms : int;
+  fz_proposals : int;
+  fz_stopped : string;
+  fz_saving_pct : float;
+  fz_wall_s : float;
+}
+
+(* K disjoint 3-tap stencil loops: every loop contributes one fusable
+   cluster, so the joint fusion x placement space has 2^K configurations
+   per placement — the regime select_optimal cannot enumerate. *)
+let stencil_source k =
+  let b = Buffer.create 1024 in
+  for a = 0 to k - 1 do
+    Printf.bprintf b "int A%d[256];\n" a
+  done;
+  Buffer.add_string b "int s;\nint main() {\n  int i;\n";
+  for a = 0 to k - 1 do
+    Printf.bprintf b
+      "  for (i = 0; i < 253; i++) { s += A%d[i] + A%d[i + 1] + A%d[i + 2]; \
+       }\n"
+      a a a
+  done;
+  Buffer.add_string b "  return 0;\n}\n";
+  Buffer.contents b
+
+(* Schema 7: the stochastic-DSE record. Three measurements on the
+   jpeg@4KiB candidate space — serial throughput and optimality gap of
+   the seeded default search, the single-chain anytime curve's
+   time-to-within-1%-of-optimal, and the restart-ensemble wall-clock
+   speedup (jobs=1 vs jobs=N; determinism makes the results comparable
+   by construction, and we fail hard if they diverge) — plus the fusion
+   showcase: a 2^16-configuration joint space no exhaustive enumeration
+   can touch, answered anytime under a deadline. *)
+let measure_spm () =
+  let module St = Foray_spm.Stochastic in
+  let bench = Option.get (Suite.find "jpeg") in
+  let r = run_source_ok bench.source in
+  let cands = Foray_spm.Reuse.candidates r.model in
+  let spm_bytes = 4096 in
+  let opt = (Foray_spm.Dse.select_optimal cands ~spm_bytes).energy_opt in
+  let p = St.of_candidates cands in
+  let serial = St.search p ~spm_bytes St.default_config in
+  let pps =
+    if serial.wall_s > 0.0 then
+      float_of_int serial.proposals /. serial.wall_s
+    else 0.0
+  in
+  let gap_pct =
+    if opt > 0.0 then 100.0 *. (serial.cost -. opt) /. opt else 0.0
+  in
+  (* the anytime curve on a single chain, so trace indices map linearly
+     onto the wall clock *)
+  let one =
+    St.search p ~spm_bytes { St.default_config with restarts = 1 }
+  in
+  let bar = (opt *. 1.01) +. 1e-9 in
+  let within1 =
+    List.fold_left
+      (fun acc (k, c) ->
+        match acc with Some _ -> acc | None -> if c <= bar then Some k else None)
+      None one.trace
+  in
+  let within1_proposals = Option.value ~default:(-1) within1 in
+  let within1_s =
+    match within1 with
+    | Some k when one.chain_proposals > 0 ->
+        one.wall_s *. float_of_int k /. float_of_int one.chain_proposals
+    | _ -> -1.0
+  in
+  (* ensemble speedup on a budget big enough to amortize the pool: the
+     default 20k proposals finish in single-digit milliseconds *)
+  let speedup_jobs = max 2 (min 4 (Parallel.default_jobs ())) in
+  let big =
+    { St.default_config with budget = (if !quick then 1_000_000 else 4_000_000) }
+  in
+  let ser_big = St.search p ~spm_bytes big in
+  let par_big = St.search p ~spm_bytes { big with jobs = speedup_jobs } in
+  if par_big.cost <> ser_big.cost then
+    failwith "measure_spm: ensemble result depends on jobs";
+  let speedup =
+    if par_big.wall_s > 0.0 then ser_big.wall_s /. par_big.wall_s else 0.0
+  in
+  (* the fusion showcase *)
+  let k = 16 in
+  let rs = run_source_ok (stencil_source k) in
+  let fp = St.of_model rs.model in
+  let deadline_ms = if !quick then 500 else 5000 in
+  let fz =
+    St.search fp ~spm_bytes
+      {
+        St.default_config with
+        budget = 1_000_000_000;
+        deadline_ms = Some deadline_ms;
+      }
+  in
+  {
+    spname = bench.name;
+    sp_bytes = spm_bytes;
+    sp_proposals = serial.proposals;
+    sp_wall_s = serial.wall_s;
+    sp_pps = pps;
+    sp_gap_pct = gap_pct;
+    sp_within1_proposals = within1_proposals;
+    sp_within1_s = within1_s;
+    sp_speedup_jobs = speedup_jobs;
+    sp_speedup = speedup;
+    fz_clusters = fz.fusable_clusters;
+    fz_configs = 2.0 ** float_of_int fz.fusable_clusters;
+    fz_deadline_ms = deadline_ms;
+    fz_proposals = fz.proposals;
+    fz_stopped = St.stop_name fz.stopped;
+    fz_saving_pct =
+      (if fz.base > 0.0 then 100.0 *. (fz.base -. fz.cost) /. fz.base
+       else 0.0);
+    fz_wall_s = fz.wall_s;
+  }
+
 (* Serving measurement (schema 6): a private forayd on a temp socket
    driven by the load generator — 4 concurrent clients over a mixed
    analyze/extract workload, plus the cold/warm cache probe on jpeg (the
@@ -679,14 +817,15 @@ let measure_serve () =
         ~programs:[ "adpcm"; "gsm"; "fft"; "fig4a" ]
         ~cold_program:"jpeg")
 
-let write_json ~path ~section_times ~pipelines ~shard ~interp ~serve ~total =
+let write_json ~path ~section_times ~pipelines ~shard ~interp ~serve ~spm
+    ~total =
   let resolved, unresolved, with_metrics, with_tracing = interp in
   let b = Buffer.create 4096 in
   let add fmt = Printf.bprintf b fmt in
   add "{\n";
-  add "  \"schema\": 6,\n";
+  add "  \"schema\": 7,\n";
   add "  \"meta\": {\n";
-  add "    \"schema_version\": 6,\n";
+  add "    \"schema_version\": 7,\n";
   add "    \"generated_by\": \"bench/main.exe --json\",\n";
   add "    \"benchmark_set\": [%s],\n"
     (String.concat ", "
@@ -756,6 +895,32 @@ let write_json ~path ~section_times ~pipelines ~shard ~interp ~serve ~total =
      against the daemon, latency percentiles, cache totals and the
      cold-vs-warm (cached) speedup on jpeg. *)
   add "  \"serve\": %s,\n" (Foray_serve.Serve.bench_result_to_json serve);
+  (* Schema 7: the stochastic-DSE record — serial throughput and
+     optimality gap of the seeded default search on jpeg@4KiB, the
+     single-chain time-to-within-1%-of-optimal, the restart-ensemble
+     speedup, and the 2^16-configuration fusion showcase answered
+     anytime under a deadline. *)
+  add "  \"spm\": {\n";
+  add "    \"benchmark\": %S,\n" spm.spname;
+  add "    \"spm_bytes\": %d,\n" spm.sp_bytes;
+  add "    \"proposals\": %d,\n" spm.sp_proposals;
+  add "    \"wall_s\": %.4f,\n" spm.sp_wall_s;
+  add "    \"proposals_per_sec\": %.0f,\n" spm.sp_pps;
+  add "    \"gap_vs_optimal_pct\": %.4f,\n" spm.sp_gap_pct;
+  add "    \"within_1pct_proposals\": %d,\n" spm.sp_within1_proposals;
+  add "    \"within_1pct_s\": %.6f,\n" spm.sp_within1_s;
+  add "    \"ensemble_jobs\": %d,\n" spm.sp_speedup_jobs;
+  add "    \"ensemble_speedup\": %.2f,\n" spm.sp_speedup;
+  add "    \"fusion_showcase\": {\n";
+  add "      \"fusable_clusters\": %d,\n" spm.fz_clusters;
+  add "      \"fusion_configs\": %.0f,\n" spm.fz_configs;
+  add "      \"deadline_ms\": %d,\n" spm.fz_deadline_ms;
+  add "      \"proposals\": %d,\n" spm.fz_proposals;
+  add "      \"stopped\": %S,\n" spm.fz_stopped;
+  add "      \"saving_pct\": %.2f,\n" spm.fz_saving_pct;
+  add "      \"wall_s\": %.4f\n" spm.fz_wall_s;
+  add "    }\n";
+  add "  },\n";
   (* Obs.to_json is itself a JSON object, captured during the
      metrics-enabled interpreter pass above. *)
   add "  \"metrics\": %s,\n" (Obs.to_json ());
@@ -856,9 +1021,10 @@ let () =
     let shard = measure_shards pipelines in
     let interp = measure_interp ~reps:(if !quick then 3 else 5) in
     let serve = measure_serve () in
+    let spm = measure_spm () in
     let section_times = List.map (fun (n, _, dt) -> (n, dt)) rendered in
     write_json ~path:!json_file ~section_times ~pipelines ~shard ~interp
-      ~serve ~total:(now () -. t0)
+      ~serve ~spm ~total:(now () -. t0)
   end;
   if not !quick then begin
     let b = Buffer.create 256 in

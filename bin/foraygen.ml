@@ -694,39 +694,107 @@ let tables_cmd =
 (* ---- spm ------------------------------------------------------------ *)
 
 let spm_cmd =
-  let run prog nexec nloc size transformed fuse jobs =
+  let run prog nexec nloc size sizes transformed fuse strategy seed budget
+      deadline_ms restarts explore_fusion jobs =
     guard (fun () ->
         match load_source prog with
         | Error e -> fail_error e
         | Ok src ->
         let r = run_pipeline src ~nexec ~nloc ~scalars:true in
-        let cands = Foray_spm.Reuse.candidates ~fuse r.model in
-        Printf.printf "%d buffer candidate(s)\n" (List.length cands);
-        List.iter
-          (fun c -> Format.printf "  %a@." Foray_spm.Reuse.pp c)
-          cands;
-        (match size with
-        | Some bytes ->
-            let sel = Foray_spm.Dse.select_optimal cands ~spm_bytes:bytes in
-            Format.printf "%a@." Foray_spm.Dse.pp_selection sel;
-            if transformed then
-              if fuse then
-                prerr_endline
-                  "--transformed requires unfused buffers; rerun without \
-                   --fuse"
-              else print_string (Foray_spm.Transform.apply r.model sel)
-        | None ->
+        let cfg =
+          {
+            Foray_spm.Stochastic.default_config with
+            seed;
+            budget;
+            deadline_ms;
+            restarts;
+            jobs = max 1 jobs;
+          }
+        in
+        let strat =
+          match strategy with
+          | `Optimal -> Foray_spm.Dse.Optimal
+          | `Greedy -> Foray_spm.Dse.Greedy
+          | `Stochastic -> Foray_spm.Dse.Stochastic cfg
+        in
+        if explore_fusion && strategy <> `Stochastic then begin
+          prerr_endline
+            "foraygen: --explore-fusion searches the joint fusion space, \
+             which only --strategy stochastic can; rerun with it";
+          2
+        end
+        else begin
+          let sweep_sizes =
+            match (size, sizes) with
+            | Some s, _ -> [ s ]
+            | None, Some l -> l
+            | None, None -> Foray_spm.Dse.default_sizes
+          in
+          let report_search s (sol : Foray_spm.Dse.solution) =
+            Option.iter
+              (fun st ->
+                Format.eprintf "[%dB] %a" s Foray_spm.Stochastic.pp_stats st)
+              sol.search
+          in
+          if explore_fusion then begin
             List.iter
-              (fun (_, sel) ->
-                Format.printf "%a@." Foray_spm.Dse.pp_selection sel)
-              (Foray_spm.Dse.sweep ~jobs r.model));
-        0)
+              (fun s ->
+                let sol =
+                  Foray_spm.Dse.solve_fused r.model ~spm_bytes:s cfg
+                in
+                Format.printf "%a@." Foray_spm.Dse.pp_selection sol.selection;
+                report_search s sol)
+              sweep_sizes;
+            0
+          end
+          else begin
+            let cands = Foray_spm.Reuse.candidates ~fuse r.model in
+            Printf.printf "%d buffer candidate(s)\n" (List.length cands);
+            List.iter
+              (fun c -> Format.printf "  %a@." Foray_spm.Reuse.pp c)
+              cands;
+            (* with the stochastic strategy the ensemble owns the pool;
+               otherwise parallelize across sweep sizes *)
+            let size_jobs =
+              match strat with Foray_spm.Dse.Stochastic _ -> 1 | _ -> jobs
+            in
+            let sols =
+              Foray_util.Parallel.map ~jobs:size_jobs
+                (fun s ->
+                  (s, Foray_spm.Dse.solve ~strategy:strat cands ~spm_bytes:s))
+                sweep_sizes
+            in
+            List.iter
+              (fun (s, (sol : Foray_spm.Dse.solution)) ->
+                Format.printf "%a@." Foray_spm.Dse.pp_selection sol.selection;
+                report_search s sol)
+              sols;
+            (match (size, transformed, sols) with
+            | Some _, true, [ (_, sol) ] ->
+                if fuse then
+                  prerr_endline
+                    "--transformed requires unfused buffers; rerun without \
+                     --fuse"
+                else print_string (Foray_spm.Transform.apply r.model sol.selection)
+            | _ -> ());
+            0
+          end
+        end)
   in
   let size_arg =
     Arg.(
       value
       & opt (some int) None
-      & info [ "size" ] ~doc:"SPM size in bytes (default: sweep 256..16384).")
+      & info [ "size" ] ~doc:"SPM size in bytes (default: sweep --sizes).")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "sizes" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated SPM sweep sizes in bytes (default: 256,512,...,\
+             16384).")
   in
   let transformed_arg =
     Arg.(
@@ -740,12 +808,67 @@ let spm_cmd =
       & info [ "fuse" ]
           ~doc:"Fuse same-stride overlapping references into shared buffers.")
   in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("optimal", `Optimal);
+               ("greedy", `Greedy);
+               ("stochastic", `Stochastic);
+             ])
+          `Optimal
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Selection strategy: $(b,optimal) (exhaustive grouped knapsack), \
+             $(b,greedy) (benefit density) or $(b,stochastic) (simulated \
+             annealing; see --seed, --budget-proposals, --deadline-ms, \
+             --restarts).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"PRNG seed for the stochastic strategy.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "budget-proposals" ]
+          ~doc:"Total proposals for the stochastic ensemble.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Anytime cutoff for the stochastic search in milliseconds \
+             (returns the best placement found so far).")
+  in
+  let restarts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "restarts" ]
+          ~doc:"Independent annealing chains in the stochastic ensemble.")
+  in
+  let explore_fusion_arg =
+    Arg.(
+      value & flag
+      & info [ "explore-fusion" ]
+          ~doc:
+            "Search the joint fusion x placement space (every fusable \
+             reference run may independently share one buffer); requires \
+             --strategy stochastic — the configuration count is exponential \
+             in the fusable runs, beyond exhaustive enumeration.")
+  in
   Cmd.v
     (Cmd.info "spm"
        ~doc:"Phase II: SPM reuse analysis and design-space exploration")
     Term.(
-      const run $ prog_arg $ nexec_arg $ nloc_arg $ size_arg $ transformed_arg
-      $ fuse_arg $ jobs_arg)
+      const run $ prog_arg $ nexec_arg $ nloc_arg $ size_arg $ sizes_arg
+      $ transformed_arg $ fuse_arg $ strategy_arg $ seed_arg $ budget_arg
+      $ deadline_arg $ restarts_arg $ explore_fusion_arg $ jobs_arg)
 
 (* ---- metrics -------------------------------------------------------- *)
 

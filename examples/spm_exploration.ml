@@ -30,7 +30,11 @@ let () =
   List.iter (fun c -> Format.printf "  %a@." Foray_spm.Reuse.pp c) cands;
 
   banner "Phase II step 3: design space exploration";
-  let sweep = Foray_spm.Dse.sweep r.model in
+  let sweep =
+    List.map
+      (fun (s, (sol : Foray_spm.Dse.solution)) -> (s, sol.selection))
+      (Foray_spm.Dse.sweep r.model)
+  in
   List.iter
     (fun (_, sel) -> Format.printf "%a@." Foray_spm.Dse.pp_selection sel)
     sweep;

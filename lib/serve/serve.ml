@@ -71,6 +71,19 @@ type payload = {
   mp_events : int;
 }
 
+(* One slot of the daemon cache. Model payloads, pre-rendered [spm]
+   result arrays and raw sources (so [spm] requests can address a model
+   by the digest an earlier analyze reported) share the one byte-bounded
+   LRU; key prefixes keep the namespaces disjoint. *)
+type entry =
+  | Model of payload
+  | Spm of string (* rendered "results" JSON array *)
+  | Source of string
+
+let entry_bytes key = function
+  | Model p -> String.length p.mp_model + String.length key + 128
+  | Spm s | Source s -> String.length s + String.length key + 128
+
 (* Remembered for [top] and the [metrics] op: the last few requests that
    crossed the slow threshold. *)
 type slow_entry = {
@@ -86,7 +99,7 @@ type server = {
   s_cfg : config;
   s_fd : Unix.file_descr;
   s_pool : Parallel.pool;
-  s_cache : payload Lru.t;
+  s_cache : entry Lru.t;
   s_cache_mutex : Mutex.t;
   s_stop : bool Atomic.t;
   s_conn_mutex : Mutex.t;
@@ -235,10 +248,24 @@ let cache_find srv key =
   | None -> Obs.incr (Lazy.force m_cache_misses));
   hit
 
-let cache_add srv key p =
-  let bytes = String.length p.mp_model + String.length key + 128 in
+let cache_find_model srv key =
+  match cache_find srv key with Some (Model p) -> Some p | _ -> None
+
+let cache_find_spm srv key =
+  match cache_find srv key with Some (Spm s) -> Some s | _ -> None
+
+(* a [Source] probe is bookkeeping, not client-visible caching — don't
+   skew the hit/miss counters with it *)
+let cache_find_source srv key =
   Mutex.lock srv.s_cache_mutex;
-  let evicted = Lru.add srv.s_cache ~key ~bytes p in
+  let hit = Lru.find srv.s_cache key in
+  Mutex.unlock srv.s_cache_mutex;
+  match hit with Some (Source s) -> Some s | _ -> None
+
+let cache_add srv key e =
+  let bytes = entry_bytes key e in
+  Mutex.lock srv.s_cache_mutex;
+  let evicted = Lru.add srv.s_cache ~key ~bytes e in
   let entries = Lru.entries srv.s_cache and total = Lru.bytes srv.s_cache in
   Mutex.unlock srv.s_cache_mutex;
   Obs.add (Lazy.force m_cache_evictions) evicted;
@@ -372,8 +399,11 @@ let pool_run srv ~rid ~op f =
    a hit can always claim [degraded: []]. *)
 let analyze_source srv rq ~rid src =
   let digest = Digest.to_hex (Digest.string src) in
+  (* remember the source under its digest so later [spm] requests can
+     address this model without resending the program text *)
+  if rq.rq_cache then cache_add srv ("src:" ^ digest) (Source src);
   let key = Pipeline.model_key ~config:rq.rq_config ~thresholds:rq.rq_thresholds src in
-  match if rq.rq_cache then cache_find srv key else None with
+  match if rq.rq_cache then cache_find_model srv key else None with
   | Some p -> Ok (p, true, [], digest, None)
   | None -> (
       let outcome, sw =
@@ -387,7 +417,7 @@ let analyze_source srv rq ~rid src =
           Error (error_of_degradation d)
       | Ok { Pipeline.result = r; degraded } ->
           let p = payload_of_outcome r in
-          if rq.rq_cache && degraded = [] then cache_add srv key p;
+          if rq.rq_cache && degraded = [] then cache_add srv key (Model p);
           Ok (p, false, degraded, digest, Some sw))
 
 (* Analyze a stored trace file (Steps 3-4 only): keyed by content digest
@@ -405,7 +435,7 @@ let analyze_trace srv rq ~rid path =
           Printf.sprintf "trace:%s:%d:%d" digest_hex
             rq.rq_thresholds.Filter.nexec rq.rq_thresholds.Filter.nloc
         in
-        match if rq.rq_cache then cache_find srv key else None with
+        match if rq.rq_cache then cache_find_model srv key else None with
         | Some p -> Ok (p, true, [], digest_hex, None)
         | None -> (
             let res, sw =
@@ -454,7 +484,8 @@ let analyze_trace srv rq ~rid path =
                     mp_events = salvage.events;
                   }
                 in
-                if rq.rq_cache && degraded = [] then cache_add srv key p;
+                if rq.rq_cache && degraded = [] then
+                  cache_add srv key (Model p);
                 Ok (p, false, degraded, digest_hex, Some sw)))
 
 let handle_analyze srv j ~rid ~op =
@@ -480,6 +511,188 @@ let handle_analyze srv j ~rid ~op =
         analyze_source srv rq ~rid src)
   in
   Ok (rq, p, cached, degraded, digest, sw)
+
+(* ------------------------------------------------------------------ *)
+(* The spm op: Phase II buffer selection served from the model cache  *)
+
+let spm_results_json sols =
+  let sol_json (size, (sol : Foray_spm.Dse.solution)) =
+    let sel = sol.Foray_spm.Dse.selection in
+    let buf = Buffer.create 160 in
+    Printf.bprintf buf
+      "{\"spm_bytes\": %d, \"buffers\": %d, \"used_bytes\": %d, \
+       \"energy_base_nj\": %.3f, \"energy_opt_nj\": %.3f, \"saving_pct\": \
+       %.3f"
+      size (List.length sel.chosen) sel.used_bytes sel.energy_base
+      sel.energy_opt sel.saving_pct;
+    (match sol.Foray_spm.Dse.search with
+    | None -> ()
+    | Some st ->
+        Printf.bprintf buf
+          ", \"search\": {\"proposals\": %d, \"accepted\": %d, \
+           \"improved\": %d, \"restarts\": %d, \"stopped\": \"%s\"}"
+          st.Foray_spm.Stochastic.proposals st.accepted st.improved
+          st.restarts
+          (Foray_spm.Stochastic.stop_name st.stopped));
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+  in
+  "[" ^ String.concat ", " (List.map sol_json sols) ^ "]"
+
+(* The part of the cache key that captures the spm configuration: equal
+   keys must imply equal (deterministic) results, so everything that
+   steers the search is in — including the deadline, which is the one
+   machine-dependent knob. *)
+let spm_config_key ~sizes ~strategy_s cfg =
+  Printf.sprintf "%s:%s:%d:%d:%d:%s"
+    (String.concat "," (List.map string_of_int sizes))
+    strategy_s cfg.Foray_spm.Stochastic.seed cfg.Foray_spm.Stochastic.budget
+    cfg.Foray_spm.Stochastic.restarts
+    (match cfg.Foray_spm.Stochastic.deadline_ms with
+    | Some ms -> string_of_int ms
+    | None -> "-")
+
+let handle_spm srv j ~rid =
+  let ( let* ) = Result.bind in
+  let* rq = parse_request srv j "spm" in
+  let field f k =
+    Result.map_error (fun msg -> Ferr.Bad_request { msg }) (f k j)
+  in
+  let* strategy_s = field Json.str_field "strategy" in
+  let strategy_s = Option.value strategy_s ~default:"optimal" in
+  let* seed = field Json.int_field "seed" in
+  let* budget = field Json.int_field "budget_proposals" in
+  let* restarts = field Json.int_field "restarts" in
+  let* spm_bytes = field Json.int_field "spm_bytes" in
+  let* digest_rq = field Json.str_field "digest" in
+  let* sizes_rq =
+    match Json.member "sizes" j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Arr l) -> (
+        match
+          List.map (function Json.Int i when i > 0 -> i | _ -> raise Exit) l
+        with
+        | sizes -> Ok (Some sizes)
+        | exception Exit ->
+            Error
+              (Ferr.Bad_request
+                 { msg = "field \"sizes\": expected positive integers" }))
+    | Some _ ->
+        Error
+          (Ferr.Bad_request
+             { msg = "field \"sizes\": expected an array of integers" })
+  in
+  let* sizes =
+    match (spm_bytes, sizes_rq) with
+    | Some b, _ when b > 0 -> Ok [ b ]
+    | Some _, _ ->
+        Error (Ferr.Bad_request { msg = "field \"spm_bytes\": must be > 0" })
+    | None, Some [] ->
+        Error (Ferr.Bad_request { msg = "field \"sizes\": must be non-empty" })
+    | None, Some l -> Ok l
+    | None, None -> Ok Foray_spm.Dse.default_sizes
+  in
+  let cfg =
+    {
+      Foray_spm.Stochastic.default_config with
+      seed = Option.value seed ~default:Foray_spm.Stochastic.default_config.seed;
+      budget =
+        Option.value budget
+          ~default:Foray_spm.Stochastic.default_config.budget;
+      restarts =
+        Option.value restarts
+          ~default:Foray_spm.Stochastic.default_config.restarts;
+      (* the request's deadline_ms budget doubles as the search's anytime
+         cutoff; the ensemble stays serial — the pool's domains belong to
+         concurrent requests *)
+      deadline_ms = rq.rq_config.Interp.deadline_ms;
+      jobs = 1;
+    }
+  in
+  let* strategy =
+    match strategy_s with
+    | "optimal" -> Ok Foray_spm.Dse.Optimal
+    | "greedy" -> Ok Foray_spm.Dse.Greedy
+    | "stochastic" -> Ok (Foray_spm.Dse.Stochastic cfg)
+    | s ->
+        Error
+          (Ferr.Bad_request
+             {
+               msg =
+                 Printf.sprintf
+                   "field \"strategy\": unknown strategy %S (expected \
+                    optimal, greedy or stochastic)"
+                   s;
+             })
+  in
+  let* src =
+    match (rq.rq_source, rq.rq_program, digest_rq) with
+    | Some s, _, _ -> Ok s
+    | None, Some name, _ -> Foray_suite.Suite.load name
+    | None, None, Some d -> (
+        match cache_find_source srv ("src:" ^ d) with
+        | Some s -> Ok s
+        | None -> Error (Ferr.Not_found_program { name = "digest:" ^ d }))
+    | None, None, None ->
+        Error
+          (Ferr.Bad_request
+             { msg = "spm needs \"program\", \"source\" or \"digest\"" })
+  in
+  let digest = Digest.to_hex (Digest.string src) in
+  if rq.rq_cache then cache_add srv ("src:" ^ digest) (Source src);
+  let model_key =
+    Pipeline.model_key ~config:rq.rq_config ~thresholds:rq.rq_thresholds src
+  in
+  let key =
+    Printf.sprintf "spm:%s:%s" model_key
+      (spm_config_key ~sizes ~strategy_s cfg)
+  in
+  match if rq.rq_cache then cache_find_spm srv key else None with
+  | Some body -> Ok (rq, strategy_s, body, true, [], digest, None)
+  | None -> (
+      let outcome, sw =
+        pool_run srv ~rid ~op:"spm" (fun () ->
+            match
+              Pipeline.run_source ~config:rq.rq_config
+                ~thresholds:rq.rq_thresholds src
+            with
+            | Error e -> Error e
+            | Ok o ->
+                let cands =
+                  Foray_spm.Reuse.candidates o.Pipeline.result.Pipeline.model
+                in
+                let sols =
+                  List.map
+                    (fun s ->
+                      (s, Foray_spm.Dse.solve ~strategy cands ~spm_bytes:s))
+                    sizes
+                in
+                Ok (spm_results_json sols, o.Pipeline.degraded))
+      in
+      match outcome with
+      | Error e -> Error e
+      | Ok (_, (d :: _)) when rq.rq_strict -> Error (error_of_degradation d)
+      | Ok (body, degraded) ->
+          if rq.rq_cache && degraded = [] then cache_add srv key (Spm body);
+          Ok (rq, strategy_s, body, false, degraded, digest, Some sw))
+
+let render_spm ~id ~rid ~strategy_s ~cached ~degraded ~digest ~dt_ms ~trace
+    body =
+  let buf = Buffer.create (String.length body + 256) in
+  Printf.bprintf buf
+    "{\"id\": %s, \"rid\": %d, \"status\": \"ok\", \"op\": \"spm\", \
+     \"cached\": %b, \"digest\": \"%s\", \"strategy\": \"%s\", \"results\": \
+     %s"
+    id rid cached (Ferr.json_escape digest)
+    (Ferr.json_escape strategy_s)
+    body;
+  Printf.bprintf buf ", \"degraded\": [%s]"
+    (String.concat ", " (List.map Pipeline.degradation_to_json degraded));
+  (match trace with
+  | None -> ()
+  | Some node -> Printf.bprintf buf ", \"trace\": %s" (Span.node_to_json node));
+  Printf.bprintf buf ", \"ms\": %.3f}" dt_ms;
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Per-request accounting: runtime gauges, window, access log, slow   *)
@@ -644,6 +857,35 @@ let dispatch srv ~rid line =
                     "{\"id\": %s, \"rid\": %d, \"status\": \"ok\", \"op\": \
                      \"shutdown\", \"ms\": %.3f}"
                     id rid dt_ms)
+          | "spm" -> (
+              match handle_spm srv j ~rid with
+              | Ok (rq, strategy_s, body, cached, degraded, digest, sw) ->
+                  let kind =
+                    if cached then Window.Hit
+                    else if rq.rq_cache then Window.Miss
+                    else Window.Uncached
+                  in
+                  mk ~op ~kind ~digest:(Some digest) ~cached:(Some cached)
+                    ~degraded ~sw (fun ~dt_ms ->
+                      let trace =
+                        if rq.rq_want_trace then
+                          Some (trace_tree ~rid ~op ~dt_ms sw)
+                        else None
+                      in
+                      render_spm ~id ~rid ~strategy_s ~cached ~degraded
+                        ~digest ~dt_ms ~trace body)
+              | Error e -> error ~id ~op e
+              | exception e -> (
+                  match Ferr.of_exn e with
+                  | Some fe -> error ~id ~op fe
+                  | None ->
+                      error ~id ~op
+                        (Ferr.Runtime
+                           {
+                             loc = "serve";
+                             step = -1;
+                             msg = Printexc.to_string e;
+                           })))
           | "analyze" | "extract" -> (
               match handle_analyze srv j ~rid ~op with
               | Ok (rq, p, cached, degraded, digest, sw) ->

@@ -15,6 +15,19 @@
       plus run statistics.
     - ["extract"] — like [analyze] on a program, but the response carries
       only the model (the CLI [extract] analogue).
+    - ["spm"] — Phase II buffer selection (the CLI [spm] analogue): run
+      the pipeline, derive buffer candidates and solve the placement for
+      one capacity (["spm_bytes"]) or a sweep (["sizes"] array; default
+      256..16384). The model is addressed by ["program"], inline
+      ["source"], or ["digest"] — the source digest an earlier
+      analyze/extract/spm of this daemon reported (unknown digests are
+      [E_NOT_FOUND]). ["strategy"] is ["optimal"] (default), ["greedy"]
+      or ["stochastic"] ({!Foray_spm.Dse.solve}); the stochastic knobs
+      are ["seed"], ["budget_proposals"], ["restarts"], and the
+      request's ["deadline_ms"] doubles as the anytime cutoff. The
+      response carries a ["results"] array (one selection per size, with
+      a ["search"] statistics object under the stochastic strategy),
+      cached by model key x spm configuration.
     - ["metrics"] — the process metrics registry
       ({!Foray_obs.Obs.to_json}) plus a ["window"] object (the
       {!Foray_obs.Window} 10s/60s/300s sliding stats) and a ["slow"]
@@ -56,9 +69,12 @@
 
     {b Model cache.} Results are cached in a byte-bounded {!Lru} keyed by
     {!Foray_core.Pipeline.model_key} (source digest × analysis config), so
-    repeat traffic is served from memory without re-simulating. Degraded
-    results are never cached. Hits/misses/evictions are counted under
-    [serve.cache.*]. *)
+    repeat traffic is served from memory without re-simulating. [spm]
+    responses share the cache under keys extending the model key with the
+    spm configuration (sizes, strategy, seed, budget, restarts,
+    deadline), and sources are remembered by digest so [spm] requests can
+    readdress analyzed models. Degraded results are never cached.
+    Hits/misses/evictions are counted under [serve.cache.*]. *)
 
 type config = {
   socket_path : string;
@@ -166,5 +182,5 @@ val bench :
 
 val bench_result_to_string : bench_result -> string
 
-(** The [serve] record of [BENCH_pipeline.json] (schema 6). *)
+(** The [serve] record of [BENCH_pipeline.json]. *)
 val bench_result_to_json : bench_result -> string

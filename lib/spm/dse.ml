@@ -7,12 +7,27 @@ type selection = {
   saving_pct : float;
 }
 
+type strategy = Optimal | Greedy | Stochastic of Stochastic.config
+
+let strategy_name = function
+  | Optimal -> "optimal"
+  | Greedy -> "greedy"
+  | Stochastic _ -> "stochastic"
+
+type solution = {
+  selection : selection;
+  strategy : strategy;
+  optimal_energy : float option;
+  search : Stochastic.result option;
+}
+
 (* Energy accounting over the set of candidate references: references
    without a chosen buffer stay in main memory. *)
 let finalize ~spm_bytes ~all_groups chosen =
-  let chosen_groups =
-    List.map (fun (c : Reuse.candidate) -> c.group) chosen
-  in
+  let chosen_groups = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Reuse.candidate) -> Hashtbl.replace chosen_groups c.group ())
+    chosen;
   let base =
     List.fold_left
       (fun acc (_, cands) ->
@@ -24,7 +39,7 @@ let finalize ~spm_bytes ~all_groups chosen =
   let opt =
     List.fold_left
       (fun acc (g, cands) ->
-        if List.mem g chosen_groups then acc
+        if Hashtbl.mem chosen_groups g then acc
         else
           match cands with
           | (c : Reuse.candidate) :: _ -> acc +. Energy.baseline c.accesses
@@ -43,7 +58,7 @@ let finalize ~spm_bytes ~all_groups chosen =
     saving_pct = (if base > 0.0 then 100.0 *. (base -. opt) /. base else 0.0);
   }
 
-let select_optimal cands ~spm_bytes =
+let optimal_impl cands ~spm_bytes =
   let groups = Reuse.by_ref cands in
   (* dp.(c) = best (benefit, chosen) using capacity exactly <= c *)
   let cap = spm_bytes in
@@ -66,7 +81,7 @@ let select_optimal cands ~spm_bytes =
   let best = Array.fold_left (fun acc x -> if fst x > fst acc then x else acc) dp.(0) dp in
   finalize ~spm_bytes ~all_groups:groups (List.rev (snd best))
 
-let select_greedy cands ~spm_bytes =
+let greedy_impl cands ~spm_bytes =
   let groups = Reuse.by_ref cands in
   let scored =
     List.filter_map
@@ -78,22 +93,88 @@ let select_greedy cands ~spm_bytes =
       cands
     |> List.sort (fun (a, _) (b, _) -> compare b a)
   in
-  let chosen, _, _ =
+  let taken = Hashtbl.create 16 in
+  let chosen, _ =
     List.fold_left
-      (fun (chosen, used, taken) (_, (c : Reuse.candidate)) ->
-        if List.mem c.group taken || used + c.size > spm_bytes then
-          (chosen, used, taken)
-        else (c :: chosen, used + c.size, c.group :: taken))
-      ([], 0, []) scored
+      (fun (chosen, used) (_, (c : Reuse.candidate)) ->
+        if Hashtbl.mem taken c.group || used + c.size > spm_bytes then
+          (chosen, used)
+        else begin
+          Hashtbl.replace taken c.group ();
+          (c :: chosen, used + c.size)
+        end)
+      ([], 0) scored
   in
   finalize ~spm_bytes ~all_groups:groups (List.rev chosen)
 
+let solve ?(strategy = Optimal) cands ~spm_bytes =
+  match strategy with
+  | Optimal ->
+      let sel = optimal_impl cands ~spm_bytes in
+      {
+        selection = sel;
+        strategy;
+        optimal_energy = Some sel.energy_opt;
+        search = None;
+      }
+  | Greedy ->
+      {
+        selection = greedy_impl cands ~spm_bytes;
+        strategy;
+        optimal_energy = None;
+        search = None;
+      }
+  | Stochastic cfg ->
+      let groups = Reuse.by_ref cands in
+      (* seed chain 0 with the greedy placement so the search dominates
+         the heuristic by construction *)
+      let init = (greedy_impl cands ~spm_bytes).chosen in
+      let p = Stochastic.of_candidates cands in
+      let r = Stochastic.search ~init p ~spm_bytes cfg in
+      (* account the result through [finalize] so an identical placement
+         prints bitwise-identical energies across strategies *)
+      {
+        selection = finalize ~spm_bytes ~all_groups:groups r.chosen;
+        strategy;
+        optimal_energy = None;
+        search = Some r;
+      }
+
+let solve_fused model ~spm_bytes cfg =
+  let p = Stochastic.of_model model in
+  let r = Stochastic.search p ~spm_bytes cfg in
+  let used =
+    List.fold_left (fun a (c : Reuse.candidate) -> a + c.size) 0 r.chosen
+  in
+  {
+    selection =
+      {
+        spm_bytes;
+        chosen = r.chosen;
+        used_bytes = used;
+        energy_base = r.base;
+        energy_opt = r.cost;
+        saving_pct =
+          (if r.base > 0.0 then 100.0 *. (r.base -. r.cost) /. r.base
+           else 0.0);
+      };
+    strategy = Stochastic cfg;
+    optimal_energy = None;
+    search = Some r;
+  }
+
+let select_optimal cands ~spm_bytes =
+  (solve ~strategy:Optimal cands ~spm_bytes).selection
+
+let select_greedy cands ~spm_bytes =
+  (solve ~strategy:Greedy cands ~spm_bytes).selection
+
 let default_sizes = [ 256; 512; 1024; 2048; 4096; 8192; 16384 ]
 
-let sweep ?(sizes = default_sizes) ?(jobs = 1) model =
+let sweep ?(strategy = Optimal) ?(sizes = default_sizes) ?(jobs = 1) model =
   let cands = Reuse.candidates model in
   Foray_util.Parallel.map ~jobs
-    (fun s -> (s, select_optimal cands ~spm_bytes:s))
+    (fun s -> (s, solve ~strategy cands ~spm_bytes:s))
     sizes
 
 let pp_selection fmt s =

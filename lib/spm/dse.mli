@@ -4,9 +4,12 @@
     Each reference contributes a group of mutually-exclusive buffer
     candidates (one per covered loop level); the selector picks at most one
     candidate per group so that the total buffer size fits the SPM and the
-    energy benefit is maximal — a grouped knapsack. Both an optimal dynamic
-    program and the classic greedy-by-benefit-density heuristic are
-    provided; the ablation bench compares them. *)
+    energy benefit is maximal — a grouped knapsack. {!solve} fronts three
+    strategies behind one entry point: the optimal dynamic program, the
+    classic greedy-by-benefit-density heuristic, and the {!Stochastic}
+    simulated-annealing search (which also scales to the joint
+    fusion x placement space exhaustive enumeration cannot reach, via
+    {!solve_fused}). *)
 
 type selection = {
   spm_bytes : int;
@@ -17,18 +20,69 @@ type selection = {
   saving_pct : float;
 }
 
-(** Optimal grouped-knapsack selection for a given SPM capacity. *)
+(** How {!solve} explores the placement space. *)
+type strategy =
+  | Optimal  (** exact grouped-knapsack dynamic program *)
+  | Greedy  (** benefit-density heuristic, one pass *)
+  | Stochastic of Stochastic.config
+      (** annealing ensemble ({!Stochastic.search}), seeded from the
+          greedy placement so it never does worse than [Greedy] *)
+
+val strategy_name : strategy -> string
+
+(** A solved instance: the selection plus what is known about it. *)
+type solution = {
+  selection : selection;
+  strategy : strategy;
+  optimal_energy : float option;
+      (** provably optimal energy when the strategy guarantees one
+          ([Optimal]); [None] for heuristic strategies *)
+  search : Stochastic.result option;
+      (** search trace and proposal statistics ([Stochastic] only) *)
+}
+
+(** [solve ?strategy cands ~spm_bytes] (default [Optimal]) selects
+    buffers for one SPM capacity. For any placement the energy accounting
+    is shared across strategies, so equal placements yield bitwise-equal
+    selections. *)
+val solve :
+  ?strategy:strategy -> Reuse.candidate list -> spm_bytes:int -> solution
+
+(** [solve_fused model ~spm_bytes cfg] explores the joint
+    fusion x placement space ({!Stochastic.of_model}): every fusable
+    reference run adds a binary fuse/keep-separate choice on top of the
+    knapsack, a space only the stochastic strategy can search. The
+    returned [selection.energy_base] covers {e every} reference of the
+    model's fusion runs (also ones with no candidates of their own), so
+    its absolute energies are not comparable with {!solve}'s — compare
+    savings instead. *)
+val solve_fused :
+  Foray_core.Model.t -> spm_bytes:int -> Stochastic.config -> solution
+
+(** [select_optimal cands ~spm_bytes] =
+    [(solve ~strategy:Optimal cands ~spm_bytes).selection]. Thin wrapper,
+    retained for one release. *)
 val select_optimal : Reuse.candidate list -> spm_bytes:int -> selection
 
-(** Greedy: candidates sorted by benefit density (benefit per byte), taken
-    when they fit and their group is still free. *)
+(** [select_greedy cands ~spm_bytes] =
+    [(solve ~strategy:Greedy cands ~spm_bytes).selection]. Thin wrapper,
+    retained for one release. *)
 val select_greedy : Reuse.candidate list -> spm_bytes:int -> selection
 
-(** [sweep ?sizes ?jobs model] runs optimal selection for each SPM size
-    (default 256 B .. 16 KiB in powers of two). [jobs] (default 1) solves
-    the per-size knapsacks on a {!Foray_util.Parallel} pool; the result
-    list keeps [sizes] order regardless. *)
+(** The default sweep sizes: 256 B .. 16 KiB in powers of two. *)
+val default_sizes : int list
+
+(** [sweep ?strategy ?sizes ?jobs model] solves each SPM size with the
+    given strategy (default [Optimal], sizes {!default_sizes}). [jobs]
+    (default 1) solves the per-size instances on a {!Foray_util.Parallel}
+    pool; the result list keeps [sizes] order regardless, and with a
+    [Stochastic] strategy the per-size results are independent of both
+    [jobs] settings. *)
 val sweep :
-  ?sizes:int list -> ?jobs:int -> Foray_core.Model.t -> (int * selection) list
+  ?strategy:strategy ->
+  ?sizes:int list ->
+  ?jobs:int ->
+  Foray_core.Model.t ->
+  (int * solution) list
 
 val pp_selection : Format.formatter -> selection -> unit

@@ -188,6 +188,42 @@ let candidates ?(fuse = false) (model : Model.t) =
   |> List.mapi (fun i (chain, r) -> candidates_of_ref ~group:i chain r)
   |> List.concat
 
+type fusion_run = {
+  fr_fused : candidate list;
+  fr_members : candidate list list;
+  fr_base : float;
+}
+
+let fusion_space (model : Model.t) =
+  let runs = fuse_refs (Model.all_refs model) in
+  let ctr = ref 0 in
+  let fresh () =
+    let g = !ctr in
+    incr ctr;
+    g
+  in
+  List.map
+    (fun run ->
+      let fr_members =
+        List.map
+          (fun (chain, r) -> candidates_of_ref ~group:(fresh ()) chain r)
+          run
+      in
+      let fr_fused =
+        match run with
+        | [] | [ _ ] -> []
+        | _ ->
+            let chain, vr = virtual_ref run in
+            candidates_of_ref ~group:(fresh ()) chain vr
+      in
+      let fr_base =
+        List.fold_left
+          (fun acc (_, (r : Model.mref)) -> acc +. Energy.baseline r.execs)
+          0.0 run
+      in
+      { fr_fused; fr_members; fr_base })
+    runs
+
 let by_ref cands =
   let tbl = Hashtbl.create 16 in
   List.iter

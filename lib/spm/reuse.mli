@@ -45,6 +45,31 @@ val benefit : candidate -> spm_bytes:int -> float
     references form a single candidate group. *)
 val candidates : ?fuse:bool -> Foray_core.Model.t -> candidate list
 
+(** One fusion {e run}: a maximal set of references that could share a
+    single buffer (same nest, identical coefficient terms, overlapping
+    windows — the [fuse] classes of {!candidates}). The joint
+    design space over "fuse this run or keep its members separate" is
+    what {!Stochastic} explores; exhaustive selection cannot, because the
+    per-run choice multiplies the configuration count by 2 per fusable
+    run. *)
+type fusion_run = {
+  fr_fused : candidate list;
+      (** candidates of the shared (virtual-ref) buffer; [[]] when the run
+          has a single member or the union is not bufferable *)
+  fr_members : candidate list list;
+      (** per-member candidate groups, in run order (a member with too few
+          distinct locations contributes [[]]) *)
+  fr_base : float;
+      (** all-main-memory energy of {e every} reference in the run —
+          including ones too small to have candidates of their own, which
+          a fused buffer still serves *)
+}
+
+(** The fusion design space of a model: one {!fusion_run} per fuse class
+    run. Group ids are freshly numbered and disjoint across the whole
+    result (members and fused buffers alike). *)
+val fusion_space : Foray_core.Model.t -> fusion_run list
+
 (** Candidates grouped by [group] (for one-buffer-per-reference
     selection). *)
 val by_ref : candidate list -> (int * candidate list) list

@@ -1,0 +1,669 @@
+module Obs = Foray_obs.Obs
+module Prng = Foray_util.Prng
+module Parallel = Foray_util.Parallel
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+
+let m_search_timer = lazy (Obs.timer "spm.stochastic.search")
+let m_improvements = lazy (Obs.counter "spm.stochastic.improvements")
+let m_best = lazy (Obs.gauge "spm.stochastic.best_nj")
+
+let m_proposed kernel =
+  Obs.counter ~labels:[ ("kernel", kernel) ] "spm.stochastic.proposals"
+
+let m_accepted kernel =
+  Obs.counter ~labels:[ ("kernel", kernel) ] "spm.stochastic.accepts"
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                      *)
+
+type config = {
+  seed : int;
+  budget : int;
+  deadline_ms : int option;
+  restarts : int;
+  jobs : int;
+  init_temp : float option;
+}
+
+let default_config =
+  {
+    seed = 42;
+    budget = 20_000;
+    deadline_ms = None;
+    restarts = 4;
+    jobs = 1;
+    init_temp = None;
+  }
+
+type kernel = Swap | Add | Drop | Move | Toggle_fuse
+
+let kernel_name = function
+  | Swap -> "swap"
+  | Add -> "add"
+  | Drop -> "drop"
+  | Move -> "move"
+  | Toggle_fuse -> "toggle_fuse"
+
+let all_kernels = [ Swap; Add; Drop; Move; Toggle_fuse ]
+let n_kernels = 5
+
+let kindex = function
+  | Swap -> 0
+  | Add -> 1
+  | Drop -> 2
+  | Move -> 3
+  | Toggle_fuse -> 4
+
+type kernel_stat = { proposed : int; accepted : int }
+type stop = Budget | Deadline
+
+let stop_name = function Budget -> "budget" | Deadline -> "deadline"
+
+type result = {
+  chosen : Reuse.candidate list;
+  cost : float;
+  base : float;
+  proposals : int;
+  chain_proposals : int;
+  accepted : int;
+  improved : int;
+  restarts : int;
+  stopped : stop;
+  fused_clusters : int;
+  fusable_clusters : int;
+  wall_s : float;
+  kernels : (kernel * kernel_stat) list;
+  trace : (int * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Problems                                                           *)
+
+(* A group is a set of mutually-exclusive buffer candidates (at most one
+   may be placed); a cluster owns the groups of one fusion run and the
+   flag choosing between its fused buffer and its separate members. A
+   plain (non-fusing) problem is the degenerate case: one single-member
+   cluster per group. *)
+
+type group = { g_cands : Reuse.candidate array; g_head : float }
+
+type cluster = {
+  cl_members : int array;  (* group indices, active while not fused *)
+  cl_fused : int;  (* group index active while fused; -1 = not fusable *)
+  cl_base : float;  (* all-main-memory energy of every ref in the run *)
+  cl_resid : float;  (* cl_base - sum of member head baselines *)
+}
+
+type problem = {
+  groups : group array;
+  clusters : cluster array;
+  cluster_of : int array;  (* group index -> cluster index *)
+  by_group_id : (int, int) Hashtbl.t;  (* candidate .group -> group index *)
+}
+
+let head_base (cs : Reuse.candidate list) =
+  match cs with c :: _ -> Energy.baseline c.accesses | [] -> 0.0
+
+let build clusters_spec =
+  (* clusters_spec: (member candidate lists, fused candidate list, base) *)
+  let groups = ref [] and n_groups = ref 0 in
+  let add_group cs =
+    let idx = !n_groups in
+    incr n_groups;
+    groups :=
+      { g_cands = Array.of_list cs; g_head = head_base cs } :: !groups;
+    idx
+  in
+  let clusters =
+    List.filter_map
+      (fun (members, fused, base) ->
+        let member_idx = List.map add_group members in
+        match (member_idx, fused) with
+        | [], [] -> None
+        | [], _ :: _ ->
+            (* only the shared buffer is placeable: fold it in as the lone
+               member so every cluster has a non-empty unfused mode *)
+            let f = add_group fused in
+            Some
+              {
+                cl_members = [| f |];
+                cl_fused = -1;
+                cl_base = base;
+                cl_resid = base -. head_base fused;
+              }
+        | _ :: _, _ ->
+            let resid =
+              base
+              -. List.fold_left
+                   (fun acc m -> acc +. head_base m)
+                   0.0 members
+            in
+            Some
+              {
+                cl_members = Array.of_list member_idx;
+                cl_fused =
+                  (match fused with [] -> -1 | cs -> add_group cs);
+                cl_base = base;
+                cl_resid = (if resid > 0.0 then resid else 0.0);
+              })
+      clusters_spec
+  in
+  let groups = Array.of_list (List.rev !groups) in
+  let clusters = Array.of_list clusters in
+  let cluster_of = Array.make (Array.length groups) 0 in
+  Array.iteri
+    (fun ci cl ->
+      Array.iter (fun g -> cluster_of.(g) <- ci) cl.cl_members;
+      if cl.cl_fused >= 0 then cluster_of.(cl.cl_fused) <- ci)
+    clusters;
+  let by_group_id = Hashtbl.create 64 in
+  Array.iteri
+    (fun gi g ->
+      if Array.length g.g_cands > 0 then
+        Hashtbl.replace by_group_id g.g_cands.(0).Reuse.group gi)
+    groups;
+  { groups; clusters; cluster_of; by_group_id }
+
+let of_candidates cands =
+  build
+    (List.map
+       (fun (_, cs) -> ([ cs ], [], head_base cs))
+       (Reuse.by_ref cands))
+
+let of_model model =
+  build
+    (List.map
+       (fun (r : Reuse.fusion_run) ->
+         ( List.filter (fun cs -> cs <> []) r.fr_members,
+           r.fr_fused,
+           r.fr_base ))
+       (Reuse.fusion_space model))
+
+let base_energy p =
+  Array.fold_left (fun acc cl -> acc +. cl.cl_base) 0.0 p.clusters
+
+let fusable p =
+  let l = ref [] in
+  Array.iteri
+    (fun ci cl -> if cl.cl_fused >= 0 then l := ci :: !l)
+    p.clusters;
+  Array.of_list (List.rev !l)
+
+(* ------------------------------------------------------------------ *)
+(* Search state                                                       *)
+
+type state = {
+  choice : int array;  (* per group: candidate index, -1 = unplaced *)
+  fused : bool array;  (* per cluster *)
+  mutable used : int;
+  mutable cost : float;
+}
+
+let fresh_state p =
+  {
+    choice = Array.make (Array.length p.groups) (-1);
+    fused = Array.make (Array.length p.clusters) false;
+    used = 0;
+    cost = 0.0;
+  }
+
+(* Per-(group, candidate) tables at the search's SPM size, so proposal
+   evaluation never recomputes the energy model. *)
+type tables = { e : float array array; sz : int array array; cap : int }
+
+let make_tables p ~spm_bytes =
+  {
+    e =
+      Array.map
+        (fun g ->
+          Array.map (fun c -> Reuse.energy c ~spm_bytes) g.g_cands)
+        p.groups;
+    sz = Array.map (fun g -> Array.map (fun c -> c.Reuse.size) g.g_cands) p.groups;
+    cap = spm_bytes;
+  }
+
+let group_cost p tb st g =
+  let c = st.choice.(g) in
+  if c >= 0 then tb.e.(g).(c) else p.groups.(g).g_head
+
+let group_used tb st g =
+  let c = st.choice.(g) in
+  if c >= 0 then tb.sz.(g).(c) else 0
+
+(* Energy and bytes of one cluster in the given mode. *)
+let mode_cost p tb st ci ~fus =
+  let cl = p.clusters.(ci) in
+  if fus then
+    let c = st.choice.(cl.cl_fused) in
+    if c >= 0 then (tb.e.(cl.cl_fused).(c), tb.sz.(cl.cl_fused).(c))
+    else (cl.cl_base, 0)
+  else begin
+    let cost = ref cl.cl_resid and used = ref 0 in
+    Array.iter
+      (fun g ->
+        cost := !cost +. group_cost p tb st g;
+        used := !used + group_used tb st g)
+      cl.cl_members;
+    (!cost, !used)
+  end
+
+let exact_cost p tb st =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun ci _ ->
+      let c, _ = mode_cost p tb st ci ~fus:st.fused.(ci) in
+      total := !total +. c)
+    p.clusters;
+  !total
+
+let exact_used p tb st =
+  let total = ref 0 in
+  Array.iteri
+    (fun ci _ ->
+      let _, u = mode_cost p tb st ci ~fus:st.fused.(ci) in
+      total := !total + u)
+    p.clusters;
+  !total
+
+(* Greedy-by-benefit-density seed over the unfused groups, the classic
+   heuristic the ensemble's first chain starts from (so the search result
+   can never be worse than greedy). *)
+let greedy_seed p tb st =
+  let scored = ref [] in
+  Array.iteri
+    (fun gi g ->
+      Array.iteri
+        (fun i _ ->
+          let b = g.g_head -. tb.e.(gi).(i) in
+          if b > 0.0 && tb.sz.(gi).(i) <= tb.cap then
+            scored :=
+              (b /. float_of_int (max 1 tb.sz.(gi).(i)), gi, i) :: !scored)
+        g.g_cands)
+    p.groups;
+  let scored =
+    List.sort (fun (a, _, _) (b, _, _) -> compare b a) (List.rev !scored)
+  in
+  List.iter
+    (fun (_, gi, i) ->
+      (* groups inside fusable clusters start active (unfused mode) *)
+      if st.choice.(gi) < 0 && st.used + tb.sz.(gi).(i) <= tb.cap then begin
+        let cl = p.clusters.(p.cluster_of.(gi)) in
+        if cl.cl_fused <> gi then begin
+          st.choice.(gi) <- i;
+          st.used <- st.used + tb.sz.(gi).(i)
+        end
+      end)
+    scored
+
+let apply_init p tb st init =
+  List.iter
+    (fun (c : Reuse.candidate) ->
+      match Hashtbl.find_opt p.by_group_id c.group with
+      | None -> ()
+      | Some gi ->
+          let cands = p.groups.(gi).g_cands in
+          Array.iteri
+            (fun i (k : Reuse.candidate) ->
+              if k.level = c.level && k.site = c.site && st.choice.(gi) < 0
+                 && st.used + tb.sz.(gi).(i) <= tb.cap
+              then begin
+                st.choice.(gi) <- i;
+                st.used <- st.used + tb.sz.(gi).(i)
+              end)
+            cands)
+    init
+
+(* ------------------------------------------------------------------ *)
+(* One annealing chain                                                *)
+
+type chain_out = {
+  co_cost : float;
+  co_choice : int array;
+  co_fused : bool array;
+  co_proposals : int;
+  co_proposed : int array;
+  co_accepted : int array;
+  co_improved : int;
+  co_trace : (int * float) list;  (* ascending chain-local proposal idx *)
+  co_stopped : stop;
+}
+
+let frand rng = float_of_int (Prng.int rng 0x4000_0000) /. 1073741824.0
+
+(* Derive decorrelated per-chain seeds from the base seed. *)
+let chain_seed seed i = (seed * 0x9e3779b1) lxor ((i + 1) * 0x85ebca6b)
+
+let run_chain p tb ~cfg ~chain_idx ~budget ~deadline_at ~init ~shared_best ()
+    =
+  let rng = Prng.create (chain_seed cfg.seed chain_idx) in
+  let st = fresh_state p in
+  (if chain_idx = 0 then
+     match init with
+     | Some cs -> apply_init p tb st cs
+     | None -> greedy_seed p tb st);
+  st.cost <- exact_cost p tb st;
+  st.used <- exact_used p tb st;
+  let n_groups = Array.length p.groups in
+  let n_clusters = Array.length p.clusters in
+  let fusable_arr = fusable p in
+  let n_fusable = Array.length fusable_arr in
+  let proposed = Array.make n_kernels 0 in
+  let accepted = Array.make n_kernels 0 in
+  let best_cost = ref st.cost in
+  let best_choice = ref (Array.copy st.choice) in
+  let best_fused = ref (Array.copy st.fused) in
+  let improved = ref 0 in
+  let trace = ref [ (0, st.cost) ] in
+  let stopped = ref Budget in
+  let proposals = ref 0 in
+  (* publish an improvement to the ensemble's shared best-so-far (anytime
+     visibility only: chains never read it, which keeps every chain — and
+     therefore the merged result — deterministic for any [jobs]) *)
+  let publish cost =
+    let bits = Int64.to_int (Int64.bits_of_float cost) in
+    let rec cas () =
+      let cur = Atomic.get shared_best in
+      if cost < Int64.float_of_bits (Int64.of_int cur) then
+        if not (Atomic.compare_and_set shared_best cur bits) then cas ()
+    in
+    cas ();
+    Obs.set (Lazy.force m_best)
+      (int_of_float (Int64.float_of_bits (Int64.of_int (Atomic.get shared_best))))
+  in
+  if n_groups > 0 && budget > 0 then begin
+    (* geometric cooling across the chain's budget, scaled to the problem's
+       benefit magnitudes so acceptance starts permissive and ends greedy *)
+    let t0 =
+      match cfg.init_temp with
+      | Some t -> Float.max t 1e-9
+      | None ->
+          let m = ref 1.0 in
+          Array.iteri
+            (fun gi g ->
+              Array.iteri
+                (fun i _ ->
+                  let d = Float.abs (g.g_head -. tb.e.(gi).(i)) in
+                  if d > !m then m := d)
+                g.g_cands)
+            p.groups;
+          0.5 *. !m
+    in
+    let t_end = Float.max (t0 *. 1e-4) 1e-9 in
+    let alpha = (t_end /. t0) ** (1.0 /. float_of_int budget) in
+    let t = ref t0 in
+    let active_count ci =
+      if st.fused.(ci) then 1
+      else Array.length p.clusters.(ci).cl_members
+    in
+    let active_group ci j =
+      if st.fused.(ci) then p.clusters.(ci).cl_fused
+      else p.clusters.(ci).cl_members.(j)
+    in
+    let pick_active_group () =
+      let ci = Prng.int rng n_clusters in
+      active_group ci (Prng.int rng (active_count ci))
+    in
+    (* Kernels only apply to groups in the right state (placed/empty);
+       resample a bounded number of times so proposals rarely no-op, which
+       e.g. lets [Move] find the one placed buffer worth evicting. *)
+    let rec pick_group_where n pred =
+      let g = pick_active_group () in
+      if n <= 0 || pred g then g else pick_group_where (n - 1) pred
+    in
+    let pick_group_where pred = pick_group_where 7 pred in
+    (* A proposal: Some (delta_cost, delta_used, apply) or None when the
+       sampled move is inapplicable (counted as a rejected proposal). *)
+    let propose kernel =
+      match kernel with
+      | Swap ->
+          let g =
+            pick_group_where (fun g ->
+                st.choice.(g) >= 0 && Array.length p.groups.(g).g_cands > 1)
+          in
+          let c = st.choice.(g) in
+          let n = Array.length p.groups.(g).g_cands in
+          if c < 0 || n < 2 then None
+          else begin
+            let i =
+              let i = Prng.int rng (n - 1) in
+              if i >= c then i + 1 else i
+            in
+            Some
+              ( tb.e.(g).(i) -. tb.e.(g).(c),
+                tb.sz.(g).(i) - tb.sz.(g).(c),
+                fun () -> st.choice.(g) <- i )
+          end
+      | Add ->
+          let g = pick_group_where (fun g -> st.choice.(g) < 0) in
+          if st.choice.(g) >= 0 then None
+          else begin
+            let i = Prng.int rng (Array.length p.groups.(g).g_cands) in
+            Some
+              ( tb.e.(g).(i) -. p.groups.(g).g_head,
+                tb.sz.(g).(i),
+                fun () -> st.choice.(g) <- i )
+          end
+      | Drop ->
+          let g = pick_group_where (fun g -> st.choice.(g) >= 0) in
+          let c = st.choice.(g) in
+          if c < 0 then None
+          else
+            Some
+              ( p.groups.(g).g_head -. tb.e.(g).(c),
+                -tb.sz.(g).(c),
+                fun () -> st.choice.(g) <- -1 )
+      | Move ->
+          let ga = pick_group_where (fun g -> st.choice.(g) >= 0) in
+          let gb =
+            pick_group_where (fun g -> g <> ga && st.choice.(g) < 0)
+          in
+          let ca = st.choice.(ga) in
+          if ga = gb || ca < 0 || st.choice.(gb) >= 0 then None
+          else begin
+            let i = Prng.int rng (Array.length p.groups.(gb).g_cands) in
+            Some
+              ( p.groups.(ga).g_head -. tb.e.(ga).(ca)
+                +. tb.e.(gb).(i) -. p.groups.(gb).g_head,
+                tb.sz.(gb).(i) - tb.sz.(ga).(ca),
+                fun () ->
+                  st.choice.(ga) <- -1;
+                  st.choice.(gb) <- i )
+          end
+      | Toggle_fuse ->
+          if n_fusable = 0 then None
+          else begin
+            let ci = fusable_arr.(Prng.int rng n_fusable) in
+            let fus = st.fused.(ci) in
+            let cur_c, cur_u = mode_cost p tb st ci ~fus in
+            let new_c, new_u = mode_cost p tb st ci ~fus:(not fus) in
+            Some
+              ( new_c -. cur_c,
+                new_u - cur_u,
+                fun () -> st.fused.(ci) <- not fus )
+          end
+    in
+    let weights =
+      [| 3; 3; 2; 2; (if n_fusable > 0 then 2 else 0) |]
+    in
+    let w_total = Array.fold_left ( + ) 0 weights in
+    let pick_kernel () =
+      let r = ref (Prng.int rng w_total) in
+      let k = ref Swap in
+      (try
+         List.iter
+           (fun kernel ->
+             r := !r - weights.(kindex kernel);
+             if !r < 0 then begin
+               k := kernel;
+               raise Exit
+             end)
+           all_kernels
+       with Exit -> ());
+      !k
+    in
+    (try
+       for k = 1 to budget do
+         (match deadline_at with
+         | Some at when k land 255 = 0 && Obs.now () >= at ->
+             stopped := Deadline;
+             raise Exit
+         | _ -> ());
+         proposals := k;
+         t := !t *. alpha;
+         let kernel = pick_kernel () in
+         let ki = kindex kernel in
+         proposed.(ki) <- proposed.(ki) + 1;
+         match propose kernel with
+         | None -> ()
+         | Some (delta, d_used, apply) ->
+             if
+               st.used + d_used <= tb.cap
+               && (delta <= 0.0 || frand rng < exp (-.delta /. !t))
+             then begin
+               apply ();
+               st.used <- st.used + d_used;
+               st.cost <- st.cost +. delta;
+               accepted.(ki) <- accepted.(ki) + 1;
+               if st.cost < !best_cost -. 1e-9 then begin
+                 (* resync the incremental sum before recording a best, so
+                    float drift can never inflate the reported result *)
+                 st.cost <- exact_cost p tb st;
+                 if st.cost < !best_cost -. 1e-9 then begin
+                   best_cost := st.cost;
+                   best_choice := Array.copy st.choice;
+                   best_fused := Array.copy st.fused;
+                   incr improved;
+                   trace := (k, st.cost) :: !trace;
+                   publish st.cost
+                 end
+               end
+             end
+       done
+     with Exit -> ())
+  end;
+  {
+    co_cost = !best_cost;
+    co_choice = !best_choice;
+    co_fused = !best_fused;
+    co_proposals = !proposals;
+    co_proposed = proposed;
+    co_accepted = accepted;
+    co_improved = !improved;
+    co_trace = List.rev !trace;
+    co_stopped = !stopped;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ensemble                                                           *)
+
+let chosen_of p (choice : int array) (fused : bool array) =
+  let out = ref [] in
+  Array.iteri
+    (fun ci cl ->
+      let groups =
+        if cl.cl_fused >= 0 && fused.(ci) then [| cl.cl_fused |]
+        else cl.cl_members
+      in
+      Array.iter
+        (fun g ->
+          let c = choice.(g) in
+          if c >= 0 then out := p.groups.(g).g_cands.(c) :: !out)
+        groups)
+    p.clusters;
+  List.rev !out
+
+let search ?init (p : problem) ~spm_bytes (cfg : config) =
+  if cfg.budget < 0 then invalid_arg "Stochastic.search: budget must be >= 0";
+  if cfg.restarts < 1 then
+    invalid_arg "Stochastic.search: restarts must be >= 1";
+  let tb = make_tables p ~spm_bytes in
+  let t_start = Obs.now () in
+  let deadline_at =
+    Option.map
+      (fun ms -> t_start +. (float_of_int ms /. 1000.0))
+      cfg.deadline_ms
+  in
+  let shared_best =
+    Atomic.make (Int64.to_int (Int64.bits_of_float infinity))
+  in
+  let per_chain = cfg.budget / cfg.restarts in
+  let remainder = cfg.budget - (per_chain * cfg.restarts) in
+  let chains =
+    Obs.time (Lazy.force m_search_timer) (fun () ->
+        Parallel.map ~jobs:cfg.jobs
+          (fun i ->
+            run_chain p tb ~cfg ~chain_idx:i
+              ~budget:(per_chain + if i = 0 then remainder else 0)
+              ~deadline_at ~init ~shared_best ())
+          (List.init cfg.restarts Fun.id))
+  in
+  let winner =
+    List.fold_left
+      (fun acc c -> if c.co_cost < acc.co_cost then c else acc)
+      (List.hd chains) (List.tl chains)
+  in
+  let sum f = List.fold_left (fun a c -> a + f c) 0 chains in
+  let per_kernel ki =
+    {
+      proposed = sum (fun c -> c.co_proposed.(ki));
+      accepted = sum (fun c -> c.co_accepted.(ki));
+    }
+  in
+  let kernels = List.map (fun k -> (k, per_kernel (kindex k))) all_kernels in
+  (* fold the ensemble's aggregate statistics into the process registry *)
+  List.iter
+    (fun (k, (s : kernel_stat)) ->
+      Obs.add (m_proposed (kernel_name k)) s.proposed;
+      Obs.add (m_accepted (kernel_name k)) s.accepted)
+    kernels;
+  Obs.add (Lazy.force m_improvements) (sum (fun c -> c.co_improved));
+  let fused_clusters =
+    let n = ref 0 in
+    Array.iteri
+      (fun ci cl ->
+        if cl.cl_fused >= 0 && winner.co_fused.(ci) then incr n)
+      p.clusters;
+    !n
+  in
+  {
+    chosen = chosen_of p winner.co_choice winner.co_fused;
+    cost = winner.co_cost;
+    base = base_energy p;
+    proposals = sum (fun c -> c.co_proposals);
+    chain_proposals = winner.co_proposals;
+    accepted =
+      sum (fun c -> Array.fold_left ( + ) 0 c.co_accepted);
+    improved = sum (fun c -> c.co_improved);
+    restarts = cfg.restarts;
+    stopped =
+      (if List.exists (fun c -> c.co_stopped = Deadline) chains then Deadline
+       else Budget);
+    fused_clusters;
+    fusable_clusters = Array.length (fusable p);
+    wall_s = Obs.now () -. t_start;
+    kernels;
+    trace = winner.co_trace;
+  }
+
+let pp_stats fmt r =
+  let acc_pct (s : kernel_stat) =
+    if s.proposed = 0 then 0.0
+    else 100.0 *. float_of_int s.accepted /. float_of_int s.proposed
+  in
+  Format.fprintf fmt
+    "stochastic: %d proposal(s) over %d chain(s), %d accepted, %d \
+     improvement(s), stopped on %s, %.2fs"
+    r.proposals r.restarts r.accepted r.improved (stop_name r.stopped)
+    r.wall_s;
+  if r.fusable_clusters > 0 then
+    Format.fprintf fmt ", %d/%d cluster(s) fused" r.fused_clusters
+      r.fusable_clusters;
+  Format.pp_print_newline fmt ();
+  List.iter
+    (fun (k, s) ->
+      if s.proposed > 0 then
+        Format.fprintf fmt "  %-12s %8d proposed  %8d accepted (%.1f%%)@."
+          (kernel_name k) s.proposed s.accepted (acc_pct s))
+    r.kernels

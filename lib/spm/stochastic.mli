@@ -1,0 +1,112 @@
+(** Stochastic (MCMC / simulated-annealing) search over SPM buffer
+    placements, in the greenthumb superoptimizer mold.
+
+    {!Dse.select_optimal} enumerates the grouped knapsack exactly, which
+    dies combinatorially once fusion choices multiply the configuration
+    space (2 placement universes per fusable run). This module searches
+    the joint space instead: a state assigns at most one buffer candidate
+    to each group and a fused/unfused mode to each cluster, mutation
+    kernels propose local edits, and Metropolis-Hastings acceptance over
+    the {!Energy} cost model with a geometric cooling schedule steers the
+    walk. Restart ensembles run on the {!Foray_util.Parallel} domain pool
+    with a shared (publish-only) best-so-far; termination is anytime —
+    a proposal budget plus an optional wall-clock deadline.
+
+    {b Determinism.} For a fixed {!config.seed} the result is a pure
+    function of the problem: chains derive independent streams from the
+    seed and never read each other's progress, [Parallel.map] preserves
+    order, and the ensemble winner is the lowest-cost chain (ties to the
+    lowest index). [jobs] only changes wall-clock time, never the answer.
+    The one exception is [deadline_ms], which by nature cuts chains at a
+    machine-dependent point. *)
+
+(** {1 Configuration} *)
+
+type config = {
+  seed : int;  (** PRNG seed; equal seeds give equal results *)
+  budget : int;  (** total proposals, split across the ensemble *)
+  deadline_ms : int option;  (** optional wall-clock cutoff *)
+  restarts : int;  (** independent annealing chains, >= 1 *)
+  jobs : int;  (** domains running the ensemble ([<= 1] = serial) *)
+  init_temp : float option;
+      (** starting temperature; default auto-scales to the largest
+          single-candidate benefit magnitude *)
+}
+
+(** seed 42, budget 20000, no deadline, 4 restarts, serial. *)
+val default_config : config
+
+(** {1 Mutation kernels} *)
+
+type kernel =
+  | Swap  (** replace a group's chosen candidate with a sibling *)
+  | Add  (** place a buffer in an empty group *)
+  | Drop  (** evict a group's buffer *)
+  | Move  (** evict one group's buffer and place one in another (moves
+              capacity between groups in a single step) *)
+  | Toggle_fuse  (** flip a cluster between fused and separate buffers *)
+
+val kernel_name : kernel -> string
+
+type kernel_stat = { proposed : int; accepted : int }
+
+type stop = Budget | Deadline
+
+val stop_name : stop -> string
+
+(** {1 Problems} *)
+
+(** A search space: groups of mutually-exclusive candidates, partitioned
+    into clusters that each carry an optional fused alternative. *)
+type problem
+
+(** Plain placement space over candidate groups ({!Reuse.by_ref}); no
+    fusion choices ([Toggle_fuse] never fires). *)
+val of_candidates : Reuse.candidate list -> problem
+
+(** Joint fusion x placement space from {!Reuse.fusion_space}: each
+    fusable run contributes an independent binary mode on top of its
+    member placements, so the configuration count grows as
+    2{^ fusable runs} x placements — the regime exhaustive enumeration
+    cannot reach. *)
+val of_model : Foray_core.Model.t -> problem
+
+(** All-main-memory energy (nJ) of every reference covered by the
+    problem. *)
+val base_energy : problem -> float
+
+(** {1 Search} *)
+
+type result = {
+  chosen : Reuse.candidate list;  (** best placement found *)
+  cost : float;  (** its energy (nJ), exact (recomputed, not drifted) *)
+  base : float;  (** = {!base_energy} of the problem *)
+  proposals : int;  (** proposals made across the whole ensemble *)
+  chain_proposals : int;  (** proposals made by the winning chain *)
+  accepted : int;
+  improved : int;  (** accepted proposals that set a new chain best *)
+  restarts : int;
+  stopped : stop;  (** what ended the search *)
+  fused_clusters : int;  (** clusters fused in the best state *)
+  fusable_clusters : int;
+  wall_s : float;
+  kernels : (kernel * kernel_stat) list;
+      (** per-kernel proposal/acceptance totals, ensemble-wide *)
+  trace : (int * float) list;
+      (** winning chain's anytime curve: (chain-local proposal index,
+          best-so-far energy), ascending, starting at (0, initial) *)
+}
+
+(** [search ?init p ~spm_bytes cfg] anneals [cfg.restarts] chains and
+    returns the best placement. Chain 0 starts from [init] when given
+    (candidates are matched into the problem by group id, then by
+    (site, level)), otherwise from a greedy benefit-density seed — so
+    the result is never worse than greedy. Other chains start empty.
+    Raises [Invalid_argument] if [cfg.budget < 0] or
+    [cfg.restarts < 1]. *)
+val search :
+  ?init:Reuse.candidate list -> problem -> spm_bytes:int -> config -> result
+
+(** Render the ensemble statistics (proposal counts, per-kernel
+    acceptance rates, stop reason) — the search's stderr report. *)
+val pp_stats : Format.formatter -> result -> unit

@@ -175,8 +175,8 @@ let t_sweep_jobs_identical () =
   let r =
     Tutil.run_source (Option.get (Foray_suite.Suite.find "gsm")).source
   in
-  let show sel =
-    Format.asprintf "%a" Foray_spm.Dse.pp_selection sel
+  let show (s : Foray_spm.Dse.solution) =
+    Format.asprintf "%a" Foray_spm.Dse.pp_selection s.selection
   in
   let a = List.map (fun (_, s) -> show s) (Foray_spm.Dse.sweep ~jobs:1 r.model) in
   let b = List.map (fun (_, s) -> show s) (Foray_spm.Dse.sweep ~jobs:4 r.model) in

@@ -619,6 +619,98 @@ let t_access_log_and_slow () =
       Alcotest.(check bool) "analyze line logged its op" true
         (List.exists (fun l -> contains l "\"op\": \"analyze\"") lines))
 
+(* ---- the spm op ------------------------------------------------------- *)
+
+let t_spm_op () =
+  with_daemon (fun path ->
+      let c = Serve.Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let resp line =
+            match Json.parse (Serve.Client.request c line) with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "response not JSON: %s" e
+          in
+          let results j =
+            match Json.member "results" j with
+            | Some (Json.Arr l) -> l
+            | _ -> Alcotest.fail "spm response without results array"
+          in
+          (* a single-capacity optimal solve *)
+          let j =
+            resp "{\"op\": \"spm\", \"program\": \"fig4a\", \"spm_bytes\": 512}"
+          in
+          Alcotest.(check string) "spm ok" "ok" (status j);
+          Alcotest.(check bool) "one result for one size" true
+            (List.length (results j) = 1);
+          let digest =
+            match Json.member "digest" j with
+            | Some (Json.Str d) -> d
+            | _ -> Alcotest.fail "spm response without digest"
+          in
+          (* stochastic sweep over explicit sizes, then a cached repeat *)
+          let stoch =
+            "{\"op\": \"spm\", \"program\": \"fig4a\", \"sizes\": [256, \
+             1024], \"strategy\": \"stochastic\", \"seed\": 7, \
+             \"budget_proposals\": 4000}"
+          in
+          let cold = resp stoch in
+          Alcotest.(check string) "stochastic ok" "ok" (status cold);
+          Alcotest.(check bool) "stochastic not cached cold" false
+            (cached cold);
+          Alcotest.(check bool) "one result per size" true
+            (List.length (results cold) = 2);
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "stochastic result carries search stats"
+                true
+                (Json.member "search" r <> None))
+            (results cold);
+          let warm = resp stoch in
+          Alcotest.(check bool) "repeat served from cache" true (cached warm);
+          Alcotest.(check bool) "cached body identical" true
+            (results cold = results warm);
+          (* a different spm configuration is a different cache key *)
+          let other =
+            resp
+              "{\"op\": \"spm\", \"program\": \"fig4a\", \"sizes\": [256, \
+               1024], \"strategy\": \"optimal\"}"
+          in
+          Alcotest.(check bool) "other strategy not cached" false
+            (cached other);
+          (* readdress the analyzed model by digest alone *)
+          let by_digest =
+            resp
+              (Printf.sprintf
+                 "{\"op\": \"spm\", \"digest\": \"%s\", \"spm_bytes\": 512}"
+                 digest)
+          in
+          Alcotest.(check string) "digest readdress ok" "ok" (status by_digest);
+          (* failure taxonomy: all on the closed error set *)
+          let j = resp "{\"op\": \"spm\", \"spm_bytes\": 512}" in
+          Alcotest.(check string) "no target" "E_BAD_REQUEST" (err_code j);
+          let j =
+            resp
+              "{\"op\": \"spm\", \"program\": \"fig4a\", \"strategy\": \
+               \"lucky\"}"
+          in
+          Alcotest.(check string) "unknown strategy" "E_BAD_REQUEST"
+            (err_code j);
+          let j =
+            resp "{\"op\": \"spm\", \"program\": \"fig4a\", \"sizes\": [0]}"
+          in
+          Alcotest.(check string) "non-positive size" "E_BAD_REQUEST"
+            (err_code j);
+          let j =
+            resp
+              "{\"op\": \"spm\", \"digest\": \"deadbeef\", \"spm_bytes\": 512}"
+          in
+          Alcotest.(check string) "unknown digest" "E_NOT_FOUND" (err_code j);
+          (* the daemon survived all of the above *)
+          let j = resp "{\"op\": \"ping\"}" in
+          Alcotest.(check string) "still alive" "ok" (status j)))
+
 let t_shutdown_removes_socket () =
   let path = Serve.temp_socket_path () in
   let cfg = { (Serve.default_config ~socket_path:path) with Serve.jobs = 1 } in
@@ -654,6 +746,7 @@ let tests =
     Alcotest.test_case "window stats in metrics op" `Quick t_window_in_metrics;
     Alcotest.test_case "access log and slow breakdown" `Quick
       t_access_log_and_slow;
+    Alcotest.test_case "spm op over the wire" `Quick t_spm_op;
     Alcotest.test_case "shutdown removes socket" `Quick
       t_shutdown_removes_socket;
   ]

@@ -242,11 +242,192 @@ let t_sweep_shape () =
   let sweep = Dse.sweep r.model in
   Alcotest.(check int) "seven sizes" 7 (List.length sweep);
   List.iter
-    (fun (size, (sel : Dse.selection)) ->
+    (fun (size, (sol : Dse.solution)) ->
+      let sel = sol.selection in
       Alcotest.(check bool) "capacity respected" true (sel.used_bytes <= size);
       Alcotest.(check bool) "savings in range" true
         (sel.saving_pct >= -0.01 && sel.saving_pct <= 100.0))
     sweep
+
+(* ---- stochastic search and the solve strategy API ------------------- *)
+
+(* Random grouped-knapsack instances in the brute-force test's mold:
+   small candidate sets with shared groups and mixed profitability. *)
+let gen_instance =
+  let open QCheck2.Gen in
+  map
+    (fun (n, (seed, cap)) ->
+      let rng = Foray_util.Prng.create seed in
+      let cands =
+        List.init n (fun i ->
+            Reuse.
+              {
+                group = i / 2;
+                site = i;
+                lid = 0;
+                level = 1 + (i mod 2);
+                size = 16 * (1 + Foray_util.Prng.int rng 20);
+                accesses = 50 + Foray_util.Prng.int rng 1000;
+                fills = 1 + Foray_util.Prng.int rng 10;
+                words_per_fill = 4 + Foray_util.Prng.int rng 64;
+                writeback = Foray_util.Prng.bool rng;
+                reuse_factor = 1.0;
+              })
+      in
+      (cands, cap))
+    (pair (int_range 1 12) (pair (int_range 0 1_000_000) (int_range 64 1024)))
+
+let print_instance (cands, cap) =
+  Format.asprintf "cap=%d@.%a" cap
+    (Format.pp_print_list Reuse.pp)
+    cands
+
+let quick_cfg = { Stochastic.default_config with budget = 4_000; restarts = 2 }
+
+let stochastic_energy ?(cfg = quick_cfg) cands ~spm_bytes =
+  (Dse.solve ~strategy:(Dse.Stochastic cfg) cands ~spm_bytes).selection
+    .energy_opt
+
+let prop_stochastic_beats_greedy =
+  QCheck2.Test.make ~name:"stochastic energy <= greedy energy" ~count:60
+    ~print:print_instance gen_instance (fun (cands, cap) ->
+      stochastic_energy cands ~spm_bytes:cap
+      <= (Dse.select_greedy cands ~spm_bytes:cap).energy_opt +. 1e-6)
+
+let prop_stochastic_near_optimal =
+  QCheck2.Test.make ~name:"stochastic within 1% of optimal (small instances)"
+    ~count:60 ~print:print_instance gen_instance (fun (cands, cap) ->
+      let opt = (Dse.select_optimal cands ~spm_bytes:cap).energy_opt in
+      stochastic_energy cands ~spm_bytes:cap <= (opt *. 1.01) +. 1e-6)
+
+let prop_stochastic_deterministic =
+  (* same seed, serial vs 4-domain ensemble: identical placement and
+     energy — [jobs] must never leak into the result *)
+  QCheck2.Test.make ~name:"stochastic deterministic across -j 1 / -j 4"
+    ~count:20 ~print:print_instance gen_instance (fun (cands, cap) ->
+      let run jobs =
+        let cfg = { quick_cfg with jobs; restarts = 4 } in
+        let sel =
+          (Dse.solve ~strategy:(Dse.Stochastic cfg) cands ~spm_bytes:cap)
+            .selection
+        in
+        ( List.map
+            (fun (c : Reuse.candidate) -> (c.group, c.site, c.level))
+            sel.chosen,
+          sel.energy_opt )
+      in
+      run 1 = run 4)
+
+let prop_wrapper_equivalence =
+  QCheck2.Test.make ~name:"select_optimal/greedy = solve wrappers" ~count:60
+    ~print:print_instance gen_instance (fun (cands, cap) ->
+      Dse.select_optimal cands ~spm_bytes:cap
+      = (Dse.solve ~strategy:Dse.Optimal cands ~spm_bytes:cap).selection
+      && Dse.select_greedy cands ~spm_bytes:cap
+         = (Dse.solve ~strategy:Dse.Greedy cands ~spm_bytes:cap).selection)
+
+let t_stochastic_suite_within_1pct () =
+  (* the headline acceptance bar: on every suite benchmark and every
+     default sweep size, the seeded default-budget search lands within 1%
+     of the exhaustive optimum *)
+  List.iter
+    (fun (b : Foray_suite.Suite.bench) ->
+      let r = Tutil.run_source b.source in
+      let cands = Reuse.candidates r.model in
+      List.iter
+        (fun size ->
+          let opt = (Dse.select_optimal cands ~spm_bytes:size).energy_opt in
+          let sol =
+            Dse.solve
+              ~strategy:(Dse.Stochastic Stochastic.default_config)
+              cands ~spm_bytes:size
+          in
+          let st = sol.selection.energy_opt in
+          if st > (opt *. 1.01) +. 1e-6 then
+            Alcotest.failf "%s %dB: stochastic %.1f > optimal %.1f + 1%%"
+              b.name size st opt;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %dB search attached" b.name size)
+            true
+            (sol.search <> None))
+        Dse.default_sizes)
+    Foray_suite.Suite.all
+
+let t_solution_metadata () =
+  let cands = Reuse.candidates reuse_model in
+  let opt = Dse.solve ~strategy:Dse.Optimal cands ~spm_bytes:256 in
+  Alcotest.(check bool) "optimal carries its bound" true
+    (opt.optimal_energy = Some opt.selection.energy_opt);
+  Alcotest.(check bool) "optimal has no search trace" true (opt.search = None);
+  let st =
+    Dse.solve ~strategy:(Dse.Stochastic quick_cfg) cands ~spm_bytes:256
+  in
+  Alcotest.(check bool) "stochastic claims no bound" true
+    (st.optimal_energy = None);
+  match st.search with
+  | None -> Alcotest.fail "stochastic must attach its search result"
+  | Some r ->
+      Alcotest.(check bool) "proposals spent" true (r.proposals > 0);
+      Alcotest.(check bool) "trace starts at proposal 0" true
+        (match r.trace with (0, _) :: _ -> true | _ -> false);
+      Alcotest.(check bool) "trace monotone decreasing" true
+        (let rec mono = function
+           | (k1, c1) :: ((k2, c2) :: _ as rest) ->
+               k1 <= k2 && c2 <= c1 +. 1e-9 && mono rest
+           | _ -> true
+         in
+         mono r.trace);
+      Alcotest.(check bool) "kernel stats cover the proposals" true
+        (List.fold_left (fun a (_, (s : Stochastic.kernel_stat)) ->
+             a + s.proposed)
+           0 r.kernels
+        = r.proposals)
+
+let t_stochastic_fused_beats_plain_enumeration () =
+  (* under pressure the fused stencil buffer fits where three separate
+     ones cannot — and reaching it requires the fusion dimension the
+     exhaustive knapsack cannot express *)
+  let m =
+    model_of
+      (loop 1 64 (fun i ->
+           [ acc 7 (1000 + (4 * i));
+             acc 8 (1004 + (4 * i));
+             acc 9 (1008 + (4 * i)) ]))
+  in
+  let cap = 300 in
+  let plain = Dse.select_optimal (Reuse.candidates m) ~spm_bytes:cap in
+  let fused = Dse.solve_fused m ~spm_bytes:cap quick_cfg in
+  Alcotest.(check bool) "joint search never worse than plain optimal" true
+    (fused.selection.energy_opt <= plain.energy_opt +. 1e-6);
+  Alcotest.(check bool) "capacity respected" true
+    (fused.selection.used_bytes <= cap);
+  match fused.search with
+  | None -> Alcotest.fail "solve_fused must attach its search result"
+  | Some r ->
+      Alcotest.(check bool) "the space has fusion choices" true
+        (r.fusable_clusters > 0)
+
+let t_stochastic_deadline_anytime () =
+  (* a deadline far smaller than the budget stops the search early but
+     still returns a feasible best-so-far *)
+  let b = Option.get (Foray_suite.Suite.find "jpeg") in
+  let r = Tutil.run_source b.source in
+  let cands = Reuse.candidates r.model in
+  let cfg =
+    {
+      Stochastic.default_config with
+      budget = 500_000_000;
+      deadline_ms = Some 30;
+    }
+  in
+  let p = Stochastic.of_candidates cands in
+  let res = Stochastic.search p ~spm_bytes:4096 cfg in
+  Alcotest.(check bool) "stopped on the deadline" true
+    (res.stopped = Stochastic.Deadline);
+  Alcotest.(check bool) "returned an anytime result" true
+    (res.cost <= res.base +. 1e-6);
+  Alcotest.(check bool) "well under the budget" true
+    (res.proposals < cfg.budget)
 
 let t_transform_parses () =
   let cands = Reuse.candidates reuse_model in
@@ -292,4 +473,15 @@ let tests =
     Alcotest.test_case "transform parses" `Quick t_transform_parses;
     Alcotest.test_case "transform without buffers" `Quick
       t_transform_without_buffers;
+    QCheck_alcotest.to_alcotest prop_stochastic_beats_greedy;
+    QCheck_alcotest.to_alcotest prop_stochastic_near_optimal;
+    QCheck_alcotest.to_alcotest prop_stochastic_deterministic;
+    QCheck_alcotest.to_alcotest prop_wrapper_equivalence;
+    Alcotest.test_case "stochastic suite within 1% of optimal" `Slow
+      t_stochastic_suite_within_1pct;
+    Alcotest.test_case "solution metadata" `Quick t_solution_metadata;
+    Alcotest.test_case "fused search beats plain enumeration" `Quick
+      t_stochastic_fused_beats_plain_enumeration;
+    Alcotest.test_case "stochastic deadline is anytime" `Quick
+      t_stochastic_deadline_anytime;
   ]
