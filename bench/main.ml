@@ -817,15 +817,61 @@ let measure_serve () =
         ~programs:[ "adpcm"; "gsm"; "fft"; "fig4a" ]
         ~cold_program:"jpeg")
 
+type verify_perf = {
+  vname : string;
+  v_refs : int;
+  v_proved : int;
+  v_diverged : int;
+  v_unseen : int;
+  v_covered : int;
+  v_events : int;
+  v_wall_s : float;
+  v_eps : float;  (** accesses checked per second of replay *)
+}
+
+(* Verification measurement (schema 8): replay each benchmark's extracted
+   model against its own recorded stream (Foray_verify) and time the
+   replay walk alone. Every reference must prove — a divergence here
+   means the extractor and the verifier disagree about the pipeline's own
+   ground truth, so it fails the harness rather than landing in the
+   record. *)
+let measure_verify () =
+  let module Verify = Foray_verify.Verify in
+  List.map
+    (fun (bench : Suite.bench) ->
+      let prog = Minic.Parser.program bench.source in
+      Minic.Sema.check_exn prog;
+      let r, trace = run_offline_ok prog in
+      let t0 = now () in
+      let rep = Verify.verify r.model trace in
+      let wall = now () -. t0 in
+      if Verify.diverged rep > 0 then
+        failwith
+          (Printf.sprintf "measure_verify: %s diverged on its own trace"
+             bench.name);
+      {
+        vname = bench.name;
+        v_refs = List.length rep.refs;
+        v_proved = Verify.proved rep;
+        v_diverged = Verify.diverged rep;
+        v_unseen = Verify.unseen rep;
+        v_covered = rep.covered;
+        v_events = rep.events;
+        v_wall_s = wall;
+        v_eps =
+          (if wall > 0.0 then float_of_int rep.events /. wall else 0.0);
+      })
+    Suite.all
+
 let write_json ~path ~section_times ~pipelines ~shard ~interp ~serve ~spm
-    ~total =
+    ~verify ~total =
   let resolved, unresolved, with_metrics, with_tracing = interp in
   let b = Buffer.create 4096 in
   let add fmt = Printf.bprintf b fmt in
   add "{\n";
-  add "  \"schema\": 7,\n";
+  add "  \"schema\": 8,\n";
   add "  \"meta\": {\n";
-  add "    \"schema_version\": 7,\n";
+  add "    \"schema_version\": 8,\n";
   add "    \"generated_by\": \"bench/main.exe --json\",\n";
   add "    \"benchmark_set\": [%s],\n"
     (String.concat ", "
@@ -921,6 +967,21 @@ let write_json ~path ~section_times ~pipelines ~shard ~interp ~serve ~spm
   add "      \"wall_s\": %.4f\n" spm.fz_wall_s;
   add "    }\n";
   add "  },\n";
+  (* Schema 8: the verification record — per-benchmark model-replay
+     verdicts (every reference must prove on its own trace) and the
+     replay throughput. *)
+  add "  \"verify\": [\n";
+  List.iteri
+    (fun i (v : verify_perf) ->
+      add
+        "    {\"name\": %S, \"refs\": %d, \"proved\": %d, \"diverged\": \
+         %d, \"unseen\": %d, \"covered\": %d, \"events\": %d, \"wall_s\": \
+         %.4f, \"events_checked_per_sec\": %.0f}%s\n"
+        v.vname v.v_refs v.v_proved v.v_diverged v.v_unseen v.v_covered
+        v.v_events v.v_wall_s v.v_eps
+        (if i = List.length verify - 1 then "" else ","))
+    verify;
+  add "  ],\n";
   (* Obs.to_json is itself a JSON object, captured during the
      metrics-enabled interpreter pass above. *)
   add "  \"metrics\": %s,\n" (Obs.to_json ());
@@ -1022,9 +1083,10 @@ let () =
     let interp = measure_interp ~reps:(if !quick then 3 else 5) in
     let serve = measure_serve () in
     let spm = measure_spm () in
+    let verify = measure_verify () in
     let section_times = List.map (fun (n, _, dt) -> (n, dt)) rendered in
     write_json ~path:!json_file ~section_times ~pipelines ~shard ~interp
-      ~serve ~spm ~total:(now () -. t0)
+      ~serve ~spm ~verify ~total:(now () -. t0)
   end;
   if not !quick then begin
     let b = Buffer.create 256 in

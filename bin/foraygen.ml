@@ -4,9 +4,10 @@
      list      - benchmarks and figure programs available by name
      extract   - run the pipeline, print the FORAY model (and hints)
      annotate  - print the checkpoint-instrumented program (Figure 4(b))
-     trace     - print the profile trace (Figure 4(c))
+     trace     - print, save, convert or import the profile trace (Fig 4(c))
      tables    - print Tables I / II / III and the headline comparison
      spm       - reuse candidates, DSE sweep and transformed model
+     verify    - per-reference model-replay verdicts with counterexamples
      metrics   - run the full flow with counters on, print/check them
      explain   - per-reference Algorithm-3 inference timelines
      tracecheck - validate an exported Chrome trace file
@@ -252,6 +253,26 @@ let run_pipeline src ~nexec ~nloc ~scalars =
   | Ok o -> o.Foray_core.Pipeline.result
   | Error e -> Ferr.raise_error e
 
+(* The degradation note a salvaged-but-damaged read deserves; an empty
+   list when the stream came back whole. *)
+let salvage_degradations (salvage : Foray_trace.Tracefile.salvage) =
+  if salvage.resyncs = 0 && not salvage.truncated_tail then []
+  else
+    [
+      Foray_core.Pipeline.Degraded_corrupt
+        {
+          offset =
+            (match salvage.first_errors with (off, _) :: _ -> off | [] -> -1);
+          kind =
+            (match salvage.first_errors with
+            | (_, k) :: _ -> k
+            | [] -> "unknown");
+          salvaged = salvage.events;
+          resyncs = salvage.resyncs;
+          bytes_skipped = salvage.bytes_skipped;
+        };
+    ]
+
 (* Steps 3-4 on a stored trace file: salvages damaged records by default,
    [strict] turns the first corrupt record into E_TRACE_CORRUPT. With
    [shards > 1] the stream is analyzed in parallel and merged — same
@@ -267,25 +288,7 @@ let analyze_trace_file ~strict ~json ~nexec ~nloc ?(shards = 1) ?jobs path =
       let thresholds = Foray_core.Filter.{ nexec; nloc } in
       let model = Foray_core.Model.of_tree ~thresholds tree in
       print_string (Foray_core.Model.to_c model);
-      if salvage.resyncs = 0 && not salvage.truncated_tail then 0
-      else
-        finish_degraded ~json
-          [
-            Foray_core.Pipeline.Degraded_corrupt
-              {
-                offset =
-                  (match salvage.first_errors with
-                  | (off, _) :: _ -> off
-                  | [] -> -1);
-                kind =
-                  (match salvage.first_errors with
-                  | (_, k) :: _ -> k
-                  | [] -> "unknown");
-                salvaged = salvage.events;
-                resyncs = salvage.resyncs;
-                bytes_skipped = salvage.bytes_skipped;
-              };
-          ]
+      finish_degraded ~json (salvage_degradations salvage)
 
 (* ---- list ----------------------------------------------------------- *)
 
@@ -417,28 +420,44 @@ let trace_cmd =
                 sink e)
               events);
         Printf.printf "converted %d event(s): %s -> %s\n" !n src dst;
-        if salvage.resyncs = 0 && not salvage.truncated_tail then 0
-        else
-          finish_degraded
-            [
-              Foray_core.Pipeline.Degraded_corrupt
-                {
-                  offset =
-                    (match salvage.first_errors with
-                    | (off, _) :: _ -> off
-                    | [] -> -1);
-                  kind =
-                    (match salvage.first_errors with
-                    | (_, k) :: _ -> k
-                    | [] -> "unknown");
-                  salvaged = salvage.events;
-                  resyncs = salvage.resyncs;
-                  bytes_skipped = salvage.bytes_skipped;
-                };
-            ]
+        finish_degraded (salvage_degradations salvage)
   in
-  let run prog limit scalars out format convert metrics =
+  (* Import a foreign simulator log (the paper's plain "site addr kind"
+     lines) into the pipeline's event stream: rewrite it at --out in
+     --format, or print the normalized text form. Malformed lines are
+     resynchronization points unless --strict. *)
+  let import_file ~strict ~src ~out ~format ~limit =
+    if not (Sys.file_exists src) then begin
+      Printf.eprintf "foraygen trace --import: no such log file: %s\n" src;
+      2
+    end
+    else
+      match Foray_trace.Import.read ~strict src with
+      | Error { Foray_trace.Tracefile.offset; kind; events_before } ->
+          fail_error
+            (Ferr.Trace_corrupt
+               { offset; kind; events_salvaged = events_before })
+      | Ok (events, salvage) ->
+          (match out with
+          | Some dst ->
+              Foray_trace.Tracefile.with_sink ~format dst (fun sink ->
+                  Array.iter sink events);
+              Printf.printf "imported %d event(s): %s -> %s\n"
+                (Array.length events) src dst
+          | None ->
+              Array.iteri
+                (fun i e ->
+                  if i < limit then
+                    print_endline (Foray_trace.Event.to_line e))
+                events;
+              if Array.length events > limit then
+                Printf.printf "... (truncated at %d events)\n" limit);
+          finish_degraded (salvage_degradations salvage)
+  in
+  let run prog limit scalars out format convert import strict metrics =
     guard (fun () ->
+        if import then import_file ~strict ~src:prog ~out ~format ~limit
+        else
         match convert with
         | Some target -> (
             match out with
@@ -518,11 +537,24 @@ let trace_cmd =
              $(docv) (text, binary/v1 or v2) at --out; damaged records are \
              salvaged and reported.")
   in
+  let import_arg =
+    Arg.(
+      value & flag
+      & info [ "import" ]
+          ~doc:
+            "Treat PROGRAM as a foreign simulator log — one access per \
+             line, $(i,site addr kind) in hex with optional width and \
+             $(i,sys), checkpoint lines as $(i,loop ckind) — and convert \
+             it to the pipeline's event stream at --out (in --format) or \
+             to stdout. Malformed lines are resynchronization points \
+             unless $(b,--strict).")
+  in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Print, save or convert the profile trace (Step 2)")
+    (Cmd.info "trace"
+       ~doc:"Print, save, convert or import the profile trace (Step 2)")
     Term.(
       const run $ prog_arg $ limit_arg $ scalars_arg $ out_arg $ format_arg
-      $ convert_arg $ metrics_arg)
+      $ convert_arg $ import_arg $ strict_arg $ metrics_arg)
 
 (* ---- analyze (trace file -> model) ---------------------------------- *)
 
@@ -622,6 +654,117 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Replay the trace against the extracted model (fidelity check)")
     Term.(const run $ prog_arg $ nexec_arg $ nloc_arg)
+
+(* ---- verify ----------------------------------------------------------- *)
+
+module Verify = Foray_verify.Verify
+
+(* Deliberately damage the extracted model before replay: add DELTA to
+   the first reference's innermost coefficient (or to its constant term
+   when no iterator survived). The verifier must then refute the model
+   with a faithful counterexample — EXPERIMENTS.md walks through one. *)
+let perturb_model delta (m : Foray_core.Model.t) =
+  let hit = ref false in
+  let mref (r : Foray_core.Model.mref) =
+    if !hit then r
+    else begin
+      hit := true;
+      match r.terms with
+      | (c, lid) :: rest -> { r with terms = (c + delta, lid) :: rest }
+      | [] -> { r with const = r.const + delta }
+    end
+  in
+  let rec mloop (l : Foray_core.Model.mloop) =
+    {
+      l with
+      Foray_core.Model.refs = List.map mref l.refs;
+      subs = List.map mloop l.subs;
+    }
+  in
+  { m with Foray_core.Model.loops = List.map mloop m.loops }
+
+let verify_cmd =
+  let run prog nexec nloc scalars shards jobs strict json perturb =
+    guard ~json (fun () ->
+        let thresholds = Foray_core.Filter.{ nexec; nloc } in
+        (* Render the verdicts and map them onto the exit contract:
+           0 all proved, 1 any divergence (printed counterexample),
+           3 proved-but-degraded. *)
+        let finish ?(degraded = []) model events =
+          let model =
+            match perturb with
+            | None -> model
+            | Some d -> perturb_model d model
+          in
+          let rep = Verify.verify model events in
+          if json then print_endline (Verify.report_to_json rep)
+          else print_string (Verify.report_to_string rep);
+          if Verify.diverged rep > 0 then begin
+            (match Verify.first_divergence rep with
+            | Some (rv, cx) when not json ->
+                Printf.eprintf "foraygen verify: %s diverges: %s\n"
+                  (Foray_core.Model.array_name rv.Verify.mref.site)
+                  (Verify.counterexample_to_string cx)
+            | _ -> ());
+            1
+          end
+          else finish_degraded ~strict ~json degraded
+        in
+        if looks_like_trace prog then
+          (* A stored trace: extract the model from it, then replay the
+             same stream against the model. *)
+          match
+            Foray_core.Pipeline.analyze_trace ~strict ~shards ?jobs prog
+          with
+          | Error { Foray_trace.Tracefile.offset; kind; events_before } ->
+              fail_error ~json
+                (Ferr.Trace_corrupt
+                   { offset; kind; events_salvaged = events_before })
+          | Ok ((tree, _), salvage) -> (
+              let model = Foray_core.Model.of_tree ~thresholds tree in
+              match Foray_trace.Tracefile.read_events prog with
+              | Error { Foray_trace.Tracefile.offset; kind; events_before } ->
+                  fail_error ~json
+                    (Ferr.Trace_corrupt
+                       { offset; kind; events_salvaged = events_before })
+              | Ok (events, _) ->
+                  finish
+                    ~degraded:(salvage_degradations salvage)
+                    model (Array.to_list events))
+        else
+          match load_source prog with
+          | Error e -> fail_error ~json e
+          | Ok src -> (
+              let p = Minic.Parser.program src in
+              match
+                Foray_core.Pipeline.run_offline ~config:(config_of scalars)
+                  ~thresholds ~shards ?jobs p
+              with
+              | Error e -> fail_error ~json e
+              | Ok (o, events) ->
+                  finish ~degraded:o.Foray_core.Pipeline.degraded
+                    o.Foray_core.Pipeline.result.Foray_core.Pipeline.model
+                    events))
+  in
+  let perturb_arg =
+    let doc =
+      "Add $(docv) to the first reference's innermost coefficient (or its \
+       constant term when it has none) before replaying — a deliberately \
+       damaged model, to demonstrate the counterexample machinery."
+    in
+    Arg.(value & opt (some int) None & info [ "perturb" ] ~docv:"DELTA" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Replay the extracted model against the recorded access stream \
+          and render a verdict per reference: proved, or diverges with \
+          the first-divergence counterexample (loop context, iteration \
+          vector, predicted vs actual address). Exit 0 when every \
+          reference proves, 1 on any divergence, 3 proved-but-degraded.")
+    Term.(
+      const run $ prog_arg $ nexec_arg $ nloc_arg $ scalars_arg $ shards_arg
+      $ shard_jobs_arg $ strict_arg $ json_errors_arg $ perturb_arg)
 
 (* ---- stability --------------------------------------------------------- *)
 
@@ -1239,6 +1382,86 @@ let run_serve_smoke ~jobs ~cache_mb =
   end
   else 1
 
+(* The @verify-smoke contract: verify fig4a locally (every reference must
+   prove), then ask a fresh daemon to verify the same program over the
+   wire — the wire report must match the local one structurally, the warm
+   repeat must come from the cache with the identical report, and the
+   daemon must shut down cleanly. *)
+let run_verify_smoke ~jobs ~cache_mb =
+  (* Thresholds 1/1: fig4a is the paper's small figure nest, and the
+     default Step-4 thresholds would purge its only reference. *)
+  let thresholds = Foray_core.Filter.{ nexec = 1; nloc = 1 } in
+  let local =
+    match load_source "fig4a" with
+    | Error e -> Ferr.raise_error e
+    | Ok src -> (
+        let p = Minic.Parser.program src in
+        match Foray_core.Pipeline.run_offline ~thresholds p with
+        | Error e -> Ferr.raise_error e
+        | Ok (o, events) ->
+            Verify.verify
+              o.Foray_core.Pipeline.result.Foray_core.Pipeline.model events)
+  in
+  let path = Serve.temp_socket_path () in
+  let srv =
+    Serve.start
+      (serve_config ~socket:path ~jobs ~cache_mb ~max_steps_cap:None ())
+  in
+  let failures = ref 0 in
+  let check cond msg =
+    if not cond then begin
+      incr failures;
+      Printf.eprintf "verify-smoke: FAIL: %s\n" msg
+    end
+  in
+  check (Verify.all_proved local) "local verify of fig4a has divergences";
+  check (Verify.proved local > 0) "local verify of fig4a proved nothing";
+  let local_json =
+    match Sjson.parse (Verify.report_to_json local) with
+    | Ok j -> Some j
+    | Error _ -> None
+  in
+  check (local_json <> None) "local verify report is not valid JSON";
+  let c = Serve.Client.connect path in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      let rpc () =
+        Serve.Client.rpc c
+          [
+            ("op", "\"verify\""); ("program", "\"fig4a\""); ("nexec", "1");
+            ("nloc", "1");
+          ]
+      in
+      let cold = rpc () in
+      check
+        (Sjson.member "status" cold = Some (Sjson.Str "ok"))
+        "cold verify did not succeed";
+      check
+        (Sjson.member "cached" cold = Some (Sjson.Bool false))
+        "cold verify claimed a cache hit";
+      check
+        (Sjson.member "verify" cold = local_json)
+        "wire verify report differs from the local one";
+      let warm = rpc () in
+      check
+        (Sjson.member "cached" warm = Some (Sjson.Bool true))
+        "warm verify was not served from the cache";
+      check
+        (Sjson.member "verify" warm = Sjson.member "verify" cold)
+        "cached verify report differs from the uncached one");
+  Serve.Client.shutdown path;
+  Serve.wait srv;
+  check (not (Sys.file_exists path)) "socket not removed on shutdown";
+  if !failures = 0 then begin
+    Printf.printf
+      "verify-smoke: OK (%d reference(s) proved, wire report = local, warm \
+       hit, clean shutdown)\n"
+      (Verify.proved local);
+    0
+  end
+  else 1
+
 (* ---- top: live daemon dashboard -------------------------------------- *)
 
 let jnum = function
@@ -1488,10 +1711,11 @@ let cache_mb_arg =
   Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB" ~doc)
 
 let serve_cmd =
-  let run socket jobs cache_mb max_steps access_log slow_ms smoke tsmoke json
-      =
+  let run socket jobs cache_mb max_steps access_log slow_ms smoke tsmoke
+      vsmoke json =
     guard ~json (fun () ->
         if tsmoke then run_telemetry_smoke ~jobs ~cache_mb
+        else if vsmoke then run_verify_smoke ~jobs ~cache_mb
         else if smoke then run_serve_smoke ~jobs ~cache_mb
         else begin
           let socket = Option.value socket ~default:(default_socket ()) in
@@ -1549,6 +1773,15 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "telemetry-smoke" ] ~doc)
   in
+  let vsmoke_arg =
+    let doc =
+      "Verification self-test: verify fig4a locally, then over the wire \
+       against a fresh daemon on a temp socket — the reports must match, \
+       the warm repeat must hit the cache, the shutdown must be clean. \
+       Exit 0 iff all checks pass."
+    in
+    Arg.(value & flag & info [ "verify-smoke" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1557,7 +1790,7 @@ let serve_cmd =
           model cache and the documented E_* error taxonomy on the wire.")
     Term.(
       const run $ socket_arg $ jobs_serve_arg $ cache_mb_arg $ cap_arg
-      $ access_log_arg $ slow_ms_arg $ smoke_arg $ tsmoke_arg
+      $ access_log_arg $ slow_ms_arg $ smoke_arg $ tsmoke_arg $ vsmoke_arg
       $ json_errors_arg)
 
 let serve_bench_cmd =
@@ -1677,6 +1910,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; extract_cmd; annotate_cmd; trace_cmd; analyze_cmd;
-            tree_cmd; validate_cmd; stability_cmd; compare_cmd; tables_cmd;
-            spm_cmd; metrics_cmd; explain_cmd; tracecheck_cmd; faults_cmd;
-            serve_cmd; serve_bench_cmd; top_cmd ]))
+            tree_cmd; validate_cmd; verify_cmd; stability_cmd; compare_cmd;
+            tables_cmd; spm_cmd; metrics_cmd; explain_cmd; tracecheck_cmd;
+            faults_cmd; serve_cmd; serve_bench_cmd; top_cmd ]))

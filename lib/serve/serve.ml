@@ -72,17 +72,19 @@ type payload = {
 }
 
 (* One slot of the daemon cache. Model payloads, pre-rendered [spm]
-   result arrays and raw sources (so [spm] requests can address a model
-   by the digest an earlier analyze reported) share the one byte-bounded
-   LRU; key prefixes keep the namespaces disjoint. *)
+   result arrays, pre-rendered [verify] reports and raw sources (so
+   [spm]/[verify] requests can address a model by the digest an earlier
+   analyze reported) share the one byte-bounded LRU; key prefixes keep
+   the namespaces disjoint. *)
 type entry =
   | Model of payload
   | Spm of string (* rendered "results" JSON array *)
+  | Verify of string (* rendered verification report object *)
   | Source of string
 
 let entry_bytes key = function
   | Model p -> String.length p.mp_model + String.length key + 128
-  | Spm s | Source s -> String.length s + String.length key + 128
+  | Spm s | Verify s | Source s -> String.length s + String.length key + 128
 
 (* Remembered for [top] and the [metrics] op: the last few requests that
    crossed the slow threshold. *)
@@ -253,6 +255,9 @@ let cache_find_model srv key =
 
 let cache_find_spm srv key =
   match cache_find srv key with Some (Spm s) -> Some s | _ -> None
+
+let cache_find_verify srv key =
+  match cache_find srv key with Some (Verify s) -> Some s | _ -> None
 
 (* a [Source] probe is bookkeeping, not client-visible caching — don't
    skew the hit/miss counters with it *)
@@ -695,6 +700,156 @@ let render_spm ~id ~rid ~strategy_s ~cached ~degraded ~digest ~dt_ms ~trace
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* The verify op: per-reference model-replay verdicts                 *)
+
+let corruption_error { Foray_trace.Tracefile.offset; kind; events_before } =
+  Ferr.Trace_corrupt { offset; kind; events_salvaged = events_before }
+
+let salvage_degradations (salvage : Foray_trace.Tracefile.salvage) =
+  if salvage.resyncs = 0 && not salvage.truncated_tail then []
+  else
+    [
+      Pipeline.Degraded_corrupt
+        {
+          offset =
+            (match salvage.first_errors with (off, _) :: _ -> off | [] -> -1);
+          kind =
+            (match salvage.first_errors with
+            | (_, k) :: _ -> k
+            | [] -> "unknown");
+          salvaged = salvage.events;
+          resyncs = salvage.resyncs;
+          bytes_skipped = salvage.bytes_skipped;
+        };
+    ]
+
+(* Verify a stored trace file: extract the model from it (Steps 3-4,
+   optionally sharded), then replay the same event stream against the
+   model. Cached by content digest x Step-4 thresholds, like
+   [analyze_trace]. *)
+let verify_trace srv rq ~rid path =
+  if not (Sys.file_exists path) then
+    Error (Ferr.Not_found_program { name = path })
+  else
+    match Digest.file path with
+    | exception Sys_error _ -> Error (Ferr.Not_found_program { name = path })
+    | digest -> (
+        let digest_hex = Digest.to_hex digest in
+        let key =
+          Printf.sprintf "verify:trace:%s:%d:%d" digest_hex
+            rq.rq_thresholds.Filter.nexec rq.rq_thresholds.Filter.nloc
+        in
+        match if rq.rq_cache then cache_find_verify srv key else None with
+        | Some body -> Ok (body, true, [], digest_hex, None)
+        | None -> (
+            let res, sw =
+              pool_run srv ~rid ~op:"verify" (fun () ->
+                  match
+                    Pipeline.analyze_trace ~strict:rq.rq_strict
+                      ~shards:rq.rq_shards ?jobs:rq.rq_jobs path
+                  with
+                  | Error c -> Error (corruption_error c)
+                  | Ok ((tree, _), salvage) -> (
+                      let model =
+                        Model.of_tree ~thresholds:rq.rq_thresholds tree
+                      in
+                      match Foray_trace.Tracefile.read_events path with
+                      | Error c -> Error (corruption_error c)
+                      | Ok (events, _) ->
+                          let vsink, finish = Foray_verify.Verify.sink model in
+                          Array.iter vsink events;
+                          Ok
+                            ( Foray_verify.Verify.report_to_json (finish ()),
+                              salvage_degradations salvage )))
+            in
+            match res with
+            | Error e -> Error e
+            | Ok (_, d :: _) when rq.rq_strict ->
+                Error (error_of_degradation d)
+            | Ok (body, degraded) ->
+                if rq.rq_cache && degraded = [] then
+                  cache_add srv key (Verify body);
+                Ok (body, false, degraded, digest_hex, Some sw)))
+
+let handle_verify srv j ~rid =
+  let ( let* ) = Result.bind in
+  let* rq = parse_request srv j "verify" in
+  match rq.rq_trace with
+  | Some path ->
+      let* body, cached, degraded, digest, sw = verify_trace srv rq ~rid path in
+      Ok (rq, body, cached, degraded, digest, sw)
+  | None ->
+      let field f k =
+        Result.map_error (fun msg -> Ferr.Bad_request { msg }) (f k j)
+      in
+      let* digest_rq = field Json.str_field "digest" in
+      let* src =
+        match (rq.rq_source, rq.rq_program, digest_rq) with
+        | Some s, _, _ -> Ok s
+        | None, Some name, _ -> Foray_suite.Suite.load name
+        | None, None, Some d -> (
+            match cache_find_source srv ("src:" ^ d) with
+            | Some s -> Ok s
+            | None -> Error (Ferr.Not_found_program { name = "digest:" ^ d }))
+        | None, None, None ->
+            Error
+              (Ferr.Bad_request
+                 {
+                   msg =
+                     "verify needs \"program\", \"source\", \"digest\" or \
+                      \"trace\"";
+                 })
+      in
+      let digest = Digest.to_hex (Digest.string src) in
+      if rq.rq_cache then cache_add srv ("src:" ^ digest) (Source src);
+      let key =
+        "verify:"
+        ^ Pipeline.model_key ~config:rq.rq_config ~thresholds:rq.rq_thresholds
+            src
+      in
+      (match if rq.rq_cache then cache_find_verify srv key else None with
+      | Some body -> Ok (rq, body, true, [], digest, None)
+      | None -> (
+          let outcome, sw =
+            pool_run srv ~rid ~op:"verify" (fun () ->
+                let prog = Minic.Parser.program src in
+                match
+                  Pipeline.run_offline ~config:rq.rq_config
+                    ~thresholds:rq.rq_thresholds prog
+                with
+                | Error e -> Error e
+                | Ok (o, events) ->
+                    let rep =
+                      Foray_verify.Verify.verify
+                        o.Pipeline.result.Pipeline.model events
+                    in
+                    Ok
+                      ( Foray_verify.Verify.report_to_json rep,
+                        o.Pipeline.degraded ))
+          in
+          match outcome with
+          | Error e -> Error e
+          | Ok (_, d :: _) when rq.rq_strict -> Error (error_of_degradation d)
+          | Ok (body, degraded) ->
+              if rq.rq_cache && degraded = [] then
+                cache_add srv key (Verify body);
+              Ok (rq, body, false, degraded, digest, Some sw)))
+
+let render_verify ~id ~rid ~cached ~degraded ~digest ~dt_ms ~trace body =
+  let buf = Buffer.create (String.length body + 256) in
+  Printf.bprintf buf
+    "{\"id\": %s, \"rid\": %d, \"status\": \"ok\", \"op\": \"verify\", \
+     \"cached\": %b, \"digest\": \"%s\", \"verify\": %s"
+    id rid cached (Ferr.json_escape digest) body;
+  Printf.bprintf buf ", \"degraded\": [%s]"
+    (String.concat ", " (List.map Pipeline.degradation_to_json degraded));
+  (match trace with
+  | None -> ()
+  | Some node -> Printf.bprintf buf ", \"trace\": %s" (Span.node_to_json node));
+  Printf.bprintf buf ", \"ms\": %.3f}" dt_ms;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Per-request accounting: runtime gauges, window, access log, slow   *)
 
 let sample_runtime_gauges srv =
@@ -874,6 +1029,35 @@ let dispatch srv ~rid line =
                       in
                       render_spm ~id ~rid ~strategy_s ~cached ~degraded
                         ~digest ~dt_ms ~trace body)
+              | Error e -> error ~id ~op e
+              | exception e -> (
+                  match Ferr.of_exn e with
+                  | Some fe -> error ~id ~op fe
+                  | None ->
+                      error ~id ~op
+                        (Ferr.Runtime
+                           {
+                             loc = "serve";
+                             step = -1;
+                             msg = Printexc.to_string e;
+                           })))
+          | "verify" -> (
+              match handle_verify srv j ~rid with
+              | Ok (rq, body, cached, degraded, digest, sw) ->
+                  let kind =
+                    if cached then Window.Hit
+                    else if rq.rq_cache then Window.Miss
+                    else Window.Uncached
+                  in
+                  mk ~op ~kind ~digest:(Some digest) ~cached:(Some cached)
+                    ~degraded ~sw (fun ~dt_ms ->
+                      let trace =
+                        if rq.rq_want_trace then
+                          Some (trace_tree ~rid ~op ~dt_ms sw)
+                        else None
+                      in
+                      render_verify ~id ~rid ~cached ~degraded ~digest ~dt_ms
+                        ~trace body)
               | Error e -> error ~id ~op e
               | exception e -> (
                   match Ferr.of_exn e with

@@ -28,6 +28,16 @@
       response carries a ["results"] array (one selection per size, with
       a ["search"] statistics object under the stochastic strategy),
       cached by model key x spm configuration.
+    - ["verify"] — per-reference model-replay verification (the CLI
+      [verify] analogue, {!Foray_verify.Verify}): extract the model, then
+      replay the recorded access stream against it and render a verdict
+      per reference — [proved], or [diverges] with the first-divergence
+      counterexample. The model is addressed like [spm] (["program"],
+      inline ["source"], a remembered ["digest"], or a stored ["trace"]
+      path, with ["shards"]/["jobs"]/["strict"] honoured for traces); the
+      response carries the {!Foray_verify.Verify.report_to_json} object
+      as the ["verify"] field, cached by model key (or trace digest x
+      thresholds).
     - ["metrics"] — the process metrics registry
       ({!Foray_obs.Obs.to_json}) plus a ["window"] object (the
       {!Foray_obs.Window} 10s/60s/300s sliding stats) and a ["slow"]

@@ -1,0 +1,35 @@
+(** Importing foreign simulator address logs (ROADMAP item 4a).
+
+    The paper's profiles come from an instruction-set simulator that logs
+    one memory access per line — {e site address kind} — rather than this
+    repository's own {!Event} text format. This adapter parses such logs
+    into the pipeline's event stream with the same salvage-mode contract
+    as {!Tracefile.read}: malformed lines are resynchronization points in
+    the default mode and a typed {!Tracefile.corruption} under [~strict].
+
+    {b Line grammar} (whitespace separated; blank lines and [#] comments
+    ignored):
+
+    - [<site> <addr> <kind> \[<width>\] \[sys\]] — one access. [site] and
+      [addr] are hexadecimal (optional [0x] prefix); [kind] is
+      [r]/[rd]/[read] or [w]/[wr]/[write]; [width] defaults to 4 bytes;
+      a trailing [sys] marks a system-library access.
+    - [<loop> <ckind>] — one checkpoint. [loop] is decimal; [ckind] is
+      [loop_enter], [body_enter], [body_exit] or [loop_exit]. Logs
+      without checkpoint lines still import, but Algorithm 2 then sees a
+      loop-free stream and Step 4 purges everything — the paper's own
+      requirement that the simulator emit the instrumented checkpoints. *)
+
+(** [parse_line s] classifies one log line. [Ok None] for blank/comment
+    lines; [Error reason] for malformed ones (never raises). *)
+val parse_line : string -> (Event.event option, string) result
+
+(** [read ?strict path] parses a whole log file. Salvage mode (default)
+    skips malformed lines, counting each skipped run as a resync with its
+    byte offset and reason sampled into
+    {!Tracefile.salvage.first_errors}; [~strict:true] stops at the first
+    malformed line and returns it as a {!Tracefile.corruption}. *)
+val read :
+  ?strict:bool ->
+  string ->
+  (Event.event array * Tracefile.salvage, Tracefile.corruption) result

@@ -1,6 +1,10 @@
-module Prng = Foray_util.Prng
-
-type style = Direct | Ptr_for | Ptr_while | Switch_walk
+type style =
+  | Direct
+  | Ptr_for
+  | Ptr_while
+  | Switch_walk
+  | Switch_fall
+  | Do_while
 
 type planted = {
   array : string;
@@ -19,7 +23,10 @@ let bprintf = Printf.bprintf
 let gen_nest rng k =
   let arr = Printf.sprintf "G%d" k in
   let iv d = Printf.sprintf "i%d_%d" k d in
-  let style = Prng.pick rng [ Direct; Ptr_for; Ptr_while; Switch_walk ] in
+  let style =
+    Prng.pick rng
+      [ Direct; Ptr_for; Ptr_while; Switch_walk; Switch_fall; Do_while ]
+  in
   let depth = Prng.range rng 1 2 in
   (* single loops must clear Nexec=20 on their own *)
   let t_inner =
@@ -141,9 +148,81 @@ let gen_nest rng k =
         { array = arr; style; trips = [ t ]; terms = [ 4 * stride ] }
       in
       (decl, Buffer.contents buf, [ planted_arm; planted_arm ])
+  | Switch_fall ->
+      (* a single loop whose switch falls through: the [case 0] arm runs
+         on even iterations only and drops into [default], which runs on
+         every iteration. Both pointers advance once per loop iteration,
+         so the fallthrough arm's access stream is still exactly affine in
+         the loop iterator — consecutive executions are two iterations and
+         two strides apart, the same byte-per-iteration slope. *)
+      let ps = Prng.range rng 1 2 in
+      let qs = Prng.range rng 1 2 in
+      let t = 2 * Prng.range rng 21 26 in
+      let brr = Printf.sprintf "H%d" k in
+      let decl =
+        Printf.sprintf "int %s[%d];\nint %s[%d];\n" arr ((ps * t) + 1) brr
+          ((qs * t) + 1)
+      in
+      let p = Printf.sprintf "p%d" k in
+      let q = Printf.sprintf "q%d" k in
+      let buf = Buffer.create 256 in
+      bprintf buf "  %s = %s;\n" p arr;
+      bprintf buf "  %s = %s;\n" q brr;
+      bprintf buf "  for (%s = 0; %s < %d; %s++) {\n" (iv 0) (iv 0) t (iv 0);
+      bprintf buf "    switch (%s & 1) {\n" (iv 0);
+      bprintf buf "    case 0:\n      *%s = %s;\n" p (iv 0);
+      bprintf buf "    default:\n      *%s = 0 - %s;\n      break;\n" q (iv 0);
+      bprintf buf "    }\n";
+      bprintf buf "    %s += %d;\n" p ps;
+      bprintf buf "    %s += %d;\n" q qs;
+      bprintf buf "  }\n";
+      ( decl,
+        Buffer.contents buf,
+        [
+          { array = arr; style; trips = [ t ]; terms = [ 4 * ps ] };
+          { array = brr; style; trips = [ t ]; terms = [ 4 * qs ] };
+        ] )
+  | Do_while ->
+      (* a do/while pointer walk (body-first, so the trip count equals the
+         counter bound), optionally under an outer for with a gap skip *)
+      let stride = Prng.range rng 1 3 in
+      let gap = if depth = 2 then Prng.range rng 0 5 else 0 in
+      let per_outer = (stride * t_inner) + gap in
+      let size =
+        if depth = 2 then (t_outer * per_outer) + 1
+        else (stride * t_inner) + 1
+      in
+      let decl = Printf.sprintf "int %s[%d];\n" arr size in
+      let p = Printf.sprintf "p%d" k in
+      let n = Printf.sprintf "n%d" k in
+      let buf = Buffer.create 256 in
+      bprintf buf "  %s = %s;\n" p arr;
+      if depth = 2 then begin
+        bprintf buf "  for (%s = 0; %s < %d; %s++) {\n" (iv 1) (iv 1) t_outer (iv 1);
+        bprintf buf "    %s = 0;\n" n;
+        bprintf buf "    do {\n";
+        bprintf buf "      *%s = %s;\n" p n;
+        bprintf buf "      %s += %d;\n" p stride;
+        bprintf buf "      %s++;\n" n;
+        bprintf buf "    } while (%s < %d);\n" n t_inner;
+        if gap > 0 then bprintf buf "    %s += %d;\n" p gap;
+        bprintf buf "  }\n"
+      end
+      else begin
+        bprintf buf "  %s = 0;\n" n;
+        bprintf buf "  do {\n";
+        bprintf buf "    *%s = %s;\n" p n;
+        bprintf buf "    %s += %d;\n" p stride;
+        bprintf buf "    %s++;\n" n;
+        bprintf buf "  } while (%s < %d);\n" n t_inner
+      end;
+      let terms =
+        if depth = 2 then [ 4 * stride; 4 * per_outer ] else [ 4 * stride ]
+      in
+      (decl, Buffer.contents buf, [ { array = arr; style; trips; terms } ])
 
 let generate ~seed ~nests =
-  if nests < 1 || nests > 8 then invalid_arg "Generator.generate: 1..8 nests";
+  if nests < 1 || nests > 8 then invalid_arg "Progen.generate: 1..8 nests";
   let rng = Prng.create seed in
   let parts = List.init nests (fun k -> gen_nest rng k) in
   let buf = Buffer.create 1024 in
@@ -160,7 +239,8 @@ let generate ~seed ~nests =
       match p.style with
       | Direct -> ()
       | Ptr_for | Switch_walk -> bprintf buf "  int *p%d;\n" k
-      | Ptr_while -> bprintf buf "  int *p%d;\n  int n%d;\n" k k)
+      | Switch_fall -> bprintf buf "  int *p%d;\n  int *q%d;\n" k k
+      | Ptr_while | Do_while -> bprintf buf "  int *p%d;\n  int n%d;\n" k k)
     parts;
   List.iter (fun (_, code, _) -> Buffer.add_string buf code) parts;
   Buffer.add_string buf "  return 0;\n}\n";

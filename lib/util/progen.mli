@@ -1,0 +1,39 @@
+(** Random MiniC workload generator with planted ground truth.
+
+    Generates programs made of loop nests accessing arrays through six
+    styles — direct affine indexing, [for]-loop pointer walks,
+    [while]-loop pointer walks, [switch]-dispatched walks whose arms
+    alternate by iteration parity, [switch] arms with C fallthrough, and
+    [do/while] walks — while recording, for every planted reference, the
+    byte-level affine coefficients (innermost first) the access stream
+    obeys. The end-to-end property tests assert that FORAY-GEN recovers
+    exactly these coefficients, whatever the surface syntax, and the
+    differential verification campaign replays the extracted models
+    against the same programs. All generated nests satisfy the paper's
+    Step 4 thresholds (>= 20 executions, >= 10 locations). *)
+
+type style =
+  | Direct
+  | Ptr_for
+  | Ptr_while
+  | Switch_walk
+  | Switch_fall  (** [case 0] falls through into [default] *)
+  | Do_while
+
+type planted = {
+  array : string;  (** the global array this nest touches *)
+  style : style;
+  trips : int list;  (** outermost first *)
+  terms : int list;  (** expected nonzero byte coefficients, innermost
+                         first — what {!Foray_core.Model.mref.terms} must
+                         show *)
+}
+
+type t = {
+  source : string;  (** complete MiniC program *)
+  planted : planted list;
+}
+
+(** [generate ~seed ~nests] builds a program with [nests] independent loop
+    nests (1..8). Deterministic in [seed]. *)
+val generate : seed:int -> nests:int -> t

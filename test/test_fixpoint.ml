@@ -46,7 +46,7 @@ let t_fig9 () = check_fixpoint ~thresholds:(th 5 5) Foray_suite.Figures.fig9
 
 let t_generated () =
   for seed = 100 to 112 do
-    let g = Foray_suite.Generator.generate ~seed ~nests:3 in
+    let g = Foray_util.Progen.generate ~seed ~nests:3 in
     check_fixpoint ~thresholds:Filter.default g.source
   done
 

@@ -3,7 +3,7 @@
    recover exactly the planted byte coefficients. *)
 
 open Foray_core
-module Generator = Foray_suite.Generator
+module Generator = Foray_util.Progen
 
 let term_multiset model =
   Model.all_refs model

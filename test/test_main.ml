@@ -27,6 +27,8 @@ let () =
       ("stability", Test_stability.tests);
       ("fixpoint", Test_fixpoint.tests);
       ("validate", Test_validate.tests);
+      ("verify", Test_verify.tests);
+      ("import", Test_import.tests);
       ("pipeline", Test_pipeline.tests);
       ("shard", Test_shard.tests);
       ("treedump", Test_treedump.tests);

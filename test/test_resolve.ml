@@ -5,7 +5,7 @@
    generator workloads. *)
 
 module Interp = Minic_sim.Interp
-module Generator = Foray_suite.Generator
+module Generator = Foray_util.Progen
 
 let run_both ?(config = Interp.default_config) src =
   let prog = Minic.Parser.program src in

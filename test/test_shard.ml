@@ -10,7 +10,7 @@
    break/continue/return, with shard boundaries swept across the trace. *)
 
 open Foray_core
-module Generator = Foray_suite.Generator
+module Generator = Foray_util.Progen
 module Event = Foray_trace.Event
 module Tracefile = Foray_trace.Tracefile
 module Tstats = Foray_trace.Tstats

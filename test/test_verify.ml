@@ -1,0 +1,416 @@
+(* Per-reference functional equivalence checking: the model-replay
+   verifier (Foray_verify) and its generative differential campaign.
+
+   The load-bearing property throughout: a model extracted from a trace
+   must PROVE on that same trace — full-affine references from the
+   model's absolute constant with no alignment, partial references with
+   re-bases only where an excluded iterator moved — and any deliberate
+   damage to the model must be refuted with a faithful counterexample
+   (re-simulating the recorded iteration vector reproduces the recorded
+   mismatch). *)
+
+open Foray_core
+module Verify = Foray_verify.Verify
+module Progen = Foray_util.Progen
+module Tracefile = Foray_trace.Tracefile
+
+let th nexec nloc = Filter.{ nexec; nloc }
+
+let run_offline ?(thresholds = Filter.default) ?shards ?jobs prog =
+  match Pipeline.run_offline ~thresholds ?shards ?jobs prog with
+  | Ok (o, trace) -> (o.Pipeline.result, trace)
+  | Error e -> Alcotest.failf "pipeline error: %s" (Error.to_string e)
+
+let verify_source ?thresholds ?shards src =
+  let prog = Minic.Parser.program src in
+  let r, trace = run_offline ?thresholds ?shards prog in
+  (r, trace, Verify.verify r.Pipeline.model trace)
+
+(* The same deliberate damage [foraygen verify --perturb] applies: DELTA
+   onto the first reference's innermost coefficient, or its constant
+   when no iterator survived. *)
+let perturb delta (m : Model.t) =
+  let hit = ref false in
+  let mref (r : Model.mref) =
+    if !hit then r
+    else begin
+      hit := true;
+      match r.terms with
+      | (c, lid) :: rest -> { r with terms = (c + delta, lid) :: rest }
+      | [] -> { r with const = r.const + delta }
+    end
+  in
+  let rec mloop (l : Model.mloop) =
+    { l with Model.refs = List.map mref l.refs; subs = List.map mloop l.subs }
+  in
+  { m with Model.loops = List.map mloop m.loops }
+
+let total_rebases (rep : Verify.report) =
+  List.fold_left
+    (fun acc (r : Verify.ref_verdict) -> acc + r.rebases)
+    0 rep.refs
+
+(* Write the stream to a trace file in [format] and read it back — the
+   verifier must not care which wire format carried the events. *)
+let roundtrip format events =
+  let tmp = Filename.temp_file "foray_verify" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Tracefile.with_sink ~format tmp (fun sink -> List.iter sink events);
+      match Tracefile.read_events tmp with
+      | Ok (arr, _) -> Array.to_list arr
+      | Error _ -> Alcotest.fail "trace roundtrip failed")
+
+(* Validate and Verify must tell one coherent story: a perfect replay
+   ratio exactly when every reference proves without a single re-base,
+   and identical per-reference re-base counts. *)
+let check_validate_agreement ~ctx (model : Model.t) trace
+    (rep : Verify.report) =
+  let vrep = Validate.replay model trace in
+  let perfect = Validate.overall vrep = 1.0 in
+  let proved_norebase = Verify.all_proved rep && total_rebases rep = 0 in
+  if perfect <> proved_norebase then
+    Alcotest.failf
+      "%s: overall=%.6f but verify says all_proved=%b rebases=%d" ctx
+      (Validate.overall vrep) (Verify.all_proved rep) (total_rebases rep);
+  List.iter
+    (fun (rv : Verify.ref_verdict) ->
+      match
+        List.find_opt
+          (fun (vr : Validate.ref_report) ->
+            vr.site = rv.mref.Model.site && vr.path = rv.path)
+          vrep.refs
+      with
+      | None -> Alcotest.failf "%s: verify ref missing from validate" ctx
+      | Some vr ->
+          if vr.checked <> rv.checked then
+            Alcotest.failf "%s: checked disagree (%d vs %d)" ctx vr.checked
+              rv.checked;
+          if Verify.(rv.verdict = Proved) && vr.rebases <> rv.rebases then
+            Alcotest.failf "%s: rebases disagree at site %x (%d vs %d)" ctx
+              rv.mref.Model.site vr.rebases rv.rebases;
+          (* a proved full-affine ref leaves Validate nothing to miss *)
+          if
+            Verify.(rv.verdict = Proved)
+            && (not rv.mref.Model.partial)
+            && vr.exact <> vr.checked
+          then
+            Alcotest.failf "%s: proved full-affine ref not fully exact" ctx)
+    rep.refs
+
+(* --- figures and benchmarks ------------------------------------------ *)
+
+let t_fig4a_proves () =
+  let _, _, rep = verify_source ~thresholds:(th 2 2) Foray_suite.Figures.fig4a in
+  Alcotest.(check bool) "all proved" true (Verify.all_proved rep);
+  Alcotest.(check int) "one reference" 1 (List.length rep.refs);
+  Alcotest.(check int) "covers the six accesses" 6 rep.covered;
+  Alcotest.(check int) "nothing diverged" 0 (Verify.diverged rep);
+  Alcotest.(check bool) "scalars stay uncovered" true (rep.uncovered > 0)
+
+let t_partial_rebases_prove () =
+  (* fig7b's data-dependent offsets make partial references: they must
+     still prove, re-basing exactly where an excluded iterator moved *)
+  let r, trace, rep =
+    verify_source ~thresholds:(th 10 5) Foray_suite.Figures.fig7b
+  in
+  Alcotest.(check bool) "has partial refs" true
+    (List.exists
+       (fun (rv : Verify.ref_verdict) -> rv.mref.Model.partial)
+       rep.refs);
+  Alcotest.(check bool) "all proved" true (Verify.all_proved rep);
+  Alcotest.(check bool) "partials re-based" true (total_rebases rep > 0);
+  check_validate_agreement ~ctx:"fig7b" r.Pipeline.model trace rep
+
+let t_benchmarks_prove () =
+  List.iter
+    (fun (b : Foray_suite.Suite.bench) ->
+      let r, trace, rep = verify_source b.source in
+      if not (Verify.all_proved rep) then begin
+        match Verify.first_divergence rep with
+        | Some (rv, cx) ->
+            Alcotest.failf "%s: site %x diverges: %s" b.name
+              rv.mref.Model.site
+              (Verify.counterexample_to_string cx)
+        | None -> assert false
+      end;
+      Alcotest.(check int) (b.name ^ " nothing unseen") 0 (Verify.unseen rep);
+      Alcotest.(check bool) (b.name ^ " refs checked") true (rep.covered > 0);
+      check_validate_agreement ~ctx:b.name r.Pipeline.model trace rep)
+    Foray_suite.Suite.all
+
+(* --- boundary nests --------------------------------------------------- *)
+
+let t_zero_trip_loop () =
+  let src =
+    "int A[64];\n\
+     int B[64];\n\
+     int main() {\n\
+    \  int i;\n\
+    \  int n;\n\
+    \  n = 0;\n\
+    \  for (i = 0; i < n; i++) { A[i] = i; }\n\
+    \  for (i = 0; i < 8; i++) { B[i] = i; }\n\
+    \  return 0;\n\
+     }\n"
+  in
+  let r, trace, rep = verify_source ~thresholds:(th 1 1) src in
+  Alcotest.(check bool) "all proved" true (Verify.all_proved rep);
+  Alcotest.(check bool) "B captured and checked" true
+    (List.exists
+       (fun (rv : Verify.ref_verdict) -> rv.checked = 8)
+       rep.refs);
+  check_validate_agreement ~ctx:"zero-trip" r.Pipeline.model trace rep
+
+let t_single_iteration_nest () =
+  (* outer loop runs exactly once: the inner coefficient solves, the
+     outer iterator never moves, and the reference must still prove *)
+  let src =
+    "int A[8];\n\
+     int main() {\n\
+    \  int i;\n\
+    \  int j;\n\
+    \  for (i = 0; i < 1; i++) {\n\
+    \    for (j = 0; j < 8; j++) { A[i + j] = 7; }\n\
+    \  }\n\
+    \  return 0;\n\
+     }\n"
+  in
+  let r, trace, rep = verify_source ~thresholds:(th 1 1) src in
+  Alcotest.(check bool) "all proved" true (Verify.all_proved rep);
+  Alcotest.(check bool) "the eight executions were checked" true
+    (List.exists
+       (fun (rv : Verify.ref_verdict) -> rv.checked = 8)
+       rep.refs);
+  check_validate_agreement ~ctx:"single-iter" r.Pipeline.model trace rep
+
+let t_fully_degenerate_nest () =
+  (* a 1x1 nest executes its reference once: no iterator ever solves, so
+     Step 4 purges it (has_iterator) and verification is vacuous — no
+     refs, everything uncovered, and Validate agrees at overall = 1.0 *)
+  let src =
+    "int A[8];\n\
+     int main() {\n\
+    \  int i;\n\
+    \  int j;\n\
+    \  for (i = 0; i < 1; i++) {\n\
+    \    for (j = 0; j < 1; j++) { A[i + j] = 7; }\n\
+    \  }\n\
+    \  return 0;\n\
+     }\n"
+  in
+  let r, trace, rep = verify_source ~thresholds:(th 1 1) src in
+  Alcotest.(check int) "empty model" 0 (List.length rep.refs);
+  Alcotest.(check bool) "vacuously proved" true (Verify.all_proved rep);
+  Alcotest.(check int) "nothing covered" 0 rep.covered;
+  Alcotest.(check int) "every access uncovered" rep.events rep.uncovered;
+  check_validate_agreement ~ctx:"degenerate" r.Pipeline.model trace rep
+
+let t_empty_stream_vacuous () =
+  let prog = Minic.Parser.program Foray_suite.Figures.fig4a in
+  let r, _ = run_offline ~thresholds:(th 2 2) prog in
+  let rep = Verify.verify r.Pipeline.model [] in
+  Alcotest.(check bool) "vacuously proved" true (Verify.all_proved rep);
+  Alcotest.(check int) "every ref unseen" (List.length rep.refs)
+    (Verify.unseen rep);
+  Alcotest.(check int) "nothing covered" 0 rep.covered;
+  Alcotest.(check int) "no events" 0 rep.events
+
+(* --- determinism across analysis configurations ----------------------- *)
+
+let t_seq_sharded_v1_v2_identical () =
+  let b = Option.get (Foray_suite.Suite.find "adpcm") in
+  let prog = Minic.Parser.program b.source in
+  let r_seq, trace = run_offline prog in
+  let r_par, trace_par = run_offline ~shards:4 ~jobs:2 prog in
+  let base = Verify.report_to_json (Verify.verify r_seq.Pipeline.model trace) in
+  let variants =
+    [
+      ("sharded model", Verify.verify r_par.Pipeline.model trace_par);
+      ( "v1 roundtrip",
+        Verify.verify r_seq.Pipeline.model (roundtrip Tracefile.Binary trace)
+      );
+      ( "v2 roundtrip",
+        Verify.verify r_seq.Pipeline.model (roundtrip Tracefile.Binary2 trace)
+      );
+    ]
+  in
+  List.iter
+    (fun (name, rep) ->
+      Alcotest.(check string)
+        (name ^ " verdicts byte-identical")
+        base (Verify.report_to_json rep))
+    variants
+
+(* --- refutation: perturbed models must lose, faithfully ---------------- *)
+
+let assert_faithful_divergences ctx (rep : Verify.report) =
+  List.iter
+    (fun (rv : Verify.ref_verdict) ->
+      match rv.verdict with
+      | Verify.Proved -> ()
+      | Verify.Diverges cx ->
+          if not (Verify.faithful rv.mref cx) then
+            Alcotest.failf "%s: unfaithful counterexample: %s" ctx
+              (Verify.counterexample_to_string cx);
+          if cx.Verify.cx_event < 0 || cx.Verify.cx_event >= rep.events then
+            Alcotest.failf "%s: counterexample event out of range" ctx;
+          if cx.Verify.cx_exec < 0 || cx.Verify.cx_exec >= rv.checked then
+            Alcotest.failf "%s: counterexample exec out of range" ctx)
+    rep.refs
+
+let t_perturbed_model_diverges () =
+  let b = Option.get (Foray_suite.Suite.find "adpcm") in
+  let prog = Minic.Parser.program b.source in
+  let r, trace = run_offline prog in
+  List.iter
+    (fun delta ->
+      let rep = Verify.verify (perturb delta r.Pipeline.model) trace in
+      Alcotest.(check bool)
+        (Printf.sprintf "delta %+d refuted" delta)
+        true
+        (Verify.diverged rep >= 1);
+      assert_faithful_divergences "perturbed adpcm" rep)
+    [ 4; -4; 1; 256 ]
+
+let t_counterexample_renders () =
+  let b = Option.get (Foray_suite.Suite.find "adpcm") in
+  let prog = Minic.Parser.program b.source in
+  let r, trace = run_offline prog in
+  let rep = Verify.verify (perturb 8 r.Pipeline.model) trace in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  match Verify.first_divergence rep with
+  | None -> Alcotest.fail "expected a divergence"
+  | Some (_, cx) ->
+      let s = Verify.counterexample_to_string cx in
+      Alcotest.(check bool) "mentions predicted" true (contains s "predicted");
+      let j = Verify.report_to_json rep in
+      Alcotest.(check bool) "json carries the counterexample" true
+        (contains j "\"counterexample\"")
+
+(* --- the generative differential campaign ------------------------------ *)
+
+type campaign_cfg = Seq | Shards of int | Wire_v1 | Wire_v2
+
+let cfg_name = function
+  | Seq -> "seq"
+  | Shards n -> Printf.sprintf "shards=%d" n
+  | Wire_v1 -> "v1"
+  | Wire_v2 -> "v2"
+
+let campaign_case (seed, nests, cfg) =
+  let g = Progen.generate ~seed ~nests in
+  let prog = Minic.Parser.program g.Progen.source in
+  let r, trace =
+    match cfg with
+    | Shards n -> run_offline ~shards:n ~jobs:2 prog
+    | Seq | Wire_v1 | Wire_v2 -> run_offline prog
+  in
+  let trace =
+    match cfg with
+    | Wire_v1 -> roundtrip Tracefile.Binary trace
+    | Wire_v2 -> roundtrip Tracefile.Binary2 trace
+    | Seq | Shards _ -> trace
+  in
+  let rep = Verify.verify r.Pipeline.model trace in
+  (* 1. no oracle escapes: every reference proves on its own trace, and
+     full-affine references prove without a single re-base *)
+  if not (Verify.all_proved rep) then begin
+    match Verify.first_divergence rep with
+    | Some (rv, cx) ->
+        QCheck2.Test.fail_reportf
+          "seed %d nests %d %s: site %x diverges: %s\n%s" seed nests
+          (cfg_name cfg) rv.Verify.mref.Model.site
+          (Verify.counterexample_to_string cx)
+          g.Progen.source
+    | None -> assert false
+  end;
+  List.iter
+    (fun (rv : Verify.ref_verdict) ->
+      if (not rv.mref.Model.partial) && rv.rebases <> 0 then
+        QCheck2.Test.fail_reportf
+          "seed %d nests %d %s: full-affine ref re-based" seed nests
+          (cfg_name cfg))
+    rep.refs;
+  (* 2. Validate tells the same story *)
+  check_validate_agreement
+    ~ctx:(Printf.sprintf "seed %d %s" seed (cfg_name cfg))
+    r.Pipeline.model trace rep;
+  true
+
+let gen_campaign =
+  let open QCheck2.Gen in
+  let* seed = int_bound 999_999 in
+  let* nests = int_range 1 4 in
+  let* cfg = oneofl [ Seq; Shards 2; Shards 4; Wire_v1; Wire_v2 ] in
+  return (seed, nests, cfg)
+
+let print_campaign (seed, nests, cfg) =
+  Printf.sprintf "seed=%d nests=%d cfg=%s" seed nests (cfg_name cfg)
+
+let prop_campaign =
+  QCheck2.Test.make
+    ~name:"campaign: extract->verify proves on 220 random programs"
+    ~count:220 ~print:print_campaign gen_campaign campaign_case
+
+(* Differential refutation: damage the model, and the verifier must
+   notice — with a counterexample whose re-simulation reproduces the
+   mismatch. *)
+let campaign_perturbed_case (seed, nests, delta) =
+  let g = Progen.generate ~seed ~nests in
+  let prog = Minic.Parser.program g.Progen.source in
+  let r, trace = run_offline prog in
+  let rep = Verify.verify (perturb delta r.Pipeline.model) trace in
+  if Verify.diverged rep < 1 then
+    QCheck2.Test.fail_reportf
+      "seed %d nests %d delta %+d: damaged model still proves\n%s" seed nests
+      delta g.Progen.source;
+  assert_faithful_divergences
+    (Printf.sprintf "seed %d delta %+d" seed delta)
+    rep;
+  true
+
+let gen_perturbed =
+  let open QCheck2.Gen in
+  let* seed = int_bound 999_999 in
+  let* nests = int_range 1 3 in
+  let* mag = int_range 1 64 in
+  let* sign = oneofl [ 1; -1 ] in
+  return (seed, nests, mag * sign)
+
+let print_perturbed (seed, nests, delta) =
+  Printf.sprintf "seed=%d nests=%d delta=%+d" seed nests delta
+
+let prop_campaign_perturbed =
+  QCheck2.Test.make
+    ~name:"campaign: damaged models are refuted with faithful \
+           counterexamples"
+    ~count:60 ~print:print_perturbed gen_perturbed campaign_perturbed_case
+
+let tests =
+  [
+    Alcotest.test_case "fig4a proves" `Quick t_fig4a_proves;
+    Alcotest.test_case "fig7b partials prove with rebases" `Quick
+      t_partial_rebases_prove;
+    Alcotest.test_case "all six benchmarks prove" `Slow t_benchmarks_prove;
+    Alcotest.test_case "zero-trip loop" `Quick t_zero_trip_loop;
+    Alcotest.test_case "single-iteration nest" `Quick t_single_iteration_nest;
+    Alcotest.test_case "fully degenerate 1x1 nest is purged" `Quick
+      t_fully_degenerate_nest;
+    Alcotest.test_case "empty stream is vacuous" `Quick t_empty_stream_vacuous;
+    Alcotest.test_case "verdicts identical across seq/sharded x v1/v2" `Quick
+      t_seq_sharded_v1_v2_identical;
+    Alcotest.test_case "perturbed model diverges faithfully" `Quick
+      t_perturbed_model_diverges;
+    Alcotest.test_case "counterexample rendering" `Quick
+      t_counterexample_renders;
+    QCheck_alcotest.to_alcotest prop_campaign;
+    QCheck_alcotest.to_alcotest prop_campaign_perturbed;
+  ]
